@@ -1,0 +1,221 @@
+//! Exact optimum by exhaustive enumeration — ground truth for small graphs.
+//!
+//! Enumerates every topological order and, for each, every deadline-feasible
+//! design-point assignment (with partial-sum pruning), scoring each complete
+//! schedule with the RV battery model. Exponential, so construction bounds
+//! the search-space size.
+
+use crate::Scheduler;
+use batsched_battery::rv::RvModel;
+use batsched_battery::units::Minutes;
+use batsched_core::{battery_cost_of, Schedule, SchedulerError};
+use batsched_taskgraph::topo::for_each_topological_order;
+use batsched_taskgraph::{PointId, TaskGraph, TaskId};
+
+/// Brute-force optimal scheduler for small instances.
+#[derive(Debug, Clone)]
+pub struct Exhaustive {
+    /// Maximum number of topological orders to visit.
+    pub max_orders: usize,
+    /// Maximum number of complete assignments to score per order.
+    pub max_assignments_per_order: usize,
+    /// Battery model used for scoring.
+    pub model: RvModel,
+}
+
+impl Default for Exhaustive {
+    fn default() -> Self {
+        Self {
+            max_orders: 50_000,
+            max_assignments_per_order: 200_000,
+            model: RvModel::date05(),
+        }
+    }
+}
+
+impl Exhaustive {
+    /// True optimum cost alongside the schedule (handy for assertions).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedulerError::DeadlineInfeasible`] when nothing fits the deadline.
+    pub fn best(
+        &self,
+        g: &TaskGraph,
+        deadline: Minutes,
+    ) -> Result<(Schedule, f64), SchedulerError> {
+        if !(deadline.is_finite() && deadline.value() > 0.0) {
+            return Err(SchedulerError::InvalidDeadline { deadline });
+        }
+        let n = g.task_count();
+        let m = g.point_count();
+        let d = deadline.value();
+        // Cheapest remaining time per suffix for pruning.
+        let min_dur: Vec<f64> = g
+            .task_ids()
+            .map(|t| g.duration(t, PointId(0)).value())
+            .collect();
+
+        let mut best: Option<(Vec<TaskId>, Vec<PointId>, f64)> = None;
+
+        for_each_topological_order(g, self.max_orders, |order| {
+            // Suffix minima of fastest durations along this order.
+            let mut suffix_min = vec![0.0; n + 1];
+            for i in (0..n).rev() {
+                suffix_min[i] = suffix_min[i + 1] + min_dur[order[i].index()];
+            }
+            let mut assign = vec![0usize; n];
+            let mut visited = 0usize;
+            // DFS over assignments with time pruning.
+            fn dfs(
+                g: &TaskGraph,
+                model: &RvModel,
+                order: &[TaskId],
+                suffix_min: &[f64],
+                d: f64,
+                m: usize,
+                pos: usize,
+                elapsed: f64,
+                assign: &mut Vec<usize>,
+                visited: &mut usize,
+                cap: usize,
+                best: &mut Option<(Vec<TaskId>, Vec<PointId>, f64)>,
+            ) {
+                if *visited >= cap {
+                    return;
+                }
+                if pos == order.len() {
+                    *visited += 1;
+                    let assignment: Vec<PointId> = {
+                        let mut v = vec![PointId(0); order.len()];
+                        for (p, &t) in order.iter().enumerate() {
+                            v[t.index()] = PointId(assign[p]);
+                        }
+                        v
+                    };
+                    let (cost, _) = battery_cost_of(g, order, &assignment, model);
+                    if best.as_ref().map_or(true, |&(_, _, c)| cost.value() < c) {
+                        *best = Some((order.to_vec(), assignment, cost.value()));
+                    }
+                    return;
+                }
+                let t = order[pos];
+                for j in 0..m {
+                    let dur = g.duration(t, PointId(j)).value();
+                    if elapsed + dur + suffix_min[pos + 1] <= d + 1e-9 {
+                        assign[pos] = j;
+                        dfs(
+                            g, model, order, suffix_min, d, m,
+                            pos + 1, elapsed + dur, assign, visited, cap, best,
+                        );
+                    }
+                }
+            }
+            dfs(
+                g,
+                &self.model,
+                order,
+                &suffix_min,
+                d,
+                m,
+                0,
+                0.0,
+                &mut assign,
+                &mut visited,
+                self.max_assignments_per_order,
+                &mut best,
+            );
+        });
+
+        match best {
+            Some((order, assignment, cost)) => Ok((Schedule::new(order, assignment), cost)),
+            None => Err(SchedulerError::DeadlineInfeasible {
+                fastest: batsched_taskgraph::analysis::min_makespan(g),
+                deadline,
+            }),
+        }
+    }
+}
+
+impl Scheduler for Exhaustive {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn schedule(&self, g: &TaskGraph, deadline: Minutes) -> Result<Schedule, SchedulerError> {
+        self.best(g, deadline).map(|(s, _)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batsched_battery::units::MilliAmps;
+    use batsched_taskgraph::DesignPoint;
+
+    fn dp(i: f64, d: f64) -> DesignPoint {
+        DesignPoint::new(MilliAmps::new(i), Minutes::new(d))
+    }
+
+    /// Source + two independent middles + sink, 2 points each.
+    fn small() -> TaskGraph {
+        let mut b = TaskGraph::builder();
+        let a = b.task("A", vec![dp(300.0, 1.0), dp(60.0, 2.5)]);
+        let x = b.task("X", vec![dp(500.0, 2.0), dp(90.0, 4.0)]);
+        let y = b.task("Y", vec![dp(150.0, 1.5), dp(40.0, 3.0)]);
+        let z = b.task("Z", vec![dp(250.0, 1.0), dp(50.0, 2.0)]);
+        b.edge(a, x).edge(a, y);
+        b.parents(z, [x, y]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_a_valid_optimum() {
+        let g = small();
+        let d = Minutes::new(9.0);
+        let (s, cost) = Exhaustive::default().best(&g, d).unwrap();
+        s.validate(&g, Some(d)).unwrap();
+        assert!(cost.is_finite() && cost > 0.0);
+    }
+
+    #[test]
+    fn optimum_never_beaten_by_heuristics() {
+        use crate::{ChowdhuryScaling, KhanVemuri, RakhmatovDp, Scheduler as _};
+        let g = small();
+        let model = RvModel::date05();
+        for d in [6.0, 8.0, 10.0, 11.5] {
+            let dl = Minutes::new(d);
+            let (_, opt) = Exhaustive::default().best(&g, dl).unwrap();
+            for algo in [
+                &KhanVemuri::paper() as &dyn Scheduler,
+                &RakhmatovDp::default(),
+                &ChowdhuryScaling,
+            ] {
+                let s = algo.schedule(&g, dl).unwrap();
+                let c = s.battery_cost(&g, &model).value();
+                assert!(
+                    c >= opt - 1e-6,
+                    "{} beat the optimum at d={d}: {c} < {opt}",
+                    algo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_deadline_errors() {
+        let g = small();
+        assert!(matches!(
+            Exhaustive::default().best(&g, Minutes::new(4.0)),
+            Err(SchedulerError::DeadlineInfeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn tight_deadline_forces_the_fast_assignment() {
+        let g = small();
+        // Fastest total is 5.5.
+        let (s, _) = Exhaustive::default().best(&g, Minutes::new(5.5)).unwrap();
+        assert!(s.assignment().iter().all(|p| p.index() == 0));
+    }
+}

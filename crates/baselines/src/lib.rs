@@ -1,0 +1,102 @@
+//! # batsched-baselines
+//!
+//! Reference schedulers the DATE'05 paper compares against or mentions:
+//!
+//! * [`rakhmatov::RakhmatovDp`] — the Table 4 baseline: dynamic-programming
+//!   design-point selection minimising total energy subject to the deadline
+//!   (a multiple-choice knapsack), followed by the greedy
+//!   `max{I_v, MeanI(G_v)}` sequencing of its eq. 5;
+//! * [`chowdhury::ChowdhuryScaling`] — the heuristic of Chowdhury &
+//!   Chakrabarti: scale voltages down starting from the last task;
+//! * [`exhaustive::Exhaustive`] — exact optimum by enumeration (small
+//!   graphs; ground truth for tests);
+//! * [`annealing::SimulatedAnnealing`] — the "too heavy for an embedded
+//!   platform" alternative the paper's related-work section mentions;
+//! * [`random_search::RandomSearch`] — sanity floor.
+//!
+//! All of them implement [`Scheduler`], so the comparison harness and tests
+//! can treat every algorithm uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annealing;
+pub mod bounds;
+pub mod chowdhury;
+pub mod exhaustive;
+pub mod random_search;
+pub mod rakhmatov;
+
+use batsched_battery::units::Minutes;
+use batsched_core::{Schedule, SchedulerError};
+use batsched_taskgraph::TaskGraph;
+
+pub use annealing::SimulatedAnnealing;
+pub use bounds::{ordering_bounds, OrderingBounds};
+pub use chowdhury::ChowdhuryScaling;
+pub use exhaustive::Exhaustive;
+pub use random_search::RandomSearch;
+pub use rakhmatov::RakhmatovDp;
+
+/// A deadline-constrained battery-aware scheduler.
+///
+/// Object-safe so harnesses can hold heterogeneous `Box<dyn Scheduler>`
+/// collections (C-OBJECT).
+pub trait Scheduler {
+    /// Short name for reports ("khan-vemuri", "rakhmatov-dp", …).
+    fn name(&self) -> &'static str;
+
+    /// Produces a valid schedule meeting `deadline`, or an error when the
+    /// instance is infeasible for this algorithm.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedulerError::DeadlineInfeasible`] when no design-point selection
+    /// can meet the deadline; other variants for invalid inputs.
+    fn schedule(&self, g: &TaskGraph, deadline: Minutes) -> Result<Schedule, SchedulerError>;
+}
+
+/// The paper's own algorithm behind the common [`Scheduler`] interface.
+#[derive(Debug, Clone, Default)]
+pub struct KhanVemuri {
+    /// Configuration forwarded to [`batsched_core::schedule()`].
+    pub config: batsched_core::SchedulerConfig,
+}
+
+impl KhanVemuri {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self { config: batsched_core::SchedulerConfig::paper() }
+    }
+}
+
+impl Scheduler for KhanVemuri {
+    fn name(&self) -> &'static str {
+        "khan-vemuri"
+    }
+
+    fn schedule(&self, g: &TaskGraph, deadline: Minutes) -> Result<Schedule, SchedulerError> {
+        batsched_core::schedule(g, deadline, &self.config).map(|s| s.schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batsched_taskgraph::paper::g2;
+
+    #[test]
+    fn schedulers_are_object_safe() {
+        let algos: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(KhanVemuri::paper()),
+            Box::new(RakhmatovDp::default()),
+            Box::new(ChowdhuryScaling::default()),
+        ];
+        let g = g2();
+        for a in &algos {
+            let s = a.schedule(&g, Minutes::new(75.0)).unwrap();
+            s.validate(&g, Some(Minutes::new(75.0))).unwrap();
+            assert!(!a.name().is_empty());
+        }
+    }
+}

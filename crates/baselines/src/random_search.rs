@@ -1,0 +1,139 @@
+//! Random search: the sanity floor every informed heuristic must beat.
+//!
+//! Draws random topological orders (uniform ready-task choice) paired with
+//! random *feasible* assignments (greedy repair toward faster points when a
+//! draw misses the deadline) and keeps the cheapest.
+
+use crate::Scheduler;
+use batsched_battery::rv::RvModel;
+use batsched_battery::units::Minutes;
+use batsched_core::{battery_cost_of, Schedule, SchedulerError};
+use batsched_taskgraph::{PointId, TaskGraph, TaskId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random sampler over schedules.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of samples drawn.
+    pub samples: usize,
+    /// Battery model used for scoring.
+    pub model: RvModel,
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        Self { seed: 0x5EED, samples: 500, model: RvModel::date05() }
+    }
+}
+
+/// A uniformly random topological order (uniform over ready choices, not
+/// over linear extensions — adequate for a baseline).
+pub fn random_topological_order<R: Rng + ?Sized>(g: &TaskGraph, rng: &mut R) -> Vec<TaskId> {
+    let n = g.task_count();
+    let mut indeg: Vec<usize> = g.task_ids().map(|t| g.preds(t).len()).collect();
+    let mut ready: Vec<TaskId> = g.task_ids().filter(|t| indeg[t.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let k = rng.gen_range(0..ready.len());
+        let t = ready.swap_remove(k);
+        order.push(t);
+        for &s in g.succs(t) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    order
+}
+
+impl Scheduler for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random-search"
+    }
+
+    /// # Errors
+    ///
+    /// [`SchedulerError::DeadlineInfeasible`] when the instance admits no
+    /// feasible assignment; [`SchedulerError::InvalidDeadline`] otherwise.
+    fn schedule(&self, g: &TaskGraph, deadline: Minutes) -> Result<Schedule, SchedulerError> {
+        if !(deadline.is_finite() && deadline.value() > 0.0) {
+            return Err(SchedulerError::InvalidDeadline { deadline });
+        }
+        let fastest = batsched_taskgraph::analysis::min_makespan(g);
+        if fastest.value() > deadline.value() + 1e-9 {
+            return Err(SchedulerError::DeadlineInfeasible { fastest, deadline });
+        }
+        let n = g.task_count();
+        let m = g.point_count();
+        let d = deadline.value();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<(Schedule, f64)> = None;
+
+        for _ in 0..self.samples {
+            let order = random_topological_order(g, &mut rng);
+            let mut assignment: Vec<PointId> =
+                (0..n).map(|_| PointId(rng.gen_range(0..m))).collect();
+            // Greedy repair: promote random tasks toward faster columns
+            // until the draw fits the deadline (always terminates because
+            // the all-fastest assignment is feasible).
+            let mut total: f64 = g
+                .task_ids()
+                .map(|t| g.duration(t, assignment[t.index()]).value())
+                .sum();
+            while total > d + 1e-9 {
+                let t = TaskId(rng.gen_range(0..n));
+                let col = assignment[t.index()].index();
+                if col > 0 {
+                    total += g.duration(t, PointId(col - 1)).value()
+                        - g.duration(t, PointId(col)).value();
+                    assignment[t.index()] = PointId(col - 1);
+                }
+            }
+            let (cost, _) = battery_cost_of(g, &order, &assignment, &self.model);
+            if best.as_ref().map_or(true, |&(_, c)| cost.value() < c) {
+                best = Some((Schedule::new(order, assignment), cost.value()));
+            }
+        }
+        Ok(best.expect("samples >= 1").0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batsched_taskgraph::paper::g2;
+    use batsched_taskgraph::topo::is_topological;
+
+    #[test]
+    fn random_orders_are_topological() {
+        let g = g2();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let o = random_topological_order(&g, &mut rng);
+            assert!(is_topological(&g, &o));
+        }
+    }
+
+    #[test]
+    fn results_are_valid_and_deterministic() {
+        let g = g2();
+        let d = Minutes::new(75.0);
+        let a = RandomSearch::default().schedule(&g, d).unwrap();
+        a.validate(&g, Some(d)).unwrap();
+        let b = RandomSearch::default().schedule(&g, d).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_impossible_deadline() {
+        let g = g2();
+        assert!(matches!(
+            RandomSearch::default().schedule(&g, Minutes::new(10.0)),
+            Err(SchedulerError::DeadlineInfeasible { .. })
+        ));
+    }
+}

@@ -1,0 +1,184 @@
+//! Battery analysis utilities: the quantitative face of the §3 effects.
+//!
+//! These helpers answer the capacity-planning questions a schedule designer
+//! actually asks — *how much usable capacity do I have at this discharge
+//! rate?*, *how much does a rest period buy back?* — and back the
+//! `battery_recovery` example and the extension experiments.
+
+use crate::model::{peak_apparent_charge, BatteryModel};
+use crate::profile::{LoadProfile, ProfileError};
+use crate::units::{MilliAmpMinutes, MilliAmps, Minutes};
+use serde::{Deserialize, Serialize};
+
+/// One row of a rate-capacity table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatePoint {
+    /// Constant discharge current.
+    pub current: MilliAmps,
+    /// Time until the battery dies at this current.
+    pub lifetime: Minutes,
+    /// Charge actually delivered by then (`I·lifetime`).
+    pub delivered: MilliAmpMinutes,
+    /// Delivered charge as a fraction of rated capacity.
+    pub utilisation: f64,
+}
+
+/// Sweeps constant-current discharges and reports the effective (usable)
+/// capacity at each rate — the classic rate-capacity curve. Currents that
+/// do not kill the battery within `horizon` are skipped.
+pub fn rate_capacity_curve<M: BatteryModel + ?Sized>(
+    model: &M,
+    capacity: MilliAmpMinutes,
+    currents: &[MilliAmps],
+    horizon: Minutes,
+) -> Vec<RatePoint> {
+    currents
+        .iter()
+        .filter_map(|&i| {
+            if !(i.is_finite() && i.value() > 0.0) {
+                return None;
+            }
+            let profile =
+                LoadProfile::from_steps([(horizon, i)]).expect("positive duration and current");
+            let lifetime = model.lifetime(&profile, capacity)?;
+            let delivered = i * lifetime;
+            Some(RatePoint {
+                current: i,
+                lifetime,
+                delivered,
+                utilisation: delivered.value() / capacity.value(),
+            })
+        })
+        .collect()
+}
+
+/// Charge recovered by inserting a rest of `rest` minutes after `burst`:
+/// the drop in apparent charge between measuring at the burst's end and
+/// measuring after the rest. Non-negative for any sane model.
+///
+/// # Errors
+///
+/// Propagates [`ProfileError`] for invalid burst parameters.
+pub fn recovery_gain<M: BatteryModel + ?Sized>(
+    model: &M,
+    burst_current: MilliAmps,
+    burst_duration: Minutes,
+    rest: Minutes,
+) -> Result<MilliAmpMinutes, ProfileError> {
+    let mut p = LoadProfile::new();
+    p.push(burst_duration, burst_current)?;
+    let at_end = model.apparent_charge(&p, burst_duration);
+    let rested = model.apparent_charge(&p, burst_duration + rest);
+    Ok(at_end - rested)
+}
+
+/// The minimum rated capacity that survives `profile` under `model` — the
+/// peak apparent charge, plus a caller-chosen safety margin fraction.
+pub fn required_capacity<M: BatteryModel + ?Sized>(
+    model: &M,
+    profile: &LoadProfile,
+    margin: f64,
+) -> MilliAmpMinutes {
+    let (_, peak) = peak_apparent_charge(model, profile, 64);
+    peak * (1.0 + margin.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::CoulombCounter;
+    use crate::rv::RvModel;
+
+    #[test]
+    fn rate_capacity_curve_shows_falling_utilisation() {
+        let m = RvModel::date05();
+        let cap = MilliAmpMinutes::new(20_000.0);
+        let currents: Vec<MilliAmps> =
+            [50.0, 100.0, 200.0, 400.0, 800.0].map(MilliAmps::new).to_vec();
+        let curve = rate_capacity_curve(&m, cap, &currents, Minutes::new(100_000.0));
+        assert_eq!(curve.len(), 5);
+        for w in curve.windows(2) {
+            assert!(w[1].lifetime.value() < w[0].lifetime.value(), "heavier dies sooner");
+            assert!(
+                w[1].utilisation <= w[0].utilisation + 1e-9,
+                "utilisation falls with rate: {} then {}",
+                w[0].utilisation,
+                w[1].utilisation
+            );
+        }
+        for p in &curve {
+            assert!(p.utilisation > 0.0 && p.utilisation <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ideal_battery_has_flat_utilisation() {
+        let m = CoulombCounter::new();
+        let cap = MilliAmpMinutes::new(1_000.0);
+        let curve = rate_capacity_curve(
+            &m,
+            cap,
+            &[MilliAmps::new(10.0), MilliAmps::new(100.0)],
+            Minutes::new(1_000.0),
+        );
+        for p in &curve {
+            assert!((p.utilisation - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn surviving_currents_are_skipped() {
+        let m = RvModel::date05();
+        let curve = rate_capacity_curve(
+            &m,
+            MilliAmpMinutes::new(1e9),
+            &[MilliAmps::new(10.0)],
+            Minutes::new(100.0),
+        );
+        assert!(curve.is_empty());
+    }
+
+    #[test]
+    fn recovery_gain_grows_with_rest_then_saturates() {
+        let m = RvModel::date05();
+        let gain = |rest: f64| {
+            recovery_gain(&m, MilliAmps::new(500.0), Minutes::new(5.0), Minutes::new(rest))
+                .unwrap()
+                .value()
+        };
+        let g5 = gain(5.0);
+        let g20 = gain(20.0);
+        let g200 = gain(200.0);
+        assert!(g5 > 0.0);
+        assert!(g20 > g5);
+        assert!(g200 >= g20);
+        // Saturation: the total unavailable charge is the ceiling.
+        let mut p = LoadProfile::new();
+        p.push(Minutes::new(5.0), MilliAmps::new(500.0)).unwrap();
+        let ceiling = m.apparent_charge(&p, Minutes::new(5.0)).value() - p.direct_charge().value();
+        assert!(g200 <= ceiling + 1e-6);
+        assert!((g200 - ceiling).abs() / ceiling < 0.01, "200 min is essentially saturated");
+    }
+
+    #[test]
+    fn recovery_gain_is_zero_for_ideal_batteries() {
+        let m = CoulombCounter::new();
+        let g = recovery_gain(&m, MilliAmps::new(500.0), Minutes::new(5.0), Minutes::new(60.0))
+            .unwrap();
+        assert_eq!(g.value(), 0.0);
+    }
+
+    #[test]
+    fn required_capacity_survives_by_construction() {
+        let m = RvModel::date05();
+        let p = LoadProfile::from_steps([
+            (Minutes::new(5.0), MilliAmps::new(700.0)),
+            (Minutes::new(30.0), MilliAmps::new(30.0)),
+        ])
+        .unwrap();
+        let cap = required_capacity(&m, &p, 0.01);
+        assert_eq!(m.lifetime(&p, cap), None, "margin capacity must survive");
+        let tight = required_capacity(&m, &p, 0.0) * 0.98;
+        assert!(m.lifetime(&p, tight).is_some(), "2% under peak must die");
+    }
+}

@@ -1,0 +1,73 @@
+//! Ideal battery: a coulomb counter with no rate or recovery effects.
+//!
+//! Used as the "plain energy minimisation" view of a schedule — the model
+//! implicitly assumed by classical DVS work. Comparing schedules under
+//! [`CoulombCounter`] vs [`crate::rv::RvModel`] is exactly the gap the
+//! DATE'05 paper exploits.
+
+use crate::model::BatteryModel;
+use crate::profile::LoadProfile;
+use crate::units::{MilliAmpMinutes, Minutes};
+use serde::{Deserialize, Serialize};
+
+/// Ideal integrating battery model: apparent charge equals delivered charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CoulombCounter;
+
+impl CoulombCounter {
+    /// Creates the (stateless) ideal model.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BatteryModel for CoulombCounter {
+    fn apparent_charge(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes {
+        profile.direct_charge_until(at)
+    }
+
+    fn name(&self) -> &'static str {
+        "coulomb-counter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MilliAmps;
+
+    #[test]
+    fn apparent_equals_direct() {
+        let p = LoadProfile::from_steps([
+            (Minutes::new(5.0), MilliAmps::new(100.0)),
+            (Minutes::new(5.0), MilliAmps::new(300.0)),
+        ])
+        .unwrap();
+        let m = CoulombCounter::new();
+        assert_eq!(m.apparent_charge(&p, p.end()), p.direct_charge());
+        assert_eq!(
+            m.apparent_charge(&p, Minutes::new(5.0)),
+            MilliAmpMinutes::new(500.0)
+        );
+    }
+
+    #[test]
+    fn order_does_not_matter_for_an_ideal_battery() {
+        let p = LoadProfile::from_steps([
+            (Minutes::new(5.0), MilliAmps::new(100.0)),
+            (Minutes::new(5.0), MilliAmps::new(300.0)),
+        ])
+        .unwrap();
+        let m = CoulombCounter::new();
+        let r = p.reversed();
+        assert_eq!(m.apparent_charge(&p, p.end()), m.apparent_charge(&r, r.end()));
+    }
+
+    #[test]
+    fn lifetime_is_exact_for_constant_load() {
+        let p = LoadProfile::from_steps([(Minutes::new(100.0), MilliAmps::new(10.0))]).unwrap();
+        let m = CoulombCounter::new();
+        let lt = m.lifetime(&p, MilliAmpMinutes::new(500.0)).unwrap();
+        assert!((lt.value() - 50.0).abs() < 1e-6, "died at {lt}");
+    }
+}

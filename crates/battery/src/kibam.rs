@@ -1,0 +1,281 @@
+//! KiBaM — the Kinetic Battery Model (Manwell & McGowan).
+//!
+//! A two-well model: charge is split between an *available* well (fraction
+//! `c`) that feeds the load directly and a *bound* well that trickles into
+//! the available well at rate `k'` proportional to the head difference.
+//! KiBaM exhibits both the rate-capacity effect (heavy loads drain the
+//! available well faster than the bound well refills it) and the recovery
+//! effect (the wells re-equilibrate at rest), making it an independent
+//! cross-check on [`crate::rv::RvModel`] — in fact the RV diffusion model is
+//! known to subsume KiBaM as a first-order approximation.
+//!
+//! The state is integrated per profile interval with an exact closed-form
+//! solution of the two-well ODE (no numeric drift):
+//!
+//! ```text
+//! y1' = −I + k (h2 − h1),   y2' = −k (h2 − h1)
+//! h1 = y1 / c,  h2 = y2 / (1 − c)
+//! ```
+
+use crate::model::BatteryModel;
+use crate::profile::LoadProfile;
+use crate::units::{MilliAmpMinutes, Minutes};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised when constructing a [`KibamModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KibamError {
+    /// `c` must lie strictly between 0 and 1.
+    InvalidCapacityFraction,
+    /// `k` must be positive and finite.
+    InvalidRate,
+    /// Capacity must be positive and finite.
+    InvalidCapacity,
+}
+
+impl fmt::Display for KibamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidCapacityFraction => write!(f, "capacity fraction c must be in (0, 1)"),
+            Self::InvalidRate => write!(f, "rate constant k must be positive and finite"),
+            Self::InvalidCapacity => write!(f, "capacity must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for KibamError {}
+
+/// Kinetic battery model with capacity fraction `c`, rate constant `k`
+/// (1/min) and total capacity `alpha`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KibamModel {
+    c: f64,
+    k: f64,
+    alpha: MilliAmpMinutes,
+}
+
+/// Two-well state: `(available y1, bound y2)` in mA·min.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Wells {
+    y1: f64,
+    y2: f64,
+}
+
+impl KibamModel {
+    /// Creates a KiBaM with available-charge fraction `c ∈ (0,1)`, diffusion
+    /// rate `k > 0` (per minute) and rated capacity `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// One of [`KibamError`]'s variants when a parameter is out of range.
+    pub fn new(c: f64, k: f64, alpha: MilliAmpMinutes) -> Result<Self, KibamError> {
+        if !(c.is_finite() && c > 0.0 && c < 1.0) {
+            return Err(KibamError::InvalidCapacityFraction);
+        }
+        if !(k.is_finite() && k > 0.0) {
+            return Err(KibamError::InvalidRate);
+        }
+        if !(alpha.is_finite() && alpha.value() > 0.0) {
+            return Err(KibamError::InvalidCapacity);
+        }
+        Ok(Self { c, k, alpha })
+    }
+
+    /// Capacity fraction `c`.
+    pub fn capacity_fraction(&self) -> f64 {
+        self.c
+    }
+
+    /// Rate constant `k` (1/min).
+    pub fn rate(&self) -> f64 {
+        self.k
+    }
+
+    /// Rated capacity `alpha`.
+    pub fn capacity(&self) -> MilliAmpMinutes {
+        self.alpha
+    }
+
+    /// Integrates the two-well ODE from `wells` for `dt` minutes under
+    /// constant current `i`. Exact solution via the substitution
+    /// `δ = h1 − h2`, which obeys `δ' = −k' δ − I/c` with
+    /// `k' = k (1/c + 1/(1−c))`.
+    fn step(&self, wells: Wells, i: f64, dt: f64) -> Wells {
+        let c = self.c;
+        let kp = self.k * (1.0 / c + 1.0 / (1.0 - c));
+        let h1 = wells.y1 / c;
+        let h2 = wells.y2 / (1.0 - c);
+        let delta0 = h1 - h2;
+        // δ(t) = (δ0 + I/(c·k')) e^{−k' t} − I/(c·k')
+        let forced = i / (c * kp);
+        let delta_t = (delta0 + forced) * (-kp * dt).exp() - forced;
+        // Total charge just integrates the load.
+        let total = wells.y1 + wells.y2 - i * dt;
+        // Recover y1, y2 from total and head difference:
+        // y1 = c·(total + (1−c)·δ), y2 = (1−c)·(total − c·δ).
+        let y1 = c * (total + (1.0 - c) * delta_t);
+        let y2 = (1.0 - c) * (total - c * delta_t);
+        Wells { y1, y2 }
+    }
+
+    /// Runs the profile until `at`, returning the wells at that instant.
+    fn wells_at(&self, profile: &LoadProfile, at: Minutes) -> Wells {
+        let a = self.alpha.value();
+        let mut wells = Wells { y1: self.c * a, y2: (1.0 - self.c) * a };
+        let t_end = at.value();
+        let mut clock = 0.0;
+        for iv in profile.intervals() {
+            let start = iv.start.value();
+            if start >= t_end {
+                break;
+            }
+            if start > clock {
+                // Rest gap before this interval.
+                let dt = (start - clock).min(t_end - clock);
+                wells = self.step(wells, 0.0, dt);
+                clock += dt;
+                if clock >= t_end {
+                    return wells;
+                }
+            }
+            let dt = (iv.end().value().min(t_end) - start).max(0.0);
+            wells = self.step(wells, iv.current.value(), dt);
+            clock = start + dt;
+        }
+        if t_end > clock {
+            wells = self.step(wells, 0.0, t_end - clock);
+        }
+        wells
+    }
+
+    /// Available-well head `h1` at `at`, normalised so that a fresh battery
+    /// reads `alpha` and a dead one reads 0.
+    pub fn available_head(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes {
+        MilliAmpMinutes::new(self.wells_at(profile, at).y1 / self.c)
+    }
+}
+
+impl BatteryModel for KibamModel {
+    /// Apparent charge := `alpha − h1` — hits `alpha` exactly when the
+    /// available well empties, which is KiBaM's death condition.
+    fn apparent_charge(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes {
+        self.alpha - self.available_head(profile, at)
+    }
+
+    fn name(&self) -> &'static str {
+        "kibam"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MilliAmps;
+
+    fn model() -> KibamModel {
+        KibamModel::new(0.5, 0.05, MilliAmpMinutes::new(10_000.0)).unwrap()
+    }
+
+    fn min(v: f64) -> Minutes {
+        Minutes::new(v)
+    }
+    fn ma(v: f64) -> MilliAmps {
+        MilliAmps::new(v)
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let cap = MilliAmpMinutes::new(100.0);
+        assert!(KibamModel::new(0.0, 0.1, cap).is_err());
+        assert!(KibamModel::new(1.0, 0.1, cap).is_err());
+        assert!(KibamModel::new(0.5, 0.0, cap).is_err());
+        assert!(KibamModel::new(0.5, 0.1, MilliAmpMinutes::ZERO).is_err());
+        assert!(KibamModel::new(0.5, 0.1, cap).is_ok());
+    }
+
+    #[test]
+    fn fresh_battery_reads_zero_apparent_charge() {
+        let m = model();
+        let p = LoadProfile::new();
+        assert!(m.apparent_charge(&p, Minutes::ZERO).value().abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_conservation() {
+        // Total well content must equal alpha − delivered charge.
+        let m = model();
+        let p = LoadProfile::from_steps([(min(10.0), ma(100.0)), (min(5.0), ma(300.0))]).unwrap();
+        let wells = m.wells_at(&p, p.end());
+        let total = wells.y1 + wells.y2;
+        let expect = m.capacity().value() - p.direct_charge().value();
+        assert!((total - expect).abs() < 1e-6, "total {total} vs {expect}");
+    }
+
+    #[test]
+    fn apparent_exceeds_direct_under_load() {
+        let m = model();
+        let p = LoadProfile::from_steps([(min(10.0), ma(400.0))]).unwrap();
+        let apparent = m.apparent_charge(&p, p.end()).value();
+        assert!(apparent > p.direct_charge().value());
+    }
+
+    #[test]
+    fn recovery_during_rest() {
+        let m = model();
+        let p = LoadProfile::from_steps([(min(10.0), ma(400.0))]).unwrap();
+        let at_end = m.apparent_charge(&p, min(10.0)).value();
+        let rested = m.apparent_charge(&p, min(60.0)).value();
+        assert!(rested < at_end, "rest must recover capacity");
+        // Never below the delivered charge.
+        assert!(rested >= p.direct_charge().value() - 1e-6);
+    }
+
+    #[test]
+    fn equilibrium_long_after_load_equals_direct_charge() {
+        let m = model();
+        let p = LoadProfile::from_steps([(min(10.0), ma(400.0))]).unwrap();
+        let rested = m.apparent_charge(&p, min(10_000.0)).value();
+        assert!((rested - p.direct_charge().value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn order_sensitivity_matches_rv_intuition() {
+        let m = model();
+        let late = LoadProfile::from_steps([(min(20.0), ma(50.0)), (min(5.0), ma(500.0))]).unwrap();
+        let early = late.reversed();
+        let a = m.apparent_charge(&early, early.end()).value();
+        let b = m.apparent_charge(&late, late.end()).value();
+        assert!(a < b, "heavy-first {a} should beat heavy-last {b}");
+    }
+
+    #[test]
+    fn lifetime_is_shorter_at_heavier_load() {
+        let m = model();
+        let cap = m.capacity();
+        let heavy = LoadProfile::from_steps([(min(10_000.0), ma(500.0))]).unwrap();
+        let light = LoadProfile::from_steps([(min(10_000.0), ma(100.0))]).unwrap();
+        let lt_heavy = m.lifetime(&heavy, cap).unwrap().value();
+        let lt_light = m.lifetime(&light, cap).unwrap().value();
+        assert!(lt_heavy < lt_light);
+        // Heavier-than-rated load dies before the ideal-battery prediction.
+        assert!(lt_heavy < cap.value() / 500.0);
+    }
+
+    #[test]
+    fn step_through_gap_equals_explicit_rest() {
+        let m = model();
+        let mut with_gap = LoadProfile::new();
+        with_gap.push(min(5.0), ma(300.0)).unwrap();
+        with_gap.push_rest(min(7.0)).unwrap();
+        with_gap.push(min(5.0), ma(300.0)).unwrap();
+
+        let mut explicit = LoadProfile::new();
+        explicit.insert(min(0.0), min(5.0), ma(300.0)).unwrap();
+        explicit.insert(min(12.0), min(5.0), ma(300.0)).unwrap();
+
+        let a = m.apparent_charge(&with_gap, with_gap.end()).value();
+        let b = m.apparent_charge(&explicit, explicit.end()).value();
+        assert!((a - b).abs() < 1e-9);
+    }
+}

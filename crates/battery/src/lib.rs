@@ -1,0 +1,93 @@
+//! # batsched-battery
+//!
+//! Analytical battery models and discharge-profile machinery for
+//! battery-aware task scheduling — the substrate of the DATE'05 paper
+//! *"An Iterative Algorithm for Battery-Aware Task Scheduling on Portable
+//! Computing Platforms"* (Khan & Vemuri).
+//!
+//! The centrepiece is the [Rakhmatov–Vrudhula diffusion model](rv::RvModel)
+//! (the paper's equation 1), which the scheduler uses as its cost function.
+//! Three further models — an [ideal coulomb counter](ideal::CoulombCounter),
+//! [Peukert's law](peukert::PeukertModel) and the
+//! [kinetic battery model](kibam::KibamModel) — support the related-work
+//! baselines and model-sensitivity ablations.
+//!
+//! ```
+//! use batsched_battery::prelude::*;
+//!
+//! // A 500 mA burst followed by a light 20 mA tail...
+//! let profile = LoadProfile::from_steps([
+//!     (Minutes::new(5.0), MilliAmps::new(500.0)),
+//!     (Minutes::new(20.0), MilliAmps::new(20.0)),
+//! ])?;
+//! let rv = RvModel::date05();
+//! let sigma = rv.apparent_charge(&profile, profile.end());
+//! // ...always costs more than the charge actually delivered:
+//! assert!(sigma.value() > profile.direct_charge().value());
+//! # Ok::<(), batsched_battery::profile::ProfileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod ideal;
+pub mod kibam;
+pub mod model;
+pub mod peukert;
+pub mod profile;
+pub mod rv;
+pub mod units;
+
+pub use ideal::CoulombCounter;
+pub use kibam::KibamModel;
+pub use model::BatteryModel;
+pub use peukert::PeukertModel;
+pub use profile::{Interval, LoadProfile, ProfileError};
+pub use rv::RvModel;
+pub use units::{Energy, MilliAmpMinutes, MilliAmps, Minutes, Volts};
+
+/// Convenient glob-import of the types almost every user needs.
+pub mod prelude {
+    pub use crate::model::BatteryModel;
+    pub use crate::profile::{Interval, LoadProfile};
+    pub use crate::rv::RvModel;
+    pub use crate::units::{Energy, MilliAmpMinutes, MilliAmps, Minutes, Volts};
+}
+
+#[cfg(test)]
+mod trait_object_tests {
+    use super::*;
+
+    #[test]
+    fn models_are_object_safe_and_comparable() {
+        let models: Vec<Box<dyn BatteryModel>> = vec![
+            Box::new(CoulombCounter::new()),
+            Box::new(RvModel::date05()),
+            Box::new(PeukertModel::lithium_ion(MilliAmps::new(100.0))),
+            Box::new(KibamModel::new(0.5, 0.05, MilliAmpMinutes::new(10_000.0)).unwrap()),
+        ];
+        let p = LoadProfile::from_steps([(Minutes::new(10.0), MilliAmps::new(200.0))]).unwrap();
+        for m in &models {
+            let q = m.apparent_charge(&p, p.end());
+            assert!(q.is_finite() && q.is_non_negative(), "{} misbehaved", m.name());
+        }
+        // The ideal battery is the cheapest view of any profile.
+        let ideal = models[0].apparent_charge(&p, p.end()).value();
+        let rv = models[1].apparent_charge(&p, p.end()).value();
+        assert!(rv >= ideal);
+    }
+
+    #[test]
+    fn reference_and_box_forwarding() {
+        let m = RvModel::date05();
+        let p = LoadProfile::from_steps([(Minutes::new(5.0), MilliAmps::new(50.0))]).unwrap();
+        let by_ref: &dyn BatteryModel = &m;
+        let boxed: Box<dyn BatteryModel> = Box::new(m.clone());
+        assert_eq!(
+            by_ref.apparent_charge(&p, p.end()),
+            boxed.apparent_charge(&p, p.end())
+        );
+        assert_eq!((&m).name(), "rakhmatov-vrudhula");
+    }
+}

@@ -1,0 +1,164 @@
+//! The common interface every battery model implements.
+
+use crate::profile::LoadProfile;
+use crate::units::{MilliAmpMinutes, Minutes};
+
+/// A battery model maps a discharge profile to an *apparent charge* — the
+/// amount of rated capacity the profile has consumed by a given instant.
+///
+/// For an ideal battery the apparent charge is just the delivered charge
+/// `∫ I dt`; non-ideal models add a load-dependent penalty (rate-capacity
+/// effect) that may later shrink again while the battery rests (recovery
+/// effect). The battery is empty at the first instant the apparent charge
+/// reaches the rated capacity `α`.
+///
+/// The trait is object-safe so schedulers can hold a `&dyn BatteryModel` and
+/// be tested against every model (C-OBJECT).
+pub trait BatteryModel {
+    /// Apparent charge consumed by time `at`.
+    ///
+    /// Intervals that start after `at` are ignored and an interval in
+    /// progress at `at` is clipped. Implementations must return a
+    /// non-negative, finite value for valid profiles.
+    fn apparent_charge(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes;
+
+    /// Short human-readable model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The instant the battery of rated capacity `capacity` dies under
+    /// `profile`, or `None` when it survives the whole profile.
+    ///
+    /// The default implementation scans `[0, profile.end()]` with
+    /// [`LIFETIME_SCAN_STEPS`] samples and refines the first crossing by
+    /// bisection, which is correct for any model whose apparent charge is
+    /// continuous in time and increasing while current flows.
+    fn lifetime(&self, profile: &LoadProfile, capacity: MilliAmpMinutes) -> Option<Minutes> {
+        let end = profile.end();
+        if end == Minutes::ZERO {
+            return None;
+        }
+        let dead_at = |t: Minutes| self.apparent_charge(profile, t).value() >= capacity.value();
+        if dead_at(Minutes::ZERO) {
+            return Some(Minutes::ZERO);
+        }
+        let step = end.value() / LIFETIME_SCAN_STEPS as f64;
+        let mut prev = Minutes::ZERO;
+        for k in 1..=LIFETIME_SCAN_STEPS {
+            let t = Minutes::new(step * k as f64);
+            if dead_at(t) {
+                // Bisect (prev, t] down to a fine tolerance.
+                let mut lo = prev;
+                let mut hi = t;
+                for _ in 0..BISECTION_ITERS {
+                    let mid = Minutes::new(0.5 * (lo.value() + hi.value()));
+                    if dead_at(mid) {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                return Some(hi);
+            }
+            prev = t;
+        }
+        None
+    }
+}
+
+/// Number of scan samples used by the default [`BatteryModel::lifetime`].
+pub const LIFETIME_SCAN_STEPS: usize = 4096;
+
+/// Bisection refinement iterations for the default [`BatteryModel::lifetime`].
+pub const BISECTION_ITERS: usize = 48;
+
+impl<M: BatteryModel + ?Sized> BatteryModel for &M {
+    fn apparent_charge(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes {
+        (**self).apparent_charge(profile, at)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn lifetime(&self, profile: &LoadProfile, capacity: MilliAmpMinutes) -> Option<Minutes> {
+        (**self).lifetime(profile, capacity)
+    }
+}
+
+impl<M: BatteryModel + ?Sized> BatteryModel for Box<M> {
+    fn apparent_charge(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes {
+        (**self).apparent_charge(profile, at)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn lifetime(&self, profile: &LoadProfile, capacity: MilliAmpMinutes) -> Option<Minutes> {
+        (**self).lifetime(profile, capacity)
+    }
+}
+
+/// The peak apparent charge over a mission and when it occurs — the
+/// *minimum battery capacity that survives the profile*. Because of the
+/// recovery effect the apparent charge is not monotone: it can crest right
+/// after a heavy interval and relax below that crest later, and a battery
+/// dies at the FIRST crossing of its capacity. Computed by dense sampling
+/// (`samples_per_interval` points inside every interval plus every
+/// boundary), which bounds the error by the model's smoothness over one
+/// sub-interval.
+pub fn peak_apparent_charge<M: BatteryModel + ?Sized>(
+    model: &M,
+    profile: &LoadProfile,
+    samples_per_interval: usize,
+) -> (Minutes, MilliAmpMinutes) {
+    let per = samples_per_interval.max(1);
+    let mut best_t = Minutes::ZERO;
+    let mut best = MilliAmpMinutes::ZERO;
+    let mut consider = |t: Minutes| {
+        let q = model.apparent_charge(profile, t);
+        if q.value() > best.value() {
+            best = q;
+            best_t = t;
+        }
+    };
+    for iv in profile.intervals() {
+        for k in 1..=per {
+            let t = iv.start + iv.duration * (k as f64 / per as f64);
+            consider(t);
+        }
+    }
+    consider(profile.end());
+    (best_t, best)
+}
+
+#[cfg(test)]
+mod peak_tests {
+    use super::*;
+    use crate::rv::RvModel;
+    use crate::units::MilliAmps;
+
+    #[test]
+    fn peak_can_exceed_the_final_sigma() {
+        // Heavy burst then a long light tail: sigma crests at the end of
+        // the burst and relaxes during the tail.
+        let m = RvModel::date05();
+        let p = LoadProfile::from_steps([
+            (Minutes::new(5.0), MilliAmps::new(800.0)),
+            (Minutes::new(40.0), MilliAmps::new(10.0)),
+        ])
+        .unwrap();
+        let (at, peak) = peak_apparent_charge(&m, &p, 32);
+        let final_sigma = m.apparent_charge(&p, p.end());
+        assert!(peak.value() > final_sigma.value(), "peak {peak} vs final {final_sigma}");
+        assert!(at.value() <= 10.0, "crest sits near the burst end, got {at}");
+        // A battery of exactly the peak survives; 1% less does not.
+        assert_eq!(m.lifetime(&p, peak * 1.0001), None);
+        assert!(m.lifetime(&p, peak * 0.99).is_some());
+    }
+
+    #[test]
+    fn peak_equals_final_for_monotone_profiles() {
+        let m = RvModel::date05();
+        let p = LoadProfile::from_steps([(Minutes::new(10.0), MilliAmps::new(100.0))]).unwrap();
+        let (_, peak) = peak_apparent_charge(&m, &p, 64);
+        let final_sigma = m.apparent_charge(&p, p.end());
+        assert!((peak.value() - final_sigma.value()).abs() < 1e-9);
+    }
+}

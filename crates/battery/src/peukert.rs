@@ -1,0 +1,179 @@
+//! Peukert's-law battery model.
+//!
+//! The empirical model used by Luo & Jha (DAC 2001) and much pre-RV
+//! battery-aware scheduling work: at discharge current `I` the battery
+//! behaves as if it delivered `(I / I_ref)^{p−1}` times its charge, where `p`
+//! is the Peukert exponent (≈ 1.0–1.3 for Li-ion, higher for lead-acid).
+//! Unlike [`crate::rv::RvModel`], Peukert's law has a rate-capacity effect
+//! but **no recovery effect** — interval order never matters, which is why
+//! the DATE'05 paper prefers the diffusion model.
+
+use crate::model::BatteryModel;
+use crate::profile::LoadProfile;
+use crate::units::{MilliAmpMinutes, MilliAmps, Minutes};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised when constructing a [`PeukertModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeukertError {
+    /// The exponent must be `>= 1` and finite.
+    InvalidExponent,
+    /// The reference current must be positive and finite.
+    InvalidReferenceCurrent,
+}
+
+impl fmt::Display for PeukertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidExponent => write!(f, "peukert exponent must be >= 1 and finite"),
+            Self::InvalidReferenceCurrent => {
+                write!(f, "reference current must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PeukertError {}
+
+/// Peukert's-law model: apparent charge `Σ I_k (I_k / I_ref)^{p−1} Δ_k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeukertModel {
+    exponent: f64,
+    reference: MilliAmps,
+}
+
+impl PeukertModel {
+    /// Creates a model with Peukert exponent `exponent` and the nominal
+    /// (rated) discharge current `reference`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PeukertError::InvalidExponent`] when `exponent < 1` or non-finite.
+    /// * [`PeukertError::InvalidReferenceCurrent`] when `reference <= 0`.
+    pub fn new(exponent: f64, reference: MilliAmps) -> Result<Self, PeukertError> {
+        if !(exponent.is_finite() && exponent >= 1.0) {
+            return Err(PeukertError::InvalidExponent);
+        }
+        if !(reference.is_finite() && reference.value() > 0.0) {
+            return Err(PeukertError::InvalidReferenceCurrent);
+        }
+        Ok(Self { exponent, reference })
+    }
+
+    /// A typical Li-ion configuration (`p = 1.05`) rated at `reference`.
+    pub fn lithium_ion(reference: MilliAmps) -> Self {
+        Self { exponent: 1.05, reference }
+    }
+
+    /// The Peukert exponent `p`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// The nominal discharge current the capacity is rated at.
+    pub fn reference(&self) -> MilliAmps {
+        self.reference
+    }
+}
+
+impl BatteryModel for PeukertModel {
+    fn apparent_charge(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes {
+        let t = at.value();
+        let mut total = 0.0;
+        for iv in profile.intervals() {
+            let start = iv.start.value();
+            if start >= t {
+                break;
+            }
+            let delta = iv.end().value().min(t) - start;
+            let i = iv.current.value();
+            if i > 0.0 {
+                total += i * (i / self.reference.value()).powf(self.exponent - 1.0) * delta;
+            }
+        }
+        MilliAmpMinutes::new(total)
+    }
+
+    fn name(&self) -> &'static str {
+        "peukert"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ma(v: f64) -> MilliAmps {
+        MilliAmps::new(v)
+    }
+    fn min(v: f64) -> Minutes {
+        Minutes::new(v)
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(PeukertModel::new(0.9, ma(100.0)).is_err());
+        assert!(PeukertModel::new(f64::NAN, ma(100.0)).is_err());
+        assert!(PeukertModel::new(1.2, ma(0.0)).is_err());
+        assert!(PeukertModel::new(1.2, ma(-5.0)).is_err());
+        let m = PeukertModel::new(1.2, ma(100.0)).unwrap();
+        assert_eq!(m.exponent(), 1.2);
+        assert_eq!(m.reference(), ma(100.0));
+    }
+
+    #[test]
+    fn exponent_one_is_the_ideal_battery() {
+        let m = PeukertModel::new(1.0, ma(100.0)).unwrap();
+        let p = LoadProfile::from_steps([(min(5.0), ma(250.0)), (min(5.0), ma(50.0))]).unwrap();
+        assert_eq!(m.apparent_charge(&p, p.end()), p.direct_charge());
+    }
+
+    #[test]
+    fn at_reference_current_the_model_is_exact() {
+        let m = PeukertModel::new(1.3, ma(100.0)).unwrap();
+        let p = LoadProfile::from_steps([(min(10.0), ma(100.0))]).unwrap();
+        assert!(
+            (m.apparent_charge(&p, p.end()).value() - 1000.0).abs() < 1e-9,
+            "rated current draws exactly the rated charge"
+        );
+    }
+
+    #[test]
+    fn heavy_currents_are_penalised_light_currents_rewarded() {
+        let m = PeukertModel::new(1.2, ma(100.0)).unwrap();
+        let heavy = LoadProfile::from_steps([(min(10.0), ma(400.0))]).unwrap();
+        let light = LoadProfile::from_steps([(min(10.0), ma(25.0))]).unwrap();
+        assert!(m.apparent_charge(&heavy, heavy.end()).value() > heavy.direct_charge().value());
+        assert!(m.apparent_charge(&light, light.end()).value() < light.direct_charge().value());
+    }
+
+    #[test]
+    fn no_recovery_effect_order_is_irrelevant() {
+        let m = PeukertModel::new(1.25, ma(100.0)).unwrap();
+        let p = LoadProfile::from_steps([
+            (min(3.0), ma(500.0)),
+            (min(7.0), ma(20.0)),
+            (min(2.0), ma(120.0)),
+        ])
+        .unwrap();
+        let r = p.reversed();
+        let a = m.apparent_charge(&p, p.end()).value();
+        let b = m.apparent_charge(&r, r.end()).value();
+        assert!((a - b).abs() < 1e-9, "peukert is order-insensitive");
+    }
+
+    #[test]
+    fn lifetime_shrinks_superlinearly_with_current() {
+        let m = PeukertModel::new(1.3, ma(100.0)).unwrap();
+        let cap = MilliAmpMinutes::new(1000.0);
+        let at = |i: f64| {
+            let p = LoadProfile::from_steps([(min(1000.0), ma(i))]).unwrap();
+            m.lifetime(&p, cap).unwrap().value()
+        };
+        let t100 = at(100.0);
+        let t200 = at(200.0);
+        assert!((t100 - 10.0).abs() < 1e-3);
+        assert!(t200 < t100 / 2.0, "doubling current more than halves life");
+    }
+}

@@ -1,0 +1,487 @@
+//! Piecewise-constant current discharge profiles.
+//!
+//! A [`LoadProfile`] is the battery models' view of a schedule: a sequence of
+//! non-overlapping intervals, each drawing a constant current. Gaps between
+//! intervals are rest periods (zero current) during which a non-ideal battery
+//! recovers part of its transiently unavailable charge.
+//!
+//! ```
+//! use batsched_battery::profile::LoadProfile;
+//! use batsched_battery::units::{MilliAmps, Minutes};
+//!
+//! let mut p = LoadProfile::new();
+//! p.push(Minutes::new(5.0), MilliAmps::new(120.0))?;
+//! p.push_rest(Minutes::new(2.0))?;
+//! p.push(Minutes::new(3.0), MilliAmps::new(40.0))?;
+//! assert_eq!(p.end(), Minutes::new(10.0));
+//! assert_eq!(p.direct_charge().value(), 120.0 * 5.0 + 40.0 * 3.0);
+//! # Ok::<(), batsched_battery::profile::ProfileError>(())
+//! ```
+
+use crate::units::{MilliAmpMinutes, MilliAmps, Minutes};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One constant-current discharge interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Start time of the interval.
+    pub start: Minutes,
+    /// Strictly positive duration.
+    pub duration: Minutes,
+    /// Constant current drawn over the interval (non-negative).
+    pub current: MilliAmps,
+}
+
+impl Interval {
+    /// End instant of the interval.
+    #[inline]
+    pub fn end(&self) -> Minutes {
+        self.start + self.duration
+    }
+
+    /// Charge drawn over the whole interval.
+    #[inline]
+    pub fn charge(&self) -> MilliAmpMinutes {
+        self.current * self.duration
+    }
+}
+
+/// Errors raised while building or editing a [`LoadProfile`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// An interval duration was zero, negative, NaN or infinite.
+    NonPositiveDuration {
+        /// The offending duration.
+        duration: Minutes,
+    },
+    /// A current was negative, NaN or infinite.
+    InvalidCurrent {
+        /// The offending current.
+        current: MilliAmps,
+    },
+    /// An explicitly placed interval overlaps an existing one.
+    Overlap {
+        /// Start of the rejected interval.
+        start: Minutes,
+    },
+    /// A start time was negative or not finite.
+    InvalidStart {
+        /// The offending start time.
+        start: Minutes,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositiveDuration { duration } => {
+                write!(f, "interval duration must be positive and finite, got {duration}")
+            }
+            Self::InvalidCurrent { current } => {
+                write!(f, "interval current must be non-negative and finite, got {current}")
+            }
+            Self::Overlap { start } => {
+                write!(f, "interval starting at {start} overlaps an existing interval")
+            }
+            Self::InvalidStart { start } => {
+                write!(f, "interval start must be non-negative and finite, got {start}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// A validated, time-ordered sequence of constant-current intervals.
+///
+/// Invariants (enforced by every constructor and mutator):
+/// * intervals are sorted by start time and never overlap;
+/// * every duration is strictly positive and finite;
+/// * every current is non-negative and finite.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LoadProfile {
+    intervals: Vec<Interval>,
+    /// Running end of the last interval or rest (supports `push`).
+    cursor: Minutes,
+}
+
+impl LoadProfile {
+    /// Creates an empty profile starting at `t = 0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a contiguous profile from `(duration, current)` steps starting
+    /// at `t = 0`. Zero-current steps become rest gaps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error encountered.
+    pub fn from_steps<I>(steps: I) -> Result<Self, ProfileError>
+    where
+        I: IntoIterator<Item = (Minutes, MilliAmps)>,
+    {
+        let mut p = Self::new();
+        for (duration, current) in steps {
+            if current == MilliAmps::ZERO {
+                p.push_rest(duration)?;
+            } else {
+                p.push(duration, current)?;
+            }
+        }
+        Ok(p)
+    }
+
+    /// Appends a loaded interval at the running cursor.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProfileError::NonPositiveDuration`] for `duration <= 0` or non-finite.
+    /// * [`ProfileError::InvalidCurrent`] for negative or non-finite current.
+    pub fn push(&mut self, duration: Minutes, current: MilliAmps) -> Result<(), ProfileError> {
+        validate_duration(duration)?;
+        validate_current(current)?;
+        let start = self.cursor;
+        self.intervals.push(Interval { start, duration, current });
+        self.cursor = start + duration;
+        Ok(())
+    }
+
+    /// Appends a rest period (no interval is stored; the cursor advances).
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::NonPositiveDuration`] for `duration <= 0` or non-finite.
+    pub fn push_rest(&mut self, duration: Minutes) -> Result<(), ProfileError> {
+        validate_duration(duration)?;
+        self.cursor += duration;
+        Ok(())
+    }
+
+    /// Inserts an interval at an explicit start time.
+    ///
+    /// # Errors
+    ///
+    /// All [`ProfileError`] variants are possible; in particular
+    /// [`ProfileError::Overlap`] when the new interval intersects an existing
+    /// one.
+    pub fn insert(
+        &mut self,
+        start: Minutes,
+        duration: Minutes,
+        current: MilliAmps,
+    ) -> Result<(), ProfileError> {
+        if !(start.is_finite() && start.is_non_negative()) {
+            return Err(ProfileError::InvalidStart { start });
+        }
+        validate_duration(duration)?;
+        validate_current(current)?;
+        let end = start + duration;
+        let idx = self
+            .intervals
+            .partition_point(|iv| iv.start.value() < start.value());
+        if idx > 0 && self.intervals[idx - 1].end().value() > start.value() {
+            return Err(ProfileError::Overlap { start });
+        }
+        if idx < self.intervals.len() && self.intervals[idx].start.value() < end.value() {
+            return Err(ProfileError::Overlap { start });
+        }
+        self.intervals.insert(idx, Interval { start, duration, current });
+        self.cursor = self.cursor.max(end);
+        Ok(())
+    }
+
+    /// The intervals in time order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Number of loaded intervals (rest gaps are not counted).
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// `true` when the profile has no loaded intervals.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// End of the profile: the running cursor (covers trailing rest) or the
+    /// end of the last interval, whichever is later.
+    pub fn end(&self) -> Minutes {
+        let last_end = self
+            .intervals
+            .last()
+            .map(Interval::end)
+            .unwrap_or(Minutes::ZERO);
+        self.cursor.max(last_end)
+    }
+
+    /// Total charge actually delivered to the load (∫ I dt), ignoring
+    /// battery non-idealities.
+    pub fn direct_charge(&self) -> MilliAmpMinutes {
+        self.intervals.iter().map(Interval::charge).sum()
+    }
+
+    /// Charge delivered up to `t` (clipping any interval in progress).
+    pub fn direct_charge_until(&self, t: Minutes) -> MilliAmpMinutes {
+        self.intervals
+            .iter()
+            .filter(|iv| iv.start.value() < t.value())
+            .map(|iv| {
+                let effective = iv.duration.min(t - iv.start);
+                iv.current * effective
+            })
+            .sum()
+    }
+
+    /// Highest instantaneous current in the profile.
+    pub fn peak_current(&self) -> MilliAmps {
+        self.intervals
+            .iter()
+            .map(|iv| iv.current)
+            .fold(MilliAmps::ZERO, MilliAmps::max)
+    }
+
+    /// Mean current over `[0, end()]` (rest periods included as zero load).
+    pub fn mean_current(&self) -> MilliAmps {
+        let end = self.end();
+        if end == Minutes::ZERO {
+            MilliAmps::ZERO
+        } else {
+            self.direct_charge() / end
+        }
+    }
+
+    /// Current drawn at instant `t` (zero in gaps and outside the profile).
+    pub fn current_at(&self, t: Minutes) -> MilliAmps {
+        match self
+            .intervals
+            .partition_point(|iv| iv.start.value() <= t.value())
+        {
+            0 => MilliAmps::ZERO,
+            idx => {
+                let iv = &self.intervals[idx - 1];
+                if t.value() < iv.end().value() {
+                    iv.current
+                } else {
+                    MilliAmps::ZERO
+                }
+            }
+        }
+    }
+
+    /// Count of consecutive interval pairs whose current increases — the raw
+    /// statistic behind the paper's *Current Increase Fraction*.
+    pub fn rising_transitions(&self) -> usize {
+        self.intervals
+            .windows(2)
+            .filter(|w| w[0].current.value() < w[1].current.value())
+            .count()
+    }
+
+    /// Returns a profile with the same steps in reverse order, re-anchored at
+    /// `t = 0` with the original gap structure preserved. Useful for
+    /// demonstrating the battery model's order sensitivity.
+    pub fn reversed(&self) -> LoadProfile {
+        let end = self.end();
+        let mut intervals: Vec<Interval> = self
+            .intervals
+            .iter()
+            .map(|iv| Interval {
+                start: end - iv.end(),
+                duration: iv.duration,
+                current: iv.current,
+            })
+            .collect();
+        intervals.sort_by(|a, b| crate::units::total_cmp(a.start.value(), b.start.value()));
+        LoadProfile { intervals, cursor: end }
+    }
+}
+
+fn validate_duration(duration: Minutes) -> Result<(), ProfileError> {
+    if duration.is_finite() && duration.value() > 0.0 {
+        Ok(())
+    } else {
+        Err(ProfileError::NonPositiveDuration { duration })
+    }
+}
+
+fn validate_current(current: MilliAmps) -> Result<(), ProfileError> {
+    if current.is_finite() && current.is_non_negative() {
+        Ok(())
+    } else {
+        Err(ProfileError::InvalidCurrent { current })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn min(v: f64) -> Minutes {
+        Minutes::new(v)
+    }
+    fn ma(v: f64) -> MilliAmps {
+        MilliAmps::new(v)
+    }
+
+    #[test]
+    fn push_appends_contiguously() {
+        let mut p = LoadProfile::new();
+        p.push(min(5.0), ma(100.0)).unwrap();
+        p.push(min(3.0), ma(50.0)).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.intervals()[1].start, min(5.0));
+        assert_eq!(p.end(), min(8.0));
+    }
+
+    #[test]
+    fn rest_advances_cursor_without_interval() {
+        let mut p = LoadProfile::new();
+        p.push(min(5.0), ma(100.0)).unwrap();
+        p.push_rest(min(2.0)).unwrap();
+        p.push(min(1.0), ma(10.0)).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.intervals()[1].start, min(7.0));
+        assert_eq!(p.end(), min(8.0));
+    }
+
+    #[test]
+    fn trailing_rest_extends_end() {
+        let mut p = LoadProfile::new();
+        p.push(min(5.0), ma(100.0)).unwrap();
+        p.push_rest(min(10.0)).unwrap();
+        assert_eq!(p.end(), min(15.0));
+        assert_eq!(p.direct_charge(), MilliAmpMinutes::new(500.0));
+    }
+
+    #[test]
+    fn rejects_bad_durations_and_currents() {
+        let mut p = LoadProfile::new();
+        assert!(matches!(
+            p.push(min(0.0), ma(1.0)),
+            Err(ProfileError::NonPositiveDuration { .. })
+        ));
+        assert!(matches!(
+            p.push(min(-1.0), ma(1.0)),
+            Err(ProfileError::NonPositiveDuration { .. })
+        ));
+        assert!(matches!(
+            p.push(min(f64::NAN), ma(1.0)),
+            Err(ProfileError::NonPositiveDuration { .. })
+        ));
+        assert!(matches!(
+            p.push(min(1.0), ma(-2.0)),
+            Err(ProfileError::InvalidCurrent { .. })
+        ));
+        assert!(matches!(
+            p.push(min(1.0), ma(f64::INFINITY)),
+            Err(ProfileError::InvalidCurrent { .. })
+        ));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn insert_rejects_overlap() {
+        let mut p = LoadProfile::new();
+        p.insert(min(0.0), min(5.0), ma(10.0)).unwrap();
+        p.insert(min(10.0), min(5.0), ma(10.0)).unwrap();
+        assert!(matches!(
+            p.insert(min(4.0), min(2.0), ma(1.0)),
+            Err(ProfileError::Overlap { .. })
+        ));
+        assert!(matches!(
+            p.insert(min(8.0), min(4.0), ma(1.0)),
+            Err(ProfileError::Overlap { .. })
+        ));
+        // Exactly abutting is allowed.
+        p.insert(min(5.0), min(5.0), ma(1.0)).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn insert_out_of_order_keeps_sorted() {
+        let mut p = LoadProfile::new();
+        p.insert(min(10.0), min(2.0), ma(5.0)).unwrap();
+        p.insert(min(0.0), min(2.0), ma(7.0)).unwrap();
+        let starts: Vec<f64> = p.intervals().iter().map(|iv| iv.start.value()).collect();
+        assert_eq!(starts, vec![0.0, 10.0]);
+    }
+
+    #[test]
+    fn charge_accounting() {
+        let p = LoadProfile::from_steps([
+            (min(5.0), ma(100.0)),
+            (min(5.0), ma(0.0)), // rest
+            (min(5.0), ma(60.0)),
+        ])
+        .unwrap();
+        assert_eq!(p.direct_charge(), MilliAmpMinutes::new(800.0));
+        assert_eq!(p.direct_charge_until(min(2.5)), MilliAmpMinutes::new(250.0));
+        assert_eq!(p.direct_charge_until(min(7.0)), MilliAmpMinutes::new(500.0));
+        assert_eq!(p.direct_charge_until(min(12.0)), MilliAmpMinutes::new(620.0));
+        assert_eq!(p.direct_charge_until(min(100.0)), p.direct_charge());
+    }
+
+    #[test]
+    fn current_lookup() {
+        let p = LoadProfile::from_steps([
+            (min(5.0), ma(100.0)),
+            (min(5.0), ma(0.0)),
+            (min(5.0), ma(60.0)),
+        ])
+        .unwrap();
+        assert_eq!(p.current_at(min(0.0)), ma(100.0));
+        assert_eq!(p.current_at(min(4.999)), ma(100.0));
+        assert_eq!(p.current_at(min(6.0)), ma(0.0));
+        assert_eq!(p.current_at(min(11.0)), ma(60.0));
+        assert_eq!(p.current_at(min(99.0)), ma(0.0));
+    }
+
+    #[test]
+    fn mean_and_peak() {
+        let p = LoadProfile::from_steps([(min(5.0), ma(100.0)), (min(5.0), ma(50.0))]).unwrap();
+        assert_eq!(p.peak_current(), ma(100.0));
+        assert_eq!(p.mean_current(), ma(75.0));
+        assert_eq!(LoadProfile::new().mean_current(), MilliAmps::ZERO);
+    }
+
+    #[test]
+    fn rising_transitions_counts_increases() {
+        let p = LoadProfile::from_steps([
+            (min(1.0), ma(50.0)),
+            (min(1.0), ma(100.0)),
+            (min(1.0), ma(100.0)),
+            (min(1.0), ma(30.0)),
+            (min(1.0), ma(40.0)),
+        ])
+        .unwrap();
+        assert_eq!(p.rising_transitions(), 2);
+    }
+
+    #[test]
+    fn reversal_preserves_charge_and_span() {
+        let p = LoadProfile::from_steps([
+            (min(2.0), ma(10.0)),
+            (min(3.0), ma(0.0)),
+            (min(4.0), ma(90.0)),
+        ])
+        .unwrap();
+        let r = p.reversed();
+        assert_eq!(r.direct_charge(), p.direct_charge());
+        assert_eq!(r.end(), p.end());
+        assert_eq!(r.intervals()[0].current, ma(90.0));
+        assert_eq!(r.intervals()[0].start, Minutes::ZERO);
+        assert_eq!(r.intervals()[1].start, min(7.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = LoadProfile::from_steps([(min(2.0), ma(10.0)), (min(4.0), ma(90.0))]).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: LoadProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,402 @@
+//! The Rakhmatov–Vrudhula analytical battery model (ICCAD 2001).
+//!
+//! This is the cost function of the DATE'05 paper (its equation 1). For a
+//! discharge profile with intervals `k` of current `I_k`, start `t_k` and
+//! duration `Δ_k`, the charge lost by time `T` is
+//!
+//! ```text
+//! σ(T) = Σ_k I_k · [ Δ_k + 2 Σ_{m=1}^{M} ( e^{−β²m²(T−t_k−Δ_k)} − e^{−β²m²(T−t_k)} ) / (β²m²) ]
+//! ```
+//!
+//! The first term is the charge actually delivered; the series is the
+//! *unavailable charge*: ions that have not yet diffused to the electrode.
+//! Two properties drive the whole paper:
+//!
+//! * **rate-capacity effect** — high currents inflate the series term, so a
+//!   heavy interval "costs" more than its delivered charge;
+//! * **recovery effect** — the series decays exponentially with the time
+//!   since the interval ended, so charge drawn *early* is almost free by the
+//!   end of the mission while charge drawn *late* is fully penalised.
+//!
+//! The battery (rated capacity `α`) is empty at the first `T` with
+//! `σ(T) ≥ α`.
+//!
+//! ```
+//! use batsched_battery::rv::RvModel;
+//! use batsched_battery::profile::LoadProfile;
+//! use batsched_battery::units::{MilliAmps, Minutes};
+//! use batsched_battery::model::BatteryModel;
+//!
+//! let model = RvModel::date05();
+//! let mut heavy_last = LoadProfile::new();
+//! heavy_last.push(Minutes::new(10.0), MilliAmps::new(10.0))?;
+//! heavy_last.push(Minutes::new(10.0), MilliAmps::new(500.0))?;
+//! let heavy_first = heavy_last.reversed();
+//! let end = heavy_last.end();
+//! // Running the heavy task first lets the battery recover: lower σ.
+//! assert!(
+//!     model.apparent_charge(&heavy_first, end).value()
+//!         < model.apparent_charge(&heavy_last, end).value()
+//! );
+//! # Ok::<(), batsched_battery::profile::ProfileError>(())
+//! ```
+
+use crate::model::BatteryModel;
+use crate::profile::LoadProfile;
+use crate::units::{MilliAmpMinutes, Minutes};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The β parameter used throughout the DATE'05 paper (`min^{-1/2}`).
+pub const DATE05_BETA: f64 = 0.273;
+
+/// Number of series terms the paper uses (its equation 1 sums `m = 1..10`).
+pub const DATE05_TERMS: usize = 10;
+
+/// Errors raised when constructing an [`RvModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RvModelError {
+    /// β must be strictly positive and finite.
+    InvalidBeta,
+    /// At least one series term is required.
+    NoTerms,
+}
+
+impl fmt::Display for RvModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidBeta => write!(f, "beta must be positive and finite"),
+            Self::NoTerms => write!(f, "series must keep at least one term"),
+        }
+    }
+}
+
+impl std::error::Error for RvModelError {}
+
+/// Rakhmatov–Vrudhula diffusion model with a truncated series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RvModel {
+    beta: f64,
+    terms: usize,
+}
+
+impl Default for RvModel {
+    /// The paper's configuration: β = 0.273, 10 series terms.
+    fn default() -> Self {
+        Self { beta: DATE05_BETA, terms: DATE05_TERMS }
+    }
+}
+
+impl RvModel {
+    /// Creates a model with the given β (in `min^{-1/2}`) and series length.
+    ///
+    /// # Errors
+    ///
+    /// * [`RvModelError::InvalidBeta`] when `beta` is not positive and finite.
+    /// * [`RvModelError::NoTerms`] when `terms == 0`.
+    pub fn new(beta: f64, terms: usize) -> Result<Self, RvModelError> {
+        if !(beta.is_finite() && beta > 0.0) {
+            return Err(RvModelError::InvalidBeta);
+        }
+        if terms == 0 {
+            return Err(RvModelError::NoTerms);
+        }
+        Ok(Self { beta, terms })
+    }
+
+    /// The exact configuration of the DATE'05 paper.
+    pub fn date05() -> Self {
+        Self::default()
+    }
+
+    /// The diffusion parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of series terms kept.
+    pub fn terms(&self) -> usize {
+        self.terms
+    }
+
+    /// σ(T): apparent charge lost by `at` — delivered charge plus
+    /// transiently unavailable charge. Intervals beyond `at` are ignored; an
+    /// interval in progress is clipped at `at`.
+    pub fn sigma(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes {
+        let t = at.value();
+        let mut total = 0.0;
+        for iv in profile.intervals() {
+            let start = iv.start.value();
+            if start >= t {
+                break;
+            }
+            let end = iv.end().value().min(t);
+            let delta = end - start;
+            total += iv.current.value() * (delta + 2.0 * self.series(t - end, t - start));
+        }
+        MilliAmpMinutes::new(total)
+    }
+
+    /// The delivered-charge part of σ at `at` (no diffusion penalty).
+    pub fn direct(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes {
+        profile.direct_charge_until(at)
+    }
+
+    /// The unavailable-charge part of σ at `at` (σ minus delivered charge).
+    /// Always non-negative; decays toward zero as the battery rests.
+    pub fn unavailable(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes {
+        self.sigma(profile, at) - self.direct(profile, at)
+    }
+
+    /// `Σ_{m=1..M} (e^{−β²m²·since_end} − e^{−β²m²·since_start}) / (β²m²)`
+    /// with `0 <= since_end <= since_start`.
+    fn series(&self, since_end: f64, since_start: f64) -> f64 {
+        let b2 = self.beta * self.beta;
+        let mut acc = 0.0;
+        for m in 1..=self.terms {
+            let m2 = (m * m) as f64;
+            let k = b2 * m2;
+            acc += ((-k * since_end).exp() - (-k * since_start).exp()) / k;
+        }
+        acc
+    }
+
+    /// Upper bound on the truncation error of [`Self::sigma`] at `at`: the
+    /// tail `Σ_{m>M} 2 I_k / (β² m²)` summed over active intervals, using
+    /// `Σ_{m>M} 1/m² < 1/M`.
+    pub fn truncation_bound(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes {
+        let b2 = self.beta * self.beta;
+        let tail = 1.0 / self.terms as f64;
+        let sum_i: f64 = profile
+            .intervals()
+            .iter()
+            .filter(|iv| iv.start.value() < at.value())
+            .map(|iv| iv.current.value())
+            .sum();
+        MilliAmpMinutes::new(2.0 * sum_i * tail / b2)
+    }
+}
+
+impl BatteryModel for RvModel {
+    fn apparent_charge(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes {
+        self.sigma(profile, at)
+    }
+
+    fn name(&self) -> &'static str {
+        "rakhmatov-vrudhula"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MilliAmps;
+
+    fn min(v: f64) -> Minutes {
+        Minutes::new(v)
+    }
+    fn ma(v: f64) -> MilliAmps {
+        MilliAmps::new(v)
+    }
+
+    fn single(duration: f64, current: f64) -> LoadProfile {
+        LoadProfile::from_steps([(min(duration), ma(current))]).unwrap()
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert_eq!(RvModel::new(0.0, 10).unwrap_err(), RvModelError::InvalidBeta);
+        assert_eq!(RvModel::new(-1.0, 10).unwrap_err(), RvModelError::InvalidBeta);
+        assert_eq!(RvModel::new(f64::NAN, 10).unwrap_err(), RvModelError::InvalidBeta);
+        assert_eq!(RvModel::new(0.5, 0).unwrap_err(), RvModelError::NoTerms);
+        let m = RvModel::new(0.5, 7).unwrap();
+        assert_eq!(m.beta(), 0.5);
+        assert_eq!(m.terms(), 7);
+    }
+
+    #[test]
+    fn date05_defaults() {
+        let m = RvModel::date05();
+        assert_eq!(m.beta(), DATE05_BETA);
+        assert_eq!(m.terms(), DATE05_TERMS);
+    }
+
+    #[test]
+    fn sigma_exceeds_direct_charge_at_profile_end() {
+        let m = RvModel::date05();
+        let p = single(10.0, 100.0);
+        let sigma = m.sigma(&p, p.end());
+        assert!(sigma.value() > p.direct_charge().value());
+    }
+
+    #[test]
+    fn sigma_decays_to_direct_charge_long_after_the_load() {
+        let m = RvModel::date05();
+        let p = single(10.0, 100.0);
+        let far = min(10_000.0);
+        let sigma = m.sigma(&p, far).value();
+        let direct = p.direct_charge().value();
+        assert!((sigma - direct).abs() < 1e-6, "sigma {sigma} vs direct {direct}");
+    }
+
+    #[test]
+    fn unavailable_charge_matches_hand_computation() {
+        // Single interval [0, Δ] evaluated at T = Δ:
+        // unavailable = 2·I·Σ (1 − e^{−β²m²Δ}) / (β²m²).
+        let m = RvModel::date05();
+        let (i, d) = (519.0, 11.2);
+        let p = single(d, i);
+        let b2 = DATE05_BETA * DATE05_BETA;
+        let mut expect = 0.0;
+        for mm in 1..=10 {
+            let k = b2 * (mm * mm) as f64;
+            expect += (1.0 - (-k * d).exp()) / k;
+        }
+        expect *= 2.0 * i;
+        let got = m.unavailable(&p, min(d)).value();
+        assert!((got - expect).abs() < 1e-9, "got {got}, expected {expect}");
+        // Magnitude sanity (hand value ≈ 15.4 k mA·min for 519 mA / 11.2 min).
+        assert!((got - 15_425.0).abs() < 75.0, "got {got}");
+    }
+
+    #[test]
+    fn early_heavy_load_costs_less_than_late_heavy_load() {
+        let m = RvModel::date05();
+        let late = LoadProfile::from_steps([(min(20.0), ma(10.0)), (min(5.0), ma(400.0))]).unwrap();
+        let early = late.reversed();
+        let t = late.end();
+        let s_late = m.sigma(&late, t).value();
+        let s_early = m.sigma(&early, t).value();
+        assert!(s_early < s_late, "early {s_early} should beat late {s_late}");
+        // Both still dominate the direct charge.
+        assert!(s_early > late.direct_charge().value());
+    }
+
+    #[test]
+    fn sigma_is_monotone_while_under_load() {
+        let m = RvModel::date05();
+        let p = single(30.0, 250.0);
+        let mut prev = -1.0;
+        for k in 0..=30 {
+            let s = m.sigma(&p, min(k as f64)).value();
+            assert!(s >= prev, "sigma must not decrease under load");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn sigma_decreases_during_rest() {
+        let m = RvModel::date05();
+        let p = single(10.0, 250.0);
+        let at_end = m.sigma(&p, min(10.0)).value();
+        let rested = m.sigma(&p, min(20.0)).value();
+        assert!(rested < at_end, "recovery must lower sigma: {rested} vs {at_end}");
+        assert!(rested > p.direct_charge().value() - 1e-9);
+    }
+
+    #[test]
+    fn sigma_scales_linearly_with_current() {
+        let m = RvModel::date05();
+        let p1 = single(10.0, 100.0);
+        let p2 = single(10.0, 300.0);
+        let t = min(10.0);
+        let s1 = m.sigma(&p1, t).value();
+        let s2 = m.sigma(&p2, t).value();
+        assert!((s2 - 3.0 * s1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigma_ignores_intervals_beyond_t_and_clips_in_progress() {
+        let m = RvModel::date05();
+        let p = LoadProfile::from_steps([(min(10.0), ma(100.0)), (min(10.0), ma(400.0))]).unwrap();
+        let only_first = single(10.0, 100.0);
+        let s_clip = m.sigma(&p, min(10.0)).value();
+        let s_first = m.sigma(&only_first, min(10.0)).value();
+        assert!((s_clip - s_first).abs() < 1e-12);
+
+        // Clipping mid-interval equals a shortened interval.
+        let p_half = single(5.0, 100.0);
+        let s_half = m.sigma(&single(10.0, 100.0), min(5.0)).value();
+        assert!((s_half - m.sigma(&p_half, min(5.0)).value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_terms_increase_sigma_toward_the_true_series() {
+        let p = single(10.0, 100.0);
+        let t = min(10.0);
+        let mut prev = 0.0;
+        for terms in [1usize, 2, 5, 10, 50, 200] {
+            let m = RvModel::new(DATE05_BETA, terms).unwrap();
+            let s = m.sigma(&p, t).value();
+            assert!(s > prev, "series terms are positive at T = end");
+            prev = s;
+        }
+        // The 10-term value is within the truncation bound of the 200-term one.
+        let m10 = RvModel::new(DATE05_BETA, 10).unwrap();
+        let m200 = RvModel::new(DATE05_BETA, 200).unwrap();
+        let gap = m200.sigma(&p, t).value() - m10.sigma(&p, t).value();
+        assert!(gap <= m10.truncation_bound(&p, t).value());
+    }
+
+    #[test]
+    fn larger_beta_means_faster_diffusion_and_less_penalty() {
+        let p = single(10.0, 100.0);
+        let t = min(10.0);
+        let slow = RvModel::new(0.1, 10).unwrap().sigma(&p, t).value();
+        let fast = RvModel::new(1.0, 10).unwrap().sigma(&p, t).value();
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn lifetime_found_and_refined() {
+        let m = RvModel::date05();
+        // 100 mA constant load, capacity 3000 mA·min. An ideal battery lasts
+        // 30 min; hand evaluation of sigma gives sigma(5) ~ 2648 and
+        // sigma(10) ~ 3850, so the RV battery dies between 5 and 10 min.
+        let p = single(100.0, 100.0);
+        let lt = m
+            .lifetime(&p, MilliAmpMinutes::new(3000.0))
+            .expect("battery must die");
+        assert!(lt.value() < 10.0, "death after sigma(10) > 3000: {lt}");
+        assert!(lt.value() > 5.0, "death before sigma(5) < 3000: {lt}");
+        assert!(lt.value() < 30.0, "rate-capacity effect beats the ideal 30 min");
+        // At the reported instant, sigma is at capacity (within tolerance).
+        let s = m.sigma(&p, lt).value();
+        assert!((s - 3000.0).abs() < 1.0, "sigma at death {s}");
+    }
+
+    #[test]
+    fn lifetime_none_when_capacity_suffices() {
+        let m = RvModel::date05();
+        let p = single(10.0, 10.0);
+        assert_eq!(m.lifetime(&p, MilliAmpMinutes::new(1e9)), None);
+    }
+
+    #[test]
+    fn empty_profile_has_zero_sigma() {
+        let m = RvModel::date05();
+        let p = LoadProfile::new();
+        assert_eq!(m.sigma(&p, min(100.0)).value(), 0.0);
+        assert_eq!(m.lifetime(&p, MilliAmpMinutes::new(1.0)), None);
+    }
+
+    #[test]
+    fn rest_gaps_between_bursts_recover_capacity() {
+        let m = RvModel::date05();
+        let packed = LoadProfile::from_steps([
+            (min(5.0), ma(300.0)),
+            (min(5.0), ma(300.0)),
+        ])
+        .unwrap();
+        let mut spaced = LoadProfile::new();
+        spaced.push(min(5.0), ma(300.0)).unwrap();
+        spaced.push_rest(min(30.0)).unwrap();
+        spaced.push(min(5.0), ma(300.0)).unwrap();
+        let s_packed = m.sigma(&packed, packed.end()).value();
+        let s_spaced = m.sigma(&spaced, spaced.end()).value();
+        assert!(
+            s_spaced < s_packed,
+            "a rest before the final burst lets the first burst's penalty decay"
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! Strongly-typed scalar quantities used throughout the workspace.
+//!
+//! The paper works in an unusual but convenient unit system: time in
+//! **minutes**, current in **milliamperes**, and charge in
+//! **milliampere-minutes** (mA·min). Mixing these up is the classic bug in
+//! battery-model code, so each quantity gets a newtype (C-NEWTYPE) with only
+//! the physically meaningful arithmetic defined:
+//!
+//! ```
+//! use batsched_battery::units::{Minutes, MilliAmps};
+//!
+//! let charge = MilliAmps::new(120.0) * Minutes::new(5.0);
+//! assert_eq!(charge.value(), 600.0); // mA·min
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// A zero-valued quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a raw `f64` value expressed in this quantity's unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw numeric value in this quantity's unit.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// `true` when the value is finite (not NaN or infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// `true` when the value is `>= 0` (NaN is not).
+            #[inline]
+            pub fn is_non_negative(self) -> bool {
+                self.0 >= 0.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, Add::add)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A duration or instant measured in minutes.
+    Minutes,
+    "min"
+);
+quantity!(
+    /// An electrical current in milliamperes (mA).
+    MilliAmps,
+    "mA"
+);
+quantity!(
+    /// A charge in milliampere-minutes (mA·min), the paper's capacity unit.
+    ///
+    /// 1 mAh = 60 mA·min.
+    MilliAmpMinutes,
+    "mA·min"
+);
+quantity!(
+    /// An electrical potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Energy-like quantity used for task weights. When the configured
+    /// metric is charge-based this is mA·min; with the true-energy metric it
+    /// is mA·V·min. Ordering, not the absolute unit, is what the algorithms
+    /// consume.
+    Energy,
+    "energy"
+);
+
+impl Mul<Minutes> for MilliAmps {
+    type Output = MilliAmpMinutes;
+    /// Current sustained for a duration yields charge.
+    #[inline]
+    fn mul(self, rhs: Minutes) -> MilliAmpMinutes {
+        MilliAmpMinutes::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<MilliAmps> for Minutes {
+    type Output = MilliAmpMinutes;
+    #[inline]
+    fn mul(self, rhs: MilliAmps) -> MilliAmpMinutes {
+        rhs * self
+    }
+}
+
+impl Div<Minutes> for MilliAmpMinutes {
+    type Output = MilliAmps;
+    /// Charge spread over a duration yields the mean current.
+    #[inline]
+    fn div(self, rhs: Minutes) -> MilliAmps {
+        MilliAmps::new(self.value() / rhs.value())
+    }
+}
+
+impl MilliAmpMinutes {
+    /// Converts to milliampere-hours (the unit battery vendors quote).
+    #[inline]
+    pub fn to_milliamp_hours(self) -> f64 {
+        self.value() / 60.0
+    }
+
+    /// Builds a charge from a milliampere-hour rating.
+    #[inline]
+    pub fn from_milliamp_hours(mah: f64) -> Self {
+        Self::new(mah * 60.0)
+    }
+}
+
+/// Total order helper for sorting slices of quantities that are known to be
+/// finite. Panics on NaN, which the crate's validated types never produce.
+pub fn total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).expect("quantity comparison saw NaN")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_is_current_times_time() {
+        let q = MilliAmps::new(250.0) * Minutes::new(4.0);
+        assert_eq!(q, MilliAmpMinutes::new(1000.0));
+        let q2 = Minutes::new(4.0) * MilliAmps::new(250.0);
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn mean_current_is_charge_over_time() {
+        let i = MilliAmpMinutes::new(1000.0) / Minutes::new(4.0);
+        assert_eq!(i, MilliAmps::new(250.0));
+    }
+
+    #[test]
+    fn ratio_is_dimensionless() {
+        let r = Minutes::new(30.0) / Minutes::new(60.0);
+        assert_eq!(r, 0.5);
+    }
+
+    #[test]
+    fn mah_round_trip() {
+        let q = MilliAmpMinutes::from_milliamp_hours(100.0);
+        assert_eq!(q.value(), 6000.0);
+        assert_eq!(q.to_milliamp_hours(), 100.0);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Minutes::new(2.5)), "2.5 min");
+        assert_eq!(format!("{:.1}", MilliAmps::new(3.25)), "3.2 mA");
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let t = Minutes::new(10.0);
+        assert_eq!(t + Minutes::ZERO, t);
+        assert_eq!(t - t, Minutes::ZERO);
+        assert_eq!(-t, Minutes::new(-10.0));
+        assert_eq!(t * 2.0, Minutes::new(20.0));
+        assert_eq!(2.0 * t, Minutes::new(20.0));
+        assert_eq!(t / 2.0, Minutes::new(5.0));
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Minutes = [1.0, 2.0, 3.5].iter().map(|&v| Minutes::new(v)).sum();
+        assert_eq!(total, Minutes::new(6.5));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Minutes::new(-3.0);
+        assert_eq!(a.abs(), Minutes::new(3.0));
+        assert_eq!(a.max(Minutes::ZERO), Minutes::ZERO);
+        assert_eq!(a.min(Minutes::ZERO), a);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let t = Minutes::new(12.5);
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, "12.5");
+        let back: Minutes = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,48 @@
+//! Runtime of the baseline schedulers vs the paper's algorithm — supports
+//! the paper's §2 claim that its heuristic is light enough for on-device
+//! use compared to search-based alternatives.
+
+use batsched_baselines::{
+    ChowdhuryScaling, KhanVemuri, RakhmatovDp, RandomSearch, Scheduler, SimulatedAnnealing,
+};
+use batsched_battery::units::Minutes;
+use batsched_taskgraph::paper::g3;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = g3();
+    let d = Minutes::new(230.0);
+    let mut group = c.benchmark_group("algorithms_on_g3_d230");
+    group.sample_size(20);
+
+    let kv = KhanVemuri::paper();
+    group.bench_function("khan_vemuri", |b| {
+        b.iter(|| black_box(kv.schedule(&g, d).unwrap()))
+    });
+
+    let dp = RakhmatovDp::default();
+    group.bench_function("rakhmatov_dp", |b| {
+        b.iter(|| black_box(dp.schedule(&g, d).unwrap()))
+    });
+
+    let ch = ChowdhuryScaling;
+    group.bench_function("chowdhury", |b| {
+        b.iter(|| black_box(ch.schedule(&g, d).unwrap()))
+    });
+
+    let sa = SimulatedAnnealing { steps: 5_000, ..Default::default() };
+    group.bench_function("annealing_5k", |b| {
+        b.iter(|| black_box(sa.schedule(&g, d).unwrap()))
+    });
+
+    let rs = RandomSearch { samples: 100, ..Default::default() };
+    group.bench_function("random_100", |b| {
+        b.iter(|| black_box(rs.schedule(&g, d).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

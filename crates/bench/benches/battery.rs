@@ -1,0 +1,91 @@
+//! Runtime of the battery models — σ evaluation is the inner loop of every
+//! scheduler in the workspace, so its cost bounds everything else.
+
+use batsched_battery::ideal::CoulombCounter;
+use batsched_battery::kibam::KibamModel;
+use batsched_battery::model::BatteryModel;
+use batsched_battery::peukert::PeukertModel;
+use batsched_battery::profile::LoadProfile;
+use batsched_battery::rv::RvModel;
+use batsched_battery::units::{MilliAmpMinutes, MilliAmps, Minutes};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn profile_of(n: usize) -> LoadProfile {
+    // Deterministic pseudo-random staircase.
+    let mut p = LoadProfile::new();
+    let mut x = 0x2545F4914F6CDD1Du64;
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let current = 20.0 + (x % 900) as f64;
+        let duration = 0.5 + (x % 37) as f64 / 10.0;
+        p.push(Minutes::new(duration), MilliAmps::new(current)).unwrap();
+    }
+    p
+}
+
+fn bench_sigma_by_profile_size(c: &mut Criterion) {
+    let model = RvModel::date05();
+    let mut group = c.benchmark_group("rv_sigma_profile_size");
+    for n in [15usize, 100, 1000] {
+        let p = profile_of(n);
+        let end = p.end();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| black_box(model.sigma(black_box(p), end)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sigma_by_terms(c: &mut Criterion) {
+    let p = profile_of(100);
+    let end = p.end();
+    let mut group = c.benchmark_group("rv_sigma_series_terms");
+    for terms in [1usize, 10, 100] {
+        let model = RvModel::new(0.273, terms).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(terms), &model, |b, m| {
+            b.iter(|| black_box(m.sigma(&p, end)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let p = profile_of(100);
+    let end = p.end();
+    let models: Vec<(&str, Box<dyn BatteryModel>)> = vec![
+        ("coulomb", Box::new(CoulombCounter::new())),
+        ("rv10", Box::new(RvModel::date05())),
+        ("peukert", Box::new(PeukertModel::lithium_ion(MilliAmps::new(100.0)))),
+        (
+            "kibam",
+            Box::new(KibamModel::new(0.5, 0.05, MilliAmpMinutes::new(1e6)).unwrap()),
+        ),
+    ];
+    let mut group = c.benchmark_group("apparent_charge_models");
+    for (name, m) in &models {
+        group.bench_function(*name, |b| b.iter(|| black_box(m.apparent_charge(&p, end))));
+    }
+    group.finish();
+}
+
+fn bench_lifetime(c: &mut Criterion) {
+    let p = profile_of(200);
+    let model = RvModel::date05();
+    // Capacity chosen so death occurs mid-profile.
+    let cap = model.sigma(&p, p.end() * 0.5);
+    c.bench_function("rv_lifetime_scan_bisect", |b| {
+        b.iter(|| black_box(model.lifetime(&p, cap)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sigma_by_profile_size,
+    bench_sigma_by_terms,
+    bench_models,
+    bench_lifetime
+);
+criterion_main!(benches);

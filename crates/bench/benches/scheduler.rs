@@ -1,0 +1,69 @@
+//! Runtime of the paper's algorithm on the paper's own workloads — one
+//! bench per published table: Table 2/3 share the G3 run at d = 230, and
+//! Table 4 covers both graphs over all published deadlines.
+
+use batsched_battery::rv::RvModel;
+use batsched_battery::units::Minutes;
+use batsched_core::{schedule, search::diag_evaluate_windows, SchedulerConfig};
+use batsched_taskgraph::paper::{
+    g2, g3, G2_TABLE4_DEADLINES, G3_EXAMPLE_DEADLINE, G3_TABLE4_DEADLINES,
+};
+use batsched_taskgraph::topo::topological_order;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table2_table3_full_run(c: &mut Criterion) {
+    let g = g3();
+    let cfg = SchedulerConfig::paper();
+    c.bench_function("table2_table3_g3_full_run_d230", |b| {
+        b.iter(|| black_box(schedule(&g, Minutes::new(G3_EXAMPLE_DEADLINE), &cfg).unwrap()))
+    });
+}
+
+fn bench_table4_deadline_sweep(c: &mut Criterion) {
+    let cfg = SchedulerConfig::paper();
+    let mut group = c.benchmark_group("table4_full_run");
+    let g2 = g2();
+    for d in G2_TABLE4_DEADLINES {
+        group.bench_with_input(BenchmarkId::new("g2", d), &d, |b, &d| {
+            b.iter(|| black_box(schedule(&g2, Minutes::new(d), &cfg).unwrap()))
+        });
+    }
+    let g3 = g3();
+    for d in G3_TABLE4_DEADLINES {
+        group.bench_with_input(BenchmarkId::new("g3", d), &d, |b, &d| {
+            b.iter(|| black_box(schedule(&g3, Minutes::new(d), &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_window_evaluation(c: &mut Criterion) {
+    // The inner kernel of Fig. 1: one full EvaluateWindows sweep.
+    let g = g3();
+    let cfg = SchedulerConfig::paper();
+    let model = RvModel::date05();
+    let seq = topological_order(&g);
+    c.bench_function("evaluate_windows_g3", |b| {
+        b.iter(|| {
+            black_box(
+                diag_evaluate_windows(
+                    &g,
+                    &cfg,
+                    Minutes::new(G3_EXAMPLE_DEADLINE),
+                    &model,
+                    &seq,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table2_table3_full_run,
+    bench_table4_deadline_sweep,
+    bench_single_window_evaluation
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Scaling sweeps: how the algorithm's runtime grows with the task count
+//! `n` and the design-point count `m` on layered random DAGs.
+
+use batsched_battery::units::Minutes;
+use batsched_core::{schedule, SchedulerConfig};
+use batsched_taskgraph::analysis::max_makespan;
+use batsched_taskgraph::synth::{layered, Rounding, ScalingScheme, TaskParams};
+use batsched_taskgraph::TaskGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn params_with_m(m: usize) -> TaskParams {
+    // Evenly spaced factors from 1.0 down to 0.33, m of them.
+    let factors: Vec<f64> = (0..m)
+        .map(|j| 1.0 - 0.67 * j as f64 / (m - 1).max(1) as f64)
+        .collect();
+    TaskParams {
+        current_range: (100.0, 900.0),
+        duration_range: (2.0, 12.0),
+        factors,
+        scheme: ScalingScheme::ReversedDuration,
+        rounding: Rounding::PAPER,
+    }
+}
+
+fn graph(n_layers: usize, width: usize, m: usize, seed: u64) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    layered(n_layers, width, 0.35, &params_with_m(m), &mut rng).expect("valid generator config")
+}
+
+/// A deadline with moderate slack: 70% of the all-lean makespan.
+fn deadline_for(g: &TaskGraph) -> Minutes {
+    Minutes::new(max_makespan(g).value() * 0.7)
+}
+
+fn bench_scale_tasks(c: &mut Criterion) {
+    let cfg = SchedulerConfig::paper();
+    let mut group = c.benchmark_group("scale_task_count_m5");
+    group.sample_size(10);
+    for (layers, width) in [(5usize, 2usize), (5, 4), (10, 4), (10, 8)] {
+        let g = graph(layers, width, 5, 42);
+        let d = deadline_for(&g);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(g.task_count()),
+            &g,
+            |b, g| b.iter(|| black_box(schedule(g, d, &cfg).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_scale_points(c: &mut Criterion) {
+    let cfg = SchedulerConfig::paper();
+    let mut group = c.benchmark_group("scale_point_count_n20");
+    group.sample_size(10);
+    for m in [2usize, 4, 6, 8] {
+        let g = graph(5, 4, m, 7);
+        let d = deadline_for(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &g, |b, g| {
+            b.iter(|| black_box(schedule(g, d, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale_tasks, bench_scale_points);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation studies beyond the paper's own tables:
+//!
+//! 1. **Factor knockout** — drop one term of `B = SR+CR+ENR+CIF+DPF` at a
+//!    time and measure the final battery cost on G2/G3 (which factors pull
+//!    their weight?).
+//! 2. **Initial-weight rule** — the DESIGN.md §4.1 discrepancy quantified.
+//! 3. **β sensitivity** — how the advantage over the energy-optimal DP
+//!    baseline grows with the battery's non-ideality.
+//! 4. **Series truncation** — σ error vs the 10-term paper setting.
+
+use batsched_baselines::{RakhmatovDp, Scheduler};
+use batsched_battery::rv::RvModel;
+use batsched_battery::units::Minutes;
+use batsched_bench::Table;
+use batsched_core::{schedule, FactorMask, InitialWeight, SchedulerConfig};
+use batsched_taskgraph::paper::{g2, g3};
+
+fn main() {
+    let g2 = g2();
+    let g3 = g3();
+
+    println!("== Ablation 1: suitability-factor knockouts ==\n");
+    let mut t = Table::new(["Mask", "G2 σ (d=75)", "G3 σ (d=230)"]);
+    let base = SchedulerConfig::paper();
+    let full_g2 = schedule(&g2, Minutes::new(75.0), &base).unwrap().cost.value();
+    let full_g3 = schedule(&g3, Minutes::new(230.0), &base).unwrap().cost.value();
+    t.row(["all factors".to_string(), format!("{full_g2:.0}"), format!("{full_g3:.0}")]);
+    for i in 0..5 {
+        let cfg = SchedulerConfig { factor_mask: FactorMask::without(i), ..base.clone() };
+        let a = schedule(&g2, Minutes::new(75.0), &cfg).unwrap().cost.value();
+        let b = schedule(&g3, Minutes::new(230.0), &cfg).unwrap().cost.value();
+        t.row([
+            format!("without {}", FactorMask::NAMES[i]),
+            format!("{a:.0} ({:+.1}%)", (a - full_g2) / full_g2 * 100.0),
+            format!("{b:.0} ({:+.1}%)", (b - full_g3) / full_g3 * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\n== Ablation 2: initial-sequence weight rule (DESIGN.md §4.1) ==\n");
+    let mut t = Table::new(["Rule", "G2 σ (d=75)", "G3 σ (d=230)"]);
+    for (name, rule) in [
+        ("average current (default, matches Table 2)", InitialWeight::AverageCurrent),
+        ("average energy (the §4.1 prose)", InitialWeight::AverageEnergy),
+        ("average power", InitialWeight::AveragePower),
+    ] {
+        let cfg = SchedulerConfig { initial_weight: rule, ..base.clone() };
+        let a = schedule(&g2, Minutes::new(75.0), &cfg).unwrap().cost.value();
+        let b = schedule(&g3, Minutes::new(230.0), &cfg).unwrap().cost.value();
+        t.row([name.to_string(), format!("{a:.0}"), format!("{b:.0}")]);
+    }
+    print!("{}", t.render());
+
+    println!("\n== Ablation 3: advantage over the DP baseline vs battery non-ideality (β) ==\n");
+    let mut t = Table::new(["β", "ours σ", "DP [1] σ", "advantage"]);
+    let dp_algo = RakhmatovDp::default();
+    for beta in [0.1, 0.2, 0.273, 0.5, 1.0, 2.0] {
+        let cfg = SchedulerConfig { beta, ..base.clone() };
+        let model = RvModel::new(beta, 10).unwrap();
+        let ours = schedule(&g3, Minutes::new(230.0), &cfg).unwrap();
+        let ours_cost = ours.schedule.battery_cost(&g3, &model).value();
+        let dp_cost = dp_algo
+            .schedule(&g3, Minutes::new(230.0))
+            .unwrap()
+            .battery_cost(&g3, &model)
+            .value();
+        t.row([
+            format!("{beta}"),
+            format!("{ours_cost:.0}"),
+            format!("{dp_cost:.0}"),
+            format!("{:+.1}%", (dp_cost - ours_cost) / ours_cost * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\n(small β = sluggish diffusion = strong rate/recovery effects; as β grows the");
+    println!("battery approaches ideal and the DP baseline catches up in the limit.)");
+
+    println!("\n== Ablation 4: series truncation error at the paper's operating point ==\n");
+    let plan = schedule(&g3, Minutes::new(230.0), &base).unwrap();
+    let profile = plan.schedule.to_profile(&g3);
+    let reference = RvModel::new(0.273, 400).unwrap();
+    let ref_sigma = reference.sigma(&profile, profile.end()).value();
+    let mut t = Table::new(["terms", "σ", "error vs 400-term"]);
+    for terms in [1usize, 2, 5, 10, 20, 50, 100] {
+        let m = RvModel::new(0.273, terms).unwrap();
+        let s = m.sigma(&profile, profile.end()).value();
+        t.row([
+            format!("{terms}"),
+            format!("{s:.1}"),
+            format!("{:+.3}%", (s - ref_sigma) / ref_sigma * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nthe paper's 10-term truncation is within a fraction of a percent of converged.");
+}

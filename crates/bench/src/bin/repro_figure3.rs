@@ -1,0 +1,55 @@
+//! Reproduces **Figure 3** of the paper: how windows mask design-point
+//! columns (5 tasks × 4 design points, windows 1:4, 2:4 and 3:4) — and then
+//! shows the real window sweep the algorithm performs on G3.
+
+use batsched_battery::rv::RvModel;
+use batsched_battery::units::Minutes;
+use batsched_core::{search::diag_evaluate_windows, SchedulerConfig};
+use batsched_taskgraph::paper::{g3, G3_EXAMPLE_DEADLINE};
+use batsched_taskgraph::topo::topological_order;
+
+fn main() {
+    println!("== Figure 3: window masks over 5 tasks x 4 design points ==\n");
+    let m = 4;
+    for ws in 1..m {
+        println!("Window {}:{m}", ws);
+        for task in 1..=5 {
+            let cells: Vec<String> = (1..=m)
+                .map(|j| {
+                    if j >= ws {
+                        format!("[DP{j}]")
+                    } else {
+                        format!(" DP{j} ")
+                    }
+                })
+                .collect();
+            println!("  T{task}  {}", cells.join(" "));
+        }
+        println!();
+    }
+    println!("bracketed columns are inside the window and eligible for assignment.\n");
+
+    println!("== The actual sweep on G3 (m = 5, d = {G3_EXAMPLE_DEADLINE}) ==");
+    let g = g3();
+    let model = RvModel::date05();
+    let seq = topological_order(&g);
+    let (records, best) = diag_evaluate_windows(
+        &g,
+        &SchedulerConfig::paper(),
+        Minutes::new(G3_EXAMPLE_DEADLINE),
+        &model,
+        &seq,
+    )
+    .expect("feasible");
+    for (k, r) in records.iter().enumerate() {
+        println!(
+            "  window {}: sigma = {:>7.0} mA·min, duration = {:>6.1} min{}",
+            r.label(g.point_count()),
+            r.cost.value(),
+            r.makespan.value(),
+            if k == best { "   <- best" } else { "" }
+        );
+    }
+    println!("\nwindows are tried narrowest-feasible first, widening to the full matrix;");
+    println!("the assignment with the least battery cost wins (Fig. 1's EvaluateWindows).");
+}

@@ -1,0 +1,62 @@
+//! Deadline-sweep curves: σ vs deadline for every algorithm on G2 and G3 —
+//! the continuous version of Table 4's three-point comparison. Prints a
+//! human table and emits CSV (stdout, after the marker line) suitable for
+//! plotting the crossover behaviour.
+
+use batsched_baselines::{
+    ChowdhuryScaling, KhanVemuri, RakhmatovDp, Scheduler, SimulatedAnnealing,
+};
+use batsched_battery::rv::RvModel;
+use batsched_battery::units::Minutes;
+use batsched_bench::Table;
+use batsched_taskgraph::analysis::{max_makespan, min_makespan};
+use batsched_taskgraph::paper::{g2, g3};
+use batsched_taskgraph::TaskGraph;
+
+fn sweep(name: &str, g: &TaskGraph, points: usize, csv: &mut String) {
+    let model = RvModel::date05();
+    let algos: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(KhanVemuri::paper()),
+        Box::new(RakhmatovDp::default()),
+        Box::new(ChowdhuryScaling),
+        Box::new(SimulatedAnnealing { steps: 5_000, ..Default::default() }),
+    ];
+    let lo = min_makespan(g).value();
+    let hi = max_makespan(g).value();
+
+    println!("== {name}: sigma (mA·min) vs deadline ==\n");
+    let mut header = vec!["deadline".to_string()];
+    header.extend(algos.iter().map(|a| a.name().to_string()));
+    let mut t = Table::new(header.clone());
+    for k in 1..=points {
+        let d = lo + (hi * 1.05 - lo) * k as f64 / points as f64;
+        let mut row = vec![format!("{d:.1}")];
+        let mut csv_row = vec![name.to_string(), format!("{d:.3}")];
+        for a in &algos {
+            match a.schedule(g, Minutes::new(d)) {
+                Ok(s) => {
+                    let c = s.battery_cost(g, &model).value();
+                    row.push(format!("{c:.0}"));
+                    csv_row.push(format!("{c:.1}"));
+                }
+                Err(_) => {
+                    row.push("-".into());
+                    csv_row.push("".into());
+                }
+            }
+        }
+        t.row(row);
+        csv.push_str(&csv_row.join(","));
+        csv.push('\n');
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+fn main() {
+    let mut csv = String::from("graph,deadline,khan_vemuri,rakhmatov_dp,chowdhury,annealing\n");
+    sweep("G2", &g2(), 10, &mut csv);
+    sweep("G3", &g3(), 10, &mut csv);
+    println!("--- CSV ---");
+    print!("{csv}");
+}

@@ -1,0 +1,130 @@
+//! # batsched-bench
+//!
+//! The reproduction harness for the DATE'05 paper: one binary per published
+//! table/figure (`repro_table1` … `repro_figure5`, plus `repro_ablation`)
+//! and criterion runtime benches. This library holds the shared plumbing:
+//! simple fixed-width table rendering and the published reference numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Reference values printed in the paper, used for side-by-side reports.
+pub mod published {
+    /// Table 3: per-iteration minimum battery capacity (mA·min) on G3 at
+    /// d = 230 (sequences S1–S4).
+    pub const TABLE3_MIN_SIGMA: [f64; 4] = [16353.0, 14725.0, 13737.0, 13737.0];
+
+    /// Table 3, S1 row: (σ, Δ) per window 1:5 … 4:5.
+    pub const TABLE3_S1: [(f64, f64); 4] =
+        [(17169.0, 229.8), (17837.0, 228.4), (17038.0, 227.1), (16353.0, 228.3)];
+
+    /// Table 4: our algorithm / the Rakhmatov-DP baseline on G2 at
+    /// deadlines 55/75/95 min.
+    pub const TABLE4_G2: [(f64, f64, f64); 3] = [
+        (55.0, 30913.0, 35739.0),
+        (75.0, 13751.0, 13885.0),
+        (95.0, 7961.0, 8517.0),
+    ];
+
+    /// Table 4: our algorithm / the Rakhmatov-DP baseline on G3 at
+    /// deadlines 100/150/230 min.
+    pub const TABLE4_G3: [(f64, f64, f64); 3] = [
+        (100.0, 57429.0, 68120.0),
+        (150.0, 41801.0, 48650.0),
+        (230.0, 13737.0, 22686.0),
+    ];
+}
+
+/// Minimal fixed-width table printer (no dependency needed).
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (short rows are padded with empty cells).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut width = vec![0usize; cols];
+        fn cell(r: &[String], c: usize) -> &str {
+            r.get(c).map(String::as_str).unwrap_or("")
+        }
+        for r in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (c, w) in width.iter_mut().enumerate() {
+                *w = (*w).max(cell(r, c).chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, r: &[String]| {
+            for (c, w) in width.iter().enumerate() {
+                let _ = write!(out, "{:<w$}  ", cell(r, c), w = w);
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        let rule: usize = width.iter().sum::<usize>() + 2 * width.len().saturating_sub(1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for r in &self.rows {
+            emit(&mut out, r);
+        }
+        out
+    }
+}
+
+/// Formats a relative deviation as `+x.x%`.
+pub fn pct(ours: f64, reference: f64) -> String {
+    if reference == 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.1}%", (ours - reference) / reference * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["a", "bbbb"]);
+        t.row(["xx", "y"]).row(["1", "22222"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a   "));
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(110.0, 100.0), "+10.0%");
+        assert_eq!(pct(95.0, 100.0), "-5.0%");
+        assert_eq!(pct(1.0, 0.0), "n/a");
+    }
+}

@@ -1,0 +1,487 @@
+//! # batsched-cli
+//!
+//! Command-line front end: schedule task-graph JSON files, compare
+//! algorithms, generate synthetic workloads, export DOT, and simulate
+//! execution against a battery. The argument parser is hand-rolled (no
+//! dependency) and fully unit-tested; `main.rs` is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use batsched_baselines::{
+    ChowdhuryScaling, KhanVemuri, RakhmatovDp, RandomSearch, Scheduler, SimulatedAnnealing,
+};
+use batsched_battery::rv::RvModel;
+use batsched_battery::units::{MilliAmpMinutes, Minutes};
+use batsched_core::SchedulerConfig;
+use batsched_sim::Simulator;
+use batsched_taskgraph::synth::{self, TaskParams};
+use batsched_taskgraph::{io as gio, TaskGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// CLI failure: a message and a suggestion to try `--help`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "batsched — battery-aware task scheduling (Khan & Vemuri, DATE 2005)
+
+USAGE:
+  batsched schedule <graph.json> --deadline <min> [--algo <name>] [--beta <f>] [--json]
+  batsched trace    <graph.json> --deadline <min> [--beta <f>]
+  batsched compare  <graph.json> --deadline <min> [--beta <f>]
+  batsched simulate <graph.json> --deadline <min> --capacity <mA·min> [--soc-csv]
+  batsched gen --family <chain|fork-join|layered|series-parallel|random>
+               [--tasks <n>] [--points <m>] [--seed <s>]
+  batsched demo <g2|g3>
+  batsched dot  <graph.json>
+
+ALGORITHMS (--algo): khan-vemuri (default), rakhmatov-dp, chowdhury,
+                     annealing, random
+
+Graphs are JSON as produced by `gen`/`demo`. Deadlines are minutes; the
+battery cost is the Rakhmatov–Vrudhula apparent charge σ in mA·min.";
+
+/// Parsed option map: positional args + `--key value` pairs + `--flag`s.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Opts {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` pairs.
+    pub options: Vec<(String, String)>,
+    /// Bare `--flag`s.
+    pub flags: Vec<String>,
+}
+
+impl Opts {
+    /// Looks up the value of `--key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` when `--flag` was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Parses a required float option.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] when missing or not a number.
+    pub fn require_f64(&self, key: &str) -> Result<f64, CliError> {
+        let raw = self
+            .get(key)
+            .ok_or_else(|| err(format!("missing required option --{key}")))?;
+        raw.parse()
+            .map_err(|_| err(format!("--{key} expects a number, got '{raw}'")))
+    }
+}
+
+/// Splits raw arguments into positionals, options and flags.
+///
+/// # Errors
+///
+/// [`CliError`] when a `--key` that expects a value trails the list.
+pub fn parse_args(args: &[String]) -> Result<Opts, CliError> {
+    const VALUE_OPTS: [&str; 8] =
+        ["deadline", "algo", "beta", "capacity", "family", "tasks", "points", "seed"];
+    let mut opts = Opts::default();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if VALUE_OPTS.contains(&name) {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err(format!("option --{name} expects a value")))?;
+                opts.options.push((name.to_string(), v.clone()));
+            } else {
+                opts.flags.push(name.to_string());
+            }
+        } else {
+            opts.positional.push(a.clone());
+        }
+    }
+    Ok(opts)
+}
+
+fn algo_by_name(name: &str, beta: f64) -> Result<Box<dyn Scheduler>, CliError> {
+    let config = SchedulerConfig { beta, ..SchedulerConfig::paper() };
+    Ok(match name {
+        "khan-vemuri" | "ours" => Box::new(KhanVemuri { config }),
+        "rakhmatov-dp" | "dp" => Box::new(RakhmatovDp::default()),
+        "chowdhury" => Box::new(ChowdhuryScaling),
+        "annealing" | "sa" => Box::new(SimulatedAnnealing::default()),
+        "random" => Box::new(RandomSearch::default()),
+        other => return Err(err(format!("unknown algorithm '{other}'"))),
+    })
+}
+
+fn load_graph(path: &str) -> Result<TaskGraph, CliError> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    gio::from_json(&raw).map_err(|e| err(format!("{path}: {e}")))
+}
+
+/// Runs the CLI against `args` (without the program name), writing human
+/// output to `out`. Returns `Err` for user errors (exit code 2 in `main`).
+///
+/// # Errors
+///
+/// [`CliError`] with a one-line message for any user-facing failure.
+pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let Some(cmd) = args.first().map(String::as_str) else {
+        out.push_str(USAGE);
+        out.push('\n');
+        return Ok(());
+    };
+    let rest: Vec<String> = args[1..].to_vec();
+    let opts = parse_args(&rest)?;
+    match cmd {
+        "help" | "--help" | "-h" => {
+            out.push_str(USAGE);
+            out.push('\n');
+            Ok(())
+        }
+        "schedule" => cmd_schedule(&opts, out),
+        "trace" => cmd_trace(&opts, out),
+        "compare" => cmd_compare(&opts, out),
+        "simulate" => cmd_simulate(&opts, out),
+        "gen" => cmd_gen(&opts, out),
+        "demo" => cmd_demo(&opts, out),
+        "dot" => cmd_dot(&opts, out),
+        other => Err(err(format!("unknown command '{other}' (try `batsched help`)"))),
+    }
+}
+
+fn cmd_schedule(opts: &Opts, out: &mut String) -> Result<(), CliError> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| err("schedule needs a graph file"))?;
+    let g = load_graph(path)?;
+    let deadline = Minutes::new(opts.require_f64("deadline")?);
+    let beta = opts.get("beta").map_or(Ok(0.273), |b| {
+        b.parse::<f64>().map_err(|_| err("--beta expects a number"))
+    })?;
+    let algo = algo_by_name(opts.get("algo").unwrap_or("khan-vemuri"), beta)?;
+    let s = algo
+        .schedule(&g, deadline)
+        .map_err(|e| err(e.to_string()))?;
+    let model = RvModel::new(beta, 10).map_err(|e| err(e.to_string()))?;
+    if opts.flag("json") {
+        let _ = writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&s).expect("schedules serialise")
+        );
+    } else {
+        let _ = writeln!(out, "algorithm : {}", algo.name());
+        let _ = writeln!(out, "schedule  : {}", s.display(&g));
+        let _ = writeln!(out, "makespan  : {:.1} (deadline {:.1})", s.makespan(&g), deadline);
+        let _ = writeln!(out, "battery σ : {:.0}", s.battery_cost(&g, &model));
+        let _ = writeln!(out, "direct    : {:.0}", s.direct_charge(&g));
+    }
+    Ok(())
+}
+
+fn cmd_trace(opts: &Opts, out: &mut String) -> Result<(), CliError> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| err("trace needs a graph file"))?;
+    let g = load_graph(path)?;
+    let deadline = Minutes::new(opts.require_f64("deadline")?);
+    let beta = opts.get("beta").map_or(Ok(0.273), |b| {
+        b.parse::<f64>().map_err(|_| err("--beta expects a number"))
+    })?;
+    let config = SchedulerConfig { beta, ..SchedulerConfig::paper() };
+    let sol = batsched_core::schedule(&g, deadline, &config).map_err(|e| err(e.to_string()))?;
+    out.push_str(&batsched_core::report::summary(&g, &sol));
+    out.push('\n');
+    out.push_str(&batsched_core::report::sequences_table(&g, &sol));
+    out.push('\n');
+    out.push_str(&batsched_core::report::windows_table(&g, &sol));
+    Ok(())
+}
+
+fn cmd_compare(opts: &Opts, out: &mut String) -> Result<(), CliError> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| err("compare needs a graph file"))?;
+    let g = load_graph(path)?;
+    let deadline = Minutes::new(opts.require_f64("deadline")?);
+    let beta = opts.get("beta").map_or(Ok(0.273), |b| {
+        b.parse::<f64>().map_err(|_| err("--beta expects a number"))
+    })?;
+    let model = RvModel::new(beta, 10).map_err(|e| err(e.to_string()))?;
+    let _ = writeln!(out, "{:<22} {:>12} {:>10}", "algorithm", "sigma mA·min", "makespan");
+    for name in ["khan-vemuri", "rakhmatov-dp", "chowdhury", "annealing", "random"] {
+        let algo = algo_by_name(name, beta)?;
+        match algo.schedule(&g, deadline) {
+            Ok(s) => {
+                let _ = writeln!(
+                    out,
+                    "{:<22} {:>12.0} {:>10.1}",
+                    algo.name(),
+                    s.battery_cost(&g, &model).value(),
+                    s.makespan(&g).value()
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{:<22} failed: {e}", algo.name());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Opts, out: &mut String) -> Result<(), CliError> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| err("simulate needs a graph file"))?;
+    let g = load_graph(path)?;
+    let deadline = Minutes::new(opts.require_f64("deadline")?);
+    let capacity = MilliAmpMinutes::new(opts.require_f64("capacity")?);
+    let plan = batsched_core::schedule(&g, deadline, &SchedulerConfig::paper())
+        .map_err(|e| err(e.to_string()))?;
+    let sim = Simulator::paper(capacity, Some(deadline));
+    let report = sim.run(&g, &plan.schedule, &RvModel::date05());
+    let _ = writeln!(out, "{report}");
+    for e in &report.events {
+        let _ = writeln!(out, "  {e:?}");
+    }
+    if opts.flag("soc-csv") {
+        out.push_str(&report.soc_csv());
+    }
+    Ok(())
+}
+
+fn cmd_gen(opts: &Opts, out: &mut String) -> Result<(), CliError> {
+    let family = opts.get("family").ok_or_else(|| err("gen needs --family"))?;
+    let n: usize = opts
+        .get("tasks")
+        .unwrap_or("12")
+        .parse()
+        .map_err(|_| err("--tasks expects an integer"))?;
+    let m: usize = opts
+        .get("points")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|_| err("--points expects an integer"))?;
+    let seed: u64 = opts
+        .get("seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| err("--seed expects an integer"))?;
+    if m < 2 {
+        return Err(err("--points must be at least 2"));
+    }
+    let factors: Vec<f64> = (0..m)
+        .map(|j| 1.0 - 0.67 * j as f64 / (m - 1) as f64)
+        .collect();
+    let params = TaskParams { factors, ..TaskParams::default() };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = match family {
+        "chain" => synth::chain(n, &params, &mut rng),
+        "fork-join" => synth::fork_join(&[n.saturating_sub(2).max(1)], &params, &mut rng),
+        "layered" => synth::layered(n.div_ceil(4).max(2), 4, 0.35, &params, &mut rng),
+        "series-parallel" => synth::series_parallel(3, &params, &mut rng),
+        "random" => synth::random_dag(n, 0.3, &params, &mut rng),
+        other => return Err(err(format!("unknown family '{other}'"))),
+    }
+    .map_err(|e| err(e.to_string()))?;
+    out.push_str(&gio::to_json(&g));
+    out.push('\n');
+    Ok(())
+}
+
+fn cmd_demo(opts: &Opts, out: &mut String) -> Result<(), CliError> {
+    let which = opts
+        .positional
+        .first()
+        .ok_or_else(|| err("demo needs 'g2' or 'g3'"))?;
+    let g = match which.as_str() {
+        "g2" => batsched_taskgraph::paper::g2(),
+        "g3" => batsched_taskgraph::paper::g3(),
+        other => return Err(err(format!("unknown demo '{other}' (g2 or g3)"))),
+    };
+    out.push_str(&gio::to_json(&g));
+    out.push('\n');
+    Ok(())
+}
+
+fn cmd_dot(opts: &Opts, out: &mut String) -> Result<(), CliError> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| err("dot needs a graph file"))?;
+    let g = load_graph(path)?;
+    out.push_str(&gio::to_dot(&g));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_args_splits_kinds() {
+        let o = parse_args(&sv(&["g.json", "--deadline", "75", "--json"])).unwrap();
+        assert_eq!(o.positional, vec!["g.json"]);
+        assert_eq!(o.get("deadline"), Some("75"));
+        assert!(o.flag("json"));
+        assert!(!o.flag("quiet"));
+    }
+
+    #[test]
+    fn parse_args_rejects_trailing_value_option() {
+        assert!(parse_args(&sv(&["--deadline"])).is_err());
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let mut out = String::new();
+        run(&[], &mut out).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let mut out = String::new();
+        let e = run(&sv(&["frobnicate"]), &mut out).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn demo_and_schedule_round_trip() {
+        let dir = std::env::temp_dir().join("batsched_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g2.json");
+        let mut out = String::new();
+        run(&sv(&["demo", "g2"]), &mut out).unwrap();
+        std::fs::write(&path, &out).unwrap();
+
+        let mut out = String::new();
+        run(
+            &sv(&["schedule", path.to_str().unwrap(), "--deadline", "75"]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("battery σ"), "{out}");
+        assert!(out.contains("khan-vemuri"));
+
+        let mut out = String::new();
+        run(
+            &sv(&["compare", path.to_str().unwrap(), "--deadline", "75"]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("rakhmatov-dp"));
+
+        let mut out = String::new();
+        run(
+            &sv(&[
+                "simulate",
+                path.to_str().unwrap(),
+                "--deadline",
+                "75",
+                "--capacity",
+                "50000",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("success"), "{out}");
+    }
+
+    #[test]
+    fn gen_produces_loadable_graphs() {
+        for family in ["chain", "fork-join", "layered", "series-parallel", "random"] {
+            let mut out = String::new();
+            run(&sv(&["gen", "--family", family, "--tasks", "8"]), &mut out).unwrap();
+            let g = gio::from_json(&out).unwrap_or_else(|e| panic!("{family}: {e}"));
+            assert!(g.task_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn trace_renders_tables() {
+        let dir = std::env::temp_dir().join("batsched_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g3t.json");
+        let mut out = String::new();
+        run(&sv(&["demo", "g3"]), &mut out).unwrap();
+        std::fs::write(&path, &out).unwrap();
+        let mut out = String::new();
+        run(
+            &sv(&["trace", path.to_str().unwrap(), "--deadline", "230"]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("win 4:5"), "{out}");
+        assert!(out.contains("S1w"));
+    }
+
+    #[test]
+    fn dot_renders() {
+        let dir = std::env::temp_dir().join("batsched_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g3.json");
+        let mut out = String::new();
+        run(&sv(&["demo", "g3"]), &mut out).unwrap();
+        std::fs::write(&path, &out).unwrap();
+        let mut out = String::new();
+        run(&sv(&["dot", path.to_str().unwrap()]), &mut out).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn schedule_reports_infeasible_deadline() {
+        let dir = std::env::temp_dir().join("batsched_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g2b.json");
+        let mut out = String::new();
+        run(&sv(&["demo", "g2"]), &mut out).unwrap();
+        std::fs::write(&path, &out).unwrap();
+        let mut out = String::new();
+        let e = run(
+            &sv(&["schedule", path.to_str().unwrap(), "--deadline", "10"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("infeasible"), "{e}");
+    }
+
+    #[test]
+    fn every_algo_name_resolves() {
+        for name in ["khan-vemuri", "ours", "rakhmatov-dp", "dp", "chowdhury", "annealing", "sa", "random"] {
+            assert!(algo_by_name(name, 0.273).is_ok(), "{name}");
+        }
+        assert!(algo_by_name("nope", 0.273).is_err());
+    }
+}

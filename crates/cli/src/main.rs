@@ -1,0 +1,14 @@
+//! Thin binary wrapper around [`batsched_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match batsched_cli::run(&args, &mut out) {
+        Ok(()) => print!("{out}"),
+        Err(e) => {
+            print!("{out}");
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the scheduler (C-GOOD-ERR).
+
+use batsched_battery::units::Minutes;
+use std::fmt;
+
+/// Errors returned by the battery-aware scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerError {
+    /// Even with every task at its fastest design point the graph cannot
+    /// finish by the deadline — the paper's `EvaluateWindows` exit-with-error
+    /// case.
+    DeadlineInfeasible {
+        /// Best achievable makespan (all tasks at column 1).
+        fastest: Minutes,
+        /// The requested deadline.
+        deadline: Minutes,
+    },
+    /// The deadline was not a positive, finite number of minutes.
+    InvalidDeadline {
+        /// The offending value.
+        deadline: Minutes,
+    },
+    /// The scheduler configuration was rejected (bad β or series length).
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Internal invariant violation: a window search fixed every task but
+    /// the result misses the deadline. Kept as a typed error (rather than a
+    /// panic) so fuzzing can surface it; never observed for valid inputs.
+    WindowSearchFailed {
+        /// 0-based window start column.
+        window_start: usize,
+    },
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DeadlineInfeasible { fastest, deadline } => write!(
+                f,
+                "deadline {deadline} is infeasible: fastest design points need {fastest}"
+            ),
+            Self::InvalidDeadline { deadline } => {
+                write!(f, "deadline must be positive and finite, got {deadline}")
+            }
+            Self::InvalidConfig { reason } => write!(f, "invalid scheduler config: {reason}"),
+            Self::WindowSearchFailed { window_start } => write!(
+                f,
+                "window search starting at column {window_start} produced no feasible assignment"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SchedulerError::DeadlineInfeasible {
+            fastest: Minutes::new(42.2),
+            deadline: Minutes::new(30.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("infeasible"));
+        assert!(s.contains("42.2"));
+        let e = SchedulerError::InvalidDeadline { deadline: Minutes::new(-1.0) };
+        assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SchedulerError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! # batsched-core
+//!
+//! The primary contribution of *"An Iterative Algorithm for Battery-Aware
+//! Task Scheduling on Portable Computing Platforms"* (Khan & Vemuri, DATE
+//! 2005): simultaneous task sequencing and design-point assignment that
+//! minimises Rakhmatov–Vrudhula battery charge σ subject to a deadline.
+//!
+//! The public surface mirrors the paper's structure:
+//!
+//! * [`schedule()`] — `BatteryAwareSQNDPAllocation`, the iterative driver;
+//! * [`sequence::initial_sequence`] — `SequenceDecEnergy`;
+//! * [`sequence::weighted_sequence`] — `FindWeightedSequence` (eq. 4);
+//! * [`search::FactorBreakdown`] / [`search::WindowRecord`] — the
+//!   suitability factors `B = SR + CR + ENR + CIF + DPF` and the window
+//!   machinery of Figures 1–3;
+//! * [`Solution::trace`] — per-iteration records from which the paper's
+//!   Tables 2 and 3 regenerate.
+//!
+//! ```
+//! use batsched_core::{schedule, SchedulerConfig};
+//! use batsched_battery::units::Minutes;
+//!
+//! let graph = batsched_taskgraph::paper::g2();
+//! let solution = schedule(&graph, Minutes::new(75.0), &SchedulerConfig::paper())?;
+//! println!("σ = {}, ends at {}", solution.cost, solution.makespan);
+//! # Ok::<(), batsched_core::SchedulerError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod config;
+pub mod error;
+pub mod refine;
+pub mod report;
+pub mod schedule;
+pub mod search;
+pub mod sequence;
+
+pub use algorithm::{schedule, IterationRecord, Solution};
+pub use config::{FactorMask, InitialWeight, SchedulerConfig};
+pub use error::SchedulerError;
+pub use refine::{refine_schedule, schedule_refined, Refined, RefineStats};
+pub use schedule::{battery_cost_of, Schedule, ScheduleError};
+pub use search::{FactorBreakdown, WindowRecord};
+
+/// Convenient glob-import of the types almost every user needs.
+pub mod prelude {
+    pub use crate::algorithm::{schedule, Solution};
+    pub use crate::config::{FactorMask, InitialWeight, SchedulerConfig};
+    pub use crate::error::SchedulerError;
+    pub use crate::schedule::Schedule;
+    pub use batsched_battery::units::{MilliAmpMinutes, Minutes};
+}

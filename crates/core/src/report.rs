@@ -1,0 +1,131 @@
+//! Human-readable reports of a [`Solution`]'s iteration trace, in the
+//! shape of the paper's Tables 2 and 3. Downstream tools (the CLI's
+//! `trace` command, the reproduction binaries) all render through here.
+
+use crate::algorithm::Solution;
+use batsched_taskgraph::{TaskGraph, TaskId};
+use std::fmt::Write as _;
+
+fn seq_names(g: &TaskGraph, seq: &[TaskId]) -> String {
+    seq.iter().map(|&t| g.name(t)).collect::<Vec<_>>().join(",")
+}
+
+/// Renders the per-iteration sequences and design-point assignments — the
+/// paper's Table 2 for this run.
+pub fn sequences_table(g: &TaskGraph, sol: &Solution) -> String {
+    let mut out = String::new();
+    for (k, it) in sol.trace.iter().enumerate() {
+        let _ = writeln!(out, "S{}   {}", k + 1, seq_names(g, &it.sequence));
+        let dps: Vec<String> = it
+            .sequence
+            .iter()
+            .map(|&t| format!("P{}", it.assignment[t.index()].index() + 1))
+            .collect();
+        let _ = writeln!(out, "DP   {}", dps.join(","));
+        let _ = writeln!(out, "S{}w  {}", k + 1, seq_names(g, &it.weighted_sequence));
+    }
+    out
+}
+
+/// Renders the per-window battery costs and durations — the paper's
+/// Table 3 for this run. Windows print widest-first like the paper's
+/// columns; the evaluation order is narrowest-first.
+pub fn windows_table(g: &TaskGraph, sol: &Solution) -> String {
+    let m = g.point_count();
+    let mut out = String::new();
+    let _ = write!(out, "{:<5}", "seq");
+    for ws in 0..m.saturating_sub(1).max(1) {
+        let _ = write!(out, " {:>16}", format!("win {}:{}", ws + 1, m));
+    }
+    let _ = writeln!(out, " {:>10} {:>8}", "min σ", "Δ");
+    for (k, it) in sol.trace.iter().enumerate() {
+        let _ = write!(out, "{:<5}", format!("S{}", k + 1));
+        for ws in 0..m.saturating_sub(1).max(1) {
+            match it.windows.iter().find(|w| w.window_start.index() == ws) {
+                Some(w) => {
+                    let _ = write!(
+                        out,
+                        " {:>16}",
+                        format!("{:.0} ({:.1})", w.cost.value(), w.makespan.value())
+                    );
+                }
+                None => {
+                    let _ = write!(out, " {:>16}", "-");
+                }
+            }
+        }
+        let best = &it.windows[it.best_window];
+        let _ = writeln!(
+            out,
+            " {:>10.0} {:>8.1}",
+            best.cost.value(),
+            best.makespan.value()
+        );
+        let _ = writeln!(
+            out,
+            "{:<5}{} {:>10.0} {:>8.1}",
+            format!("S{}w", k + 1),
+            " ".repeat(17 * m.saturating_sub(1).max(1) - 1),
+            it.weighted_cost.value(),
+            it.weighted_makespan.value()
+        );
+    }
+    out
+}
+
+/// A compact one-paragraph summary of the run.
+pub fn summary(g: &TaskGraph, sol: &Solution) -> String {
+    format!(
+        "{} tasks scheduled in {} iteration(s): σ = {:.0} mA·min over {:.1} min\nplan: {}\n",
+        g.task_count(),
+        sol.iterations,
+        sol.cost.value(),
+        sol.makespan.value(),
+        sol.schedule.display(g)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerConfig;
+    use batsched_battery::units::Minutes;
+    use batsched_taskgraph::paper::g3;
+
+    fn solution() -> (TaskGraph, Solution) {
+        let g = g3();
+        let sol = crate::algorithm::schedule(&g, Minutes::new(230.0), &SchedulerConfig::paper())
+            .unwrap();
+        (g, sol)
+    }
+
+    #[test]
+    fn sequences_table_mentions_every_iteration_and_task() {
+        let (g, sol) = solution();
+        let s = sequences_table(&g, &sol);
+        for k in 1..=sol.iterations {
+            assert!(s.contains(&format!("S{k} ")), "missing S{k}:\n{s}");
+            assert!(s.contains(&format!("S{k}w")), "missing S{k}w:\n{s}");
+        }
+        assert!(s.contains("T15"));
+        assert!(s.contains("P5"));
+    }
+
+    #[test]
+    fn windows_table_has_all_window_columns() {
+        let (g, sol) = solution();
+        let s = windows_table(&g, &sol);
+        for ws in 1..=4 {
+            assert!(s.contains(&format!("win {ws}:5")), "missing window {ws}:\n{s}");
+        }
+        assert!(s.contains("228.3") || s.contains("229."), "durations render:\n{s}");
+    }
+
+    #[test]
+    fn summary_is_one_stop() {
+        let (g, sol) = solution();
+        let s = summary(&g, &sol);
+        assert!(s.contains("15 tasks"));
+        assert!(s.contains("T1@"));
+    }
+}

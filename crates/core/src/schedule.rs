@@ -1,0 +1,303 @@
+//! The scheduler's output: an ordered, design-point-assigned task sequence.
+
+use batsched_battery::model::BatteryModel;
+use batsched_battery::profile::LoadProfile;
+use batsched_battery::units::{MilliAmpMinutes, Minutes};
+use batsched_taskgraph::{PointId, TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Validation failures for a [`Schedule`] against its graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The order is not a topological permutation of the graph's tasks.
+    NotTopological,
+    /// The assignment vector length disagrees with the task count.
+    AssignmentLength {
+        /// The graph's task count.
+        expected: usize,
+        /// The assignment vector's length.
+        found: usize,
+    },
+    /// An assignment references a design-point column that does not exist.
+    PointOutOfRange {
+        /// The offending task.
+        task: TaskId,
+        /// The nonexistent point.
+        point: PointId,
+    },
+    /// The schedule finishes after the deadline.
+    DeadlineViolated {
+        /// When the schedule actually ends.
+        makespan: Minutes,
+        /// The deadline it had to meet.
+        deadline: Minutes,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotTopological => write!(f, "order is not a topological permutation"),
+            Self::AssignmentLength { expected, found } => {
+                write!(f, "assignment has {found} entries, graph has {expected} tasks")
+            }
+            Self::PointOutOfRange { task, point } => {
+                write!(f, "task {task} assigned nonexistent design point {point}")
+            }
+            Self::DeadlineViolated { makespan, deadline } => {
+                write!(f, "schedule ends at {makespan}, after deadline {deadline}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete scheduling decision: execution order plus one design point per
+/// task (indexed by `TaskId`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    order: Vec<TaskId>,
+    assignment: Vec<PointId>,
+}
+
+impl Schedule {
+    /// Creates a schedule from an execution order and a task-indexed
+    /// assignment. Invariants are checked by [`Schedule::validate`], kept
+    /// separate so partially built schedules can be inspected in tests.
+    pub fn new(order: Vec<TaskId>, assignment: Vec<PointId>) -> Self {
+        Self { order, assignment }
+    }
+
+    /// Execution order (positions 0..n).
+    pub fn order(&self) -> &[TaskId] {
+        &self.order
+    }
+
+    /// Task-indexed design-point assignment.
+    pub fn assignment(&self) -> &[PointId] {
+        &self.assignment
+    }
+
+    /// The design point task `t` runs at.
+    pub fn point_of(&self, t: TaskId) -> PointId {
+        self.assignment[t.index()]
+    }
+
+    /// Total sequential execution time. Order-independent: the sum of the
+    /// chosen design points' durations.
+    pub fn makespan(&self, g: &TaskGraph) -> Minutes {
+        self.order
+            .iter()
+            .map(|&t| g.duration(t, self.point_of(t)))
+            .sum()
+    }
+
+    /// Start time of every task in execution order.
+    pub fn start_times(&self, g: &TaskGraph) -> Vec<(TaskId, Minutes)> {
+        let mut clock = Minutes::ZERO;
+        self.order
+            .iter()
+            .map(|&t| {
+                let s = clock;
+                clock += g.duration(t, self.point_of(t));
+                (t, s)
+            })
+            .collect()
+    }
+
+    /// The discharge profile this schedule presents to the battery:
+    /// back-to-back constant-current intervals from `t = 0`.
+    pub fn to_profile(&self, g: &TaskGraph) -> LoadProfile {
+        let mut p = LoadProfile::new();
+        for &t in &self.order {
+            let pt = g.point(t, self.point_of(t));
+            p.push(pt.duration, pt.current)
+                .expect("validated design points are positive-duration");
+        }
+        p
+    }
+
+    /// Battery cost of the schedule under `model`: apparent charge at the
+    /// completion instant (the paper's `CalculateBatteryCost`).
+    pub fn battery_cost<M: BatteryModel + ?Sized>(
+        &self,
+        g: &TaskGraph,
+        model: &M,
+    ) -> MilliAmpMinutes {
+        let profile = self.to_profile(g);
+        model.apparent_charge(&profile, profile.end())
+    }
+
+    /// Charge actually delivered (`Σ I·D`) — the ideal-battery cost.
+    pub fn direct_charge(&self, g: &TaskGraph) -> MilliAmpMinutes {
+        self.order
+            .iter()
+            .map(|&t| g.point(t, self.point_of(t)).charge())
+            .sum()
+    }
+
+    /// Checks the schedule against its graph and an optional deadline.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScheduleError`]; the first problem found is reported.
+    pub fn validate(&self, g: &TaskGraph, deadline: Option<Minutes>) -> Result<(), ScheduleError> {
+        if self.assignment.len() != g.task_count() {
+            return Err(ScheduleError::AssignmentLength {
+                expected: g.task_count(),
+                found: self.assignment.len(),
+            });
+        }
+        for t in g.task_ids() {
+            let p = self.point_of(t);
+            if p.index() >= g.point_count() {
+                return Err(ScheduleError::PointOutOfRange { task: t, point: p });
+            }
+        }
+        if !batsched_taskgraph::topo::is_topological(g, &self.order) {
+            return Err(ScheduleError::NotTopological);
+        }
+        if let Some(d) = deadline {
+            let makespan = self.makespan(g);
+            if makespan.value() > d.value() + 1e-9 {
+                return Err(ScheduleError::DeadlineViolated { makespan, deadline: d });
+            }
+        }
+        Ok(())
+    }
+
+    /// Compact human-readable rendering: `T1@DP5 → T4@DP5 → …`.
+    pub fn display<'a>(&'a self, g: &'a TaskGraph) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Schedule, &'a TaskGraph);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                for (k, &t) in self.0.order.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, " → ")?;
+                    }
+                    write!(f, "{}@{}", self.1.name(t), self.0.point_of(t))?;
+                }
+                Ok(())
+            }
+        }
+        D(self, g)
+    }
+}
+
+/// Battery cost of running `order` with `assignment` — the free-function
+/// form of [`Schedule::battery_cost`] used internally by the search, where
+/// order and assignment evolve separately. Returns `(cost, makespan)`.
+pub fn battery_cost_of<M: BatteryModel + ?Sized>(
+    g: &TaskGraph,
+    order: &[TaskId],
+    assignment_by_task: &[PointId],
+    model: &M,
+) -> (MilliAmpMinutes, Minutes) {
+    let mut p = LoadProfile::new();
+    for &t in order {
+        let pt = g.point(t, assignment_by_task[t.index()]);
+        p.push(pt.duration, pt.current)
+            .expect("validated design points are positive-duration");
+    }
+    let end = p.end();
+    (model.apparent_charge(&p, end), end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batsched_battery::ideal::CoulombCounter;
+    use batsched_battery::rv::RvModel;
+    use batsched_battery::units::MilliAmps;
+    use batsched_taskgraph::DesignPoint;
+
+    fn dp(current: f64, duration: f64) -> DesignPoint {
+        DesignPoint::new(MilliAmps::new(current), Minutes::new(duration))
+    }
+
+    fn chain2() -> TaskGraph {
+        let mut b = TaskGraph::builder();
+        let a = b.task("A", vec![dp(100.0, 1.0), dp(40.0, 2.0)]);
+        let c = b.task("B", vec![dp(200.0, 3.0), dp(10.0, 6.0)]);
+        b.edge(a, c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn makespan_and_profile() {
+        let g = chain2();
+        let s = Schedule::new(vec![TaskId(0), TaskId(1)], vec![PointId(1), PointId(0)]);
+        assert_eq!(s.makespan(&g), Minutes::new(5.0));
+        let p = s.to_profile(&g);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.intervals()[1].start, Minutes::new(2.0));
+        assert_eq!(p.intervals()[1].current, MilliAmps::new(200.0));
+        assert_eq!(s.direct_charge(&g), MilliAmpMinutes::new(40.0 * 2.0 + 200.0 * 3.0));
+    }
+
+    #[test]
+    fn start_times_accumulate() {
+        let g = chain2();
+        let s = Schedule::new(vec![TaskId(0), TaskId(1)], vec![PointId(0), PointId(0)]);
+        let st = s.start_times(&g);
+        assert_eq!(st, vec![(TaskId(0), Minutes::ZERO), (TaskId(1), Minutes::new(1.0))]);
+    }
+
+    #[test]
+    fn battery_cost_matches_models() {
+        let g = chain2();
+        let s = Schedule::new(vec![TaskId(0), TaskId(1)], vec![PointId(0), PointId(0)]);
+        assert_eq!(s.battery_cost(&g, &CoulombCounter::new()), s.direct_charge(&g));
+        let rv = RvModel::date05();
+        assert!(s.battery_cost(&g, &rv).value() > s.direct_charge(&g).value());
+        let (c, mk) = battery_cost_of(&g, s.order(), s.assignment(), &rv);
+        assert_eq!(c, s.battery_cost(&g, &rv));
+        assert_eq!(mk, s.makespan(&g));
+    }
+
+    #[test]
+    fn validation_catches_everything() {
+        let g = chain2();
+        // Wrong order.
+        let s = Schedule::new(vec![TaskId(1), TaskId(0)], vec![PointId(0), PointId(0)]);
+        assert_eq!(s.validate(&g, None).unwrap_err(), ScheduleError::NotTopological);
+        // Wrong assignment length.
+        let s = Schedule::new(vec![TaskId(0), TaskId(1)], vec![PointId(0)]);
+        assert!(matches!(
+            s.validate(&g, None).unwrap_err(),
+            ScheduleError::AssignmentLength { expected: 2, found: 1 }
+        ));
+        // Bad point id.
+        let s = Schedule::new(vec![TaskId(0), TaskId(1)], vec![PointId(9), PointId(0)]);
+        assert!(matches!(
+            s.validate(&g, None).unwrap_err(),
+            ScheduleError::PointOutOfRange { .. }
+        ));
+        // Deadline violation.
+        let s = Schedule::new(vec![TaskId(0), TaskId(1)], vec![PointId(1), PointId(1)]);
+        assert!(matches!(
+            s.validate(&g, Some(Minutes::new(5.0))).unwrap_err(),
+            ScheduleError::DeadlineViolated { .. }
+        ));
+        // All good.
+        let s = Schedule::new(vec![TaskId(0), TaskId(1)], vec![PointId(0), PointId(0)]);
+        assert!(s.validate(&g, Some(Minutes::new(4.0))).is_ok());
+    }
+
+    #[test]
+    fn display_renders_order_and_points() {
+        let g = chain2();
+        let s = Schedule::new(vec![TaskId(0), TaskId(1)], vec![PointId(1), PointId(0)]);
+        assert_eq!(format!("{}", s.display(&g)), "A@DP2 → B@DP1");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = Schedule::new(vec![TaskId(0), TaskId(1)], vec![PointId(1), PointId(0)]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

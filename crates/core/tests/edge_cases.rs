@@ -1,0 +1,144 @@
+//! Degenerate-instance coverage: the corners the paper never exercises but
+//! a library must survive — single tasks, single design points, identical
+//! currents, zero-current points, exactly-tight deadlines.
+
+use batsched_battery::units::{MilliAmps, Minutes};
+use batsched_core::{schedule, SchedulerConfig, SchedulerError};
+use batsched_taskgraph::{DesignPoint, PointId, TaskGraph};
+
+fn dp(i: f64, d: f64) -> DesignPoint {
+    DesignPoint::new(MilliAmps::new(i), Minutes::new(d))
+}
+
+#[test]
+fn single_task_single_point() {
+    let mut b = TaskGraph::builder();
+    b.task("only", vec![dp(100.0, 5.0)]);
+    let g = b.build().unwrap();
+    let sol = schedule(&g, Minutes::new(5.0), &SchedulerConfig::paper()).unwrap();
+    sol.schedule.validate(&g, Some(Minutes::new(5.0))).unwrap();
+    assert_eq!(sol.makespan, Minutes::new(5.0));
+    assert!(matches!(
+        schedule(&g, Minutes::new(4.9), &SchedulerConfig::paper()),
+        Err(SchedulerError::DeadlineInfeasible { .. })
+    ));
+}
+
+#[test]
+fn single_task_many_points_picks_the_leanest_feasible() {
+    let mut b = TaskGraph::builder();
+    b.task("only", vec![dp(400.0, 1.0), dp(100.0, 4.0), dp(20.0, 10.0)]);
+    let g = b.build().unwrap();
+    // d = 12: the 10-minute leanest point fits.
+    let sol = schedule(&g, Minutes::new(12.0), &SchedulerConfig::paper()).unwrap();
+    assert_eq!(sol.schedule.assignment()[0], PointId(2));
+    // d = 5: only the 4-minute point (or faster) fits.
+    let sol = schedule(&g, Minutes::new(5.0), &SchedulerConfig::paper()).unwrap();
+    assert!(sol.schedule.assignment()[0].index() <= 1);
+    sol.schedule.validate(&g, Some(Minutes::new(5.0))).unwrap();
+}
+
+#[test]
+fn chain_with_single_design_point_has_no_choices() {
+    let mut b = TaskGraph::builder();
+    let a = b.task("a", vec![dp(300.0, 2.0)]);
+    let c = b.task("b", vec![dp(200.0, 3.0)]);
+    let e = b.task("c", vec![dp(100.0, 1.0)]);
+    b.edge(a, c).edge(c, e);
+    let g = b.build().unwrap();
+    let sol = schedule(&g, Minutes::new(6.0), &SchedulerConfig::paper()).unwrap();
+    assert_eq!(sol.makespan, Minutes::new(6.0));
+    assert!(sol.schedule.assignment().iter().all(|p| p.index() == 0));
+    // One iteration pair suffices; no window choices exist.
+    for it in &sol.trace {
+        assert_eq!(it.windows.len(), 1);
+    }
+}
+
+#[test]
+fn identical_currents_degenerate_cr_to_zero() {
+    // All design points share one current: CR's normaliser is zero and must
+    // not produce NaN suitability values.
+    let mut b = TaskGraph::builder();
+    for name in ["x", "y", "z"] {
+        b.task(name, vec![dp(100.0, 1.0), dp(100.0, 2.0)]);
+    }
+    let g = b.build().unwrap();
+    let sol = schedule(&g, Minutes::new(5.0), &SchedulerConfig::paper()).unwrap();
+    sol.schedule.validate(&g, Some(Minutes::new(5.0))).unwrap();
+    assert!(sol.cost.is_finite());
+}
+
+#[test]
+fn zero_current_points_are_legal() {
+    // An "idle" design point drawing nothing (e.g. power-gated accelerator).
+    let mut b = TaskGraph::builder();
+    b.task("work", vec![dp(500.0, 1.0), dp(0.0, 9.0)]);
+    b.task("more", vec![dp(400.0, 1.0), dp(10.0, 6.0)]);
+    let g = b.build().unwrap();
+    let sol = schedule(&g, Minutes::new(15.0), &SchedulerConfig::paper()).unwrap();
+    sol.schedule.validate(&g, Some(Minutes::new(15.0))).unwrap();
+    assert!(sol.cost.value() >= 0.0);
+}
+
+#[test]
+fn exactly_tight_deadline_at_the_fastest_makespan() {
+    let mut b = TaskGraph::builder();
+    let a = b.task("a", vec![dp(300.0, 2.5), dp(60.0, 5.0)]);
+    let c = b.task("b", vec![dp(200.0, 1.5), dp(40.0, 3.0)]);
+    b.edge(a, c);
+    let g = b.build().unwrap();
+    let sol = schedule(&g, Minutes::new(4.0), &SchedulerConfig::paper()).unwrap();
+    assert!((sol.makespan.value() - 4.0).abs() < 1e-9);
+    assert!(sol.schedule.assignment().iter().all(|p| p.index() == 0));
+}
+
+#[test]
+fn wide_parallel_antichain_schedules_cleanly() {
+    // 12 independent tasks: every order is legal; the scheduler must still
+    // converge and meet the deadline.
+    let mut b = TaskGraph::builder();
+    for k in 0..12 {
+        let base = 100.0 + 60.0 * k as f64;
+        b.task(format!("t{k}"), vec![dp(base, 1.0), dp(base / 4.0, 2.0), dp(base / 16.0, 4.0)]);
+    }
+    let g = b.build().unwrap();
+    let sol = schedule(&g, Minutes::new(30.0), &SchedulerConfig::paper()).unwrap();
+    sol.schedule.validate(&g, Some(Minutes::new(30.0))).unwrap();
+    // The battery model rewards non-increasing current order; with all
+    // orders legal, the found order must not be strongly increasing:
+    let currents: Vec<f64> = sol
+        .schedule
+        .order()
+        .iter()
+        .map(|&t| g.current(t, sol.schedule.point_of(t)).value())
+        .collect();
+    let rises = currents.windows(2).filter(|w| w[0] < w[1]).count();
+    assert!(rises <= currents.len() / 2, "mostly non-increasing, got {currents:?}");
+}
+
+#[test]
+fn huge_deadline_saturates_at_all_leanest() {
+    let g = batsched_taskgraph::paper::g3();
+    let sol = schedule(&g, Minutes::new(1e6), &SchedulerConfig::paper()).unwrap();
+    let m = g.point_count();
+    let lean = sol
+        .schedule
+        .assignment()
+        .iter()
+        .filter(|p| p.index() == m - 1)
+        .count();
+    assert!(
+        lean >= g.task_count() - 1,
+        "with unlimited slack nearly everything sits at the leanest point"
+    );
+}
+
+#[test]
+fn max_iterations_one_still_returns_a_solution() {
+    let g = batsched_taskgraph::paper::g2();
+    let cfg = SchedulerConfig { max_iterations: 1, ..SchedulerConfig::paper() };
+    let sol = schedule(&g, Minutes::new(75.0), &cfg).unwrap();
+    assert_eq!(sol.iterations, 1);
+    sol.schedule.validate(&g, Some(Minutes::new(75.0))).unwrap();
+}

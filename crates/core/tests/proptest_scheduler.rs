@@ -1,0 +1,153 @@
+//! Property-based tests for the scheduler: on arbitrary valid instances
+//! with feasible deadlines, the algorithm must always return a valid,
+//! deadline-meeting schedule whose trace is internally consistent.
+
+use batsched_battery::rv::RvModel;
+use batsched_battery::units::Minutes;
+use batsched_core::{schedule, FactorMask, InitialWeight, SchedulerConfig, SchedulerError};
+use batsched_taskgraph::analysis::{max_makespan, min_makespan};
+use batsched_taskgraph::synth::{
+    chain, fork_join, layered, random_dag, Rounding, ScalingScheme, TaskParams,
+};
+use batsched_taskgraph::TaskGraph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (2usize..6, any::<u64>(), 0usize..4, 2usize..7).prop_map(|(m, seed, family, n)| {
+        let params = TaskParams {
+            current_range: (50.0, 950.0),
+            duration_range: (1.0, 15.0),
+            factors: (0..m)
+                .map(|j| 1.0 - 0.67 * j as f64 / (m - 1) as f64)
+                .collect(),
+            scheme: ScalingScheme::ReversedDuration,
+            rounding: Rounding::PAPER,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        match family {
+            0 => chain(n, &params, &mut rng),
+            1 => fork_join(&[n], &params, &mut rng),
+            2 => layered(3, 2, 0.4, &params, &mut rng),
+            _ => random_dag(n + 2, 0.35, &params, &mut rng),
+        }
+        .expect("valid generator parameters")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any feasible deadline the solution is valid, meets the deadline,
+    /// and costs at least the delivered charge.
+    #[test]
+    fn solutions_are_valid_and_feasible(g in arb_graph(), slack in 0.0f64..1.0) {
+        let lo = min_makespan(&g).value();
+        let hi = max_makespan(&g).value();
+        let d = Minutes::new(lo + (hi - lo) * slack);
+        let sol = schedule(&g, d, &SchedulerConfig::paper()).unwrap();
+        prop_assert!(sol.schedule.validate(&g, Some(d)).is_ok());
+        prop_assert!(sol.cost.value() >= sol.schedule.direct_charge(&g).value() - 1e-6);
+        prop_assert!(sol.iterations >= 1);
+        // The reported cost matches an independent recomputation.
+        let recomputed = sol.schedule.battery_cost(&g, &RvModel::date05()).value();
+        prop_assert!((recomputed - sol.cost.value()).abs() < 1e-6 * (1.0 + recomputed));
+    }
+
+    /// Deadlines below the fastest makespan are rejected with the paper's
+    /// typed error, never a panic or an invalid schedule.
+    #[test]
+    fn infeasible_deadlines_error_cleanly(g in arb_graph(), f in 0.05f64..0.95) {
+        let d = Minutes::new(min_makespan(&g).value() * f);
+        if d.value() <= 0.0 { return Ok(()); }
+        match schedule(&g, d, &SchedulerConfig::paper()) {
+            Err(SchedulerError::DeadlineInfeasible { fastest, deadline }) => {
+                prop_assert!(fastest.value() > deadline.value());
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+            Ok(sol) => {
+                // f < 1 means d < min makespan strictly, unless rounding made
+                // them equal — then a valid schedule is acceptable.
+                prop_assert!(sol.makespan.value() <= d.value() + 1e-9);
+            }
+        }
+    }
+
+    /// The per-iteration minima never increase until termination (the
+    /// paper's termination rule guarantees it).
+    #[test]
+    fn iteration_minima_are_non_increasing_until_the_last(g in arb_graph()) {
+        let d = Minutes::new(max_makespan(&g).value() * 0.8);
+        if d.value() < min_makespan(&g).value() { return Ok(()); }
+        let sol = schedule(&g, d, &SchedulerConfig::paper()).unwrap();
+        let costs: Vec<f64> = sol.trace.iter().map(|r| r.min_cost.value()).collect();
+        for w in costs.windows(2).rev().skip(1) {
+            prop_assert!(w[1] <= w[0] + 1e-9, "{costs:?}");
+        }
+        // The final solution equals the best minimum seen.
+        let best = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!((sol.cost.value() - best).abs() < 1e-9);
+    }
+
+    /// Every factor-ablated configuration still yields valid schedules.
+    #[test]
+    fn ablated_configs_stay_valid(g in arb_graph(), which in 0usize..5) {
+        let d = Minutes::new(max_makespan(&g).value() * 0.75);
+        if d.value() < min_makespan(&g).value() { return Ok(()); }
+        let cfg = SchedulerConfig {
+            factor_mask: FactorMask::without(which),
+            ..SchedulerConfig::paper()
+        };
+        let sol = schedule(&g, d, &cfg).unwrap();
+        prop_assert!(sol.schedule.validate(&g, Some(d)).is_ok());
+    }
+
+    /// All three initial-weight rules yield valid schedules and identical
+    /// *feasibility* (they only reorder the search).
+    #[test]
+    fn initial_weight_rules_agree_on_feasibility(g in arb_graph()) {
+        let d = Minutes::new(max_makespan(&g).value() * 0.7);
+        if d.value() < min_makespan(&g).value() { return Ok(()); }
+        for rule in [InitialWeight::AverageCurrent, InitialWeight::AverageEnergy, InitialWeight::AveragePower] {
+            let cfg = SchedulerConfig { initial_weight: rule, ..SchedulerConfig::paper() };
+            let sol = schedule(&g, d, &cfg).unwrap();
+            prop_assert!(sol.schedule.validate(&g, Some(d)).is_ok(), "{rule:?}");
+        }
+    }
+
+    /// Window records are self-consistent: labelled windows are respected by
+    /// their assignments and all makespans meet the deadline.
+    #[test]
+    fn window_records_are_consistent(g in arb_graph()) {
+        let d = Minutes::new(max_makespan(&g).value() * 0.85);
+        if d.value() < min_makespan(&g).value() { return Ok(()); }
+        let sol = schedule(&g, d, &SchedulerConfig::paper()).unwrap();
+        for it in &sol.trace {
+            for w in &it.windows {
+                prop_assert!(w.makespan.value() <= d.value() + 1e-9);
+                for t in g.task_ids() {
+                    prop_assert!(w.assignment[t.index()].index() >= w.window_start.index());
+                    prop_assert!(w.assignment[t.index()].index() < g.point_count());
+                }
+            }
+        }
+    }
+
+    /// A looser deadline never makes the final battery cost worse by more
+    /// than numerical noise (monotonicity is heuristic, not guaranteed —
+    /// but must hold within the same run's trace: the returned cost is the
+    /// minimum over everything evaluated).
+    #[test]
+    fn returned_cost_is_the_minimum_over_the_trace(g in arb_graph()) {
+        let d = Minutes::new(max_makespan(&g).value() * 0.9);
+        if d.value() < min_makespan(&g).value() { return Ok(()); }
+        let sol = schedule(&g, d, &SchedulerConfig::paper()).unwrap();
+        for it in &sol.trace {
+            for w in &it.windows {
+                prop_assert!(sol.cost.value() <= w.cost.value() + 1e-9);
+            }
+            prop_assert!(sol.cost.value() <= it.weighted_cost.value() + 1e-9);
+        }
+    }
+}

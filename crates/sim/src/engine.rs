@@ -1,0 +1,354 @@
+//! The discrete-event executor: runs a schedule on a [`Platform`] against a
+//! battery, producing an event log, a state-of-charge trace and a verdict.
+
+use crate::platform::Platform;
+use batsched_battery::model::BatteryModel;
+use batsched_battery::profile::LoadProfile;
+use batsched_battery::units::{MilliAmpMinutes, Minutes};
+use batsched_core::Schedule;
+use batsched_taskgraph::{TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Simulation events in time order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// A task began executing.
+    TaskStarted {
+        /// The task.
+        task: TaskId,
+        /// Start instant.
+        at: Minutes,
+    },
+    /// A task finished.
+    TaskCompleted {
+        /// The task.
+        task: TaskId,
+        /// Completion instant.
+        at: Minutes,
+        /// Apparent battery charge consumed so far.
+        sigma: MilliAmpMinutes,
+    },
+    /// A design-point switch / bitstream reconfiguration occupied the
+    /// platform.
+    Transition {
+        /// Switch start.
+        at: Minutes,
+        /// Switch duration.
+        duration: Minutes,
+    },
+    /// The battery's apparent charge crossed its rated capacity.
+    BatteryDepleted {
+        /// Estimated depletion instant.
+        at: Minutes,
+    },
+    /// The deadline passed while work remained.
+    DeadlineMissed {
+        /// The deadline.
+        deadline: Minutes,
+    },
+}
+
+/// One state-of-charge sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SocSample {
+    /// Sample instant.
+    pub at: Minutes,
+    /// Apparent charge consumed by `at`.
+    pub sigma: MilliAmpMinutes,
+    /// Remaining capacity (`capacity − sigma`, floored at zero).
+    pub remaining: MilliAmpMinutes,
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Ordered event log.
+    pub events: Vec<SimEvent>,
+    /// `true` when every task completed before battery death and deadline.
+    pub success: bool,
+    /// Depletion instant, when the battery died mid-mission.
+    pub depleted_at: Option<Minutes>,
+    /// Total execution time including transitions.
+    pub makespan: Minutes,
+    /// Apparent charge at the end of the mission.
+    pub final_sigma: MilliAmpMinutes,
+    /// Uniform state-of-charge samples for plotting.
+    pub soc_trace: Vec<SocSample>,
+}
+
+impl SimReport {
+    /// Renders the state-of-charge trace as CSV (`minutes,sigma,remaining`).
+    pub fn soc_csv(&self) -> String {
+        let mut out = String::from("minutes,sigma_mamin,remaining_mamin\n");
+        for s in &self.soc_trace {
+            out.push_str(&format!(
+                "{:.3},{:.3},{:.3}\n",
+                s.at.value(),
+                s.sigma.value(),
+                s.remaining.value()
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: makespan {:.1}, sigma {:.0}",
+            if self.success { "success" } else { "FAILED" },
+            self.makespan,
+            self.final_sigma
+        )?;
+        if let Some(at) = self.depleted_at {
+            write!(f, ", battery depleted at {at:.1}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Simulator {
+    /// Platform model (transition overheads, idle draw).
+    pub platform: Platform,
+    /// Rated battery capacity α.
+    pub capacity: MilliAmpMinutes,
+    /// Optional deadline to check during execution.
+    pub deadline: Option<Minutes>,
+    /// Number of uniform state-of-charge samples in the report.
+    pub soc_samples: usize,
+}
+
+impl Simulator {
+    /// A simulator on the paper's idealised platform.
+    pub fn paper(capacity: MilliAmpMinutes, deadline: Option<Minutes>) -> Self {
+        Self {
+            platform: Platform::paper(),
+            capacity,
+            deadline,
+            soc_samples: 64,
+        }
+    }
+
+    /// Builds the physical load profile a schedule induces on this platform
+    /// (task intervals plus transition intervals).
+    pub fn profile(&self, g: &TaskGraph, schedule: &Schedule) -> LoadProfile {
+        let mut p = LoadProfile::new();
+        let mut prev_col: Option<usize> = None;
+        for &t in schedule.order() {
+            let col = schedule.point_of(t).index();
+            if let Some(prev) = prev_col {
+                let tt = self.platform.transition_time(prev, col);
+                if tt.value() > 0.0 {
+                    if self.platform.transition.current.value() > 0.0 {
+                        p.push(tt, self.platform.transition.current)
+                            .expect("transition interval is positive");
+                    } else {
+                        p.push_rest(tt).expect("transition interval is positive");
+                    }
+                }
+            }
+            let pt = g.point(t, schedule.point_of(t));
+            p.push(pt.duration, pt.current)
+                .expect("validated design points are positive-duration");
+            prev_col = Some(col);
+        }
+        p
+    }
+
+    /// Executes `schedule` on `g` against `model`.
+    pub fn run<M: BatteryModel + ?Sized>(
+        &self,
+        g: &TaskGraph,
+        schedule: &Schedule,
+        model: &M,
+    ) -> SimReport {
+        let profile = self.profile(g, schedule);
+        let mut events = Vec::new();
+        let mut clock = Minutes::ZERO;
+        let mut prev_col: Option<usize> = None;
+
+        // Battery death instant, if any, over the full profile.
+        let depleted_at = model.lifetime(&profile, self.capacity);
+
+        let mut success = true;
+        let mut interrupted_at: Option<Minutes> = None;
+        for &t in schedule.order() {
+            let col = schedule.point_of(t).index();
+            if let Some(prev) = prev_col {
+                let tt = self.platform.transition_time(prev, col);
+                if tt.value() > 0.0 {
+                    events.push(SimEvent::Transition { at: clock, duration: tt });
+                    clock += tt;
+                }
+            }
+            events.push(SimEvent::TaskStarted { task: t, at: clock });
+            let end = clock + g.duration(t, schedule.point_of(t));
+            // Battery death mid-task aborts the mission.
+            if let Some(dead) = depleted_at {
+                if dead.value() < end.value() {
+                    events.push(SimEvent::BatteryDepleted { at: dead });
+                    success = false;
+                    interrupted_at = Some(dead);
+                    break;
+                }
+            }
+            clock = end;
+            events.push(SimEvent::TaskCompleted {
+                task: t,
+                at: clock,
+                sigma: model.apparent_charge(&profile, clock),
+            });
+            prev_col = Some(col);
+        }
+
+        let makespan = interrupted_at.unwrap_or(clock);
+        if success {
+            if let Some(d) = self.deadline {
+                if makespan.value() > d.value() + 1e-9 {
+                    events.push(SimEvent::DeadlineMissed { deadline: d });
+                    success = false;
+                }
+            }
+        }
+
+        // Uniform SoC samples over [0, makespan].
+        let samples = self.soc_samples.max(2);
+        let soc_trace: Vec<SocSample> = (0..samples)
+            .map(|k| {
+                let at = Minutes::new(makespan.value() * k as f64 / (samples - 1) as f64);
+                let sigma = model.apparent_charge(&profile, at);
+                SocSample {
+                    at,
+                    sigma,
+                    remaining: (self.capacity - sigma).max(MilliAmpMinutes::ZERO),
+                }
+            })
+            .collect();
+
+        SimReport {
+            events,
+            success,
+            depleted_at: if success { None } else { depleted_at },
+            makespan,
+            final_sigma: model.apparent_charge(&profile, makespan),
+            soc_trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batsched_battery::rv::RvModel;
+    use batsched_battery::units::MilliAmps;
+    use batsched_core::SchedulerConfig;
+    use batsched_taskgraph::paper::g2;
+
+    fn good_schedule(g: &TaskGraph) -> Schedule {
+        batsched_core::schedule(g, Minutes::new(75.0), &SchedulerConfig::paper())
+            .unwrap()
+            .schedule
+    }
+
+    #[test]
+    fn successful_mission_reports_success() {
+        let g = g2();
+        let s = good_schedule(&g);
+        let sim = Simulator::paper(MilliAmpMinutes::new(50_000.0), Some(Minutes::new(75.0)));
+        let model = RvModel::date05();
+        let r = sim.run(&g, &s, &model);
+        assert!(r.success, "{r}");
+        assert_eq!(r.depleted_at, None);
+        assert!((r.makespan.value() - s.makespan(&g).value()).abs() < 1e-9);
+        // Events: one start + one complete per task.
+        let starts = r.events.iter().filter(|e| matches!(e, SimEvent::TaskStarted { .. })).count();
+        let dones = r
+            .events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::TaskCompleted { .. }))
+            .count();
+        assert_eq!(starts, g.task_count());
+        assert_eq!(dones, g.task_count());
+    }
+
+    #[test]
+    fn small_battery_dies_mid_mission() {
+        let g = g2();
+        let s = good_schedule(&g);
+        let model = RvModel::date05();
+        let full_cost = s.battery_cost(&g, &model);
+        let sim = Simulator::paper(full_cost * 0.4, None);
+        let r = sim.run(&g, &s, &model);
+        assert!(!r.success);
+        assert!(r.depleted_at.is_some());
+        assert!(r.events.iter().any(|e| matches!(e, SimEvent::BatteryDepleted { .. })));
+        assert!(r.makespan.value() < s.makespan(&g).value());
+    }
+
+    #[test]
+    fn deadline_miss_is_reported() {
+        let g = g2();
+        let s = good_schedule(&g); // ends ~75
+        let sim = Simulator::paper(MilliAmpMinutes::new(50_000.0), Some(Minutes::new(60.0)));
+        let model = RvModel::date05();
+        let r = sim.run(&g, &s, &model);
+        assert!(!r.success);
+        assert!(r.events.iter().any(|e| matches!(e, SimEvent::DeadlineMissed { .. })));
+    }
+
+    #[test]
+    fn transition_overheads_extend_the_makespan() {
+        let g = g2();
+        let s = good_schedule(&g);
+        let model = RvModel::date05();
+        let ideal = Simulator::paper(MilliAmpMinutes::new(50_000.0), None).run(&g, &s, &model);
+        let mut dvs_sim = Simulator::paper(MilliAmpMinutes::new(50_000.0), None);
+        dvs_sim.platform = Platform::dvs(Minutes::new(0.2), MilliAmps::new(80.0));
+        let dvs = dvs_sim.run(&g, &s, &model);
+        assert!(dvs.makespan.value() >= ideal.makespan.value());
+        assert!(dvs.final_sigma.value() > ideal.final_sigma.value());
+        let mut fpga_sim = Simulator::paper(MilliAmpMinutes::new(50_000.0), None);
+        fpga_sim.platform = Platform::fpga(Minutes::new(0.5), MilliAmps::new(150.0));
+        let fpga = fpga_sim.run(&g, &s, &model);
+        assert!(fpga.makespan.value() > dvs.makespan.value());
+    }
+
+    #[test]
+    fn soc_trace_is_consistent_and_csv_renders() {
+        // σ is NOT globally monotone — after a heavy task hands over to a
+        // light one, the heavy task's unavailable charge recovers faster
+        // than the light task draws (the §3 recovery effect) — so we check
+        // consistency, not monotonicity.
+        let g = g2();
+        let s = good_schedule(&g);
+        let model = RvModel::date05();
+        let sim = Simulator::paper(MilliAmpMinutes::new(50_000.0), None);
+        let r = sim.run(&g, &s, &model);
+        assert!(r.soc_trace.len() >= 2);
+        for w in r.soc_trace.windows(2) {
+            assert!(w[1].at.value() > w[0].at.value());
+            assert!(w[1].sigma.value() >= 0.0);
+            assert!(
+                (w[1].remaining.value() - (50_000.0 - w[1].sigma.value()).max(0.0)).abs() < 1e-9
+            );
+        }
+        // σ always dominates the charge actually delivered so far.
+        let profile = sim.profile(&g, &s);
+        for sample in &r.soc_trace {
+            assert!(
+                sample.sigma.value() >= profile.direct_charge_until(sample.at).value() - 1e-9
+            );
+        }
+        // Last sample sits at the makespan and matches the final σ.
+        let last = r.soc_trace.last().unwrap();
+        assert!((last.at.value() - r.makespan.value()).abs() < 1e-9);
+        assert!((last.sigma.value() - r.final_sigma.value()).abs() < 1e-9);
+        let csv = r.soc_csv();
+        assert!(csv.lines().count() == r.soc_trace.len() + 1);
+        assert!(csv.starts_with("minutes,"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # batsched-sim
+//!
+//! Discrete-event execution of battery-aware schedules on explicit platform
+//! models. Where [`batsched_core`] *plans* (assuming the paper's idealised
+//! platform: free design-point switches, no idle draw), this crate *runs*
+//! the plan: it expands a schedule into the physical load profile — task
+//! intervals plus DVS voltage-transition or FPGA bitstream-reconfiguration
+//! intervals — tracks the battery's apparent charge through the mission, and
+//! reports task events, battery depletion and deadline misses.
+//!
+//! ```
+//! use batsched_sim::{Simulator};
+//! use batsched_core::{schedule, SchedulerConfig};
+//! use batsched_battery::rv::RvModel;
+//! use batsched_battery::units::{MilliAmpMinutes, Minutes};
+//!
+//! let g = batsched_taskgraph::paper::g2();
+//! let plan = schedule(&g, Minutes::new(75.0), &SchedulerConfig::paper())?;
+//! let sim = Simulator::paper(MilliAmpMinutes::new(50_000.0), Some(Minutes::new(75.0)));
+//! let report = sim.run(&g, &plan.schedule, &RvModel::date05());
+//! assert!(report.success);
+//! # Ok::<(), batsched_core::SchedulerError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod monte_carlo;
+pub mod platform;
+
+pub use engine::{SimEvent, SimReport, Simulator, SocSample};
+pub use monte_carlo::{DurationJitter, MissionSampler, MonteCarloReport};
+pub use platform::{Platform, PlatformKind, TransitionCost};

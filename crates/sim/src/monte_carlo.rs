@@ -1,0 +1,211 @@
+//! Monte-Carlo robustness analysis — an extension beyond the paper.
+//!
+//! The paper schedules against *worst-case* execution times. Real tasks
+//! jitter, and a schedule whose battery margin is thin can die on an
+//! unlucky run even though the nominal plan fits. This module samples
+//! jittered missions (each task's duration scaled by an independent
+//! uniform factor) and estimates the probability that the mission
+//! completes within both the deadline and the battery.
+
+use crate::engine::Simulator;
+use batsched_battery::model::BatteryModel;
+use batsched_battery::profile::LoadProfile;
+use batsched_battery::units::Minutes;
+use batsched_core::Schedule;
+use batsched_taskgraph::TaskGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Uniform multiplicative jitter on task durations:
+/// `actual = nominal · U(1 − spread, 1 + spread)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DurationJitter {
+    /// Relative half-width of the uniform factor, in `[0, 1)`.
+    pub spread: f64,
+}
+
+impl DurationJitter {
+    /// No jitter: every sample equals the nominal mission.
+    pub const NONE: Self = Self { spread: 0.0 };
+}
+
+/// Aggregate outcome of a Monte-Carlo campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloReport {
+    /// Samples drawn.
+    pub samples: usize,
+    /// Missions that finished all tasks within deadline and battery.
+    pub successes: usize,
+    /// Missions that ran out of battery.
+    pub depletions: usize,
+    /// Missions that finished the work but after the deadline.
+    pub deadline_misses: usize,
+    /// `successes / samples`.
+    pub success_rate: f64,
+    /// Mean completion time of successful missions (minutes).
+    pub mean_makespan: f64,
+}
+
+/// Monte-Carlo mission sampler (deterministic per seed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissionSampler {
+    /// The simulator configuration (platform, capacity, deadline).
+    pub simulator: Simulator,
+    /// Duration jitter model.
+    pub jitter: DurationJitter,
+    /// Number of missions to sample.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MissionSampler {
+    /// Runs the campaign for `schedule` on `g` under `model`.
+    pub fn run<M: BatteryModel + ?Sized>(
+        &self,
+        g: &TaskGraph,
+        schedule: &Schedule,
+        model: &M,
+    ) -> MonteCarloReport {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let spread = self.jitter.spread.clamp(0.0, 0.999);
+        let deadline = self.simulator.deadline;
+        let capacity = self.simulator.capacity;
+        let mut successes = 0usize;
+        let mut depletions = 0usize;
+        let mut deadline_misses = 0usize;
+        let mut makespan_sum = 0.0;
+
+        for _ in 0..self.samples.max(1) {
+            // Build the jittered physical profile (transitions included).
+            let mut p = LoadProfile::new();
+            let mut prev_col: Option<usize> = None;
+            let mut makespan = 0.0f64;
+            for &t in schedule.order() {
+                let col = schedule.point_of(t).index();
+                if let Some(prev) = prev_col {
+                    let tt = self.simulator.platform.transition_time(prev, col);
+                    if tt.value() > 0.0 {
+                        if self.simulator.platform.transition.current.value() > 0.0 {
+                            p.push(tt, self.simulator.platform.transition.current)
+                                .expect("positive transition");
+                        } else {
+                            p.push_rest(tt).expect("positive transition");
+                        }
+                        makespan += tt.value();
+                    }
+                }
+                let pt = g.point(t, schedule.point_of(t));
+                let factor = if spread > 0.0 {
+                    rng.gen_range(1.0 - spread..=1.0 + spread)
+                } else {
+                    1.0
+                };
+                let dur = Minutes::new(pt.duration.value() * factor);
+                p.push(dur, pt.current).expect("positive jittered duration");
+                makespan += dur.value();
+                prev_col = Some(col);
+            }
+
+            let died = model.lifetime(&p, capacity).is_some_and(|at| at.value() < makespan);
+            let late = deadline.is_some_and(|d| makespan > d.value() + 1e-9);
+            if died {
+                depletions += 1;
+            } else if late {
+                deadline_misses += 1;
+            } else {
+                successes += 1;
+                makespan_sum += makespan;
+            }
+        }
+
+        let samples = self.samples.max(1);
+        MonteCarloReport {
+            samples,
+            successes,
+            depletions,
+            deadline_misses,
+            success_rate: successes as f64 / samples as f64,
+            mean_makespan: if successes > 0 { makespan_sum / successes as f64 } else { f64::NAN },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batsched_battery::model::peak_apparent_charge;
+    use batsched_battery::rv::RvModel;
+    use batsched_battery::units::MilliAmpMinutes;
+    use batsched_core::SchedulerConfig;
+    use batsched_taskgraph::paper::g2;
+
+    fn setup() -> (batsched_taskgraph::TaskGraph, Schedule, RvModel) {
+        let g = g2();
+        let plan = batsched_core::schedule(&g, Minutes::new(75.0), &SchedulerConfig::paper())
+            .unwrap()
+            .schedule;
+        (g, plan, RvModel::date05())
+    }
+
+    fn sampler(capacity: f64, deadline: f64, spread: f64, samples: usize) -> MissionSampler {
+        MissionSampler {
+            simulator: Simulator::paper(
+                MilliAmpMinutes::new(capacity),
+                Some(Minutes::new(deadline)),
+            ),
+            jitter: DurationJitter { spread },
+            samples,
+            seed: 0xCAFE,
+        }
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_the_deterministic_verdict() {
+        let (g, plan, model) = setup();
+        let report = sampler(50_000.0, 75.0, 0.0, 10).run(&g, &plan, &model);
+        assert_eq!(report.successes, 10);
+        assert_eq!(report.success_rate, 1.0);
+        assert!((report.mean_makespan - plan.makespan(&g).value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thin_battery_margin_fails_under_jitter() {
+        let (g, plan, model) = setup();
+        let profile = plan.to_profile(&g);
+        let (_, peak) = peak_apparent_charge(&model, &profile, 64);
+        // 0.5% above nominal peak: fine deterministically, fragile at ±10%.
+        let tight = sampler(peak.value() * 1.005, 1e9, 0.10, 200);
+        let report = tight.run(&g, &plan, &model);
+        assert!(report.depletions > 0, "jitter must break a razor-thin margin");
+        assert!(report.success_rate < 1.0);
+        // A 30% margin shrugs the same jitter off.
+        let roomy = sampler(peak.value() * 1.3, 1e9, 0.10, 200);
+        let report = roomy.run(&g, &plan, &model);
+        assert_eq!(report.success_rate, 1.0);
+    }
+
+    #[test]
+    fn tight_deadline_misses_show_up_separately() {
+        let (g, plan, model) = setup();
+        // Plan ends ~74.7; ±10% jitter around it straddles a 74.7 deadline.
+        let s = sampler(1e9, plan.makespan(&g).value(), 0.10, 200);
+        let report = s.run(&g, &plan, &model);
+        assert!(report.deadline_misses > 0);
+        assert!(report.successes > 0);
+        assert_eq!(report.depletions, 0);
+        assert_eq!(
+            report.successes + report.deadline_misses + report.depletions,
+            report.samples
+        );
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_per_seed() {
+        let (g, plan, model) = setup();
+        let a = sampler(20_000.0, 75.0, 0.05, 100).run(&g, &plan, &model);
+        let b = sampler(20_000.0, 75.0, 0.05, 100).run(&g, &plan, &model);
+        assert_eq!(a, b);
+    }
+}

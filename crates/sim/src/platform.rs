@@ -1,0 +1,135 @@
+//! Platform models: what runs the schedule.
+//!
+//! The paper assumes design-point switches are free. Real DVS processors pay
+//! a voltage-transition latency and FPGAs pay a bitstream-reconfiguration
+//! delay between consecutive tasks. The simulator makes those costs explicit
+//! (default zero, matching the paper) so their impact can be quantified —
+//! one of this reproduction's extension experiments.
+
+use batsched_battery::units::{MilliAmps, Minutes};
+use serde::{Deserialize, Serialize};
+
+/// The processing element executing the task graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// Voltage/frequency-scalable processor: a transition is paid only when
+    /// consecutive tasks run at *different* design-point columns, scaled by
+    /// the column distance.
+    DvsProcessor,
+    /// FPGA with one bitstream per (task, design point): a reconfiguration
+    /// is paid between *every* pair of consecutive tasks.
+    Fpga,
+}
+
+/// Cost of one design-point/bitstream switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionCost {
+    /// Fixed time per switch.
+    pub base_time: Minutes,
+    /// Additional time per design-point column of distance (DVS only).
+    pub time_per_level: Minutes,
+    /// Platform current drawn during the switch.
+    pub current: MilliAmps,
+}
+
+impl TransitionCost {
+    /// Free transitions — the paper's assumption.
+    pub const FREE: Self = Self {
+        base_time: Minutes::ZERO,
+        time_per_level: Minutes::ZERO,
+        current: MilliAmps::ZERO,
+    };
+}
+
+/// A platform description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Kind of processing element.
+    pub kind: PlatformKind,
+    /// Per-switch cost.
+    pub transition: TransitionCost,
+    /// Current drawn while idle (after the last task, during rests).
+    pub idle_current: MilliAmps,
+}
+
+impl Platform {
+    /// The paper's idealised platform: free transitions, no idle draw.
+    pub fn paper() -> Self {
+        Self {
+            kind: PlatformKind::DvsProcessor,
+            transition: TransitionCost::FREE,
+            idle_current: MilliAmps::ZERO,
+        }
+    }
+
+    /// A DVS processor with the given per-level switch latency and switch
+    /// current.
+    pub fn dvs(time_per_level: Minutes, current: MilliAmps) -> Self {
+        Self {
+            kind: PlatformKind::DvsProcessor,
+            transition: TransitionCost {
+                base_time: Minutes::ZERO,
+                time_per_level,
+                current,
+            },
+            idle_current: MilliAmps::ZERO,
+        }
+    }
+
+    /// An FPGA with the given reconfiguration time and current.
+    pub fn fpga(reconfig_time: Minutes, current: MilliAmps) -> Self {
+        Self {
+            kind: PlatformKind::Fpga,
+            transition: TransitionCost {
+                base_time: reconfig_time,
+                time_per_level: Minutes::ZERO,
+                current,
+            },
+            idle_current: MilliAmps::ZERO,
+        }
+    }
+
+    /// Switch duration between two consecutive tasks at columns `from` and
+    /// `to`.
+    pub fn transition_time(&self, from: usize, to: usize) -> Minutes {
+        match self.kind {
+            PlatformKind::DvsProcessor => {
+                if from == to {
+                    Minutes::ZERO
+                } else {
+                    let levels = from.abs_diff(to) as f64;
+                    self.transition.base_time + self.transition.time_per_level * levels
+                }
+            }
+            // Every FPGA task swap downloads a new bitstream.
+            PlatformKind::Fpga => self.transition.base_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_is_free() {
+        let p = Platform::paper();
+        assert_eq!(p.transition_time(0, 4), Minutes::ZERO);
+        assert_eq!(p.idle_current, MilliAmps::ZERO);
+    }
+
+    #[test]
+    fn dvs_scales_with_level_distance() {
+        let p = Platform::dvs(Minutes::new(0.1), MilliAmps::new(50.0));
+        assert_eq!(p.transition_time(2, 2), Minutes::ZERO);
+        assert_eq!(p.transition_time(0, 3), Minutes::new(0.30000000000000004));
+        assert_eq!(p.transition_time(3, 0), p.transition_time(0, 3));
+    }
+
+    #[test]
+    fn fpga_pays_every_swap() {
+        let p = Platform::fpga(Minutes::new(0.5), MilliAmps::new(120.0));
+        assert_eq!(p.transition_time(2, 2), Minutes::new(0.5));
+        assert_eq!(p.transition_time(0, 3), Minutes::new(0.5));
+    }
+}

@@ -1,0 +1,221 @@
+//! Aggregate statistics over a task graph.
+//!
+//! Everything the scheduler's normalised factors (§4 of the paper) need is
+//! computed once here: global current extrema for CR, lowest/highest-power
+//! energy totals for ENR, per-task average energies for the energy vector,
+//! and per-column makespans `CT(k)` for the window search.
+
+use crate::design_point::EnergyMetric;
+use crate::graph::{PointId, TaskGraph, TaskId};
+use batsched_battery::units::{Energy, MilliAmps, Minutes};
+use serde::{Deserialize, Serialize};
+
+/// Execution time if every task uses design-point column `k` — the paper's
+/// `CT(k)`. Since execution is sequential, this is a plain sum.
+pub fn column_time(g: &TaskGraph, k: PointId) -> Minutes {
+    g.task_ids().map(|t| g.duration(t, k)).sum()
+}
+
+/// Fastest possible makespan: every task at its fastest point (column 0).
+pub fn min_makespan(g: &TaskGraph) -> Minutes {
+    column_time(g, PointId(0))
+}
+
+/// Slowest makespan: every task at its leanest point (column `m−1`).
+pub fn max_makespan(g: &TaskGraph) -> Minutes {
+    column_time(g, PointId(g.point_count() - 1))
+}
+
+/// Average energy of all design points of `t` — the weight behind the
+/// paper's energy vector `E` and `SequenceDecEnergy`.
+pub fn average_energy(g: &TaskGraph, t: TaskId, metric: EnergyMetric) -> Energy {
+    let pts = &g.task(t).points;
+    let sum: f64 = pts.iter().map(|p| p.energy(metric).value()).sum();
+    Energy::new(sum / pts.len() as f64)
+}
+
+/// Average current over all design points of `t`.
+pub fn average_current(g: &TaskGraph, t: TaskId) -> MilliAmps {
+    let pts = &g.task(t).points;
+    let sum: f64 = pts.iter().map(|p| p.current.value()).sum();
+    MilliAmps::new(sum / pts.len() as f64)
+}
+
+/// Average power (`I·V`) over all design points of `t`.
+pub fn average_power(g: &TaskGraph, t: TaskId) -> f64 {
+    let pts = &g.task(t).points;
+    pts.iter().map(|p| p.current.value() * p.voltage.value()).sum::<f64>() / pts.len() as f64
+}
+
+/// Longest path through the DAG measured in column-`k` durations. With
+/// sequential execution this is a *lower bound witness*, not the makespan;
+/// it is reported by analyses and used by tests.
+pub fn critical_path(g: &TaskGraph, k: PointId) -> Minutes {
+    let order = crate::topo::topological_order(g);
+    let mut dist = vec![0.0f64; g.task_count()];
+    let mut best: f64 = 0.0;
+    for &t in &order {
+        let here = g.duration(t, k).value()
+            + g.preds(t)
+                .iter()
+                .map(|p| dist[p.index()])
+                .fold(0.0, f64::max);
+        dist[t.index()] = here;
+        best = best.max(here);
+    }
+    Minutes::new(best)
+}
+
+/// Pre-computed normalisation constants shared by the paper's factors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Smallest current over all design points of all tasks (`I_min`).
+    pub i_min: MilliAmps,
+    /// Largest current over all design points of all tasks (`I_max`).
+    pub i_max: MilliAmps,
+    /// Total energy when every task uses its lowest-power point (`E_min`).
+    pub e_min: Energy,
+    /// Total energy when every task uses its highest-power point (`E_max`).
+    pub e_max: Energy,
+    /// Energy metric the totals were computed under.
+    pub metric: EnergyMetric,
+}
+
+impl GraphStats {
+    /// Computes the constants for `g` under `metric`.
+    pub fn compute(g: &TaskGraph, metric: EnergyMetric) -> Self {
+        let mut i_min = f64::INFINITY;
+        let mut i_max = f64::NEG_INFINITY;
+        let mut e_min = 0.0;
+        let mut e_max = 0.0;
+        let m = g.point_count();
+        for t in g.task_ids() {
+            for p in &g.task(t).points {
+                i_min = i_min.min(p.current.value());
+                i_max = i_max.max(p.current.value());
+            }
+            // Column m−1 is the lowest-power point, column 0 the highest.
+            e_min += g.point(t, PointId(m - 1)).energy(metric).value();
+            e_max += g.point(t, PointId(0)).energy(metric).value();
+        }
+        Self {
+            i_min: MilliAmps::new(i_min),
+            i_max: MilliAmps::new(i_max),
+            e_min: Energy::new(e_min),
+            e_max: Energy::new(e_max),
+            metric,
+        }
+    }
+
+    /// Normalises a current into `[0, 1]` — the paper's CR. Degenerate
+    /// graphs where all currents are equal normalise to 0.
+    pub fn current_ratio(&self, i: MilliAmps) -> f64 {
+        let span = self.i_max.value() - self.i_min.value();
+        if span <= 0.0 {
+            0.0
+        } else {
+            (i.value() - self.i_min.value()) / span
+        }
+    }
+
+    /// Normalises a total energy into `[0, 1]` — the paper's ENR.
+    /// Degenerate spans normalise to 0.
+    pub fn energy_ratio(&self, e: Energy) -> f64 {
+        let span = self.e_max.value() - self.e_min.value();
+        if span <= 0.0 {
+            0.0
+        } else {
+            (e.value() - self.e_min.value()) / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design_point::DesignPoint;
+
+    fn dp(current: f64, duration: f64) -> DesignPoint {
+        DesignPoint::new(MilliAmps::new(current), Minutes::new(duration))
+    }
+
+    fn sample() -> TaskGraph {
+        let mut b = TaskGraph::builder();
+        let a = b.task("A", vec![dp(100.0, 1.0), dp(40.0, 2.0)]);
+        let c = b.task("B", vec![dp(200.0, 3.0), dp(10.0, 6.0)]);
+        b.edge(a, c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn column_times() {
+        let g = sample();
+        assert_eq!(column_time(&g, PointId(0)), Minutes::new(4.0));
+        assert_eq!(column_time(&g, PointId(1)), Minutes::new(8.0));
+        assert_eq!(min_makespan(&g), Minutes::new(4.0));
+        assert_eq!(max_makespan(&g), Minutes::new(8.0));
+    }
+
+    #[test]
+    fn averages() {
+        let g = sample();
+        assert_eq!(average_current(&g, TaskId(0)), MilliAmps::new(70.0));
+        // Charge metric: (100·1 + 40·2)/2 = 90.
+        assert_eq!(
+            average_energy(&g, TaskId(0), EnergyMetric::Charge).value(),
+            90.0
+        );
+        // Unit voltages: power average equals current average.
+        assert_eq!(average_power(&g, TaskId(0)), 70.0);
+    }
+
+    #[test]
+    fn stats_extrema_and_ratios() {
+        let g = sample();
+        let s = GraphStats::compute(&g, EnergyMetric::Charge);
+        assert_eq!(s.i_min, MilliAmps::new(10.0));
+        assert_eq!(s.i_max, MilliAmps::new(200.0));
+        // E_min = 40·2 + 10·6 = 140; E_max = 100·1 + 200·3 = 700.
+        assert_eq!(s.e_min.value(), 140.0);
+        assert_eq!(s.e_max.value(), 700.0);
+        assert_eq!(s.current_ratio(MilliAmps::new(10.0)), 0.0);
+        assert_eq!(s.current_ratio(MilliAmps::new(200.0)), 1.0);
+        assert!((s.current_ratio(MilliAmps::new(105.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(s.energy_ratio(Energy::new(140.0)), 0.0);
+        assert_eq!(s.energy_ratio(Energy::new(700.0)), 1.0);
+    }
+
+    #[test]
+    fn degenerate_spans_normalise_to_zero() {
+        let mut b = TaskGraph::builder();
+        b.task("A", vec![dp(50.0, 1.0)]);
+        let g = b.build().unwrap();
+        let s = GraphStats::compute(&g, EnergyMetric::Charge);
+        assert_eq!(s.current_ratio(MilliAmps::new(50.0)), 0.0);
+        assert_eq!(s.energy_ratio(Energy::new(50.0)), 0.0);
+    }
+
+    #[test]
+    fn critical_path_on_a_chain_is_the_total() {
+        let mut b = TaskGraph::builder();
+        let a = b.task("A", vec![dp(10.0, 1.0)]);
+        let c = b.task("B", vec![dp(10.0, 2.0)]);
+        let d = b.task("C", vec![dp(10.0, 3.0)]);
+        b.edge(a, c).edge(c, d);
+        let g = b.build().unwrap();
+        assert_eq!(critical_path(&g, PointId(0)), Minutes::new(6.0));
+    }
+
+    #[test]
+    fn critical_path_on_parallel_branches_takes_the_longer() {
+        let mut b = TaskGraph::builder();
+        let a = b.task("A", vec![dp(10.0, 1.0)]);
+        let x = b.task("X", vec![dp(10.0, 5.0)]);
+        let y = b.task("Y", vec![dp(10.0, 2.0)]);
+        let z = b.task("Z", vec![dp(10.0, 1.0)]);
+        b.edge(a, x).edge(a, y);
+        b.parents(z, [x, y]);
+        let g = b.build().unwrap();
+        assert_eq!(critical_path(&g, PointId(0)), Minutes::new(7.0));
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-task implementation options ("design points").
+//!
+//! A design point is one way to run a task: a voltage/frequency pair on a
+//! DVS processor, or one bitstream variant on an FPGA. Each carries the
+//! task's execution time and the *platform-level* average current (CPU +
+//! memory + display, per the paper's §1 assumption that peripheral costs are
+//! folded into the task).
+
+use batsched_battery::units::{Energy, MilliAmpMinutes, MilliAmps, Minutes, Volts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One implementation option for a task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Execution time of the task at this design point.
+    pub duration: Minutes,
+    /// Average platform current while the task runs at this design point.
+    pub current: MilliAmps,
+    /// Supply voltage (normalised; only ratios matter). Used by the
+    /// true-energy metric; the charge metric ignores it.
+    pub voltage: Volts,
+}
+
+impl DesignPoint {
+    /// Creates a design point with unit voltage.
+    pub fn new(current: MilliAmps, duration: Minutes) -> Self {
+        Self { duration, current, voltage: Volts::new(1.0) }
+    }
+
+    /// Creates a design point with an explicit supply voltage.
+    pub fn with_voltage(current: MilliAmps, duration: Minutes, voltage: Volts) -> Self {
+        Self { duration, current, voltage }
+    }
+
+    /// Charge drawn if the task runs to completion here (`I·D`, mA·min).
+    pub fn charge(&self) -> MilliAmpMinutes {
+        self.current * self.duration
+    }
+
+    /// `true` when duration and current are finite and positive / non-negative.
+    pub fn is_valid(&self) -> bool {
+        self.duration.is_finite()
+            && self.duration.value() > 0.0
+            && self.current.is_finite()
+            && self.current.is_non_negative()
+            && self.voltage.is_finite()
+            && self.voltage.value() > 0.0
+    }
+
+    /// Energy under the chosen metric.
+    pub fn energy(&self, metric: EnergyMetric) -> Energy {
+        match metric {
+            EnergyMetric::Charge => Energy::new(self.current.value() * self.duration.value()),
+            EnergyMetric::TrueEnergy => {
+                Energy::new(self.current.value() * self.voltage.value() * self.duration.value())
+            }
+        }
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} @ {:.1}", self.current, self.duration)
+    }
+}
+
+/// Which notion of "energy" weight-based heuristics should use.
+///
+/// The paper defines `En = Σ I·V·D` in §4 but its `CalculateFactors`
+/// pseudocode (Fig. 2) computes `Σ I·D`; both are provided. `Charge` is the
+/// default because the battery cost σ is itself a charge (mA·min).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EnergyMetric {
+    /// `I·D` (mA·min) — matches Fig. 2's `CalculateFactors`.
+    #[default]
+    Charge,
+    /// `I·V·D` — matches the §4 prose definition of ENR.
+    TrueEnergy,
+}
+
+/// Removes design points that are dominated (some other point is no slower
+/// *and* draws no more current) and sorts the survivors by ascending
+/// duration. The result satisfies the paper's matrix conventions: durations
+/// ascending, currents (weakly) descending.
+pub fn pareto_filter(mut points: Vec<DesignPoint>) -> Vec<DesignPoint> {
+    points.retain(|p| p.is_valid());
+    points.sort_by(|a, b| {
+        batsched_battery::units::total_cmp(a.duration.value(), b.duration.value())
+            .then(batsched_battery::units::total_cmp(a.current.value(), b.current.value()))
+    });
+    let mut kept: Vec<DesignPoint> = Vec::with_capacity(points.len());
+    for p in points {
+        // Sorted by duration: p is dominated iff some kept point draws <= current.
+        if kept
+            .last()
+            .map_or(true, |k| p.current.value() < k.current.value())
+        {
+            kept.push(p);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dp(current: f64, duration: f64) -> DesignPoint {
+        DesignPoint::new(MilliAmps::new(current), Minutes::new(duration))
+    }
+
+    #[test]
+    fn charge_and_energy() {
+        let p = DesignPoint::with_voltage(MilliAmps::new(100.0), Minutes::new(2.0), Volts::new(0.5));
+        assert_eq!(p.charge(), MilliAmpMinutes::new(200.0));
+        assert_eq!(p.energy(EnergyMetric::Charge).value(), 200.0);
+        assert_eq!(p.energy(EnergyMetric::TrueEnergy).value(), 100.0);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(dp(0.0, 1.0).is_valid(), "zero current is a legal idle point");
+        assert!(!dp(-1.0, 1.0).is_valid());
+        assert!(!dp(1.0, 0.0).is_valid());
+        assert!(!dp(f64::NAN, 1.0).is_valid());
+        let bad_v = DesignPoint::with_voltage(MilliAmps::new(1.0), Minutes::new(1.0), Volts::ZERO);
+        assert!(!bad_v.is_valid());
+    }
+
+    #[test]
+    fn pareto_filter_keeps_the_frontier() {
+        let pts = vec![
+            dp(100.0, 5.0),
+            dp(120.0, 6.0), // dominated: slower and hungrier than (100, 5)
+            dp(50.0, 8.0),
+            dp(50.0, 9.0), // dominated by (50, 8)
+            dp(20.0, 12.0),
+        ];
+        let kept = pareto_filter(pts);
+        let currents: Vec<f64> = kept.iter().map(|p| p.current.value()).collect();
+        assert_eq!(currents, vec![100.0, 50.0, 20.0]);
+        // Output satisfies the paper's conventions.
+        for w in kept.windows(2) {
+            assert!(w[0].duration.value() < w[1].duration.value());
+            assert!(w[0].current.value() > w[1].current.value());
+        }
+    }
+
+    #[test]
+    fn pareto_filter_drops_invalid_points() {
+        let kept = pareto_filter(vec![dp(f64::NAN, 1.0), dp(10.0, -2.0)]);
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(format!("{}", dp(917.0, 7.3)), "917 mA @ 7.3 min");
+    }
+}

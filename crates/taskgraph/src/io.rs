@@ -1,0 +1,98 @@
+//! Interchange: JSON (serde) helpers and Graphviz DOT export.
+
+use crate::graph::{TaskGraph, TaskGraphError};
+use std::fmt::Write as _;
+
+/// Serialises a graph to pretty JSON.
+pub fn to_json(g: &TaskGraph) -> String {
+    serde_json::to_string_pretty(g).expect("task graphs always serialise")
+}
+
+/// Parses a graph from JSON, revalidating all invariants.
+///
+/// # Errors
+///
+/// Returns a human-readable message for syntax errors and a
+/// [`TaskGraphError`]-derived message for semantic ones.
+pub fn from_json(json: &str) -> Result<TaskGraph, String> {
+    serde_json::from_str(json).map_err(|e| e.to_string())
+}
+
+/// Renders the DAG in Graphviz DOT format, labelling each task with its
+/// design-point table.
+pub fn to_dot(g: &TaskGraph) -> String {
+    let mut out = String::from("digraph taskgraph {\n  rankdir=TB;\n  node [shape=record];\n");
+    for t in g.task_ids() {
+        let node = g.task(t);
+        let mut label = format!("{{{}|", node.name);
+        for (j, p) in node.points.iter().enumerate() {
+            if j > 0 {
+                label.push_str("\\n");
+            }
+            let _ = write!(
+                label,
+                "DP{}: {:.0} mA, {:.1} min",
+                j + 1,
+                p.current.value(),
+                p.duration.value()
+            );
+        }
+        label.push('}');
+        let _ = writeln!(out, "  t{} [label=\"{}\"];", t.index(), label);
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  t{} -> t{};", u.index(), v.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Round-trips a graph through JSON; used by tests and the CLI self-check.
+///
+/// # Errors
+///
+/// Propagates parse errors (which indicate a serialisation bug).
+pub fn round_trip(g: &TaskGraph) -> Result<TaskGraph, String> {
+    from_json(&to_json(g))
+}
+
+/// Re-exported for error-type uniformity in downstream code.
+pub type GraphResult<T> = Result<T, TaskGraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{g2, g3};
+
+    #[test]
+    fn json_round_trip_paper_graphs() {
+        for g in [g2(), g3()] {
+            let back = round_trip(&g).unwrap();
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn from_json_reports_syntax_errors() {
+        assert!(from_json("{ not json").is_err());
+    }
+
+    #[test]
+    fn from_json_reports_semantic_errors() {
+        let json = r#"{"tasks": [], "edges": []}"#;
+        let err = from_json(json).unwrap_err();
+        assert!(err.contains("no tasks"), "got: {err}");
+    }
+
+    #[test]
+    fn dot_mentions_every_task_and_edge() {
+        let g = g2();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        for t in g.task_ids() {
+            assert!(dot.contains(&format!("t{} [", t.index())));
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+        assert!(dot.contains("938 mA"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # batsched-taskgraph
+//!
+//! The application model of the DATE'05 battery-aware scheduling paper:
+//! directed acyclic task graphs whose tasks each expose `m` design points
+//! (voltage/frequency pairs or FPGA bitstream variants) with known execution
+//! time and platform current.
+//!
+//! Highlights:
+//!
+//! * [`graph::TaskGraph`] — validated DAG with the paper's matrix
+//!   conventions (durations ascending, currents descending per task);
+//! * [`topo`] — list-scheduling machinery shared by every sequencing
+//!   strategy in the workspace;
+//! * [`synth`] — voltage-scaling design-point synthesis and five topology
+//!   generator families;
+//! * [`paper`] — the paper's exact G2 (robotic arm) and G3 (fork-join)
+//!   instances, golden-tested against the published tables;
+//! * [`analysis`] — the normalisation constants behind the paper's factors.
+//!
+//! ```
+//! use batsched_taskgraph::prelude::*;
+//!
+//! let g = batsched_taskgraph::paper::g3();
+//! assert_eq!(g.task_count(), 15);
+//! let order = topological_order(&g);
+//! assert!(is_topological(&g, &order));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod design_point;
+pub mod graph;
+pub mod io;
+pub mod paper;
+pub mod synth;
+pub mod topo;
+
+pub use design_point::{pareto_filter, DesignPoint, EnergyMetric};
+pub use graph::{PointId, TaskGraph, TaskGraphBuilder, TaskGraphError, TaskId, TaskNode};
+
+/// Convenient glob-import of the types almost every user needs.
+pub mod prelude {
+    pub use crate::analysis::GraphStats;
+    pub use crate::design_point::{DesignPoint, EnergyMetric};
+    pub use crate::graph::{PointId, TaskGraph, TaskGraphError, TaskId};
+    pub use crate::topo::{is_topological, list_schedule, topological_order};
+    pub use batsched_battery::units::{MilliAmps, Minutes, Volts};
+}

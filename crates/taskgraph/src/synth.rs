@@ -1,0 +1,494 @@
+//! Synthetic task-graph generation.
+//!
+//! Two ingredients, matching how the paper built its workloads:
+//!
+//! 1. **Design-point synthesis from voltage-scaling factors** (§4.2 / §5):
+//!    given a task's base current and base duration plus a descending factor
+//!    list `s`, currents scale with `s³` (dynamic power ∝ V² and frequency
+//!    ∝ V give charge/current ∝ V³ at fixed work) and durations stretch as
+//!    the voltage drops. The paper uses two variants, both provided:
+//!    [`ScalingScheme::InverseDuration`] (its G2) and
+//!    [`ScalingScheme::ReversedDuration`] (its G3).
+//! 2. **Topology generators**: fork-join (the G3 family, citing Kwok &
+//!    Ahmad's multiprocessor benchmarks), chains, diamonds, layered random
+//!    DAGs and series-parallel graphs, all seeded and deterministic.
+
+use crate::design_point::DesignPoint;
+use crate::graph::{TaskGraph, TaskGraphError, TaskId};
+use batsched_battery::units::{MilliAmps, Minutes, Volts};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How durations are derived from the scaling factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingScheme {
+    /// `D_j = d_base / s_j` with `d_base` the duration at the *last* factor
+    /// (the paper's G2: "durations … inversely proportional to the scaling
+    /// factor with respect to V4"). Factors are then all `>= 1`, e.g.
+    /// `[2.5, 5/3, 1.25, 1]`.
+    InverseDuration,
+    /// `D_j = d_base · s_{m+1−j}` with `d_base` the *worst-case* duration
+    /// (at the last design point). This is the rule that reproduces the
+    /// paper's Table 1 exactly (its G3, factors `[1, .85, .68, .51, .33]`);
+    /// note it is *not* the same curve as `InverseDuration`.
+    ReversedDuration,
+}
+
+/// Decimal rounding applied to synthesised values, mirroring the paper's
+/// tables (currents to whole mA, durations to 0.1 min).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rounding {
+    /// Decimal places kept for currents (`None` = exact).
+    pub current_decimals: Option<u32>,
+    /// Decimal places kept for durations (`None` = exact).
+    pub duration_decimals: Option<u32>,
+}
+
+impl Rounding {
+    /// The paper's convention: integer mA, 0.1-minute durations.
+    pub const PAPER: Self = Self { current_decimals: Some(0), duration_decimals: Some(1) };
+
+    /// No rounding at all.
+    pub const EXACT: Self = Self { current_decimals: None, duration_decimals: None };
+
+    fn apply(x: f64, decimals: Option<u32>) -> f64 {
+        match decimals {
+            None => x,
+            Some(d) => {
+                let k = 10f64.powi(d as i32);
+                (x * k).round() / k
+            }
+        }
+    }
+}
+
+/// Errors from design-point synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// The factor list was empty.
+    NoFactors,
+    /// A factor was non-positive or non-finite.
+    InvalidFactor {
+        /// The offending factor.
+        value: f64,
+    },
+    /// Factors must be strictly decreasing (fastest first).
+    NonDecreasingFactors,
+    /// Base current/duration must be positive and finite.
+    InvalidBase,
+    /// The generated graph failed validation (should not happen; wrapped
+    /// for completeness).
+    Graph(TaskGraphError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoFactors => write!(f, "scaling factor list is empty"),
+            Self::InvalidFactor { value } => write!(f, "scaling factor {value} is not positive"),
+            Self::NonDecreasingFactors => {
+                write!(f, "scaling factors must be strictly decreasing")
+            }
+            Self::InvalidBase => write!(f, "base current/duration must be positive and finite"),
+            Self::Graph(e) => write!(f, "generated graph failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+impl From<TaskGraphError> for SynthError {
+    fn from(e: TaskGraphError) -> Self {
+        Self::Graph(e)
+    }
+}
+
+fn check_factors(factors: &[f64]) -> Result<(), SynthError> {
+    if factors.is_empty() {
+        return Err(SynthError::NoFactors);
+    }
+    for &s in factors {
+        if !(s.is_finite() && s > 0.0) {
+            return Err(SynthError::InvalidFactor { value: s });
+        }
+    }
+    if factors.windows(2).any(|w| w[0] <= w[1]) {
+        return Err(SynthError::NonDecreasingFactors);
+    }
+    Ok(())
+}
+
+/// Synthesises the full design-point row of one task.
+///
+/// `i_base` is the current at the **first** (fastest) design point;
+/// `d_base` is the duration anchor — at the *last* design point for both
+/// schemes (see [`ScalingScheme`]). Voltage of point `j` is `s_j`
+/// (normalised).
+///
+/// # Errors
+///
+/// See [`SynthError`].
+pub fn synthesize_points(
+    i_base: f64,
+    d_base: f64,
+    factors: &[f64],
+    scheme: ScalingScheme,
+    rounding: Rounding,
+) -> Result<Vec<DesignPoint>, SynthError> {
+    check_factors(factors)?;
+    if !(i_base.is_finite() && i_base > 0.0 && d_base.is_finite() && d_base > 0.0) {
+        return Err(SynthError::InvalidBase);
+    }
+    let m = factors.len();
+    let s1 = factors[0];
+    let mut points = Vec::with_capacity(m);
+    for (j, &s) in factors.iter().enumerate() {
+        // Currents scale with the cube of the factor relative to the fastest.
+        let i = i_base * (s / s1).powi(3);
+        let d = match scheme {
+            ScalingScheme::InverseDuration => d_base / (s / factors[m - 1]),
+            ScalingScheme::ReversedDuration => d_base * (factors[m - 1 - j] / s1),
+        };
+        points.push(DesignPoint::with_voltage(
+            MilliAmps::new(Rounding::apply(i, rounding.current_decimals)),
+            Minutes::new(Rounding::apply(d, rounding.duration_decimals)),
+            Volts::new(s),
+        ));
+    }
+    Ok(points)
+}
+
+/// Ranges the random generators draw task bases from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskParams {
+    /// Base (fastest-point) current range in mA.
+    pub current_range: (f64, f64),
+    /// Base duration range in minutes (anchor per the scheme).
+    pub duration_range: (f64, f64),
+    /// Scaling factors, fastest first, strictly decreasing.
+    pub factors: Vec<f64>,
+    /// Duration derivation rule.
+    pub scheme: ScalingScheme,
+    /// Value rounding.
+    pub rounding: Rounding,
+}
+
+impl Default for TaskParams {
+    /// G3-flavoured defaults: 5 design points, paper factors and rounding.
+    fn default() -> Self {
+        Self {
+            current_range: (300.0, 1000.0),
+            duration_range: (8.0, 35.0),
+            factors: vec![1.0, 0.85, 0.68, 0.51, 0.33],
+            scheme: ScalingScheme::ReversedDuration,
+            rounding: Rounding::PAPER,
+        }
+    }
+}
+
+impl TaskParams {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Vec<DesignPoint>, SynthError> {
+        let i = rng.gen_range(self.current_range.0..=self.current_range.1);
+        let d = rng.gen_range(self.duration_range.0..=self.duration_range.1);
+        synthesize_points(i, d, &self.factors, self.scheme, self.rounding)
+    }
+}
+
+/// A linear chain `T1 → T2 → … → Tn`.
+pub fn chain<R: Rng + ?Sized>(
+    n: usize,
+    params: &TaskParams,
+    rng: &mut R,
+) -> Result<TaskGraph, SynthError> {
+    let mut b = TaskGraph::builder();
+    let mut prev: Option<TaskId> = None;
+    for i in 0..n.max(1) {
+        let t = b.task(format!("T{}", i + 1), params.sample(rng)?);
+        if let Some(p) = prev {
+            b.edge(p, t);
+        }
+        prev = Some(t);
+    }
+    Ok(b.build()?)
+}
+
+/// Fork-join graph: a source forks into `width` parallel tasks which join,
+/// repeated once per entry of `widths`. `fork_join(&[4])` is a diamond of
+/// width 4; the paper's G3 belongs to this family.
+pub fn fork_join<R: Rng + ?Sized>(
+    widths: &[usize],
+    params: &TaskParams,
+    rng: &mut R,
+) -> Result<TaskGraph, SynthError> {
+    let mut b = TaskGraph::builder();
+    let mut counter = 0usize;
+    let name = |counter: &mut usize| {
+        *counter += 1;
+        format!("T{counter}")
+    };
+    let mut tail = b.task(name(&mut counter), params.sample(rng)?);
+    for &w in widths {
+        let mut branch_ids = Vec::with_capacity(w.max(1));
+        for _ in 0..w.max(1) {
+            let t = b.task(name(&mut counter), params.sample(rng)?);
+            b.edge(tail, t);
+            branch_ids.push(t);
+        }
+        let join = b.task(name(&mut counter), params.sample(rng)?);
+        for t in branch_ids {
+            b.edge(t, join);
+        }
+        tail = join;
+    }
+    Ok(b.build()?)
+}
+
+/// Layered random DAG: `layers × width` tasks; each task in layer `k > 0`
+/// gets at least one parent from layer `k−1` and further parents with
+/// probability `edge_prob`.
+pub fn layered<R: Rng + ?Sized>(
+    layers: usize,
+    width: usize,
+    edge_prob: f64,
+    params: &TaskParams,
+    rng: &mut R,
+) -> Result<TaskGraph, SynthError> {
+    let layers = layers.max(1);
+    let width = width.max(1);
+    let mut b = TaskGraph::builder();
+    let mut prev_layer: Vec<TaskId> = Vec::new();
+    let mut counter = 0usize;
+    for layer in 0..layers {
+        let mut this_layer = Vec::with_capacity(width);
+        for _ in 0..width {
+            counter += 1;
+            let t = b.task(format!("T{counter}"), params.sample(rng)?);
+            if layer > 0 {
+                let forced = prev_layer[rng.gen_range(0..prev_layer.len())];
+                b.edge(forced, t);
+                for &p in &prev_layer {
+                    if p != forced && rng.gen_bool(edge_prob.clamp(0.0, 1.0)) {
+                        b.edge(p, t);
+                    }
+                }
+            }
+            this_layer.push(t);
+        }
+        prev_layer = this_layer;
+    }
+    Ok(b.build()?)
+}
+
+/// Erdős–Rényi-style random DAG on `n` tasks: edge `i → j` (for `i < j` in a
+/// random labelling) with probability `edge_prob`.
+pub fn random_dag<R: Rng + ?Sized>(
+    n: usize,
+    edge_prob: f64,
+    params: &TaskParams,
+    rng: &mut R,
+) -> Result<TaskGraph, SynthError> {
+    let n = n.max(1);
+    let mut b = TaskGraph::builder();
+    let mut ids: Vec<TaskId> = Vec::with_capacity(n);
+    for i in 0..n {
+        ids.push(b.task(format!("T{}", i + 1), params.sample(rng)?));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(edge_prob.clamp(0.0, 1.0)) {
+                b.edge(ids[i], ids[j]);
+            }
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Series-parallel graph built by recursive composition to the given
+/// `depth`: each level either chains two sub-graphs or runs them in
+/// parallel between a fork and a join.
+pub fn series_parallel<R: Rng + ?Sized>(
+    depth: usize,
+    params: &TaskParams,
+    rng: &mut R,
+) -> Result<TaskGraph, SynthError> {
+    let mut b = TaskGraph::builder();
+    let mut counter = 0usize;
+
+    // Returns (entry, exit) of the generated component.
+    fn gen<R: Rng + ?Sized>(
+        b: &mut crate::graph::TaskGraphBuilder,
+        counter: &mut usize,
+        depth: usize,
+        params: &TaskParams,
+        rng: &mut R,
+    ) -> Result<(TaskId, TaskId), SynthError> {
+        *counter += 1;
+        if depth == 0 {
+            let t = b.task(format!("T{counter}"), params.sample(rng)?);
+            return Ok((t, t));
+        }
+        let series = rng.gen_bool(0.5);
+        let t = b.task(format!("T{counter}"), params.sample(rng)?);
+        let (e1, x1) = gen(b, counter, depth - 1, params, rng)?;
+        let (e2, x2) = gen(b, counter, depth - 1, params, rng)?;
+        if series {
+            // t → sub1 → sub2
+            b.edge(t, e1);
+            b.edge(x1, e2);
+            Ok((t, x2))
+        } else {
+            // t forks into sub1 ∥ sub2, joined by a fresh exit node.
+            b.edge(t, e1);
+            b.edge(t, e2);
+            *counter += 1;
+            let join = b.task(format!("T{counter}"), params.sample(rng)?);
+            b.edge(x1, join);
+            b.edge(x2, join);
+            Ok((t, join))
+        }
+    }
+
+    gen(&mut b, &mut counter, depth, params, rng)?;
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{is_topological, topological_order};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBA75)
+    }
+
+    #[test]
+    fn factor_validation() {
+        let r = Rounding::EXACT;
+        assert!(matches!(
+            synthesize_points(1.0, 1.0, &[], ScalingScheme::InverseDuration, r),
+            Err(SynthError::NoFactors)
+        ));
+        assert!(matches!(
+            synthesize_points(1.0, 1.0, &[1.0, -0.5], ScalingScheme::InverseDuration, r),
+            Err(SynthError::InvalidFactor { .. })
+        ));
+        assert!(matches!(
+            synthesize_points(1.0, 1.0, &[0.5, 0.5], ScalingScheme::InverseDuration, r),
+            Err(SynthError::NonDecreasingFactors)
+        ));
+        assert!(matches!(
+            synthesize_points(0.0, 1.0, &[1.0, 0.5], ScalingScheme::InverseDuration, r),
+            Err(SynthError::InvalidBase)
+        ));
+    }
+
+    #[test]
+    fn g3_style_synthesis_matches_hand_values() {
+        // T1 of the paper's Table 1: base current 917 mA, worst-case 22 min.
+        let pts = synthesize_points(
+            917.0,
+            22.0,
+            &[1.0, 0.85, 0.68, 0.51, 0.33],
+            ScalingScheme::ReversedDuration,
+            Rounding::PAPER,
+        )
+        .unwrap();
+        let currents: Vec<f64> = pts.iter().map(|p| p.current.value()).collect();
+        let durations: Vec<f64> = pts.iter().map(|p| p.duration.value()).collect();
+        assert_eq!(currents, vec![917.0, 563.0, 288.0, 122.0, 33.0]);
+        assert_eq!(durations, vec![7.3, 11.2, 15.0, 18.7, 22.0]);
+    }
+
+    #[test]
+    fn g2_style_synthesis_matches_hand_values() {
+        // Node 1 of the paper's Figure 5: base current 60 mA, 22 min at DP4.
+        let pts = synthesize_points(
+            937.5, // 60 · 2.5³ — base is the *fastest* current by contract
+            22.0,
+            &[2.5, 5.0 / 3.0, 1.25, 1.0],
+            ScalingScheme::InverseDuration,
+            Rounding::PAPER,
+        )
+        .unwrap();
+        let currents: Vec<f64> = pts.iter().map(|p| p.current.value()).collect();
+        let durations: Vec<f64> = pts.iter().map(|p| p.duration.value()).collect();
+        assert_eq!(currents, vec![938.0, 278.0, 117.0, 60.0]);
+        assert_eq!(durations, vec![8.8, 13.2, 17.6, 22.0]);
+    }
+
+    #[test]
+    fn synthesis_is_always_pareto() {
+        let pts = synthesize_points(
+            500.0,
+            10.0,
+            &[1.0, 0.7, 0.4],
+            ScalingScheme::ReversedDuration,
+            Rounding::EXACT,
+        )
+        .unwrap();
+        for w in pts.windows(2) {
+            assert!(w[0].duration.value() < w[1].duration.value());
+            assert!(w[0].current.value() > w[1].current.value());
+        }
+    }
+
+    #[test]
+    fn generators_produce_valid_dags() {
+        let p = TaskParams::default();
+        let mut r = rng();
+        let graphs = vec![
+            chain(7, &p, &mut r).unwrap(),
+            fork_join(&[3, 2], &p, &mut r).unwrap(),
+            layered(4, 3, 0.4, &p, &mut r).unwrap(),
+            random_dag(12, 0.3, &p, &mut r).unwrap(),
+            series_parallel(3, &p, &mut r).unwrap(),
+        ];
+        for g in &graphs {
+            let order = topological_order(g);
+            assert!(is_topological(g, &order));
+            assert_eq!(g.point_count(), 5);
+        }
+    }
+
+    #[test]
+    fn chain_has_chain_shape() {
+        let g = chain(5, &TaskParams::default(), &mut rng()).unwrap();
+        assert_eq!(g.task_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(&[4], &TaskParams::default(), &mut rng()).unwrap();
+        // source + 4 branches + join
+        assert_eq!(g.task_count(), 6);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn generators_are_deterministic_for_a_seed() {
+        let p = TaskParams::default();
+        let a = layered(3, 3, 0.5, &p, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = layered(3, 3, 0.5, &p, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+        let c = layered(3, 3, 0.5, &p, &mut StdRng::seed_from_u64(8)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn series_parallel_is_single_entry_single_exit() {
+        for seed in 0..5u64 {
+            let g = series_parallel(3, &TaskParams::default(), &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            assert_eq!(g.sources().len(), 1, "seed {seed}");
+            assert_eq!(g.sinks().len(), 1, "seed {seed}");
+        }
+    }
+}

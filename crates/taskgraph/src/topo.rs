@@ -1,0 +1,245 @@
+//! Topological machinery: orders, ready lists, descendants.
+//!
+//! The paper's schedulers are all *list schedulers*: tasks execute strictly
+//! sequentially, and whenever the machine is free the next task is picked
+//! from the **ready list** (tasks whose parents have all completed) by some
+//! weight rule. [`list_schedule`] captures that pattern once; every
+//! sequencing strategy in the workspace is a weight function plugged into it.
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// A deterministic topological order (Kahn's algorithm, smallest id first).
+pub fn topological_order(g: &TaskGraph) -> Vec<TaskId> {
+    list_schedule(g, |_, _| 0.0)
+}
+
+/// `true` iff `order` is a permutation of all tasks that respects every edge.
+pub fn is_topological(g: &TaskGraph, order: &[TaskId]) -> bool {
+    if order.len() != g.task_count() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.task_count()];
+    for (i, &t) in order.iter().enumerate() {
+        if t.index() >= g.task_count() || pos[t.index()] != usize::MAX {
+            return false;
+        }
+        pos[t.index()] = i;
+    }
+    g.edges().all(|(u, v)| pos[u.index()] < pos[v.index()])
+}
+
+/// List scheduling: repeatedly pick the ready task with the **largest**
+/// weight (ties broken by smallest task id, matching the paper's published
+/// sequences). The weight function sees the graph and the candidate task.
+pub fn list_schedule<W>(g: &TaskGraph, mut weight: W) -> Vec<TaskId>
+where
+    W: FnMut(&TaskGraph, TaskId) -> f64,
+{
+    let n = g.task_count();
+    let mut indeg: Vec<usize> = g.task_ids().map(|t| g.preds(t).len()).collect();
+    let mut ready: Vec<TaskId> = g
+        .task_ids()
+        .filter(|t| indeg[t.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        // Select max weight, tie-break by smallest id.
+        let mut best = 0usize;
+        let mut best_w = weight(g, ready[0]);
+        for (k, &t) in ready.iter().enumerate().skip(1) {
+            let w = weight(g, t);
+            if w > best_w || (w == best_w && t < ready[best]) {
+                best = k;
+                best_w = w;
+            }
+        }
+        let t = ready.swap_remove(best);
+        order.push(t);
+        for &s in g.succs(t) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "graph validated as acyclic");
+    order
+}
+
+/// The set of tasks in the subgraph rooted at `v` — `v` plus everything
+/// reachable from it. Returned as a dense membership mask indexed by task id.
+pub fn descendants_mask(g: &TaskGraph, v: TaskId) -> Vec<bool> {
+    let mut mask = vec![false; g.task_count()];
+    let mut stack = vec![v];
+    while let Some(u) = stack.pop() {
+        if std::mem::replace(&mut mask[u.index()], true) {
+            continue;
+        }
+        stack.extend_from_slice(g.succs(u));
+    }
+    mask
+}
+
+/// Transitive-closure matrix: `closure[u][v]` is `true` iff `v` is reachable
+/// from `u` (including `u == v`). Intended for tests and small graphs.
+pub fn transitive_closure(g: &TaskGraph) -> Vec<Vec<bool>> {
+    g.task_ids().map(|t| descendants_mask(g, t)).collect()
+}
+
+/// Enumerates **all** topological orders, invoking `visit` on each, stopping
+/// early once `limit` orders have been produced. Returns the number visited.
+///
+/// Exponential in general — meant for the exhaustive baseline on graphs of
+/// at most ~10 tasks.
+pub fn for_each_topological_order<F>(g: &TaskGraph, limit: usize, mut visit: F) -> usize
+where
+    F: FnMut(&[TaskId]),
+{
+    let n = g.task_count();
+    let mut indeg: Vec<usize> = g.task_ids().map(|t| g.preds(t).len()).collect();
+    let mut prefix: Vec<TaskId> = Vec::with_capacity(n);
+    let mut count = 0usize;
+
+    fn recurse<F: FnMut(&[TaskId])>(
+        g: &TaskGraph,
+        indeg: &mut Vec<usize>,
+        prefix: &mut Vec<TaskId>,
+        count: &mut usize,
+        limit: usize,
+        visit: &mut F,
+    ) {
+        if *count >= limit {
+            return;
+        }
+        if prefix.len() == g.task_count() {
+            visit(prefix);
+            *count += 1;
+            return;
+        }
+        for t in g.task_ids() {
+            if indeg[t.index()] == 0 {
+                // Claim t.
+                indeg[t.index()] = usize::MAX;
+                for &s in g.succs(t) {
+                    indeg[s.index()] -= 1;
+                }
+                prefix.push(t);
+                recurse(g, indeg, prefix, count, limit, visit);
+                prefix.pop();
+                for &s in g.succs(t) {
+                    indeg[s.index()] += 1;
+                }
+                indeg[t.index()] = 0;
+                if *count >= limit {
+                    return;
+                }
+            }
+        }
+    }
+
+    recurse(g, &mut indeg, &mut prefix, &mut count, limit, &mut visit);
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design_point::DesignPoint;
+    use batsched_battery::units::{MilliAmps, Minutes};
+
+    fn dp2() -> Vec<DesignPoint> {
+        vec![
+            DesignPoint::new(MilliAmps::new(100.0), Minutes::new(1.0)),
+            DesignPoint::new(MilliAmps::new(40.0), Minutes::new(2.0)),
+        ]
+    }
+
+    /// A -> {B, C} -> D
+    fn diamond() -> TaskGraph {
+        let mut b = TaskGraph::builder();
+        let a = b.task("A", dp2());
+        let x = b.task("B", dp2());
+        let y = b.task("C", dp2());
+        let z = b.task("D", dp2());
+        b.edge(a, x).edge(a, y);
+        b.parents(z, [x, y]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn topological_order_is_valid() {
+        let g = diamond();
+        let order = topological_order(&g);
+        assert!(is_topological(&g, &order));
+        assert_eq!(order[0], TaskId(0));
+        assert_eq!(order[3], TaskId(3));
+    }
+
+    #[test]
+    fn is_topological_rejects_bad_orders() {
+        let g = diamond();
+        // D before its parents.
+        assert!(!is_topological(&g, &[TaskId(0), TaskId(3), TaskId(1), TaskId(2)]));
+        // Missing tasks.
+        assert!(!is_topological(&g, &[TaskId(0), TaskId(1)]));
+        // Duplicates.
+        assert!(!is_topological(&g, &[TaskId(0), TaskId(1), TaskId(1), TaskId(3)]));
+        // Out-of-range id.
+        assert!(!is_topological(&g, &[TaskId(0), TaskId(1), TaskId(9), TaskId(3)]));
+    }
+
+    #[test]
+    fn list_schedule_honours_weights() {
+        let g = diamond();
+        // Prefer C (id 2) over B (id 1).
+        let order = list_schedule(&g, |_, t| if t == TaskId(2) { 10.0 } else { 1.0 });
+        assert_eq!(order, vec![TaskId(0), TaskId(2), TaskId(1), TaskId(3)]);
+    }
+
+    #[test]
+    fn list_schedule_breaks_ties_by_id() {
+        let g = diamond();
+        let order = list_schedule(&g, |_, _| 1.0);
+        assert_eq!(order, vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
+    fn descendants_include_self_and_all_reachable() {
+        let g = diamond();
+        let mask = descendants_mask(&g, TaskId(1));
+        assert_eq!(mask, vec![false, true, false, true]);
+        let root = descendants_mask(&g, TaskId(0));
+        assert!(root.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn closure_matches_descendants() {
+        let g = diamond();
+        let cl = transitive_closure(&g);
+        for t in g.task_ids() {
+            assert_eq!(cl[t.index()], descendants_mask(&g, t));
+        }
+    }
+
+    #[test]
+    fn diamond_has_two_topological_orders() {
+        let g = diamond();
+        let mut seen = Vec::new();
+        let n = for_each_topological_order(&g, 100, |o| seen.push(o.to_vec()));
+        assert_eq!(n, 2);
+        assert!(seen.iter().all(|o| is_topological(&g, o)));
+        assert_ne!(seen[0], seen[1]);
+    }
+
+    #[test]
+    fn order_enumeration_respects_limit() {
+        // An antichain of 6 independent tasks has 720 orders; cap at 10.
+        let mut b = TaskGraph::builder();
+        for i in 0..6 {
+            b.task(format!("T{i}"), dp2());
+        }
+        let g = b.build().unwrap();
+        let n = for_each_topological_order(&g, 10, |_| {});
+        assert_eq!(n, 10);
+    }
+}

@@ -1,0 +1,79 @@
+//! Capacity planning: how big a battery does the mission actually need?
+//!
+//! The subtlety (missed by naive `σ(end)` sizing): the apparent charge
+//! *crests mid-mission* after heavy tasks and recovers later, and a battery
+//! dies at the first crossing — so the peak, not the final σ, sets the
+//! requirement. Add duration jitter and the margin must grow again.
+//!
+//! Run with: `cargo run --example capacity_planning`
+
+use batsched::battery::analysis::{rate_capacity_curve, required_capacity};
+use batsched::battery::model::peak_apparent_charge;
+use batsched::battery::rv::RvModel;
+use batsched::prelude::*;
+use batsched::sim::{DurationJitter, MissionSampler, Simulator};
+use batsched::taskgraph::paper::g3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = g3();
+    let deadline = Minutes::new(230.0);
+    let plan = schedule(&graph, deadline, &SchedulerConfig::paper())?;
+    let model = RvModel::date05();
+    let profile = plan.schedule.to_profile(&graph);
+
+    println!("mission: G3, deadline 230 min, plan σ(end) = {:.0}\n", plan.cost.value());
+
+    // 1. Final σ vs peak σ.
+    let (peak_at, peak) = peak_apparent_charge(&model, &profile, 64);
+    println!("σ at completion : {:>7.0} mA·min", plan.cost.value());
+    println!("σ peak          : {:>7.0} mA·min at t = {:.1} min", peak.value(), peak_at.value());
+    println!(
+        "naive sizing by σ(end) under-provisions by {:.1}%\n",
+        (peak.value() / plan.cost.value() - 1.0) * 100.0
+    );
+
+    // 2. Verify by simulation at three capacities.
+    for (label, cap) in [
+        ("σ(end)       ", MilliAmpMinutes::new(plan.cost.value())),
+        ("peak σ + 1%  ", required_capacity(&model, &profile, 0.01)),
+        ("peak σ + 25% ", required_capacity(&model, &profile, 0.25)),
+    ] {
+        let sim = Simulator::paper(cap, Some(deadline));
+        let r = sim.run(&graph, &plan.schedule, &model);
+        println!("capacity {} = {:>7.0} -> {}", label, cap.value(), r);
+    }
+
+    // 3. Jitter changes the answer again: survival probability by margin.
+    println!("\nmission success probability under ±8% duration jitter (2000 samples):");
+    for margin in [0.0, 0.05, 0.10, 0.25] {
+        let cap = required_capacity(&model, &profile, margin);
+        let sampler = MissionSampler {
+            simulator: Simulator::paper(cap, Some(deadline * 1.1)),
+            jitter: DurationJitter { spread: 0.08 },
+            samples: 2_000,
+            seed: 7,
+        };
+        let r = sampler.run(&graph, &plan.schedule, &model);
+        println!(
+            "  peak + {:>4.0}%  ->  P(success) = {:.3}  ({} depletions)",
+            margin * 100.0,
+            r.success_rate,
+            r.depletions
+        );
+    }
+
+    // 4. And the battery's own rate-capacity curve, for context.
+    println!("\nrate-capacity curve of the battery model (rated {:.0} mA·min):", peak.value());
+    let currents: Vec<MilliAmps> = [50.0, 100.0, 200.0, 400.0, 800.0]
+        .map(MilliAmps::new)
+        .to_vec();
+    for p in rate_capacity_curve(&model, peak, &currents, Minutes::new(1e6)) {
+        println!(
+            "  {:>4.0} mA: dies after {:>6.1} min, usable capacity {:>5.1}%",
+            p.current.value(),
+            p.lifetime.value(),
+            p.utilisation * 100.0
+        );
+    }
+    Ok(())
+}

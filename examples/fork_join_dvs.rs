@@ -1,0 +1,65 @@
+//! A synthetic DVS workload: generate a fork-join task graph in the style
+//! of the paper's G3, schedule it under a sweep of deadlines, and compare
+//! every algorithm in the workspace.
+//!
+//! Run with: `cargo run --example fork_join_dvs`
+
+use batsched::baselines::{
+    ChowdhuryScaling, KhanVemuri, RakhmatovDp, RandomSearch, Scheduler, SimulatedAnnealing,
+};
+use batsched::battery::rv::RvModel;
+use batsched::prelude::*;
+use batsched::taskgraph::analysis::{max_makespan, min_makespan};
+use batsched::taskgraph::synth::{fork_join, TaskParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two fork stages of widths 4 and 3 — 10 tasks, 5 design points each,
+    // synthesised with the paper's G3 voltage-scaling factors.
+    let mut rng = StdRng::seed_from_u64(2005);
+    let graph = fork_join(&[4, 3], &TaskParams::default(), &mut rng)?;
+    println!(
+        "fork-join workload: {} tasks, {} edges, makespan range [{:.1}, {:.1}] min",
+        graph.task_count(),
+        graph.edge_count(),
+        min_makespan(&graph).value(),
+        max_makespan(&graph).value()
+    );
+
+    let model = RvModel::date05();
+    let algos: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(KhanVemuri::paper()),
+        Box::new(RakhmatovDp::default()),
+        Box::new(ChowdhuryScaling),
+        Box::new(SimulatedAnnealing { steps: 10_000, ..Default::default() }),
+        Box::new(RandomSearch::default()),
+    ];
+
+    // Sweep the deadline from barely feasible to fully relaxed.
+    let lo = min_makespan(&graph).value();
+    let hi = max_makespan(&graph).value();
+    print!("{:>24}", "deadline ->");
+    let deadlines: Vec<f64> = (1..=4).map(|k| lo + (hi - lo) * k as f64 / 4.0).collect();
+    for d in &deadlines {
+        print!(" {d:>9.1}");
+    }
+    println!();
+
+    for algo in &algos {
+        print!("{:>24}", algo.name());
+        for &d in &deadlines {
+            match algo.schedule(&graph, Minutes::new(d)) {
+                Ok(s) => {
+                    s.validate(&graph, Some(Minutes::new(d)))?;
+                    print!(" {:>9.0}", s.battery_cost(&graph, &model).value());
+                }
+                Err(_) => print!(" {:>9}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("\n(battery σ in mA·min; smaller is better; every schedule validated against");
+    println!(" the precedence constraints and its deadline)");
+    Ok(())
+}

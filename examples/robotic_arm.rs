@@ -1,0 +1,51 @@
+//! The paper's §5 case study: a robotic-arm controller (task graph G2) on a
+//! voltage-scalable processor, scheduled at the three published deadlines
+//! and then executed against a finite battery.
+//!
+//! Run with: `cargo run --example robotic_arm`
+
+use batsched::battery::rv::RvModel;
+use batsched::prelude::*;
+use batsched::sim::Simulator;
+use batsched::taskgraph::paper::{g2, G2_TABLE4_DEADLINES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = g2();
+    let model = RvModel::date05();
+    println!("robotic arm controller: {} tasks, {} design points each\n", graph.task_count(), graph.point_count());
+
+    println!("{:>10} {:>12} {:>12} {:>10}", "deadline", "sigma mA·min", "makespan", "iterations");
+    let mut plans = Vec::new();
+    for d in G2_TABLE4_DEADLINES {
+        let sol = schedule(&graph, Minutes::new(d), &SchedulerConfig::paper())?;
+        println!(
+            "{:>10.0} {:>12.0} {:>12.1} {:>10}",
+            d,
+            sol.cost.value(),
+            sol.makespan.value(),
+            sol.iterations
+        );
+        plans.push((d, sol));
+    }
+    println!("\n(the looser the deadline, the leaner the design points, the less charge used)");
+
+    // Execute the 75-minute plan on a battery that comfortably fits …
+    let (_, sol75) = &plans[1];
+    let sim = Simulator::paper(MilliAmpMinutes::new(20_000.0), Some(Minutes::new(75.0)));
+    let report = sim.run(&graph, &sol75.schedule, &model);
+    println!("\nmission on a 20,000 mA·min battery: {report}");
+
+    // … and on one that does not.
+    let starved = Simulator::paper(MilliAmpMinutes::new(9_000.0), Some(Minutes::new(75.0)));
+    let report = starved.run(&graph, &sol75.schedule, &model);
+    println!("mission on a  9,000 mA·min battery: {report}");
+    if let Some(at) = report.depleted_at {
+        let done = report
+            .events
+            .iter()
+            .filter(|e| matches!(e, batsched::sim::SimEvent::TaskCompleted { .. }))
+            .count();
+        println!("  -> {done}/{} tasks completed before depletion at {at:.1}", graph.task_count());
+    }
+    Ok(())
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration: every scheduler against every workload family,
+//! executed end-to-end through the simulator.
+
+use batsched::baselines::{
+    ChowdhuryScaling, KhanVemuri, RakhmatovDp, RandomSearch, Scheduler, SimulatedAnnealing,
+};
+use batsched::battery::rv::RvModel;
+use batsched::prelude::*;
+use batsched::sim::Simulator;
+use batsched::taskgraph::analysis::{max_makespan, min_makespan};
+use batsched::taskgraph::synth::{
+    chain, fork_join, layered, random_dag, series_parallel, TaskParams,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn all_algorithms() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(KhanVemuri::paper()),
+        Box::new(RakhmatovDp::default()),
+        Box::new(ChowdhuryScaling),
+        Box::new(SimulatedAnnealing { steps: 2_000, ..Default::default() }),
+        Box::new(RandomSearch { samples: 50, ..Default::default() }),
+    ]
+}
+
+fn all_families() -> Vec<(&'static str, TaskGraph)> {
+    let p = TaskParams::default();
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    vec![
+        ("g2", batsched::taskgraph::paper::g2()),
+        ("g3", batsched::taskgraph::paper::g3()),
+        ("chain", chain(8, &p, &mut rng).unwrap()),
+        ("fork_join", fork_join(&[3, 2], &p, &mut rng).unwrap()),
+        ("layered", layered(4, 3, 0.4, &p, &mut rng).unwrap()),
+        ("series_parallel", series_parallel(3, &p, &mut rng).unwrap()),
+        ("random", random_dag(10, 0.3, &p, &mut rng).unwrap()),
+    ]
+}
+
+/// Every algorithm on every family at two slack levels: valid schedules,
+/// deadlines met, costs finite and above the delivered charge.
+#[test]
+fn every_algorithm_schedules_every_family() {
+    let model = RvModel::date05();
+    for (name, g) in all_families() {
+        let lo = min_makespan(&g).value();
+        let hi = max_makespan(&g).value();
+        for slack in [0.35, 0.85] {
+            let d = Minutes::new(lo + (hi - lo) * slack);
+            for algo in all_algorithms() {
+                let s = algo
+                    .schedule(&g, d)
+                    .unwrap_or_else(|e| panic!("{} on {name} (slack {slack}): {e}", algo.name()));
+                s.validate(&g, Some(d))
+                    .unwrap_or_else(|e| panic!("{} on {name}: {e}", algo.name()));
+                let cost = s.battery_cost(&g, &model).value();
+                assert!(cost.is_finite() && cost > 0.0);
+                assert!(cost >= s.direct_charge(&g).value() - 1e-6);
+            }
+        }
+    }
+}
+
+/// On the paper's own graphs, our algorithm beats or ties the DP baseline
+/// at every published deadline — Table 4's headline, as an invariant.
+#[test]
+fn ours_beats_dp_on_paper_graphs() {
+    let model = RvModel::date05();
+    let ours = KhanVemuri::paper();
+    let dp = RakhmatovDp::default();
+    for (g, deadlines) in [
+        (batsched::taskgraph::paper::g2(), &batsched::taskgraph::paper::G2_TABLE4_DEADLINES),
+        (batsched::taskgraph::paper::g3(), &batsched::taskgraph::paper::G3_TABLE4_DEADLINES),
+    ] {
+        for &d in deadlines {
+            let dl = Minutes::new(d);
+            let a = ours.schedule(&g, dl).unwrap().battery_cost(&g, &model).value();
+            let b = dp.schedule(&g, dl).unwrap().battery_cost(&g, &model).value();
+            assert!(a <= b, "d={d}: ours {a} vs dp {b}");
+        }
+    }
+}
+
+/// Planner → simulator end-to-end. The battery dies at the FIRST crossing
+/// of its capacity, and σ crests mid-mission after heavy tasks (recovery
+/// effect), so the survival threshold is the *peak* apparent charge, not
+/// the final σ: a battery just above the peak survives, one just below the
+/// peak dies.
+#[test]
+fn simulator_agrees_with_planner_peak_sigma() {
+    let model = RvModel::date05();
+    for (name, g) in all_families() {
+        let d = Minutes::new(max_makespan(&g).value() * 0.8);
+        if d.value() < min_makespan(&g).value() {
+            continue;
+        }
+        let plan = batsched::schedule(&g, d, &SchedulerConfig::paper()).unwrap();
+        let profile = plan.schedule.to_profile(&g);
+        let (_, peak) =
+            batsched::battery::model::peak_apparent_charge(&model, &profile, 64);
+
+        let roomy = Simulator::paper(peak * 1.01, Some(d));
+        let r = roomy.run(&g, &plan.schedule, &model);
+        assert!(r.success, "{name}: must survive on 101% of peak σ: {r}");
+
+        let starved = Simulator::paper(peak * 0.95, Some(d));
+        let r = starved.run(&g, &plan.schedule, &model);
+        assert!(!r.success, "{name}: must die on 95% of peak σ");
+        assert!(r.depleted_at.is_some());
+
+        // The final σ never exceeds the peak.
+        assert!(plan.cost.value() <= peak.value() + 1e-9);
+    }
+}
+
+/// JSON round trip through the public io module preserves scheduling
+/// results bit-for-bit (graphs, schedules, solutions).
+#[test]
+fn serialisation_round_trips_preserve_results() {
+    let g = batsched::taskgraph::paper::g2();
+    let json = batsched::taskgraph::io::to_json(&g);
+    let g2 = batsched::taskgraph::io::from_json(&json).unwrap();
+    assert_eq!(g, g2);
+
+    let d = Minutes::new(75.0);
+    let a = batsched::schedule(&g, d, &SchedulerConfig::paper()).unwrap();
+    let b = batsched::schedule(&g2, d, &SchedulerConfig::paper()).unwrap();
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.cost, b.cost);
+
+    let sol_json = serde_json::to_string(&a).unwrap();
+    let back: batsched::Solution = serde_json::from_str(&sol_json).unwrap();
+    assert_eq!(back, a);
+}
+
+/// Determinism: the full pipeline is bit-reproducible run to run.
+#[test]
+fn pipeline_is_deterministic() {
+    let g = batsched::taskgraph::paper::g3();
+    let d = Minutes::new(230.0);
+    let a = batsched::schedule(&g, d, &SchedulerConfig::paper()).unwrap();
+    let b = batsched::schedule(&g, d, &SchedulerConfig::paper()).unwrap();
+    assert_eq!(a, b);
+}
