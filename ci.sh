@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI pipeline: formatting, lints, build, tests (both feature configs), and
+# the perf-trajectory snapshot. Mirrors the recipes in ./justfile.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy -D warnings (parallel feature)"
+cargo clippy --workspace --all-targets --features parallel -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "==> cargo test (workspace, parallel feature)"
+cargo test --workspace -q --features parallel
+
+echo "==> perf snapshot (BENCH_scheduler.json)"
+cargo run --release -q -p batsched-bench --bin repro_bench_json
+
+echo "CI OK"

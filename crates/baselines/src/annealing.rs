@@ -10,7 +10,7 @@
 use crate::Scheduler;
 use batsched_battery::rv::RvModel;
 use batsched_battery::units::Minutes;
-use batsched_core::{battery_cost_of, Schedule, SchedulerError};
+use batsched_core::{EngineCost, Schedule, SchedulerError};
 use batsched_taskgraph::topo::{is_topological, topological_order};
 use batsched_taskgraph::{PointId, TaskGraph};
 use rand::rngs::StdRng;
@@ -49,14 +49,17 @@ impl Default for SimulatedAnnealing {
 impl SimulatedAnnealing {
     fn penalised_cost(
         &self,
-        g: &TaskGraph,
+        engine: &mut EngineCost,
         order: &[batsched_taskgraph::TaskId],
         assignment: &[PointId],
         deadline: f64,
-    ) -> f64 {
-        let (cost, makespan) = battery_cost_of(g, order, assignment, &self.model);
+    ) -> (f64, f64) {
+        let (cost, makespan) = engine.cost(order, assignment);
         let overtime = (makespan.value() - deadline).max(0.0);
-        cost.value() + overtime * self.overtime_penalty
+        (
+            cost.value() + overtime * self.overtime_penalty,
+            makespan.value(),
+        )
     }
 }
 
@@ -82,12 +85,13 @@ impl Scheduler for SimulatedAnnealing {
         let m = g.point_count();
         let d = deadline.value();
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut engine = EngineCost::new(g, &self.model);
 
         // Start from a trivially feasible state: topological order, all
         // tasks at their fastest point.
         let mut order = topological_order(g);
         let mut assignment = vec![PointId(0); n];
-        let mut cost = self.penalised_cost(g, &order, &assignment, d);
+        let (mut cost, _) = self.penalised_cost(&mut engine, &order, &assignment, d);
         let mut best = (order.clone(), assignment.clone(), cost);
         let mut temp = (cost * self.initial_temp_fraction).max(1.0);
 
@@ -117,16 +121,16 @@ impl Scheduler for SimulatedAnnealing {
                     new_assign[t] = PointId(rng.gen_range(0..m));
                 }
             }
-            let new_cost = self.penalised_cost(g, &new_order, &new_assign, d);
-            let accept = new_cost <= cost
-                || rng.gen_bool(((cost - new_cost) / temp).exp().clamp(0.0, 1.0));
+            let (new_cost, new_makespan) =
+                self.penalised_cost(&mut engine, &new_order, &new_assign, d);
+            let accept =
+                new_cost <= cost || rng.gen_bool(((cost - new_cost) / temp).exp().clamp(0.0, 1.0));
             if accept {
                 order = new_order;
                 assignment = new_assign;
                 cost = new_cost;
                 // Track the best *feasible* state only.
-                let (_, makespan) = battery_cost_of(g, &order, &assignment, &self.model);
-                if makespan.value() <= d + 1e-9 && cost < best.2 {
+                if new_makespan <= d + 1e-9 && cost < best.2 {
                     best = (order.clone(), assignment.clone(), cost);
                 }
             }
@@ -156,12 +160,19 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = g2();
-        let a = SimulatedAnnealing::default().schedule(&g, Minutes::new(75.0)).unwrap();
-        let b = SimulatedAnnealing::default().schedule(&g, Minutes::new(75.0)).unwrap();
-        assert_eq!(a, b);
-        let c = SimulatedAnnealing { seed: 1, ..Default::default() }
+        let a = SimulatedAnnealing::default()
             .schedule(&g, Minutes::new(75.0))
             .unwrap();
+        let b = SimulatedAnnealing::default()
+            .schedule(&g, Minutes::new(75.0))
+            .unwrap();
+        assert_eq!(a, b);
+        let c = SimulatedAnnealing {
+            seed: 1,
+            ..Default::default()
+        }
+        .schedule(&g, Minutes::new(75.0))
+        .unwrap();
         // Different seeds usually differ; at minimum both are valid.
         c.validate(&g, Some(Minutes::new(75.0))).unwrap();
     }

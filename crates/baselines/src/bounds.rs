@@ -71,7 +71,10 @@ mod tests {
         let g = g3();
         let model = RvModel::date05();
         let d = Minutes::new(230.0);
-        for algo in [&KhanVemuri::paper() as &dyn Scheduler, &RakhmatovDp::default()] {
+        for algo in [
+            &KhanVemuri::paper() as &dyn Scheduler,
+            &RakhmatovDp::default(),
+        ] {
             let s = algo.schedule(&g, d).unwrap();
             let b = ordering_bounds(&g, &s, &model);
             assert!(b.lower.value() <= b.upper.value());
@@ -89,10 +92,15 @@ mod tests {
         // to the precedence-free ordering optimum.
         let g = g3();
         let model = RvModel::date05();
-        let s = KhanVemuri::paper().schedule(&g, Minutes::new(230.0)).unwrap();
+        let s = KhanVemuri::paper()
+            .schedule(&g, Minutes::new(230.0))
+            .unwrap();
         let b = ordering_bounds(&g, &s, &model);
         let pos = b.position(s.battery_cost(&g, &model));
-        assert!(pos < 0.25, "expected near the lower bound, got position {pos:.3}");
+        assert!(
+            pos < 0.25,
+            "expected near the lower bound, got position {pos:.3}"
+        );
     }
 
     #[test]

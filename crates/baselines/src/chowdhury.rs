@@ -99,7 +99,10 @@ mod tests {
         let n = cols.len();
         let head: f64 = cols[..n / 2].iter().sum::<usize>() as f64;
         let tail: f64 = cols[n - n / 2..].iter().sum::<usize>() as f64;
-        assert!(tail >= head, "tail columns {tail} should be leaner than head {head}");
+        assert!(
+            tail >= head,
+            "tail columns {tail} should be leaner than head {head}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::Scheduler;
 use batsched_battery::rv::RvModel;
 use batsched_battery::units::Minutes;
-use batsched_core::{battery_cost_of, Schedule, SchedulerError};
+use batsched_core::{EngineCost, Schedule, SchedulerError};
 use batsched_taskgraph::topo::for_each_topological_order;
 use batsched_taskgraph::{PointId, TaskGraph, TaskId};
 
@@ -57,6 +57,7 @@ impl Exhaustive {
             .collect();
 
         let mut best: Option<(Vec<TaskId>, Vec<PointId>, f64)> = None;
+        let mut engine = EngineCost::new(g, &self.model);
 
         for_each_topological_order(g, self.max_orders, |order| {
             // Suffix minima of fastest durations along this order.
@@ -66,10 +67,13 @@ impl Exhaustive {
             }
             let mut assign = vec![0usize; n];
             let mut visited = 0usize;
-            // DFS over assignments with time pruning.
+            // DFS over assignments with time pruning; complete assignments
+            // are scored through the σ engine (no profile allocation, no
+            // exponentials).
+            #[allow(clippy::too_many_arguments)]
             fn dfs(
                 g: &TaskGraph,
-                model: &RvModel,
+                engine: &mut EngineCost,
                 order: &[TaskId],
                 suffix_min: &[f64],
                 d: f64,
@@ -93,8 +97,8 @@ impl Exhaustive {
                         }
                         v
                     };
-                    let (cost, _) = battery_cost_of(g, order, &assignment, model);
-                    if best.as_ref().map_or(true, |&(_, _, c)| cost.value() < c) {
+                    let (cost, _) = engine.cost(order, &assignment);
+                    if best.as_ref().is_none_or(|&(_, _, c)| cost.value() < c) {
                         *best = Some((order.to_vec(), assignment, cost.value()));
                     }
                     return;
@@ -105,15 +109,25 @@ impl Exhaustive {
                     if elapsed + dur + suffix_min[pos + 1] <= d + 1e-9 {
                         assign[pos] = j;
                         dfs(
-                            g, model, order, suffix_min, d, m,
-                            pos + 1, elapsed + dur, assign, visited, cap, best,
+                            g,
+                            engine,
+                            order,
+                            suffix_min,
+                            d,
+                            m,
+                            pos + 1,
+                            elapsed + dur,
+                            assign,
+                            visited,
+                            cap,
+                            best,
                         );
                     }
                 }
             }
             dfs(
                 g,
-                &self.model,
+                &mut engine,
                 order,
                 &suffix_min,
                 d,
@@ -180,7 +194,7 @@ mod tests {
 
     #[test]
     fn optimum_never_beaten_by_heuristics() {
-        use crate::{ChowdhuryScaling, KhanVemuri, RakhmatovDp, Scheduler as _};
+        use crate::{ChowdhuryScaling, KhanVemuri, RakhmatovDp};
         let g = small();
         let model = RvModel::date05();
         for d in [6.0, 8.0, 10.0, 11.5] {

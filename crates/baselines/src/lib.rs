@@ -24,8 +24,8 @@ pub mod annealing;
 pub mod bounds;
 pub mod chowdhury;
 pub mod exhaustive;
-pub mod random_search;
 pub mod rakhmatov;
+pub mod random_search;
 
 use batsched_battery::units::Minutes;
 use batsched_core::{Schedule, SchedulerError};
@@ -35,8 +35,8 @@ pub use annealing::SimulatedAnnealing;
 pub use bounds::{ordering_bounds, OrderingBounds};
 pub use chowdhury::ChowdhuryScaling;
 pub use exhaustive::Exhaustive;
-pub use random_search::RandomSearch;
 pub use rakhmatov::RakhmatovDp;
+pub use random_search::RandomSearch;
 
 /// A deadline-constrained battery-aware scheduler.
 ///
@@ -66,7 +66,9 @@ pub struct KhanVemuri {
 impl KhanVemuri {
     /// The paper's configuration.
     pub fn paper() -> Self {
-        Self { config: batsched_core::SchedulerConfig::paper() }
+        Self {
+            config: batsched_core::SchedulerConfig::paper(),
+        }
     }
 }
 
@@ -90,7 +92,7 @@ mod tests {
         let algos: Vec<Box<dyn Scheduler>> = vec![
             Box::new(KhanVemuri::paper()),
             Box::new(RakhmatovDp::default()),
-            Box::new(ChowdhuryScaling::default()),
+            Box::new(ChowdhuryScaling),
         ];
         let g = g2();
         for a in &algos {

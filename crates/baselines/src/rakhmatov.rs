@@ -32,7 +32,10 @@ pub struct RakhmatovDp {
 
 impl Default for RakhmatovDp {
     fn default() -> Self {
-        Self { time_scale: 10.0, metric: EnergyMetric::Charge }
+        Self {
+            time_scale: 10.0,
+            metric: EnergyMetric::Charge,
+        }
     }
 }
 
@@ -176,10 +179,14 @@ mod tests {
         // = wait A@DP2=90 + B@DP2=100 needs 8 min. Feasible pairs at d=6:
         // (A1,B1)=260 @3min, (A1,B2)=200 @6min, (A2,B1)=250 @5min.
         // Optimum: (A1,B2) with energy 200.
-        let sel = RakhmatovDp::default().select_points(&g, Minutes::new(6.0)).unwrap();
+        let sel = RakhmatovDp::default()
+            .select_points(&g, Minutes::new(6.0))
+            .unwrap();
         assert_eq!(sel, vec![PointId(0), PointId(1)]);
         // Deadline 8 admits (A2,B2) = 190.
-        let sel = RakhmatovDp::default().select_points(&g, Minutes::new(8.0)).unwrap();
+        let sel = RakhmatovDp::default()
+            .select_points(&g, Minutes::new(8.0))
+            .unwrap();
         assert_eq!(sel, vec![PointId(1), PointId(1)]);
         // Deadline 2.9 is infeasible (fastest is 3).
         assert!(matches!(
@@ -222,7 +229,9 @@ mod tests {
     #[test]
     fn unconstrained_deadline_selects_all_lowest_power() {
         let g = g3();
-        let sel = RakhmatovDp::default().select_points(&g, Minutes::new(1e4)).unwrap();
+        let sel = RakhmatovDp::default()
+            .select_points(&g, Minutes::new(1e4))
+            .unwrap();
         assert!(sel.iter().all(|p| p.index() == g.point_count() - 1));
     }
 

@@ -7,7 +7,7 @@
 use crate::Scheduler;
 use batsched_battery::rv::RvModel;
 use batsched_battery::units::Minutes;
-use batsched_core::{battery_cost_of, Schedule, SchedulerError};
+use batsched_core::{EngineCost, Schedule, SchedulerError};
 use batsched_taskgraph::{PointId, TaskGraph, TaskId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,7 +25,11 @@ pub struct RandomSearch {
 
 impl Default for RandomSearch {
     fn default() -> Self {
-        Self { seed: 0x5EED, samples: 500, model: RvModel::date05() }
+        Self {
+            seed: 0x5EED,
+            samples: 500,
+            model: RvModel::date05(),
+        }
     }
 }
 
@@ -71,6 +75,7 @@ impl Scheduler for RandomSearch {
         let m = g.point_count();
         let d = deadline.value();
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut engine = EngineCost::new(g, &self.model);
         let mut best: Option<(Schedule, f64)> = None;
 
         for _ in 0..self.samples {
@@ -93,8 +98,8 @@ impl Scheduler for RandomSearch {
                     assignment[t.index()] = PointId(col - 1);
                 }
             }
-            let (cost, _) = battery_cost_of(g, &order, &assignment, &self.model);
-            if best.as_ref().map_or(true, |&(_, c)| cost.value() < c) {
+            let (cost, _) = engine.cost(&order, &assignment);
+            if best.as_ref().is_none_or(|&(_, c)| cost.value() < c) {
                 best = Some((Schedule::new(order, assignment), cost.value()));
             }
         }

@@ -93,12 +93,16 @@ mod tests {
     fn rate_capacity_curve_shows_falling_utilisation() {
         let m = RvModel::date05();
         let cap = MilliAmpMinutes::new(20_000.0);
-        let currents: Vec<MilliAmps> =
-            [50.0, 100.0, 200.0, 400.0, 800.0].map(MilliAmps::new).to_vec();
+        let currents: Vec<MilliAmps> = [50.0, 100.0, 200.0, 400.0, 800.0]
+            .map(MilliAmps::new)
+            .to_vec();
         let curve = rate_capacity_curve(&m, cap, &currents, Minutes::new(100_000.0));
         assert_eq!(curve.len(), 5);
         for w in curve.windows(2) {
-            assert!(w[1].lifetime.value() < w[0].lifetime.value(), "heavier dies sooner");
+            assert!(
+                w[1].lifetime.value() < w[0].lifetime.value(),
+                "heavier dies sooner"
+            );
             assert!(
                 w[1].utilisation <= w[0].utilisation + 1e-9,
                 "utilisation falls with rate: {} then {}",
@@ -142,9 +146,14 @@ mod tests {
     fn recovery_gain_grows_with_rest_then_saturates() {
         let m = RvModel::date05();
         let gain = |rest: f64| {
-            recovery_gain(&m, MilliAmps::new(500.0), Minutes::new(5.0), Minutes::new(rest))
-                .unwrap()
-                .value()
+            recovery_gain(
+                &m,
+                MilliAmps::new(500.0),
+                Minutes::new(5.0),
+                Minutes::new(rest),
+            )
+            .unwrap()
+            .value()
         };
         let g5 = gain(5.0);
         let g20 = gain(20.0);
@@ -157,14 +166,22 @@ mod tests {
         p.push(Minutes::new(5.0), MilliAmps::new(500.0)).unwrap();
         let ceiling = m.apparent_charge(&p, Minutes::new(5.0)).value() - p.direct_charge().value();
         assert!(g200 <= ceiling + 1e-6);
-        assert!((g200 - ceiling).abs() / ceiling < 0.01, "200 min is essentially saturated");
+        assert!(
+            (g200 - ceiling).abs() / ceiling < 0.01,
+            "200 min is essentially saturated"
+        );
     }
 
     #[test]
     fn recovery_gain_is_zero_for_ideal_batteries() {
         let m = CoulombCounter::new();
-        let g = recovery_gain(&m, MilliAmps::new(500.0), Minutes::new(5.0), Minutes::new(60.0))
-            .unwrap();
+        let g = recovery_gain(
+            &m,
+            MilliAmps::new(500.0),
+            Minutes::new(5.0),
+            Minutes::new(60.0),
+        )
+        .unwrap();
         assert_eq!(g.value(), 0.0);
     }
 

@@ -60,7 +60,10 @@ mod tests {
         .unwrap();
         let m = CoulombCounter::new();
         let r = p.reversed();
-        assert_eq!(m.apparent_charge(&p, p.end()), m.apparent_charge(&r, r.end()));
+        assert_eq!(
+            m.apparent_charge(&p, p.end()),
+            m.apparent_charge(&r, r.end())
+        );
     }
 
     #[test]

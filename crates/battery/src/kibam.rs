@@ -122,7 +122,10 @@ impl KibamModel {
     /// Runs the profile until `at`, returning the wells at that instant.
     fn wells_at(&self, profile: &LoadProfile, at: Minutes) -> Wells {
         let a = self.alpha.value();
-        let mut wells = Wells { y1: self.c * a, y2: (1.0 - self.c) * a };
+        let mut wells = Wells {
+            y1: self.c * a,
+            y2: (1.0 - self.c) * a,
+        };
         let t_end = at.value();
         let mut clock = 0.0;
         for iv in profile.intervals() {

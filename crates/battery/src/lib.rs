@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod eval;
 pub mod ideal;
 pub mod kibam;
 pub mod model;
@@ -39,6 +40,7 @@ pub mod profile;
 pub mod rv;
 pub mod units;
 
+pub use eval::{SigmaEvaluator, SigmaScratch};
 pub use ideal::CoulombCounter;
 pub use kibam::KibamModel;
 pub use model::BatteryModel;
@@ -49,6 +51,7 @@ pub use units::{Energy, MilliAmpMinutes, MilliAmps, Minutes, Volts};
 
 /// Convenient glob-import of the types almost every user needs.
 pub mod prelude {
+    pub use crate::eval::{SigmaEvaluator, SigmaScratch};
     pub use crate::model::BatteryModel;
     pub use crate::profile::{Interval, LoadProfile};
     pub use crate::rv::RvModel;
@@ -70,7 +73,11 @@ mod trait_object_tests {
         let p = LoadProfile::from_steps([(Minutes::new(10.0), MilliAmps::new(200.0))]).unwrap();
         for m in &models {
             let q = m.apparent_charge(&p, p.end());
-            assert!(q.is_finite() && q.is_non_negative(), "{} misbehaved", m.name());
+            assert!(
+                q.is_finite() && q.is_non_negative(),
+                "{} misbehaved",
+                m.name()
+            );
         }
         // The ideal battery is the cheapest view of any profile.
         let ideal = models[0].apparent_charge(&p, p.end()).value();
@@ -88,6 +95,6 @@ mod trait_object_tests {
             by_ref.apparent_charge(&p, p.end()),
             boxed.apparent_charge(&p, p.end())
         );
-        assert_eq!((&m).name(), "rakhmatov-vrudhula");
+        assert_eq!(m.name(), "rakhmatov-vrudhula");
     }
 }

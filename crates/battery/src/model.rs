@@ -63,6 +63,22 @@ pub trait BatteryModel {
         }
         None
     }
+
+    /// Apparent charge at every instant of an ascending sample grid.
+    ///
+    /// The default maps [`Self::apparent_charge`] over `times`; models with
+    /// incremental structure (the RV diffusion model) override it with a
+    /// single-pass sweep.
+    fn apparent_charge_sweep(
+        &self,
+        profile: &LoadProfile,
+        times: &[Minutes],
+    ) -> Vec<MilliAmpMinutes> {
+        times
+            .iter()
+            .map(|&t| self.apparent_charge(profile, t))
+            .collect()
+    }
 }
 
 /// Number of scan samples used by the default [`BatteryModel::lifetime`].
@@ -81,6 +97,13 @@ impl<M: BatteryModel + ?Sized> BatteryModel for &M {
     fn lifetime(&self, profile: &LoadProfile, capacity: MilliAmpMinutes) -> Option<Minutes> {
         (**self).lifetime(profile, capacity)
     }
+    fn apparent_charge_sweep(
+        &self,
+        profile: &LoadProfile,
+        times: &[Minutes],
+    ) -> Vec<MilliAmpMinutes> {
+        (**self).apparent_charge_sweep(profile, times)
+    }
 }
 
 impl<M: BatteryModel + ?Sized> BatteryModel for Box<M> {
@@ -92,6 +115,13 @@ impl<M: BatteryModel + ?Sized> BatteryModel for Box<M> {
     }
     fn lifetime(&self, profile: &LoadProfile, capacity: MilliAmpMinutes) -> Option<Minutes> {
         (**self).lifetime(profile, capacity)
+    }
+    fn apparent_charge_sweep(
+        &self,
+        profile: &LoadProfile,
+        times: &[Minutes],
+    ) -> Vec<MilliAmpMinutes> {
+        (**self).apparent_charge_sweep(profile, times)
     }
 }
 
@@ -146,8 +176,14 @@ mod peak_tests {
         .unwrap();
         let (at, peak) = peak_apparent_charge(&m, &p, 32);
         let final_sigma = m.apparent_charge(&p, p.end());
-        assert!(peak.value() > final_sigma.value(), "peak {peak} vs final {final_sigma}");
-        assert!(at.value() <= 10.0, "crest sits near the burst end, got {at}");
+        assert!(
+            peak.value() > final_sigma.value(),
+            "peak {peak} vs final {final_sigma}"
+        );
+        assert!(
+            at.value() <= 10.0,
+            "crest sits near the burst end, got {at}"
+        );
         // A battery of exactly the peak survives; 1% less does not.
         assert_eq!(m.lifetime(&p, peak * 1.0001), None);
         assert!(m.lifetime(&p, peak * 0.99).is_some());

@@ -58,12 +58,18 @@ impl PeukertModel {
         if !(reference.is_finite() && reference.value() > 0.0) {
             return Err(PeukertError::InvalidReferenceCurrent);
         }
-        Ok(Self { exponent, reference })
+        Ok(Self {
+            exponent,
+            reference,
+        })
     }
 
     /// A typical Li-ion configuration (`p = 1.05`) rated at `reference`.
     pub fn lithium_ion(reference: MilliAmps) -> Self {
-        Self { exponent: 1.05, reference }
+        Self {
+            exponent: 1.05,
+            reference,
+        }
     }
 
     /// The Peukert exponent `p`.

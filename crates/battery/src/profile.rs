@@ -76,16 +76,28 @@ impl fmt::Display for ProfileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::NonPositiveDuration { duration } => {
-                write!(f, "interval duration must be positive and finite, got {duration}")
+                write!(
+                    f,
+                    "interval duration must be positive and finite, got {duration}"
+                )
             }
             Self::InvalidCurrent { current } => {
-                write!(f, "interval current must be non-negative and finite, got {current}")
+                write!(
+                    f,
+                    "interval current must be non-negative and finite, got {current}"
+                )
             }
             Self::Overlap { start } => {
-                write!(f, "interval starting at {start} overlaps an existing interval")
+                write!(
+                    f,
+                    "interval starting at {start} overlaps an existing interval"
+                )
             }
             Self::InvalidStart { start } => {
-                write!(f, "interval start must be non-negative and finite, got {start}")
+                write!(
+                    f,
+                    "interval start must be non-negative and finite, got {start}"
+                )
             }
         }
     }
@@ -110,6 +122,15 @@ impl LoadProfile {
     /// Creates an empty profile starting at `t = 0`.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty profile with room for `n` intervals, avoiding
+    /// reallocation when the final interval count is known up front.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            intervals: Vec::with_capacity(n),
+            cursor: Minutes::ZERO,
+        }
     }
 
     /// Builds a contiguous profile from `(duration, current)` steps starting
@@ -143,7 +164,11 @@ impl LoadProfile {
         validate_duration(duration)?;
         validate_current(current)?;
         let start = self.cursor;
-        self.intervals.push(Interval { start, duration, current });
+        self.intervals.push(Interval {
+            start,
+            duration,
+            current,
+        });
         self.cursor = start + duration;
         Ok(())
     }
@@ -187,7 +212,14 @@ impl LoadProfile {
         if idx < self.intervals.len() && self.intervals[idx].start.value() < end.value() {
             return Err(ProfileError::Overlap { start });
         }
-        self.intervals.insert(idx, Interval { start, duration, current });
+        self.intervals.insert(
+            idx,
+            Interval {
+                start,
+                duration,
+                current,
+            },
+        );
         self.cursor = self.cursor.max(end);
         Ok(())
     }
@@ -296,7 +328,10 @@ impl LoadProfile {
             })
             .collect();
         intervals.sort_by(|a, b| crate::units::total_cmp(a.start.value(), b.start.value()));
-        LoadProfile { intervals, cursor: end }
+        LoadProfile {
+            intervals,
+            cursor: end,
+        }
     }
 }
 
@@ -421,7 +456,10 @@ mod tests {
         assert_eq!(p.direct_charge(), MilliAmpMinutes::new(800.0));
         assert_eq!(p.direct_charge_until(min(2.5)), MilliAmpMinutes::new(250.0));
         assert_eq!(p.direct_charge_until(min(7.0)), MilliAmpMinutes::new(500.0));
-        assert_eq!(p.direct_charge_until(min(12.0)), MilliAmpMinutes::new(620.0));
+        assert_eq!(
+            p.direct_charge_until(min(12.0)),
+            MilliAmpMinutes::new(620.0)
+        );
         assert_eq!(p.direct_charge_until(min(100.0)), p.direct_charge());
     }
 

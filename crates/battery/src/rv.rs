@@ -44,7 +44,6 @@
 use crate::model::BatteryModel;
 use crate::profile::LoadProfile;
 use crate::units::{MilliAmpMinutes, Minutes};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The β parameter used throughout the DATE'05 paper (`min^{-1/2}`).
@@ -74,16 +73,52 @@ impl fmt::Display for RvModelError {
 impl std::error::Error for RvModelError {}
 
 /// Rakhmatov–Vrudhula diffusion model with a truncated series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The `β²m²` series coefficients are precomputed once at construction so
+/// neither [`RvModel::sigma`] nor the
+/// [`SigmaEvaluator`](crate::eval::SigmaEvaluator) recomputes them per
+/// term per call. Serialization carries only `beta` and `terms`; the table
+/// is rebuilt on deserialization.
+#[derive(Debug, Clone)]
 pub struct RvModel {
     beta: f64,
     terms: usize,
+    /// `coeff[m-1] = β²m²` for `m = 1..=terms`.
+    coeff: Vec<f64>,
+}
+
+impl PartialEq for RvModel {
+    /// Equality on the defining parameters (the coefficient table is
+    /// derived from them).
+    fn eq(&self, other: &Self) -> bool {
+        self.beta == other.beta && self.terms == other.terms
+    }
+}
+
+impl serde::Serialize for RvModel {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::Value::Obj(vec![
+            ("beta".into(), serde::Serialize::to_value(&self.beta)),
+            ("terms".into(), serde::Serialize::to_value(&self.terms)),
+        ])
+    }
+}
+
+impl serde::Deserialize for RvModel {
+    fn from_value(v: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| serde::json::Error::custom("expected object for RvModel"))?;
+        let beta: f64 = serde::json::field(obj, "beta")?;
+        let terms: usize = serde::json::field(obj, "terms")?;
+        Self::new(beta, terms).map_err(serde::json::Error::custom_display)
+    }
 }
 
 impl Default for RvModel {
     /// The paper's configuration: β = 0.273, 10 series terms.
     fn default() -> Self {
-        Self { beta: DATE05_BETA, terms: DATE05_TERMS }
+        Self::new(DATE05_BETA, DATE05_TERMS).expect("paper parameters are valid")
     }
 }
 
@@ -101,7 +136,9 @@ impl RvModel {
         if terms == 0 {
             return Err(RvModelError::NoTerms);
         }
-        Ok(Self { beta, terms })
+        let b2 = beta * beta;
+        let coeff = (1..=terms).map(|m| b2 * (m * m) as f64).collect();
+        Ok(Self { beta, terms, coeff })
     }
 
     /// The exact configuration of the DATE'05 paper.
@@ -117,6 +154,11 @@ impl RvModel {
     /// Number of series terms kept.
     pub fn terms(&self) -> usize {
         self.terms
+    }
+
+    /// The precomputed series coefficients `β²m²` for `m = 1..=terms`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeff
     }
 
     /// σ(T): apparent charge lost by `at` — delivered charge plus
@@ -151,14 +193,84 @@ impl RvModel {
     /// `Σ_{m=1..M} (e^{−β²m²·since_end} − e^{−β²m²·since_start}) / (β²m²)`
     /// with `0 <= since_end <= since_start`.
     fn series(&self, since_end: f64, since_start: f64) -> f64 {
-        let b2 = self.beta * self.beta;
         let mut acc = 0.0;
-        for m in 1..=self.terms {
-            let m2 = (m * m) as f64;
-            let k = b2 * m2;
+        for &k in &self.coeff {
             acc += ((-k * since_end).exp() - (-k * since_start).exp()) / k;
         }
         acc
+    }
+
+    /// σ at every instant in `times` (which must be sorted ascending) in a
+    /// single forward pass over the profile.
+    ///
+    /// Equivalent to mapping [`Self::sigma`] over `times` but
+    /// `O((S + K)·M)` instead of `O(S·K·M)`: per-term accumulators for the
+    /// completed intervals are decayed incrementally from sample to sample,
+    /// so each interval's exponentials are computed once, when it
+    /// completes, rather than once per sample. Used by the simulator's
+    /// state-of-charge tracing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `times` is not sorted ascending (the incremental fold
+    /// cannot rewind; silently continuing would return garbage). Callers
+    /// with unordered grids should use
+    /// [`BatteryModel::apparent_charge_sweep`], which checks and falls
+    /// back to pointwise evaluation.
+    pub fn sigma_sweep(&self, profile: &LoadProfile, times: &[Minutes]) -> Vec<MilliAmpMinutes> {
+        let intervals = profile.intervals();
+        let terms = self.terms;
+        // Per-term Σ over completed intervals k of
+        //   I_k (e^{−β²m²(T−e_k)} − e^{−β²m²(T−t_k)}),
+        // maintained at the current sample instant T.
+        let mut acc = vec![0.0f64; terms];
+        let mut direct_done = 0.0; // delivered charge of completed intervals
+        let mut next = 0usize; // first interval not yet folded into acc
+        let mut prev_t = f64::NEG_INFINITY;
+
+        let mut out = Vec::with_capacity(times.len());
+        for &at in times {
+            let t = at.value();
+            assert!(t >= prev_t, "sigma_sweep times must be ascending");
+            if t > prev_t && prev_t.is_finite() {
+                let gap = t - prev_t;
+                for (m, a) in acc.iter_mut().enumerate() {
+                    *a *= (-self.coeff[m] * gap).exp();
+                }
+            }
+            prev_t = t;
+
+            // Fold intervals that have completed by `t`.
+            while next < intervals.len() && intervals[next].end().value() <= t {
+                let iv = &intervals[next];
+                let (start, end, i) = (iv.start.value(), iv.end().value(), iv.current.value());
+                for (m, a) in acc.iter_mut().enumerate() {
+                    let k = self.coeff[m];
+                    *a += i * ((-k * (t - end)).exp() - (-k * (t - start)).exp());
+                }
+                direct_done += i * (end - start);
+                next += 1;
+            }
+
+            // At most one interval is in progress at `t`.
+            let mut sigma = direct_done;
+            for (m, a) in acc.iter().enumerate() {
+                sigma += 2.0 * a / self.coeff[m];
+            }
+            if next < intervals.len() {
+                let iv = &intervals[next];
+                let start = iv.start.value();
+                if start < t {
+                    let i = iv.current.value();
+                    sigma += i * (t - start);
+                    for &k in &self.coeff {
+                        sigma += 2.0 * i * (1.0 - (-k * (t - start)).exp()) / k;
+                    }
+                }
+            }
+            out.push(MilliAmpMinutes::new(sigma));
+        }
+        out
     }
 
     /// Upper bound on the truncation error of [`Self::sigma`] at `at`: the
@@ -185,6 +297,21 @@ impl BatteryModel for RvModel {
     fn name(&self) -> &'static str {
         "rakhmatov-vrudhula"
     }
+
+    /// Incremental single-pass sweep when `times` is ascending; falls back
+    /// to pointwise evaluation otherwise, preserving the trait's
+    /// order-insensitive contract.
+    fn apparent_charge_sweep(
+        &self,
+        profile: &LoadProfile,
+        times: &[Minutes],
+    ) -> Vec<MilliAmpMinutes> {
+        if times.windows(2).all(|w| w[0].value() <= w[1].value()) {
+            self.sigma_sweep(profile, times)
+        } else {
+            times.iter().map(|&t| self.sigma(profile, t)).collect()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -205,9 +332,18 @@ mod tests {
 
     #[test]
     fn constructor_validates() {
-        assert_eq!(RvModel::new(0.0, 10).unwrap_err(), RvModelError::InvalidBeta);
-        assert_eq!(RvModel::new(-1.0, 10).unwrap_err(), RvModelError::InvalidBeta);
-        assert_eq!(RvModel::new(f64::NAN, 10).unwrap_err(), RvModelError::InvalidBeta);
+        assert_eq!(
+            RvModel::new(0.0, 10).unwrap_err(),
+            RvModelError::InvalidBeta
+        );
+        assert_eq!(
+            RvModel::new(-1.0, 10).unwrap_err(),
+            RvModelError::InvalidBeta
+        );
+        assert_eq!(
+            RvModel::new(f64::NAN, 10).unwrap_err(),
+            RvModelError::InvalidBeta
+        );
         assert_eq!(RvModel::new(0.5, 0).unwrap_err(), RvModelError::NoTerms);
         let m = RvModel::new(0.5, 7).unwrap();
         assert_eq!(m.beta(), 0.5);
@@ -236,7 +372,10 @@ mod tests {
         let far = min(10_000.0);
         let sigma = m.sigma(&p, far).value();
         let direct = p.direct_charge().value();
-        assert!((sigma - direct).abs() < 1e-6, "sigma {sigma} vs direct {direct}");
+        assert!(
+            (sigma - direct).abs() < 1e-6,
+            "sigma {sigma} vs direct {direct}"
+        );
     }
 
     #[test]
@@ -267,7 +406,10 @@ mod tests {
         let t = late.end();
         let s_late = m.sigma(&late, t).value();
         let s_early = m.sigma(&early, t).value();
-        assert!(s_early < s_late, "early {s_early} should beat late {s_late}");
+        assert!(
+            s_early < s_late,
+            "early {s_early} should beat late {s_late}"
+        );
         // Both still dominate the direct charge.
         assert!(s_early > late.direct_charge().value());
     }
@@ -290,7 +432,10 @@ mod tests {
         let p = single(10.0, 250.0);
         let at_end = m.sigma(&p, min(10.0)).value();
         let rested = m.sigma(&p, min(20.0)).value();
-        assert!(rested < at_end, "recovery must lower sigma: {rested} vs {at_end}");
+        assert!(
+            rested < at_end,
+            "recovery must lower sigma: {rested} vs {at_end}"
+        );
         assert!(rested > p.direct_charge().value() - 1e-9);
     }
 
@@ -359,7 +504,10 @@ mod tests {
             .expect("battery must die");
         assert!(lt.value() < 10.0, "death after sigma(10) > 3000: {lt}");
         assert!(lt.value() > 5.0, "death before sigma(5) < 3000: {lt}");
-        assert!(lt.value() < 30.0, "rate-capacity effect beats the ideal 30 min");
+        assert!(
+            lt.value() < 30.0,
+            "rate-capacity effect beats the ideal 30 min"
+        );
         // At the reported instant, sigma is at capacity (within tolerance).
         let s = m.sigma(&p, lt).value();
         assert!((s - 3000.0).abs() < 1.0, "sigma at death {s}");
@@ -381,13 +529,76 @@ mod tests {
     }
 
     #[test]
+    fn coefficients_are_beta2_m2() {
+        let m = RvModel::new(0.5, 4).unwrap();
+        let expect = [0.25, 1.0, 2.25, 4.0];
+        for (a, b) in m.coefficients().iter().zip(expect) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_pointwise_sigma() {
+        let m = RvModel::date05();
+        let mut p = LoadProfile::new();
+        p.push(min(5.0), ma(300.0)).unwrap();
+        p.push_rest(min(3.0)).unwrap();
+        p.push(min(2.0), ma(800.0)).unwrap();
+        p.push(min(10.0), ma(40.0)).unwrap();
+        // Sample boundaries, interiors of intervals, gaps, and beyond.
+        let times: Vec<Minutes> = [0.0, 0.1, 2.5, 5.0, 6.5, 8.0, 9.0, 10.0, 15.0, 20.0, 60.0]
+            .iter()
+            .map(|&t| min(t))
+            .collect();
+        let swept = m.sigma_sweep(&p, &times);
+        for (at, got) in times.iter().zip(&swept) {
+            let want = m.sigma(&p, *at).value();
+            assert!(
+                (got.value() - want).abs() <= 1e-9 * want.max(1.0),
+                "sweep at {at}: {got} vs {want}"
+            );
+        }
+        // Repeated instants are allowed.
+        let twice = m.sigma_sweep(&p, &[min(5.0), min(5.0)]);
+        assert_eq!(twice[0], twice[1]);
+    }
+
+    #[test]
+    fn trait_sweep_tolerates_unsorted_grids() {
+        // The generic trait contract is order-insensitive: unsorted grids
+        // take the pointwise fallback instead of corrupting the fold.
+        let m = RvModel::date05();
+        let p = single(10.0, 250.0);
+        let grid = [min(10.0), min(2.0), min(7.0)];
+        let swept = m.apparent_charge_sweep(&p, &grid);
+        for (at, got) in grid.iter().zip(&swept) {
+            assert_eq!(got.value(), m.sigma(&p, *at).value());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn direct_sweep_rejects_unsorted_grids() {
+        let m = RvModel::date05();
+        let p = single(10.0, 250.0);
+        m.sigma_sweep(&p, &[min(10.0), min(2.0)]);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_coefficients() {
+        let m = RvModel::new(0.41, 7).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RvModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.coefficients(), m.coefficients());
+        assert!(serde_json::from_str::<RvModel>("{\"beta\":-1.0,\"terms\":3}").is_err());
+    }
+
+    #[test]
     fn rest_gaps_between_bursts_recover_capacity() {
         let m = RvModel::date05();
-        let packed = LoadProfile::from_steps([
-            (min(5.0), ma(300.0)),
-            (min(5.0), ma(300.0)),
-        ])
-        .unwrap();
+        let packed =
+            LoadProfile::from_steps([(min(5.0), ma(300.0)), (min(5.0), ma(300.0))]).unwrap();
         let mut spaced = LoadProfile::new();
         spaced.push(min(5.0), ma(300.0)).unwrap();
         spaced.push_rest(min(30.0)).unwrap();

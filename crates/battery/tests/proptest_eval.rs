@@ -1,0 +1,125 @@
+//! Property-based equivalence of the incremental σ-evaluation engine
+//! against the naive Rakhmatov–Vrudhula implementation: for arbitrary
+//! entry catalogues, sequences, single-entry swaps and sample sweeps, the
+//! engine must match [`RvModel::sigma`] to ≤ 1e-9 relative error.
+
+use batsched_battery::eval::{SigmaEvaluator, SigmaScratch};
+use batsched_battery::profile::LoadProfile;
+use batsched_battery::rv::RvModel;
+use batsched_battery::units::{MilliAmps, Minutes};
+use proptest::prelude::*;
+
+const REL_TOL: f64 = 1e-9;
+
+/// Entry catalogues: 1–12 (duration, current) pairs with schedule-like
+/// magnitudes (durations 0.1–40 min, currents 1–1000 mA).
+fn arb_entries() -> impl Strategy<Value = Vec<(Minutes, MilliAmps)>> {
+    prop::collection::vec((0.1f64..40.0, 1.0f64..1000.0), 1..12).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(d, i)| (Minutes::new(d), MilliAmps::new(i)))
+            .collect()
+    })
+}
+
+fn naive_sigma(model: &RvModel, entries: &[(Minutes, MilliAmps)], seq: &[u32]) -> (f64, f64) {
+    let p = LoadProfile::from_steps(seq.iter().map(|&e| entries[e as usize])).unwrap();
+    (model.sigma(&p, p.end()).value(), p.end().value())
+}
+
+fn assert_rel_close(engine: f64, naive: f64) {
+    assert!(
+        (engine - naive).abs() <= REL_TOL * naive.abs().max(1.0),
+        "engine {engine} vs naive {naive}"
+    );
+}
+
+fn seq_from(picks: &[u32], entries: usize) -> Vec<u32> {
+    picks.iter().map(|&p| p % entries as u32).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fresh evaluation of an arbitrary sequence matches the naive path.
+    #[test]
+    fn engine_matches_naive_sigma(
+        entries in arb_entries(),
+        picks in prop::collection::vec(0u32..64, 1..40),
+        beta in 0.05f64..1.5,
+        terms in 1usize..20,
+    ) {
+        let model = RvModel::new(beta, terms).unwrap();
+        let eval = SigmaEvaluator::new(&model, entries.clone());
+        let seq = seq_from(&picks, entries.len());
+        let (sigma, mk) = eval.sigma_seq_once(&seq);
+        let (naive, naive_mk) = naive_sigma(&model, &entries, &seq);
+        assert_rel_close(sigma.value(), naive);
+        prop_assert!((mk.value() - naive_mk).abs() <= 1e-9 * naive_mk.max(1.0));
+    }
+
+    /// A chain of single-position swaps through one shared scratch stays
+    /// equivalent at every step — the suffix cache never serves stale sums.
+    #[test]
+    fn swap_chains_stay_equivalent(
+        entries in arb_entries(),
+        picks in prop::collection::vec(0u32..64, 2..24),
+        swaps in prop::collection::vec((0u32..64, 0u32..64), 1..16),
+    ) {
+        let model = RvModel::date05();
+        let eval = SigmaEvaluator::new(&model, entries.clone());
+        let mut scratch = SigmaScratch::new();
+        let mut seq = seq_from(&picks, entries.len());
+        for &(pos, replacement) in &swaps {
+            let pos = pos as usize % seq.len();
+            seq[pos] = replacement % entries.len() as u32;
+            let (sigma, _) = eval.sigma_seq(&seq, &mut scratch);
+            let (naive, _) = naive_sigma(&model, &entries, &seq);
+            assert_rel_close(sigma.value(), naive);
+        }
+    }
+
+    /// Adjacent transpositions (the refine/annealing move) through one
+    /// scratch stay equivalent.
+    #[test]
+    fn adjacent_transpositions_stay_equivalent(
+        entries in arb_entries(),
+        picks in prop::collection::vec(0u32..64, 2..24),
+        swap_positions in prop::collection::vec(0u32..64, 1..16),
+    ) {
+        let model = RvModel::date05();
+        let eval = SigmaEvaluator::new(&model, entries.clone());
+        let mut scratch = SigmaScratch::new();
+        let mut seq = seq_from(&picks, entries.len());
+        eval.sigma_seq(&seq, &mut scratch);
+        for &k in &swap_positions {
+            let k = k as usize % (seq.len() - 1);
+            seq.swap(k, k + 1);
+            let (sigma, _) = eval.sigma_seq(&seq, &mut scratch);
+            let (naive, _) = naive_sigma(&model, &entries, &seq);
+            assert_rel_close(sigma.value(), naive);
+        }
+    }
+
+    /// The simulator's sweep matches pointwise σ on arbitrary profiles
+    /// (including rest gaps) and arbitrary ascending sample grids.
+    #[test]
+    fn sweep_matches_pointwise(
+        steps in prop::collection::vec((0.0f64..800.0, 0.1f64..20.0), 1..15),
+        sample_count in 2usize..40,
+        horizon_factor in 1.0f64..3.0,
+    ) {
+        let model = RvModel::date05();
+        let p = LoadProfile::from_steps(
+            steps.iter().map(|&(i, d)| (Minutes::new(d), MilliAmps::new(i))),
+        ).unwrap();
+        let horizon = p.end().value() * horizon_factor;
+        let times: Vec<Minutes> = (0..sample_count)
+            .map(|k| Minutes::new(horizon * k as f64 / (sample_count - 1) as f64))
+            .collect();
+        let swept = model.sigma_sweep(&p, &times);
+        for (at, got) in times.iter().zip(&swept) {
+            let want = model.sigma(&p, *at).value();
+            assert_rel_close(got.value(), want);
+        }
+    }
+}

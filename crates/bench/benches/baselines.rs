@@ -31,12 +31,18 @@ fn bench_algorithms(c: &mut Criterion) {
         b.iter(|| black_box(ch.schedule(&g, d).unwrap()))
     });
 
-    let sa = SimulatedAnnealing { steps: 5_000, ..Default::default() };
+    let sa = SimulatedAnnealing {
+        steps: 5_000,
+        ..Default::default()
+    };
     group.bench_function("annealing_5k", |b| {
         b.iter(|| black_box(sa.schedule(&g, d).unwrap()))
     });
 
-    let rs = RandomSearch { samples: 100, ..Default::default() };
+    let rs = RandomSearch {
+        samples: 100,
+        ..Default::default()
+    };
     group.bench_function("random_100", |b| {
         b.iter(|| black_box(rs.schedule(&g, d).unwrap()))
     });

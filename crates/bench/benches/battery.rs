@@ -21,7 +21,8 @@ fn profile_of(n: usize) -> LoadProfile {
         x ^= x << 17;
         let current = 20.0 + (x % 900) as f64;
         let duration = 0.5 + (x % 37) as f64 / 10.0;
-        p.push(Minutes::new(duration), MilliAmps::new(current)).unwrap();
+        p.push(Minutes::new(duration), MilliAmps::new(current))
+            .unwrap();
     }
     p
 }
@@ -58,7 +59,10 @@ fn bench_models(c: &mut Criterion) {
     let models: Vec<(&str, Box<dyn BatteryModel>)> = vec![
         ("coulomb", Box::new(CoulombCounter::new())),
         ("rv10", Box::new(RvModel::date05())),
-        ("peukert", Box::new(PeukertModel::lithium_ion(MilliAmps::new(100.0)))),
+        (
+            "peukert",
+            Box::new(PeukertModel::lithium_ion(MilliAmps::new(100.0))),
+        ),
         (
             "kibam",
             Box::new(KibamModel::new(0.5, 0.05, MilliAmpMinutes::new(1e6)).unwrap()),

@@ -2,13 +2,18 @@
 //! bench per published table: Table 2/3 share the G3 run at d = 230, and
 //! Table 4 covers both graphs over all published deadlines.
 
+use batsched_battery::eval::SigmaScratch;
 use batsched_battery::rv::RvModel;
 use batsched_battery::units::Minutes;
-use batsched_core::{schedule, search::diag_evaluate_windows, SchedulerConfig};
+use batsched_bench::workloads::synthetic_n50_m8;
+use batsched_core::schedule::{entry_id, graph_evaluator};
+use batsched_core::{profile_of, schedule, search::diag_evaluate_windows, SchedulerConfig};
+use batsched_taskgraph::analysis::{max_makespan, min_makespan};
 use batsched_taskgraph::paper::{
     g2, g3, G2_TABLE4_DEADLINES, G3_EXAMPLE_DEADLINE, G3_TABLE4_DEADLINES,
 };
 use batsched_taskgraph::topo::topological_order;
+use batsched_taskgraph::PointId;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -47,23 +52,55 @@ fn bench_single_window_evaluation(c: &mut Criterion) {
     c.bench_function("evaluate_windows_g3", |b| {
         b.iter(|| {
             black_box(
-                diag_evaluate_windows(
-                    &g,
-                    &cfg,
-                    Minutes::new(G3_EXAMPLE_DEADLINE),
-                    &model,
-                    &seq,
-                )
-                .unwrap(),
+                diag_evaluate_windows(&g, &cfg, Minutes::new(G3_EXAMPLE_DEADLINE), &model, &seq)
+                    .unwrap(),
             )
         })
     });
+}
+
+fn bench_synthetic_n50_m8(c: &mut Criterion) {
+    let g = synthetic_n50_m8();
+    let cfg = SchedulerConfig::paper();
+    let model = RvModel::date05();
+    let lo = min_makespan(&g).value();
+    let hi = max_makespan(&g).value();
+    let d = Minutes::new(lo + (hi - lo) * 0.7);
+
+    let order = topological_order(&g);
+    let m = g.point_count();
+    let assignment: Vec<PointId> = (0..g.task_count()).map(|t| PointId(t % m)).collect();
+    let profile = profile_of(&g, &order, &assignment);
+    let end = profile.end();
+    let eval = graph_evaluator(&g, &model);
+    let entries: Vec<u32> = order
+        .iter()
+        .map(|&t| entry_id(t, m, assignment[t.index()]))
+        .collect();
+
+    let mut group = c.benchmark_group("synthetic_n50_m8");
+    group.sample_size(20);
+    group.bench_function("sigma_naive", |b| {
+        b.iter(|| black_box(model.sigma(black_box(&profile), end)))
+    });
+    let mut scratch = SigmaScratch::new();
+    group.bench_function("sigma_engine_full", |b| {
+        b.iter(|| {
+            scratch.invalidate();
+            black_box(eval.sigma_seq(black_box(&entries), &mut scratch))
+        })
+    });
+    group.bench_function("full_run", |b| {
+        b.iter(|| black_box(schedule(&g, d, &cfg).unwrap()))
+    });
+    group.finish();
 }
 
 criterion_group!(
     benches,
     bench_table2_table3_full_run,
     bench_table4_deadline_sweep,
-    bench_single_window_evaluation
+    bench_single_window_evaluation,
+    bench_synthetic_n50_m8
 );
 criterion_main!(benches);

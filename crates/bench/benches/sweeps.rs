@@ -42,11 +42,9 @@ fn bench_scale_tasks(c: &mut Criterion) {
     for (layers, width) in [(5usize, 2usize), (5, 4), (10, 4), (10, 8)] {
         let g = graph(layers, width, 5, 42);
         let d = deadline_for(&g);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(g.task_count()),
-            &g,
-            |b, g| b.iter(|| black_box(schedule(g, d, &cfg).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(g.task_count()), &g, |b, g| {
+            b.iter(|| black_box(schedule(g, d, &cfg).unwrap()))
+        });
     }
     group.finish();
 }

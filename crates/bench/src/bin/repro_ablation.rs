@@ -22,13 +22,32 @@ fn main() {
     println!("== Ablation 1: suitability-factor knockouts ==\n");
     let mut t = Table::new(["Mask", "G2 σ (d=75)", "G3 σ (d=230)"]);
     let base = SchedulerConfig::paper();
-    let full_g2 = schedule(&g2, Minutes::new(75.0), &base).unwrap().cost.value();
-    let full_g3 = schedule(&g3, Minutes::new(230.0), &base).unwrap().cost.value();
-    t.row(["all factors".to_string(), format!("{full_g2:.0}"), format!("{full_g3:.0}")]);
+    let full_g2 = schedule(&g2, Minutes::new(75.0), &base)
+        .unwrap()
+        .cost
+        .value();
+    let full_g3 = schedule(&g3, Minutes::new(230.0), &base)
+        .unwrap()
+        .cost
+        .value();
+    t.row([
+        "all factors".to_string(),
+        format!("{full_g2:.0}"),
+        format!("{full_g3:.0}"),
+    ]);
     for i in 0..5 {
-        let cfg = SchedulerConfig { factor_mask: FactorMask::without(i), ..base.clone() };
-        let a = schedule(&g2, Minutes::new(75.0), &cfg).unwrap().cost.value();
-        let b = schedule(&g3, Minutes::new(230.0), &cfg).unwrap().cost.value();
+        let cfg = SchedulerConfig {
+            factor_mask: FactorMask::without(i),
+            ..base.clone()
+        };
+        let a = schedule(&g2, Minutes::new(75.0), &cfg)
+            .unwrap()
+            .cost
+            .value();
+        let b = schedule(&g3, Minutes::new(230.0), &cfg)
+            .unwrap()
+            .cost
+            .value();
         t.row([
             format!("without {}", FactorMask::NAMES[i]),
             format!("{a:.0} ({:+.1}%)", (a - full_g2) / full_g2 * 100.0),
@@ -40,13 +59,28 @@ fn main() {
     println!("\n== Ablation 2: initial-sequence weight rule (DESIGN.md §4.1) ==\n");
     let mut t = Table::new(["Rule", "G2 σ (d=75)", "G3 σ (d=230)"]);
     for (name, rule) in [
-        ("average current (default, matches Table 2)", InitialWeight::AverageCurrent),
-        ("average energy (the §4.1 prose)", InitialWeight::AverageEnergy),
+        (
+            "average current (default, matches Table 2)",
+            InitialWeight::AverageCurrent,
+        ),
+        (
+            "average energy (the §4.1 prose)",
+            InitialWeight::AverageEnergy,
+        ),
         ("average power", InitialWeight::AveragePower),
     ] {
-        let cfg = SchedulerConfig { initial_weight: rule, ..base.clone() };
-        let a = schedule(&g2, Minutes::new(75.0), &cfg).unwrap().cost.value();
-        let b = schedule(&g3, Minutes::new(230.0), &cfg).unwrap().cost.value();
+        let cfg = SchedulerConfig {
+            initial_weight: rule,
+            ..base.clone()
+        };
+        let a = schedule(&g2, Minutes::new(75.0), &cfg)
+            .unwrap()
+            .cost
+            .value();
+        let b = schedule(&g3, Minutes::new(230.0), &cfg)
+            .unwrap()
+            .cost
+            .value();
         t.row([name.to_string(), format!("{a:.0}"), format!("{b:.0}")]);
     }
     print!("{}", t.render());
@@ -55,7 +89,10 @@ fn main() {
     let mut t = Table::new(["β", "ours σ", "DP [1] σ", "advantage"]);
     let dp_algo = RakhmatovDp::default();
     for beta in [0.1, 0.2, 0.273, 0.5, 1.0, 2.0] {
-        let cfg = SchedulerConfig { beta, ..base.clone() };
+        let cfg = SchedulerConfig {
+            beta,
+            ..base.clone()
+        };
         let model = RvModel::new(beta, 10).unwrap();
         let ours = schedule(&g3, Minutes::new(230.0), &cfg).unwrap();
         let ours_cost = ours.schedule.battery_cost(&g3, &model).value();

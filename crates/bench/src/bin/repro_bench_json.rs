@@ -1,0 +1,128 @@
+//! Perf-trajectory harness: times the σ-evaluation kernels and the full
+//! scheduler on a synthetic n=50, m=8 instance and writes
+//! `BENCH_scheduler.json` so future changes have a recorded baseline.
+//!
+//! Run with `cargo run --release -p batsched-bench --bin repro_bench_json`.
+//! Pass `--full` for more samples (default is quick mode). The JSON lands
+//! in the current directory.
+//!
+//! Reported medians (ns):
+//! * `sigma_naive` — one `RvModel::sigma` over the prebuilt 50-interval
+//!   profile (the old inner-loop cost, without profile construction);
+//! * `sigma_naive_with_profile` — profile construction + σ, what the old
+//!   `positional_cost` actually paid per candidate;
+//! * `sigma_engine_full` — one full `SigmaEvaluator` pass (cold cache);
+//! * `sigma_engine_swap` — one re-evaluation after a single design-point
+//!   swap (warm suffix cache);
+//! * `schedule_run` — one full `batsched_core::schedule` call.
+
+use batsched_battery::eval::SigmaScratch;
+use batsched_battery::rv::RvModel;
+use batsched_battery::units::Minutes;
+use batsched_bench::workloads::{synthetic_n50_m8, SYNTH_N50_M8_SEED};
+use batsched_core::schedule::{entry_id, graph_evaluator};
+use batsched_core::{profile_of, schedule, SchedulerConfig};
+use batsched_taskgraph::analysis::{max_makespan, min_makespan};
+use batsched_taskgraph::topo::topological_order;
+use batsched_taskgraph::PointId;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median ns/iter of `f`, calibrated so each sample runs ≥ ~2 ms.
+fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    let one = start.elapsed().as_nanos().max(25);
+    let per_sample = (2_000_000u128 / one).clamp(1, 200_000) as usize;
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / per_sample as f64
+        })
+        .collect();
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    timings[timings.len() / 2]
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let samples = if full { 40 } else { 12 };
+
+    let g = synthetic_n50_m8();
+    let n = g.task_count();
+    let m = g.point_count();
+    let model = RvModel::date05();
+    let cfg = SchedulerConfig::paper();
+    // Moderate slack: 70% of the way from all-fast to all-lean.
+    let lo = min_makespan(&g).value();
+    let hi = max_makespan(&g).value();
+    let deadline = Minutes::new(lo + (hi - lo) * 0.7);
+
+    let order = topological_order(&g);
+    // A mixed assignment exercising every column.
+    let assignment: Vec<PointId> = (0..n).map(|t| PointId(t % m)).collect();
+    let profile = profile_of(&g, &order, &assignment);
+    let end = profile.end();
+
+    let eval = graph_evaluator(&g, &model);
+    let entries: Vec<u32> = order
+        .iter()
+        .map(|&t| entry_id(t, m, assignment[t.index()]))
+        .collect();
+
+    eprintln!("instance: n={n}, m={m}, deadline={deadline}");
+
+    let sigma_naive = median_ns(samples, || {
+        black_box(model.sigma(black_box(&profile), end));
+    });
+    let sigma_naive_with_profile = median_ns(samples, || {
+        let p = profile_of(&g, &order, &assignment);
+        black_box(model.sigma(black_box(&p), p.end()));
+    });
+    let mut scratch = SigmaScratch::new();
+    let sigma_engine_full = median_ns(samples, || {
+        scratch.invalidate(); // cold cache: measure the full pass
+        black_box(eval.sigma_seq(black_box(&entries), &mut scratch));
+    });
+    let mut swap_entries = entries.clone();
+    let swap_pos = n / 2;
+    let mut flip = false;
+    eval.sigma_seq(&swap_entries, &mut scratch);
+    let sigma_engine_swap = median_ns(samples, || {
+        // Toggle one task's design point — the dominant search move.
+        let t = order[swap_pos];
+        let col = if flip { PointId(0) } else { PointId(m - 1) };
+        flip = !flip;
+        swap_entries[swap_pos] = entry_id(t, m, col);
+        black_box(eval.sigma_seq(black_box(&swap_entries), &mut scratch));
+    });
+    let schedule_run = median_ns(samples.min(12), || {
+        black_box(schedule(&g, deadline, &cfg).expect("feasible synthetic instance"));
+    });
+
+    let speedup_full = sigma_naive / sigma_engine_full;
+    let speedup_vs_old_inner = sigma_naive_with_profile / sigma_engine_full;
+    let speedup_swap = sigma_naive_with_profile / sigma_engine_swap;
+
+    let json = format!(
+        "{{\n  \"instance\": {{\"n\": {n}, \"m\": {m}, \"deadline_min\": {dl}, \"seed\": {seed}}},\n  \
+         \"quick\": {quick},\n  \
+         \"sigma_eval_ns\": {{\n    \"naive\": {sigma_naive:.1},\n    \
+         \"naive_with_profile\": {sigma_naive_with_profile:.1},\n    \
+         \"engine_full\": {sigma_engine_full:.1},\n    \
+         \"engine_swap\": {sigma_engine_swap:.1}\n  }},\n  \
+         \"schedule_run_ns\": {schedule_run:.1},\n  \
+         \"speedup\": {{\n    \"sigma_full_vs_naive\": {speedup_full:.2},\n    \
+         \"sigma_full_vs_old_inner_loop\": {speedup_vs_old_inner:.2},\n    \
+         \"sigma_swap_vs_old_inner_loop\": {speedup_swap:.2}\n  }}\n}}\n",
+        dl = deadline.value(),
+        seed = SYNTH_N50_M8_SEED,
+        quick = !full,
+    );
+    std::fs::write("BENCH_scheduler.json", &json).expect("write BENCH_scheduler.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_scheduler.json");
+}

@@ -31,7 +31,10 @@ fn main() {
         Box::new(KhanVemuri::paper()),
         Box::new(RakhmatovDp::default()),
         Box::new(ChowdhuryScaling),
-        Box::new(RandomSearch { samples: 20, ..Default::default() }),
+        Box::new(RandomSearch {
+            samples: 20,
+            ..Default::default()
+        }),
     ];
     for algo in &algos {
         let s = algo.schedule(&g, d).unwrap();
@@ -43,7 +46,10 @@ fn main() {
             format!("{before:.0}"),
             format!("{:.0}", refined.cost.value()),
             format!("{:+.1}%", (refined.cost.value() - before) / before * 100.0),
-            format!("{} swaps, {} points", refined.stats.swaps, refined.stats.point_moves),
+            format!(
+                "{} swaps, {} points",
+                refined.stats.swaps, refined.stats.point_moves
+            ),
         ]);
     }
     print!("{}", t.render());
@@ -77,7 +83,10 @@ fn main() {
     // deadline misses).
     let (_, peak) = peak_apparent_charge(&model, &ours.to_profile(&g), 64);
     let capacity = MilliAmpMinutes::new(peak.value() * 1.05);
-    println!("shared battery: {:.0} mA·min (ours' peak requirement + 5%)\n", capacity.value());
+    println!(
+        "shared battery: {:.0} mA·min (ours' peak requirement + 5%)\n",
+        capacity.value()
+    );
     let mut t = Table::new(["plan", "survived", "depleted", "P(depletion)"]);
     let mut rates = Vec::new();
     for (name, plan) in [("khan-vemuri", &ours), ("rakhmatov-dp", &dp)] {

@@ -15,8 +15,13 @@ use batsched_taskgraph::{DesignPoint, TaskGraph, TaskId};
 /// two promotions of T1.
 fn figure4_graph() -> TaskGraph {
     let mut b = TaskGraph::builder();
-    let rows: [(&str, f64); 5] =
-        [("T1", 400.0), ("T2", 500.0), ("T3", 100.0), ("T4", 200.0), ("T5", 300.0)];
+    let rows: [(&str, f64); 5] = [
+        ("T1", 400.0),
+        ("T2", 500.0),
+        ("T3", 100.0),
+        ("T4", 200.0),
+        ("T5", 300.0),
+    ];
     for (name, i1) in rows {
         b.task(
             name,
@@ -35,7 +40,13 @@ fn panel(title: &str, assign: &[usize], tagged: usize, fixed: &[bool]) {
     println!("{title}");
     for (pos, &col) in assign.iter().enumerate() {
         let marks: Vec<String> = (0..4)
-            .map(|j| if j == col { format!("[DP{}]", j + 1) } else { format!(" DP{} ", j + 1) })
+            .map(|j| {
+                if j == col {
+                    format!("[DP{}]", j + 1)
+                } else {
+                    format!(" DP{} ", j + 1)
+                }
+            })
             .collect();
         let state = if pos == tagged {
             "tagged"
@@ -58,9 +69,24 @@ fn main() {
     let seq: Vec<TaskId> = (0..5).map(TaskId).collect();
     let fixed = [false, false, true, true, true]; // positions (T3 tagged counts as fixed-in-E)
 
-    panel("(a) initial: T1, T2 free at DP4 (total 30 min > 26)", &[3, 3, 1, 0, 3], 2, &fixed);
-    panel("(b) repair: T1 promoted to DP3 (total 28 min > 26)", &[2, 3, 1, 0, 3], 2, &fixed);
-    panel("(c) repair: T1 promoted to DP2 (total 26 min <= 26, done)", &[1, 3, 1, 0, 3], 2, &fixed);
+    panel(
+        "(a) initial: T1, T2 free at DP4 (total 30 min > 26)",
+        &[3, 3, 1, 0, 3],
+        2,
+        &fixed,
+    );
+    panel(
+        "(b) repair: T1 promoted to DP3 (total 28 min > 26)",
+        &[2, 3, 1, 0, 3],
+        2,
+        &fixed,
+    );
+    panel(
+        "(c) repair: T1 promoted to DP2 (total 26 min <= 26, done)",
+        &[1, 3, 1, 0, 3],
+        2,
+        &fixed,
+    );
 
     let (enr, cif, dpf) = diag_calculate_dpf(
         &g,
@@ -73,7 +99,13 @@ fn main() {
         0,
     );
     println!("our CalculateDPF on state (a): DPF = {dpf:.6} (CIF = {cif:.3}, ENR = {enr:.3})");
-    println!("paper:                         DPF = 1/3 = {:.6}", 1.0 / 3.0);
-    assert!((dpf - 1.0 / 3.0).abs() < 1e-12, "Figure 4 must reproduce exactly");
+    println!(
+        "paper:                         DPF = 1/3 = {:.6}",
+        1.0 / 3.0
+    );
+    assert!(
+        (dpf - 1.0 / 3.0).abs() < 1e-12,
+        "Figure 4 must reproduce exactly"
+    );
     println!("\nverdict: EXACT (f = 1/3, two free tasks, F2 = 1/2 at weight 2)");
 }

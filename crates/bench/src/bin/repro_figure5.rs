@@ -21,7 +21,11 @@ fn main() {
         let mut cells = vec![name.to_string()];
         for j in 0..4 {
             let p = synth.point(tid, PointId(j));
-            cells.push(format!("{:>4.0} mA {:>5.1} m", p.current.value(), p.duration.value()));
+            cells.push(format!(
+                "{:>4.0} mA {:>5.1} m",
+                p.current.value(),
+                p.duration.value()
+            ));
         }
         t.row(cells);
     }

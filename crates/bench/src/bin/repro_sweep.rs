@@ -19,7 +19,10 @@ fn sweep(name: &str, g: &TaskGraph, points: usize, csv: &mut String) {
         Box::new(KhanVemuri::paper()),
         Box::new(RakhmatovDp::default()),
         Box::new(ChowdhuryScaling),
-        Box::new(SimulatedAnnealing { steps: 5_000, ..Default::default() }),
+        Box::new(SimulatedAnnealing {
+            steps: 5_000,
+            ..Default::default()
+        }),
     ];
     let lo = min_makespan(g).value();
     let hi = max_makespan(g).value();

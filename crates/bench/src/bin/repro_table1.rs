@@ -8,9 +8,7 @@ use batsched_taskgraph::PointId;
 
 fn main() {
     println!("== Table 1: data for example task graph G3 ==");
-    println!(
-        "synthesis rule: I[i][j] = round(I1_i · s_j^3), D[i][j] = round1(Dwc_i · s_(m+1-j)),"
-    );
+    println!("synthesis rule: I[i][j] = round(I1_i · s_j^3), D[i][j] = round1(Dwc_i · s_(m+1-j)),");
     println!("scaling factors s = {G3_FACTORS:?}\n");
 
     let printed = g3();
@@ -22,7 +20,11 @@ fn main() {
         let mut cells = vec![name.to_string()];
         for j in 0..5 {
             let p = synth.point(tid, PointId(j));
-            cells.push(format!("{:>4.0} mA {:>5.1} m", p.current.value(), p.duration.value()));
+            cells.push(format!(
+                "{:>4.0} mA {:>5.1} m",
+                p.current.value(),
+                p.duration.value()
+            ));
         }
         cells.push(if parents.is_empty() {
             "-".into()

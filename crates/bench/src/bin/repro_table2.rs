@@ -40,8 +40,12 @@ fn agreement(a: &str, b: &str) -> String {
 fn main() {
     println!("== Table 2: task sequences of G3 per iteration (deadline 230 min) ==\n");
     let g = g3();
-    let sol = schedule(&g, Minutes::new(G3_EXAMPLE_DEADLINE), &SchedulerConfig::paper())
-        .expect("G3 at 230 min is feasible");
+    let sol = schedule(
+        &g,
+        Minutes::new(G3_EXAMPLE_DEADLINE),
+        &SchedulerConfig::paper(),
+    )
+    .expect("G3 at 230 min is feasible");
 
     let mut t = Table::new(["Iter", "Seq", "Ours", "Published", "Match"]);
     for (k, it) in sol.trace.iter().enumerate() {
@@ -60,7 +64,13 @@ fn main() {
             .iter()
             .map(|&task| format!("P{}", it.assignment[task.index()].index() + 1))
             .collect();
-        t.row(["".into(), "DP".into(), dps.join(","), "(best window)".into(), "".into()]);
+        t.row([
+            "".into(),
+            "DP".into(),
+            dps.join(","),
+            "(best window)".into(),
+            "".into(),
+        ]);
         t.row([
             "".into(),
             format!("S{}w", k + 1),

@@ -10,11 +10,17 @@ use batsched_taskgraph::paper::{g3, G3_EXAMPLE_DEADLINE};
 fn main() {
     println!("== Table 3: algorithm execution data per iteration on G3 (d = 230) ==\n");
     let g = g3();
-    let sol = schedule(&g, Minutes::new(G3_EXAMPLE_DEADLINE), &SchedulerConfig::paper())
-        .expect("G3 at 230 min is feasible");
+    let sol = schedule(
+        &g,
+        Minutes::new(G3_EXAMPLE_DEADLINE),
+        &SchedulerConfig::paper(),
+    )
+    .expect("G3 at 230 min is feasible");
 
     let m = g.point_count();
-    let mut t = Table::new(["Seq", "Win 1:5", "Win 2:5", "Win 3:5", "Win 4:5", "Min σ", "Δ"]);
+    let mut t = Table::new([
+        "Seq", "Win 1:5", "Win 2:5", "Win 3:5", "Win 4:5", "Min σ", "Δ",
+    ]);
     for (k, it) in sol.trace.iter().enumerate() {
         let mut cells = vec![format!("S{}", k + 1)];
         // Windows were evaluated narrow→wide; print wide→narrow as the paper.
@@ -62,7 +68,11 @@ fn main() {
         win45.makespan.value(),
         pub_sigma,
         pub_delta,
-        if (win45.cost.value() - pub_sigma).abs() < 1.0 { "EXACT" } else { "DIFFERS" }
+        if (win45.cost.value() - pub_sigma).abs() < 1.0 {
+            "EXACT"
+        } else {
+            "DIFFERS"
+        }
     );
     let final_pub = published::TABLE3_MIN_SIGMA[2];
     println!(

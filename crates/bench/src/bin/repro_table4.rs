@@ -16,7 +16,8 @@ fn run(algo: &dyn Scheduler, g: &TaskGraph, d: f64, model: &RvModel) -> f64 {
     let s = algo
         .schedule(g, Minutes::new(d))
         .unwrap_or_else(|e| panic!("{} failed at d={d}: {e}", algo.name()));
-    s.validate(g, Some(Minutes::new(d))).expect("schedule must be valid");
+    s.validate(g, Some(Minutes::new(d)))
+        .expect("schedule must be valid");
     s.battery_cost(g, model).value()
 }
 
@@ -29,9 +30,18 @@ fn main() {
     let sa = SimulatedAnnealing::default();
 
     let mut t = Table::new([
-        "Graph", "Deadline", "Ours σ", "(paper)", "Algo[1] σ", "(paper)", "%Diff", "(paper)",
-        "Chowdhury[7]", "SimAnneal",
+        "Graph",
+        "Deadline",
+        "Ours σ",
+        "(paper)",
+        "Algo[1] σ",
+        "(paper)",
+        "%Diff",
+        "(paper)",
+        "Chowdhury[7]",
+        "SimAnneal",
     ]);
+    #[allow(clippy::type_complexity)] // verbatim table shape from the paper
     let cases: [(&str, TaskGraph, &[(f64, f64, f64)]); 2] = [
         ("G2", g2(), &published::TABLE4_G2),
         ("G3", g3(), &published::TABLE4_G3),

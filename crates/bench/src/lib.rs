@@ -17,8 +17,12 @@ pub mod published {
     pub const TABLE3_MIN_SIGMA: [f64; 4] = [16353.0, 14725.0, 13737.0, 13737.0];
 
     /// Table 3, S1 row: (σ, Δ) per window 1:5 … 4:5.
-    pub const TABLE3_S1: [(f64, f64); 4] =
-        [(17169.0, 229.8), (17837.0, 228.4), (17038.0, 227.1), (16353.0, 228.3)];
+    pub const TABLE3_S1: [(f64, f64); 4] = [
+        (17169.0, 229.8),
+        (17837.0, 228.4),
+        (17038.0, 227.1),
+        (16353.0, 228.3),
+    ];
 
     /// Table 4: our algorithm / the Rakhmatov-DP baseline on G2 at
     /// deadlines 55/75/95 min.
@@ -104,6 +108,38 @@ pub fn pct(ours: f64, reference: f64) -> String {
         return "n/a".into();
     }
     format!("{:+.1}%", (ours - reference) / reference * 100.0)
+}
+
+/// Shared synthetic workloads, so benches and the perf-trajectory harness
+/// measure the exact same instances.
+pub mod workloads {
+    use batsched_taskgraph::synth::{layered, Rounding, ScalingScheme, TaskParams};
+    use batsched_taskgraph::TaskGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Seed of [`synthetic_n50_m8`].
+    pub const SYNTH_N50_M8_SEED: u64 = 0xBE7C_0DE5;
+
+    /// The synthetic n=50, m=8 layered instance used by both the criterion
+    /// `scheduler` bench and `repro_bench_json` — one definition, so the
+    /// recorded `BENCH_scheduler.json` baseline and the criterion numbers
+    /// stay comparable.
+    pub fn synthetic_n50_m8() -> TaskGraph {
+        let m = 8usize;
+        let factors: Vec<f64> = (0..m)
+            .map(|j| 1.0 - 0.67 * j as f64 / (m - 1) as f64)
+            .collect();
+        let params = TaskParams {
+            current_range: (100.0, 900.0),
+            duration_range: (2.0, 12.0),
+            factors,
+            scheme: ScalingScheme::ReversedDuration,
+            rounding: Rounding::PAPER,
+        };
+        let mut rng = StdRng::seed_from_u64(SYNTH_N50_M8_SEED);
+        layered(10, 5, 0.35, &params, &mut rng).expect("valid generator config")
+    }
 }
 
 #[cfg(test)]

@@ -102,8 +102,9 @@ impl Opts {
 ///
 /// [`CliError`] when a `--key` that expects a value trails the list.
 pub fn parse_args(args: &[String]) -> Result<Opts, CliError> {
-    const VALUE_OPTS: [&str; 8] =
-        ["deadline", "algo", "beta", "capacity", "family", "tasks", "points", "seed"];
+    const VALUE_OPTS: [&str; 8] = [
+        "deadline", "algo", "beta", "capacity", "family", "tasks", "points", "seed",
+    ];
     let mut opts = Opts::default();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -124,7 +125,10 @@ pub fn parse_args(args: &[String]) -> Result<Opts, CliError> {
 }
 
 fn algo_by_name(name: &str, beta: f64) -> Result<Box<dyn Scheduler>, CliError> {
-    let config = SchedulerConfig { beta, ..SchedulerConfig::paper() };
+    let config = SchedulerConfig {
+        beta,
+        ..SchedulerConfig::paper()
+    };
     Ok(match name {
         "khan-vemuri" | "ours" => Box::new(KhanVemuri { config }),
         "rakhmatov-dp" | "dp" => Box::new(RakhmatovDp::default()),
@@ -136,8 +140,7 @@ fn algo_by_name(name: &str, beta: f64) -> Result<Box<dyn Scheduler>, CliError> {
 }
 
 fn load_graph(path: &str) -> Result<TaskGraph, CliError> {
-    let raw = std::fs::read_to_string(path)
-        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let raw = std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
     gio::from_json(&raw).map_err(|e| err(format!("{path}: {e}")))
 }
 
@@ -168,7 +171,9 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
         "gen" => cmd_gen(&opts, out),
         "demo" => cmd_demo(&opts, out),
         "dot" => cmd_dot(&opts, out),
-        other => Err(err(format!("unknown command '{other}' (try `batsched help`)"))),
+        other => Err(err(format!(
+            "unknown command '{other}' (try `batsched help`)"
+        ))),
     }
 }
 
@@ -196,7 +201,12 @@ fn cmd_schedule(opts: &Opts, out: &mut String) -> Result<(), CliError> {
     } else {
         let _ = writeln!(out, "algorithm : {}", algo.name());
         let _ = writeln!(out, "schedule  : {}", s.display(&g));
-        let _ = writeln!(out, "makespan  : {:.1} (deadline {:.1})", s.makespan(&g), deadline);
+        let _ = writeln!(
+            out,
+            "makespan  : {:.1} (deadline {:.1})",
+            s.makespan(&g),
+            deadline
+        );
         let _ = writeln!(out, "battery σ : {:.0}", s.battery_cost(&g, &model));
         let _ = writeln!(out, "direct    : {:.0}", s.direct_charge(&g));
     }
@@ -213,7 +223,10 @@ fn cmd_trace(opts: &Opts, out: &mut String) -> Result<(), CliError> {
     let beta = opts.get("beta").map_or(Ok(0.273), |b| {
         b.parse::<f64>().map_err(|_| err("--beta expects a number"))
     })?;
-    let config = SchedulerConfig { beta, ..SchedulerConfig::paper() };
+    let config = SchedulerConfig {
+        beta,
+        ..SchedulerConfig::paper()
+    };
     let sol = batsched_core::schedule(&g, deadline, &config).map_err(|e| err(e.to_string()))?;
     out.push_str(&batsched_core::report::summary(&g, &sol));
     out.push('\n');
@@ -234,8 +247,18 @@ fn cmd_compare(opts: &Opts, out: &mut String) -> Result<(), CliError> {
         b.parse::<f64>().map_err(|_| err("--beta expects a number"))
     })?;
     let model = RvModel::new(beta, 10).map_err(|e| err(e.to_string()))?;
-    let _ = writeln!(out, "{:<22} {:>12} {:>10}", "algorithm", "sigma mA·min", "makespan");
-    for name in ["khan-vemuri", "rakhmatov-dp", "chowdhury", "annealing", "random"] {
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12} {:>10}",
+        "algorithm", "sigma mA·min", "makespan"
+    );
+    for name in [
+        "khan-vemuri",
+        "rakhmatov-dp",
+        "chowdhury",
+        "annealing",
+        "random",
+    ] {
         let algo = algo_by_name(name, beta)?;
         match algo.schedule(&g, deadline) {
             Ok(s) => {
@@ -278,7 +301,9 @@ fn cmd_simulate(opts: &Opts, out: &mut String) -> Result<(), CliError> {
 }
 
 fn cmd_gen(opts: &Opts, out: &mut String) -> Result<(), CliError> {
-    let family = opts.get("family").ok_or_else(|| err("gen needs --family"))?;
+    let family = opts
+        .get("family")
+        .ok_or_else(|| err("gen needs --family"))?;
     let n: usize = opts
         .get("tasks")
         .unwrap_or("12")
@@ -300,7 +325,10 @@ fn cmd_gen(opts: &Opts, out: &mut String) -> Result<(), CliError> {
     let factors: Vec<f64> = (0..m)
         .map(|j| 1.0 - 0.67 * j as f64 / (m - 1) as f64)
         .collect();
-    let params = TaskParams { factors, ..TaskParams::default() };
+    let params = TaskParams {
+        factors,
+        ..TaskParams::default()
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let g = match family {
         "chain" => synth::chain(n, &params, &mut rng),
@@ -479,7 +507,16 @@ mod tests {
 
     #[test]
     fn every_algo_name_resolves() {
-        for name in ["khan-vemuri", "ours", "rakhmatov-dp", "dp", "chowdhury", "annealing", "sa", "random"] {
+        for name in [
+            "khan-vemuri",
+            "ours",
+            "rakhmatov-dp",
+            "dp",
+            "chowdhury",
+            "annealing",
+            "sa",
+            "random",
+        ] {
             assert!(algo_by_name(name, 0.273).is_ok(), "{name}");
         }
         assert!(algo_by_name("nope", 0.273).is_err());

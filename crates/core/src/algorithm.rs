@@ -8,8 +8,8 @@
 
 use crate::config::SchedulerConfig;
 use crate::error::SchedulerError;
-use crate::schedule::{battery_cost_of, Schedule};
-use crate::search::{evaluate_windows, SearchContext, WindowRecord};
+use crate::schedule::Schedule;
+use crate::search::{evaluate_windows, EvalBuffers, SearchContext, WindowRecord};
 use crate::sequence::{initial_sequence, weighted_sequence};
 use batsched_battery::units::{MilliAmpMinutes, Minutes};
 use batsched_taskgraph::{PointId, TaskGraph, TaskId};
@@ -94,7 +94,8 @@ pub fn schedule(
         return Err(SchedulerError::InvalidDeadline { deadline });
     }
     let model = config.battery_model()?;
-    let ctx = SearchContext::new(g, config, deadline);
+    let ctx = SearchContext::new(g, config, deadline, model);
+    let mut buffers = EvalBuffers::new();
 
     let mut seq = initial_sequence(g, config.initial_weight, config.metric);
     let mut prev_iter_cost = f64::INFINITY;
@@ -102,22 +103,27 @@ pub fn schedule(
     let mut trace: Vec<IterationRecord> = Vec::new();
 
     for _ in 0..config.max_iterations {
-        let (windows, best_idx) = evaluate_windows(&ctx, &model, &seq)?;
+        let (windows, best_idx) = evaluate_windows(&ctx, &seq)?;
         let assignment = windows[best_idx].assignment.clone();
         let mut min_cost = windows[best_idx].cost.value();
         let mut iter_best_seq = &seq;
         let mut iter_makespan = windows[best_idx].makespan.value();
 
         let wseq = weighted_sequence(g, &assignment);
-        let (wcost, wmk) = battery_cost_of(g, &wseq, &assignment, &model);
+        let (wcost, wmk) = ctx.cost_of(&wseq, &assignment, &mut buffers);
         if wcost.value() < min_cost {
             min_cost = wcost.value();
             iter_best_seq = &wseq;
             iter_makespan = wmk.value();
         }
 
-        if best.as_ref().map_or(true, |&(_, _, c, _)| min_cost < c) {
-            best = Some((iter_best_seq.clone(), assignment.clone(), min_cost, iter_makespan));
+        if best.as_ref().is_none_or(|&(_, _, c, _)| min_cost < c) {
+            best = Some((
+                iter_best_seq.clone(),
+                assignment.clone(),
+                min_cost,
+                iter_makespan,
+            ));
         }
 
         trace.push(IterationRecord {
@@ -171,8 +177,7 @@ mod tests {
         // Trajectory of iteration minima is non-increasing until the last.
         for w in sol.trace.windows(2) {
             assert!(
-                w[1].min_cost.value() >= 0.0
-                    && w[0].min_cost.value() + 1e9 > w[1].min_cost.value()
+                w[1].min_cost.value() >= 0.0 && w[0].min_cost.value() + 1e9 > w[1].min_cost.value()
             );
         }
         // Final cost equals the smallest min_cost in the trace.

@@ -49,7 +49,13 @@ impl Default for FactorMask {
 
 impl FactorMask {
     /// All five factors active — the paper's B.
-    pub const ALL: Self = Self { sr: true, cr: true, enr: true, cif: true, dpf: true };
+    pub const ALL: Self = Self {
+        sr: true,
+        cr: true,
+        enr: true,
+        cif: true,
+        dpf: true,
+    };
 
     /// A mask with exactly one factor disabled; `index` follows the order
     /// SR, CR, ENR, CIF, DPF.
@@ -119,8 +125,9 @@ impl SchedulerConfig {
     /// [`SchedulerError::InvalidConfig`] when β or the series length are out
     /// of range.
     pub fn battery_model(&self) -> Result<RvModel, SchedulerError> {
-        RvModel::new(self.beta, self.series_terms)
-            .map_err(|e| SchedulerError::InvalidConfig { reason: e.to_string() })
+        RvModel::new(self.beta, self.series_terms).map_err(|e| SchedulerError::InvalidConfig {
+            reason: e.to_string(),
+        })
     }
 
     /// Validates the whole configuration.
@@ -156,14 +163,26 @@ mod tests {
 
     #[test]
     fn invalid_beta_is_rejected() {
-        let c = SchedulerConfig { beta: -1.0, ..Default::default() };
-        assert!(matches!(c.validate(), Err(SchedulerError::InvalidConfig { .. })));
+        let c = SchedulerConfig {
+            beta: -1.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(SchedulerError::InvalidConfig { .. })
+        ));
     }
 
     #[test]
     fn zero_iterations_rejected() {
-        let c = SchedulerConfig { max_iterations: 0, ..Default::default() };
-        assert!(matches!(c.validate(), Err(SchedulerError::InvalidConfig { .. })));
+        let c = SchedulerConfig {
+            max_iterations: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(SchedulerError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -68,7 +68,9 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("infeasible"));
         assert!(s.contains("42.2"));
-        let e = SchedulerError::InvalidDeadline { deadline: Minutes::new(-1.0) };
+        let e = SchedulerError::InvalidDeadline {
+            deadline: Minutes::new(-1.0),
+        };
         assert!(e.to_string().contains("positive"));
     }
 

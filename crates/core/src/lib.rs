@@ -41,8 +41,8 @@ pub mod sequence;
 pub use algorithm::{schedule, IterationRecord, Solution};
 pub use config::{FactorMask, InitialWeight, SchedulerConfig};
 pub use error::SchedulerError;
-pub use refine::{refine_schedule, schedule_refined, Refined, RefineStats};
-pub use schedule::{battery_cost_of, Schedule, ScheduleError};
+pub use refine::{refine_schedule, schedule_refined, RefineStats, Refined};
+pub use schedule::{battery_cost_of, profile_of, EngineCost, Schedule, ScheduleError};
 pub use search::{FactorBreakdown, WindowRecord};
 
 /// Convenient glob-import of the types almost every user needs.

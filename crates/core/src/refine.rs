@@ -15,7 +15,7 @@
 
 use crate::config::SchedulerConfig;
 use crate::error::SchedulerError;
-use crate::schedule::{battery_cost_of, Schedule};
+use crate::schedule::{EngineCost, Schedule};
 use batsched_battery::units::{MilliAmpMinutes, Minutes};
 use batsched_taskgraph::{PointId, TaskGraph, TaskId};
 use serde::{Deserialize, Serialize};
@@ -65,9 +65,14 @@ pub fn refine_schedule(
     let m = g.point_count();
     let d = deadline.value();
 
+    // The local-search inner loop probes many near-identical schedules; the
+    // engine's suffix cache makes each probe pay only for its changed
+    // prefix.
+    let mut engine = EngineCost::new(g, &model);
+
     let mut order: Vec<TaskId> = schedule.order().to_vec();
     let mut assignment: Vec<PointId> = schedule.assignment().to_vec();
-    let (mut cost, mut makespan) = battery_cost_of(g, &order, &assignment, &model);
+    let (mut cost, mut makespan) = engine.cost(&order, &assignment);
     let mut stats = RefineStats::default();
 
     // Pre-compute the edge set for O(1) swap legality.
@@ -88,11 +93,9 @@ pub fn refine_schedule(
                 continue;
             }
             order.swap(k, k + 1);
-            let (c, mk) = battery_cost_of(g, &order, &assignment, &model);
+            let (c, mk) = engine.cost(&order, &assignment);
             order.swap(k, k + 1);
-            if c.value() < cost.value() - 1e-9
-                && best.map_or(true, |(_, bc, _)| c.value() < bc)
-            {
+            if c.value() < cost.value() - 1e-9 && best.is_none_or(|(_, bc, _)| c.value() < bc) {
                 best = Some((Move::Swap(k), c.value(), mk.value()));
             }
         }
@@ -103,17 +106,15 @@ pub fn refine_schedule(
                 if next >= m || next == cur {
                     continue;
                 }
-                let delta = g.duration(t, PointId(next)).value()
-                    - g.duration(t, PointId(cur)).value();
+                let delta =
+                    g.duration(t, PointId(next)).value() - g.duration(t, PointId(cur)).value();
                 if makespan.value() + delta > d + 1e-9 {
                     continue;
                 }
                 assignment[t.index()] = PointId(next);
-                let (c, mk) = battery_cost_of(g, &order, &assignment, &model);
+                let (c, mk) = engine.cost(&order, &assignment);
                 assignment[t.index()] = PointId(cur);
-                if c.value() < cost.value() - 1e-9
-                    && best.map_or(true, |(_, bc, _)| c.value() < bc)
-                {
+                if c.value() < cost.value() - 1e-9 && best.is_none_or(|(_, bc, _)| c.value() < bc) {
                     best = Some((Move::Point(t.index(), next), c.value(), mk.value()));
                 }
             }

@@ -94,8 +94,8 @@ mod tests {
 
     fn solution() -> (TaskGraph, Solution) {
         let g = g3();
-        let sol = crate::algorithm::schedule(&g, Minutes::new(230.0), &SchedulerConfig::paper())
-            .unwrap();
+        let sol =
+            crate::algorithm::schedule(&g, Minutes::new(230.0), &SchedulerConfig::paper()).unwrap();
         (g, sol)
     }
 
@@ -116,9 +116,15 @@ mod tests {
         let (g, sol) = solution();
         let s = windows_table(&g, &sol);
         for ws in 1..=4 {
-            assert!(s.contains(&format!("win {ws}:5")), "missing window {ws}:\n{s}");
+            assert!(
+                s.contains(&format!("win {ws}:5")),
+                "missing window {ws}:\n{s}"
+            );
         }
-        assert!(s.contains("228.3") || s.contains("229."), "durations render:\n{s}");
+        assert!(
+            s.contains("228.3") || s.contains("229."),
+            "durations render:\n{s}"
+        );
     }
 
     #[test]

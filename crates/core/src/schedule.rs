@@ -40,7 +40,10 @@ impl fmt::Display for ScheduleError {
         match self {
             Self::NotTopological => write!(f, "order is not a topological permutation"),
             Self::AssignmentLength { expected, found } => {
-                write!(f, "assignment has {found} entries, graph has {expected} tasks")
+                write!(
+                    f,
+                    "assignment has {found} entries, graph has {expected} tasks"
+                )
             }
             Self::PointOutOfRange { task, point } => {
                 write!(f, "task {task} assigned nonexistent design point {point}")
@@ -110,13 +113,7 @@ impl Schedule {
     /// The discharge profile this schedule presents to the battery:
     /// back-to-back constant-current intervals from `t = 0`.
     pub fn to_profile(&self, g: &TaskGraph) -> LoadProfile {
-        let mut p = LoadProfile::new();
-        for &t in &self.order {
-            let pt = g.point(t, self.point_of(t));
-            p.push(pt.duration, pt.current)
-                .expect("validated design points are positive-duration");
-        }
-        p
+        profile_of(g, &self.order, &self.assignment)
     }
 
     /// Battery cost of the schedule under `model`: apparent charge at the
@@ -162,7 +159,10 @@ impl Schedule {
         if let Some(d) = deadline {
             let makespan = self.makespan(g);
             if makespan.value() > d.value() + 1e-9 {
-                return Err(ScheduleError::DeadlineViolated { makespan, deadline: d });
+                return Err(ScheduleError::DeadlineViolated {
+                    makespan,
+                    deadline: d,
+                });
             }
         }
         Ok(())
@@ -186,23 +186,126 @@ impl Schedule {
     }
 }
 
+/// Builds the back-to-back discharge profile of running `order` with the
+/// task-indexed `assignment`, pre-sized to the exact interval count. The
+/// single profile-construction path shared by [`Schedule::to_profile`] and
+/// [`battery_cost_of`].
+pub fn profile_of(g: &TaskGraph, order: &[TaskId], assignment_by_task: &[PointId]) -> LoadProfile {
+    let mut p = LoadProfile::with_capacity(order.len());
+    for &t in order {
+        let pt = g.point(t, assignment_by_task[t.index()]);
+        p.push(pt.duration, pt.current)
+            .expect("validated design points are positive-duration");
+    }
+    p
+}
+
 /// Battery cost of running `order` with `assignment` — the free-function
-/// form of [`Schedule::battery_cost`] used internally by the search, where
-/// order and assignment evolve separately. Returns `(cost, makespan)`.
+/// form of [`Schedule::battery_cost`] used by tests and baselines that
+/// score under an arbitrary [`BatteryModel`]. Returns `(cost, makespan)`.
+/// RV-model hot loops should prefer [`EngineCost`], which skips the
+/// profile construction and the exponentials entirely.
 pub fn battery_cost_of<M: BatteryModel + ?Sized>(
     g: &TaskGraph,
     order: &[TaskId],
     assignment_by_task: &[PointId],
     model: &M,
 ) -> (MilliAmpMinutes, Minutes) {
-    let mut p = LoadProfile::new();
-    for &t in order {
-        let pt = g.point(t, assignment_by_task[t.index()]);
-        p.push(pt.duration, pt.current)
-            .expect("validated design points are positive-duration");
-    }
+    let p = profile_of(g, order, assignment_by_task);
     let end = p.end();
     (model.apparent_charge(&p, end), end)
+}
+
+/// A [`SigmaEvaluator`](batsched_battery::eval::SigmaEvaluator) bound to a
+/// task graph's `(task, column)` design-point catalogue, bundled with its
+/// reusable buffers: the allocation-free, exponential-free replacement for
+/// repeated [`battery_cost_of`] calls in schedule-search inner loops.
+///
+/// The suffix cache inside makes consecutive evaluations of *similar*
+/// schedules (one design-point swap, one adjacent transposition) pay only
+/// for the changed prefix.
+#[derive(Debug, Clone)]
+pub struct EngineCost {
+    eval: batsched_battery::eval::SigmaEvaluator,
+    m: usize,
+    entries: Vec<u32>,
+    scratch: batsched_battery::eval::SigmaScratch,
+}
+
+/// Builds the σ-evaluation engine over `g`'s design-point catalogue. The
+/// single definition of the entry scheme: entries are ordered
+/// `task-major, column-minor`, so entry id = `task.index() * m + column`.
+/// Everything constructing an evaluator for a graph must go through here —
+/// a second copy of this mapping that drifted would silently score the
+/// wrong design points.
+pub fn graph_evaluator(
+    g: &TaskGraph,
+    model: &batsched_battery::rv::RvModel,
+) -> batsched_battery::eval::SigmaEvaluator {
+    batsched_battery::eval::SigmaEvaluator::new(
+        model,
+        g.task_ids()
+            .flat_map(|t| g.task(t).points.iter().map(|p| (p.duration, p.current))),
+    )
+}
+
+/// Catalogue entry id of `(task, column)` in an evaluator built by
+/// [`graph_evaluator`] for a graph with `m` design points per task. The
+/// only definition of the id formula — everything indexing into a
+/// graph evaluator must go through here.
+#[inline]
+pub fn entry_id(task: TaskId, m: usize, column: PointId) -> u32 {
+    (task.index() * m + column.index()) as u32
+}
+
+/// σ and makespan of (order, task-indexed assignment) through a graph
+/// evaluator — the single map-to-entries-and-evaluate body shared by
+/// [`EngineCost::cost`] and the window search's `SearchContext::cost_of`.
+pub(crate) fn eval_assignment_cost(
+    eval: &batsched_battery::eval::SigmaEvaluator,
+    m: usize,
+    order: &[TaskId],
+    assignment_by_task: &[PointId],
+    entries: &mut Vec<u32>,
+    scratch: &mut batsched_battery::eval::SigmaScratch,
+) -> (MilliAmpMinutes, Minutes) {
+    entries.clear();
+    entries.extend(
+        order
+            .iter()
+            .map(|&t| entry_id(t, m, assignment_by_task[t.index()])),
+    );
+    eval.sigma_seq(entries, scratch)
+}
+
+impl EngineCost {
+    /// Precomputes the engine tables for `g` under `model`.
+    pub fn new(g: &TaskGraph, model: &batsched_battery::rv::RvModel) -> Self {
+        Self {
+            eval: graph_evaluator(g, model),
+            m: g.point_count(),
+            entries: Vec::with_capacity(g.task_count()),
+            scratch: batsched_battery::eval::SigmaScratch::new(),
+        }
+    }
+
+    /// σ and makespan of running `order` with the task-indexed
+    /// `assignment`. Matches [`battery_cost_of`] under the same
+    /// [`batsched_battery::rv::RvModel`] to ≤ 1e-9 relative error.
+    pub fn cost(
+        &mut self,
+        order: &[TaskId],
+        assignment_by_task: &[PointId],
+    ) -> (MilliAmpMinutes, Minutes) {
+        eval_assignment_cost(
+            &self.eval,
+            self.m,
+            order,
+            assignment_by_task,
+            &mut self.entries,
+            &mut self.scratch,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +337,10 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.intervals()[1].start, Minutes::new(2.0));
         assert_eq!(p.intervals()[1].current, MilliAmps::new(200.0));
-        assert_eq!(s.direct_charge(&g), MilliAmpMinutes::new(40.0 * 2.0 + 200.0 * 3.0));
+        assert_eq!(
+            s.direct_charge(&g),
+            MilliAmpMinutes::new(40.0 * 2.0 + 200.0 * 3.0)
+        );
     }
 
     #[test]
@@ -242,14 +348,20 @@ mod tests {
         let g = chain2();
         let s = Schedule::new(vec![TaskId(0), TaskId(1)], vec![PointId(0), PointId(0)]);
         let st = s.start_times(&g);
-        assert_eq!(st, vec![(TaskId(0), Minutes::ZERO), (TaskId(1), Minutes::new(1.0))]);
+        assert_eq!(
+            st,
+            vec![(TaskId(0), Minutes::ZERO), (TaskId(1), Minutes::new(1.0))]
+        );
     }
 
     #[test]
     fn battery_cost_matches_models() {
         let g = chain2();
         let s = Schedule::new(vec![TaskId(0), TaskId(1)], vec![PointId(0), PointId(0)]);
-        assert_eq!(s.battery_cost(&g, &CoulombCounter::new()), s.direct_charge(&g));
+        assert_eq!(
+            s.battery_cost(&g, &CoulombCounter::new()),
+            s.direct_charge(&g)
+        );
         let rv = RvModel::date05();
         assert!(s.battery_cost(&g, &rv).value() > s.direct_charge(&g).value());
         let (c, mk) = battery_cost_of(&g, s.order(), s.assignment(), &rv);
@@ -262,12 +374,18 @@ mod tests {
         let g = chain2();
         // Wrong order.
         let s = Schedule::new(vec![TaskId(1), TaskId(0)], vec![PointId(0), PointId(0)]);
-        assert_eq!(s.validate(&g, None).unwrap_err(), ScheduleError::NotTopological);
+        assert_eq!(
+            s.validate(&g, None).unwrap_err(),
+            ScheduleError::NotTopological
+        );
         // Wrong assignment length.
         let s = Schedule::new(vec![TaskId(0), TaskId(1)], vec![PointId(0)]);
         assert!(matches!(
             s.validate(&g, None).unwrap_err(),
-            ScheduleError::AssignmentLength { expected: 2, found: 1 }
+            ScheduleError::AssignmentLength {
+                expected: 2,
+                found: 1
+            }
         ));
         // Bad point id.
         let s = Schedule::new(vec![TaskId(0), TaskId(1)], vec![PointId(9), PointId(0)]);

@@ -16,8 +16,8 @@
 
 use crate::config::{FactorMask, SchedulerConfig};
 use crate::error::SchedulerError;
-use batsched_battery::model::BatteryModel;
-use batsched_battery::profile::LoadProfile;
+use batsched_battery::eval::{SigmaEvaluator, SigmaScratch};
+use batsched_battery::rv::RvModel;
 use batsched_battery::units::{Energy, MilliAmpMinutes, Minutes};
 use batsched_taskgraph::analysis::GraphStats;
 use batsched_taskgraph::{PointId, TaskGraph, TaskId};
@@ -43,10 +43,18 @@ pub(crate) struct SearchContext<'g> {
     pub cur: Vec<Vec<f64>>,
     /// Cached per-point energy under `metric`.
     pub energy: Vec<Vec<f64>>,
+    /// σ-evaluation engine over the `(task, column)` entry catalogue,
+    /// entry id = `task * m + column`. Built from the run's battery model.
+    pub eval: SigmaEvaluator,
 }
 
 impl<'g> SearchContext<'g> {
-    pub fn new(g: &'g TaskGraph, config: &SchedulerConfig, deadline: Minutes) -> Self {
+    pub fn new(
+        g: &'g TaskGraph,
+        config: &SchedulerConfig,
+        deadline: Minutes,
+        model: RvModel,
+    ) -> Self {
         let stats = GraphStats::compute(g, config.metric);
         let m = g.point_count();
         let n = g.task_count();
@@ -57,7 +65,11 @@ impl<'g> SearchContext<'g> {
             let pts = &g.task(t).points;
             dur.push(pts.iter().map(|p| p.duration.value()).collect());
             cur.push(pts.iter().map(|p| p.current.value()).collect());
-            energy.push(pts.iter().map(|p| p.energy(config.metric).value()).collect());
+            energy.push(
+                pts.iter()
+                    .map(|p| p.energy(config.metric).value())
+                    .collect(),
+            );
         }
         let mut energy_order: Vec<TaskId> = g.task_ids().collect();
         let avg: Vec<f64> = (0..n)
@@ -67,6 +79,7 @@ impl<'g> SearchContext<'g> {
             batsched_battery::units::total_cmp(avg[a.index()], avg[b.index()])
                 .then(a.index().cmp(&b.index()))
         });
+        let eval = crate::schedule::graph_evaluator(g, &model);
         Self {
             g,
             stats,
@@ -77,7 +90,32 @@ impl<'g> SearchContext<'g> {
             dur,
             cur,
             energy,
+            eval,
         }
+    }
+
+    /// Catalogue entry id of `(task, column)` in [`Self::eval`].
+    #[inline]
+    pub fn entry(&self, t: TaskId, col: usize) -> u32 {
+        crate::schedule::entry_id(t, self.m, PointId(col))
+    }
+
+    /// σ and makespan of running `seq` with the task-indexed `assignment`,
+    /// through the evaluation engine.
+    pub fn cost_of(
+        &self,
+        seq: &[TaskId],
+        assignment: &[PointId],
+        scratch: &mut EvalBuffers,
+    ) -> (MilliAmpMinutes, Minutes) {
+        crate::schedule::eval_assignment_cost(
+            &self.eval,
+            self.m,
+            seq,
+            assignment,
+            &mut scratch.entries,
+            &mut scratch.sigma,
+        )
     }
 
     #[inline]
@@ -160,7 +198,11 @@ pub(crate) fn calculate_factors(
         prev_i = i;
         energy += ctx.energy[t.index()][col];
     }
-    let cif = if n > 1 { rising as f64 / (n - 1) as f64 } else { 0.0 };
+    let cif = if n > 1 {
+        rising as f64 / (n - 1) as f64
+    } else {
+        0.0
+    };
     let enr = ctx.stats.energy_ratio(Energy::new(energy));
     (cif, enr)
 }
@@ -250,11 +292,12 @@ pub(crate) fn calculate_dpf(
 /// The suitability table for one tagged position: `FactorBreakdown` for each
 /// candidate column `j ∈ [ws ..= m−1]` given the already-fixed suffix.
 /// Used by `ChooseDesignPoints`, the Figure 4 reproduction and tests.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's CalculateFactors state
 pub(crate) fn suitability_row(
     ctx: &SearchContext<'_>,
     seq: &[TaskId],
     pos_of: &[usize],
-    assign: &mut Vec<usize>,
+    assign: &mut [usize],
     fixed_in_e: &[bool],
     tsum: f64,
     i: usize,
@@ -267,10 +310,21 @@ pub(crate) fn suitability_row(
         assign[i] = j;
         let ttemp = tsum + ctx.d(seq[i], j);
         let sr = (ctx.deadline - ttemp) / ctx.deadline;
-        let cr = ctx.stats.current_ratio(batsched_battery::units::MilliAmps::new(ctx.i(seq[i], j)));
+        let cr = ctx
+            .stats
+            .current_ratio(batsched_battery::units::MilliAmps::new(ctx.i(seq[i], j)));
         let (enr, cif, dpf) = calculate_dpf(ctx, seq, pos_of, assign, fixed_in_e, i, ws);
         assign[i] = prev;
-        out.push((j, FactorBreakdown { sr, cr, enr, cif, dpf }));
+        out.push((
+            j,
+            FactorBreakdown {
+                sr,
+                cr,
+                enr,
+                cif,
+                dpf,
+            },
+        ));
     }
     out
 }
@@ -319,7 +373,7 @@ pub(crate) fn choose_design_points(
             let b = fb.total(ctx.mask);
             // Strict '<' keeps the first (leanest) column on ties, matching
             // the paper's scan order m → ws.
-            if best.map_or(true, |(_, bb)| b < bb) {
+            if best.is_none_or(|(_, bb)| b < bb) {
                 best = Some((j, b));
             }
         }
@@ -355,17 +409,58 @@ impl WindowRecord {
     }
 }
 
+/// Reusable per-run evaluation buffers: the entry-id sequence buffer and
+/// the σ-engine scratch. One allocation per scheduling run instead of one
+/// `LoadProfile` per candidate evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct EvalBuffers {
+    pub(crate) entries: Vec<u32>,
+    pub(crate) sigma: SigmaScratch,
+}
+
+impl EvalBuffers {
+    /// Creates empty buffers (they grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Evaluates one window: `ChooseDesignPoints` then the σ of the chosen
+/// positional assignment.
+fn evaluate_one_window(
+    ctx: &SearchContext<'_>,
+    seq: &[TaskId],
+    ws: usize,
+    scratch: &mut EvalBuffers,
+) -> Result<WindowRecord, SchedulerError> {
+    let assign_pos = choose_design_points(ctx, seq, ws)?;
+    let (cost, makespan) = positional_cost(ctx, seq, &assign_pos, scratch);
+    let mut assignment = vec![PointId(0); ctx.g.task_count()];
+    for (pos, &t) in seq.iter().enumerate() {
+        assignment[t.index()] = PointId(assign_pos[pos]);
+    }
+    Ok(WindowRecord {
+        window_start: PointId(ws),
+        cost,
+        makespan,
+        assignment,
+    })
+}
+
 /// `EvaluateWindows` (Fig. 1): finds the feasible starting window, evaluates
 /// every window from there down to the full matrix, and returns all records
 /// plus the index of the cheapest.
+///
+/// With the `parallel` feature the windows are evaluated concurrently
+/// (they are independent searches); record order and the cheapest-window
+/// tie-break are identical to the sequential path.
 ///
 /// # Errors
 ///
 /// * [`SchedulerError::DeadlineInfeasible`] when even column 0 misses `d`.
 /// * Propagates [`SchedulerError::WindowSearchFailed`] (defensive).
-pub(crate) fn evaluate_windows<M: BatteryModel + ?Sized>(
+pub(crate) fn evaluate_windows(
     ctx: &SearchContext<'_>,
-    model: &M,
     seq: &[TaskId],
 ) -> Result<(Vec<WindowRecord>, usize), SchedulerError> {
     let m = ctx.m;
@@ -382,40 +477,76 @@ pub(crate) fn evaluate_windows<M: BatteryModel + ?Sized>(
         ws_start -= 1;
     }
 
-    let mut records = Vec::with_capacity(ws_start + 1);
+    #[cfg(feature = "parallel")]
+    let records: Vec<WindowRecord> = {
+        use rayon::prelude::*;
+        use std::cell::RefCell;
+        // One buffer set per worker thread, reused across windows and
+        // across calls — keeps the one-allocation-per-run property on the
+        // parallel path too.
+        thread_local! {
+            static BUFFERS: RefCell<EvalBuffers> = RefCell::new(EvalBuffers::new());
+        }
+        let results: Vec<Result<WindowRecord, SchedulerError>> = (0..ws_start + 1)
+            .into_par_iter()
+            .map(|k| {
+                let ws = ws_start - k; // preserve the sequential order
+                BUFFERS.with(|b| evaluate_one_window(ctx, seq, ws, &mut b.borrow_mut()))
+            })
+            .collect();
+        results.into_iter().collect::<Result<Vec<_>, _>>()?
+    };
+
+    #[cfg(not(feature = "parallel"))]
+    let records: Vec<WindowRecord> = {
+        let mut scratch = EvalBuffers::new();
+        let mut records = Vec::with_capacity(ws_start + 1);
+        for ws in (0..=ws_start).rev() {
+            records.push(evaluate_one_window(ctx, seq, ws, &mut scratch)?);
+        }
+        records
+    };
+
     let mut best: Option<(usize, f64)> = None;
-    for ws in (0..=ws_start).rev() {
-        let assign_pos = choose_design_points(ctx, seq, ws)?;
-        let (cost, makespan) = positional_cost(ctx, model, seq, &assign_pos);
-        let mut assignment = vec![PointId(0); ctx.g.task_count()];
-        for (pos, &t) in seq.iter().enumerate() {
-            assignment[t.index()] = PointId(assign_pos[pos]);
+    for (idx, r) in records.iter().enumerate() {
+        if best.is_none_or(|(_, c)| r.cost.value() < c) {
+            best = Some((idx, r.cost.value()));
         }
-        let idx = records.len();
-        if best.map_or(true, |(_, c)| cost.value() < c) {
-            best = Some((idx, cost.value()));
-        }
-        records.push(WindowRecord {
-            window_start: PointId(ws),
-            cost,
-            makespan,
-            assignment,
-        });
     }
     let (best_idx, _) = best.expect("at least one window is evaluated");
     Ok((records, best_idx))
 }
 
-/// σ and makespan of a positional assignment.
-pub(crate) fn positional_cost<M: BatteryModel + ?Sized>(
+/// σ and makespan of a positional assignment, through the evaluation
+/// engine (no allocation, no `exp()` calls).
+pub(crate) fn positional_cost(
     ctx: &SearchContext<'_>,
+    seq: &[TaskId],
+    assign_pos: &[usize],
+    scratch: &mut EvalBuffers,
+) -> (MilliAmpMinutes, Minutes) {
+    scratch.entries.clear();
+    scratch.entries.extend(
+        seq.iter()
+            .zip(assign_pos)
+            .map(|(&t, &col)| ctx.entry(t, col)),
+    );
+    ctx.eval.sigma_seq(&scratch.entries, &mut scratch.sigma)
+}
+
+/// The naive σ of a positional assignment: builds a fresh `LoadProfile`
+/// and evaluates [`RvModel::sigma`] directly. Reference implementation the
+/// engine is property-tested against; also usable with any
+/// [`batsched_battery::model::BatteryModel`].
+pub fn positional_cost_naive<M: batsched_battery::model::BatteryModel + ?Sized>(
+    g: &TaskGraph,
     model: &M,
     seq: &[TaskId],
     assign_pos: &[usize],
 ) -> (MilliAmpMinutes, Minutes) {
-    let mut p = LoadProfile::new();
+    let mut p = batsched_battery::profile::LoadProfile::new();
     for (pos, &t) in seq.iter().enumerate() {
-        let pt = ctx.g.point(t, PointId(assign_pos[pos]));
+        let pt = g.point(t, PointId(assign_pos[pos]));
         p.push(pt.duration, pt.current)
             .expect("validated design points are positive-duration");
     }
@@ -423,11 +554,60 @@ pub(crate) fn positional_cost<M: BatteryModel + ?Sized>(
     (model.apparent_charge(&p, end), end)
 }
 
+/// Diagnostic entry point: runs `EvaluateWindows` for an explicit sequence.
+/// Exposed for the reproduction binaries and integration tests — the
+/// iterative driver in [`crate::algorithm`] is the normal interface.
+#[doc(hidden)]
+pub fn diag_evaluate_windows(
+    g: &TaskGraph,
+    config: &SchedulerConfig,
+    deadline: Minutes,
+    model: &RvModel,
+    seq: &[TaskId],
+) -> Result<(Vec<WindowRecord>, usize), SchedulerError> {
+    let ctx = SearchContext::new(g, config, deadline, model.clone());
+    evaluate_windows(&ctx, seq)
+}
+
+/// Diagnostic entry point: one `CalculateDPF` call on an explicit state.
+///
+/// `stemp` is the positional assignment snapshot (0-based columns),
+/// `fixed_tasks` the task ids already fixed in the energy vector, `i` the
+/// tagged position and `ws` the 0-based window start. Returns
+/// `(enr, cif, dpf)`. Used by the Figure 4 reproduction binary.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)] // mirrors the paper's CalculateDPF state
+pub fn diag_calculate_dpf(
+    g: &TaskGraph,
+    config: &SchedulerConfig,
+    deadline: Minutes,
+    seq: &[TaskId],
+    stemp: &[usize],
+    fixed_tasks: &[TaskId],
+    i: usize,
+    ws: usize,
+) -> (f64, f64, f64) {
+    // The factor computation never evaluates σ, so an unusable battery
+    // configuration falls back to the paper's model instead of erroring —
+    // this diagnostic predates the evaluation engine and must keep working
+    // for model-free factor inspection.
+    let model = config.battery_model().unwrap_or_default();
+    let ctx = SearchContext::new(g, config, deadline, model);
+    let mut pos_of = vec![usize::MAX; g.task_count()];
+    for (pos, &t) in seq.iter().enumerate() {
+        pos_of[t.index()] = pos;
+    }
+    let mut fixed = vec![false; g.task_count()];
+    for &t in fixed_tasks {
+        fixed[t.index()] = true;
+    }
+    calculate_dpf(&ctx, seq, &pos_of, stemp, &fixed, i, ws)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::SchedulerConfig;
-    use batsched_battery::rv::RvModel;
     use batsched_battery::units::MilliAmps;
     use batsched_taskgraph::DesignPoint;
 
@@ -466,12 +646,13 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn ctx_for<'g>(
-        g: &'g TaskGraph,
-        deadline: f64,
-        config: &SchedulerConfig,
-    ) -> SearchContext<'g> {
-        SearchContext::new(g, config, Minutes::new(deadline))
+    fn ctx_for<'g>(g: &'g TaskGraph, deadline: f64, config: &SchedulerConfig) -> SearchContext<'g> {
+        SearchContext::new(
+            g,
+            config,
+            Minutes::new(deadline),
+            config.battery_model().unwrap(),
+        )
     }
 
     #[test]
@@ -585,7 +766,10 @@ mod tests {
                     .enumerate()
                     .map(|(p, &t)| ctx.dur[t.index()][assign[p]])
                     .sum();
-                assert!(total <= deadline + TIME_EPS, "d={deadline} ws={ws} total={total}");
+                assert!(
+                    total <= deadline + TIME_EPS,
+                    "d={deadline} ws={ws} total={total}"
+                );
                 // The last task is pinned to the leanest column that keeps
                 // the all-`ws` fallback feasible (= DP4 once slack allows).
                 let others: f64 = (0..4).map(|p| ctx.dur[p][ws]).sum();
@@ -607,9 +791,8 @@ mod tests {
         let g = figure4_graph();
         let cfg = SchedulerConfig::default();
         let ctx = ctx_for(&g, 9.0, &cfg); // all-DP1 needs 10 min
-        let model = RvModel::date05();
         let seq: Vec<TaskId> = (0..5).map(TaskId).collect();
-        let err = evaluate_windows(&ctx, &model, &seq).unwrap_err();
+        let err = evaluate_windows(&ctx, &seq).unwrap_err();
         assert!(matches!(err, SchedulerError::DeadlineInfeasible { .. }));
     }
 
@@ -620,9 +803,8 @@ mod tests {
         // CT per column: 10, 20, 30, 40. Deadline 25 ⇒ only windows with
         // ws ∈ {0, 1} are feasible; the paper's loop starts at ws = 1.
         let ctx = ctx_for(&g, 25.0, &cfg);
-        let model = RvModel::date05();
         let seq: Vec<TaskId> = (0..5).map(TaskId).collect();
-        let (records, best) = evaluate_windows(&ctx, &model, &seq).unwrap();
+        let (records, best) = evaluate_windows(&ctx, &seq).unwrap();
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].window_start, PointId(1));
         assert_eq!(records[1].window_start, PointId(0));
@@ -645,11 +827,20 @@ mod tests {
 
     #[test]
     fn factor_mask_zeroes_terms_but_keeps_the_veto() {
-        let fb = FactorBreakdown { sr: 0.1, cr: 0.2, enr: 0.3, cif: 0.4, dpf: 0.5 };
+        let fb = FactorBreakdown {
+            sr: 0.1,
+            cr: 0.2,
+            enr: 0.3,
+            cif: 0.4,
+            dpf: 0.5,
+        };
         assert!((fb.total(FactorMask::ALL) - 1.5).abs() < 1e-12);
         assert!((fb.total(FactorMask::without(4)) - 1.0).abs() < 1e-12);
         assert!((fb.total(FactorMask::without(0)) - 1.4).abs() < 1e-12);
-        let veto = FactorBreakdown { dpf: f64::INFINITY, ..fb };
+        let veto = FactorBreakdown {
+            dpf: f64::INFINITY,
+            ..fb
+        };
         assert!(veto.total(FactorMask::without(4)).is_infinite());
     }
 
@@ -676,48 +867,4 @@ mod tests {
         assert!((enr_min - 0.0).abs() < 1e-12);
         assert!((enr_max - 1.0).abs() < 1e-12);
     }
-}
-
-/// Diagnostic entry point: runs `EvaluateWindows` for an explicit sequence.
-/// Exposed for the reproduction binaries and integration tests — the
-/// iterative driver in [`crate::algorithm`] is the normal interface.
-#[doc(hidden)]
-pub fn diag_evaluate_windows<M: BatteryModel + ?Sized>(
-    g: &TaskGraph,
-    config: &SchedulerConfig,
-    deadline: Minutes,
-    model: &M,
-    seq: &[TaskId],
-) -> Result<(Vec<WindowRecord>, usize), SchedulerError> {
-    let ctx = SearchContext::new(g, config, deadline);
-    evaluate_windows(&ctx, model, seq)
-}
-
-/// Diagnostic entry point: one `CalculateDPF` call on an explicit state.
-///
-/// `stemp` is the positional assignment snapshot (0-based columns),
-/// `fixed_tasks` the task ids already fixed in the energy vector, `i` the
-/// tagged position and `ws` the 0-based window start. Returns
-/// `(enr, cif, dpf)`. Used by the Figure 4 reproduction binary.
-#[doc(hidden)]
-pub fn diag_calculate_dpf(
-    g: &TaskGraph,
-    config: &SchedulerConfig,
-    deadline: Minutes,
-    seq: &[TaskId],
-    stemp: &[usize],
-    fixed_tasks: &[TaskId],
-    i: usize,
-    ws: usize,
-) -> (f64, f64, f64) {
-    let ctx = SearchContext::new(g, config, deadline);
-    let mut pos_of = vec![usize::MAX; g.task_count()];
-    for (pos, &t) in seq.iter().enumerate() {
-        pos_of[t.index()] = pos;
-    }
-    let mut fixed = vec![false; g.task_count()];
-    for &t in fixed_tasks {
-        fixed[t.index()] = true;
-    }
-    calculate_dpf(&ctx, seq, &pos_of, stemp, &fixed, i, ws)
 }

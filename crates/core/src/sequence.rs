@@ -12,13 +12,11 @@ use batsched_taskgraph::{EnergyMetric, PointId, TaskGraph, TaskId};
 /// why `AverageCurrent` is the default.
 pub fn initial_sequence(g: &TaskGraph, rule: InitialWeight, metric: EnergyMetric) -> Vec<TaskId> {
     match rule {
-        InitialWeight::AverageCurrent => {
-            list_schedule(g, |g, t| average_current(g, t).value())
-        }
+        InitialWeight::AverageCurrent => list_schedule(g, |g, t| average_current(g, t).value()),
         InitialWeight::AverageEnergy => {
             list_schedule(g, move |g, t| average_energy(g, t, metric).value())
         }
-        InitialWeight::AveragePower => list_schedule(g, |g, t| average_power(g, t)),
+        InitialWeight::AveragePower => list_schedule(g, average_power),
     }
 }
 
@@ -62,8 +60,9 @@ mod tests {
         // Table 2, S1: T1,T4,T5,T7,T3,T2,T6,T8,T10,T9,T13,T12,T11,T14,T15.
         let g = g3();
         let seq = initial_sequence(&g, InitialWeight::AverageCurrent, EnergyMetric::Charge);
-        let expect: Vec<TaskId> =
-            [1, 4, 5, 7, 3, 2, 6, 8, 10, 9, 13, 12, 11, 14, 15].map(t).to_vec();
+        let expect: Vec<TaskId> = [1, 4, 5, 7, 3, 2, 6, 8, 10, 9, 13, 12, 11, 14, 15]
+            .map(t)
+            .to_vec();
         assert_eq!(seq, expect);
     }
 
@@ -73,8 +72,7 @@ mod tests {
         // the DESIGN.md §4.1 discrepancy note.
         let g = g3();
         let seq = initial_sequence(&g, InitialWeight::AverageEnergy, EnergyMetric::Charge);
-        let pos =
-            |x: TaskId| seq.iter().position(|&y| y == x).unwrap();
+        let pos = |x: TaskId| seq.iter().position(|&y| y == x).unwrap();
         assert!(pos(t(2)) < pos(t(4)));
         assert!(is_topological(&g, &seq));
     }
@@ -95,16 +93,18 @@ mod tests {
         // assignment P5,P1,P2,P5,… (positions) yields the weighted sequence
         // S2w = T1,T3,T2,T4,T5,T6,T7,T8,T9,T10,T13,T11,T12,T14,T15.
         let g = g3();
-        let s2: Vec<TaskId> =
-            [1, 3, 2, 4, 5, 6, 7, 8, 10, 9, 13, 12, 11, 14, 15].map(t).to_vec();
+        let s2: Vec<TaskId> = [1, 3, 2, 4, 5, 6, 7, 8, 10, 9, 13, 12, 11, 14, 15]
+            .map(t)
+            .to_vec();
         let dp_by_pos = [5, 1, 2, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5];
         let mut assignment = vec![PointId(0); g.task_count()];
         for (pos, &task) in s2.iter().enumerate() {
             assignment[task.index()] = PointId(dp_by_pos[pos] - 1);
         }
         let w = weighted_sequence(&g, &assignment);
-        let expect: Vec<TaskId> =
-            [1, 3, 2, 4, 5, 6, 7, 8, 9, 10, 13, 11, 12, 14, 15].map(t).to_vec();
+        let expect: Vec<TaskId> = [1, 3, 2, 4, 5, 6, 7, 8, 9, 10, 13, 11, 12, 14, 15]
+            .map(t)
+            .to_vec();
         assert_eq!(w, expect);
     }
 
@@ -113,16 +113,18 @@ mod tests {
         // Iteration 3: S3 with P5,P5,P1,P5,P5,P5,P4,P5,P4,P5,… yields
         // S3w = T1,T2,T4,T5,T7,T3,T6,T8,T9,T10,T13,T11,T12,T14,T15.
         let g = g3();
-        let s3: Vec<TaskId> =
-            [1, 3, 2, 4, 5, 6, 7, 8, 9, 10, 13, 11, 12, 14, 15].map(t).to_vec();
+        let s3: Vec<TaskId> = [1, 3, 2, 4, 5, 6, 7, 8, 9, 10, 13, 11, 12, 14, 15]
+            .map(t)
+            .to_vec();
         let dp_by_pos = [5, 5, 1, 5, 5, 5, 4, 5, 4, 5, 5, 5, 5, 5, 5];
         let mut assignment = vec![PointId(0); g.task_count()];
         for (pos, &task) in s3.iter().enumerate() {
             assignment[task.index()] = PointId(dp_by_pos[pos] - 1);
         }
         let w = weighted_sequence(&g, &assignment);
-        let expect: Vec<TaskId> =
-            [1, 2, 4, 5, 7, 3, 6, 8, 9, 10, 13, 11, 12, 14, 15].map(t).to_vec();
+        let expect: Vec<TaskId> = [1, 2, 4, 5, 7, 3, 6, 8, 9, 10, 13, 11, 12, 14, 15]
+            .map(t)
+            .to_vec();
         assert_eq!(w, expect);
     }
 

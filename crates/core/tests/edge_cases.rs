@@ -100,7 +100,10 @@ fn wide_parallel_antichain_schedules_cleanly() {
     let mut b = TaskGraph::builder();
     for k in 0..12 {
         let base = 100.0 + 60.0 * k as f64;
-        b.task(format!("t{k}"), vec![dp(base, 1.0), dp(base / 4.0, 2.0), dp(base / 16.0, 4.0)]);
+        b.task(
+            format!("t{k}"),
+            vec![dp(base, 1.0), dp(base / 4.0, 2.0), dp(base / 16.0, 4.0)],
+        );
     }
     let g = b.build().unwrap();
     let sol = schedule(&g, Minutes::new(30.0), &SchedulerConfig::paper()).unwrap();
@@ -114,7 +117,10 @@ fn wide_parallel_antichain_schedules_cleanly() {
         .map(|&t| g.current(t, sol.schedule.point_of(t)).value())
         .collect();
     let rises = currents.windows(2).filter(|w| w[0] < w[1]).count();
-    assert!(rises <= currents.len() / 2, "mostly non-increasing, got {currents:?}");
+    assert!(
+        rises <= currents.len() / 2,
+        "mostly non-increasing, got {currents:?}"
+    );
 }
 
 #[test]
@@ -137,7 +143,10 @@ fn huge_deadline_saturates_at_all_leanest() {
 #[test]
 fn max_iterations_one_still_returns_a_solution() {
     let g = batsched_taskgraph::paper::g2();
-    let cfg = SchedulerConfig { max_iterations: 1, ..SchedulerConfig::paper() };
+    let cfg = SchedulerConfig {
+        max_iterations: 1,
+        ..SchedulerConfig::paper()
+    };
     let sol = schedule(&g, Minutes::new(75.0), &cfg).unwrap();
     assert_eq!(sol.iterations, 1);
     sol.schedule.validate(&g, Some(Minutes::new(75.0))).unwrap();

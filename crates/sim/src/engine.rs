@@ -181,7 +181,10 @@ impl Simulator {
             if let Some(prev) = prev_col {
                 let tt = self.platform.transition_time(prev, col);
                 if tt.value() > 0.0 {
-                    events.push(SimEvent::Transition { at: clock, duration: tt });
+                    events.push(SimEvent::Transition {
+                        at: clock,
+                        duration: tt,
+                    });
                     clock += tt;
                 }
             }
@@ -215,17 +218,21 @@ impl Simulator {
             }
         }
 
-        // Uniform SoC samples over [0, makespan].
+        // Uniform SoC samples over [0, makespan], computed in one sweep —
+        // the RV model's incremental sweep makes this O((S + K)·M) instead
+        // of O(S·K·M).
         let samples = self.soc_samples.max(2);
-        let soc_trace: Vec<SocSample> = (0..samples)
-            .map(|k| {
-                let at = Minutes::new(makespan.value() * k as f64 / (samples - 1) as f64);
-                let sigma = model.apparent_charge(&profile, at);
-                SocSample {
-                    at,
-                    sigma,
-                    remaining: (self.capacity - sigma).max(MilliAmpMinutes::ZERO),
-                }
+        let times: Vec<Minutes> = (0..samples)
+            .map(|k| Minutes::new(makespan.value() * k as f64 / (samples - 1) as f64))
+            .collect();
+        let sigmas = model.apparent_charge_sweep(&profile, &times);
+        let soc_trace: Vec<SocSample> = times
+            .into_iter()
+            .zip(sigmas)
+            .map(|(at, sigma)| SocSample {
+                at,
+                sigma,
+                remaining: (self.capacity - sigma).max(MilliAmpMinutes::ZERO),
             })
             .collect();
 
@@ -265,7 +272,11 @@ mod tests {
         assert_eq!(r.depleted_at, None);
         assert!((r.makespan.value() - s.makespan(&g).value()).abs() < 1e-9);
         // Events: one start + one complete per task.
-        let starts = r.events.iter().filter(|e| matches!(e, SimEvent::TaskStarted { .. })).count();
+        let starts = r
+            .events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::TaskStarted { .. }))
+            .count();
         let dones = r
             .events
             .iter()
@@ -285,7 +296,10 @@ mod tests {
         let r = sim.run(&g, &s, &model);
         assert!(!r.success);
         assert!(r.depleted_at.is_some());
-        assert!(r.events.iter().any(|e| matches!(e, SimEvent::BatteryDepleted { .. })));
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::BatteryDepleted { .. })));
         assert!(r.makespan.value() < s.makespan(&g).value());
     }
 
@@ -297,7 +311,10 @@ mod tests {
         let model = RvModel::date05();
         let r = sim.run(&g, &s, &model);
         assert!(!r.success);
-        assert!(r.events.iter().any(|e| matches!(e, SimEvent::DeadlineMissed { .. })));
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::DeadlineMissed { .. })));
     }
 
     #[test]
@@ -339,9 +356,7 @@ mod tests {
         // σ always dominates the charge actually delivered so far.
         let profile = sim.profile(&g, &s);
         for sample in &r.soc_trace {
-            assert!(
-                sample.sigma.value() >= profile.direct_charge_until(sample.at).value() - 1e-9
-            );
+            assert!(sample.sigma.value() >= profile.direct_charge_until(sample.at).value() - 1e-9);
         }
         // Last sample sits at the makespan and matches the final σ.
         let last = r.soc_trace.last().unwrap();

@@ -60,75 +60,143 @@ pub struct MissionSampler {
     pub seed: u64,
 }
 
+/// Outcome of one sampled mission.
+#[derive(Clone, Copy)]
+enum TrialOutcome {
+    Success { makespan: f64 },
+    Depleted,
+    Late,
+}
+
 impl MissionSampler {
-    /// Runs the campaign for `schedule` on `g` under `model`.
-    pub fn run<M: BatteryModel + ?Sized>(
+    /// Stable per-trial seed: trials are independent streams so the
+    /// campaign produces identical results whether trials run sequentially
+    /// or in parallel.
+    fn trial_seed(&self, trial: usize) -> u64 {
+        self.seed ^ (trial as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Samples one jittered mission.
+    fn trial<M: BatteryModel + ?Sized>(
         &self,
         g: &TaskGraph,
         schedule: &Schedule,
         model: &M,
-    ) -> MonteCarloReport {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        trial: usize,
+    ) -> TrialOutcome {
+        let mut rng = StdRng::seed_from_u64(self.trial_seed(trial));
         let spread = self.jitter.spread.clamp(0.0, 0.999);
-        let deadline = self.simulator.deadline;
-        let capacity = self.simulator.capacity;
+        // Build the jittered physical profile (transitions included).
+        let mut p = LoadProfile::with_capacity(2 * schedule.order().len());
+        let mut prev_col: Option<usize> = None;
+        let mut makespan = 0.0f64;
+        for &t in schedule.order() {
+            let col = schedule.point_of(t).index();
+            if let Some(prev) = prev_col {
+                let tt = self.simulator.platform.transition_time(prev, col);
+                if tt.value() > 0.0 {
+                    if self.simulator.platform.transition.current.value() > 0.0 {
+                        p.push(tt, self.simulator.platform.transition.current)
+                            .expect("positive transition");
+                    } else {
+                        p.push_rest(tt).expect("positive transition");
+                    }
+                    makespan += tt.value();
+                }
+            }
+            let pt = g.point(t, schedule.point_of(t));
+            let factor = if spread > 0.0 {
+                rng.gen_range(1.0 - spread..=1.0 + spread)
+            } else {
+                1.0
+            };
+            let dur = Minutes::new(pt.duration.value() * factor);
+            p.push(dur, pt.current).expect("positive jittered duration");
+            makespan += dur.value();
+            prev_col = Some(col);
+        }
+
+        let died = model
+            .lifetime(&p, self.simulator.capacity)
+            .is_some_and(|at| at.value() < makespan);
+        if died {
+            TrialOutcome::Depleted
+        } else if self
+            .simulator
+            .deadline
+            .is_some_and(|d| makespan > d.value() + 1e-9)
+        {
+            TrialOutcome::Late
+        } else {
+            TrialOutcome::Success { makespan }
+        }
+    }
+
+    fn tally(&self, outcomes: Vec<TrialOutcome>) -> MonteCarloReport {
+        let samples = outcomes.len();
         let mut successes = 0usize;
         let mut depletions = 0usize;
         let mut deadline_misses = 0usize;
         let mut makespan_sum = 0.0;
-
-        for _ in 0..self.samples.max(1) {
-            // Build the jittered physical profile (transitions included).
-            let mut p = LoadProfile::new();
-            let mut prev_col: Option<usize> = None;
-            let mut makespan = 0.0f64;
-            for &t in schedule.order() {
-                let col = schedule.point_of(t).index();
-                if let Some(prev) = prev_col {
-                    let tt = self.simulator.platform.transition_time(prev, col);
-                    if tt.value() > 0.0 {
-                        if self.simulator.platform.transition.current.value() > 0.0 {
-                            p.push(tt, self.simulator.platform.transition.current)
-                                .expect("positive transition");
-                        } else {
-                            p.push_rest(tt).expect("positive transition");
-                        }
-                        makespan += tt.value();
-                    }
+        for o in outcomes {
+            match o {
+                TrialOutcome::Success { makespan } => {
+                    successes += 1;
+                    makespan_sum += makespan;
                 }
-                let pt = g.point(t, schedule.point_of(t));
-                let factor = if spread > 0.0 {
-                    rng.gen_range(1.0 - spread..=1.0 + spread)
-                } else {
-                    1.0
-                };
-                let dur = Minutes::new(pt.duration.value() * factor);
-                p.push(dur, pt.current).expect("positive jittered duration");
-                makespan += dur.value();
-                prev_col = Some(col);
-            }
-
-            let died = model.lifetime(&p, capacity).is_some_and(|at| at.value() < makespan);
-            let late = deadline.is_some_and(|d| makespan > d.value() + 1e-9);
-            if died {
-                depletions += 1;
-            } else if late {
-                deadline_misses += 1;
-            } else {
-                successes += 1;
-                makespan_sum += makespan;
+                TrialOutcome::Depleted => depletions += 1,
+                TrialOutcome::Late => deadline_misses += 1,
             }
         }
-
-        let samples = self.samples.max(1);
         MonteCarloReport {
             samples,
             successes,
             depletions,
             deadline_misses,
             success_rate: successes as f64 / samples as f64,
-            mean_makespan: if successes > 0 { makespan_sum / successes as f64 } else { f64::NAN },
+            mean_makespan: if successes > 0 {
+                makespan_sum / successes as f64
+            } else {
+                f64::NAN
+            },
         }
+    }
+
+    /// Runs the campaign for `schedule` on `g` under `model`.
+    ///
+    /// Trials use independent per-trial RNG streams, so the report is
+    /// identical with and without the `parallel` feature.
+    #[cfg(not(feature = "parallel"))]
+    pub fn run<M: BatteryModel + ?Sized>(
+        &self,
+        g: &TaskGraph,
+        schedule: &Schedule,
+        model: &M,
+    ) -> MonteCarloReport {
+        let outcomes = (0..self.samples.max(1))
+            .map(|i| self.trial(g, schedule, model, i))
+            .collect();
+        self.tally(outcomes)
+    }
+
+    /// Runs the campaign for `schedule` on `g` under `model`, with trials
+    /// spread across all cores.
+    ///
+    /// Trials use independent per-trial RNG streams, so the report is
+    /// identical with and without the `parallel` feature.
+    #[cfg(feature = "parallel")]
+    pub fn run<M: BatteryModel + Sync + ?Sized>(
+        &self,
+        g: &TaskGraph,
+        schedule: &Schedule,
+        model: &M,
+    ) -> MonteCarloReport {
+        use rayon::prelude::*;
+        let outcomes = (0..self.samples.max(1))
+            .into_par_iter()
+            .map(|i| self.trial(g, schedule, model, i))
+            .collect();
+        self.tally(outcomes)
     }
 }
 
@@ -178,7 +246,10 @@ mod tests {
         // 0.5% above nominal peak: fine deterministically, fragile at ±10%.
         let tight = sampler(peak.value() * 1.005, 1e9, 0.10, 200);
         let report = tight.run(&g, &plan, &model);
-        assert!(report.depletions > 0, "jitter must break a razor-thin margin");
+        assert!(
+            report.depletions > 0,
+            "jitter must break a razor-thin margin"
+        );
         assert!(report.success_rate < 1.0);
         // A 30% margin shrugs the same jitter off.
         let roomy = sampler(peak.value() * 1.3, 1e9, 0.10, 200);

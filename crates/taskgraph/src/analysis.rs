@@ -44,7 +44,10 @@ pub fn average_current(g: &TaskGraph, t: TaskId) -> MilliAmps {
 /// Average power (`I·V`) over all design points of `t`.
 pub fn average_power(g: &TaskGraph, t: TaskId) -> f64 {
     let pts = &g.task(t).points;
-    pts.iter().map(|p| p.current.value() * p.voltage.value()).sum::<f64>() / pts.len() as f64
+    pts.iter()
+        .map(|p| p.current.value() * p.voltage.value())
+        .sum::<f64>()
+        / pts.len() as f64
 }
 
 /// Longest path through the DAG measured in column-`k` durations. With

@@ -25,12 +25,20 @@ pub struct DesignPoint {
 impl DesignPoint {
     /// Creates a design point with unit voltage.
     pub fn new(current: MilliAmps, duration: Minutes) -> Self {
-        Self { duration, current, voltage: Volts::new(1.0) }
+        Self {
+            duration,
+            current,
+            voltage: Volts::new(1.0),
+        }
     }
 
     /// Creates a design point with an explicit supply voltage.
     pub fn with_voltage(current: MilliAmps, duration: Minutes, voltage: Volts) -> Self {
-        Self { duration, current, voltage }
+        Self {
+            duration,
+            current,
+            voltage,
+        }
     }
 
     /// Charge drawn if the task runs to completion here (`I·D`, mA·min).
@@ -86,15 +94,16 @@ pub enum EnergyMetric {
 pub fn pareto_filter(mut points: Vec<DesignPoint>) -> Vec<DesignPoint> {
     points.retain(|p| p.is_valid());
     points.sort_by(|a, b| {
-        batsched_battery::units::total_cmp(a.duration.value(), b.duration.value())
-            .then(batsched_battery::units::total_cmp(a.current.value(), b.current.value()))
+        batsched_battery::units::total_cmp(a.duration.value(), b.duration.value()).then(
+            batsched_battery::units::total_cmp(a.current.value(), b.current.value()),
+        )
     });
     let mut kept: Vec<DesignPoint> = Vec::with_capacity(points.len());
     for p in points {
         // Sorted by duration: p is dominated iff some kept point draws <= current.
         if kept
             .last()
-            .map_or(true, |k| p.current.value() < k.current.value())
+            .is_none_or(|k| p.current.value() < k.current.value())
         {
             kept.push(p);
         }
@@ -112,7 +121,8 @@ mod tests {
 
     #[test]
     fn charge_and_energy() {
-        let p = DesignPoint::with_voltage(MilliAmps::new(100.0), Minutes::new(2.0), Volts::new(0.5));
+        let p =
+            DesignPoint::with_voltage(MilliAmps::new(100.0), Minutes::new(2.0), Volts::new(0.5));
         assert_eq!(p.charge(), MilliAmpMinutes::new(200.0));
         assert_eq!(p.energy(EnergyMetric::Charge).value(), 200.0);
         assert_eq!(p.energy(EnergyMetric::TrueEnergy).value(), 100.0);
@@ -120,7 +130,10 @@ mod tests {
 
     #[test]
     fn validity() {
-        assert!(dp(0.0, 1.0).is_valid(), "zero current is a legal idle point");
+        assert!(
+            dp(0.0, 1.0).is_valid(),
+            "zero current is a legal idle point"
+        );
         assert!(!dp(-1.0, 1.0).is_valid());
         assert!(!dp(1.0, 0.0).is_valid());
         assert!(!dp(f64::NAN, 1.0).is_valid());

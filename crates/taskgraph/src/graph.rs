@@ -241,12 +241,16 @@ impl TaskGraph {
 
     /// Tasks with no predecessors.
     pub fn sources(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.preds(t).is_empty()).collect()
+        self.task_ids()
+            .filter(|&t| self.preds(t).is_empty())
+            .collect()
     }
 
     /// Tasks with no successors.
     pub fn sinks(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.succs(t).is_empty()).collect()
+        self.task_ids()
+            .filter(|&t| self.succs(t).is_empty())
+            .collect()
     }
 
     /// Looks a task up by name (linear scan; graphs here are small).
@@ -267,7 +271,10 @@ impl TaskGraphBuilder {
     /// ascending duration at build time) and returns its id.
     pub fn task(&mut self, name: impl Into<String>, points: Vec<DesignPoint>) -> TaskId {
         let id = TaskId(self.tasks.len());
-        self.tasks.push(TaskNode { name: name.into(), points });
+        self.tasks.push(TaskNode {
+            name: name.into(),
+            points,
+        });
         id
     }
 
@@ -299,7 +306,9 @@ impl TaskGraphBuilder {
         let point_count = tasks[0].points.len();
         for t in &mut tasks {
             if t.points.is_empty() {
-                return Err(TaskGraphError::NoDesignPoints { task: t.name.clone() });
+                return Err(TaskGraphError::NoDesignPoints {
+                    task: t.name.clone(),
+                });
             }
             if t.points.len() != point_count {
                 return Err(TaskGraphError::NonUniformPointCount {
@@ -310,7 +319,10 @@ impl TaskGraphBuilder {
             }
             for (i, p) in t.points.iter().enumerate() {
                 if !p.is_valid() {
-                    return Err(TaskGraphError::InvalidDesignPoint { task: t.name.clone(), index: i });
+                    return Err(TaskGraphError::InvalidDesignPoint {
+                        task: t.name.clone(),
+                        index: i,
+                    });
                 }
             }
             t.points.sort_by(|a, b| {
@@ -321,7 +333,9 @@ impl TaskGraphBuilder {
                 .windows(2)
                 .all(|w| w[0].current.value() >= w[1].current.value());
             if !monotone {
-                return Err(TaskGraphError::NonMonotoneCurrents { task: t.name.clone() });
+                return Err(TaskGraphError::NonMonotoneCurrents {
+                    task: t.name.clone(),
+                });
             }
         }
 
@@ -337,7 +351,9 @@ impl TaskGraphBuilder {
                 return Err(TaskGraphError::UnknownTask { id: v });
             }
             if u == v {
-                return Err(TaskGraphError::SelfLoop { task: tasks[u].name.clone() });
+                return Err(TaskGraphError::SelfLoop {
+                    task: tasks[u].name.clone(),
+                });
             }
             if seen.insert((u, v)) {
                 succs[u].push(TaskId(v));
@@ -368,10 +384,17 @@ impl TaskGraphBuilder {
         }
         if visited != n {
             let culprit = indeg.iter().position(|&d| d > 0).unwrap_or(0);
-            return Err(TaskGraphError::Cycle { task: tasks[culprit].name.clone() });
+            return Err(TaskGraphError::Cycle {
+                task: tasks[culprit].name.clone(),
+            });
         }
 
-        Ok(TaskGraph { tasks, preds, succs, point_count })
+        Ok(TaskGraph {
+            tasks,
+            preds,
+            succs,
+            point_count,
+        })
     }
 }
 
@@ -385,7 +408,10 @@ struct RawTaskGraph {
 impl From<TaskGraph> for RawTaskGraph {
     fn from(g: TaskGraph) -> Self {
         let edges = g.edges().map(|(a, b)| (a.0, b.0)).collect();
-        Self { tasks: g.tasks, edges }
+        Self {
+            tasks: g.tasks,
+            edges,
+        }
     }
 }
 
@@ -439,14 +465,20 @@ mod tests {
 
     #[test]
     fn empty_graph_rejected() {
-        assert_eq!(TaskGraph::builder().build().unwrap_err(), TaskGraphError::Empty);
+        assert_eq!(
+            TaskGraph::builder().build().unwrap_err(),
+            TaskGraphError::Empty
+        );
     }
 
     #[test]
     fn no_points_rejected() {
         let mut b = TaskGraph::builder();
         b.task("A", vec![]);
-        assert!(matches!(b.build().unwrap_err(), TaskGraphError::NoDesignPoints { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TaskGraphError::NoDesignPoints { .. }
+        ));
     }
 
     #[test]
@@ -456,7 +488,11 @@ mod tests {
         b.task("B", vec![dp(10.0, 1.0)]);
         assert!(matches!(
             b.build().unwrap_err(),
-            TaskGraphError::NonUniformPointCount { expected: 2, found: 1, .. }
+            TaskGraphError::NonUniformPointCount {
+                expected: 2,
+                found: 1,
+                ..
+            }
         ));
     }
 
@@ -493,13 +529,19 @@ mod tests {
         let mut b = TaskGraph::builder();
         let a = b.task("A", two_points());
         b.edge(a, a);
-        assert!(matches!(b.build().unwrap_err(), TaskGraphError::SelfLoop { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TaskGraphError::SelfLoop { .. }
+        ));
 
         let mut b = TaskGraph::builder();
         let a = b.task("A", two_points());
         let c = b.task("B", two_points());
         b.edge(a, c).edge(c, a);
-        assert!(matches!(b.build().unwrap_err(), TaskGraphError::Cycle { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TaskGraphError::Cycle { .. }
+        ));
     }
 
     #[test]
@@ -507,7 +549,10 @@ mod tests {
         let mut b = TaskGraph::builder();
         let a = b.task("A", two_points());
         b.edge(a, TaskId(7));
-        assert!(matches!(b.build().unwrap_err(), TaskGraphError::UnknownTask { id: 7 }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TaskGraphError::UnknownTask { id: 7 }
+        ));
     }
 
     #[test]

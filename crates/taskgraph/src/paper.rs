@@ -40,22 +40,173 @@ pub const G2_FACTORS: [f64; 4] = [2.5, 5.0 / 3.0, 1.25, 1.0];
 ///
 /// Stored verbatim so golden tests can diff the synthesised instance
 /// against the published one.
+#[allow(clippy::type_complexity)] // verbatim table shape from the paper
 pub const G3_TABLE1: [(&str, [(f64, f64); 5], &[usize]); 15] = [
-    ("T1", [(917., 7.3), (563., 11.2), (288., 15.0), (122., 18.7), (33., 22.0)], &[]),
-    ("T2", [(519., 11.2), (319., 17.3), (163., 23.1), (69., 28.9), (19., 34.0)], &[0]),
-    ("T3", [(611., 5.9), (375., 9.2), (192., 12.2), (81., 15.3), (22., 18.0)], &[0]),
-    ("T4", [(938., 5.3), (576., 8.2), (295., 10.9), (124., 13.6), (34., 16.0)], &[0]),
-    ("T5", [(781., 4.0), (480., 6.1), (246., 8.2), (104., 10.2), (28., 12.0)], &[0]),
-    ("T6", [(800., 4.6), (491., 7.1), (252., 9.5), (106., 11.9), (29., 14.0)], &[1, 2]),
-    ("T7", [(720., 7.3), (442., 11.2), (226., 15.0), (96., 18.7), (26., 22.0)], &[3, 4]),
-    ("T8", [(600., 5.3), (368., 8.2), (189., 10.9), (80., 13.6), (22., 16.0)], &[5, 6]),
-    ("T9", [(650., 4.6), (399., 7.1), (204., 9.5), (86., 11.9), (23., 14.0)], &[7]),
-    ("T10", [(710., 5.9), (436., 9.2), (223., 12.2), (94., 15.3), (26., 18.0)], &[7]),
-    ("T11", [(500., 6.6), (307., 10.2), (157., 13.6), (66., 17.0), (18., 20.0)], &[8]),
-    ("T12", [(510., 4.6), (313., 7.1), (160., 9.5), (68., 11.9), (18., 14.0)], &[9]),
-    ("T13", [(700., 4.0), (430., 6.1), (220., 8.2), (93., 10.2), (25., 12.0)], &[8]),
-    ("T14", [(400., 5.3), (246., 8.2), (126., 10.9), (53., 13.6), (14., 16.0)], &[10, 11, 12]),
-    ("T15", [(380., 3.3), (233., 5.1), (119., 6.8), (50., 8.5), (14., 10.0)], &[13]),
+    (
+        "T1",
+        [
+            (917., 7.3),
+            (563., 11.2),
+            (288., 15.0),
+            (122., 18.7),
+            (33., 22.0),
+        ],
+        &[],
+    ),
+    (
+        "T2",
+        [
+            (519., 11.2),
+            (319., 17.3),
+            (163., 23.1),
+            (69., 28.9),
+            (19., 34.0),
+        ],
+        &[0],
+    ),
+    (
+        "T3",
+        [
+            (611., 5.9),
+            (375., 9.2),
+            (192., 12.2),
+            (81., 15.3),
+            (22., 18.0),
+        ],
+        &[0],
+    ),
+    (
+        "T4",
+        [
+            (938., 5.3),
+            (576., 8.2),
+            (295., 10.9),
+            (124., 13.6),
+            (34., 16.0),
+        ],
+        &[0],
+    ),
+    (
+        "T5",
+        [
+            (781., 4.0),
+            (480., 6.1),
+            (246., 8.2),
+            (104., 10.2),
+            (28., 12.0),
+        ],
+        &[0],
+    ),
+    (
+        "T6",
+        [
+            (800., 4.6),
+            (491., 7.1),
+            (252., 9.5),
+            (106., 11.9),
+            (29., 14.0),
+        ],
+        &[1, 2],
+    ),
+    (
+        "T7",
+        [
+            (720., 7.3),
+            (442., 11.2),
+            (226., 15.0),
+            (96., 18.7),
+            (26., 22.0),
+        ],
+        &[3, 4],
+    ),
+    (
+        "T8",
+        [
+            (600., 5.3),
+            (368., 8.2),
+            (189., 10.9),
+            (80., 13.6),
+            (22., 16.0),
+        ],
+        &[5, 6],
+    ),
+    (
+        "T9",
+        [
+            (650., 4.6),
+            (399., 7.1),
+            (204., 9.5),
+            (86., 11.9),
+            (23., 14.0),
+        ],
+        &[7],
+    ),
+    (
+        "T10",
+        [
+            (710., 5.9),
+            (436., 9.2),
+            (223., 12.2),
+            (94., 15.3),
+            (26., 18.0),
+        ],
+        &[7],
+    ),
+    (
+        "T11",
+        [
+            (500., 6.6),
+            (307., 10.2),
+            (157., 13.6),
+            (66., 17.0),
+            (18., 20.0),
+        ],
+        &[8],
+    ),
+    (
+        "T12",
+        [
+            (510., 4.6),
+            (313., 7.1),
+            (160., 9.5),
+            (68., 11.9),
+            (18., 14.0),
+        ],
+        &[9],
+    ),
+    (
+        "T13",
+        [
+            (700., 4.0),
+            (430., 6.1),
+            (220., 8.2),
+            (93., 10.2),
+            (25., 12.0),
+        ],
+        &[8],
+    ),
+    (
+        "T14",
+        [
+            (400., 5.3),
+            (246., 8.2),
+            (126., 10.9),
+            (53., 13.6),
+            (14., 16.0),
+        ],
+        &[10, 11, 12],
+    ),
+    (
+        "T15",
+        [
+            (380., 3.3),
+            (233., 5.1),
+            (119., 6.8),
+            (50., 8.5),
+            (14., 10.0),
+        ],
+        &[13],
+    ),
 ];
 
 /// Per-task G3 base data `(base current at DP1, worst-case duration at DP5)`

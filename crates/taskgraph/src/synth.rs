@@ -47,10 +47,16 @@ pub struct Rounding {
 
 impl Rounding {
     /// The paper's convention: integer mA, 0.1-minute durations.
-    pub const PAPER: Self = Self { current_decimals: Some(0), duration_decimals: Some(1) };
+    pub const PAPER: Self = Self {
+        current_decimals: Some(0),
+        duration_decimals: Some(1),
+    };
 
     /// No rounding at all.
-    pub const EXACT: Self = Self { current_decimals: None, duration_decimals: None };
+    pub const EXACT: Self = Self {
+        current_decimals: None,
+        duration_decimals: None,
+    };
 
     fn apply(x: f64, decimals: Option<u32>) -> f64 {
         match decimals {

@@ -37,10 +37,7 @@ where
 {
     let n = g.task_count();
     let mut indeg: Vec<usize> = g.task_ids().map(|t| g.preds(t).len()).collect();
-    let mut ready: Vec<TaskId> = g
-        .task_ids()
-        .filter(|t| indeg[t.index()] == 0)
-        .collect();
+    let mut ready: Vec<TaskId> = g.task_ids().filter(|t| indeg[t.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while !ready.is_empty() {
         // Select max weight, tie-break by smallest id.
@@ -179,13 +176,22 @@ mod tests {
     fn is_topological_rejects_bad_orders() {
         let g = diamond();
         // D before its parents.
-        assert!(!is_topological(&g, &[TaskId(0), TaskId(3), TaskId(1), TaskId(2)]));
+        assert!(!is_topological(
+            &g,
+            &[TaskId(0), TaskId(3), TaskId(1), TaskId(2)]
+        ));
         // Missing tasks.
         assert!(!is_topological(&g, &[TaskId(0), TaskId(1)]));
         // Duplicates.
-        assert!(!is_topological(&g, &[TaskId(0), TaskId(1), TaskId(1), TaskId(3)]));
+        assert!(!is_topological(
+            &g,
+            &[TaskId(0), TaskId(1), TaskId(1), TaskId(3)]
+        ));
         // Out-of-range id.
-        assert!(!is_topological(&g, &[TaskId(0), TaskId(1), TaskId(9), TaskId(3)]));
+        assert!(!is_topological(
+            &g,
+            &[TaskId(0), TaskId(1), TaskId(9), TaskId(3)]
+        ));
     }
 
     #[test]

@@ -6,8 +6,8 @@ use batsched_battery::units::{MilliAmps, Minutes};
 use batsched_taskgraph::analysis::{column_time, max_makespan, min_makespan, GraphStats};
 use batsched_taskgraph::design_point::pareto_filter;
 use batsched_taskgraph::synth::{
-    chain, fork_join, layered, random_dag, series_parallel, Rounding, ScalingScheme,
-    synthesize_points, TaskParams,
+    chain, fork_join, layered, random_dag, series_parallel, synthesize_points, Rounding,
+    ScalingScheme, TaskParams,
 };
 use batsched_taskgraph::topo::{
     descendants_mask, is_topological, list_schedule, topological_order,

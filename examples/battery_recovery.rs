@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== rate-capacity effect ==");
     println!("same 3000 mA·min of delivered charge, different rates:\n");
-    println!("{:>8} {:>10} {:>12} {:>10}", "current", "duration", "sigma", "penalty");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "current", "duration", "sigma", "penalty"
+    );
     for (i, d) in [(100.0, 30.0), (300.0, 10.0), (600.0, 5.0), (1000.0, 3.0)] {
         let p = LoadProfile::from_steps([(Minutes::new(d), MilliAmps::new(i))])?;
         let sigma = rv.apparent_charge(&p, p.end());
@@ -55,11 +58,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== the same profiles under four battery models ==");
     let models: Vec<(&str, Box<dyn BatteryModel>)> = vec![
         ("coulomb (ideal)", Box::new(CoulombCounter::new())),
-        ("peukert p=1.2", Box::new(PeukertModel::new(1.2, MilliAmps::new(100.0))?)),
-        ("kibam", Box::new(KibamModel::new(0.5, 0.05, MilliAmpMinutes::new(50_000.0))?)),
+        (
+            "peukert p=1.2",
+            Box::new(PeukertModel::new(1.2, MilliAmps::new(100.0))?),
+        ),
+        (
+            "kibam",
+            Box::new(KibamModel::new(0.5, 0.05, MilliAmpMinutes::new(50_000.0))?),
+        ),
         ("rakhmatov-vrudhula", Box::new(RvModel::date05())),
     ];
-    println!("{:>20} {:>12} {:>12} {:>18}", "model", "heavy-first", "heavy-last", "order-sensitive?");
+    println!(
+        "{:>20} {:>12} {:>12} {:>18}",
+        "model", "heavy-first", "heavy-last", "order-sensitive?"
+    );
     for (name, m) in &models {
         let a = m.apparent_charge(&heavy_first, end).value();
         let b = m.apparent_charge(&heavy_last, end).value();

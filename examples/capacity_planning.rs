@@ -21,12 +21,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = RvModel::date05();
     let profile = plan.schedule.to_profile(&graph);
 
-    println!("mission: G3, deadline 230 min, plan σ(end) = {:.0}\n", plan.cost.value());
+    println!(
+        "mission: G3, deadline 230 min, plan σ(end) = {:.0}\n",
+        plan.cost.value()
+    );
 
     // 1. Final σ vs peak σ.
     let (peak_at, peak) = peak_apparent_charge(&model, &profile, 64);
     println!("σ at completion : {:>7.0} mA·min", plan.cost.value());
-    println!("σ peak          : {:>7.0} mA·min at t = {:.1} min", peak.value(), peak_at.value());
+    println!(
+        "σ peak          : {:>7.0} mA·min at t = {:.1} min",
+        peak.value(),
+        peak_at.value()
+    );
     println!(
         "naive sizing by σ(end) under-provisions by {:.1}%\n",
         (peak.value() / plan.cost.value() - 1.0) * 100.0
@@ -63,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. And the battery's own rate-capacity curve, for context.
-    println!("\nrate-capacity curve of the battery model (rated {:.0} mA·min):", peak.value());
+    println!(
+        "\nrate-capacity curve of the battery model (rated {:.0} mA·min):",
+        peak.value()
+    );
     let currents: Vec<MilliAmps> = [50.0, 100.0, 200.0, 400.0, 800.0]
         .map(MilliAmps::new)
         .to_vec();

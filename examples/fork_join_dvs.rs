@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(KhanVemuri::paper()),
         Box::new(RakhmatovDp::default()),
         Box::new(ChowdhuryScaling),
-        Box::new(SimulatedAnnealing { steps: 10_000, ..Default::default() }),
+        Box::new(SimulatedAnnealing {
+            steps: 10_000,
+            ..Default::default()
+        }),
         Box::new(RandomSearch::default()),
     ];
 

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let solution = schedule(&graph, deadline, &SchedulerConfig::paper())?;
 
     println!("plan      : {}", solution.schedule.display(&graph));
-    println!("makespan  : {:.1} (deadline {:.0})", solution.makespan, deadline);
+    println!(
+        "makespan  : {:.1} (deadline {:.0})",
+        solution.makespan, deadline
+    );
     println!("battery σ : {:.0}", solution.cost);
     println!("iterations: {}", solution.iterations);
 

@@ -12,9 +12,16 @@ use batsched::taskgraph::paper::{g2, G2_TABLE4_DEADLINES};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = g2();
     let model = RvModel::date05();
-    println!("robotic arm controller: {} tasks, {} design points each\n", graph.task_count(), graph.point_count());
+    println!(
+        "robotic arm controller: {} tasks, {} design points each\n",
+        graph.task_count(),
+        graph.point_count()
+    );
 
-    println!("{:>10} {:>12} {:>12} {:>10}", "deadline", "sigma mA·min", "makespan", "iterations");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "deadline", "sigma mA·min", "makespan", "iterations"
+    );
     let mut plans = Vec::new();
     for d in G2_TABLE4_DEADLINES {
         let sol = schedule(&graph, Minutes::new(d), &SchedulerConfig::paper())?;
@@ -45,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .filter(|e| matches!(e, batsched::sim::SimEvent::TaskCompleted { .. }))
             .count();
-        println!("  -> {done}/{} tasks completed before depletion at {at:.1}", graph.task_count());
+        println!(
+            "  -> {done}/{} tasks completed before depletion at {at:.1}",
+            graph.task_count()
+        );
     }
     Ok(())
 }

@@ -22,10 +22,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let capacity = MilliAmpMinutes::new(40_000.0);
     for (name, platform) in [
         ("ideal (paper)", Platform::paper()),
-        ("DVS, 0.1 min/level @ 80 mA", Platform::dvs(Minutes::new(0.1), MilliAmps::new(80.0))),
-        ("FPGA, 0.5 min reconfig @ 150 mA", Platform::fpga(Minutes::new(0.5), MilliAmps::new(150.0))),
+        (
+            "DVS, 0.1 min/level @ 80 mA",
+            Platform::dvs(Minutes::new(0.1), MilliAmps::new(80.0)),
+        ),
+        (
+            "FPGA, 0.5 min reconfig @ 150 mA",
+            Platform::fpga(Minutes::new(0.5), MilliAmps::new(150.0)),
+        ),
     ] {
-        let sim = Simulator { platform, capacity, deadline: Some(deadline), soc_samples: 32 };
+        let sim = Simulator {
+            platform,
+            capacity,
+            deadline: Some(deadline),
+            soc_samples: 32,
+        };
         let r = sim.run(&graph, &plan.schedule, &model);
         println!(
             "{name:>28} {:>10.1} {:>10.0}{}",
@@ -40,7 +51,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = Simulator::paper(MilliAmpMinutes::new(14_000.0), Some(deadline));
     let r = sim.run(&graph, &plan.schedule, &model);
     println!("verdict: {r}\n");
-    for e in r.events.iter().rev().take(6).collect::<Vec<_>>().into_iter().rev() {
+    for e in r
+        .events
+        .iter()
+        .rev()
+        .take(6)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
         match e {
             SimEvent::TaskCompleted { task, at, sigma } => println!(
                 "  {:>6.1} min  completed {:<4} (sigma = {:.0})",

@@ -1,0 +1,27 @@
+# Developer entry points. `just ci` mirrors ./ci.sh.
+
+# Run formatting check, lints, build, tests and the perf snapshot.
+ci:
+    ./ci.sh
+
+# Format the whole workspace in place.
+fmt:
+    cargo fmt --all
+
+# Lints with warnings denied, both feature configurations.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo clippy --workspace --all-targets --features parallel -- -D warnings
+
+# Full test suite, both feature configurations.
+test:
+    cargo test --workspace -q
+    cargo test --workspace -q --features parallel
+
+# Criterion runtime benches (quick mode).
+bench:
+    BATSCHED_BENCH_QUICK=1 cargo bench -p batsched-bench
+
+# Regenerate the perf-trajectory snapshot (BENCH_scheduler.json).
+perf:
+    cargo run --release -p batsched-bench --bin repro_bench_json -- --full

@@ -19,8 +19,14 @@ fn all_algorithms() -> Vec<Box<dyn Scheduler>> {
         Box::new(KhanVemuri::paper()),
         Box::new(RakhmatovDp::default()),
         Box::new(ChowdhuryScaling),
-        Box::new(SimulatedAnnealing { steps: 2_000, ..Default::default() }),
-        Box::new(RandomSearch { samples: 50, ..Default::default() }),
+        Box::new(SimulatedAnnealing {
+            steps: 2_000,
+            ..Default::default()
+        }),
+        Box::new(RandomSearch {
+            samples: 50,
+            ..Default::default()
+        }),
     ]
 }
 
@@ -70,13 +76,27 @@ fn ours_beats_dp_on_paper_graphs() {
     let ours = KhanVemuri::paper();
     let dp = RakhmatovDp::default();
     for (g, deadlines) in [
-        (batsched::taskgraph::paper::g2(), &batsched::taskgraph::paper::G2_TABLE4_DEADLINES),
-        (batsched::taskgraph::paper::g3(), &batsched::taskgraph::paper::G3_TABLE4_DEADLINES),
+        (
+            batsched::taskgraph::paper::g2(),
+            &batsched::taskgraph::paper::G2_TABLE4_DEADLINES,
+        ),
+        (
+            batsched::taskgraph::paper::g3(),
+            &batsched::taskgraph::paper::G3_TABLE4_DEADLINES,
+        ),
     ] {
         for &d in deadlines {
             let dl = Minutes::new(d);
-            let a = ours.schedule(&g, dl).unwrap().battery_cost(&g, &model).value();
-            let b = dp.schedule(&g, dl).unwrap().battery_cost(&g, &model).value();
+            let a = ours
+                .schedule(&g, dl)
+                .unwrap()
+                .battery_cost(&g, &model)
+                .value();
+            let b = dp
+                .schedule(&g, dl)
+                .unwrap()
+                .battery_cost(&g, &model)
+                .value();
             assert!(a <= b, "d={d}: ours {a} vs dp {b}");
         }
     }
@@ -97,8 +117,7 @@ fn simulator_agrees_with_planner_peak_sigma() {
         }
         let plan = batsched::schedule(&g, d, &SchedulerConfig::paper()).unwrap();
         let profile = plan.schedule.to_profile(&g);
-        let (_, peak) =
-            batsched::battery::model::peak_apparent_charge(&model, &profile, 64);
+        let (_, peak) = batsched::battery::model::peak_apparent_charge(&model, &profile, 64);
 
         let roomy = Simulator::paper(peak * 1.01, Some(d));
         let r = roomy.run(&g, &plan.schedule, &model);

@@ -5,9 +5,7 @@
 use batsched::baselines::{KhanVemuri, RakhmatovDp, Scheduler};
 use batsched::battery::rv::RvModel;
 use batsched::prelude::*;
-use batsched::taskgraph::paper::{
-    g2, g2_synthesized, g3, g3_synthesized, G3_EXAMPLE_DEADLINE,
-};
+use batsched::taskgraph::paper::{g2, g2_synthesized, g3, g3_synthesized, G3_EXAMPLE_DEADLINE};
 use batsched::SchedulerConfig;
 
 /// Table 1 and Figure 5 regenerate from the published scaling rules,
@@ -23,8 +21,12 @@ fn instance_data_regenerates_exactly() {
 #[test]
 fn table2_initial_sequence_is_exact() {
     let g = g3();
-    let sol = batsched::schedule(&g, Minutes::new(G3_EXAMPLE_DEADLINE), &SchedulerConfig::paper())
-        .unwrap();
+    let sol = batsched::schedule(
+        &g,
+        Minutes::new(G3_EXAMPLE_DEADLINE),
+        &SchedulerConfig::paper(),
+    )
+    .unwrap();
     let names: Vec<&str> = sol.trace[0].sequence.iter().map(|&t| g.name(t)).collect();
     assert_eq!(
         names,
@@ -41,15 +43,23 @@ fn table2_initial_sequence_is_exact() {
 #[test]
 fn table3_s1_window45_cell_is_exact() {
     let g = g3();
-    let sol = batsched::schedule(&g, Minutes::new(G3_EXAMPLE_DEADLINE), &SchedulerConfig::paper())
-        .unwrap();
+    let sol = batsched::schedule(
+        &g,
+        Minutes::new(G3_EXAMPLE_DEADLINE),
+        &SchedulerConfig::paper(),
+    )
+    .unwrap();
     let w = sol.trace[0]
         .windows
         .iter()
         .find(|w| w.window_start.index() == 3)
         .expect("window 4:5 evaluated");
     assert!((w.cost.value() - 16353.0).abs() < 1.0, "σ = {}", w.cost);
-    assert!((w.makespan.value() - 228.3).abs() < 0.05, "Δ = {}", w.makespan);
+    assert!(
+        (w.makespan.value() - 228.3).abs() < 0.05,
+        "Δ = {}",
+        w.makespan
+    );
 }
 
 /// Table 3's trajectory: monotone improvement, termination on
@@ -57,12 +67,23 @@ fn table3_s1_window45_cell_is_exact() {
 #[test]
 fn table3_trajectory_shape_and_final_cost() {
     let g = g3();
-    let sol = batsched::schedule(&g, Minutes::new(G3_EXAMPLE_DEADLINE), &SchedulerConfig::paper())
-        .unwrap();
-    assert!(sol.iterations >= 2 && sol.iterations <= 6, "paper saw 4, we see {}", sol.iterations);
+    let sol = batsched::schedule(
+        &g,
+        Minutes::new(G3_EXAMPLE_DEADLINE),
+        &SchedulerConfig::paper(),
+    )
+    .unwrap();
+    assert!(
+        sol.iterations >= 2 && sol.iterations <= 6,
+        "paper saw 4, we see {}",
+        sol.iterations
+    );
     let costs: Vec<f64> = sol.trace.iter().map(|r| r.min_cost.value()).collect();
     for w in costs.windows(2).rev().skip(1) {
-        assert!(w[1] <= w[0] + 1e-9, "minima must fall until the last: {costs:?}");
+        assert!(
+            w[1] <= w[0] + 1e-9,
+            "minima must fall until the last: {costs:?}"
+        );
     }
     let published = 13737.0;
     assert!(
@@ -93,9 +114,15 @@ fn table4_g3_exact_cells() {
         let c_ours = s_ours.battery_cost(&g, &model).value();
         let c_dp = s_dp.battery_cost(&g, &model).value();
         if let Some(expected) = ours_pub {
-            assert!((c_ours - expected).abs() < 1.0, "ours at d={d}: {c_ours} vs {expected}");
+            assert!(
+                (c_ours - expected).abs() < 1.0,
+                "ours at d={d}: {c_ours} vs {expected}"
+            );
         }
-        assert!((c_dp - dp_pub).abs() < 1.0, "dp at d={d}: {c_dp} vs {dp_pub}");
+        assert!(
+            (c_dp - dp_pub).abs() < 1.0,
+            "dp at d={d}: {c_dp} vs {dp_pub}"
+        );
         assert!(c_ours < c_dp, "headline at d={d}");
     }
 }
@@ -109,11 +136,23 @@ fn table4_g2_cells_within_tolerance() {
     let model = RvModel::date05();
     let ours = KhanVemuri::paper();
     let dp = RakhmatovDp::default();
-    let cases = [(55.0, 30913.0, 35739.0, 0.001, 0.06), (75.0, 13751.0, 13885.0, 0.015, 0.20), (95.0, 7961.0, 8517.0, 0.015, 0.06)];
+    let cases = [
+        (55.0, 30913.0, 35739.0, 0.001, 0.06),
+        (75.0, 13751.0, 13885.0, 0.015, 0.20),
+        (95.0, 7961.0, 8517.0, 0.015, 0.06),
+    ];
     for (d, ours_pub, dp_pub, tol_ours, tol_dp) in cases {
         let dl = Minutes::new(d);
-        let c_ours = ours.schedule(&g, dl).unwrap().battery_cost(&g, &model).value();
-        let c_dp = dp.schedule(&g, dl).unwrap().battery_cost(&g, &model).value();
+        let c_ours = ours
+            .schedule(&g, dl)
+            .unwrap()
+            .battery_cost(&g, &model)
+            .value();
+        let c_dp = dp
+            .schedule(&g, dl)
+            .unwrap()
+            .battery_cost(&g, &model)
+            .value();
         assert!(
             (c_ours - ours_pub).abs() / ours_pub <= tol_ours,
             "ours at d={d}: {c_ours} vs {ours_pub}"
@@ -134,7 +173,13 @@ fn figure4_fixture_reachable_through_facade() {
     use batsched::core::search::diag_calculate_dpf;
     use batsched::taskgraph::DesignPoint;
     let mut b = TaskGraph::builder();
-    for (name, i1) in [("T1", 400.0), ("T2", 500.0), ("T3", 100.0), ("T4", 200.0), ("T5", 300.0)] {
+    for (name, i1) in [
+        ("T1", 400.0),
+        ("T2", 500.0),
+        ("T3", 100.0),
+        ("T4", 200.0),
+        ("T5", 300.0),
+    ] {
         b.task(
             name,
             vec![

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements enough of the criterion API for this workspace's benches:
+//! `Criterion::bench_function`, benchmark groups with `sample_size` /
+//! `bench_with_input` / `finish`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: a short calibration pass sizes the per-sample
+//! iteration count toward ~5 ms, then `sample_size` samples are taken and
+//! the **median ns/iter** is reported on stdout. Set `BATSCHED_BENCH_QUICK=1`
+//! to cut sample counts for smoke runs. Results are also collected in a
+//! process-global list retrievable via [`take_results`] so harness binaries
+//! can export JSON.
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches here import it from
+/// `std::hint`, but keep the alias for API parity).
+pub use std::hint::black_box;
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` when grouped).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+/// Drains the results collected so far in this process.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("results lock"))
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("BATSCHED_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { text: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    median_ns: Option<f64>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, recording the median time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in ~5 ms?
+        let calib_start = Instant::now();
+        black_box(f());
+        let one = calib_start.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            (Duration::from_millis(5).as_nanos() / one.as_nanos()).clamp(1, 100_000) as usize;
+
+        let samples = if quick_mode() {
+            self.samples.min(10)
+        } else {
+            self.samples
+        };
+        let mut timings: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            timings.push(start.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        timings.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.median_ns = Some(timings[timings.len() / 2]);
+    }
+}
+
+fn run_bench(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        median_ns: None,
+        samples,
+    };
+    f(&mut b);
+    let median_ns = b.median_ns.unwrap_or(f64::NAN);
+    println!("bench: {name:<50} median {median_ns:>14.1} ns/iter");
+    RESULTS.lock().expect("results lock").push(BenchResult {
+        name: name.to_string(),
+        median_ns,
+        samples,
+    });
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, self.default_samples, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(&format!("{}/{}", self.name, id.text), self.samples, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.text);
+        run_bench(&name, self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in this shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! `proptest!` macro with an optional `#![proptest_config(...)]` header,
+//! range and tuple strategies, `prop::collection::vec`, `any::<T>()`,
+//! `prop_map`, and the `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Unlike real proptest there is no shrinking: failures report the panic
+//! from the failing case directly. Generation is deterministic — each test
+//! derives its RNG seed from the test's name, so failures reproduce.
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use std::ops::Range;
+
+pub use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// Derives a stable 64-bit seed from a test name.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(usize, u8, u16, u32, u64, f32, f64);
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+
+    fn generate(&self, rng: &mut TestRng) -> i32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        let off = rng.gen_range(0..span);
+        (self.start as i64 + off as i64) as i32
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_range(0..=u64::MAX)
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_range(0..=u32::MAX)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Sub-strategies namespaced like the real crate (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng as _;
+
+        /// Accepted size specifications for [`vec`].
+        pub struct SizeRange(std::ops::Range<usize>);
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                Self(r)
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self(n..n + 1)
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Generates vectors of `element` values.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into().0,
+            }
+        }
+    }
+}
+
+/// Everything a property-test file normally imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts inside a property; on failure the failing case panics with the
+/// formatted message (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// The `proptest!` block: wraps each contained function in a loop drawing
+/// its arguments from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = <$crate::TestRng as $crate::SeedableRng>::seed_from_u64(
+                $crate::seed_of(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                // Bodies may `return Ok(())` to skip a case, like real
+                // proptest; assertions panic directly (no shrinking).
+                let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__e) = __outcome {
+                    panic!("property rejected the case: {__e}");
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,122 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small slice of the rayon API this workspace uses —
+//! `into_par_iter().map(f).collect::<Vec<_>>()` over ranges and vectors —
+//! on top of `std::thread::scope`. Items are split into one ordered chunk
+//! per available core; results preserve input order. On a single-core
+//! machine the work degenerates to a sequential loop with no thread spawn.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Commonly imported names, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Starts a parallel pipeline over `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator (this shim is eager at `map`).
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+/// A mapped pipeline, ready to collect.
+pub struct ParMapped<R: Send> {
+    results: Vec<R>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item across all available cores, preserving
+    /// input order. Executes eagerly (unlike real rayon, which is lazy);
+    /// the observable behaviour of `map(...).collect()` is identical.
+    pub fn map<R, F>(self, f: F) -> ParMapped<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(self.items.len().max(1));
+        if threads <= 1 {
+            return ParMapped {
+                results: self.items.into_iter().map(f).collect(),
+            };
+        }
+
+        let mut chunked: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let chunk_len = self.items.len().div_ceil(threads);
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(chunk_len.min(items.len()));
+            chunked.push(std::mem::replace(&mut items, rest));
+        }
+
+        let f = &f;
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(chunked.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunked
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("parallel worker panicked"));
+            }
+        });
+        ParMapped {
+            results: results.into_iter().flatten().collect(),
+        }
+    }
+}
+
+impl<R: Send> ParMapped<R> {
+    /// Gathers the mapped results, preserving input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let out: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_vecs_and_empty_inputs() {
+        let out: Vec<String> = vec!["a", "b"].into_par_iter().map(str::to_owned).collect();
+        assert_eq!(out, vec!["a".to_string(), "b".to_string()]);
+        let empty: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+    }
+}

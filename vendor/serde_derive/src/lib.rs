@@ -1,0 +1,561 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses, parsing the item's token stream by
+//! hand (no `syn`/`quote` available offline):
+//!
+//! * named-field structs → JSON objects;
+//! * single-field tuple structs → transparent (the inner value);
+//! * multi-field tuple structs → JSON arrays;
+//! * unit structs → `null`;
+//! * enums: unit variants → strings, data variants → `{"Variant": payload}`;
+//! * container attributes `#[serde(transparent)]` and
+//!   `#[serde(try_from = "T", into = "T")]`.
+//!
+//! Generics are not supported (the workspace derives on concrete types
+//! only).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ model
+
+struct Field {
+    name: String,
+    ty: String,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    let mut transparent = false;
+    let mut try_from = None;
+    let mut into = None;
+
+    // Leading attributes (doc comments, serde container attributes, ...).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g.stream(), &mut transparent, &mut try_from, &mut into);
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "the vendored serde derive does not support generic type `{name}`"
+        );
+    }
+
+    let shape = if keyword == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        }
+    } else if keyword == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        }
+    } else {
+        panic!("cannot derive serde impls for `{keyword} {name}`");
+    };
+
+    Item {
+        name,
+        shape,
+        transparent,
+        try_from,
+        into,
+    }
+}
+
+fn parse_serde_attr(
+    stream: TokenStream,
+    transparent: &mut bool,
+    try_from: &mut Option<String>,
+    into: &mut Option<String>,
+) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    // Looking for: serde ( ... )
+    let [TokenTree::Ident(id), TokenTree::Group(g)] = &tokens[..] else {
+        return;
+    };
+    if id.to_string() != "serde" {
+        return;
+    }
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0usize;
+    while j < inner.len() {
+        if let TokenTree::Ident(key) = &inner[j] {
+            match key.to_string().as_str() {
+                "transparent" => *transparent = true,
+                "try_from" | "into" => {
+                    let is_try_from = key.to_string() == "try_from";
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (inner.get(j + 1), inner.get(j + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let text = lit.to_string();
+                            let ty = text.trim_matches('"').to_string();
+                            if is_try_from {
+                                *try_from = Some(ty);
+                            } else {
+                                *into = Some(ty);
+                            }
+                            j += 2;
+                        }
+                    }
+                }
+                other => panic!("unsupported serde attribute `{other}`"),
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Skips attributes and visibility at `*i`, returning whether tokens remain.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            Some(_) => return true,
+            None => return false,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while skip_attrs_and_vis(&tokens, &mut i) {
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other}"),
+        }
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            ty.push_str(&tokens[i].to_string());
+            ty.push(' ');
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            ty: ty.trim().to_string(),
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if idx + 1 == tokens.len() {
+                        trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while skip_attrs_and_vis(&tokens, &mut i) {
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.into {
+        format!(
+            "let __raw: {into} = ::std::clone::Clone::clone(self).into();\n\
+             ::serde::Serialize::to_value(&__raw)"
+        )
+    } else {
+        match &item.shape {
+            Shape::Named(fields) if item.transparent && fields.len() == 1 => {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            }
+            Shape::Named(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{0}\"), \
+                             ::serde::Serialize::to_value(&self.{0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::serde::json::Value::Obj(::std::vec![{}])",
+                    entries.join(", ")
+                )
+            }
+            Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::Tuple(n) => {
+                let entries: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!(
+                    "::serde::json::Value::Arr(::std::vec![{}])",
+                    entries.join(", ")
+                )
+            }
+            Shape::Unit => "::serde::json::Value::Null".to_string(),
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vn = &v.name;
+                        match &v.kind {
+                            VariantKind::Unit => format!(
+                                "{name}::{vn} => ::serde::json::Value::Str(\
+                                 ::std::string::String::from(\"{vn}\")),"
+                            ),
+                            VariantKind::Named(fields) => {
+                                let binds: Vec<String> =
+                                    fields.iter().map(|f| f.name.clone()).collect();
+                                let entries: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "(::std::string::String::from(\"{0}\"), \
+                                             ::serde::Serialize::to_value({0}))",
+                                            f.name
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{name}::{vn} {{ {binds} }} => \
+                                     ::serde::json::Value::Obj(::std::vec![\
+                                     (::std::string::String::from(\"{vn}\"), \
+                                     ::serde::json::Value::Obj(::std::vec![{entries}]))]),",
+                                    binds = binds.join(", "),
+                                    entries = entries.join(", ")
+                                )
+                            }
+                            VariantKind::Tuple(n) => {
+                                let binds: Vec<String> =
+                                    (0..*n).map(|k| format!("__f{k}")).collect();
+                                let payload = if *n == 1 {
+                                    "::serde::Serialize::to_value(__f0)".to_string()
+                                } else {
+                                    let entries: Vec<String> = binds
+                                        .iter()
+                                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                        .collect();
+                                    format!(
+                                        "::serde::json::Value::Arr(::std::vec![{}])",
+                                        entries.join(", ")
+                                    )
+                                };
+                                format!(
+                                    "{name}::{vn}({binds}) => \
+                                     ::serde::json::Value::Obj(::std::vec![\
+                                     (::std::string::String::from(\"{vn}\"), {payload})]),",
+                                    binds = binds.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{\n{}\n}}", arms.join("\n"))
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(try_from) = &item.try_from {
+        format!(
+            "let __raw: {try_from} = ::serde::Deserialize::from_value(__v)?;\n\
+             ::std::convert::TryFrom::try_from(__raw)\
+             .map_err(::serde::json::Error::custom_display)"
+        )
+    } else {
+        match &item.shape {
+            Shape::Named(fields) if item.transparent && fields.len() == 1 => {
+                format!(
+                    "::std::result::Result::Ok({name} {{ {0}: \
+                     ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0].name
+                )
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{0}: ::serde::json::field::<{1}>(__obj, \"{0}\")?",
+                            f.name, f.ty
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __obj = __v.as_obj().ok_or_else(|| \
+                     ::serde::json::Error::custom(\"expected object for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            Shape::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Shape::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                    .collect();
+                format!(
+                    "let __items = match __v {{\n\
+                     ::serde::json::Value::Arr(items) if items.len() == {n} => items,\n\
+                     _ => return ::std::result::Result::Err(\
+                     ::serde::json::Error::custom(\"expected {n}-element array for {name}\")),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                )
+            }
+            Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            Shape::Enum(variants) => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| matches!(v.kind, VariantKind::Unit))
+                    .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                    .collect();
+                let data_arms: Vec<String> = variants
+                    .iter()
+                    .filter_map(|v| {
+                        let vn = &v.name;
+                        match &v.kind {
+                            VariantKind::Unit => None,
+                            VariantKind::Named(fields) => {
+                                let inits: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "{0}: ::serde::json::field::<{1}>(__payload_obj, \"{0}\")?",
+                                            f.name, f.ty
+                                        )
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "\"{vn}\" => {{\n\
+                                     let __payload_obj = __payload.as_obj().ok_or_else(|| \
+                                     ::serde::json::Error::custom(\
+                                     \"expected object payload for {name}::{vn}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\n}}",
+                                    inits.join(", ")
+                                ))
+                            }
+                            VariantKind::Tuple(1) => Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok(\
+                                 {name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                            )),
+                            VariantKind::Tuple(n) => {
+                                let inits: Vec<String> = (0..*n)
+                                    .map(|k| {
+                                        format!(
+                                            "::serde::Deserialize::from_value(&__payload_items[{k}])?"
+                                        )
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "\"{vn}\" => {{\n\
+                                     let __payload_items = match __payload {{\n\
+                                     ::serde::json::Value::Arr(items) if items.len() == {n} => items,\n\
+                                     _ => return ::std::result::Result::Err(\
+                                     ::serde::json::Error::custom(\
+                                     \"expected array payload for {name}::{vn}\")),\n\
+                                     }};\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n}}",
+                                    inits.join(", ")
+                                ))
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                     ::serde::json::Value::Str(__s) => match __s.as_str() {{\n\
+                     {unit}\n\
+                     _ => ::std::result::Result::Err(::serde::json::Error::custom(\
+                     \"unknown variant of {name}\")),\n\
+                     }},\n\
+                     ::serde::json::Value::Obj(__entries) if __entries.len() == 1 => {{\n\
+                     let (__tag, __payload) = &__entries[0];\n\
+                     match __tag.as_str() {{\n\
+                     {data}\n\
+                     _ => ::std::result::Result::Err(::serde::json::Error::custom(\
+                     \"unknown variant of {name}\")),\n\
+                     }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::json::Error::custom(\
+                     \"expected enum representation for {name}\")),\n\
+                     }}",
+                    unit = unit_arms.join("\n"),
+                    data = data_arms.join("\n"),
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::json::Value) -> \
+         ::std::result::Result<Self, ::serde::json::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

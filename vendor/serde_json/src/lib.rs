@@ -1,0 +1,73 @@
+//! Offline stand-in for the `serde_json` crate, backed by the vendored
+//! `serde` shim's JSON value model.
+
+pub use serde::json::{Error, Value};
+
+/// Serializes a value as compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the shapes this workspace serializes; the `Result` is
+/// kept for API compatibility with the real crate.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::json::write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value as two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails for the shapes this workspace serializes.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::json::write_pretty(&value.to_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Parses a value from a JSON document.
+///
+/// # Errors
+///
+/// Syntax errors and shape mismatches are reported with a message.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::json::parse(s)?;
+    T::from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_collections() {
+        let v: Vec<(usize, f64)> = vec![(1, 2.5), (3, 4.0)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[1,2.5],[3,4]]");
+        let back: Vec<(usize, f64)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<f64>("1.5 x").is_err());
+        assert!(from_str::<f64>("[1").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = String::from("a\"b\\c\nd\té");
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn options_handle_null_and_missing() {
+        let some: Option<f64> = from_str("2.5").unwrap();
+        assert_eq!(some, Some(2.5));
+        let none: Option<f64> = from_str("null").unwrap();
+        assert_eq!(none, None);
+    }
+}
