@@ -1,8 +1,54 @@
 #!/usr/bin/env bash
-# CI pipeline: formatting, lints, build, tests (both feature configs), and
-# the perf-trajectory snapshot. Mirrors the recipes in ./justfile.
+# CI pipeline: formatting, lints, build, tests (both feature configs),
+# example compile-check, the service smoke test (daemon + loadgen burst),
+# and the perf/service snapshots. Mirrors the recipes in ./justfile.
+#
+# `./ci.sh serve-smoke` runs only the daemon smoke test (used by
+# `just serve-smoke`).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+serve_smoke() {
+  echo "==> service smoke (daemon + loadgen burst)"
+  cargo build --release -q -p batsched-cli -p batsched-bench
+  local log
+  log="$(mktemp)"
+  ./target/release/batsched serve --http 127.0.0.1:0 2> "$log" &
+  local pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$log" | head -1 || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "daemon did not announce an address; log:" >&2
+    cat "$log" >&2
+    kill "$pid" 2> /dev/null || true
+    wait "$pid" 2> /dev/null || true
+    rm -f "$log"
+    exit 1
+  fi
+  # Fires a schedule request (asserts 2xx + valid body), a malformed one
+  # (asserts typed 4xx), reads stats, then requests shutdown. On failure,
+  # never leave the daemon orphaned.
+  if ! ./target/release/loadgen --smoke --addr "$addr"; then
+    echo "smoke burst failed; daemon log:" >&2
+    cat "$log" >&2
+    kill "$pid" 2> /dev/null || true
+    wait "$pid" 2> /dev/null || true
+    rm -f "$log"
+    exit 1
+  fi
+  wait "$pid"
+  echo "daemon shut down cleanly"
+  rm -f "$log"
+}
+
+if [ "${1:-}" = "serve-smoke" ]; then
+  serve_smoke
+  exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -16,13 +62,21 @@ cargo clippy --workspace --all-targets --features parallel -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --release --examples (compile-check examples/)"
+cargo build --release --examples
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
 echo "==> cargo test (workspace, parallel feature)"
 cargo test --workspace -q --features parallel
 
+serve_smoke
+
 echo "==> perf snapshot (BENCH_scheduler.json)"
 cargo run --release -q -p batsched-bench --bin repro_bench_json
+
+echo "==> service load snapshot (BENCH_service.json)"
+cargo run --release -q -p batsched-bench --bin loadgen -- --quick
 
 echo "CI OK"

@@ -19,7 +19,7 @@
 
 use crate::model::BatteryModel;
 use crate::profile::LoadProfile;
-use crate::units::{MilliAmpMinutes, Minutes};
+use crate::units::{MilliAmpMinutes, MilliAmps, Minutes};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -157,6 +157,135 @@ impl KibamModel {
     pub fn available_head(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes {
         MilliAmpMinutes::new(self.wells_at(profile, at).y1 / self.c)
     }
+
+    /// Starts an incremental integrator from a fresh battery at `t = 0`.
+    /// The stepper-based [`BatteryModel::apparent_charge_sweep`] and
+    /// [`BatteryModel::lifetime`] overrides below are built on it; it is
+    /// public so request-serving code can march arbitrary load streams
+    /// without re-integrating the prefix on every query.
+    pub fn stepper(&self) -> KibamStepper {
+        KibamStepper::new(self)
+    }
+
+    /// The available-well level below which a battery of rated `capacity`
+    /// counts as dead: apparent charge `alpha − y1/c >= capacity`.
+    fn dead_y1(&self, capacity: MilliAmpMinutes) -> f64 {
+        self.c * (self.alpha.value() - capacity.value())
+    }
+}
+
+/// Incremental KiBaM integrator: carries the two-well state forward one
+/// constant-current segment at a time, in closed form (no numeric drift —
+/// splitting a segment into sub-steps composes exactly).
+///
+/// This is the KiBaM analogue of the RV model's `sigma_sweep`: where
+/// [`KibamModel::apparent_charge`] re-integrates the whole profile from
+/// `t = 0` on every call (O(K) exponentials per query), a stepper pays one
+/// exponential per *advance* and remembers where it is.
+///
+/// ```
+/// use batsched_battery::kibam::KibamModel;
+/// use batsched_battery::units::{MilliAmpMinutes, MilliAmps, Minutes};
+///
+/// let m = KibamModel::new(0.5, 0.05, MilliAmpMinutes::new(10_000.0)).unwrap();
+/// let mut s = m.stepper();
+/// s.advance(MilliAmps::new(400.0), Minutes::new(10.0));
+/// s.advance(MilliAmps::ZERO, Minutes::new(50.0)); // rest: recovery
+/// assert_eq!(s.time(), Minutes::new(60.0));
+/// assert!(s.apparent_charge().value() >= 4_000.0 - 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KibamStepper {
+    model: KibamModel,
+    wells: Wells,
+    clock: f64,
+}
+
+impl KibamStepper {
+    /// Fresh battery at `t = 0`.
+    pub fn new(model: &KibamModel) -> Self {
+        let a = model.alpha.value();
+        Self {
+            model: model.clone(),
+            wells: Wells {
+                y1: model.c * a,
+                y2: (1.0 - model.c) * a,
+            },
+            clock: 0.0,
+        }
+    }
+
+    /// The instant the stepper has integrated up to.
+    pub fn time(&self) -> Minutes {
+        Minutes::new(self.clock)
+    }
+
+    /// Integrates `dt` further minutes of constant `current`. Non-positive
+    /// or non-finite `dt` is a no-op (the state never goes backwards).
+    pub fn advance(&mut self, current: MilliAmps, dt: Minutes) {
+        if dt.is_finite() && dt.value() > 0.0 {
+            self.wells = self.model.step(self.wells, current.value(), dt.value());
+            self.clock += dt.value();
+        }
+    }
+
+    /// Available-well head `h1` at the current instant (fresh = `alpha`).
+    pub fn available_head(&self) -> MilliAmpMinutes {
+        MilliAmpMinutes::new(self.wells.y1 / self.model.c)
+    }
+
+    /// Apparent charge `alpha − h1` at the current instant.
+    pub fn apparent_charge(&self) -> MilliAmpMinutes {
+        self.model.alpha - self.available_head()
+    }
+}
+
+/// One constant-current stretch of a profile (loaded interval, inter-interval
+/// gap, or trailing rest), produced by [`segments_of`].
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start: f64,
+    len: f64,
+    current: f64,
+}
+
+/// Flattens a profile into contiguous constant-current segments covering
+/// `[0, until]`: loaded intervals, explicit zero-current gaps between them,
+/// and a final rest up to `until` (usually `profile.end()`).
+fn segments_of(profile: &LoadProfile, until: f64) -> Vec<Segment> {
+    let mut segs = Vec::with_capacity(profile.len() * 2 + 1);
+    let mut clock = 0.0;
+    for iv in profile.intervals() {
+        let start = iv.start.value();
+        if start >= until {
+            break;
+        }
+        if start > clock {
+            segs.push(Segment {
+                start: clock,
+                len: start - clock,
+                current: 0.0,
+            });
+            clock = start;
+        }
+        let len = (iv.end().value().min(until) - clock).max(0.0);
+        if len > 0.0 {
+            segs.push(Segment {
+                start: clock,
+                len,
+                current: iv.current.value(),
+            });
+            clock += len;
+        }
+    }
+    if until > clock {
+        segs.push(Segment {
+            start: clock,
+            len: until - clock,
+            current: 0.0,
+        });
+    }
+    segs
 }
 
 impl BatteryModel for KibamModel {
@@ -168,6 +297,109 @@ impl BatteryModel for KibamModel {
 
     fn name(&self) -> &'static str {
         "kibam"
+    }
+
+    /// Single-pass sweep via [`KibamStepper`]: ascending sample times cost
+    /// O(K + S) closed-form steps total instead of the default's O(K · S)
+    /// re-integrations. Out-of-order samples fall back to the per-call path.
+    fn apparent_charge_sweep(
+        &self,
+        profile: &LoadProfile,
+        times: &[Minutes],
+    ) -> Vec<MilliAmpMinutes> {
+        let mut stepper = self.stepper();
+        // One flattening of the profile shared with `lifetime` below.
+        let until = times
+            .iter()
+            .filter(|t| t.is_finite())
+            .map(|t| t.value())
+            .fold(profile.end().value(), f64::max);
+        let segs = segments_of(profile, until);
+        let mut idx = 0usize;
+        times
+            .iter()
+            .map(|&t| {
+                let target = t.value();
+                if !target.is_finite() || target < stepper.clock {
+                    // Out-of-contract sample (unsorted or non-finite):
+                    // random access, identical to the per-call path.
+                    return self.apparent_charge(profile, t);
+                }
+                while stepper.clock < target {
+                    let before = stepper.clock;
+                    if let Some(seg) = segs.get(idx) {
+                        let seg_end = seg.start + seg.len;
+                        let dt = seg_end.min(target) - stepper.clock;
+                        stepper.advance(MilliAmps::new(seg.current), Minutes::new(dt));
+                        // Advance to the next segment when this one is
+                        // exhausted — or when float underflow made no
+                        // progress, so the loop always terminates.
+                        if stepper.clock >= seg_end || stepper.clock <= before {
+                            idx += 1;
+                        }
+                    } else {
+                        // Beyond every segment: rest to the sample time.
+                        stepper.advance(MilliAmps::ZERO, Minutes::new(target - stepper.clock));
+                        break;
+                    }
+                }
+                stepper.apparent_charge()
+            })
+            .collect()
+    }
+
+    /// Incremental lifetime: marches the profile segment by segment carrying
+    /// the two-well state, so each in-segment probe is a *single* closed-form
+    /// step from the segment's start instead of a full re-integration —
+    /// O(K + S) exponentials versus the default scan's O(K · S). The crossing
+    /// is sampled at the default scan's density and refined by bisection.
+    fn lifetime(&self, profile: &LoadProfile, capacity: MilliAmpMinutes) -> Option<Minutes> {
+        let end = profile.end();
+        if end == Minutes::ZERO {
+            return None;
+        }
+        let dead_y1 = self.dead_y1(capacity);
+        let mut wells = Wells {
+            y1: self.c * self.alpha.value(),
+            y2: (1.0 - self.c) * self.alpha.value(),
+        };
+        if wells.y1 <= dead_y1 {
+            return Some(Minutes::ZERO);
+        }
+        let total = end.value();
+        for seg in segments_of(profile, total) {
+            // Match the default scan's sampling density within the segment.
+            let samples = ((seg.len / total) * crate::model::LIFETIME_SCAN_STEPS as f64).ceil();
+            let samples = (samples as usize).clamp(8, crate::model::LIFETIME_SCAN_STEPS);
+            let step = seg.len / samples as f64;
+            let mut prev_dt = 0.0;
+            for k in 1..=samples {
+                let dt = if k == samples {
+                    seg.len
+                } else {
+                    step * k as f64
+                };
+                let probe = self.step(wells, seg.current, dt);
+                if probe.y1 <= dead_y1 {
+                    // First dead sample: bisect (prev_dt, dt] from the
+                    // segment-start state — each probe is one step call.
+                    let mut lo = prev_dt;
+                    let mut hi = dt;
+                    for _ in 0..crate::model::BISECTION_ITERS {
+                        let mid = 0.5 * (lo + hi);
+                        if self.step(wells, seg.current, mid).y1 <= dead_y1 {
+                            hi = mid;
+                        } else {
+                            lo = mid;
+                        }
+                    }
+                    return Some(Minutes::new(seg.start + hi));
+                }
+                prev_dt = dt;
+            }
+            wells = self.step(wells, seg.current, seg.len);
+        }
+        None
     }
 }
 
@@ -263,6 +495,147 @@ mod tests {
         assert!(lt_heavy < lt_light);
         // Heavier-than-rated load dies before the ideal-battery prediction.
         assert!(lt_heavy < cap.value() / 500.0);
+    }
+
+    /// Delegates `apparent_charge` only, so the *default* trait `lifetime`
+    /// and `apparent_charge_sweep` run — the reference the incremental
+    /// overrides are checked against.
+    struct GenericKibam<'a>(&'a KibamModel);
+    impl BatteryModel for GenericKibam<'_> {
+        fn apparent_charge(&self, profile: &LoadProfile, at: Minutes) -> MilliAmpMinutes {
+            self.0.apparent_charge(profile, at)
+        }
+        fn name(&self) -> &'static str {
+            "kibam-generic"
+        }
+    }
+
+    fn mixed_profile() -> LoadProfile {
+        let mut p = LoadProfile::new();
+        p.push(min(5.0), ma(300.0)).unwrap();
+        p.push_rest(min(7.0)).unwrap();
+        p.push(min(10.0), ma(450.0)).unwrap();
+        p.push(min(3.0), ma(80.0)).unwrap();
+        p.push_rest(min(15.0)).unwrap();
+        p
+    }
+
+    #[test]
+    fn stepper_substeps_compose_exactly() {
+        let m = model();
+        let mut one = m.stepper();
+        one.advance(ma(250.0), min(8.0));
+        let mut many = m.stepper();
+        for _ in 0..16 {
+            many.advance(ma(250.0), min(0.5));
+        }
+        assert_eq!(one.time(), many.time());
+        assert!(
+            (one.apparent_charge().value() - many.apparent_charge().value()).abs() < 1e-8,
+            "closed-form steps must compose"
+        );
+        // Non-positive advances are no-ops.
+        let before = many.apparent_charge();
+        many.advance(ma(100.0), min(0.0));
+        many.advance(ma(100.0), min(-3.0));
+        many.advance(ma(100.0), min(f64::NAN));
+        assert_eq!(many.apparent_charge(), before);
+    }
+
+    #[test]
+    fn stepper_matches_random_access_path() {
+        let m = model();
+        let p = mixed_profile();
+        let mut s = m.stepper();
+        s.advance(ma(300.0), min(5.0));
+        s.advance(ma(0.0), min(7.0));
+        s.advance(ma(450.0), min(4.5));
+        let direct = m.apparent_charge(&p, min(16.5)).value();
+        assert!((s.apparent_charge().value() - direct).abs() < 1e-8);
+    }
+
+    #[test]
+    fn sweep_override_matches_per_call_integration() {
+        let m = model();
+        let p = mixed_profile();
+        let times: Vec<Minutes> = (0..=80).map(|k| min(k as f64 * 0.5)).collect();
+        let swept = m.apparent_charge_sweep(&p, &times);
+        for (t, got) in times.iter().zip(&swept) {
+            let want = m.apparent_charge(&p, *t).value();
+            assert!(
+                (got.value() - want).abs() < 1e-8,
+                "t={t}: sweep {got} vs direct {want}"
+            );
+        }
+        // Mid-interval and boundary-exact sample times both covered above
+        // (intervals start at 0, 12, 22 and times step by 0.5).
+    }
+
+    #[test]
+    fn sweep_override_tolerates_unsorted_and_nonfinite_grids() {
+        let m = model();
+        let p = mixed_profile();
+        let times = [min(20.0), min(3.0), min(f64::INFINITY), min(35.0), min(1.0)];
+        let swept = m.apparent_charge_sweep(&p, &times);
+        for (t, got) in times.iter().zip(&swept) {
+            let want = m.apparent_charge(&p, *t).value();
+            // The per-call path yields NaN at t = ∞ (0·∞ in the closed
+            // form); the contract is only that the sweep matches it.
+            assert!(
+                (got.value() - want).abs() < 1e-8 || (got.value().is_nan() && want.is_nan()),
+                "t={t}: sweep {got} vs direct {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_lifetime_matches_generic_scan() {
+        let m = model();
+        // Capacities from instantly-fatal to survives-everything.
+        let p = LoadProfile::from_steps([
+            (min(300.0), ma(400.0)),
+            (min(100.0), ma(0.0)),
+            (min(400.0), ma(500.0)),
+        ])
+        .unwrap();
+        for cap in [2_000.0, 10_000.0, 40_000.0, 120_000.0, 500_000.0] {
+            let fast = m.lifetime(&p, MilliAmpMinutes::new(cap));
+            let slow = GenericKibam(&m).lifetime(&p, MilliAmpMinutes::new(cap));
+            match (fast, slow) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!(
+                    (a.value() - b.value()).abs() < 1e-4,
+                    "cap {cap}: incremental {a} vs generic {b}"
+                ),
+                other => panic!("cap {cap}: disagree on survival: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_lifetime_death_during_recovery_gap_matches_generic() {
+        // Death can also occur mid-rest never happens (apparent falls at
+        // rest) — but a *later light interval* after deep discharge is the
+        // tricky non-monotone case; check it agrees with the generic scan.
+        let m = model();
+        let p = LoadProfile::from_steps([
+            (min(200.0), ma(480.0)),
+            (min(50.0), ma(0.0)),
+            (min(2_000.0), ma(60.0)),
+        ])
+        .unwrap();
+        for cap in [60_000.0, 90_000.0, 150_000.0] {
+            let fast = m.lifetime(&p, MilliAmpMinutes::new(cap));
+            let slow = GenericKibam(&m).lifetime(&p, MilliAmpMinutes::new(cap));
+            match (fast, slow) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!(
+                    (a.value() - b.value()).abs() < 1e-3,
+                    "cap {cap}: incremental {a} vs generic {b}"
+                ),
+                other => panic!("cap {cap}: disagree on survival: {other:?}"),
+            }
+        }
     }
 
     #[test]

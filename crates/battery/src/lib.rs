@@ -42,7 +42,7 @@ pub mod units;
 
 pub use eval::{SigmaEvaluator, SigmaScratch};
 pub use ideal::CoulombCounter;
-pub use kibam::KibamModel;
+pub use kibam::{KibamModel, KibamStepper};
 pub use model::BatteryModel;
 pub use peukert::PeukertModel;
 pub use profile::{Interval, LoadProfile, ProfileError};

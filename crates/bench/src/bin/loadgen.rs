@@ -1,0 +1,427 @@
+//! Load generator for the batch-scheduling service.
+//!
+//! Default mode drives an in-process [`batsched_service::Service`] with
+//! four mixed scenario streams and writes throughput/latency percentiles
+//! to `BENCH_service.json`:
+//!
+//! * **paper** — the DATE'05 G2/G3 instances across their published
+//!   deadlines (all unique → every request is a cold solve);
+//! * **synthetic** — a layered-DAG grid, n ∈ {12..48} × m ∈ {2..8};
+//! * **dup** — a duplicate-heavy stream (each unique request repeated
+//!   10×), separating cold-solve from cache-hit latency; the run fails if
+//!   the hit path is not ≥ 10× faster than the cold path;
+//! * **malformed** — broken/hostile documents; the run fails unless every
+//!   one is answered with a *typed* error (the daemon must never panic).
+//!
+//! Flags: `--quick` shrinks the grids (CI mode); `--smoke --addr
+//! <host:port>` switches to HTTP-client mode against a running daemon —
+//! it fires a schedule request, checks a 2xx + valid body, reads the
+//! stats endpoint and then requests shutdown (the ci.sh smoke test).
+
+use batsched_service::wire::DEFAULT_MAX_ITERATIONS;
+use batsched_service::{
+    Disposition, ErrorResponse, ModelSpec, ScheduleRequest, ScheduleResponse, Service,
+    ServiceConfig,
+};
+use batsched_taskgraph::analysis::{max_makespan, min_makespan};
+use batsched_taskgraph::paper::{g2, g3, G2_TABLE4_DEADLINES, G3_TABLE4_DEADLINES};
+use batsched_taskgraph::synth::{layered, Rounding, ScalingScheme, TaskParams};
+use batsched_taskgraph::TaskGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn synth_graph(n: usize, m: usize, seed: u64) -> TaskGraph {
+    let width = 4usize;
+    let layers = n.div_ceil(width).max(2);
+    let params = TaskParams {
+        current_range: (100.0, 900.0),
+        duration_range: (2.0, 12.0),
+        factors: (0..m)
+            .map(|j| 1.0 - 0.67 * j as f64 / (m - 1) as f64)
+            .collect(),
+        scheme: ScalingScheme::ReversedDuration,
+        rounding: Rounding::PAPER,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    layered(layers, width, 0.35, &params, &mut rng).expect("valid generator config")
+}
+
+fn loose_deadline(g: &TaskGraph) -> f64 {
+    let lo = min_makespan(g).value();
+    let hi = max_makespan(g).value();
+    lo + (hi - lo) * 0.7
+}
+
+fn body_for(g: &TaskGraph, deadline: f64) -> String {
+    serde_json::to_string(&ScheduleRequest::new(g.clone(), deadline)).expect("serialises")
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+#[derive(Debug, Serialize)]
+struct StreamReport {
+    requests: usize,
+    ok: usize,
+    errors: usize,
+    cache_hits: usize,
+    throughput_rps: f64,
+    p50_us: f64,
+    p90_us: f64,
+    p99_us: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct DupReport {
+    requests: usize,
+    unique: usize,
+    cache_hits: usize,
+    cold_p50_us: f64,
+    hit_p50_us: f64,
+    hit_speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct MalformedReport {
+    requests: usize,
+    typed_errors: usize,
+    unexpected_ok: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchDoc {
+    config: ConfigDoc,
+    paper: StreamReport,
+    synthetic: StreamReport,
+    dup: DupReport,
+    malformed: MalformedReport,
+}
+
+#[derive(Debug, Serialize)]
+struct ConfigDoc {
+    quick: bool,
+    workers: usize,
+    queue_capacity: usize,
+    cache_capacity: usize,
+}
+
+fn fresh_service() -> Service {
+    Service::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 256,
+        cache_capacity: 512,
+    })
+}
+
+/// Runs `bodies` through a fresh service, returning per-request
+/// `(micros, disposition)` in order.
+fn drive(svc: &Service, bodies: &[String]) -> Vec<(f64, Disposition)> {
+    bodies
+        .iter()
+        .map(|b| {
+            let started = Instant::now();
+            let reply = svc.call(b.clone());
+            (
+                started.elapsed().as_nanos() as f64 / 1_000.0,
+                reply.disposition,
+            )
+        })
+        .collect()
+}
+
+fn stream_report(results: &[(f64, Disposition)], total_secs: f64) -> StreamReport {
+    let mut lat: Vec<f64> = results.iter().map(|(us, _)| *us).collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let ok = results
+        .iter()
+        .filter(|(_, d)| matches!(d, Disposition::Ok { .. }))
+        .count();
+    let hits = results
+        .iter()
+        .filter(|(_, d)| matches!(d, Disposition::Ok { cached: true }))
+        .count();
+    StreamReport {
+        requests: results.len(),
+        ok,
+        errors: results.len() - ok,
+        cache_hits: hits,
+        throughput_rps: if total_secs > 0.0 {
+            results.len() as f64 / total_secs
+        } else {
+            0.0
+        },
+        p50_us: percentile(&lat, 0.50),
+        p90_us: percentile(&lat, 0.90),
+        p99_us: percentile(&lat, 0.99),
+    }
+}
+
+fn paper_stream() -> Vec<String> {
+    let mut bodies = Vec::new();
+    for d in G2_TABLE4_DEADLINES {
+        bodies.push(body_for(&g2(), d));
+    }
+    for d in G3_TABLE4_DEADLINES {
+        bodies.push(body_for(&g3(), d));
+    }
+    bodies
+}
+
+fn synthetic_stream(quick: bool) -> Vec<String> {
+    let ns: &[usize] = if quick { &[12, 24] } else { &[12, 24, 36, 48] };
+    let ms: &[usize] = if quick { &[2, 5] } else { &[2, 4, 6, 8] };
+    let mut bodies = Vec::new();
+    for (i, &n) in ns.iter().enumerate() {
+        for (j, &m) in ms.iter().enumerate() {
+            let g = synth_graph(n, m, 0x5EED + (i * ms.len() + j) as u64);
+            bodies.push(body_for(&g, loose_deadline(&g)));
+        }
+    }
+    bodies
+}
+
+fn dup_stream(quick: bool) -> Vec<String> {
+    let unique = if quick { 4 } else { 6 };
+    let repeats = 10usize;
+    let uniques: Vec<String> = (0..unique)
+        .map(|k| {
+            let g = synth_graph(32, 6, 0xD0_0D + k as u64);
+            body_for(&g, loose_deadline(&g))
+        })
+        .collect();
+    // First a cold pass over every unique body, then interleaved repeats —
+    // duplicate-heavy like a fleet of clients asking the same questions.
+    let mut bodies = uniques.clone();
+    for r in 1..repeats {
+        for k in 0..uniques.len() {
+            bodies.push(uniques[(k + r) % uniques.len()].clone());
+        }
+    }
+    bodies
+}
+
+fn malformed_stream() -> Vec<String> {
+    let ok = body_for(&g2(), 75.0);
+    vec![
+        String::new(),
+        "{".into(),
+        "[1,2,3]".into(),
+        "\"just a string\"".into(),
+        ok.replace("\"v\":1", "\"v\":9"),
+        ok.replace("\"deadline\":75", "\"deadline\":-10"),
+        ok.replace("\"deadline\":75", "\"deadline\":1e999"),
+        ok.replace("\"deadline\":75", "\"deadline\":0.001"), // infeasible
+        ok.replace("\"edges\":[", "\"edges\":[[0,1],[0,1],"), // duplicate edge
+        ok.replace("\"edges\":[", "\"edges\":[[7,99],"),     // unknown task
+        ok.replace(
+            "\"model\":null",
+            "\"model\":{\"Kibam\":{\"c\":7.0,\"k\":-1.0,\"alpha\":0.0}}",
+        ),
+        ok.replace("\"model\":null", "\"model\":{\"Unobtainium\":{}}"),
+        ok.replace("\"max_iterations\":null", "\"max_iterations\":0"),
+        ok.replace("\"tasks\":[", "\"tasks\":3,\"was\":["),
+        // A graph with a negative duration smuggled in (G2 task A runs 1.2
+        // minutes at DP1; every 1.2 in the document goes negative).
+        ok.replace("\"duration\":1.2", "\"duration\":-1.2"),
+    ]
+}
+
+fn run_benchmark(quick: bool) {
+    let cfg = ConfigDoc {
+        quick,
+        workers: 2,
+        queue_capacity: 256,
+        cache_capacity: 512,
+    };
+
+    // Paper stream (all unique).
+    let svc = fresh_service();
+    let bodies = paper_stream();
+    let t0 = Instant::now();
+    let results = drive(&svc, &bodies);
+    let paper = stream_report(&results, t0.elapsed().as_secs_f64());
+    svc.shutdown();
+    eprintln!(
+        "paper     : {} reqs, p50 {:.0} µs, p99 {:.0} µs",
+        paper.requests, paper.p50_us, paper.p99_us
+    );
+
+    // Synthetic grid (all unique).
+    let svc = fresh_service();
+    let bodies = synthetic_stream(quick);
+    let t0 = Instant::now();
+    let results = drive(&svc, &bodies);
+    let synthetic = stream_report(&results, t0.elapsed().as_secs_f64());
+    svc.shutdown();
+    eprintln!(
+        "synthetic : {} reqs, p50 {:.0} µs, p99 {:.0} µs",
+        synthetic.requests, synthetic.p50_us, synthetic.p99_us
+    );
+
+    // Duplicate-heavy stream: cold vs hit latency.
+    let svc = fresh_service();
+    let bodies = dup_stream(quick);
+    let results = drive(&svc, &bodies);
+    let mut seen: HashSet<&String> = HashSet::new();
+    let mut cold: Vec<f64> = Vec::new();
+    let mut hit: Vec<f64> = Vec::new();
+    for (body, (us, disposition)) in bodies.iter().zip(&results) {
+        assert!(
+            matches!(disposition, Disposition::Ok { .. }),
+            "dup stream must only contain solvable requests"
+        );
+        if seen.insert(body) {
+            cold.push(*us);
+        } else {
+            hit.push(*us);
+        }
+    }
+    cold.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    hit.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let stats = svc.stats();
+    let dup = DupReport {
+        requests: results.len(),
+        unique: seen.len(),
+        cache_hits: stats.cache_hits as usize,
+        cold_p50_us: percentile(&cold, 0.5),
+        hit_p50_us: percentile(&hit, 0.5),
+        hit_speedup: percentile(&cold, 0.5) / percentile(&hit, 0.5).max(1e-9),
+    };
+    svc.shutdown();
+    eprintln!(
+        "dup       : {} reqs ({} unique), cold p50 {:.0} µs vs hit p50 {:.0} µs → {:.1}×",
+        dup.requests, dup.unique, dup.cold_p50_us, dup.hit_p50_us, dup.hit_speedup
+    );
+    assert!(
+        dup.hit_speedup >= 10.0,
+        "cache-hit path must be ≥ 10× faster than a cold solve, got {:.1}×",
+        dup.hit_speedup
+    );
+    assert_eq!(
+        dup.cache_hits,
+        dup.requests - dup.unique,
+        "every duplicate must be served from the cache"
+    );
+
+    // Malformed stream: typed errors, no panics, daemon stays up.
+    let svc = fresh_service();
+    let bodies = malformed_stream();
+    let results = drive(&svc, &bodies);
+    let mut typed = 0usize;
+    let mut unexpected_ok = 0usize;
+    for (body, (_, disposition)) in bodies.iter().zip(&results) {
+        match disposition {
+            Disposition::Ok { .. } => {
+                eprintln!("UNEXPECTED OK for malformed input: {body}");
+                unexpected_ok += 1;
+            }
+            _ => typed += 1,
+        }
+    }
+    // The daemon must still answer a good request afterwards.
+    let after = svc.call(body_for(&g2(), 75.0));
+    assert!(
+        matches!(after.disposition, Disposition::Ok { .. }),
+        "daemon must survive the malformed stream"
+    );
+    let malformed = MalformedReport {
+        requests: results.len(),
+        typed_errors: typed,
+        unexpected_ok,
+    };
+    svc.shutdown();
+    eprintln!(
+        "malformed : {} reqs, {} typed errors",
+        malformed.requests, malformed.typed_errors
+    );
+    assert_eq!(
+        malformed.unexpected_ok, 0,
+        "malformed inputs must all be rejected with typed errors"
+    );
+
+    let doc = BenchDoc {
+        config: cfg,
+        paper,
+        synthetic,
+        dup,
+        malformed,
+    };
+    let json = serde_json::to_string_pretty(&doc).expect("bench doc serialises");
+    std::fs::write("BENCH_service.json", format!("{json}\n")).expect("write BENCH_service.json");
+    eprintln!("wrote BENCH_service.json");
+}
+
+// ------------------------------------------------------------- smoke mode
+
+fn http_call(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr)
+        .unwrap_or_else(|e| panic!("cannot connect to {addr}: {e}"));
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {raw}"));
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn run_smoke(addr: &str) {
+    let body = body_for(&g2(), 75.0);
+    let (code, payload) = http_call(addr, "POST", "/v1/schedule", &body);
+    assert_eq!(code, 200, "schedule must answer 2xx: {payload}");
+    let resp: ScheduleResponse =
+        serde_json::from_str(&payload).expect("schedule response body parses");
+    assert!(resp.makespan <= 75.0 + 1e-9);
+    assert_eq!(resp.order.len(), 9);
+
+    // A malformed request must come back as a typed 4xx, not kill the daemon.
+    let (code, payload) = http_call(addr, "POST", "/v1/schedule", "{ nope");
+    assert_eq!(code, 400, "{payload}");
+    let err: ErrorResponse = serde_json::from_str(&payload).expect("typed error body");
+    assert_eq!(err.error, "bad_json");
+
+    let (code, payload) = http_call(addr, "GET", "/v1/stats", "");
+    assert_eq!(code, 200);
+    assert!(payload.contains("\"solved\":"), "{payload}");
+
+    let (code, payload) = http_call(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(code, 200, "{payload}");
+    println!("SMOKE OK ({addr})");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // Exercised so the canonical-form constant stays a public contract.
+    let _ = (DEFAULT_MAX_ITERATIONS, ModelSpec::default_rv());
+    if smoke {
+        let addr = args
+            .iter()
+            .position(|a| a == "--addr")
+            .and_then(|i| args.get(i + 1))
+            .expect("--smoke needs --addr <host:port>");
+        run_smoke(addr);
+    } else {
+        run_benchmark(quick);
+    }
+}

@@ -49,12 +49,20 @@ USAGE:
                [--tasks <n>] [--points <m>] [--seed <s>]
   batsched demo <g2|g3>
   batsched dot  <graph.json>
+  batsched serve (--http <addr> | --jsonl)
+               [--workers <n>] [--queue <n>] [--cache <n>]
 
 ALGORITHMS (--algo): khan-vemuri (default), rakhmatov-dp, chowdhury,
                      annealing, random
 
 Graphs are JSON as produced by `gen`/`demo`. Deadlines are minutes; the
-battery cost is the Rakhmatov–Vrudhula apparent charge σ in mA·min.";
+battery cost is the Rakhmatov–Vrudhula apparent charge σ in mA·min.
+
+`serve` runs the batch-scheduling daemon (see docs/SERVICE.md): --jsonl
+answers one request document per stdin line on stdout; --http exposes
+POST /v1/schedule, GET /v1/stats, GET /healthz and POST /v1/shutdown on
+the given address (port 0 picks a free port; the bound address is printed
+to stderr).";
 
 /// Parsed option map: positional args + `--key value` pairs + `--flag`s.
 #[derive(Debug, Default, PartialEq, Eq)]
@@ -102,8 +110,9 @@ impl Opts {
 ///
 /// [`CliError`] when a `--key` that expects a value trails the list.
 pub fn parse_args(args: &[String]) -> Result<Opts, CliError> {
-    const VALUE_OPTS: [&str; 8] = [
-        "deadline", "algo", "beta", "capacity", "family", "tasks", "points", "seed",
+    const VALUE_OPTS: [&str; 12] = [
+        "deadline", "algo", "beta", "capacity", "family", "tasks", "points", "seed", "http",
+        "workers", "queue", "cache",
     ];
     let mut opts = Opts::default();
     let mut it = args.iter().peekable();
@@ -171,6 +180,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
         "gen" => cmd_gen(&opts, out),
         "demo" => cmd_demo(&opts, out),
         "dot" => cmd_dot(&opts, out),
+        "serve" => cmd_serve(&opts, out),
         other => Err(err(format!(
             "unknown command '{other}' (try `batsched help`)"
         ))),
@@ -359,6 +369,62 @@ fn cmd_demo(opts: &Opts, out: &mut String) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses a sizing option (`--workers`, `--queue`, `--cache`).
+fn sizing(opts: &Opts, key: &str, default: usize, min: usize) -> Result<usize, CliError> {
+    let Some(raw) = opts.get(key) else {
+        return Ok(default);
+    };
+    let n: usize = raw
+        .parse()
+        .map_err(|_| err(format!("--{key} expects an integer, got '{raw}'")))?;
+    if n < min {
+        return Err(err(format!("--{key} must be at least {min}")));
+    }
+    Ok(n)
+}
+
+fn cmd_serve(opts: &Opts, out: &mut String) -> Result<(), CliError> {
+    use batsched_service::{HttpServer, Service, ServiceConfig};
+    let cfg = ServiceConfig {
+        workers: sizing(opts, "workers", 2, 1)?,
+        queue_capacity: sizing(opts, "queue", 64, 1)?,
+        cache_capacity: sizing(opts, "cache", 256, 0)?,
+    };
+    match (opts.get("http"), opts.flag("jsonl")) {
+        (Some(addr), false) => {
+            let svc = std::sync::Arc::new(Service::start(cfg));
+            let server = HttpServer::bind(svc.clone(), addr)
+                .map_err(|e| err(format!("cannot bind {addr}: {e}")))?;
+            // Announced on stderr immediately — `out` is only printed after
+            // the daemon exits, and scripts need the resolved port up front.
+            eprintln!("listening on http://{}", server.local_addr());
+            let bound = server.local_addr();
+            server.wait();
+            svc.shutdown();
+            let _ = writeln!(out, "served on http://{bound}; shutdown complete");
+            let _ = writeln!(out, "{}", svc.stats_json());
+            Ok(())
+        }
+        (None, true) => {
+            let svc = Service::start(cfg);
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            let summary = batsched_service::run_jsonl(&svc, stdin.lock(), &mut stdout)
+                .map_err(|e| err(format!("jsonl session failed: {e}")))?;
+            svc.shutdown();
+            // stdout carries only the response stream; the summary goes to
+            // stderr so pipe consumers never see a non-JSON trailer.
+            eprintln!(
+                "served {} requests ({} errors, {} cache hits)",
+                summary.requests, summary.errors, summary.cache_hits
+            );
+            Ok(())
+        }
+        (Some(_), true) => Err(err("serve takes either --http <addr> or --jsonl, not both")),
+        (None, false) => Err(err("serve needs --http <addr> or --jsonl")),
+    }
+}
+
 fn cmd_dot(opts: &Opts, out: &mut String) -> Result<(), CliError> {
     let path = opts
         .positional
@@ -503,6 +569,21 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.0.contains("infeasible"), "{e}");
+    }
+
+    #[test]
+    fn serve_argument_validation() {
+        let mut out = String::new();
+        let e = run(&sv(&["serve"]), &mut out).unwrap_err();
+        assert!(e.0.contains("--http"), "{e}");
+        let e = run(&sv(&["serve", "--http", "x", "--jsonl"]), &mut out).unwrap_err();
+        assert!(e.0.contains("not both"), "{e}");
+        let e = run(&sv(&["serve", "--jsonl", "--workers", "0"]), &mut out).unwrap_err();
+        assert!(e.0.contains("at least 1"), "{e}");
+        let e = run(&sv(&["serve", "--jsonl", "--queue", "soon"]), &mut out).unwrap_err();
+        assert!(e.0.contains("integer"), "{e}");
+        let e = run(&sv(&["serve", "--http", "256.0.0.1:bad"]), &mut out).unwrap_err();
+        assert!(e.0.contains("cannot bind"), "{e}");
     }
 
     #[test]

@@ -62,6 +62,27 @@ pub struct Solution {
     pub trace: Vec<IterationRecord>,
 }
 
+/// Reusable cross-run solver state: the σ-engine scratch and entry-id
+/// buffers one worker carries from one scheduling run to the next.
+///
+/// A fresh [`schedule`] call allocates these buffers internally; services
+/// that answer many requests on long-lived worker threads should hold one
+/// `SolverWorkspace` per worker and call [`schedule_in`], which keeps the
+/// hot path allocation-free *across* requests — the buffers grow to the
+/// largest instance seen and are reused verbatim afterwards (the σ scratch
+/// detects evaluator changes and rebinds itself safely).
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace {
+    buffers: EvalBuffers,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs the paper's full algorithm on `g` with deadline `deadline`.
 ///
 /// # Errors
@@ -89,13 +110,29 @@ pub fn schedule(
     deadline: Minutes,
     config: &SchedulerConfig,
 ) -> Result<Solution, SchedulerError> {
+    schedule_in(g, deadline, config, &mut SolverWorkspace::new())
+}
+
+/// [`schedule`] with caller-owned buffers: identical results, but the
+/// evaluation scratch lives in `ws` and is reused across calls. This is the
+/// entry point for request-serving workers (see [`SolverWorkspace`]).
+///
+/// # Errors
+///
+/// Exactly the errors of [`schedule`].
+pub fn schedule_in(
+    g: &TaskGraph,
+    deadline: Minutes,
+    config: &SchedulerConfig,
+    ws: &mut SolverWorkspace,
+) -> Result<Solution, SchedulerError> {
     config.validate()?;
     if !(deadline.is_finite() && deadline.value() > 0.0) {
         return Err(SchedulerError::InvalidDeadline { deadline });
     }
     let model = config.battery_model()?;
     let ctx = SearchContext::new(g, config, deadline, model);
-    let mut buffers = EvalBuffers::new();
+    let buffers = &mut ws.buffers;
 
     let mut seq = initial_sequence(g, config.initial_weight, config.metric);
     let mut prev_iter_cost = f64::INFINITY;
@@ -103,14 +140,14 @@ pub fn schedule(
     let mut trace: Vec<IterationRecord> = Vec::new();
 
     for _ in 0..config.max_iterations {
-        let (windows, best_idx) = evaluate_windows(&ctx, &seq)?;
+        let (windows, best_idx) = evaluate_windows(&ctx, &seq, buffers)?;
         let assignment = windows[best_idx].assignment.clone();
         let mut min_cost = windows[best_idx].cost.value();
         let mut iter_best_seq = &seq;
         let mut iter_makespan = windows[best_idx].makespan.value();
 
         let wseq = weighted_sequence(g, &assignment);
-        let (wcost, wmk) = ctx.cost_of(&wseq, &assignment, &mut buffers);
+        let (wcost, wmk) = ctx.cost_of(&wseq, &assignment, buffers);
         if wcost.value() < min_cost {
             min_cost = wcost.value();
             iter_best_seq = &wseq;
@@ -260,6 +297,22 @@ mod tests {
         // except where equal-duration ties allow otherwise; check makespan.
         let sol = schedule(&g, Minutes::new(42.2), &paper_cfg()).unwrap();
         assert!((sol.makespan.value() - 42.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workspace_reuse_across_instances_is_bit_identical() {
+        // One long-lived workspace answering alternating instances (the
+        // service-worker pattern) must match fresh-buffer runs exactly.
+        let mut ws = SolverWorkspace::new();
+        let cfg = paper_cfg();
+        let ga = g2();
+        let gb = g3();
+        let a1 = schedule_in(&ga, Minutes::new(75.0), &cfg, &mut ws).unwrap();
+        let b1 = schedule_in(&gb, Minutes::new(230.0), &cfg, &mut ws).unwrap();
+        let a2 = schedule_in(&ga, Minutes::new(75.0), &cfg, &mut ws).unwrap();
+        assert_eq!(a1, schedule(&ga, Minutes::new(75.0), &cfg).unwrap());
+        assert_eq!(b1, schedule(&gb, Minutes::new(230.0), &cfg).unwrap());
+        assert_eq!(a1, a2);
     }
 
     #[test]

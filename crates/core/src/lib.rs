@@ -38,7 +38,7 @@ pub mod schedule;
 pub mod search;
 pub mod sequence;
 
-pub use algorithm::{schedule, IterationRecord, Solution};
+pub use algorithm::{schedule, schedule_in, IterationRecord, Solution, SolverWorkspace};
 pub use config::{FactorMask, InitialWeight, SchedulerConfig};
 pub use error::SchedulerError;
 pub use refine::{refine_schedule, schedule_refined, RefineStats, Refined};
@@ -47,7 +47,7 @@ pub use search::{FactorBreakdown, WindowRecord};
 
 /// Convenient glob-import of the types almost every user needs.
 pub mod prelude {
-    pub use crate::algorithm::{schedule, Solution};
+    pub use crate::algorithm::{schedule, schedule_in, Solution, SolverWorkspace};
     pub use crate::config::{FactorMask, InitialWeight, SchedulerConfig};
     pub use crate::error::SchedulerError;
     pub use crate::schedule::Schedule;

@@ -462,6 +462,7 @@ fn evaluate_one_window(
 pub(crate) fn evaluate_windows(
     ctx: &SearchContext<'_>,
     seq: &[TaskId],
+    buffers: &mut EvalBuffers,
 ) -> Result<(Vec<WindowRecord>, usize), SchedulerError> {
     let m = ctx.m;
     let d = ctx.deadline;
@@ -479,6 +480,8 @@ pub(crate) fn evaluate_windows(
 
     #[cfg(feature = "parallel")]
     let records: Vec<WindowRecord> = {
+        // The parallel path keeps one buffer set per worker thread instead.
+        let _ = &mut *buffers;
         use rayon::prelude::*;
         use std::cell::RefCell;
         // One buffer set per worker thread, reused across windows and
@@ -499,10 +502,9 @@ pub(crate) fn evaluate_windows(
 
     #[cfg(not(feature = "parallel"))]
     let records: Vec<WindowRecord> = {
-        let mut scratch = EvalBuffers::new();
         let mut records = Vec::with_capacity(ws_start + 1);
         for ws in (0..=ws_start).rev() {
-            records.push(evaluate_one_window(ctx, seq, ws, &mut scratch)?);
+            records.push(evaluate_one_window(ctx, seq, ws, buffers)?);
         }
         records
     };
@@ -566,7 +568,7 @@ pub fn diag_evaluate_windows(
     seq: &[TaskId],
 ) -> Result<(Vec<WindowRecord>, usize), SchedulerError> {
     let ctx = SearchContext::new(g, config, deadline, model.clone());
-    evaluate_windows(&ctx, seq)
+    evaluate_windows(&ctx, seq, &mut EvalBuffers::new())
 }
 
 /// Diagnostic entry point: one `CalculateDPF` call on an explicit state.
@@ -792,7 +794,7 @@ mod tests {
         let cfg = SchedulerConfig::default();
         let ctx = ctx_for(&g, 9.0, &cfg); // all-DP1 needs 10 min
         let seq: Vec<TaskId> = (0..5).map(TaskId).collect();
-        let err = evaluate_windows(&ctx, &seq).unwrap_err();
+        let err = evaluate_windows(&ctx, &seq, &mut EvalBuffers::new()).unwrap_err();
         assert!(matches!(err, SchedulerError::DeadlineInfeasible { .. }));
     }
 
@@ -804,7 +806,7 @@ mod tests {
         // ws ∈ {0, 1} are feasible; the paper's loop starts at ws = 1.
         let ctx = ctx_for(&g, 25.0, &cfg);
         let seq: Vec<TaskId> = (0..5).map(TaskId).collect();
-        let (records, best) = evaluate_windows(&ctx, &seq).unwrap();
+        let (records, best) = evaluate_windows(&ctx, &seq, &mut EvalBuffers::new()).unwrap();
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].window_start, PointId(1));
         assert_eq!(records[1].window_start, PointId(0));

@@ -1,0 +1,255 @@
+//! The LRU result cache: canonical-hash → serialised response body, plus a
+//! raw-bytes alias index for the exact-duplicate fast path.
+//!
+//! Entries are complete response documents, so a hit is replayed
+//! bit-identically (property-tested in `tests/service_behaviour.rs`).
+//! Recency is a monotone tick; eviction scans for the minimum, which is
+//! O(len) on insert — at the few-hundred-entry capacities the service runs
+//! with, that is noise next to a single σ-evaluation, and it keeps the
+//! structure dependency-free and obviously correct.
+//!
+//! Two keys per entry:
+//!
+//! * the **canonical key** (hash of the canonicalised request) — computing
+//!   it requires parsing the request, but it unifies every spelling of the
+//!   same question;
+//! * **alias keys** (hash of raw request bytes) — each spelling that has
+//!   hit before maps straight to its canonical entry, so an exact
+//!   duplicate document is answered *without parsing anything*. The alias
+//!   stores the raw document and verifies it byte-for-byte on lookup:
+//!   FNV-1a is unkeyed and trivially collidable, so a hash match alone
+//!   must never replay another request's answer. Aliases may dangle after
+//!   an eviction; a dangling alias is dropped on lookup and the request
+//!   simply takes the parse path. Documents larger than
+//!   [`MAX_ALIAS_DOC_BYTES`] are not aliased (bounding the index's
+//!   memory); they still dedup through the canonical key.
+
+use std::collections::HashMap;
+
+/// A least-recently-used map from content hash to response body.
+#[derive(Debug, Default)]
+pub struct LruCache {
+    cap: usize,
+    tick: u64,
+    map: HashMap<u64, Entry>,
+    /// raw-bytes hash → canonical key. Bounded at [`ALIAS_FACTOR`]× `cap`.
+    aliases: HashMap<u64, Alias>,
+}
+
+/// Alias slots per cache slot (several spellings can point at one entry).
+const ALIAS_FACTOR: usize = 4;
+
+/// Largest request document the alias index will store for byte-exact
+/// verification. Bigger documents skip the fast path (they still dedup
+/// through the canonical key after parsing).
+pub const MAX_ALIAS_DOC_BYTES: usize = 128 * 1024;
+
+#[derive(Debug)]
+struct Entry {
+    body: String,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Alias {
+    canonical: u64,
+    /// The exact raw document this alias stands for — compared on lookup
+    /// so a hash collision can never replay another request's answer.
+    doc: String,
+    last_used: u64,
+}
+
+impl LruCache {
+    /// A cache holding at most `cap` entries; `cap == 0` disables storage.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            tick: 0,
+            map: HashMap::with_capacity(cap.min(1024)),
+            aliases: HashMap::new(),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<String> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|e| {
+            e.last_used = tick;
+            e.body.clone()
+        })
+    }
+
+    /// The fast path: looks the raw document up through the alias index
+    /// (keyed by `raw`, its FNV-1a hash), refreshing recency on both
+    /// levels. The stored document is compared byte-for-byte — a hash
+    /// collision is a miss, never a wrong answer. A dangling alias (its
+    /// entry was evicted) is dropped and reported as a miss.
+    pub fn get_by_alias(&mut self, raw: u64, doc: &str) -> Option<String> {
+        let canonical = match self.aliases.get_mut(&raw) {
+            None => return None,
+            Some(a) if a.doc != doc => return None, // hash collision
+            Some(a) => {
+                a.last_used = self.tick + 1;
+                a.canonical
+            }
+        };
+        match self.get(canonical) {
+            Some(body) => Some(body),
+            None => {
+                self.aliases.remove(&raw);
+                None
+            }
+        }
+    }
+
+    /// Records that the raw document `doc` (hashing to `raw`) spells the
+    /// request cached under `canonical`, evicting the least-recently-used
+    /// alias when the alias index is full. Documents larger than
+    /// [`MAX_ALIAS_DOC_BYTES`] are not recorded.
+    pub fn alias(&mut self, raw: u64, doc: &str, canonical: u64) {
+        if self.cap == 0 || doc.len() > MAX_ALIAS_DOC_BYTES {
+            return;
+        }
+        self.tick += 1;
+        if !self.aliases.contains_key(&raw) && self.aliases.len() >= self.cap * ALIAS_FACTOR {
+            if let Some((&lru, _)) = self.aliases.iter().min_by_key(|(_, a)| a.last_used) {
+                self.aliases.remove(&lru);
+            }
+        }
+        self.aliases.insert(
+            raw,
+            Alias {
+                canonical,
+                doc: doc.to_string(),
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Stores `body` under `key`, evicting the least-recently-used entry
+    /// when full. Overwrites an existing entry for `key`.
+    pub fn insert(&mut self, key: u64, body: String) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, e)| e.last_used) {
+                self.map.remove(&lru);
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                body,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Drops every entry and alias (capacity is kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.aliases.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_overwrite() {
+        let mut c = LruCache::new(4);
+        assert!(c.is_empty());
+        assert_eq!(c.get(1), None);
+        c.insert(1, "one".into());
+        assert_eq!(c.get(1).as_deref(), Some("one"));
+        c.insert(1, "uno".into());
+        assert_eq!(c.get(1).as_deref(), Some("uno"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "1".into());
+        c.insert(2, "2".into());
+        assert_eq!(c.get(1).as_deref(), Some("1")); // 1 is now fresher than 2
+        c.insert(3, "3".into());
+        assert_eq!(c.get(2), None, "2 was LRU and must be gone");
+        assert_eq!(c.get(1).as_deref(), Some("1"));
+        assert_eq!(c.get(3).as_deref(), Some("3"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn alias_fast_path_and_dangling_cleanup() {
+        let mut c = LruCache::new(2);
+        c.insert(100, "body".into());
+        assert_eq!(c.get_by_alias(7, "docA"), None, "unknown alias misses");
+        c.alias(7, "docA", 100);
+        c.alias(8, "docB", 100);
+        assert_eq!(c.get_by_alias(7, "docA").as_deref(), Some("body"));
+        assert_eq!(c.get_by_alias(8, "docB").as_deref(), Some("body"));
+        // A colliding hash with different bytes must MISS, not replay.
+        assert_eq!(c.get_by_alias(7, "docX"), None, "collision is a miss");
+        // Evict the entry: aliases dangle, then self-clean on lookup.
+        c.insert(200, "2".into());
+        c.insert(300, "3".into());
+        assert_eq!(c.get(100), None, "entry 100 evicted");
+        assert_eq!(c.get_by_alias(7, "docA"), None, "dangling alias misses");
+        assert_eq!(c.get_by_alias(7, "docA"), None, "and stays gone");
+    }
+
+    #[test]
+    fn alias_index_is_bounded_and_caps_doc_size() {
+        let mut c = LruCache::new(2); // alias cap = 8
+        c.insert(1, "1".into());
+        for raw in 10..30u64 {
+            c.alias(raw, "doc", 1);
+        }
+        // Oldest aliases evicted; the most recent still works.
+        assert_eq!(c.get_by_alias(29, "doc").as_deref(), Some("1"));
+        assert_eq!(c.get_by_alias(10, "doc"), None);
+        // Oversized documents are never aliased.
+        let huge = "x".repeat(MAX_ALIAS_DOC_BYTES + 1);
+        c.alias(99, &huge, 1);
+        assert_eq!(c.get_by_alias(99, &huge), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut c = LruCache::new(0);
+        c.insert(1, "1".into());
+        assert_eq!(c.get(1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut c = LruCache::new(3);
+        c.insert(1, "1".into());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 3);
+        c.insert(2, "2".into());
+        assert_eq!(c.get(2).as_deref(), Some("2"));
+    }
+}

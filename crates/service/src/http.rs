@@ -1,0 +1,279 @@
+//! A minimal HTTP/1.1 frontend on `std::net::TcpListener` — no external
+//! dependencies, one request per connection (`Connection: close`).
+//!
+//! Routes:
+//!
+//! * `POST /v1/schedule` — body is one wire-format request document;
+//!   answers `200` (with `X-Cache: hit|miss`), `400` for client errors,
+//!   `503` when the queue is full, `500` for internal failures;
+//! * `GET /v1/stats` — the service's counters as JSON;
+//! * `GET /healthz` — liveness probe;
+//! * `POST /v1/shutdown` — acknowledges, then stops the acceptor (the
+//!   owner's [`HttpServer::wait`] returns so it can drain the service).
+//!
+//! The acceptor polls a non-blocking listener so shutdown needs no
+//! self-connection trick; each accepted connection is handled on its own
+//! thread (the worker pool, not the connection count, bounds solving
+//! concurrency — the queue provides the backpressure).
+
+use crate::service::{Disposition, Service};
+use crate::wire::ErrorResponse;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest accepted request body (an n=50, m=8 instance is ~60 KB; this
+/// leaves two orders of magnitude of headroom without letting one client
+/// balloon memory).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Largest accepted request head (request line + headers). Everything a
+/// connection can make the daemon buffer is capped: the reader is
+/// hard-limited to `MAX_HEAD_BYTES + MAX_BODY_BYTES`, so a client
+/// streaming newline-free garbage cannot grow memory past that.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A running HTTP frontend bound to a local address.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// accepting connections against `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn bind(service: Arc<Service>, addr: &str) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let acceptor = std::thread::Builder::new()
+            .name("batsched-http-accept".into())
+            .spawn(move || accept_loop(&listener, &service, &flag))?;
+        Ok(HttpServer {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the acceptor to stop after its current poll tick.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the acceptor exits — either [`Self::stop`] was called
+    /// or a client hit `POST /v1/shutdown`.
+    pub fn wait(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<Service>, shutdown: &Arc<AtomicBool>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = Arc::clone(service);
+                let flag = Arc::clone(shutdown);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("batsched-http-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &service, &flag);
+                    })
+                {
+                    conns.push(h);
+                }
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Arc<Service>,
+    shutdown: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    // Hard cap on everything this connection can make us buffer: a client
+    // streaming an enormous (or newline-free) head hits the limit and gets
+    // a parse failure instead of growing memory without bound.
+    let limit = (MAX_HEAD_BYTES + MAX_BODY_BYTES) as u64;
+    let mut reader = BufReader::new(io::Read::take(stream.try_clone()?, limit));
+    let mut stream = stream;
+
+    let (method, path, body) = match read_request(&mut reader) {
+        Ok(parts) => parts,
+        Err(RequestError::TooLarge) => {
+            return write_response(
+                &mut stream,
+                413,
+                "Payload Too Large",
+                &ErrorResponse::new("too_large", "request body exceeds the size limit").to_json(),
+                None,
+            );
+        }
+        Err(RequestError::Malformed(msg)) => {
+            return write_response(
+                &mut stream,
+                400,
+                "Bad Request",
+                &ErrorResponse::new("bad_http", msg).to_json(),
+                None,
+            );
+        }
+        Err(RequestError::Io(e)) => return Err(e),
+    };
+
+    match (method.as_str(), path.as_str()) {
+        ("POST", "/v1/schedule") => {
+            let reply = service.call(body);
+            let (status, reason) = match reply.disposition {
+                Disposition::Ok { .. } => (200, "OK"),
+                Disposition::ClientError => (400, "Bad Request"),
+                Disposition::Overloaded => (503, "Service Unavailable"),
+                Disposition::Internal => (500, "Internal Server Error"),
+            };
+            let x_cache = match reply.disposition {
+                Disposition::Ok { cached: true } => Some("X-Cache: hit"),
+                Disposition::Ok { cached: false } => Some("X-Cache: miss"),
+                _ => None,
+            };
+            write_response(&mut stream, status, reason, &reply.body, x_cache)
+        }
+        ("GET", "/v1/stats") => write_response(&mut stream, 200, "OK", &service.stats_json(), None),
+        ("GET", "/healthz") => write_response(&mut stream, 200, "OK", r#"{"ok":true}"#, None),
+        ("POST", "/v1/shutdown") => {
+            let out = write_response(
+                &mut stream,
+                200,
+                "OK",
+                r#"{"ok":true,"shutting_down":true}"#,
+                None,
+            );
+            shutdown.store(true, Ordering::SeqCst);
+            out
+        }
+        _ => write_response(
+            &mut stream,
+            404,
+            "Not Found",
+            &ErrorResponse::new("not_found", format!("no route {method} {path}")).to_json(),
+            None,
+        ),
+    }
+}
+
+enum RequestError {
+    Malformed(String),
+    TooLarge,
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn read_request<R: BufRead>(reader: &mut R) -> Result<(String, String, String), RequestError> {
+    let mut head_bytes = 0usize;
+    let mut request_line = String::new();
+    head_bytes += reader.read_line(&mut request_line)?;
+    if head_bytes > MAX_HEAD_BYTES {
+        return Err(RequestError::TooLarge);
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return Err(RequestError::Malformed("unreadable request line".into())),
+    };
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        if n == 0 || line.trim().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body =
+        String::from_utf8(body).map_err(|_| RequestError::Malformed("body is not UTF-8".into()))?;
+    Ok((method, path, body))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+    extra_header: Option<&str>,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    if let Some(h) = extra_header {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,74 @@
+//! The JSONL frontend: one request document per input line, one response
+//! document per output line, in order. Works over any `BufRead`/`Write`
+//! pair — the CLI wires it to stdin/stdout, tests to in-memory buffers.
+
+use crate::service::{Disposition, Service};
+use std::io::{self, BufRead, Write};
+
+/// What a JSONL session processed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JsonlSummary {
+    /// Lines answered (blank lines are skipped, not counted).
+    pub requests: u64,
+    /// Answers that were typed errors (client, overload or internal).
+    pub errors: u64,
+    /// Answers served from the result cache.
+    pub cache_hits: u64,
+}
+
+/// Streams requests from `input` through `service`, writing one response
+/// line per request to `output` (flushed per line, so pipes see answers
+/// promptly). Blank lines are skipped. Returns when `input` reaches EOF.
+///
+/// # Errors
+///
+/// Propagates I/O errors from either side; the service itself never fails
+/// a session (bad requests become typed error lines).
+pub fn run_jsonl<R: BufRead, W: Write>(
+    service: &Service,
+    input: R,
+    output: &mut W,
+) -> io::Result<JsonlSummary> {
+    let mut summary = JsonlSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = service.call(line);
+        summary.requests += 1;
+        match reply.disposition {
+            Disposition::Ok { cached } => summary.cache_hits += u64::from(cached),
+            _ => summary.errors += 1,
+        }
+        output.write_all(reply.body.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use crate::wire::ScheduleRequest;
+    use batsched_taskgraph::paper::g2;
+
+    #[test]
+    fn jsonl_session_answers_in_order() {
+        let svc = Service::start(ServiceConfig::default());
+        let req = serde_json::to_string(&ScheduleRequest::new(g2(), 75.0)).unwrap();
+        let input = format!("{req}\n\n{req}\nnot json\n");
+        let mut out = Vec::new();
+        let summary = run_jsonl(&svc, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.errors, 1);
+        assert_eq!(summary.cache_hits, 1);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], lines[1], "duplicate answered identically");
+        assert!(lines[2].contains("bad_json"));
+        svc.shutdown();
+    }
+}

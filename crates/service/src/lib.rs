@@ -1,0 +1,60 @@
+//! # batsched-service
+//!
+//! A concurrent batch-scheduling daemon over the DATE'05 battery-aware
+//! scheduler: accept scheduling requests, solve them on a worker pool,
+//! answer duplicates from a result cache.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`wire`] — the versioned JSON request/response format with a stable
+//!   canonical rendering and FNV-1a content hash (the cache key);
+//! * [`cache`] — the LRU result cache (hit = bit-identical replay);
+//! * [`service`] — bounded job queue + worker threads, each with a
+//!   reusable [`batsched_core::SolverWorkspace`] so steady-state solving
+//!   stays allocation-free, plus stats counters and graceful shutdown;
+//! * [`jsonl`] — the stdio/pipe frontend (one document per line);
+//! * [`http`] — a minimal HTTP/1.1 frontend on `std::net`.
+//!
+//! Backpressure is explicit: the queue is bounded and a full queue answers
+//! `overloaded` immediately rather than queueing without limit.
+//!
+//! ```
+//! use batsched_service::prelude::*;
+//! use batsched_taskgraph::paper::g2;
+//!
+//! let svc = Service::start(ServiceConfig::default());
+//! let body = serde_json::to_string(&ScheduleRequest::new(g2(), 75.0)).unwrap();
+//! let cold = svc.call(body.clone());
+//! let warm = svc.call(body);
+//! assert_eq!(cold.body, warm.body); // the cache replays bit-identically
+//! assert!(matches!(warm.disposition, Disposition::Ok { cached: true }));
+//! svc.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod jsonl;
+pub mod service;
+pub mod wire;
+
+pub use cache::LruCache;
+pub use http::HttpServer;
+pub use jsonl::{run_jsonl, JsonlSummary};
+pub use service::{solve, Disposition, Reply, Service, ServiceConfig, StatsSnapshot};
+pub use wire::{
+    parse_request, ErrorResponse, ModelSpec, ScheduleRequest, ScheduleResponse, WireError,
+    WIRE_VERSION,
+};
+
+/// Convenient glob-import of the types almost every embedder needs.
+pub mod prelude {
+    pub use crate::http::HttpServer;
+    pub use crate::jsonl::run_jsonl;
+    pub use crate::service::{Disposition, Reply, Service, ServiceConfig};
+    pub use crate::wire::{
+        parse_request, ErrorResponse, ModelSpec, ScheduleRequest, ScheduleResponse,
+    };
+}

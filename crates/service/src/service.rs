@@ -1,0 +1,518 @@
+//! The service core: a bounded job queue feeding a pool of worker threads,
+//! each holding reusable solver buffers, in front of the shared LRU result
+//! cache and the stats counters.
+//!
+//! Backpressure is explicit: [`Service::submit`] never blocks — when the
+//! queue is full the caller gets a typed `overloaded` response immediately
+//! instead of an unbounded pile-up. Shutdown is graceful: queued jobs are
+//! drained, then workers exit.
+
+use crate::cache::LruCache;
+use crate::wire::{self, ErrorResponse, ScheduleRequest, ScheduleResponse, WIRE_VERSION};
+use batsched_battery::units::{MilliAmpMinutes, Minutes};
+use batsched_core::{schedule_in, SolverWorkspace};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Sizing knobs for a [`Service`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads solving requests.
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// LRU result-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// How a request was answered — transport metadata that deliberately never
+/// enters the response body (a cache hit must be bit-identical to the
+/// recomputed answer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// A schedule was returned; `cached` says whether it came from the LRU.
+    Ok {
+        /// `true` when served from the result cache.
+        cached: bool,
+    },
+    /// The request itself was at fault (parse error, invalid graph,
+    /// infeasible deadline, …).
+    ClientError,
+    /// The queue was full; the request was never enqueued.
+    Overloaded,
+    /// The service failed internally (search invariant violation, worker
+    /// gone); the request may be retried.
+    Internal,
+}
+
+/// One answered request: the response body plus transport metadata.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// Serialised response document (schedule or typed error).
+    pub body: String,
+    /// Transport classification (HTTP status / `X-Cache` derive from it).
+    pub disposition: Disposition,
+    /// Wall-clock service time in microseconds (enqueue to answer).
+    pub micros: u64,
+}
+
+struct Job {
+    body: String,
+    reply: Sender<Reply>,
+    submitted: Instant,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    received: AtomicU64,
+    ok_solved: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    client_errors: AtomicU64,
+    internal_errors: AtomicU64,
+    rejected: AtomicU64,
+    solve_nanos: AtomicU64,
+    hit_nanos: AtomicU64,
+}
+
+struct Shared {
+    cache: Mutex<LruCache>,
+    counters: Counters,
+}
+
+/// Point-in-time statistics, served by the `stats` endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StatsSnapshot {
+    /// Wire version.
+    pub v: u32,
+    /// Worker threads.
+    pub workers: usize,
+    /// Queue depth limit.
+    pub queue_capacity: usize,
+    /// Cache capacity.
+    pub cache_capacity: usize,
+    /// Live cache entries.
+    pub cache_len: usize,
+    /// Requests accepted into the queue.
+    pub received: u64,
+    /// Requests answered from a cold solve.
+    pub solved: u64,
+    /// Requests answered from the cache.
+    pub cache_hits: u64,
+    /// Requests that missed the cache.
+    pub cache_misses: u64,
+    /// Requests rejected as the caller's fault.
+    pub client_errors: u64,
+    /// Internal failures.
+    pub internal_errors: u64,
+    /// Requests refused because the queue was full.
+    pub rejected: u64,
+    /// Mean cold-solve latency (µs) including parse and serialisation.
+    pub solve_mean_us: f64,
+    /// Mean cache-hit latency (µs).
+    pub hit_mean_us: f64,
+}
+
+/// A running scheduling service. Cheap to share behind an [`Arc`];
+/// [`Service::shutdown`] takes `&self` so any frontend can trigger it.
+pub struct Service {
+    cfg: ServiceConfig,
+    tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    shared: Arc<Shared>,
+}
+
+impl Service {
+    /// Spawns the worker pool and returns the running service.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let (tx, rx) = sync_channel::<Job>(cfg.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            counters: Counters::default(),
+        });
+        let handles = (0..workers)
+            .map(|k| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("batsched-worker-{k}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Self {
+            cfg,
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+            shared,
+        }
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> ServiceConfig {
+        self.cfg
+    }
+
+    /// Enqueues a request document without blocking.
+    ///
+    /// # Errors
+    ///
+    /// When the queue is full (or the service is shutting down) the typed
+    /// overload [`Reply`] is returned immediately instead of a receiver.
+    pub fn submit(&self, body: String) -> Result<Receiver<Reply>, Box<Reply>> {
+        let started = Instant::now();
+        let overload = |started: Instant, counters: &Counters| {
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            Box::new(Reply {
+                body: ErrorResponse::overloaded(self.cfg.queue_capacity).to_json(),
+                disposition: Disposition::Overloaded,
+                micros: started.elapsed().as_micros() as u64,
+            })
+        };
+        let guard = self.tx.lock().expect("service sender lock");
+        let Some(tx) = guard.as_ref() else {
+            return Err(overload(started, &self.shared.counters));
+        };
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        match tx.try_send(Job {
+            body,
+            reply: reply_tx,
+            submitted: started,
+        }) {
+            Ok(()) => {
+                self.shared
+                    .counters
+                    .received
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(reply_rx)
+            }
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                Err(overload(started, &self.shared.counters))
+            }
+        }
+    }
+
+    /// Blocking convenience: submit and wait for the answer.
+    pub fn call(&self, body: String) -> Reply {
+        match self.submit(body) {
+            Ok(rx) => rx.recv().unwrap_or_else(|_| Reply {
+                body: ErrorResponse::new("internal", "worker terminated before answering")
+                    .to_json(),
+                disposition: Disposition::Internal,
+                micros: 0,
+            }),
+            Err(reply) => *reply,
+        }
+    }
+
+    /// A consistent-enough point-in-time statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let c = &self.shared.counters;
+        let (cache_len, cache_capacity) = {
+            let cache = self.shared.cache.lock().expect("cache lock");
+            (cache.len(), cache.capacity())
+        };
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mean_us = |nanos: u64, count: u64| {
+            if count == 0 {
+                0.0
+            } else {
+                nanos as f64 / count as f64 / 1_000.0
+            }
+        };
+        let solved = load(&c.ok_solved);
+        let hits = load(&c.cache_hits);
+        StatsSnapshot {
+            v: WIRE_VERSION,
+            workers: self.cfg.workers.max(1),
+            queue_capacity: self.cfg.queue_capacity.max(1),
+            cache_capacity,
+            cache_len,
+            received: load(&c.received),
+            solved,
+            cache_hits: hits,
+            cache_misses: load(&c.cache_misses),
+            client_errors: load(&c.client_errors),
+            internal_errors: load(&c.internal_errors),
+            rejected: load(&c.rejected),
+            solve_mean_us: mean_us(load(&c.solve_nanos), solved),
+            hit_mean_us: mean_us(load(&c.hit_nanos), hits),
+        }
+    }
+
+    /// The stats snapshot as a JSON document.
+    pub fn stats_json(&self) -> String {
+        serde_json::to_string(&self.stats()).expect("stats serialise")
+    }
+
+    /// Graceful shutdown: stop accepting, drain the queue, join the
+    /// workers. Idempotent; safe to call from any thread holding the
+    /// service (frontends call it through their `Arc`).
+    pub fn shutdown(&self) {
+        // Dropping the sender closes the channel; workers exit after
+        // draining whatever was already queued.
+        *self.tx.lock().expect("service sender lock") = None;
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("worker handles lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+    // The reusable per-worker state the whole design exists for: solver
+    // buffers survive across requests, so steady-state solving does not
+    // allocate in the σ hot path.
+    let mut ws = SolverWorkspace::new();
+    loop {
+        let job = {
+            let guard = rx.lock().expect("job queue lock");
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            return; // channel closed: graceful shutdown
+        };
+        let reply = answer(&job.body, shared, &mut ws, job.submitted);
+        let _ = job.reply.send(reply); // caller may have given up; fine
+    }
+}
+
+fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Instant) -> Reply {
+    let c = &shared.counters;
+    let finish = |disposition: Disposition, body: String| Reply {
+        micros: submitted.elapsed().as_micros() as u64,
+        body,
+        disposition,
+    };
+    // Fast path: an exact byte-duplicate of a previously answered request
+    // is replayed without parsing anything — the alias index maps the raw
+    // document hash to the canonical cache entry, verifying the stored
+    // document byte-for-byte (a hash collision is a miss, not a lie).
+    let raw_key = wire::fnv1a64(body.as_bytes());
+    if let Some(cached) = shared
+        .cache
+        .lock()
+        .expect("cache lock")
+        .get_by_alias(raw_key, body)
+    {
+        c.cache_hits.fetch_add(1, Ordering::Relaxed);
+        c.hit_nanos
+            .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        return finish(Disposition::Ok { cached: true }, cached);
+    }
+    let req = match wire::parse_request(body) {
+        Ok(req) => req,
+        Err(e) => {
+            c.client_errors.fetch_add(1, Ordering::Relaxed);
+            return finish(
+                Disposition::ClientError,
+                ErrorResponse::from_wire(&e).to_json(),
+            );
+        }
+    };
+    let key = req.content_hash();
+    {
+        let mut cache = shared.cache.lock().expect("cache lock");
+        if let Some(cached) = cache.get(key) {
+            // Different spelling, same canonical question: remember this
+            // spelling so its next occurrence takes the fast path.
+            cache.alias(raw_key, body, key);
+            drop(cache);
+            c.cache_hits.fetch_add(1, Ordering::Relaxed);
+            c.hit_nanos
+                .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            return finish(Disposition::Ok { cached: true }, cached);
+        }
+    }
+    c.cache_misses.fetch_add(1, Ordering::Relaxed);
+    match solve(&req, ws) {
+        Ok(resp) => {
+            let rendered = serde_json::to_string(&resp).expect("responses serialise");
+            {
+                let mut cache = shared.cache.lock().expect("cache lock");
+                cache.insert(key, rendered.clone());
+                cache.alias(raw_key, body, key);
+            }
+            c.ok_solved.fetch_add(1, Ordering::Relaxed);
+            c.solve_nanos
+                .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            finish(Disposition::Ok { cached: false }, rendered)
+        }
+        Err(err) => {
+            let disposition = if err.error == "internal" {
+                c.internal_errors.fetch_add(1, Ordering::Relaxed);
+                Disposition::Internal
+            } else {
+                c.client_errors.fetch_add(1, Ordering::Relaxed);
+                Disposition::ClientError
+            };
+            finish(disposition, err.to_json())
+        }
+    }
+}
+
+/// Solves one validated request to a response — shared by the pool workers
+/// and direct (in-process, synchronous) callers like tests.
+///
+/// # Errors
+///
+/// A typed [`ErrorResponse`] mirroring the scheduler's failure.
+pub fn solve(
+    req: &ScheduleRequest,
+    ws: &mut SolverWorkspace,
+) -> Result<ScheduleResponse, ErrorResponse> {
+    let config = wire::scheduler_config(req);
+    let sol = schedule_in(&req.graph, Minutes::new(req.deadline), &config, ws)
+        .map_err(|e| ErrorResponse::from_scheduler(&e))?;
+    let spec = req
+        .model
+        .clone()
+        .unwrap_or_else(wire::ModelSpec::default_rv);
+    let model = spec.build().map_err(|e| ErrorResponse::from_wire(&e))?;
+    let profile = sol.schedule.to_profile(&req.graph);
+    let end = profile.end();
+    let model_cost = model.apparent_charge(&profile, end);
+    let (survives, lifetime) = match req.capacity {
+        None => (None, None),
+        Some(cap) => match model.lifetime(&profile, MilliAmpMinutes::new(cap)) {
+            None => (Some(true), None),
+            Some(t) => (Some(false), Some(t.value())),
+        },
+    };
+    Ok(ScheduleResponse {
+        v: WIRE_VERSION,
+        key: req.key(),
+        model: spec.name().to_string(),
+        order: sol.schedule.order().iter().map(|t| t.index()).collect(),
+        assignment: sol
+            .schedule
+            .assignment()
+            .iter()
+            .map(|p| p.index())
+            .collect(),
+        sigma: sol.cost.value(),
+        makespan: sol.makespan.value(),
+        deadline: req.deadline,
+        direct_charge: sol.schedule.direct_charge(&req.graph).value(),
+        model_cost: model_cost.value(),
+        survives,
+        lifetime,
+        iterations: sol.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::ScheduleRequest;
+    use batsched_taskgraph::paper::g2;
+
+    fn body(deadline: f64) -> String {
+        serde_json::to_string(&ScheduleRequest::new(g2(), deadline)).expect("serialises")
+    }
+
+    #[test]
+    fn solve_produces_a_valid_schedule() {
+        let req = wire::parse_request(&body(75.0)).unwrap();
+        let resp = solve(&req, &mut SolverWorkspace::new()).unwrap();
+        assert_eq!(resp.v, WIRE_VERSION);
+        assert_eq!(resp.key, req.key());
+        assert!(resp.makespan <= 75.0 + 1e-9);
+        assert!(resp.sigma > 0.0);
+        assert_eq!(resp.order.len(), 9);
+        assert_eq!(resp.assignment.len(), 9);
+        assert_eq!(resp.survives, None);
+    }
+
+    #[test]
+    fn lifetime_report_under_each_model() {
+        for (model, expect_survive) in [
+            (Some(crate::wire::ModelSpec::Ideal), true),
+            (
+                Some(crate::wire::ModelSpec::Kibam {
+                    c: 0.5,
+                    k: 0.05,
+                    alpha: 60_000.0,
+                }),
+                true,
+            ),
+            (None, true),
+        ] {
+            let mut req = wire::parse_request(&body(75.0)).unwrap();
+            req.model = model;
+            req.capacity = Some(60_000.0);
+            let resp = solve(&req, &mut SolverWorkspace::new()).unwrap();
+            assert_eq!(resp.survives, Some(expect_survive), "{}", resp.model);
+        }
+        // A tiny battery dies mid-schedule.
+        let mut req = wire::parse_request(&body(75.0)).unwrap();
+        req.capacity = Some(2_000.0);
+        let resp = solve(&req, &mut SolverWorkspace::new()).unwrap();
+        assert_eq!(resp.survives, Some(false));
+        let t = resp.lifetime.expect("death instant reported");
+        assert!(t > 0.0 && t < resp.makespan);
+    }
+
+    #[test]
+    fn service_round_trip_and_stats() {
+        let svc = Service::start(ServiceConfig::default());
+        let cold = svc.call(body(75.0));
+        assert_eq!(cold.disposition, Disposition::Ok { cached: false });
+        let warm = svc.call(body(75.0));
+        assert_eq!(warm.disposition, Disposition::Ok { cached: true });
+        assert_eq!(cold.body, warm.body, "hit must be bit-identical");
+        let bad = svc.call("{ nope".into());
+        assert_eq!(bad.disposition, Disposition::ClientError);
+        let infeasible = svc.call(body(10.0));
+        assert_eq!(infeasible.disposition, Disposition::ClientError);
+        assert!(infeasible.body.contains("infeasible"));
+
+        let stats = svc.stats();
+        assert_eq!(stats.received, 4);
+        assert_eq!(stats.solved, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2); // the infeasible request also missed
+        assert_eq!(stats.client_errors, 2);
+        assert_eq!(stats.cache_len, 1);
+        let rendered = svc.stats_json();
+        assert!(rendered.contains("\"cache_hits\":1"), "{rendered}");
+        svc.shutdown();
+        // Submissions after shutdown are refused, not hung.
+        let refused = svc.call(body(75.0));
+        assert_eq!(refused.disposition, Disposition::Overloaded);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_runs_on_drop() {
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        svc.shutdown();
+        svc.shutdown();
+        drop(svc);
+    }
+}

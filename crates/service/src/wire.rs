@@ -1,0 +1,599 @@
+//! The canonical wire format: versioned JSON request/response types with a
+//! stable content hash.
+//!
+//! A request carries a task graph (validated through the typed
+//! [`batsched_taskgraph::io`] path — this is untrusted input), a deadline,
+//! an optional battery-model choice and optional algorithm knobs. Two
+//! requests that *mean* the same thing — regardless of field order,
+//! whitespace, or whether defaults are spelled out — share one **canonical
+//! rendering** and therefore one content hash, which is what the result
+//! cache keys on.
+//!
+//! Responses are plain data; the `cached` signal deliberately lives in
+//! transport metadata (the HTTP `X-Cache` header, the
+//! [`crate::service::Disposition`]) and *not* in the body, so a cache hit
+//! is bit-identical to the recomputed response.
+
+use batsched_battery::model::BatteryModel;
+use batsched_battery::rv::{DATE05_BETA, DATE05_TERMS};
+use batsched_battery::units::MilliAmps;
+use batsched_battery::{CoulombCounter, KibamModel, MilliAmpMinutes, PeukertModel, RvModel};
+use batsched_core::{SchedulerConfig, SchedulerError};
+use batsched_taskgraph::io::{self, IoError};
+use batsched_taskgraph::TaskGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The wire-format version this build speaks. Requests must carry `"v": 1`.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Default result-cache/max-iterations knob mirrored from the scheduler
+/// config, pinned here so the canonical form is stable even if the core
+/// default drifts.
+pub const DEFAULT_MAX_ITERATIONS: usize = 64;
+
+/// Battery-model choice by name — the service's model registry.
+///
+/// The scheduler's search always optimises the Rakhmatov–Vrudhula σ (that
+/// is the paper's algorithm); `Rv` parameters steer the search itself,
+/// while the other models select what the *report* (cost at completion,
+/// lifetime) is computed with. KiBaM reports run on the incremental
+/// stepper ([`batsched_battery::KibamStepper`]), so they are not quadratic
+/// in profile length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// Rakhmatov–Vrudhula diffusion model (the paper's eq. 1).
+    Rv {
+        /// Diffusion parameter β (min^{-1/2}); the paper uses 0.273.
+        beta: f64,
+        /// Series truncation; the paper uses 10.
+        terms: usize,
+    },
+    /// Kinetic battery model (two wells).
+    Kibam {
+        /// Available-charge fraction `c ∈ (0, 1)`.
+        c: f64,
+        /// Diffusion rate `k > 0` (per minute).
+        k: f64,
+        /// Rated capacity (mA·min).
+        alpha: f64,
+    },
+    /// Peukert's law.
+    Peukert {
+        /// Peukert exponent (≥ 1 for real cells).
+        exponent: f64,
+        /// Reference current (mA) at which capacity is rated.
+        reference: f64,
+    },
+    /// Ideal coulomb counter (no rate-capacity or recovery effects).
+    Ideal,
+}
+
+impl ModelSpec {
+    /// The paper's RV setup — what an omitted `model` field means.
+    pub fn default_rv() -> Self {
+        Self::Rv {
+            beta: DATE05_BETA,
+            terms: DATE05_TERMS,
+        }
+    }
+
+    /// Short model name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Rv { .. } => "rv",
+            Self::Kibam { .. } => "kibam",
+            Self::Peukert { .. } => "peukert",
+            Self::Ideal => "ideal",
+        }
+    }
+
+    /// `(beta, terms)` the σ-minimising search should run with: the RV
+    /// parameters when the request picked RV, the paper's defaults when the
+    /// reporting model is a different one.
+    pub fn search_params(&self) -> (f64, usize) {
+        match self {
+            Self::Rv { beta, terms } => (*beta, *terms),
+            _ => (DATE05_BETA, DATE05_TERMS),
+        }
+    }
+
+    /// Instantiates the reporting model, validating its parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::InvalidModel`] when a parameter is out of range.
+    pub fn build(&self) -> Result<Box<dyn BatteryModel + Send + Sync>, WireError> {
+        let bad = |e: &dyn fmt::Display| WireError::InvalidModel {
+            message: e.to_string(),
+        };
+        Ok(match self {
+            Self::Rv { beta, terms } => Box::new(RvModel::new(*beta, *terms).map_err(|e| bad(&e))?),
+            Self::Kibam { c, k, alpha } => Box::new(
+                KibamModel::new(*c, *k, MilliAmpMinutes::new(*alpha)).map_err(|e| bad(&e))?,
+            ),
+            Self::Peukert {
+                exponent,
+                reference,
+            } => Box::new(
+                PeukertModel::new(*exponent, MilliAmps::new(*reference)).map_err(|e| bad(&e))?,
+            ),
+            Self::Ideal => Box::new(CoulombCounter::new()),
+        })
+    }
+}
+
+/// A versioned scheduling request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleRequest {
+    /// Wire-format version; must equal [`WIRE_VERSION`].
+    pub v: u32,
+    /// The task graph to schedule (untrusted; fully revalidated).
+    pub graph: TaskGraph,
+    /// Deadline in minutes (positive, finite).
+    pub deadline: f64,
+    /// Battery model for the report; `None` means the paper's RV setup.
+    pub model: Option<ModelSpec>,
+    /// Rated capacity (mA·min): when present the response carries a
+    /// lifetime verdict under the chosen model.
+    pub capacity: Option<f64>,
+    /// Cap on outer scheduler iterations; `None` means
+    /// [`DEFAULT_MAX_ITERATIONS`].
+    pub max_iterations: Option<usize>,
+}
+
+impl ScheduleRequest {
+    /// A request with every optional field defaulted.
+    pub fn new(graph: TaskGraph, deadline: f64) -> Self {
+        Self {
+            v: WIRE_VERSION,
+            graph,
+            deadline,
+            model: None,
+            capacity: None,
+            max_iterations: None,
+        }
+    }
+
+    /// The canonical twin of this request: version pinned, every optional
+    /// field spelled out with its default. Two requests with equal
+    /// canonical forms are answered identically, so the cache may treat
+    /// them as one.
+    pub fn canonical(&self) -> ScheduleRequest {
+        ScheduleRequest {
+            v: WIRE_VERSION,
+            graph: self.graph.clone(),
+            deadline: self.deadline,
+            model: Some(self.model.clone().unwrap_or_else(ModelSpec::default_rv)),
+            capacity: self.capacity,
+            max_iterations: Some(self.max_iterations.unwrap_or(DEFAULT_MAX_ITERATIONS)),
+        }
+    }
+
+    /// Compact JSON of [`Self::canonical`] — the byte string the content
+    /// hash is computed over. Deterministic: struct fields serialise in
+    /// declaration order and `f64`s print shortest-round-trip.
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(&self.canonical()).expect("requests always serialise")
+    }
+
+    /// FNV-1a 64 content hash of the canonical rendering.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a64(self.canonical_json().as_bytes())
+    }
+
+    /// The content hash as the 16-hex-digit cache key echoed in responses.
+    pub fn key(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+}
+
+/// Typed failure modes of [`parse_request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The line is not valid JSON.
+    Syntax {
+        /// Parser message.
+        message: String,
+    },
+    /// A required envelope field is absent.
+    MissingField {
+        /// The field name.
+        field: &'static str,
+    },
+    /// An envelope field has the wrong type or shape.
+    BadField {
+        /// The field name.
+        field: &'static str,
+        /// What was wrong.
+        message: String,
+    },
+    /// The request speaks a version this build does not.
+    Version {
+        /// The version the request carried.
+        found: u32,
+    },
+    /// The embedded task graph was rejected (typed detail inside).
+    Graph(IoError),
+    /// Deadline not a positive finite number of minutes.
+    InvalidDeadline {
+        /// The offending value.
+        deadline: f64,
+    },
+    /// Capacity not a positive finite number of mA·min.
+    InvalidCapacity {
+        /// The offending value.
+        capacity: f64,
+    },
+    /// Battery-model parameters out of range or unknown model name.
+    InvalidModel {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl WireError {
+    /// Stable machine-readable error code for the response body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Self::Syntax { .. } => "bad_json",
+            Self::MissingField { .. } | Self::BadField { .. } => "bad_request",
+            Self::Version { .. } => "unsupported_version",
+            Self::Graph(_) => "invalid_graph",
+            Self::InvalidDeadline { .. } => "invalid_deadline",
+            Self::InvalidCapacity { .. } => "invalid_capacity",
+            Self::InvalidModel { .. } => "invalid_model",
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Syntax { message } => write!(f, "invalid JSON: {message}"),
+            Self::MissingField { field } => write!(f, "missing field `{field}`"),
+            Self::BadField { field, message } => write!(f, "field `{field}`: {message}"),
+            Self::Version { found } => write!(
+                f,
+                "unsupported wire version {found} (this build speaks {WIRE_VERSION})"
+            ),
+            Self::Graph(e) => write!(f, "invalid graph: {e}"),
+            Self::InvalidDeadline { deadline } => {
+                write!(f, "deadline must be positive and finite, got {deadline}")
+            }
+            Self::InvalidCapacity { capacity } => {
+                write!(f, "capacity must be positive and finite, got {capacity}")
+            }
+            Self::InvalidModel { message } => write!(f, "invalid battery model: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Parses and fully validates one request document. The graph goes through
+/// [`io::graph_from_value`] (typed rejection of duplicate edges, bad
+/// numbers, cycles, …); envelope numbers are range-checked; model
+/// parameters are instantiated once to validate them.
+///
+/// # Errors
+///
+/// Every [`WireError`] variant is reachable; see its docs.
+pub fn parse_request(doc: &str) -> Result<ScheduleRequest, WireError> {
+    let v = serde::json::parse(doc).map_err(|e| WireError::Syntax {
+        message: e.to_string(),
+    })?;
+    if v.as_obj().is_none() {
+        return Err(WireError::BadField {
+            field: "(root)",
+            message: "expected a JSON object".into(),
+        });
+    }
+    let req_field = |name: &'static str| v.get(name).ok_or(WireError::MissingField { field: name });
+    let bad = |name: &'static str, e: &dyn fmt::Display| WireError::BadField {
+        field: name,
+        message: e.to_string(),
+    };
+
+    let version: u32 = serde::Deserialize::from_value(req_field("v")?).map_err(|e| bad("v", &e))?;
+    if version != WIRE_VERSION {
+        return Err(WireError::Version { found: version });
+    }
+
+    let graph = io::graph_from_value(req_field("graph")?).map_err(WireError::Graph)?;
+
+    let deadline: f64 =
+        serde::Deserialize::from_value(req_field("deadline")?).map_err(|e| bad("deadline", &e))?;
+    if !(deadline.is_finite() && deadline > 0.0) {
+        return Err(WireError::InvalidDeadline { deadline });
+    }
+
+    let model: Option<ModelSpec> = match v.get("model") {
+        None => None,
+        Some(mv) => serde::Deserialize::from_value(mv).map_err(|e| WireError::InvalidModel {
+            message: e.to_string(),
+        })?,
+    };
+    if let Some(spec) = &model {
+        spec.build()?; // validate parameters now, with a typed error
+    }
+
+    let capacity: Option<f64> = match v.get("capacity") {
+        None => None,
+        Some(cv) => serde::Deserialize::from_value(cv).map_err(|e| bad("capacity", &e))?,
+    };
+    if let Some(c) = capacity {
+        if !(c.is_finite() && c > 0.0) {
+            return Err(WireError::InvalidCapacity { capacity: c });
+        }
+    }
+
+    let max_iterations: Option<usize> = match v.get("max_iterations") {
+        None => None,
+        Some(mv) => serde::Deserialize::from_value(mv).map_err(|e| bad("max_iterations", &e))?,
+    };
+    if max_iterations == Some(0) {
+        return Err(WireError::BadField {
+            field: "max_iterations",
+            message: "must be at least 1".into(),
+        });
+    }
+
+    Ok(ScheduleRequest {
+        v: version,
+        graph,
+        deadline,
+        model,
+        capacity,
+        max_iterations,
+    })
+}
+
+/// A successful scheduling answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleResponse {
+    /// Wire-format version.
+    pub v: u32,
+    /// Canonical content hash of the request this answers (hex).
+    pub key: String,
+    /// Reporting battery-model name.
+    pub model: String,
+    /// Task indices in execution order.
+    pub order: Vec<usize>,
+    /// Task-indexed design-point columns (0 = fastest).
+    pub assignment: Vec<usize>,
+    /// RV battery cost σ of the schedule (mA·min) — what the search minimised.
+    pub sigma: f64,
+    /// Makespan (minutes).
+    pub makespan: f64,
+    /// The deadline the schedule meets (echoed from the request).
+    pub deadline: f64,
+    /// Charge actually delivered, `Σ I·D` (mA·min).
+    pub direct_charge: f64,
+    /// Apparent charge at completion under the reporting model (mA·min).
+    pub model_cost: f64,
+    /// `Some(true)` when a capacity was given and the battery survives the
+    /// whole schedule; `Some(false)` when it dies first; `None` without a
+    /// capacity.
+    pub survives: Option<bool>,
+    /// First instant the battery dies (minutes); `None` when it survives or
+    /// no capacity was given.
+    pub lifetime: Option<f64>,
+    /// Outer scheduler iterations executed.
+    pub iterations: usize,
+}
+
+/// A typed failure answer. `error` is a stable machine-readable code
+/// (`bad_json`, `invalid_graph`, `infeasible`, `overloaded`, …);
+/// `message` is for humans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Wire-format version.
+    pub v: u32,
+    /// Stable machine-readable error code.
+    pub error: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ErrorResponse {
+    /// Builds an error body from a code and message.
+    pub fn new(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            v: WIRE_VERSION,
+            error: code.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The typed body for a request-parse failure.
+    pub fn from_wire(e: &WireError) -> Self {
+        Self::new(e.code(), e.to_string())
+    }
+
+    /// The typed body for a scheduler failure. Infeasible deadlines are the
+    /// caller's problem (`infeasible`); internal search failures are ours.
+    pub fn from_scheduler(e: &SchedulerError) -> Self {
+        let code = match e {
+            SchedulerError::DeadlineInfeasible { .. } => "infeasible",
+            SchedulerError::InvalidDeadline { .. } => "invalid_deadline",
+            SchedulerError::InvalidConfig { .. } => "invalid_config",
+            SchedulerError::WindowSearchFailed { .. } => "internal",
+        };
+        Self::new(code, e.to_string())
+    }
+
+    /// The typed body for a full queue.
+    pub fn overloaded(queue_capacity: usize) -> Self {
+        Self::new(
+            "overloaded",
+            format!("request queue full (capacity {queue_capacity}); retry later"),
+        )
+    }
+
+    /// Compact JSON body.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("error responses always serialise")
+    }
+}
+
+/// FNV-1a 64-bit — small, dependency-free, stable across platforms. Not
+/// cryptographic: it is only ever an *index*, never a proof of identity —
+/// the cache's raw-bytes fast path re-verifies the stored document
+/// byte-for-byte before replaying, so an (accidental or adversarial)
+/// collision costs a cache miss, never a wrong answer. Canonical-key
+/// collisions between *semantically different* requests would conflate
+/// their cache slots; at 64 bits and few-hundred-entry caches that risk
+/// is accepted and documented in `docs/SERVICE.md`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the scheduler configuration a request asks for.
+pub fn scheduler_config(req: &ScheduleRequest) -> SchedulerConfig {
+    let spec = req.model.clone().unwrap_or_else(ModelSpec::default_rv);
+    let (beta, terms) = spec.search_params();
+    SchedulerConfig {
+        beta,
+        series_terms: terms,
+        max_iterations: req.max_iterations.unwrap_or(DEFAULT_MAX_ITERATIONS),
+        ..SchedulerConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batsched_taskgraph::paper::g2;
+
+    #[test]
+    fn canonicalisation_is_field_order_and_default_insensitive() {
+        let g = g2();
+        let spelled = ScheduleRequest {
+            v: 1,
+            graph: g.clone(),
+            deadline: 75.0,
+            model: Some(ModelSpec::default_rv()),
+            capacity: None,
+            max_iterations: Some(DEFAULT_MAX_ITERATIONS),
+        };
+        let terse = ScheduleRequest::new(g, 75.0);
+        assert_eq!(spelled.content_hash(), terse.content_hash());
+
+        // Reordered fields in the document hash identically after parsing.
+        let doc = terse.canonical_json();
+        let parsed = parse_request(&doc).unwrap();
+        assert_eq!(parsed.content_hash(), terse.content_hash());
+    }
+
+    #[test]
+    fn different_requests_hash_differently() {
+        let g = g2();
+        let a = ScheduleRequest::new(g.clone(), 75.0);
+        let b = ScheduleRequest::new(g.clone(), 76.0);
+        let mut c = ScheduleRequest::new(g, 75.0);
+        c.model = Some(ModelSpec::Ideal);
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn parse_rejects_each_failure_mode_with_the_right_code() {
+        let ok = serde_json::to_string(&ScheduleRequest::new(g2(), 75.0)).unwrap();
+        assert!(parse_request(&ok).is_ok());
+
+        let cases: Vec<(String, &str)> = vec![
+            ("{ nope".into(), "bad_json"),
+            ("[1,2,3]".into(), "bad_request"),
+            (ok.replace("\"v\":1", "\"v\":99"), "unsupported_version"),
+            (
+                ok.replace("\"deadline\":75", "\"deadline\":-5"),
+                "invalid_deadline",
+            ),
+            (
+                ok.replace("\"deadline\":75", "\"deadline\":1e999"),
+                "invalid_deadline",
+            ),
+            (
+                ok.replace("\"capacity\":null", "\"capacity\":-1"),
+                "invalid_capacity",
+            ),
+            (
+                ok.replace(
+                    "\"model\":null",
+                    "\"model\":{\"Rv\":{\"beta\":-1,\"terms\":10}}",
+                ),
+                "invalid_model",
+            ),
+            (
+                ok.replace("\"model\":null", "\"model\":{\"Frobnicator\":{}}"),
+                "invalid_model",
+            ),
+            (
+                ok.replace("\"max_iterations\":null", "\"max_iterations\":0"),
+                "bad_request",
+            ),
+        ];
+        for (doc, code) in cases {
+            let e = parse_request(&doc).unwrap_err();
+            assert_eq!(e.code(), code, "doc: {doc}\nerr: {e}");
+        }
+
+        // Missing required fields.
+        assert_eq!(
+            parse_request(r#"{"v":1}"#).unwrap_err().code(),
+            "bad_request"
+        );
+        // Graph problems carry the invalid_graph code.
+        let bad_graph = ok.replace("\"edges\":[", "\"edges\":[[0,1],[0,1],");
+        assert_eq!(
+            parse_request(&bad_graph).unwrap_err().code(),
+            "invalid_graph"
+        );
+    }
+
+    #[test]
+    fn model_registry_builds_every_model() {
+        for (spec, built_name) in [
+            (ModelSpec::default_rv(), "rakhmatov-vrudhula"),
+            (
+                ModelSpec::Kibam {
+                    c: 0.5,
+                    k: 0.05,
+                    alpha: 40_000.0,
+                },
+                "kibam",
+            ),
+            (
+                ModelSpec::Peukert {
+                    exponent: 1.2,
+                    reference: 300.0,
+                },
+                "peukert",
+            ),
+            (ModelSpec::Ideal, "coulomb-counter"),
+        ] {
+            let m = spec.build().unwrap();
+            assert_eq!(m.name(), built_name, "spec {}", spec.name());
+        }
+        assert!(ModelSpec::Kibam {
+            c: 1.5,
+            k: 0.05,
+            alpha: 1.0
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

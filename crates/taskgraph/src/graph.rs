@@ -110,6 +110,16 @@ pub enum TaskGraphError {
         /// The unknown id.
         id: usize,
     },
+    /// A serialised graph listed the same edge twice. The [`TaskGraphBuilder`]
+    /// deduplicates programmatic edges, but interchange documents must list
+    /// each edge exactly once — a repeat almost always means a generator bug
+    /// upstream, and untrusted service input must not mask it.
+    DuplicateEdge {
+        /// Source task index of the repeated edge.
+        from: usize,
+        /// Target task index of the repeated edge.
+        to: usize,
+    },
     /// A task depends on itself.
     SelfLoop {
         /// Name of the offending task.
@@ -139,6 +149,10 @@ impl fmt::Display for TaskGraphError {
                 "design points of task {task} are not a pareto frontier (currents must fall as durations grow)"
             ),
             Self::UnknownTask { id } => write!(f, "edge references unknown task id {id}"),
+            Self::DuplicateEdge { from, to } => write!(
+                f,
+                "edge ({from}, {to}) is listed more than once (serialised graphs must list each edge exactly once)"
+            ),
             Self::SelfLoop { task } => write!(f, "task {task} depends on itself"),
             Self::Cycle { task } => write!(f, "precedence cycle detected through task {task}"),
         }
@@ -256,6 +270,38 @@ impl TaskGraph {
     /// Looks a task up by name (linear scan; graphs here are small).
     pub fn find(&self, name: &str) -> Option<TaskId> {
         self.tasks.iter().position(|t| t.name == name).map(TaskId)
+    }
+
+    /// Builds a graph from pre-assembled parts — the validation entry point
+    /// shared by the serde path and [`crate::io`]'s typed parser. With
+    /// `reject_duplicate_edges`, a repeated `(from, to)` pair is a
+    /// [`TaskGraphError::DuplicateEdge`] instead of being silently folded
+    /// (the builder's behaviour for programmatic construction).
+    ///
+    /// # Errors
+    ///
+    /// Every [`TaskGraphError`] variant is reachable.
+    pub fn from_parts(
+        tasks: Vec<TaskNode>,
+        edges: Vec<(usize, usize)>,
+        reject_duplicate_edges: bool,
+    ) -> Result<TaskGraph, TaskGraphError> {
+        if reject_duplicate_edges {
+            let mut seen = std::collections::HashSet::new();
+            for &(u, v) in &edges {
+                if !seen.insert((u, v)) {
+                    return Err(TaskGraphError::DuplicateEdge { from: u, to: v });
+                }
+            }
+        }
+        let mut b = TaskGraph::builder();
+        for t in tasks {
+            b.task(t.name, t.points);
+        }
+        for (u, v) in edges {
+            b.edge(TaskId(u), TaskId(v));
+        }
+        b.build()
     }
 }
 
@@ -419,14 +465,9 @@ impl TryFrom<RawTaskGraph> for TaskGraph {
     type Error = TaskGraphError;
 
     fn try_from(raw: RawTaskGraph) -> Result<Self, Self::Error> {
-        let mut b = TaskGraph::builder();
-        for t in raw.tasks {
-            b.task(t.name, t.points);
-        }
-        for (u, v) in raw.edges {
-            b.edge(TaskId(u), TaskId(v));
-        }
-        b.build()
+        // Serialised graphs are interchange documents (often untrusted):
+        // duplicate edges are rejected rather than deduplicated.
+        TaskGraph::from_parts(raw.tasks, raw.edges, true)
     }
 }
 
@@ -562,6 +603,39 @@ mod tests {
         let c = b.task("B", two_points());
         b.edge(a, c).edge(a, c).edge(a, c);
         let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn serde_rejects_duplicate_edges_builder_dedups() {
+        // Programmatic path: folded silently (see duplicate_edges_are_deduplicated).
+        // Interchange path: typed rejection.
+        let json = r#"{
+            "tasks": [
+                {"name":"A","points":[{"duration":1.0,"current":10.0,"voltage":1.0}]},
+                {"name":"B","points":[{"duration":1.0,"current":10.0,"voltage":1.0}]}
+            ],
+            "edges": [[0,1],[0,1]]
+        }"#;
+        let err = serde_json::from_str::<TaskGraph>(json).unwrap_err();
+        assert!(err.to_string().contains("listed more than once"), "{err}");
+
+        let nodes = vec![
+            TaskNode {
+                name: "A".into(),
+                points: two_points(),
+            },
+            TaskNode {
+                name: "B".into(),
+                points: two_points(),
+            },
+        ];
+        let edges = vec![(0usize, 1usize), (0, 1)];
+        assert_eq!(
+            TaskGraph::from_parts(nodes.clone(), edges.clone(), true).unwrap_err(),
+            TaskGraphError::DuplicateEdge { from: 0, to: 1 }
+        );
+        let g = TaskGraph::from_parts(nodes, edges, false).unwrap();
         assert_eq!(g.edge_count(), 1);
     }
 

@@ -25,3 +25,11 @@ bench:
 # Regenerate the perf-trajectory snapshot (BENCH_scheduler.json).
 perf:
     cargo run --release -p batsched-bench --bin repro_bench_json -- --full
+
+# Boot the HTTP daemon, fire a loadgen burst, assert 2xx + clean shutdown.
+serve-smoke:
+    ./ci.sh serve-smoke
+
+# Regenerate the service load snapshot (BENCH_service.json, full streams).
+service-bench:
+    cargo run --release -p batsched-bench --bin loadgen

@@ -14,7 +14,10 @@
 //! * [`baselines`] — the Rakhmatov DP comparison of the paper's Table 4,
 //!   Chowdhury scaling, exhaustive optimum, simulated annealing;
 //! * [`sim`] — discrete-event execution with DVS/FPGA switch overheads and
-//!   battery depletion events.
+//!   battery depletion events;
+//! * [`service`] — the concurrent batch-scheduling daemon: canonical wire
+//!   format, worker pool with reusable solver state, LRU result cache,
+//!   JSONL and HTTP frontends (see `docs/SERVICE.md`).
 //!
 //! ## Quick start
 //!
@@ -43,6 +46,7 @@
 pub use batsched_baselines as baselines;
 pub use batsched_battery as battery;
 pub use batsched_core as core;
+pub use batsched_service as service;
 pub use batsched_sim as sim;
 pub use batsched_taskgraph as taskgraph;
 
