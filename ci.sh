@@ -73,8 +73,11 @@ cargo test --workspace -q --features parallel
 
 serve_smoke
 
-echo "==> perf snapshot (BENCH_scheduler.json)"
-cargo run --release -q -p batsched-bench --bin repro_bench_json
+echo "==> perf smoke + snapshot (BENCH_scheduler.json, floors enforced)"
+# Quick-mode perf smoke: regenerates the snapshot and fails the pipeline if
+# sigma_full_vs_naive or cdp_speedup regress below their conservative 2x
+# floors (same command as `just bench-quick`).
+cargo run --release -q -p batsched-bench --bin repro_bench_json -- --quick --check
 
 echo "==> service load snapshot (BENCH_service.json)"
 cargo run --release -q -p batsched-bench --bin loadgen -- --quick

@@ -4,10 +4,21 @@
 //! design-point assignment (with partial-sum pruning), scoring each complete
 //! schedule with the RV battery model. Exponential, so construction bounds
 //! the search-space size.
+//!
+//! The assignment DFS varies the *deepest* positions fastest, so consecutive
+//! complete schedules share long **prefixes** — exactly the access pattern
+//! the σ engine's suffix cache cannot exploit. The default scoring path
+//! therefore carries a [`PrefixSigma`] stack along the DFS: O(terms) work
+//! per tree edge and per leaf, instead of an O(n·terms) full re-evaluation
+//! plus a fresh assignment allocation per leaf. The pre-cache path is
+//! retained behind [`Exhaustive::use_prefix_cache`] as the equivalence
+//! reference and bench baseline.
 
 use crate::Scheduler;
+use batsched_battery::eval::PrefixSigma;
 use batsched_battery::rv::RvModel;
 use batsched_battery::units::Minutes;
+use batsched_core::schedule::{entry_id, graph_evaluator};
 use batsched_core::{EngineCost, Schedule, SchedulerError};
 use batsched_taskgraph::topo::for_each_topological_order;
 use batsched_taskgraph::{PointId, TaskGraph, TaskId};
@@ -21,6 +32,11 @@ pub struct Exhaustive {
     pub max_assignments_per_order: usize,
     /// Battery model used for scoring.
     pub model: RvModel,
+    /// Score leaves through the prefix-keyed σ stack (the default). The
+    /// `false` path re-evaluates every complete assignment through the
+    /// suffix engine, as the pre-cache implementation did — kept for
+    /// equivalence tests and as the bench baseline.
+    pub use_prefix_cache: bool,
 }
 
 impl Default for Exhaustive {
@@ -29,6 +45,56 @@ impl Default for Exhaustive {
             max_orders: 50_000,
             max_assignments_per_order: 200_000,
             model: RvModel::date05(),
+            use_prefix_cache: true,
+        }
+    }
+}
+
+/// DFS state of the prefix-σ scoring path, hoisted out of the per-order
+/// closure so nothing is allocated per order or per leaf.
+struct PrefixDfs<'a> {
+    g: &'a TaskGraph,
+    eval: &'a batsched_battery::eval::SigmaEvaluator,
+    pfx: PrefixSigma,
+    assign: Vec<usize>,
+    d: f64,
+    m: usize,
+    cap: usize,
+    visited: usize,
+    found: bool,
+    best_cost: f64,
+    best_order: Vec<TaskId>,
+    best_assign: Vec<usize>,
+}
+
+impl PrefixDfs<'_> {
+    fn dfs(&mut self, order: &[TaskId], suffix_min: &[f64], pos: usize, elapsed: f64) {
+        if self.visited >= self.cap {
+            return;
+        }
+        if pos == order.len() {
+            self.visited += 1;
+            let (cost, _) = self.pfx.sigma();
+            if !self.found || cost.value() < self.best_cost {
+                self.found = true;
+                self.best_cost = cost.value();
+                self.best_order.clear();
+                self.best_order.extend_from_slice(order);
+                self.best_assign.clear();
+                self.best_assign
+                    .extend_from_slice(&self.assign[..order.len()]);
+            }
+            return;
+        }
+        let t = order[pos];
+        for j in 0..self.m {
+            let dur = self.g.duration(t, PointId(j)).value();
+            if elapsed + dur + suffix_min[pos + 1] <= self.d + 1e-9 {
+                self.assign[pos] = j;
+                self.pfx.push(self.eval, entry_id(t, self.m, PointId(j)));
+                self.dfs(order, suffix_min, pos + 1, elapsed + dur);
+                self.pfx.pop();
+            }
         }
     }
 }
@@ -48,28 +114,93 @@ impl Exhaustive {
             return Err(SchedulerError::InvalidDeadline { deadline });
         }
         let n = g.task_count();
-        let m = g.point_count();
         let d = deadline.value();
         // Cheapest remaining time per suffix for pruning.
         let min_dur: Vec<f64> = g
             .task_ids()
             .map(|t| g.duration(t, PointId(0)).value())
             .collect();
+        let mut suffix_min = vec![0.0; n + 1];
 
+        let found = if self.use_prefix_cache {
+            self.best_prefix(g, d, &min_dur, &mut suffix_min)
+        } else {
+            self.best_reference(g, d, &min_dur, &mut suffix_min)
+        };
+
+        match found {
+            Some((order, assignment, cost)) => Ok((Schedule::new(order, assignment), cost)),
+            None => Err(SchedulerError::DeadlineInfeasible {
+                fastest: batsched_taskgraph::analysis::min_makespan(g),
+                deadline,
+            }),
+        }
+    }
+
+    /// The prefix-σ scoring path: push/pop the DFS edge's entry, read a
+    /// complete schedule's σ off the stack top in O(terms).
+    fn best_prefix(
+        &self,
+        g: &TaskGraph,
+        d: f64,
+        min_dur: &[f64],
+        suffix_min: &mut [f64],
+    ) -> Option<(Vec<TaskId>, Vec<PointId>, f64)> {
+        let n = g.task_count();
+        let eval = graph_evaluator(g, &self.model);
+        let mut state = PrefixDfs {
+            g,
+            eval: &eval,
+            pfx: PrefixSigma::new(),
+            assign: vec![0; n],
+            d,
+            m: g.point_count(),
+            cap: self.max_assignments_per_order,
+            visited: 0,
+            found: false,
+            best_cost: f64::INFINITY,
+            best_order: Vec::with_capacity(n),
+            best_assign: Vec::with_capacity(n),
+        };
+        for_each_topological_order(g, self.max_orders, |order| {
+            for i in (0..n).rev() {
+                suffix_min[i] = suffix_min[i + 1] + min_dur[order[i].index()];
+            }
+            state.visited = 0;
+            state.dfs(order, suffix_min, 0, 0.0);
+            debug_assert_eq!(state.pfx.depth(), 0, "DFS unwinds the prefix stack");
+        });
+        if !state.found {
+            return None;
+        }
+        let mut assignment = vec![PointId(0); n];
+        for (p, &t) in state.best_order.iter().enumerate() {
+            assignment[t.index()] = PointId(state.best_assign[p]);
+        }
+        Some((state.best_order, assignment, state.best_cost))
+    }
+
+    /// The retained pre-cache scoring path: per-leaf task-indexed
+    /// assignment construction plus a full suffix-engine evaluation —
+    /// the equivalence reference and the `exhaustive_speedup` baseline.
+    fn best_reference(
+        &self,
+        g: &TaskGraph,
+        d: f64,
+        min_dur: &[f64],
+        suffix_min: &mut [f64],
+    ) -> Option<(Vec<TaskId>, Vec<PointId>, f64)> {
+        let n = g.task_count();
+        let m = g.point_count();
         let mut best: Option<(Vec<TaskId>, Vec<PointId>, f64)> = None;
         let mut engine = EngineCost::new(g, &self.model);
 
         for_each_topological_order(g, self.max_orders, |order| {
-            // Suffix minima of fastest durations along this order.
-            let mut suffix_min = vec![0.0; n + 1];
             for i in (0..n).rev() {
                 suffix_min[i] = suffix_min[i + 1] + min_dur[order[i].index()];
             }
             let mut assign = vec![0usize; n];
             let mut visited = 0usize;
-            // DFS over assignments with time pruning; complete assignments
-            // are scored through the σ engine (no profile allocation, no
-            // exponentials).
             #[allow(clippy::too_many_arguments)]
             fn dfs(
                 g: &TaskGraph,
@@ -129,7 +260,7 @@ impl Exhaustive {
                 g,
                 &mut engine,
                 order,
-                &suffix_min,
+                suffix_min,
                 d,
                 m,
                 0,
@@ -140,14 +271,7 @@ impl Exhaustive {
                 &mut best,
             );
         });
-
-        match best {
-            Some((order, assignment, cost)) => Ok((Schedule::new(order, assignment), cost)),
-            None => Err(SchedulerError::DeadlineInfeasible {
-                fastest: batsched_taskgraph::analysis::min_makespan(g),
-                deadline,
-            }),
-        }
+        best
     }
 }
 
@@ -217,12 +341,34 @@ mod tests {
     }
 
     #[test]
+    fn prefix_cache_matches_reference_path() {
+        let g = small();
+        for d in [5.5, 6.0, 8.0, 10.0, 11.5] {
+            let dl = Minutes::new(d);
+            let (fast, fc) = Exhaustive::default().best(&g, dl).unwrap();
+            let reference = Exhaustive {
+                use_prefix_cache: false,
+                ..Default::default()
+            };
+            let (slow, sc) = reference.best(&g, dl).unwrap();
+            assert_eq!(fast, slow, "d={d}");
+            assert!((fc - sc).abs() <= 1e-9 * sc.max(1.0), "d={d}: {fc} vs {sc}");
+        }
+    }
+
+    #[test]
     fn infeasible_deadline_errors() {
         let g = small();
-        assert!(matches!(
-            Exhaustive::default().best(&g, Minutes::new(4.0)),
-            Err(SchedulerError::DeadlineInfeasible { .. })
-        ));
+        for use_prefix_cache in [true, false] {
+            let e = Exhaustive {
+                use_prefix_cache,
+                ..Default::default()
+            };
+            assert!(matches!(
+                e.best(&g, Minutes::new(4.0)),
+                Err(SchedulerError::DeadlineInfeasible { .. })
+            ));
+        }
     }
 
     #[test]

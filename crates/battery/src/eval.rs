@@ -272,6 +272,148 @@ impl SigmaScratch {
     }
 }
 
+/// Prefix-keyed partial-σ state: the complement of [`SigmaScratch`]'s
+/// suffix cache for searches that grow and shrink a schedule from the
+/// *front* (depth-first assignment enumeration, branch-and-bound).
+///
+/// The suffix cache exploits that a contiguous schedule's σ depends on each
+/// interval only through the time *remaining after it*. A prefix ending at
+/// time `P` can nevertheless be summarised exactly: writing `T = P + S` for
+/// a yet-unknown suffix of duration `S`,
+///
+/// ```text
+/// e^{−β²m²·(T − e_k)} = e^{−β²m²·(P − e_k)} · e^{−β²m²·S}
+/// ```
+///
+/// so the prefix contributes `charge = Σ_k I_k·Δ_k` plus, per series term,
+/// the **prefix moment** `A_m = Σ_k I_k · fill_{k,m} · e^{−β²m²·(P − e_k)}`
+/// measured from the prefix's own end. Appending one catalogued entry `e`
+/// updates the moments in `O(terms)`:
+///
+/// ```text
+/// A'_m = A_m · decay_{e,m} + I_e · fill_{e,m}
+/// ```
+///
+/// and a *complete* schedule (empty suffix, `S = 0`) evaluates to
+/// `σ = charge + 2·Σ_m A_m`. The per-depth rows form a stack, so a DFS
+/// pays `O(terms)` per push/pop and `O(terms)` per leaf — instead of an
+/// `O(n·terms)` full re-evaluation per leaf through [`SigmaEvaluator::sigma_seq`],
+/// whose suffix cache cannot help when only the deepest positions vary.
+///
+/// Results match `sigma_seq` to floating-point association (≤ 1e-9
+/// relative); the battery property suite enforces this.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixSigma {
+    /// Id of the evaluator the rows belong to (0 = unbound).
+    evaluator_id: u64,
+    terms: usize,
+    depth: usize,
+    /// `charge[k]`: delivered charge `Σ I·Δ` of the first `k` entries.
+    charge: Vec<f64>,
+    /// `elapsed[k]`: total duration of the first `k` entries.
+    elapsed: Vec<f64>,
+    /// `a[k·terms + m]`: term-`m` prefix moment after `k` entries.
+    a: Vec<f64>,
+}
+
+impl PrefixSigma {
+    /// Creates an empty prefix stack (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current prefix length (number of pushed entries).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Clears the prefix back to empty (keeps the buffers).
+    pub fn reset(&mut self) {
+        self.depth = 0;
+    }
+
+    /// End time of the current prefix.
+    pub fn elapsed(&self) -> Minutes {
+        Minutes::new(if self.depth == 0 {
+            0.0
+        } else {
+            self.elapsed[self.depth]
+        })
+    }
+
+    /// Appends catalogued entry `entry` to the prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `entry` is out of range for `eval`.
+    pub fn push(&mut self, eval: &SigmaEvaluator, entry: u32) {
+        if self.evaluator_id != eval.id || self.terms != eval.terms {
+            self.evaluator_id = eval.id;
+            self.terms = eval.terms;
+            self.depth = 0;
+        }
+        let e = entry as usize;
+        assert!(e < eval.dur.len(), "entry {e} out of range");
+        let terms = self.terms;
+        let k = self.depth;
+        if self.charge.len() < k + 2 {
+            self.charge.resize(k + 2, 0.0);
+            self.elapsed.resize(k + 2, 0.0);
+        }
+        if self.a.len() < (k + 2) * terms {
+            self.a.resize((k + 2) * terms, 0.0);
+        }
+        if k == 0 {
+            self.charge[0] = 0.0;
+            self.elapsed[0] = 0.0;
+            self.a[..terms].fill(0.0);
+        }
+        let cur = eval.cur[e];
+        let dur = eval.dur[e];
+        self.charge[k + 1] = self.charge[k] + cur * dur;
+        self.elapsed[k + 1] = self.elapsed[k] + dur;
+        let factors = &eval.table[2 * e * terms..2 * (e + 1) * terms];
+        let (row_in, row_out) = self.a[k * terms..(k + 2) * terms].split_at_mut(terms);
+        for ((ai, ao), fd) in row_in
+            .iter()
+            .zip(row_out.iter_mut())
+            .zip(factors.chunks_exact(2))
+        {
+            // fd[0] = fill, fd[1] = decay (same layout as the suffix path).
+            *ao = ai * fd[1] + cur * fd[0];
+        }
+        self.depth = k + 1;
+    }
+
+    /// Removes the most recently pushed entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the prefix is empty.
+    pub fn pop(&mut self) {
+        assert!(self.depth > 0, "pop on empty prefix");
+        self.depth -= 1;
+    }
+
+    /// σ and makespan of the current prefix *as a complete schedule*
+    /// (evaluated at its own completion instant, like
+    /// [`SigmaEvaluator::sigma_seq`]).
+    pub fn sigma(&self) -> (MilliAmpMinutes, Minutes) {
+        if self.depth == 0 {
+            return (MilliAmpMinutes::new(0.0), Minutes::new(0.0));
+        }
+        let k = self.depth;
+        let mut series = 0.0;
+        for &am in &self.a[k * self.terms..(k + 1) * self.terms] {
+            series += am;
+        }
+        (
+            MilliAmpMinutes::new(self.charge[k] + 2.0 * series),
+            Minutes::new(self.elapsed[k]),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +537,85 @@ mod tests {
         let model = RvModel::new(0.273, 10).unwrap();
         let (naive, _) = naive(&model, &short_seq);
         assert_close(sigma.value(), naive);
+    }
+
+    #[test]
+    fn prefix_sigma_matches_suffix_engine() {
+        let model = RvModel::date05();
+        let eval = SigmaEvaluator::new(&model, entries());
+        let mut pfx = PrefixSigma::new();
+        for seq in [
+            vec![0u32],
+            vec![3, 2, 1, 0],
+            vec![0, 1, 2, 3, 4],
+            vec![4, 4, 4],
+            vec![2, 0, 3, 1, 4, 0, 2],
+        ] {
+            pfx.reset();
+            for &e in &seq {
+                pfx.push(&eval, e);
+            }
+            let (sigma, mk) = pfx.sigma();
+            let (es, emk) = eval.sigma_seq_once(&seq);
+            assert_close(sigma.value(), es.value());
+            assert!((mk.value() - emk.value()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prefix_sigma_push_pop_walks_a_dfs() {
+        // Simulate an assignment DFS: extend, evaluate, retract, branch —
+        // every complete prefix must match a from-scratch evaluation.
+        let model = RvModel::date05();
+        let eval = SigmaEvaluator::new(&model, entries());
+        let mut pfx = PrefixSigma::new();
+        let mut seq: Vec<u32> = Vec::new();
+        fn walk(eval: &SigmaEvaluator, pfx: &mut PrefixSigma, seq: &mut Vec<u32>, depth: usize) {
+            if depth == 3 {
+                let (sigma, mk) = pfx.sigma();
+                let (es, emk) = eval.sigma_seq_once(seq);
+                assert!(
+                    (sigma.value() - es.value()).abs() <= 1e-9 * es.value().max(1.0),
+                    "prefix {sigma} vs engine {es} on {seq:?}"
+                );
+                assert!((mk.value() - emk.value()).abs() < 1e-12);
+                return;
+            }
+            for e in 0..5u32 {
+                pfx.push(eval, e);
+                seq.push(e);
+                walk(eval, pfx, seq, depth + 1);
+                seq.pop();
+                pfx.pop();
+            }
+        }
+        walk(&eval, &mut pfx, &mut seq, 0);
+        assert_eq!(pfx.depth(), 0);
+    }
+
+    #[test]
+    fn prefix_sigma_resets_across_evaluators() {
+        let model = RvModel::date05();
+        let a = SigmaEvaluator::new(&model, entries());
+        let mut shuffled = entries();
+        shuffled.reverse();
+        let b = SigmaEvaluator::new(&model, shuffled);
+        let mut pfx = PrefixSigma::new();
+        pfx.push(&a, 0);
+        // Rebinding to another evaluator drops the stale prefix.
+        pfx.push(&b, 0);
+        assert_eq!(pfx.depth(), 1);
+        let (sigma, _) = pfx.sigma();
+        let (sb, _) = b.sigma_seq_once(&[0]);
+        assert_close(sigma.value(), sb.value());
+    }
+
+    #[test]
+    fn empty_prefix_is_zero() {
+        let pfx = PrefixSigma::new();
+        let (sigma, mk) = pfx.sigma();
+        assert_eq!(sigma.value(), 0.0);
+        assert_eq!(mk.value(), 0.0);
     }
 
     #[test]

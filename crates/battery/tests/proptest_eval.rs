@@ -3,7 +3,7 @@
 //! entry catalogues, sequences, single-entry swaps and sample sweeps, the
 //! engine must match [`RvModel::sigma`] to ≤ 1e-9 relative error.
 
-use batsched_battery::eval::{SigmaEvaluator, SigmaScratch};
+use batsched_battery::eval::{PrefixSigma, SigmaEvaluator, SigmaScratch};
 use batsched_battery::profile::LoadProfile;
 use batsched_battery::rv::RvModel;
 use batsched_battery::units::{MilliAmps, Minutes};
@@ -55,6 +55,43 @@ proptest! {
         let (naive, naive_mk) = naive_sigma(&model, &entries, &seq);
         assert_rel_close(sigma.value(), naive);
         prop_assert!((mk.value() - naive_mk).abs() <= 1e-9 * naive_mk.max(1.0));
+    }
+
+    /// The prefix-keyed σ stack matches the naive path at every prefix of
+    /// an arbitrary sequence, growing and shrinking DFS-style (push all,
+    /// then pop-and-repush the tail) without drift.
+    #[test]
+    fn prefix_sigma_matches_naive_at_every_depth(
+        entries in arb_entries(),
+        picks in prop::collection::vec(0u32..64, 1..24),
+        beta in 0.05f64..1.5,
+        terms in 1usize..20,
+    ) {
+        let model = RvModel::new(beta, terms).unwrap();
+        let eval = SigmaEvaluator::new(&model, entries.clone());
+        let seq = seq_from(&picks, entries.len());
+        let mut pfx = PrefixSigma::new();
+        for (k, &e) in seq.iter().enumerate() {
+            pfx.push(&eval, e);
+            let (sigma, mk) = pfx.sigma();
+            let (naive, naive_mk) = naive_sigma(&model, &entries, &seq[..=k]);
+            assert_rel_close(sigma.value(), naive);
+            prop_assert!((mk.value() - naive_mk).abs() <= 1e-9 * naive_mk.max(1.0));
+        }
+        // Retract half the stack and rebuild it with different entries:
+        // the stack rows below the pop point must still be exact.
+        let keep = seq.len() / 2;
+        for _ in keep..seq.len() {
+            pfx.pop();
+        }
+        let mut rebuilt: Vec<u32> = seq[..keep].to_vec();
+        for &e in seq.iter().rev() {
+            rebuilt.push(e);
+            pfx.push(&eval, e);
+        }
+        let (sigma, _) = pfx.sigma();
+        let (naive, _) = naive_sigma(&model, &entries, &rebuilt);
+        assert_rel_close(sigma.value(), naive);
     }
 
     /// A chain of single-position swaps through one shared scratch stays

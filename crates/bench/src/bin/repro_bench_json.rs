@@ -1,10 +1,15 @@
-//! Perf-trajectory harness: times the σ-evaluation kernels and the full
-//! scheduler on a synthetic n=50, m=8 instance and writes
+//! Perf-trajectory harness: times the σ-evaluation kernels, the incremental
+//! window-search kernel, topological-order enumeration, the exhaustive
+//! baseline, and the full scheduler on synthetic instances, then writes
 //! `BENCH_scheduler.json` so future changes have a recorded baseline.
 //!
 //! Run with `cargo run --release -p batsched-bench --bin repro_bench_json`.
-//! Pass `--full` for more samples (default is quick mode). The JSON lands
-//! in the current directory.
+//! Flags:
+//! * `--full` — more samples (default is quick mode; `--quick` is accepted
+//!   as an explicit no-op for symmetry);
+//! * `--check` — after measuring, fail (exit 1) if `sigma_full_vs_naive`
+//!   or `cdp_speedup` fall below conservative floors (2×). CI runs this so
+//!   perf wins cannot be silently lost.
 //!
 //! Reported medians (ns):
 //! * `sigma_naive` — one `RvModel::sigma` over the prebuilt 50-interval
@@ -14,17 +19,31 @@
 //! * `sigma_engine_full` — one full `SigmaEvaluator` pass (cold cache);
 //! * `sigma_engine_swap` — one re-evaluation after a single design-point
 //!   swap (warm suffix cache);
+//! * `cdp_incremental` / `cdp_naive` — one full-window `ChooseDesignPoints`
+//!   through the journal kernel vs. the retained clone-and-rescan
+//!   reference;
+//! * `topo` — orders/sec of the in-place enumeration generator vs. the
+//!   retained recursive reference (100 k orders of the n=50 instance);
+//! * `exhaustive` — one `Exhaustive::best` solve with the prefix-keyed σ
+//!   stack vs. the retained per-leaf suffix-engine path, as orders/sec;
 //! * `schedule_run` — one full `batsched_core::schedule` call.
 
+use batsched_baselines::Exhaustive;
 use batsched_battery::eval::SigmaScratch;
 use batsched_battery::rv::RvModel;
 use batsched_battery::units::Minutes;
 use batsched_bench::workloads::{synthetic_n50_m8, SYNTH_N50_M8_SEED};
 use batsched_core::schedule::{entry_id, graph_evaluator};
+use batsched_core::search::DiagSearch;
 use batsched_core::{profile_of, schedule, SchedulerConfig};
 use batsched_taskgraph::analysis::{max_makespan, min_makespan};
-use batsched_taskgraph::topo::topological_order;
-use batsched_taskgraph::PointId;
+use batsched_taskgraph::synth::{layered, Rounding, ScalingScheme, TaskParams};
+use batsched_taskgraph::topo::{
+    for_each_topological_order, for_each_topological_order_reference, topological_order,
+};
+use batsched_taskgraph::{PointId, TaskGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -47,8 +66,33 @@ fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
     timings[timings.len() / 2]
 }
 
+/// Seed of the small exhaustive-baseline instance.
+const EXHAUSTIVE_SEED: u64 = 0x0E57_AE11;
+
+/// A deep layered instance (n=30, m=3) for the exhaustive bench: the
+/// assignment DFS dominates, which is exactly the regime the prefix-keyed
+/// σ stack accelerates (per-leaf cost O(terms) instead of O(n·terms) plus
+/// a per-leaf allocation). Order and assignment caps keep one solve
+/// bench-friendly.
+fn exhaustive_instance() -> TaskGraph {
+    let m = 3usize;
+    let params = TaskParams {
+        current_range: (100.0, 900.0),
+        duration_range: (2.0, 10.0),
+        factors: (0..m)
+            .map(|j| 1.0 - 0.6 * j as f64 / (m - 1) as f64)
+            .collect(),
+        scheme: ScalingScheme::ReversedDuration,
+        rounding: Rounding::PAPER,
+    };
+    let mut rng = StdRng::seed_from_u64(EXHAUSTIVE_SEED);
+    layered(15, 2, 0.5, &params, &mut rng).expect("valid generator config")
+}
+
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let check = args.iter().any(|a| a == "--check");
     let samples = if full { 40 } else { 12 };
 
     let g = synthetic_n50_m8();
@@ -99,6 +143,81 @@ fn main() {
         swap_entries[swap_pos] = entry_id(t, m, col);
         black_box(eval.sigma_seq(black_box(&swap_entries), &mut scratch));
     });
+
+    // One full-window ChooseDesignPoints sweep — the scheduler's hot inner
+    // loop — through the incremental journal kernel and through the
+    // retained clone-and-rescan reference.
+    let mut diag = DiagSearch::new(&g, &cfg, deadline).expect("valid paper config");
+    let cdp_incremental = median_ns(samples, || {
+        black_box(diag.choose(black_box(&order), 0).expect("feasible window"));
+    });
+    let cdp_naive = median_ns(samples.min(12), || {
+        black_box(
+            diag.choose_reference(black_box(&order), 0)
+                .expect("feasible window"),
+        );
+    });
+    let incr = diag.choose(&order, 0).expect("feasible window").to_vec();
+    let naive = diag.choose_reference(&order, 0).expect("feasible window");
+    assert_eq!(incr, naive, "kernel and reference must agree bit-for-bit");
+
+    // Topological-order enumeration throughput, 100 k orders of the n=50
+    // instance (it has astronomically many, so the cap always binds).
+    let topo_cap = 100_000usize;
+    let topo_new_ns = median_ns(samples.min(8), || {
+        black_box(for_each_topological_order(&g, topo_cap, |o| {
+            black_box(o);
+        }));
+    });
+    let topo_ref_ns = median_ns(samples.min(8), || {
+        black_box(for_each_topological_order_reference(&g, topo_cap, |o| {
+            black_box(o);
+        }));
+    });
+    let topo_new_ops = topo_cap as f64 / (topo_new_ns / 1e9);
+    let topo_ref_ops = topo_cap as f64 / (topo_ref_ns / 1e9);
+
+    // Exhaustive baseline: one full solve, prefix-keyed σ stack vs. the
+    // retained per-leaf suffix-engine path.
+    let eg = exhaustive_instance();
+    let elo = min_makespan(&eg).value();
+    let ehi = max_makespan(&eg).value();
+    let ed = Minutes::new(elo + (ehi - elo) * 0.6);
+    let ex_fast = Exhaustive {
+        max_orders: 8,
+        max_assignments_per_order: 4_000,
+        ..Default::default()
+    };
+    let ex_slow = Exhaustive {
+        use_prefix_cache: false,
+        ..ex_fast.clone()
+    };
+    let ex_orders = for_each_topological_order(&eg, ex_fast.max_orders, |_| {});
+    let (sched_fast, cost_fast) = ex_fast.best(&eg, ed).expect("feasible instance");
+    let (sched_slow, cost_slow) = ex_slow.best(&eg, ed).expect("feasible instance");
+    // The two paths may only disagree on schedules tied within float
+    // association noise; the costs must always match to tolerance.
+    assert!(
+        (cost_fast - cost_slow).abs() <= 1e-9 * cost_slow.max(1.0),
+        "cache on/off cost mismatch: {cost_fast} vs {cost_slow}"
+    );
+    if sched_fast != sched_slow {
+        let a = sched_fast.battery_cost(&eg, &RvModel::date05()).value();
+        let b = sched_slow.battery_cost(&eg, &RvModel::date05()).value();
+        assert!(
+            (a - b).abs() <= 1e-9 * b.max(1.0),
+            "cache on/off picked different non-tied optima: {a} vs {b}"
+        );
+    }
+    let ex_new_ns = median_ns(samples.min(8), || {
+        black_box(ex_fast.best(&eg, ed).expect("feasible instance"));
+    });
+    let ex_ref_ns = median_ns(samples.min(8), || {
+        black_box(ex_slow.best(&eg, ed).expect("feasible instance"));
+    });
+    let ex_new_ops = ex_orders as f64 / (ex_new_ns / 1e9);
+    let ex_ref_ops = ex_orders as f64 / (ex_ref_ns / 1e9);
+
     let schedule_run = median_ns(samples.min(12), || {
         black_box(schedule(&g, deadline, &cfg).expect("feasible synthetic instance"));
     });
@@ -106,6 +225,9 @@ fn main() {
     let speedup_full = sigma_naive / sigma_engine_full;
     let speedup_vs_old_inner = sigma_naive_with_profile / sigma_engine_full;
     let speedup_swap = sigma_naive_with_profile / sigma_engine_swap;
+    let cdp_speedup = cdp_naive / cdp_incremental;
+    let topo_speedup = topo_new_ops / topo_ref_ops;
+    let exhaustive_speedup = ex_new_ops / ex_ref_ops;
 
     let json = format!(
         "{{\n  \"instance\": {{\"n\": {n}, \"m\": {m}, \"deadline_min\": {dl}, \"seed\": {seed}}},\n  \
@@ -114,15 +236,53 @@ fn main() {
          \"naive_with_profile\": {sigma_naive_with_profile:.1},\n    \
          \"engine_full\": {sigma_engine_full:.1},\n    \
          \"engine_swap\": {sigma_engine_swap:.1}\n  }},\n  \
+         \"cdp_ns\": {{\n    \"incremental\": {cdp_incremental:.1},\n    \
+         \"naive\": {cdp_naive:.1}\n  }},\n  \
+         \"topo\": {{\n    \"orders\": {topo_cap},\n    \
+         \"orders_per_sec\": {topo_new_ops:.0},\n    \
+         \"orders_per_sec_reference\": {topo_ref_ops:.0}\n  }},\n  \
+         \"exhaustive\": {{\n    \"instance\": {{\"n\": {exn}, \"m\": {exm}, \"deadline_min\": {exd}, \"seed\": {exseed}}},\n    \
+         \"orders\": {ex_orders},\n    \
+         \"solve_ns\": {ex_new_ns:.0},\n    \
+         \"solve_ns_reference\": {ex_ref_ns:.0},\n    \
+         \"topo_orders_per_sec\": {ex_new_ops:.1},\n    \
+         \"topo_orders_per_sec_reference\": {ex_ref_ops:.1}\n  }},\n  \
          \"schedule_run_ns\": {schedule_run:.1},\n  \
          \"speedup\": {{\n    \"sigma_full_vs_naive\": {speedup_full:.2},\n    \
          \"sigma_full_vs_old_inner_loop\": {speedup_vs_old_inner:.2},\n    \
-         \"sigma_swap_vs_old_inner_loop\": {speedup_swap:.2}\n  }}\n}}\n",
+         \"sigma_swap_vs_old_inner_loop\": {speedup_swap:.2},\n    \
+         \"cdp_speedup\": {cdp_speedup:.2},\n    \
+         \"topo_speedup\": {topo_speedup:.2},\n    \
+         \"exhaustive_speedup\": {exhaustive_speedup:.2}\n  }}\n}}\n",
         dl = deadline.value(),
         seed = SYNTH_N50_M8_SEED,
         quick = !full,
+        exn = eg.task_count(),
+        exm = eg.point_count(),
+        exd = ed.value(),
+        exseed = EXHAUSTIVE_SEED,
     );
     std::fs::write("BENCH_scheduler.json", &json).expect("write BENCH_scheduler.json");
     println!("{json}");
     eprintln!("wrote BENCH_scheduler.json");
+
+    if check {
+        // Conservative floors (actual ratios are well above): catch a
+        // regression that silently loses an order-of-magnitude win without
+        // making CI flaky on a noisy machine.
+        let mut failed = false;
+        for (name, value, floor) in [
+            ("sigma_full_vs_naive", speedup_full, 2.0),
+            ("cdp_speedup", cdp_speedup, 2.0),
+        ] {
+            if value < floor {
+                eprintln!("PERF REGRESSION: {name} = {value:.2}x, floor {floor:.1}x");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("perf floors OK (sigma_full_vs_naive >= 2x, cdp_speedup >= 2x)");
+    }
 }

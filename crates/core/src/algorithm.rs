@@ -62,8 +62,10 @@ pub struct Solution {
     pub trace: Vec<IterationRecord>,
 }
 
-/// Reusable cross-run solver state: the σ-engine scratch and entry-id
-/// buffers one worker carries from one scheduling run to the next.
+/// Reusable cross-run solver state: the σ-engine scratch, entry-id
+/// buffers, and the window search's working set (the incremental-DPF
+/// repair journal and `ChooseDesignPoints` assignment buffers) one worker
+/// carries from one scheduling run to the next.
 ///
 /// A fresh [`schedule`] call allocates these buffers internally; services
 /// that answer many requests on long-lived worker threads should hold one

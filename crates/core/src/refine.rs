@@ -156,7 +156,34 @@ pub fn schedule_refined(
     config: &SchedulerConfig,
     max_passes: usize,
 ) -> Result<Refined, SchedulerError> {
-    let sol = crate::algorithm::schedule(g, deadline, config)?;
+    schedule_refined_in(
+        g,
+        deadline,
+        config,
+        max_passes,
+        &mut crate::algorithm::SolverWorkspace::new(),
+    )
+}
+
+/// [`schedule_refined`] with caller-owned solver buffers: the *solve*
+/// stage's window-search scratch (σ cache, DPF repair journal, assignment
+/// buffers) lives in `ws` and is reused across calls, mirroring
+/// [`schedule_in`](crate::algorithm::schedule_in) for callers that refine
+/// afterwards. The refinement pass itself still builds its own
+/// [`EngineCost`] per call (its evaluator is graph-specific); only the
+/// dominant solve stage is allocation-free across calls.
+///
+/// # Errors
+///
+/// Propagates [`crate::algorithm::schedule`]'s errors.
+pub fn schedule_refined_in(
+    g: &TaskGraph,
+    deadline: Minutes,
+    config: &SchedulerConfig,
+    max_passes: usize,
+    ws: &mut crate::algorithm::SolverWorkspace,
+) -> Result<Refined, SchedulerError> {
+    let sol = crate::algorithm::schedule_in(g, deadline, config, ws)?;
     refine_schedule(g, &sol.schedule, deadline, config, max_passes)
 }
 
@@ -207,6 +234,28 @@ mod tests {
         let b = schedule_refined(&g, d, &cfg, 64).unwrap();
         assert_eq!(a, b);
         assert!(a.stats.passes <= 64);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_buffers() {
+        // One long-lived workspace refining alternating instances (the
+        // service-worker pattern) must match fresh-buffer runs exactly.
+        let cfg = SchedulerConfig::paper();
+        let mut ws = crate::algorithm::SolverWorkspace::new();
+        let ga = g2();
+        let gb = g3();
+        let a1 = schedule_refined_in(&ga, Minutes::new(75.0), &cfg, 64, &mut ws).unwrap();
+        let b1 = schedule_refined_in(&gb, Minutes::new(230.0), &cfg, 64, &mut ws).unwrap();
+        let a2 = schedule_refined_in(&ga, Minutes::new(75.0), &cfg, 64, &mut ws).unwrap();
+        assert_eq!(
+            a1,
+            schedule_refined(&ga, Minutes::new(75.0), &cfg, 64).unwrap()
+        );
+        assert_eq!(
+            b1,
+            schedule_refined(&gb, Minutes::new(230.0), &cfg, 64).unwrap()
+        );
+        assert_eq!(a1, a2);
     }
 
     #[test]

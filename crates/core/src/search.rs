@@ -207,19 +207,331 @@ pub(crate) fn calculate_factors(
     (cif, enr)
 }
 
+/// One repair promotion recorded in the [`DpfScratch`] rollback journal:
+/// position `pos` moved from `old_col` to `old_col − 1`, changing the
+/// makespan by `d_te`, the total energy by `d_energy`, and the rising-pair
+/// count (excluding pairs adjacent to the tagged position) by `d_rising`.
+#[derive(Debug, Clone, Copy)]
+struct Promotion {
+    pos: usize,
+    old_col: usize,
+    d_te: f64,
+    d_energy: f64,
+    d_rising: i32,
+}
+
+/// Reusable state of the incremental `CalculateDPF` kernel.
+///
+/// One `suitability_row` call evaluates every candidate column of one
+/// tagged position. The paper's repair loop promotes the first free task in
+/// the energy vector one column at a time until the deadline holds — and
+/// that promotion sequence is *independent of the candidate column*: the
+/// candidate only decides how deep into the sequence the repair must go.
+/// The kernel therefore generates the sequence once per row, lazily, into a
+/// rollback **journal** shared by all candidates (promotions are resumed,
+/// never recomputed), and each candidate replays journal prefixes as O(1)
+/// scalar updates of the makespan `te`, the total energy, and the CIF
+/// rising-pair count. Per-column **occupancy counters** (maintained under
+/// journal seeks) make the DPF distribution sum O(m) instead of O(n·m).
+/// `end_row` undoes the journal, restoring the caller's assignment.
+///
+/// Cost per row: O(n + m) preparation plus O(k_j) replay and O(m) DPF sum
+/// per candidate — no clones, no full scans, zero allocations after
+/// warm-up. The retained naive reference (`calculate_dpf_reference`) is
+/// bit-identical; the equivalence proptests in `crates/core/tests` hold the
+/// two together.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DpfScratch {
+    /// Shared repair journal for the current row.
+    journal: Vec<Promotion>,
+    /// Task-indexed "fixed in E" working flags (row-local copy).
+    etemp: Vec<bool>,
+    /// Cursor into `ctx.energy_order`: every earlier task is fixed.
+    cursor: usize,
+    /// No free task remains; the journal cannot be extended.
+    exhausted: bool,
+    /// Per-column occupancy of positions `< i`, valid at journal prefix
+    /// `occ_k`.
+    occ: Vec<u32>,
+    occ_k: usize,
+    /// Row constants (set by `begin_row`).
+    i: usize,
+    ws: usize,
+    rest_te: f64,
+    rest_energy: f64,
+    /// Rising pairs excluding the two pairs adjacent to the tagged position,
+    /// at journal prefix 0.
+    rising0: i32,
+    /// Initial columns of the tagged position's neighbours.
+    col_im1: usize,
+    col_ip1: usize,
+    /// Output buffer of `suitability_row` (descending candidate column).
+    row: Vec<(usize, FactorBreakdown)>,
+}
+
+impl DpfScratch {
+    /// Prepares the kernel for one tagged position `i` within window `ws`.
+    /// `assign` is the row's positional snapshot (positions `> i` fixed,
+    /// free positions wherever the caller put them — column `m−1` in the
+    /// `ChooseDesignPoints` sweep); the tagged column is *not* read from
+    /// `assign[i]`, it is passed per candidate.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's CalculateDPF state
+    fn begin_row(
+        &mut self,
+        ctx: &SearchContext<'_>,
+        seq: &[TaskId],
+        assign: &[usize],
+        fixed_in_e: &[bool],
+        i: usize,
+        ws: usize,
+    ) {
+        let n = seq.len();
+        self.journal.clear();
+        self.cursor = 0;
+        self.exhausted = false;
+        self.occ_k = 0;
+        self.i = i;
+        self.ws = ws;
+        self.etemp.clear();
+        self.etemp.extend_from_slice(fixed_in_e);
+        self.etemp[seq[i].index()] = true; // the tagged task is fixed in E
+        self.occ.clear();
+        self.occ.resize(ctx.m, 0);
+        for &col in &assign[..i] {
+            self.occ[col] += 1;
+        }
+        let mut rest_te = 0.0;
+        let mut rest_energy = 0.0;
+        for (pos, &t) in seq.iter().enumerate() {
+            if pos != i {
+                rest_te += ctx.d(t, assign[pos]);
+                rest_energy += ctx.energy[t.index()][assign[pos]];
+            }
+        }
+        self.rest_te = rest_te;
+        self.rest_energy = rest_energy;
+        let mut rising = 0i32;
+        for pos in 1..n {
+            if pos != i && pos != i + 1 {
+                rising +=
+                    (ctx.i(seq[pos - 1], assign[pos - 1]) < ctx.i(seq[pos], assign[pos])) as i32;
+            }
+        }
+        self.rising0 = rising;
+        self.col_im1 = if i > 0 { assign[i - 1] } else { usize::MAX };
+        self.col_ip1 = if i + 1 < n { assign[i + 1] } else { usize::MAX };
+    }
+
+    /// Appends the next repair promotion to the journal, applying it to
+    /// `assign`. Returns `false` when no free task remains.
+    fn extend_journal(
+        &mut self,
+        ctx: &SearchContext<'_>,
+        seq: &[TaskId],
+        pos_of: &[usize],
+        assign: &mut [usize],
+    ) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        // First free task in ascending-energy order. Tasks only ever become
+        // fixed during a row, so the cursor is monotone.
+        while self.cursor < ctx.energy_order.len()
+            && self.etemp[ctx.energy_order[self.cursor].index()]
+        {
+            self.cursor += 1;
+        }
+        let Some(&q) = ctx.energy_order.get(self.cursor) else {
+            self.exhausted = true;
+            return false;
+        };
+        let r = pos_of[q.index()];
+        let c = assign[r];
+        debug_assert!(c > self.ws, "free tasks never sit below the window start");
+        let d_te = ctx.d(seq[r], c - 1) - ctx.d(seq[r], c);
+        let d_energy = ctx.energy[seq[r].index()][c - 1] - ctx.energy[seq[r].index()][c];
+        let i_old = ctx.i(seq[r], c);
+        let i_new = ctx.i(seq[r], c - 1);
+        let mut d_rising = 0i32;
+        // Pairs (r−1, r) and (r, r+1), excluding any pair containing the
+        // tagged position — those are re-derived per candidate from the
+        // tracked neighbour columns.
+        if r > 0 && r - 1 != self.i {
+            let left = ctx.i(seq[r - 1], assign[r - 1]);
+            d_rising += (left < i_new) as i32 - (left < i_old) as i32;
+        }
+        if r + 1 < seq.len() && r + 1 != self.i {
+            let right = ctx.i(seq[r + 1], assign[r + 1]);
+            d_rising += (i_new < right) as i32 - (i_old < right) as i32;
+        }
+        assign[r] = c - 1;
+        if c - 1 == self.ws {
+            // Promoted into the window's fastest column: no further moves.
+            self.etemp[q.index()] = true;
+        }
+        self.journal.push(Promotion {
+            pos: r,
+            old_col: c,
+            d_te,
+            d_energy,
+            d_rising,
+        });
+        true
+    }
+
+    /// Moves the occupancy counters to journal prefix `k`.
+    fn occ_seek(&mut self, k: usize) {
+        while self.occ_k < k {
+            let p = self.journal[self.occ_k];
+            if p.pos < self.i {
+                self.occ[p.old_col] -= 1;
+                self.occ[p.old_col - 1] += 1;
+            }
+            self.occ_k += 1;
+        }
+        while self.occ_k > k {
+            self.occ_k -= 1;
+            let p = self.journal[self.occ_k];
+            if p.pos < self.i {
+                self.occ[p.old_col - 1] -= 1;
+                self.occ[p.old_col] += 1;
+            }
+        }
+    }
+
+    /// `CalculateDPF` for candidate column `j` of the prepared row:
+    /// `(enr, cif, dpf)` on the repaired assignment, `dpf = ∞` when no
+    /// repair meets the deadline.
+    fn candidate(
+        &mut self,
+        ctx: &SearchContext<'_>,
+        seq: &[TaskId],
+        pos_of: &[usize],
+        assign: &mut [usize],
+        j: usize,
+    ) -> (f64, f64, f64) {
+        let n = seq.len();
+        let i = self.i;
+        let d = ctx.deadline;
+        let mut te = self.rest_te + ctx.d(seq[i], j);
+        let mut energy = self.rest_energy + ctx.energy[seq[i].index()][j];
+        let mut rising = self.rising0;
+        let mut col_im1 = self.col_im1;
+        let mut col_ip1 = self.col_ip1;
+        let mut k = 0usize;
+        let mut feasible = true;
+        while te > d + TIME_EPS {
+            if k == self.journal.len() && !self.extend_journal(ctx, seq, pos_of, assign) {
+                feasible = false;
+                break;
+            }
+            let p = self.journal[k];
+            te += p.d_te;
+            energy += p.d_energy;
+            rising += p.d_rising;
+            if p.pos + 1 == i {
+                col_im1 = p.old_col - 1;
+            } else if p.pos == i + 1 {
+                col_ip1 = p.old_col - 1;
+            }
+            k += 1;
+        }
+        let i_tag = ctx.i(seq[i], j);
+        if i > 0 {
+            rising += (ctx.i(seq[i - 1], col_im1) < i_tag) as i32;
+        }
+        if i + 1 < n {
+            rising += (i_tag < ctx.i(seq[i + 1], col_ip1)) as i32;
+        }
+        let cif = if n > 1 {
+            rising as f64 / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let enr = ctx.stats.energy_ratio(Energy::new(energy));
+        if !feasible {
+            return (enr, cif, f64::INFINITY);
+        }
+        let dpf = if i == 0 {
+            // "If we are considering the last task, set DPF to the slack
+            // ratio" — also where the published formula would divide by zero.
+            (d - te) / d
+        } else {
+            let width_minus1 = ctx.m - 1 - self.ws;
+            if width_minus1 == 0 {
+                0.0
+            } else {
+                let factor = 1.0 / width_minus1 as f64;
+                self.occ_seek(k);
+                let mut dpf = 0.0;
+                // Window-relative columns: the window's fastest column `ws`
+                // carries the largest weight, decaying linearly to zero at
+                // the leanest column `m−1`. For the full window (ws = 0)
+                // this is exactly eq. 2's (m−k)·f weights and the Figure 4
+                // example; for narrow windows it is the only reading
+                // consistent with the published Table 3 assignments (see
+                // DESIGN.md §4).
+                for w in 0..width_minus1 {
+                    let col = self.ws + w;
+                    let coeff = (width_minus1 - w) as f64;
+                    dpf += coeff * factor * self.occ[col] as f64 / i as f64;
+                }
+                dpf
+            }
+        };
+        (enr, cif, dpf)
+    }
+
+    /// Rolls the journal back out of `assign`, restoring the row's initial
+    /// positional snapshot.
+    fn end_row(&mut self, assign: &mut [usize]) {
+        for p in self.journal.iter().rev() {
+            assign[p.pos] = p.old_col;
+        }
+        self.journal.clear();
+        self.occ_k = 0;
+    }
+}
+
 /// `CalculateDPF` (Fig. 2): repairs the tentative assignment until the
 /// deadline is met by promoting the first free task in the energy vector one
 /// column at a time, then scores the design-point distribution.
 ///
+/// One-shot convenience over the incremental [`DpfScratch`] kernel (the
+/// diagnostic and unit-test entry point — `suitability_row` drives the
+/// kernel directly and shares the repair journal across candidates).
+///
 /// * `stemp` — positional assignment snapshot: positions `> i` fixed,
 ///   position `i` tagged at its candidate column, positions `< i` still at
-///   the initial column `m−1`. Modified copies only; the caller's state is
-///   untouched.
+///   the initial column `m−1`. The caller's state is untouched.
 /// * `fixed_in_e` — task-indexed "fixed in E" flags covering positions `>= i`.
 ///
 /// Returns `(enr, cif, dpf)` computed on the repaired assignment; `dpf` is
 /// `∞` when no repair meets the deadline.
 pub(crate) fn calculate_dpf(
+    ctx: &SearchContext<'_>,
+    seq: &[TaskId],
+    pos_of: &[usize],
+    stemp_in: &[usize],
+    fixed_in_e: &[bool],
+    i: usize,
+    ws: usize,
+) -> (f64, f64, f64) {
+    let mut scratch = DpfScratch::default();
+    let mut assign = stemp_in.to_vec();
+    scratch.begin_row(ctx, seq, &assign, fixed_in_e, i, ws);
+    scratch.candidate(ctx, seq, pos_of, &mut assign, stemp_in[i])
+}
+
+/// The retained naive `CalculateDPF` — the pre-incremental implementation
+/// (fresh state clones per call, O(n) first-free scans per promotion, O(i)
+/// occupancy scans per column), kept as the equivalence reference for the
+/// [`DpfScratch`] kernel. The makespan and energy accumulations follow the
+/// kernel's arithmetic (`rest + tagged + promotion deltas`, which the old
+/// fresh-sum code matched only to floating-point association) so the
+/// proptests can demand **bit-identical** `(enr, cif, dpf)` triples: any
+/// divergence is a bookkeeping bug, never float noise.
+pub(crate) fn calculate_dpf_reference(
     ctx: &SearchContext<'_>,
     seq: &[TaskId],
     pos_of: &[usize],
@@ -234,33 +546,43 @@ pub(crate) fn calculate_dpf(
     let mut etemp = fixed_in_e.to_vec();
     etemp[seq[i].index()] = true; // the tagged task is fixed in E
 
-    let mut te: f64 = seq
-        .iter()
-        .enumerate()
-        .map(|(pos, &t)| ctx.d(t, stemp[pos]))
-        .sum();
+    let mut rest_te = 0.0;
+    let mut rest_energy = 0.0;
+    for (pos, &t) in seq.iter().enumerate() {
+        if pos != i {
+            rest_te += ctx.d(t, stemp[pos]);
+            rest_energy += ctx.energy[t.index()][stemp[pos]];
+        }
+    }
+    let mut te = rest_te + ctx.d(seq[i], stemp[i]);
+    let mut energy = rest_energy + ctx.energy[seq[i].index()][stemp[i]];
 
+    let mut feasible = true;
     while te > d + TIME_EPS {
         // First free task in ascending-energy order.
         let q = ctx.energy_order.iter().copied().find(|t| !etemp[t.index()]);
         let Some(q) = q else {
-            let (cif, enr) = calculate_factors(ctx, seq, &stemp);
-            return (enr, cif, f64::INFINITY);
+            feasible = false;
+            break;
         };
         let r = pos_of[q.index()];
         let c = stemp[r];
         debug_assert!(c > ws, "free tasks never sit below the window start");
-        stemp[r] = c - 1;
         te += ctx.d(seq[r], c - 1) - ctx.d(seq[r], c);
+        energy += ctx.energy[seq[r].index()][c - 1] - ctx.energy[seq[r].index()][c];
+        stemp[r] = c - 1;
         if c - 1 == ws {
             // Promoted into the window's fastest column: no further moves.
             etemp[q.index()] = true;
         }
     }
 
+    let (cif, _scan_enr) = calculate_factors(ctx, seq, &stemp);
+    let enr = ctx.stats.energy_ratio(Energy::new(energy));
+    if !feasible {
+        return (enr, cif, f64::INFINITY);
+    }
     let dpf = if i == 0 {
-        // "If we are considering the last task, set DPF to the slack ratio"
-        // — also the case where the published formula would divide by zero.
         (d - te) / d
     } else {
         let width_minus1 = m - 1 - ws;
@@ -269,12 +591,6 @@ pub(crate) fn calculate_dpf(
         } else {
             let factor = 1.0 / width_minus1 as f64;
             let mut dpf = 0.0;
-            // Window-relative columns: the window's fastest column `ws`
-            // carries the largest weight, decaying linearly to zero at the
-            // leanest column `m−1`. For the full window (ws = 0) this is
-            // exactly eq. 2's (m−k)·f weights and the Figure 4 example; for
-            // narrow windows it is the only reading consistent with the
-            // published Table 3 assignments (see DESIGN.md §4).
             for w in 0..width_minus1 {
                 let col = ws + w;
                 let coeff = (width_minus1 - w) as f64;
@@ -284,16 +600,18 @@ pub(crate) fn calculate_dpf(
             dpf
         }
     };
-
-    let (cif, enr) = calculate_factors(ctx, seq, &stemp);
     (enr, cif, dpf)
 }
 
 /// The suitability table for one tagged position: `FactorBreakdown` for each
-/// candidate column `j ∈ [ws ..= m−1]` given the already-fixed suffix.
+/// candidate column `j ∈ [ws ..= m−1]` given the already-fixed suffix,
+/// written into `scratch`'s row buffer (descending column, matching the
+/// paper's scan order). Candidates are *evaluated* ascending so the repair
+/// journal extends monotonically: leaner candidates resume the promotions
+/// faster ones already recorded.
 /// Used by `ChooseDesignPoints`, the Figure 4 reproduction and tests.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's CalculateFactors state
-pub(crate) fn suitability_row(
+pub(crate) fn suitability_row<'s>(
     ctx: &SearchContext<'_>,
     seq: &[TaskId],
     pos_of: &[usize],
@@ -302,20 +620,19 @@ pub(crate) fn suitability_row(
     tsum: f64,
     i: usize,
     ws: usize,
-) -> Vec<(usize, FactorBreakdown)> {
+    scratch: &'s mut DpfScratch,
+) -> &'s [(usize, FactorBreakdown)] {
     let m = ctx.m;
-    let mut out = Vec::with_capacity(m - ws);
-    for j in (ws..m).rev() {
-        let prev = assign[i];
-        assign[i] = j;
+    scratch.begin_row(ctx, seq, assign, fixed_in_e, i, ws);
+    scratch.row.clear();
+    for j in ws..m {
         let ttemp = tsum + ctx.d(seq[i], j);
         let sr = (ctx.deadline - ttemp) / ctx.deadline;
         let cr = ctx
             .stats
             .current_ratio(batsched_battery::units::MilliAmps::new(ctx.i(seq[i], j)));
-        let (enr, cif, dpf) = calculate_dpf(ctx, seq, pos_of, assign, fixed_in_e, i, ws);
-        assign[i] = prev;
-        out.push((
+        let (enr, cif, dpf) = scratch.candidate(ctx, seq, pos_of, assign, j);
+        scratch.row.push((
             j,
             FactorBreakdown {
                 sr,
@@ -326,30 +643,55 @@ pub(crate) fn suitability_row(
             },
         ));
     }
-    out
+    scratch.end_row(assign);
+    scratch.row.reverse();
+    &scratch.row
+}
+
+/// Working buffers of one `ChooseDesignPoints` sweep, owned by
+/// [`EvalBuffers`] so the whole window search is allocation-free after
+/// warm-up.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ChooseBuffers {
+    /// Positional assignment being built (the result lives here).
+    pub(crate) assign: Vec<usize>,
+    /// Task-indexed position lookup for the current sequence.
+    pos_of: Vec<usize>,
+    /// Task-indexed "fixed in E" flags.
+    fixed_in_e: Vec<bool>,
 }
 
 /// `ChooseDesignPoints` (Fig. 1): positional assignment for `seq` within the
-/// window `[ws ..= m−1]`.
+/// window `[ws ..= m−1]`, left in `buffers.choose.assign`.
 ///
 /// # Errors
 ///
 /// [`SchedulerError::WindowSearchFailed`] if some position has no finite-`B`
 /// column — unreachable when `CT(ws) <= d` (invariant argued in the module
 /// tests), kept as a typed error for defence in depth.
-pub(crate) fn choose_design_points(
+pub(crate) fn choose_design_points_into(
     ctx: &SearchContext<'_>,
     seq: &[TaskId],
     ws: usize,
-) -> Result<Vec<usize>, SchedulerError> {
+    buffers: &mut EvalBuffers,
+) -> Result<(), SchedulerError> {
     let n = seq.len();
     let m = ctx.m;
-    let mut assign = vec![m - 1; n];
-    let mut pos_of = vec![usize::MAX; ctx.g.task_count()];
+    let tasks = ctx.g.task_count();
+    let ChooseBuffers {
+        assign,
+        pos_of,
+        fixed_in_e,
+    } = &mut buffers.choose;
+    assign.clear();
+    assign.resize(n, m - 1);
+    pos_of.clear();
+    pos_of.resize(tasks, usize::MAX);
     for (pos, &t) in seq.iter().enumerate() {
         pos_of[t.index()] = pos;
     }
-    let mut fixed_in_e = vec![false; ctx.g.task_count()];
+    fixed_in_e.clear();
+    fixed_in_e.resize(tasks, false);
 
     // The paper fixes the last task to the lowest-power design point
     // outright. Taken literally that makes deadlines between CT(ws) and
@@ -367,12 +709,98 @@ pub(crate) fn choose_design_points(
     let mut tsum = ctx.d(seq[n - 1], last_col);
 
     for i in (0..n.saturating_sub(1)).rev() {
-        let row = suitability_row(ctx, seq, &pos_of, &mut assign, &fixed_in_e, tsum, i, ws);
+        let row = suitability_row(
+            ctx,
+            seq,
+            pos_of,
+            assign,
+            fixed_in_e,
+            tsum,
+            i,
+            ws,
+            &mut buffers.dpf,
+        );
         let mut best: Option<(usize, f64)> = None;
-        for &(j, fb) in &row {
+        for &(j, fb) in row {
             let b = fb.total(ctx.mask);
             // Strict '<' keeps the first (leanest) column on ties, matching
             // the paper's scan order m → ws.
+            if best.is_none_or(|(_, bb)| b < bb) {
+                best = Some((j, b));
+            }
+        }
+        let (j, b) = best.expect("window contains at least one column");
+        if !b.is_finite() {
+            return Err(SchedulerError::WindowSearchFailed { window_start: ws });
+        }
+        assign[i] = j;
+        fixed_in_e[seq[i].index()] = true;
+        tsum += ctx.d(seq[i], j);
+    }
+    Ok(())
+}
+
+/// Allocating convenience over [`choose_design_points_into`] for tests and
+/// diagnostics.
+#[cfg(test)]
+pub(crate) fn choose_design_points(
+    ctx: &SearchContext<'_>,
+    seq: &[TaskId],
+    ws: usize,
+) -> Result<Vec<usize>, SchedulerError> {
+    let mut buffers = EvalBuffers::new();
+    choose_design_points_into(ctx, seq, ws, &mut buffers)?;
+    Ok(buffers.choose.assign)
+}
+
+/// The retained naive `ChooseDesignPoints` — the pre-incremental sweep
+/// (per-candidate clones and scans via [`calculate_dpf_reference`]), kept
+/// as the bit-identical equivalence reference and the bench baseline for
+/// `cdp_speedup`.
+pub(crate) fn choose_design_points_reference(
+    ctx: &SearchContext<'_>,
+    seq: &[TaskId],
+    ws: usize,
+) -> Result<Vec<usize>, SchedulerError> {
+    let n = seq.len();
+    let m = ctx.m;
+    let mut assign = vec![m - 1; n];
+    let mut pos_of = vec![usize::MAX; ctx.g.task_count()];
+    for (pos, &t) in seq.iter().enumerate() {
+        pos_of[t.index()] = pos;
+    }
+    let mut fixed_in_e = vec![false; ctx.g.task_count()];
+
+    let others_at_ws: f64 = seq[..n - 1].iter().map(|&t| ctx.d(t, ws)).sum();
+    let mut last_col = m - 1;
+    while last_col > ws && others_at_ws + ctx.d(seq[n - 1], last_col) > ctx.deadline + TIME_EPS {
+        last_col -= 1;
+    }
+    fixed_in_e[seq[n - 1].index()] = true;
+    assign[n - 1] = last_col;
+    let mut tsum = ctx.d(seq[n - 1], last_col);
+
+    for i in (0..n.saturating_sub(1)).rev() {
+        let mut best: Option<(usize, f64)> = None;
+        for j in (ws..m).rev() {
+            let prev = assign[i];
+            assign[i] = j;
+            let ttemp = tsum + ctx.d(seq[i], j);
+            let sr = (ctx.deadline - ttemp) / ctx.deadline;
+            let cr = ctx
+                .stats
+                .current_ratio(batsched_battery::units::MilliAmps::new(ctx.i(seq[i], j)));
+            let (enr, cif, dpf) =
+                calculate_dpf_reference(ctx, seq, &pos_of, &assign, &fixed_in_e, i, ws);
+            assign[i] = prev;
+            let fb = FactorBreakdown {
+                sr,
+                cr,
+                enr,
+                cif,
+                dpf,
+            };
+            let b = fb.total(ctx.mask);
             if best.is_none_or(|(_, bb)| b < bb) {
                 best = Some((j, b));
             }
@@ -409,13 +837,18 @@ impl WindowRecord {
     }
 }
 
-/// Reusable per-run evaluation buffers: the entry-id sequence buffer and
-/// the σ-engine scratch. One allocation per scheduling run instead of one
-/// `LoadProfile` per candidate evaluation.
+/// Reusable per-run evaluation buffers: the entry-id sequence buffer, the
+/// σ-engine scratch, and the window-search working state (the incremental
+/// DPF kernel's journal plus the `ChooseDesignPoints` assignment buffers).
+/// One allocation set per scheduling run — and zero steady-state
+/// allocations when reused across runs via
+/// [`SolverWorkspace`](crate::algorithm::SolverWorkspace).
 #[derive(Debug, Clone, Default)]
 pub struct EvalBuffers {
     pub(crate) entries: Vec<u32>,
     pub(crate) sigma: SigmaScratch,
+    pub(crate) dpf: DpfScratch,
+    pub(crate) choose: ChooseBuffers,
 }
 
 impl EvalBuffers {
@@ -433,11 +866,17 @@ fn evaluate_one_window(
     ws: usize,
     scratch: &mut EvalBuffers,
 ) -> Result<WindowRecord, SchedulerError> {
-    let assign_pos = choose_design_points(ctx, seq, ws)?;
-    let (cost, makespan) = positional_cost(ctx, seq, &assign_pos, scratch);
+    choose_design_points_into(ctx, seq, ws, scratch)?;
+    let (cost, makespan) = positional_cost_split(
+        ctx,
+        seq,
+        &scratch.choose.assign,
+        &mut scratch.entries,
+        &mut scratch.sigma,
+    );
     let mut assignment = vec![PointId(0); ctx.g.task_count()];
     for (pos, &t) in seq.iter().enumerate() {
-        assignment[t.index()] = PointId(assign_pos[pos]);
+        assignment[t.index()] = PointId(scratch.choose.assign[pos]);
     }
     Ok(WindowRecord {
         window_start: PointId(ws),
@@ -520,20 +959,40 @@ pub(crate) fn evaluate_windows(
 }
 
 /// σ and makespan of a positional assignment, through the evaluation
-/// engine (no allocation, no `exp()` calls).
+/// engine (no allocation, no `exp()` calls). Takes the entry buffer and
+/// σ scratch as split borrows so callers whose assignment lives in the
+/// same [`EvalBuffers`] (the window sweep) can share one buffer set —
+/// the single map-to-entries-and-evaluate body for positional columns.
+pub(crate) fn positional_cost_split(
+    ctx: &SearchContext<'_>,
+    seq: &[TaskId],
+    assign_pos: &[usize],
+    entries: &mut Vec<u32>,
+    sigma: &mut SigmaScratch,
+) -> (MilliAmpMinutes, Minutes) {
+    entries.clear();
+    entries.extend(
+        seq.iter()
+            .zip(assign_pos)
+            .map(|(&t, &col)| ctx.entry(t, col)),
+    );
+    ctx.eval.sigma_seq(entries, sigma)
+}
+
+/// [`positional_cost_split`] over one [`EvalBuffers`].
 pub(crate) fn positional_cost(
     ctx: &SearchContext<'_>,
     seq: &[TaskId],
     assign_pos: &[usize],
     scratch: &mut EvalBuffers,
 ) -> (MilliAmpMinutes, Minutes) {
-    scratch.entries.clear();
-    scratch.entries.extend(
-        seq.iter()
-            .zip(assign_pos)
-            .map(|(&t, &col)| ctx.entry(t, col)),
-    );
-    ctx.eval.sigma_seq(&scratch.entries, &mut scratch.sigma)
+    positional_cost_split(
+        ctx,
+        seq,
+        assign_pos,
+        &mut scratch.entries,
+        &mut scratch.sigma,
+    )
 }
 
 /// The naive σ of a positional assignment: builds a fresh `LoadProfile`
@@ -604,6 +1063,120 @@ pub fn diag_calculate_dpf(
         fixed[t.index()] = true;
     }
     calculate_dpf(&ctx, seq, &pos_of, stemp, &fixed, i, ws)
+}
+
+/// A prepared window-search context with reusable buffers — the public
+/// (doc-hidden) handle the equivalence proptests and `repro_bench_json`
+/// use to drive `ChooseDesignPoints` and `CalculateDPF` in isolation,
+/// both through the incremental [`DpfScratch`] kernel and through the
+/// retained naive reference.
+#[doc(hidden)]
+pub struct DiagSearch<'g> {
+    ctx: SearchContext<'g>,
+    buffers: EvalBuffers,
+}
+
+impl<'g> DiagSearch<'g> {
+    /// Builds the search context for `g` under `config` and `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedulerError::InvalidConfig`] when the configuration is unusable.
+    pub fn new(
+        g: &'g TaskGraph,
+        config: &SchedulerConfig,
+        deadline: Minutes,
+    ) -> Result<Self, SchedulerError> {
+        let model = config.battery_model()?;
+        Ok(Self {
+            ctx: SearchContext::new(g, config, deadline, model),
+            buffers: EvalBuffers::new(),
+        })
+    }
+
+    /// `ChooseDesignPoints` through the incremental kernel (positional
+    /// columns). Reuses the internal buffers across calls, so repeated
+    /// invocations are allocation-free — the configuration benched as
+    /// `cdp_ns`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedulerError::WindowSearchFailed`].
+    pub fn choose(&mut self, seq: &[TaskId], ws: usize) -> Result<&[usize], SchedulerError> {
+        choose_design_points_into(&self.ctx, seq, ws, &mut self.buffers)?;
+        Ok(&self.buffers.choose.assign)
+    }
+
+    /// `ChooseDesignPoints` through the retained naive reference
+    /// (per-candidate clones and scans) — the bench baseline for
+    /// `cdp_speedup` and the bit-identical equivalence anchor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedulerError::WindowSearchFailed`].
+    pub fn choose_reference(
+        &mut self,
+        seq: &[TaskId],
+        ws: usize,
+    ) -> Result<Vec<usize>, SchedulerError> {
+        choose_design_points_reference(&self.ctx, seq, ws)
+    }
+
+    /// One `CalculateDPF` call through the incremental kernel on an
+    /// explicit snapshot (see [`diag_calculate_dpf`] for the argument
+    /// conventions).
+    pub fn dpf(
+        &mut self,
+        seq: &[TaskId],
+        stemp: &[usize],
+        fixed_tasks: &[TaskId],
+        i: usize,
+        ws: usize,
+    ) -> (f64, f64, f64) {
+        let (pos_of, fixed) = self.diag_state(seq, fixed_tasks);
+        calculate_dpf(&self.ctx, seq, &pos_of, stemp, &fixed, i, ws)
+    }
+
+    /// One `CalculateDPF` call through the retained naive reference.
+    pub fn dpf_reference(
+        &mut self,
+        seq: &[TaskId],
+        stemp: &[usize],
+        fixed_tasks: &[TaskId],
+        i: usize,
+        ws: usize,
+    ) -> (f64, f64, f64) {
+        let (pos_of, fixed) = self.diag_state(seq, fixed_tasks);
+        calculate_dpf_reference(&self.ctx, seq, &pos_of, stemp, &fixed, i, ws)
+    }
+
+    /// σ and makespan of a positional assignment through the evaluation
+    /// engine (shared buffers).
+    pub fn cost(&mut self, seq: &[TaskId], assign_pos: &[usize]) -> (MilliAmpMinutes, Minutes) {
+        positional_cost(&self.ctx, seq, assign_pos, &mut self.buffers)
+    }
+
+    /// The feasible window starts for `seq` under the context's deadline:
+    /// every `ws` with `CT(ws) <= d`, widest feasible first (the sweep
+    /// order of `EvaluateWindows`).
+    pub fn feasible_windows(&self) -> Vec<usize> {
+        (0..self.ctx.m)
+            .rev()
+            .filter(|&ws| self.ctx.column_time(ws) <= self.ctx.deadline + TIME_EPS)
+            .collect()
+    }
+
+    fn diag_state(&self, seq: &[TaskId], fixed_tasks: &[TaskId]) -> (Vec<usize>, Vec<bool>) {
+        let mut pos_of = vec![usize::MAX; self.ctx.g.task_count()];
+        for (pos, &t) in seq.iter().enumerate() {
+            pos_of[t.index()] = pos;
+        }
+        let mut fixed = vec![false; self.ctx.g.task_count()];
+        for &t in fixed_tasks {
+            fixed[t.index()] = true;
+        }
+        (pos_of, fixed)
+    }
 }
 
 #[cfg(test)]
@@ -786,6 +1359,117 @@ mod tests {
                 assert!(assign.iter().all(|&c| c >= ws), "window respected");
             }
         }
+    }
+
+    #[test]
+    fn incremental_kernel_matches_reference_on_figure4_sweep() {
+        // Every (deadline, window, position) of the Figure 4 fixture: the
+        // incremental kernel and the retained naive reference must agree
+        // bit-for-bit on assignments and factor triples.
+        let g = figure4_graph();
+        let cfg = SchedulerConfig::default();
+        let seq: Vec<TaskId> = (0..5).map(TaskId).collect();
+        for deadline in [10.5, 12.0, 16.0, 18.0, 20.0, 26.0, 32.0, 40.0] {
+            let ctx = ctx_for(&g, deadline, &cfg);
+            for ws in 0..4usize {
+                if ctx.column_time(ws) > deadline {
+                    continue;
+                }
+                let fast = choose_design_points(&ctx, &seq, ws).unwrap();
+                let naive = choose_design_points_reference(&ctx, &seq, ws).unwrap();
+                assert_eq!(fast, naive, "d={deadline} ws={ws}");
+            }
+        }
+    }
+
+    #[test]
+    fn calculate_dpf_matches_reference_on_explicit_states() {
+        let g = figure4_graph();
+        let cfg = SchedulerConfig::default();
+        let seq: Vec<TaskId> = (0..5).map(TaskId).collect();
+        let pos_of: Vec<usize> = (0..5).collect();
+        for deadline in [9.0, 18.0, 26.0, 40.0] {
+            let ctx = ctx_for(&g, deadline, &cfg);
+            for (stemp, fixed, i) in [
+                (
+                    vec![3, 3, 1, 0, 3],
+                    vec![false, false, false, true, true],
+                    2,
+                ),
+                (
+                    vec![3, 3, 0, 0, 0],
+                    vec![false, false, false, true, true],
+                    2,
+                ),
+                (vec![2, 3, 3, 3, 3], vec![false, true, true, true, true], 0),
+                (
+                    vec![3, 2, 1, 0, 3],
+                    vec![false, false, false, false, true],
+                    3,
+                ),
+                (
+                    vec![3, 3, 3, 3, 3],
+                    vec![false, false, false, false, false],
+                    4,
+                ),
+            ] {
+                for ws in 0..2usize {
+                    // Free tasks must sit above the window start (the
+                    // repair-loop invariant both implementations assert).
+                    let legal = stemp
+                        .iter()
+                        .enumerate()
+                        .all(|(pos, &col)| pos == i || fixed[pos] || col > ws);
+                    if !legal {
+                        continue;
+                    }
+                    let a = calculate_dpf(&ctx, &seq, &pos_of, &stemp, &fixed, i, ws);
+                    let b = calculate_dpf_reference(&ctx, &seq, &pos_of, &stemp, &fixed, i, ws);
+                    assert_eq!(a, b, "d={deadline} i={i} ws={ws} stemp={stemp:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suitability_row_buffer_matches_per_candidate_wrapper() {
+        // The shared-journal row must equal candidate-at-a-time one-shot
+        // calls (which rebuild the journal from scratch every time).
+        let g = figure4_graph();
+        let cfg = SchedulerConfig::default();
+        let ctx = ctx_for(&g, 26.0, &cfg);
+        let seq: Vec<TaskId> = (0..5).map(TaskId).collect();
+        let pos_of: Vec<usize> = (0..5).collect();
+        let mut assign = vec![3, 3, 3, 0, 3];
+        let snapshot = assign.clone();
+        let fixed = vec![false, false, false, true, true];
+        let mut scratch = DpfScratch::default();
+        let tsum = ctx.d(TaskId(3), 0) + ctx.d(TaskId(4), 3);
+        let row: Vec<(usize, FactorBreakdown)> = suitability_row(
+            &ctx,
+            &seq,
+            &pos_of,
+            &mut assign,
+            &fixed,
+            tsum,
+            2,
+            0,
+            &mut scratch,
+        )
+        .to_vec();
+        assert_eq!(assign, snapshot, "end_row must roll the journal back");
+        assert_eq!(row.len(), 4);
+        for &(j, fb) in &row {
+            let mut stemp = snapshot.clone();
+            stemp[2] = j;
+            let (enr, cif, dpf) = calculate_dpf(&ctx, &seq, &pos_of, &stemp, &fixed, 2, 0);
+            assert_eq!((fb.enr, fb.cif, fb.dpf), (enr, cif, dpf), "col {j}");
+        }
+        // Descending candidate order, matching the paper's scan.
+        assert_eq!(
+            row.iter().map(|&(j, _)| j).collect::<Vec<_>>(),
+            [3, 2, 1, 0]
+        );
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //!   canonical rendering and FNV-1a content hash (the cache key);
 //! * [`cache`] — the LRU result cache (hit = bit-identical replay);
 //! * [`service`] — bounded job queue + worker threads, each with a
-//!   reusable [`batsched_core::SolverWorkspace`] so steady-state solving
-//!   stays allocation-free, plus stats counters and graceful shutdown;
+//!   reusable [`batsched_core::SolverWorkspace`] (σ-engine scratch *and*
+//!   the window search's incremental-DPF journal and assignment buffers,
+//!   since PR 3) so steady-state solving stays allocation-free end to
+//!   end, plus stats counters and graceful shutdown;
 //! * [`jsonl`] — the stdio/pipe frontend (one document per line);
 //! * [`http`] — a minimal HTTP/1.1 frontend on `std::net`.
 //!

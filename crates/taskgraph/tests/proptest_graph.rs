@@ -10,7 +10,8 @@ use batsched_taskgraph::synth::{
     ScalingScheme, TaskParams,
 };
 use batsched_taskgraph::topo::{
-    descendants_mask, is_topological, list_schedule, topological_order,
+    descendants_mask, for_each_topological_order, for_each_topological_order_reference,
+    is_topological, list_schedule, topological_order,
 };
 use batsched_taskgraph::{DesignPoint, EnergyMetric, PointId, TaskGraph};
 use proptest::prelude::*;
@@ -46,6 +47,23 @@ fn arb_graph() -> impl Strategy<Value = TaskGraph> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The in-place order generator visits exactly the orders the retained
+    /// recursive reference visits, in the same sequence, under a binding
+    /// enumeration cap — every one a valid topological order.
+    #[test]
+    fn order_generator_matches_reference(g in arb_graph(), limit in 1usize..40) {
+        let mut fast = Vec::new();
+        let nf = for_each_topological_order(&g, limit, |o| fast.push(o.to_vec()));
+        let mut slow = Vec::new();
+        let ns = for_each_topological_order_reference(&g, limit, |o| slow.push(o.to_vec()));
+        prop_assert_eq!(nf, ns);
+        prop_assert_eq!(&fast, &slow);
+        prop_assert!(nf <= limit);
+        for o in &fast {
+            prop_assert!(is_topological(&g, o));
+        }
+    }
 
     /// Every generated graph is a valid DAG with uniform design points and
     /// pareto-ordered rows.

@@ -26,6 +26,11 @@ bench:
 perf:
     cargo run --release -p batsched-bench --bin repro_bench_json -- --full
 
+# Quick perf smoke: regenerate the snapshot and fail if sigma_full_vs_naive
+# or cdp_speedup drop below their conservative 2x floors.
+bench-quick:
+    cargo run --release -p batsched-bench --bin repro_bench_json -- --quick --check
+
 # Boot the HTTP daemon, fire a loadgen burst, assert 2xx + clean shutdown.
 serve-smoke:
     ./ci.sh serve-smoke
