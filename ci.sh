@@ -76,7 +76,9 @@ serve_smoke
 echo "==> perf smoke + snapshot (BENCH_scheduler.json, floors enforced)"
 # Quick-mode perf smoke: regenerates the snapshot and fails the pipeline if
 # sigma_full_vs_naive or cdp_speedup regress below their conservative 2x
-# floors (same command as `just bench-quick`).
+# floors, if row_carry (carry-off/on schedule_in ratio) drops below 1.5x,
+# or if the sweep_scaling fitted growth exponent climbs above 1.4 (same
+# command as `just bench-quick`).
 cargo run --release -q -p batsched-bench --bin repro_bench_json -- --quick --check
 
 echo "==> service load snapshot (BENCH_service.json)"

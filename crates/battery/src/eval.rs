@@ -125,6 +125,36 @@ impl SigmaEvaluator {
         self.dur.len()
     }
 
+    /// Globally unique identity of this evaluator instance. Scratches and
+    /// caches key their validity on it ([`SigmaScratch`] and
+    /// [`PrefixSigma`] do so internally); callers maintaining their own
+    /// evaluator-derived state can use the same guard.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether this evaluator was built over exactly the given entry
+    /// catalogue (same order, bit-equal durations and currents). Lets a
+    /// cache decide to reuse an evaluator for a repeated workload without
+    /// paying the `entries × terms` exponentials of a rebuild; the model
+    /// must be compared separately (the tables also depend on it).
+    pub fn catalogue_matches<I>(&self, entries: I) -> bool
+    where
+        I: IntoIterator<Item = (Minutes, MilliAmps)>,
+    {
+        let mut k = 0usize;
+        for (d, c) in entries {
+            if k >= self.dur.len()
+                || self.dur[k].to_bits() != d.value().to_bits()
+                || self.cur[k].to_bits() != c.value().to_bits()
+            {
+                return false;
+            }
+            k += 1;
+        }
+        k == self.dur.len()
+    }
+
     /// Number of series terms (matches the model's truncation).
     pub fn terms(&self) -> usize {
         self.terms

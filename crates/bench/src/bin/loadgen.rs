@@ -10,6 +10,10 @@
 //! * **dup** — a duplicate-heavy stream (each unique request repeated
 //!   10×), separating cold-solve from cache-hit latency; the run fails if
 //!   the hit path is not ≥ 10× faster than the cold path;
+//! * **scaling** — cold solves on the shared n-scaling instances
+//!   (n ∈ {50, 100, 200}, m = 8, unique deadlines so nothing caches), so
+//!   the recorded envelope shows how request latency grows with instance
+//!   size under the carried window-sweep kernel;
 //! * **malformed** — broken/hostile documents; the run fails unless every
 //!   one is answered with a *typed* error (the daemon must never panic).
 //!
@@ -97,11 +101,19 @@ struct MalformedReport {
 }
 
 #[derive(Debug, Serialize)]
+struct ScalingPoint {
+    n: usize,
+    requests: usize,
+    cold_p50_us: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchDoc {
     config: ConfigDoc,
     paper: StreamReport,
     synthetic: StreamReport,
     dup: DupReport,
+    scaling: Vec<ScalingPoint>,
     malformed: MalformedReport,
 }
 
@@ -311,6 +323,42 @@ fn run_benchmark(quick: bool) {
         "every duplicate must be served from the cache"
     );
 
+    // Scaling stream: cold solves on the shared n-scaling instances, each
+    // under a slightly different deadline so the cache never answers.
+    let svc = fresh_service();
+    let reqs = if quick { 4 } else { 8 };
+    let mut scaling = Vec::new();
+    for &n in &[50usize, 100, 200] {
+        let g = batsched_bench::workloads::synthetic_scaling(n);
+        let base = loose_deadline(&g);
+        let bodies: Vec<String> = (0..reqs)
+            .map(|k| body_for(&g, base + k as f64 * 0.1))
+            .collect();
+        let results = drive(&svc, &bodies);
+        let mut lat: Vec<f64> = results
+            .iter()
+            .map(|(us, d)| {
+                assert!(
+                    matches!(d, Disposition::Ok { cached: false }),
+                    "scaling stream must be all cold solves"
+                );
+                *us
+            })
+            .collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let point = ScalingPoint {
+            n,
+            requests: bodies.len(),
+            cold_p50_us: percentile(&lat, 0.5),
+        };
+        eprintln!(
+            "scaling   : n={n}, {} reqs, cold p50 {:.0} µs",
+            point.requests, point.cold_p50_us
+        );
+        scaling.push(point);
+    }
+    svc.shutdown();
+
     // Malformed stream: typed errors, no panics, daemon stays up.
     let svc = fresh_service();
     let bodies = malformed_stream();
@@ -352,6 +400,7 @@ fn run_benchmark(quick: bool) {
         paper,
         synthetic,
         dup,
+        scaling,
         malformed,
     };
     let json = serde_json::to_string_pretty(&doc).expect("bench doc serialises");

@@ -7,8 +7,10 @@
 //! Flags:
 //! * `--full` — more samples (default is quick mode; `--quick` is accepted
 //!   as an explicit no-op for symmetry);
-//! * `--check` — after measuring, fail (exit 1) if `sigma_full_vs_naive`
-//!   or `cdp_speedup` fall below conservative floors (2×). CI runs this so
+//! * `--check` — after measuring, fail (exit 1) if `sigma_full_vs_naive`,
+//!   `cdp_speedup` or `row_carry` fall below conservative floors (2×, 2×,
+//!   1.5×), or if the `sweep_scaling` fitted growth exponent exceeds 1.4
+//!   (the carried window sweep must stay ~linear in n). CI runs this so
 //!   perf wins cannot be silently lost.
 //!
 //! Reported medians (ns):
@@ -26,16 +28,24 @@
 //!   retained recursive reference (100 k orders of the n=50 instance);
 //! * `exhaustive` — one `Exhaustive::best` solve with the prefix-keyed σ
 //!   stack vs. the retained per-leaf suffix-engine path, as orders/sec;
-//! * `schedule_run` — one full `batsched_core::schedule` call.
+//! * `schedule_run` — one full `batsched_core::schedule` call;
+//! * `sweep` — one `schedule_in` through a reused workspace with the
+//!   cross-row / cross-window carry on vs. forced off (the pre-carry
+//!   kernel), whose ratio is `speedup.row_carry`;
+//! * `sweep_scaling` — one full window sweep (`EvaluateWindows`) on the
+//!   shared n-scaling instances (n ∈ {25, 50, 100, 200}, m = 8, 70%
+//!   relative slack) and the fitted growth exponent of the series — the
+//!   evidence that the carried kernel killed the quadratic term.
 
 use batsched_baselines::Exhaustive;
 use batsched_battery::eval::SigmaScratch;
 use batsched_battery::rv::RvModel;
 use batsched_battery::units::Minutes;
-use batsched_bench::workloads::{synthetic_n50_m8, SYNTH_N50_M8_SEED};
+use batsched_bench::fitted_exponent;
+use batsched_bench::workloads::{synthetic_n50_m8, synthetic_scaling, SYNTH_N50_M8_SEED};
 use batsched_core::schedule::{entry_id, graph_evaluator};
 use batsched_core::search::DiagSearch;
-use batsched_core::{profile_of, schedule, SchedulerConfig};
+use batsched_core::{profile_of, schedule, schedule_in, SchedulerConfig, SolverWorkspace};
 use batsched_taskgraph::analysis::{max_makespan, min_makespan};
 use batsched_taskgraph::synth::{layered, Rounding, ScalingScheme, TaskParams};
 use batsched_taskgraph::topo::{
@@ -66,8 +76,30 @@ fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
     timings[timings.len() / 2]
 }
 
+/// Minimum ns/iter of `f` over `samples` batches — the noise-robust
+/// estimator for the `sweep_scaling` fit, where a single slow sample on
+/// the small instances would skew the fitted exponent.
+fn min_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    let one = start.elapsed().as_nanos().max(25);
+    let per_sample = (2_000_000u128 / one).clamp(1, 200_000) as usize;
+    (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / per_sample as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
 /// Seed of the small exhaustive-baseline instance.
 const EXHAUSTIVE_SEED: u64 = 0x0E57_AE11;
+
+/// Instance sizes of the `sweep_scaling` series (m = 8 throughout).
+const SWEEP_SCALING_N: [usize; 4] = [25, 50, 100, 200];
 
 /// A deep layered instance (n=30, m=3) for the exhaustive bench: the
 /// assignment DFS dominates, which is exactly the regime the prefix-keyed
@@ -222,12 +254,65 @@ fn main() {
         black_box(schedule(&g, deadline, &cfg).expect("feasible synthetic instance"));
     });
 
+    // Row/window-carry A/B on the full solver: one reused workspace with
+    // the carried sweep, one with the carry forced off (the pre-carry
+    // kernel: fresh O(n) row preparation, no cross-window reuse).
+    let mut ws_carried = SolverWorkspace::new();
+    let sweep_carried = median_ns(samples.min(12), || {
+        black_box(
+            schedule_in(&g, deadline, &cfg, &mut ws_carried).expect("feasible synthetic instance"),
+        );
+    });
+    let mut ws_nocarry = SolverWorkspace::new();
+    ws_nocarry.disable_sweep_carry();
+    let sweep_nocarry = median_ns(samples.min(12), || {
+        black_box(
+            schedule_in(&g, deadline, &cfg, &mut ws_nocarry).expect("feasible synthetic instance"),
+        );
+    });
+
+    // Sweep scaling: one full EvaluateWindows per sample on the shared
+    // n-scaling family, then the fitted growth exponent over n.
+    let scaling_ns: Vec<(usize, f64)> = SWEEP_SCALING_N
+        .iter()
+        .map(|&sn| {
+            let sg = synthetic_scaling(sn);
+            let slo = min_makespan(&sg).value();
+            let shi = max_makespan(&sg).value();
+            let sd = Minutes::new(slo + (shi - slo) * 0.7);
+            let sseq = topological_order(&sg);
+            let mut sdiag = DiagSearch::new(&sg, &cfg, sd).expect("valid paper config");
+            sdiag.windows(&sseq).expect("feasible scaling instance");
+            let ns = min_ns(samples.max(24), || {
+                black_box(sdiag.windows(black_box(&sseq)).expect("feasible instance"));
+            });
+            (sn, ns)
+        })
+        .collect();
+    let sweep_exponent = fitted_exponent(
+        &scaling_ns
+            .iter()
+            .map(|&(sn, ns)| (sn as f64, ns))
+            .collect::<Vec<_>>(),
+    );
+
     let speedup_full = sigma_naive / sigma_engine_full;
     let speedup_vs_old_inner = sigma_naive_with_profile / sigma_engine_full;
     let speedup_swap = sigma_naive_with_profile / sigma_engine_swap;
     let cdp_speedup = cdp_naive / cdp_incremental;
     let topo_speedup = topo_new_ops / topo_ref_ops;
     let exhaustive_speedup = ex_new_ops / ex_ref_ops;
+    let row_carry = sweep_nocarry / sweep_carried;
+    let scaling_n_json = scaling_ns
+        .iter()
+        .map(|&(sn, _)| sn.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let scaling_ns_json = scaling_ns
+        .iter()
+        .map(|&(_, ns)| format!("{ns:.0}"))
+        .collect::<Vec<_>>()
+        .join(", ");
 
     let json = format!(
         "{{\n  \"instance\": {{\"n\": {n}, \"m\": {m}, \"deadline_min\": {dl}, \"seed\": {seed}}},\n  \
@@ -248,12 +333,18 @@ fn main() {
          \"topo_orders_per_sec\": {ex_new_ops:.1},\n    \
          \"topo_orders_per_sec_reference\": {ex_ref_ops:.1}\n  }},\n  \
          \"schedule_run_ns\": {schedule_run:.1},\n  \
+         \"sweep\": {{\n    \"carried_ns\": {sweep_carried:.1},\n    \
+         \"nocarry_ns\": {sweep_nocarry:.1}\n  }},\n  \
+         \"sweep_scaling\": {{\n    \"n\": [{scaling_n_json}],\n    \
+         \"evaluate_windows_ns\": [{scaling_ns_json}],\n    \
+         \"fitted_exponent\": {sweep_exponent:.3}\n  }},\n  \
          \"speedup\": {{\n    \"sigma_full_vs_naive\": {speedup_full:.2},\n    \
          \"sigma_full_vs_old_inner_loop\": {speedup_vs_old_inner:.2},\n    \
          \"sigma_swap_vs_old_inner_loop\": {speedup_swap:.2},\n    \
          \"cdp_speedup\": {cdp_speedup:.2},\n    \
          \"topo_speedup\": {topo_speedup:.2},\n    \
-         \"exhaustive_speedup\": {exhaustive_speedup:.2}\n  }}\n}}\n",
+         \"exhaustive_speedup\": {exhaustive_speedup:.2},\n    \
+         \"row_carry\": {row_carry:.2}\n  }}\n}}\n",
         dl = deadline.value(),
         seed = SYNTH_N50_M8_SEED,
         quick = !full,
@@ -274,15 +365,25 @@ fn main() {
         for (name, value, floor) in [
             ("sigma_full_vs_naive", speedup_full, 2.0),
             ("cdp_speedup", cdp_speedup, 2.0),
+            ("row_carry", row_carry, 1.5),
         ] {
             if value < floor {
                 eprintln!("PERF REGRESSION: {name} = {value:.2}x, floor {floor:.1}x");
                 failed = true;
             }
         }
+        // The carried sweep must stay ~linear in n: a regrown quadratic
+        // term shows up here long before the fixed-size medians move.
+        if sweep_exponent > 1.4 {
+            eprintln!("PERF REGRESSION: sweep_scaling exponent = {sweep_exponent:.3}, ceiling 1.4");
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
-        eprintln!("perf floors OK (sigma_full_vs_naive >= 2x, cdp_speedup >= 2x)");
+        eprintln!(
+            "perf floors OK (sigma_full_vs_naive >= 2x, cdp_speedup >= 2x, \
+             row_carry >= 1.5x, sweep exponent {sweep_exponent:.2} <= 1.4)"
+        );
     }
 }

@@ -140,6 +140,45 @@ pub mod workloads {
         let mut rng = StdRng::seed_from_u64(SYNTH_N50_M8_SEED);
         layered(10, 5, 0.35, &params, &mut rng).expect("valid generator config")
     }
+
+    /// The n-scaling instance family (m = 8, width-5 layers, seed derived
+    /// from [`SYNTH_N50_M8_SEED`] and `n`) shared by `repro_bench_json`'s
+    /// `sweep_scaling` section and `loadgen`'s scaling scenario, so the
+    /// kernel-level growth exponent and the service-level latency envelope
+    /// are measured on the same graphs. `n` must be a multiple of 5.
+    pub fn synthetic_scaling(n: usize) -> TaskGraph {
+        assert!(
+            n >= 10 && n.is_multiple_of(5),
+            "scaling instances are width-5 layered"
+        );
+        let m = 8usize;
+        let params = TaskParams {
+            current_range: (100.0, 900.0),
+            duration_range: (2.0, 12.0),
+            factors: (0..m)
+                .map(|j| 1.0 - 0.67 * j as f64 / (m - 1) as f64)
+                .collect(),
+            scheme: ScalingScheme::ReversedDuration,
+            rounding: Rounding::PAPER,
+        };
+        let mut rng = StdRng::seed_from_u64(SYNTH_N50_M8_SEED ^ n as u64);
+        layered(n / 5, 5, 0.35, &params, &mut rng).expect("valid generator config")
+    }
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — the fitted growth
+/// exponent of a runtime series, used by the `sweep_scaling` perf gate.
+pub fn fitted_exponent(points: &[(f64, f64)]) -> f64 {
+    let k = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (k * sxy - sx * sy) / (k * sxx - sx * sx)
 }
 
 #[cfg(test)]

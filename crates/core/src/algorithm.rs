@@ -76,12 +76,44 @@ pub struct Solution {
 #[derive(Debug, Clone, Default)]
 pub struct SolverWorkspace {
     buffers: EvalBuffers,
+    /// Cached refinement engine with the model it was built for — reused
+    /// across [`refine_schedule_in`](crate::refine::refine_schedule_in)
+    /// calls while the graph catalogue and model stay the same, so a
+    /// worker refining a stream of requests on one graph pays the engine's
+    /// `entries × terms` exponentials once, and its probe scratch stays
+    /// warm across calls instead of being re-warmed per sequence.
+    refine: Option<(batsched_battery::rv::RvModel, crate::schedule::EngineCost)>,
 }
 
 impl SolverWorkspace {
     /// Creates an empty workspace (buffers grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The cached refinement engine for `(g, model)`, rebuilding it only
+    /// when the catalogue or model changed since the last call.
+    pub(crate) fn refine_engine(
+        &mut self,
+        g: &TaskGraph,
+        model: &batsched_battery::rv::RvModel,
+    ) -> &mut crate::schedule::EngineCost {
+        let reuse = self
+            .refine
+            .as_ref()
+            .is_some_and(|(m, e)| m == model && e.catalogue_matches(g));
+        if !reuse {
+            self.refine = Some((model.clone(), crate::schedule::EngineCost::new(g, model)));
+        }
+        &mut self.refine.as_mut().expect("just ensured").1
+    }
+
+    /// Disables the window sweep's cross-row / cross-window carry — the
+    /// bench-only baseline switch (see
+    /// [`EvalBuffers::disable_sweep_carry`]).
+    #[doc(hidden)]
+    pub fn disable_sweep_carry(&mut self) {
+        self.buffers.disable_sweep_carry();
     }
 }
 

@@ -41,7 +41,10 @@ pub mod sequence;
 pub use algorithm::{schedule, schedule_in, IterationRecord, Solution, SolverWorkspace};
 pub use config::{FactorMask, InitialWeight, SchedulerConfig};
 pub use error::SchedulerError;
-pub use refine::{refine_schedule, schedule_refined, schedule_refined_in, RefineStats, Refined};
+pub use refine::{
+    refine_schedule, refine_schedule_in, schedule_refined, schedule_refined_in, RefineStats,
+    Refined,
+};
 pub use schedule::{battery_cost_of, profile_of, EngineCost, Schedule, ScheduleError};
 pub use search::{FactorBreakdown, WindowRecord};
 

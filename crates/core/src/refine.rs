@@ -15,7 +15,7 @@
 
 use crate::config::SchedulerConfig;
 use crate::error::SchedulerError;
-use crate::schedule::{EngineCost, Schedule};
+use crate::schedule::Schedule;
 use batsched_battery::units::{MilliAmpMinutes, Minutes};
 use batsched_taskgraph::{PointId, TaskGraph, TaskId};
 use serde::{Deserialize, Serialize};
@@ -60,6 +60,34 @@ pub fn refine_schedule(
     config: &SchedulerConfig,
     max_passes: usize,
 ) -> Result<Refined, SchedulerError> {
+    refine_schedule_in(
+        g,
+        schedule,
+        deadline,
+        config,
+        max_passes,
+        &mut crate::algorithm::SolverWorkspace::new(),
+    )
+}
+
+/// [`refine_schedule`] with caller-owned solver buffers: the probe engine
+/// (σ evaluator tables + suffix-cache scratch) lives in `ws` and is reused
+/// across calls while the graph catalogue and battery model are unchanged
+/// — a worker polishing a stream of schedules on one graph builds the
+/// evaluator once and keeps its scratch warm, instead of re-warming both
+/// per call.
+///
+/// # Errors
+///
+/// [`SchedulerError::InvalidConfig`] when the configuration is unusable.
+pub fn refine_schedule_in(
+    g: &TaskGraph,
+    schedule: &Schedule,
+    deadline: Minutes,
+    config: &SchedulerConfig,
+    max_passes: usize,
+    ws: &mut crate::algorithm::SolverWorkspace,
+) -> Result<Refined, SchedulerError> {
     config.validate()?;
     let model = config.battery_model()?;
     let m = g.point_count();
@@ -67,8 +95,8 @@ pub fn refine_schedule(
 
     // The local-search inner loop probes many near-identical schedules; the
     // engine's suffix cache makes each probe pay only for its changed
-    // prefix.
-    let mut engine = EngineCost::new(g, &model);
+    // prefix, and the workspace keeps engine + scratch across calls.
+    let engine = ws.refine_engine(g, &model);
 
     let mut order: Vec<TaskId> = schedule.order().to_vec();
     let mut assignment: Vec<PointId> = schedule.assignment().to_vec();
@@ -165,13 +193,14 @@ pub fn schedule_refined(
     )
 }
 
-/// [`schedule_refined`] with caller-owned solver buffers: the *solve*
-/// stage's window-search scratch (σ cache, DPF repair journal, assignment
-/// buffers) lives in `ws` and is reused across calls, mirroring
-/// [`schedule_in`](crate::algorithm::schedule_in) for callers that refine
-/// afterwards. The refinement pass itself still builds its own
-/// [`EngineCost`] per call (its evaluator is graph-specific); only the
-/// dominant solve stage is allocation-free across calls.
+/// [`schedule_refined`] with caller-owned solver buffers: both stages
+/// reuse `ws` across calls — the solve stage's window-search scratch
+/// (σ cache, carried repair journal, assignment and window-carry buffers)
+/// mirroring [`schedule_in`](crate::algorithm::schedule_in), and the
+/// refinement stage's probe engine through
+/// [`refine_schedule_in`] (rebuilt only when the graph catalogue or model
+/// changes), so a long-lived worker stays allocation-free across requests
+/// end to end.
 ///
 /// # Errors
 ///
@@ -184,7 +213,7 @@ pub fn schedule_refined_in(
     ws: &mut crate::algorithm::SolverWorkspace,
 ) -> Result<Refined, SchedulerError> {
     let sol = crate::algorithm::schedule_in(g, deadline, config, ws)?;
-    refine_schedule(g, &sol.schedule, deadline, config, max_passes)
+    refine_schedule_in(g, &sol.schedule, deadline, config, max_passes, ws)
 }
 
 #[cfg(test)]

@@ -289,6 +289,19 @@ impl EngineCost {
         }
     }
 
+    /// Whether this engine was built over exactly `g`'s design-point
+    /// catalogue (same entry order, bit-equal durations and currents).
+    /// Lets a long-lived workspace reuse the engine — and skip the
+    /// `entries × terms` exponentials of a rebuild — when the same graph
+    /// comes back (the model must be compared separately).
+    pub fn catalogue_matches(&self, g: &TaskGraph) -> bool {
+        self.m == g.point_count()
+            && self.eval.catalogue_matches(
+                g.task_ids()
+                    .flat_map(|t| g.task(t).points.iter().map(|p| (p.duration, p.current))),
+            )
+    }
+
     /// σ and makespan of running `order` with the task-indexed
     /// `assignment`. Matches [`battery_cost_of`] under the same
     /// [`batsched_battery::rv::RvModel`] to ≤ 1e-9 relative error.

@@ -37,12 +37,12 @@ pub(crate) struct SearchContext<'g> {
     pub energy_order: Vec<TaskId>,
     pub deadline: f64,
     pub m: usize,
-    /// Cached `D[task][column]` in minutes.
-    pub dur: Vec<Vec<f64>>,
-    /// Cached `I[task][column]` in mA.
-    pub cur: Vec<Vec<f64>>,
-    /// Cached per-point energy under `metric`.
-    pub energy: Vec<Vec<f64>>,
+    /// Cached `D[task][column]` in minutes, row-major with stride `m`.
+    pub dur: Vec<f64>,
+    /// Cached `I[task][column]` in mA, row-major with stride `m`.
+    pub cur: Vec<f64>,
+    /// Cached per-point energy under `metric`, row-major with stride `m`.
+    pub energy: Vec<f64>,
     /// σ-evaluation engine over the `(task, column)` entry catalogue,
     /// entry id = `task * m + column`. Built from the run's battery model.
     pub eval: SigmaEvaluator,
@@ -58,22 +58,18 @@ impl<'g> SearchContext<'g> {
         let stats = GraphStats::compute(g, config.metric);
         let m = g.point_count();
         let n = g.task_count();
-        let mut dur = Vec::with_capacity(n);
-        let mut cur = Vec::with_capacity(n);
-        let mut energy: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut dur = Vec::with_capacity(n * m);
+        let mut cur = Vec::with_capacity(n * m);
+        let mut energy: Vec<f64> = Vec::with_capacity(n * m);
         for t in g.task_ids() {
             let pts = &g.task(t).points;
-            dur.push(pts.iter().map(|p| p.duration.value()).collect());
-            cur.push(pts.iter().map(|p| p.current.value()).collect());
-            energy.push(
-                pts.iter()
-                    .map(|p| p.energy(config.metric).value())
-                    .collect(),
-            );
+            dur.extend(pts.iter().map(|p| p.duration.value()));
+            cur.extend(pts.iter().map(|p| p.current.value()));
+            energy.extend(pts.iter().map(|p| p.energy(config.metric).value()));
         }
         let mut energy_order: Vec<TaskId> = g.task_ids().collect();
         let avg: Vec<f64> = (0..n)
-            .map(|t| energy[t].iter().sum::<f64>() / m as f64)
+            .map(|t| energy[t * m..(t + 1) * m].iter().sum::<f64>() / m as f64)
             .collect();
         energy_order.sort_by(|a, b| {
             batsched_battery::units::total_cmp(avg[a.index()], avg[b.index()])
@@ -120,17 +116,24 @@ impl<'g> SearchContext<'g> {
 
     #[inline]
     fn d(&self, t: TaskId, col: usize) -> f64 {
-        self.dur[t.index()][col]
+        self.dur[t.index() * self.m + col]
     }
 
     #[inline]
     fn i(&self, t: TaskId, col: usize) -> f64 {
-        self.cur[t.index()][col]
+        self.cur[t.index() * self.m + col]
+    }
+
+    #[inline]
+    fn e(&self, t: TaskId, col: usize) -> f64 {
+        self.energy[t.index() * self.m + col]
     }
 
     /// `CT(k)`: makespan if every task runs in column `k` (0-based).
     pub fn column_time(&self, col: usize) -> f64 {
-        self.dur.iter().map(|row| row[col]).sum()
+        (0..self.dur.len() / self.m)
+            .map(|t| self.dur[t * self.m + col])
+            .sum()
     }
 }
 
@@ -196,7 +199,7 @@ pub(crate) fn calculate_factors(
             rising += 1;
         }
         prev_i = i;
-        energy += ctx.energy[t.index()][col];
+        energy += ctx.e(t, col);
     }
     let cif = if n > 1 {
         rising as f64 / (n - 1) as f64
@@ -207,46 +210,146 @@ pub(crate) fn calculate_factors(
     (cif, enr)
 }
 
+/// The per-row base sums of `CalculateDPF`: makespan and energy of every
+/// position *except* the tagged one. One definition of the accumulation
+/// order, shared by the incremental kernel and the retained naive
+/// reference, so the bit-identity equivalence story is by construction:
+///
+/// * [`RowBases::fresh`] is the position-order summation pass both one-shot
+///   entry points use;
+/// * [`RowBases::carry_down`] is the O(1) delta that advances a sweep from
+///   row `i` to row `i − 1` — the kernel's carried chain and the reference
+///   sweep call the *same* method, so their floating-point op sequences are
+///   identical and any divergence is a bookkeeping bug, never float noise.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RowBases {
+    /// Σ durations of all positions except the tagged one.
+    pub rest_te: f64,
+    /// Σ energies of all positions except the tagged one.
+    pub rest_energy: f64,
+}
+
+impl RowBases {
+    /// Fresh position-order summation skipping position `i` — the one
+    /// accumulation order every cold path uses.
+    pub(crate) fn fresh(
+        ctx: &SearchContext<'_>,
+        seq: &[TaskId],
+        assign: &[usize],
+        i: usize,
+    ) -> Self {
+        let mut rest_te = 0.0;
+        let mut rest_energy = 0.0;
+        for (pos, &t) in seq.iter().enumerate() {
+            if pos != i {
+                rest_te += ctx.d(t, assign[pos]);
+                rest_energy += ctx.e(t, assign[pos]);
+            }
+        }
+        Self {
+            rest_te,
+            rest_energy,
+        }
+    }
+
+    /// Advances the bases from row `i` to row `i − 1` of a sweep: position
+    /// `i` (just committed to column `col`) enters the rest set, position
+    /// `i − 1` (currently at column `col_im1`, about to be tagged) leaves.
+    pub(crate) fn carry_down(
+        &mut self,
+        ctx: &SearchContext<'_>,
+        seq: &[TaskId],
+        i: usize,
+        col: usize,
+        col_im1: usize,
+    ) {
+        self.rest_te += ctx.d(seq[i], col);
+        self.rest_te -= ctx.d(seq[i - 1], col_im1);
+        self.rest_energy += ctx.e(seq[i], col);
+        self.rest_energy -= ctx.e(seq[i - 1], col_im1);
+    }
+}
+
 /// One repair promotion recorded in the [`DpfScratch`] rollback journal:
-/// position `pos` moved from `old_col` to `old_col − 1`, changing the
-/// makespan by `d_te`, the total energy by `d_energy`, and the rising-pair
-/// count (excluding pairs adjacent to the tagged position) by `d_rising`.
+/// position `pos` moved from `old_col` to `old_col − 1`. The scalar effects
+/// (Δmakespan, Δenergy, Δrising-pairs, neighbour columns) live in the
+/// scratch's prefix-sum arrays, indexed by journal prefix length.
 #[derive(Debug, Clone, Copy)]
 struct Promotion {
     pos: usize,
     old_col: usize,
-    d_te: f64,
-    d_energy: f64,
+}
+
+/// One whole repair run of a carried sweep's persistent journal: the
+/// consumed task (`u32::MAX` = tombstone, the task left the free set), the
+/// columns of the task's left/right sequence neighbours at the run's state
+/// (`u32::MAX` = no pair / tagged-adjacent, handled separately), and the
+/// run's rising-pair delta over those pairs. Records are immutable once
+/// discovered except for tombstoning and the tagged-adjacency patch.
+#[derive(Debug, Clone, Copy)]
+struct RunRec {
+    task: u32,
+    left: u32,
+    right: u32,
     d_rising: i32,
 }
 
 /// Reusable state of the incremental `CalculateDPF` kernel.
 ///
-/// One `suitability_row` call evaluates every candidate column of one
-/// tagged position. The paper's repair loop promotes the first free task in
-/// the energy vector one column at a time until the deadline holds — and
-/// that promotion sequence is *independent of the candidate column*: the
-/// candidate only decides how deep into the sequence the repair must go.
-/// The kernel therefore generates the sequence once per row, lazily, into a
-/// rollback **journal** shared by all candidates (promotions are resumed,
-/// never recomputed), and each candidate replays journal prefixes as O(1)
-/// scalar updates of the makespan `te`, the total energy, and the CIF
-/// rising-pair count. Per-column **occupancy counters** (maintained under
-/// journal seeks) make the DPF distribution sum O(m) instead of O(n·m).
-/// `end_row` undoes the journal, restoring the caller's assignment.
+/// One row evaluates every candidate column of one tagged position. The
+/// paper's repair loop promotes the first free task in the energy vector
+/// one column at a time until the deadline holds — and that promotion
+/// sequence is *independent of the candidate column*: the candidate only
+/// decides how deep into the sequence the repair must go. The kernel
+/// therefore generates the sequence once per row, lazily, into a rollback
+/// **journal** shared by all candidates (promotions are resumed, never
+/// recomputed). The journal carries **prefix-sum arrays** — makespan,
+/// energy, rising-pair deltas and the tagged position's neighbour columns,
+/// indexed by journal prefix length — so a candidate finds its repair
+/// depth by *binary search* (promotion steps never lengthen the makespan,
+/// so the prefix sums are nonincreasing) and reads its repaired state in
+/// O(1) instead of replaying `k` scalar updates. Per-column **occupancy
+/// counters** (maintained under journal seeks) make the DPF distribution
+/// sum O(m) instead of O(n·m). `end_row` undoes the journal — assignment,
+/// occupancy and fixed-flags — restoring the caller's state exactly.
 ///
-/// Cost per row: O(n + m) preparation plus O(k_j) replay and O(m) DPF sum
-/// per candidate — no clones, no full scans, zero allocations after
-/// warm-up. The retained naive reference (`calculate_dpf_reference`) is
-/// bit-identical; the equivalence proptests in `crates/core/tests` hold the
-/// two together.
+/// Rows can begin two ways: [`DpfScratch::begin_row`] does the fresh O(n)
+/// preparation (the one-shot diagnostic path), while a
+/// `ChooseDesignPoints` sweep carries the base sums, occupancy, rising
+/// pairs and fixed flags from row to row in O(1)
+/// ([`DpfScratch::begin_row_carried`]) — see [`RowBases`] for how the
+/// carried chain stays bit-identical to the retained reference.
+///
+/// Cost per row: O(depth) journal generation (shared by all candidates)
+/// plus O(log depth + m) per candidate — no clones, no full scans, zero
+/// allocations after warm-up. The retained naive reference
+/// (`calculate_dpf_reference`) shares the same floating-point accumulation
+/// and is bit-identical; the equivalence proptests in `crates/core/tests`
+/// hold the two together.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct DpfScratch {
     /// Shared repair journal for the current row.
     journal: Vec<Promotion>,
-    /// Task-indexed "fixed in E" working flags (row-local copy).
+    /// Prefix sums over the journal, indexed by prefix length `0..=len`:
+    /// `s_te[k]` is the makespan delta after `k` promotions (nonincreasing —
+    /// durations rise with column index), `s_energy[k]` the energy delta,
+    /// `s_rising[k]` the rising-pair delta (excluding tagged-adjacent
+    /// pairs), `nbr_im1[k]` / `nbr_ip1[k]` the tagged position's neighbour
+    /// columns after `k` promotions.
+    s_te: Vec<f64>,
+    s_energy: Vec<f64>,
+    s_rising: Vec<i32>,
+    nbr_im1: Vec<usize>,
+    nbr_ip1: Vec<usize>,
+    /// Task-indexed "fixed in E" flags. Fresh rows copy the caller's state;
+    /// carried sweeps own the array across rows (commits persist, journal
+    /// fixes are rolled back by `end_row`).
     etemp: Vec<bool>,
-    /// Cursor into `ctx.energy_order`: every earlier task is fixed.
+    /// Cursor into `ctx.energy_order`: every earlier task is free or was
+    /// skipped as fixed at skip time. One-shot rows reset it; carried
+    /// sweeps let it persist, rewinding on journal truncation via the
+    /// per-run cursor snapshots (runs consume tasks in energy order, so
+    /// every dropped task lies at or beyond the rewind point).
     cursor: usize,
     /// No free task remains; the journal cannot be extended.
     exhausted: bool,
@@ -254,7 +357,7 @@ pub(crate) struct DpfScratch {
     /// `occ_k`.
     occ: Vec<u32>,
     occ_k: usize,
-    /// Row constants (set by `begin_row`).
+    /// Row constants (set by `begin_row` / `begin_row_carried`).
     i: usize,
     ws: usize,
     rest_te: f64,
@@ -262,19 +365,98 @@ pub(crate) struct DpfScratch {
     /// Rising pairs excluding the two pairs adjacent to the tagged position,
     /// at journal prefix 0.
     rising0: i32,
-    /// Initial columns of the tagged position's neighbours.
-    col_im1: usize,
-    col_ip1: usize,
     /// Output buffer of `suitability_row` (descending candidate column).
     row: Vec<(usize, FactorBreakdown)>,
+
+    // --- run-level journal (carried sweeps only) -------------------------
+    //
+    // In a `ChooseDesignPoints` sweep every free position sits at column
+    // m−1, so the repair journal has *run structure*: the first free task
+    // in `E` is promoted column by column until it fixes at the window
+    // floor, then the next task starts. The sweep journal therefore
+    // records whole runs — O(1) per run instead of O(m) per step — with
+    // the per-step state recovered from per-task cumulative tables
+    // (`cum_te`/`cum_e`, built once per window) and the run-boundary
+    // chains below. A repair state is `(r, s)`: `r` completed runs, the
+    // current task `s` steps into its run (column `m−1−s`); its makespan
+    // is `base + (r_sum[r] + cum_te[task][s])` — two rounded additions,
+    // mirrored verbatim by the retained reference, and monotone
+    // nonincreasing across the whole (r, s) order because the boundary
+    // value `r_sum[r+1]` is *defined* as `r_sum[r] + cum_te[task][full]`
+    // (the same bits the in-run chain ends on). Candidates binary-search
+    // their stop state instead of replaying promotions.
+    /// Steps per full run in the current sweep window: `m − 1 − ws`.
+    run_len: usize,
+    /// Per-task in-run cumulative deltas for the current window:
+    /// `cum_te[t·(run_len+1) + s]` is the makespan delta after the task's
+    /// first `s` promotions from column `m−1` (a sequential chain), and
+    /// `cum_e` the energy counterpart. Built lazily on the window's first
+    /// repair (`cum_built`).
+    cum_te: Vec<f64>,
+    cum_e: Vec<f64>,
+    cum_built: bool,
+    /// Per-run records of the persistent sweep journal, in discovery
+    /// (= energy) order. The journal is *persistent across the sweep's
+    /// rows*: advancing from row `i` to `i−1` removes exactly one task
+    /// (the newly tagged `seq[i−1]`) from the free set — its record is
+    /// tombstoned, every other record (with its neighbour snapshots and
+    /// rising-pair delta, computed once at discovery) survives verbatim,
+    /// and only the cheap boundary chains below are re-folded lazily over
+    /// the survivors ([`Self::advance_row`] / [`Self::extend_chain`]).
+    /// A task never re-enters the free set (tombstoned tasks become
+    /// tagged, then committed), so the discovery cursor is monotone across
+    /// the whole window.
+    runs: Vec<RunRec>,
+    /// Record index of each *materialized* run of the current row, in run
+    /// order — a strictly increasing prefix of the surviving records.
+    chain_src: Vec<u32>,
+    /// Record index the next materialization resumes from (skipping
+    /// tombstones) before falling back to cursor discovery.
+    rec_next: usize,
+    /// Run-boundary makespan chain of the materialized runs, indexed by
+    /// completed-run count `0..=len` — kept as its own array so candidates
+    /// can binary-search it directly.
+    r_sum: Vec<f64>,
+    /// Run-boundary energy chain and rising-pair count at the full-run
+    /// state relative to the row's journalled base (excluding
+    /// tagged-adjacent pairs; index 0 holds zeros), indexed like `r_sum`.
+    re_h: Vec<(f64, i32)>,
+    /// Task-indexed record index, validated against `runs` before use
+    /// (stale entries simply fail the cross-check; never reset wholesale).
+    run_of: Vec<u32>,
+    /// Committed column of the tagged position's right neighbour
+    /// (constant per sweep row; `usize::MAX` at the last position).
+    ip1_col: usize,
+    /// Whether any candidate of the current row stopped at a repaired
+    /// state — the row's dirty marker for the cross-window carry.
+    row_repaired: bool,
 }
 
 impl DpfScratch {
+    /// Resets the journal and its prefix arrays to the empty prefix, with
+    /// the tagged position's initial neighbour columns at index 0.
+    fn reset_journal(&mut self, col_im1: usize, col_ip1: usize) {
+        self.journal.clear();
+        self.s_te.clear();
+        self.s_te.push(0.0);
+        self.s_energy.clear();
+        self.s_energy.push(0.0);
+        self.s_rising.clear();
+        self.s_rising.push(0);
+        self.nbr_im1.clear();
+        self.nbr_im1.push(col_im1);
+        self.nbr_ip1.clear();
+        self.nbr_ip1.push(col_ip1);
+        self.occ_k = 0;
+        self.exhausted = false;
+    }
+
     /// Prepares the kernel for one tagged position `i` within window `ws`.
     /// `assign` is the row's positional snapshot (positions `> i` fixed,
     /// free positions wherever the caller put them — column `m−1` in the
     /// `ChooseDesignPoints` sweep); the tagged column is *not* read from
-    /// `assign[i]`, it is passed per candidate.
+    /// `assign[i]`, it is passed per candidate. This is the fresh O(n)
+    /// preparation; sweeps use [`Self::begin_row_carried`] instead.
     #[allow(clippy::too_many_arguments)] // mirrors the paper's CalculateDPF state
     fn begin_row(
         &mut self,
@@ -286,10 +468,7 @@ impl DpfScratch {
         ws: usize,
     ) {
         let n = seq.len();
-        self.journal.clear();
         self.cursor = 0;
-        self.exhausted = false;
-        self.occ_k = 0;
         self.i = i;
         self.ws = ws;
         self.etemp.clear();
@@ -300,16 +479,9 @@ impl DpfScratch {
         for &col in &assign[..i] {
             self.occ[col] += 1;
         }
-        let mut rest_te = 0.0;
-        let mut rest_energy = 0.0;
-        for (pos, &t) in seq.iter().enumerate() {
-            if pos != i {
-                rest_te += ctx.d(t, assign[pos]);
-                rest_energy += ctx.energy[t.index()][assign[pos]];
-            }
-        }
-        self.rest_te = rest_te;
-        self.rest_energy = rest_energy;
+        let bases = RowBases::fresh(ctx, seq, assign, i);
+        self.rest_te = bases.rest_te;
+        self.rest_energy = bases.rest_energy;
         let mut rising = 0i32;
         for pos in 1..n {
             if pos != i && pos != i + 1 {
@@ -318,12 +490,368 @@ impl DpfScratch {
             }
         }
         self.rising0 = rising;
-        self.col_im1 = if i > 0 { assign[i - 1] } else { usize::MAX };
-        self.col_ip1 = if i + 1 < n { assign[i + 1] } else { usize::MAX };
+        let col_im1 = if i > 0 { assign[i - 1] } else { usize::MAX };
+        let col_ip1 = if i + 1 < n { assign[i + 1] } else { usize::MAX };
+        self.reset_journal(col_im1, col_ip1);
+    }
+
+    /// The journal record index of task `t`, if the task has been
+    /// discovered (and not tombstoned).
+    fn rec_index_of(&self, t: TaskId) -> Option<usize> {
+        let r = *self.run_of.get(t.index())? as usize;
+        (r < self.runs.len() && self.runs[r].task == t.index() as u32).then_some(r)
+    }
+
+    /// Prepares a carried sweep: fixed flags owned by the scratch (only the
+    /// pinned last task set), an empty persistent run journal, and the
+    /// window's run length. The per-task cumulative tables are built
+    /// lazily on the first repair ([`Self::ensure_cum_tables`]) so a
+    /// fully-carried clean window never pays for them. The per-row state
+    /// then advances through [`Self::begin_row_carried`] /
+    /// [`Self::advance_row`].
+    fn begin_sweep(&mut self, ctx: &SearchContext<'_>, seq: &[TaskId], ws: usize) {
+        self.ws = ws;
+        self.etemp.clear();
+        self.etemp.resize(ctx.g.task_count(), false);
+        self.etemp[seq[seq.len() - 1].index()] = true; // the pinned last task
+        self.cursor = 0;
+        self.runs.clear();
+        self.chain_src.clear();
+        self.rec_next = 0;
+        self.r_sum.clear();
+        self.r_sum.push(0.0);
+        self.re_h.clear();
+        self.re_h.push((0.0, 0));
+        self.run_of.resize(ctx.g.task_count(), u32::MAX);
+        self.run_len = ctx.m - 1 - ws;
+        self.cum_built = false;
+    }
+
+    /// Builds the per-task in-run cumulative delta tables for the current
+    /// window — the only O(n·m) piece of a window's repair machinery,
+    /// deferred until some candidate actually needs a repair.
+    fn ensure_cum_tables(&mut self, ctx: &SearchContext<'_>) {
+        if self.cum_built {
+            return;
+        }
+        self.cum_built = true;
+        let m = ctx.m;
+        let stride = self.run_len + 1;
+        let tasks = ctx.g.task_count();
+        self.cum_te.clear();
+        self.cum_te.resize(tasks * stride, 0.0);
+        self.cum_e.clear();
+        self.cum_e.resize(tasks * stride, 0.0);
+        for t in 0..tasks {
+            let task = TaskId(t);
+            for s in 0..self.run_len {
+                let c = m - 1 - s;
+                self.cum_te[t * stride + s + 1] =
+                    self.cum_te[t * stride + s] + (ctx.d(task, c - 1) - ctx.d(task, c));
+                self.cum_e[t * stride + s + 1] =
+                    self.cum_e[t * stride + s] + (ctx.e(task, c - 1) - ctx.e(task, c));
+            }
+        }
+    }
+
+    /// O(1) row preparation from sweep-carried state: base sums, rising
+    /// pairs and neighbour columns come from the caller's carried chain,
+    /// the fixed flags and the reusable journal prefix are already in
+    /// place from the previous row's [`Self::advance_row`].
+    fn begin_row_carried(
+        &mut self,
+        ctx: &SearchContext<'_>,
+        seq: &[TaskId],
+        i: usize,
+        bases: RowBases,
+        rising0: i32,
+        col_ip1: usize,
+    ) {
+        self.i = i;
+        self.etemp[seq[i].index()] = true; // the tagged task is fixed in E
+        self.rest_te = bases.rest_te;
+        self.rest_energy = bases.rest_energy;
+        self.rising0 = rising0;
+        self.ip1_col = col_ip1;
+        self.row_repaired = false;
+        self.exhausted = false;
+        let _ = ctx;
+    }
+
+    /// Drops materialized runs from chain position `cpos` on (their
+    /// records stay in the shadow for cheap re-materialization).
+    fn truncate_chain(&mut self, cpos: usize) {
+        if cpos < self.chain_src.len() {
+            self.chain_src.truncate(cpos);
+            self.r_sum.truncate(cpos + 1);
+            self.re_h.truncate(cpos + 1);
+            self.rec_next = self.chain_src.last().map_or(0, |&s| s as usize + 1);
+        }
+    }
+
+    /// Advances the persistent journal from row `i` to row `i−1`: the
+    /// newly tagged `seq[i−1]` leaves the free set, so its record is
+    /// tombstoned and the materialized chain re-folds from its rank; every
+    /// other record survives verbatim. The one record whose rising-pair
+    /// delta referenced the pair `(i−2, i−1)` — tagged-adjacent from now
+    /// on — is patched (using its snapshot of `seq[i−1]`'s column at the
+    /// time), with its chain entries dropped for re-materialization.
+    fn advance_row(&mut self, ctx: &SearchContext<'_>, seq: &[TaskId], i: usize) {
+        let t_next = seq[i - 1];
+        if let Some(idx) = self.rec_index_of(t_next) {
+            let cpos = self.chain_src.partition_point(|&s| (s as usize) < idx);
+            self.truncate_chain(cpos);
+            self.runs[idx].task = u32::MAX; // tombstone: tagged, then committed
+        }
+        if i >= 2 {
+            if let Some(idx) = self.rec_index_of(seq[i - 2]) {
+                if self.runs[idx].right != u32::MAX {
+                    let q = seq[i - 2];
+                    // The snapshot column seq[i−1] held at this record's
+                    // state (m−1, or the floor if it was consumed first).
+                    let ri = ctx.i(seq[i - 1], self.runs[idx].right as usize);
+                    let delta = (ctx.i(q, self.ws) < ri) as i32 - (ctx.i(q, ctx.m - 1) < ri) as i32;
+                    self.runs[idx].d_rising -= delta;
+                    self.runs[idx].right = u32::MAX;
+                    let cpos = self.chain_src.partition_point(|&s| (s as usize) < idx);
+                    self.truncate_chain(cpos);
+                }
+            }
+        }
+    }
+
+    /// Folds record `idx` into the row's materialized chain.
+    fn materialize(&mut self, idx: usize) {
+        let rec = self.runs[idx];
+        let t = rec.task as usize;
+        let stride = self.run_len + 1;
+        let r = self.chain_src.len();
+        self.chain_src.push(idx as u32);
+        self.r_sum
+            .push(self.r_sum[r] + self.cum_te[t * stride + self.run_len]);
+        let (re, h) = self.re_h[r];
+        self.re_h
+            .push((re + self.cum_e[t * stride + self.run_len], h + rec.d_rising));
+    }
+
+    /// Materializes the next repair run of the row — the next surviving
+    /// shadow record, or, past the shadow, the first free task in `E`
+    /// promoted from column `m−1` down to the window floor (discovered
+    /// once per window: its neighbour snapshots and rising-pair delta are
+    /// recorded for every later row to reuse). Returns `false` when no
+    /// free task remains (or the window has a single column, so no
+    /// promotion is possible).
+    fn extend_chain(&mut self, ctx: &SearchContext<'_>, seq: &[TaskId], pos_of: &[usize]) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        if self.run_len == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.ensure_cum_tables(ctx);
+        while self.rec_next < self.runs.len() {
+            let idx = self.rec_next;
+            self.rec_next += 1;
+            if self.runs[idx].task != u32::MAX {
+                self.materialize(idx);
+                return true;
+            }
+        }
+        // Discovery: the cursor is monotone for the whole window (tasks
+        // never re-enter the free set), so every task is snapshotted once.
+        while self.cursor < ctx.energy_order.len()
+            && self.etemp[ctx.energy_order[self.cursor].index()]
+        {
+            self.cursor += 1;
+        }
+        let Some(&q) = ctx.energy_order.get(self.cursor) else {
+            self.exhausted = true;
+            return false;
+        };
+        self.cursor += 1;
+        let p = pos_of[q.index()];
+        debug_assert!(p < self.i, "free tasks precede the tagged position");
+        let ws = self.ws;
+        let m1 = ctx.m - 1;
+        let i_old = ctx.i(q, m1);
+        let i_new = ctx.i(q, ws);
+        // Snapshot the neighbour columns at this record's state (free
+        // neighbours sit at the floor once consumed, at m−1 otherwise;
+        // pairs touching the tagged position are excluded — they are
+        // re-derived per repair state) and the full move's rising-pair
+        // delta over those pairs.
+        let mut d_rising = 0i32;
+        let left = if p > 0 {
+            let ln = seq[p - 1];
+            let lcol = if self.etemp[ln.index()] { ws } else { m1 };
+            let li = ctx.i(ln, lcol);
+            d_rising += (li < i_new) as i32 - (li < i_old) as i32;
+            lcol as u32
+        } else {
+            u32::MAX
+        };
+        let right = if p + 1 != self.i {
+            debug_assert!(p + 1 < self.i, "free positions precede the tagged one");
+            let rn = seq[p + 1];
+            let rcol = if self.etemp[rn.index()] { ws } else { m1 };
+            let ri = ctx.i(rn, rcol);
+            d_rising += (i_new < ri) as i32 - (i_old < ri) as i32;
+            rcol as u32
+        } else {
+            u32::MAX
+        };
+        let idx = self.runs.len();
+        self.etemp[q.index()] = true; // fixed at the window floor, for good
+        self.run_of[q.index()] = idx as u32;
+        self.runs.push(RunRec {
+            task: q.index() as u32,
+            left,
+            right,
+            d_rising,
+        });
+        self.rec_next = self.runs.len();
+        self.materialize(idx);
+        true
+    }
+
+    /// `CalculateDPF` for candidate column `j` of a carried sweep row.
+    /// Extends the shared run journal until this candidate's deadline
+    /// holds, binary-searches the run boundaries (then the stop run's
+    /// in-run chain) for the exact repair state the one-promotion-at-a-
+    /// time loop stops at, and scores it in O(1): the DPF occupancy is
+    /// closed-form (`r` tasks at the floor, at most one mid-run), the
+    /// rising count comes from the `h` chain plus two pair corrections.
+    fn sweep_candidate(
+        &mut self,
+        ctx: &SearchContext<'_>,
+        seq: &[TaskId],
+        pos_of: &[usize],
+        j: usize,
+    ) -> (f64, f64, f64) {
+        let n = seq.len();
+        let i = self.i;
+        let d = ctx.deadline;
+        let m1 = ctx.m - 1;
+        let base_te = self.rest_te + ctx.d(seq[i], j);
+        let base_energy = self.rest_energy + ctx.e(seq[i], j);
+        let mut feasible = true;
+        while base_te + self.r_sum[self.chain_src.len()] > d + TIME_EPS {
+            if !self.extend_chain(ctx, seq, pos_of) {
+                feasible = false;
+                break;
+            }
+        }
+        let len = self.chain_src.len();
+        let stride = self.run_len + 1;
+        // Stop state (r, s): r completed runs, current task s steps into
+        // its run. `r_sum` and each in-run chain are exactly monotone
+        // nonincreasing, and a run's final in-run value *is* the next
+        // boundary value, so the two-level binary search lands on the same
+        // state the sequential repair loop reaches.
+        let (r, s, q) = if !feasible {
+            (len, 0usize, None)
+        } else {
+            let rb = self.r_sum[..=len].partition_point(|&v| base_te + v > d + TIME_EPS);
+            if rb == 0 {
+                (0, 0, None)
+            } else {
+                let q = TaskId(self.runs[self.chain_src[rb - 1] as usize].task as usize);
+                let cum = &self.cum_te[q.index() * stride..(q.index() + 1) * stride];
+                let rs = self.r_sum[rb - 1];
+                let s = cum.partition_point(|&cs| base_te + (rs + cs) > d + TIME_EPS);
+                debug_assert!(s >= 1, "the boundary before rb did not satisfy");
+                if s == self.run_len {
+                    (rb, 0, None)
+                } else {
+                    (rb - 1, s, Some(q))
+                }
+            }
+        };
+        if r > 0 || q.is_some() || !feasible {
+            self.row_repaired = true;
+        }
+        let (re_r, h_r) = self.re_h[r];
+        let (te, energy) = if let Some(q) = q {
+            let qi = q.index() * stride;
+            (
+                base_te + (self.r_sum[r] + self.cum_te[qi + s]),
+                base_energy + (re_r + self.cum_e[qi + s]),
+            )
+        } else {
+            (base_te + self.r_sum[r], base_energy + re_r)
+        };
+        let mut rising = self.rising0 + h_r;
+        let c = m1 - s;
+        if let Some(q) = q {
+            // The mid-run task sits at column c, not the m−1 its chain
+            // state assumes: correct its two (non-tagged-adjacent) pairs.
+            let rec = self.runs[self.chain_src[r] as usize];
+            let i_old = ctx.i(q, m1);
+            let i_new = ctx.i(q, c);
+            if rec.left != u32::MAX {
+                let li = ctx.i(seq[pos_of[q.index()] - 1], rec.left as usize);
+                rising += (li < i_new) as i32 - (li < i_old) as i32;
+            }
+            if rec.right != u32::MAX {
+                let ri = ctx.i(seq[pos_of[q.index()] + 1], rec.right as usize);
+                rising += (i_new < ri) as i32 - (i_old < ri) as i32;
+            }
+        }
+        let i_tag = ctx.i(seq[i], j);
+        if i > 0 {
+            // The tagged-left neighbour's column at the stop state: the
+            // materialized chain is the record-index-ordered prefix of the
+            // survivors, so "consumed before run r" is one index compare.
+            let col_im1 = match self.rec_index_of(seq[i - 1]) {
+                Some(idx) if q.is_some() && self.chain_src[r] as usize == idx => c,
+                Some(idx) if r > 0 && idx <= self.chain_src[r - 1] as usize => self.ws,
+                _ => m1,
+            };
+            rising += (ctx.i(seq[i - 1], col_im1) < i_tag) as i32;
+        }
+        if i + 1 < n {
+            rising += (i_tag < ctx.i(seq[i + 1], self.ip1_col)) as i32;
+        }
+        let cif = if n > 1 {
+            rising as f64 / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let enr = ctx.stats.energy_ratio(Energy::new(energy));
+        if !feasible {
+            return (enr, cif, f64::INFINITY);
+        }
+        let dpf = if i == 0 {
+            (d - te) / d
+        } else {
+            let width_minus1 = ctx.m - 1 - self.ws;
+            if width_minus1 == 0 {
+                0.0
+            } else {
+                let factor = 1.0 / width_minus1 as f64;
+                // Closed-form occupancy: `r` repaired tasks at the floor,
+                // at most one mid-run at column c, everything else at the
+                // weightless column m−1. Terms added in ascending column
+                // order with the reference loop's exact expressions (its
+                // zero-occupancy terms add +0.0, which preserves bits).
+                let mut dpf = 0.0;
+                if r > 0 {
+                    dpf += width_minus1 as f64 * factor * r as f64 / i as f64;
+                }
+                if q.is_some() {
+                    let coeff = (width_minus1 - (c - self.ws)) as f64;
+                    dpf += coeff * factor * 1.0 / i as f64;
+                }
+                dpf
+            }
+        };
+        (enr, cif, dpf)
     }
 
     /// Appends the next repair promotion to the journal, applying it to
-    /// `assign`. Returns `false` when no free task remains.
+    /// `assign` and extending the prefix-sum arrays. Returns `false` when
+    /// no free task remains.
     fn extend_journal(
         &mut self,
         ctx: &SearchContext<'_>,
@@ -349,7 +877,7 @@ impl DpfScratch {
         let c = assign[r];
         debug_assert!(c > self.ws, "free tasks never sit below the window start");
         let d_te = ctx.d(seq[r], c - 1) - ctx.d(seq[r], c);
-        let d_energy = ctx.energy[seq[r].index()][c - 1] - ctx.energy[seq[r].index()][c];
+        let d_energy = ctx.e(seq[r], c - 1) - ctx.e(seq[r], c);
         let i_old = ctx.i(seq[r], c);
         let i_new = ctx.i(seq[r], c - 1);
         let mut d_rising = 0i32;
@@ -364,18 +892,28 @@ impl DpfScratch {
             let right = ctx.i(seq[r + 1], assign[r + 1]);
             d_rising += (i_new < right) as i32 - (i_old < right) as i32;
         }
+        let k = self.journal.len();
+        let nbr_im1 = if r + 1 == self.i {
+            c - 1
+        } else {
+            self.nbr_im1[k]
+        };
+        let nbr_ip1 = if r == self.i + 1 {
+            c - 1
+        } else {
+            self.nbr_ip1[k]
+        };
         assign[r] = c - 1;
         if c - 1 == self.ws {
             // Promoted into the window's fastest column: no further moves.
             self.etemp[q.index()] = true;
         }
-        self.journal.push(Promotion {
-            pos: r,
-            old_col: c,
-            d_te,
-            d_energy,
-            d_rising,
-        });
+        self.journal.push(Promotion { pos: r, old_col: c });
+        self.s_te.push(self.s_te[k] + d_te);
+        self.s_energy.push(self.s_energy[k] + d_energy);
+        self.s_rising.push(self.s_rising[k] + d_rising);
+        self.nbr_im1.push(nbr_im1);
+        self.nbr_ip1.push(nbr_ip1);
         true
     }
 
@@ -401,7 +939,9 @@ impl DpfScratch {
 
     /// `CalculateDPF` for candidate column `j` of the prepared row:
     /// `(enr, cif, dpf)` on the repaired assignment, `dpf = ∞` when no
-    /// repair meets the deadline.
+    /// repair meets the deadline. Extends the shared journal only as far
+    /// as this candidate needs, then *binary-searches* the prefix sums for
+    /// the exact repair depth the paper's one-step loop would stop at.
     fn candidate(
         &mut self,
         ctx: &SearchContext<'_>,
@@ -413,35 +953,35 @@ impl DpfScratch {
         let n = seq.len();
         let i = self.i;
         let d = ctx.deadline;
-        let mut te = self.rest_te + ctx.d(seq[i], j);
-        let mut energy = self.rest_energy + ctx.energy[seq[i].index()][j];
-        let mut rising = self.rising0;
-        let mut col_im1 = self.col_im1;
-        let mut col_ip1 = self.col_ip1;
-        let mut k = 0usize;
+        let base_te = self.rest_te + ctx.d(seq[i], j);
+        let base_energy = self.rest_energy + ctx.e(seq[i], j);
+        // Resume the shared journal until this candidate's deadline holds
+        // (or no free task remains).
         let mut feasible = true;
-        while te > d + TIME_EPS {
-            if k == self.journal.len() && !self.extend_journal(ctx, seq, pos_of, assign) {
+        while base_te + self.s_te[self.journal.len()] > d + TIME_EPS {
+            if !self.extend_journal(ctx, seq, pos_of, assign) {
                 feasible = false;
                 break;
             }
-            let p = self.journal[k];
-            te += p.d_te;
-            energy += p.d_energy;
-            rising += p.d_rising;
-            if p.pos + 1 == i {
-                col_im1 = p.old_col - 1;
-            } else if p.pos == i + 1 {
-                col_ip1 = p.old_col - 1;
-            }
-            k += 1;
         }
+        // Minimal prefix `k` with `te ≤ d` — the state the one-promotion-
+        // at-a-time loop stops at. `s_te` is nonincreasing, so the
+        // predicate is monotone and binary search finds the same `k` the
+        // sequential walk would.
+        let k = if feasible {
+            self.s_te[..=self.journal.len()].partition_point(|&s| base_te + s > d + TIME_EPS)
+        } else {
+            self.journal.len()
+        };
+        let te = base_te + self.s_te[k];
+        let energy = base_energy + self.s_energy[k];
+        let mut rising = self.rising0 + self.s_rising[k];
         let i_tag = ctx.i(seq[i], j);
         if i > 0 {
-            rising += (ctx.i(seq[i - 1], col_im1) < i_tag) as i32;
+            rising += (ctx.i(seq[i - 1], self.nbr_im1[k]) < i_tag) as i32;
         }
         if i + 1 < n {
-            rising += (i_tag < ctx.i(seq[i + 1], col_ip1)) as i32;
+            rising += (i_tag < ctx.i(seq[i + 1], self.nbr_ip1[k])) as i32;
         }
         let cif = if n > 1 {
             rising as f64 / (n - 1) as f64
@@ -482,14 +1022,22 @@ impl DpfScratch {
         (enr, cif, dpf)
     }
 
-    /// Rolls the journal back out of `assign`, restoring the row's initial
-    /// positional snapshot.
-    fn end_row(&mut self, assign: &mut [usize]) {
+    /// Rolls the per-step journal back out of `assign` (and the occupancy
+    /// counters and fixed flags with it), restoring the row's initial
+    /// state. One-shot rows only — a carried sweep's run-level journal
+    /// persists across rows and is pruned by [`Self::advance_row`].
+    fn end_row(&mut self, seq: &[TaskId], assign: &mut [usize]) {
+        self.occ_seek(0);
         for p in self.journal.iter().rev() {
             assign[p.pos] = p.old_col;
+            if p.old_col - 1 == self.ws {
+                // This promotion fixed the task at the window floor; free
+                // it again (the tagged / committed flags are not journal
+                // entries and survive).
+                self.etemp[seq[p.pos].index()] = false;
+            }
         }
         self.journal.clear();
-        self.occ_k = 0;
     }
 }
 
@@ -526,11 +1074,11 @@ pub(crate) fn calculate_dpf(
 /// The retained naive `CalculateDPF` — the pre-incremental implementation
 /// (fresh state clones per call, O(n) first-free scans per promotion, O(i)
 /// occupancy scans per column), kept as the equivalence reference for the
-/// [`DpfScratch`] kernel. The makespan and energy accumulations follow the
-/// kernel's arithmetic (`rest + tagged + promotion deltas`, which the old
-/// fresh-sum code matched only to floating-point association) so the
-/// proptests can demand **bit-identical** `(enr, cif, dpf)` triples: any
-/// divergence is a bookkeeping bug, never float noise.
+/// [`DpfScratch`] kernel. The base sums come from the shared
+/// [`RowBases::fresh`] helper and the makespan/energy accumulations follow
+/// the kernel's arithmetic (`(rest + tagged) + running promotion sum`) so
+/// the proptests can demand **bit-identical** `(enr, cif, dpf)` triples:
+/// any divergence is a bookkeeping bug, never float noise.
 pub(crate) fn calculate_dpf_reference(
     ctx: &SearchContext<'_>,
     seq: &[TaskId],
@@ -540,22 +1088,38 @@ pub(crate) fn calculate_dpf_reference(
     i: usize,
     ws: usize,
 ) -> (f64, f64, f64) {
+    let bases = RowBases::fresh(ctx, seq, stemp_in, i);
+    calculate_dpf_reference_with(ctx, seq, pos_of, stemp_in, fixed_in_e, i, ws, bases)
+}
+
+/// [`calculate_dpf_reference`] with explicit row base sums, so the
+/// reference sweep (`choose_design_points_reference`) can carry them
+/// across rows through the same [`RowBases::carry_down`] chain the kernel
+/// uses. The repair loop keeps a running promotion sum and evaluates
+/// `te = base + sum` each step — exactly the kernel's prefix-sum
+/// arithmetic, promotion by promotion.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's CalculateDPF state
+pub(crate) fn calculate_dpf_reference_with(
+    ctx: &SearchContext<'_>,
+    seq: &[TaskId],
+    pos_of: &[usize],
+    stemp_in: &[usize],
+    fixed_in_e: &[bool],
+    i: usize,
+    ws: usize,
+    bases: RowBases,
+) -> (f64, f64, f64) {
     let m = ctx.m;
     let d = ctx.deadline;
     let mut stemp = stemp_in.to_vec();
     let mut etemp = fixed_in_e.to_vec();
     etemp[seq[i].index()] = true; // the tagged task is fixed in E
 
-    let mut rest_te = 0.0;
-    let mut rest_energy = 0.0;
-    for (pos, &t) in seq.iter().enumerate() {
-        if pos != i {
-            rest_te += ctx.d(t, stemp[pos]);
-            rest_energy += ctx.energy[t.index()][stemp[pos]];
-        }
-    }
-    let mut te = rest_te + ctx.d(seq[i], stemp[i]);
-    let mut energy = rest_energy + ctx.energy[seq[i].index()][stemp[i]];
+    let base_te = bases.rest_te + ctx.d(seq[i], stemp[i]);
+    let base_energy = bases.rest_energy + ctx.e(seq[i], stemp[i]);
+    let mut s_te = 0.0;
+    let mut s_energy = 0.0;
+    let mut te = base_te + s_te;
 
     let mut feasible = true;
     while te > d + TIME_EPS {
@@ -568,14 +1132,16 @@ pub(crate) fn calculate_dpf_reference(
         let r = pos_of[q.index()];
         let c = stemp[r];
         debug_assert!(c > ws, "free tasks never sit below the window start");
-        te += ctx.d(seq[r], c - 1) - ctx.d(seq[r], c);
-        energy += ctx.energy[seq[r].index()][c - 1] - ctx.energy[seq[r].index()][c];
+        s_te += ctx.d(seq[r], c - 1) - ctx.d(seq[r], c);
+        s_energy += ctx.e(seq[r], c - 1) - ctx.e(seq[r], c);
         stemp[r] = c - 1;
         if c - 1 == ws {
             // Promoted into the window's fastest column: no further moves.
             etemp[q.index()] = true;
         }
+        te = base_te + s_te;
     }
+    let energy = base_energy + s_energy;
 
     let (cif, _scan_enr) = calculate_factors(ctx, seq, &stemp);
     let enr = ctx.stats.energy_ratio(Energy::new(energy));
@@ -643,7 +1209,7 @@ pub(crate) fn suitability_row<'s>(
             },
         ));
     }
-    scratch.end_row(assign);
+    scratch.end_row(seq, assign);
     scratch.row.reverse();
     &scratch.row
 }
@@ -657,12 +1223,76 @@ pub(crate) struct ChooseBuffers {
     pub(crate) assign: Vec<usize>,
     /// Task-indexed position lookup for the current sequence.
     pos_of: Vec<usize>,
-    /// Task-indexed "fixed in E" flags.
+    /// Task-indexed "fixed in E" flags (only used by the carry-disabled
+    /// bench baseline; carried sweeps own their flags in [`DpfScratch`]).
     fixed_in_e: Vec<bool>,
+}
+
+/// What one `ChooseDesignPoints` row leaves behind for the next window:
+/// the committed column, the winning suitability, and whether the whole
+/// candidate row was repair-free (empty journal).
+#[derive(Debug, Clone, Copy, Default)]
+struct RowCarry {
+    col: usize,
+    best_b: f64,
+    repair_free: bool,
+}
+
+/// Cross-window carry: what `EvaluateWindows` remembers from window
+/// `ws + 1` when it evaluates window `ws` for the same sequence.
+///
+/// When a row's suffix state is unchanged from the previous window (every
+/// deeper row committed the same column and the pinned last column agrees)
+/// *and* the row was repair-free there, every old candidate's factor
+/// breakdown is bit-identical in the new window: SR/CR/ENR depend only on
+/// the (identical) base chains, the repaired assignment is the unrepaired
+/// one, and the DPF occupancy sum is exactly zero in both windows (all
+/// free prefix positions sit at column `m−1`, which carries no weight).
+/// The row then reduces to scoring the *one* new candidate — the window's
+/// new fastest column — against the remembered winner. Rows with repairs,
+/// or below the first changed choice, are re-evaluated in full; the dirty
+/// set is keyed on the promotion journal (`repair_free`).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WindowCarry {
+    valid: bool,
+    /// Identity of the evaluator (hence the run's `SearchContext`) the
+    /// records belong to — evaluator ids are globally unique, so a carry
+    /// can never leak across runs, graphs or battery models.
+    eval_id: u64,
+    ws: usize,
+    deadline: f64,
+    mask: FactorMask,
+    seq: Vec<TaskId>,
+    last_col: usize,
+    /// Previous window's per-row records, indexed by position.
+    rows: Vec<RowCarry>,
+    /// Scratch for the window being evaluated (swapped into `rows`).
+    next: Vec<RowCarry>,
+}
+
+impl WindowCarry {
+    /// Whether the stored records describe window `ws + 1` of exactly this
+    /// search state.
+    fn matches(&self, ctx: &SearchContext<'_>, seq: &[TaskId], ws: usize) -> bool {
+        self.valid
+            && self.eval_id == ctx.eval.id()
+            && self.ws == ws + 1
+            && self.deadline.to_bits() == ctx.deadline.to_bits()
+            && self.mask == ctx.mask
+            && self.seq == seq
+    }
 }
 
 /// `ChooseDesignPoints` (Fig. 1): positional assignment for `seq` within the
 /// window `[ws ..= m−1]`, left in `buffers.choose.assign`.
+///
+/// The sweep carries its row state incrementally (see [`DpfScratch`] and
+/// [`RowBases`]) and, when `buffers` last evaluated window `ws + 1` of the
+/// same search state, reuses the previous window's per-row outcomes to
+/// skip re-scoring rows the one-column widening cannot change (see
+/// [`WindowCarry`]). Results are bit-identical to evaluating the window in
+/// isolation — the carry only skips work whose outcome is provably the
+/// same bits.
 ///
 /// # Errors
 ///
@@ -678,11 +1308,22 @@ pub(crate) fn choose_design_points_into(
     let n = seq.len();
     let m = ctx.m;
     let tasks = ctx.g.task_count();
+    let d = ctx.deadline;
+    let EvalBuffers {
+        dpf: scratch,
+        choose,
+        carry,
+        carry_disabled,
+        ..
+    } = buffers;
+    let carried = !*carry_disabled && carry.matches(ctx, seq, ws);
+    // Invalidate while mutating; re-validated only on success.
+    carry.valid = false;
     let ChooseBuffers {
         assign,
         pos_of,
         fixed_in_e,
-    } = &mut buffers.choose;
+    } = choose;
     assign.clear();
     assign.resize(n, m - 1);
     pos_of.clear();
@@ -690,8 +1331,6 @@ pub(crate) fn choose_design_points_into(
     for (pos, &t) in seq.iter().enumerate() {
         pos_of[t.index()] = pos;
     }
-    fixed_in_e.clear();
-    fixed_in_e.resize(tasks, false);
 
     // The paper fixes the last task to the lowest-power design point
     // outright. Taken literally that makes deadlines between CT(ws) and
@@ -701,42 +1340,157 @@ pub(crate) fn choose_design_points_into(
     // any slack (see DESIGN.md §4).
     let others_at_ws: f64 = seq[..n - 1].iter().map(|&t| ctx.d(t, ws)).sum();
     let mut last_col = m - 1;
-    while last_col > ws && others_at_ws + ctx.d(seq[n - 1], last_col) > ctx.deadline + TIME_EPS {
+    while last_col > ws && others_at_ws + ctx.d(seq[n - 1], last_col) > d + TIME_EPS {
         last_col -= 1;
     }
-    fixed_in_e[seq[n - 1].index()] = true;
     assign[n - 1] = last_col;
     let mut tsum = ctx.d(seq[n - 1], last_col);
 
-    for i in (0..n.saturating_sub(1)).rev() {
-        let row = suitability_row(
-            ctx,
-            seq,
-            pos_of,
-            assign,
-            fixed_in_e,
-            tsum,
-            i,
-            ws,
-            &mut buffers.dpf,
-        );
-        let mut best: Option<(usize, f64)> = None;
-        for &(j, fb) in row {
-            let b = fb.total(ctx.mask);
-            // Strict '<' keeps the first (leanest) column on ties, matching
-            // the paper's scan order m → ws.
-            if best.is_none_or(|(_, bb)| b < bb) {
-                best = Some((j, b));
+    if *carry_disabled {
+        // Carry-disabled baseline (bench-only): fresh O(n) row preparation
+        // per position, no cross-window reuse — the pre-carry kernel.
+        fixed_in_e.clear();
+        fixed_in_e.resize(tasks, false);
+        fixed_in_e[seq[n - 1].index()] = true;
+        for i in (0..n.saturating_sub(1)).rev() {
+            let row = suitability_row(ctx, seq, pos_of, assign, fixed_in_e, tsum, i, ws, scratch);
+            let mut best: Option<(usize, f64)> = None;
+            for &(j, fb) in row {
+                let b = fb.total(ctx.mask);
+                // Strict '<' keeps the first (leanest) column on ties,
+                // matching the paper's scan order m → ws.
+                if best.is_none_or(|(_, bb)| b < bb) {
+                    best = Some((j, b));
+                }
             }
+            let (j, b) = best.expect("window contains at least one column");
+            if !b.is_finite() {
+                return Err(SchedulerError::WindowSearchFailed { window_start: ws });
+            }
+            assign[i] = j;
+            fixed_in_e[seq[i].index()] = true;
+            tsum += ctx.d(seq[i], j);
         }
-        let (j, b) = best.expect("window contains at least one column");
+        return Ok(());
+    }
+
+    if n < 2 {
+        // Nothing to sweep; no carry to record either.
+        return Ok(());
+    }
+
+    carry.next.clear();
+    carry.next.resize(n, RowCarry::default());
+    // `clean` = the suffix state (committed columns deeper than the current
+    // row, plus the pinned last column) is identical to window ws+1's.
+    let mut clean = carried && last_col == carry.last_col;
+
+    let first = n - 2;
+    scratch.begin_sweep(ctx, seq, ws);
+    let mut bases = RowBases::fresh(ctx, seq, assign, first);
+    let mut rising0 = 0i32;
+    for pos in 1..n {
+        if pos != first && pos != first + 1 {
+            rising0 += (ctx.i(seq[pos - 1], assign[pos - 1]) < ctx.i(seq[pos], assign[pos])) as i32;
+        }
+    }
+    let mut col_ip1 = assign[first + 1];
+
+    for i in (0..=first).rev() {
+        scratch.begin_row_carried(ctx, seq, i, bases, rising0, col_ip1);
+        let prev = if carried {
+            carry.rows[i]
+        } else {
+            RowCarry::default()
+        };
+        // The one suitability computation both arms below share — any
+        // change here changes fast and full rows together, which the
+        // carry's bit-identity contract depends on.
+        let score = |scratch: &mut DpfScratch, j: usize| {
+            let ttemp = tsum + ctx.d(seq[i], j);
+            let sr = (d - ttemp) / d;
+            let cr = ctx
+                .stats
+                .current_ratio(batsched_battery::units::MilliAmps::new(ctx.i(seq[i], j)));
+            let (enr, cif, dpf) = scratch.sweep_candidate(ctx, seq, pos_of, j);
+            FactorBreakdown {
+                sr,
+                cr,
+                enr,
+                cif,
+                dpf,
+            }
+            .total(ctx.mask)
+        };
+        let fast = clean && prev.repair_free && bases.rest_te + ctx.d(seq[i], ws) <= d + TIME_EPS;
+        let (j, b, repair_free) = if fast {
+            // Every candidate the previous window scored reproduces the
+            // same bits here; only the window's new fastest column can
+            // change the winner, and only by strictly beating it (the
+            // descending scan keeps the leanest column on ties).
+            let b_new = score(scratch, ws);
+            debug_assert!(!scratch.row_repaired, "fast rows never repair");
+            if b_new < prev.best_b {
+                (ws, b_new, true)
+            } else {
+                (prev.col, prev.best_b, true)
+            }
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            // Candidates ascending so the repair journal extends
+            // monotonically; `<=` keeps the leanest (largest) column on
+            // ties, matching the paper's descending scan.
+            for j in ws..m {
+                let b = score(scratch, j);
+                if best.is_none_or(|(_, bb)| b <= bb) {
+                    best = Some((j, b));
+                }
+            }
+            let (j, b) = best.expect("window contains at least one column");
+            // A row is repair-free when no candidate stopped at a repaired
+            // state — position 0 rows always qualify (no free tasks exist,
+            // so even infeasible verdicts carry to the next window).
+            (j, b, !scratch.row_repaired || i == 0)
+        };
         if !b.is_finite() {
             return Err(SchedulerError::WindowSearchFailed { window_start: ws });
         }
+        clean = clean && j == prev.col;
+        carry.next[i] = RowCarry {
+            col: j,
+            best_b: b,
+            repair_free,
+        };
         assign[i] = j;
-        fixed_in_e[seq[i].index()] = true;
         tsum += ctx.d(seq[i], j);
+        if i > 0 {
+            // Advance the carried chain to row i−1: the committed pair
+            // (i, i+1) enters the journalled rising count, the free pair
+            // (i−2, i−1) leaves (it becomes tagged-adjacent), the journal
+            // prefix below the new tagged task's energy rank is kept, and
+            // the base sums move through the shared RowBases chain.
+            rising0 += (ctx.i(seq[i], assign[i]) < ctx.i(seq[i + 1], assign[i + 1])) as i32;
+            if i >= 2 {
+                rising0 -=
+                    (ctx.i(seq[i - 2], assign[i - 2]) < ctx.i(seq[i - 1], assign[i - 1])) as i32;
+            }
+            bases.carry_down(ctx, seq, i, j, assign[i - 1]);
+            scratch.advance_row(ctx, seq, i);
+            col_ip1 = assign[i];
+        }
     }
+
+    carry.eval_id = ctx.eval.id();
+    carry.ws = ws;
+    carry.deadline = d;
+    carry.mask = ctx.mask;
+    carry.last_col = last_col;
+    if !carried {
+        carry.seq.clear();
+        carry.seq.extend_from_slice(seq);
+    }
+    std::mem::swap(&mut carry.rows, &mut carry.next);
+    carry.valid = true;
     Ok(())
 }
 
@@ -753,10 +1507,101 @@ pub(crate) fn choose_design_points(
     Ok(buffers.choose.assign)
 }
 
+/// The retained naive `CalculateDPF` of a *sweep* row: same clone-and-
+/// rescan structure as [`calculate_dpf_reference_with`], but the makespan
+/// and energy accumulate in the sweep kernel's run arithmetic — a
+/// run-boundary sum plus the current task's in-run cumulative sum,
+/// `te = base + (r_sum + cum)` re-evaluated after every single promotion.
+/// In a sweep every free task starts at column `m−1`, so the repair loop
+/// has run structure (the first free task is promoted until it fixes at
+/// the floor, then the next starts) and this arithmetic is exactly the
+/// per-step walk of the kernel's binary-searched chains: bit-identical by
+/// construction.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's CalculateDPF state
+fn calculate_dpf_reference_sweep(
+    ctx: &SearchContext<'_>,
+    seq: &[TaskId],
+    pos_of: &[usize],
+    stemp_in: &[usize],
+    fixed_in_e: &[bool],
+    i: usize,
+    ws: usize,
+    bases: RowBases,
+) -> (f64, f64, f64) {
+    let m = ctx.m;
+    let d = ctx.deadline;
+    let mut stemp = stemp_in.to_vec();
+    let mut etemp = fixed_in_e.to_vec();
+    etemp[seq[i].index()] = true; // the tagged task is fixed in E
+
+    let base_te = bases.rest_te + ctx.d(seq[i], stemp[i]);
+    let base_energy = bases.rest_energy + ctx.e(seq[i], stemp[i]);
+    let mut r_sum = 0.0; // completed-run boundary chain
+    let mut re_sum = 0.0;
+    let mut cum = 0.0; // current task's in-run chain
+    let mut cum_e = 0.0;
+    let mut te = base_te + (r_sum + cum);
+
+    let mut feasible = true;
+    while te > d + TIME_EPS {
+        // First free task in ascending-energy order.
+        let q = ctx.energy_order.iter().copied().find(|t| !etemp[t.index()]);
+        let Some(q) = q else {
+            feasible = false;
+            break;
+        };
+        let r = pos_of[q.index()];
+        let c = stemp[r];
+        debug_assert!(c > ws, "free tasks never sit below the window start");
+        cum += ctx.d(seq[r], c - 1) - ctx.d(seq[r], c);
+        cum_e += ctx.e(seq[r], c - 1) - ctx.e(seq[r], c);
+        stemp[r] = c - 1;
+        if c - 1 == ws {
+            // Run complete: fold it into the boundary chain, exactly the
+            // bits the kernel's `r_sum[r+1] = r_sum[r] + cum[full]` stores.
+            etemp[q.index()] = true;
+            r_sum += cum;
+            re_sum += cum_e;
+            cum = 0.0;
+            cum_e = 0.0;
+        }
+        te = base_te + (r_sum + cum);
+    }
+    let energy = base_energy + (re_sum + cum_e);
+
+    let (cif, _scan_enr) = calculate_factors(ctx, seq, &stemp);
+    let enr = ctx.stats.energy_ratio(Energy::new(energy));
+    if !feasible {
+        return (enr, cif, f64::INFINITY);
+    }
+    let dpf = if i == 0 {
+        (d - te) / d
+    } else {
+        let width_minus1 = m - 1 - ws;
+        if width_minus1 == 0 {
+            0.0
+        } else {
+            let factor = 1.0 / width_minus1 as f64;
+            let mut dpf = 0.0;
+            for w in 0..width_minus1 {
+                let col = ws + w;
+                let coeff = (width_minus1 - w) as f64;
+                let count = (0..i).filter(|&y| stemp[y] == col).count();
+                dpf += coeff * factor * count as f64 / i as f64;
+            }
+            dpf
+        }
+    };
+    (enr, cif, dpf)
+}
+
 /// The retained naive `ChooseDesignPoints` — the pre-incremental sweep
-/// (per-candidate clones and scans via [`calculate_dpf_reference`]), kept
-/// as the bit-identical equivalence reference and the bench baseline for
-/// `cdp_speedup`.
+/// (per-candidate clones and scans via [`calculate_dpf_reference_sweep`]),
+/// kept as the bit-identical equivalence reference and the bench baseline
+/// for `cdp_speedup`. The row base sums follow the kernel's carried chain
+/// (fresh summation at the first row, then the shared
+/// [`RowBases::carry_down`] delta per committed row) so the two sweeps
+/// share every floating-point accumulation.
 pub(crate) fn choose_design_points_reference(
     ctx: &SearchContext<'_>,
     seq: &[TaskId],
@@ -780,6 +1625,11 @@ pub(crate) fn choose_design_points_reference(
     assign[n - 1] = last_col;
     let mut tsum = ctx.d(seq[n - 1], last_col);
 
+    let mut bases = if n >= 2 {
+        RowBases::fresh(ctx, seq, &assign, n - 2)
+    } else {
+        RowBases::default()
+    };
     for i in (0..n.saturating_sub(1)).rev() {
         let mut best: Option<(usize, f64)> = None;
         for j in (ws..m).rev() {
@@ -790,8 +1640,16 @@ pub(crate) fn choose_design_points_reference(
             let cr = ctx
                 .stats
                 .current_ratio(batsched_battery::units::MilliAmps::new(ctx.i(seq[i], j)));
-            let (enr, cif, dpf) =
-                calculate_dpf_reference(ctx, seq, &pos_of, &assign, &fixed_in_e, i, ws);
+            let (enr, cif, dpf) = calculate_dpf_reference_sweep(
+                ctx,
+                seq,
+                &pos_of,
+                &assign,
+                &fixed_in_e,
+                i,
+                ws,
+                bases,
+            );
             assign[i] = prev;
             let fb = FactorBreakdown {
                 sr,
@@ -812,6 +1670,9 @@ pub(crate) fn choose_design_points_reference(
         assign[i] = j;
         fixed_in_e[seq[i].index()] = true;
         tsum += ctx.d(seq[i], j);
+        if i > 0 {
+            bases.carry_down(ctx, seq, i, j, assign[i - 1]);
+        }
     }
     Ok(assign)
 }
@@ -839,22 +1700,36 @@ impl WindowRecord {
 
 /// Reusable per-run evaluation buffers: the entry-id sequence buffer, the
 /// σ-engine scratch, and the window-search working state (the incremental
-/// DPF kernel's journal plus the `ChooseDesignPoints` assignment buffers).
-/// One allocation set per scheduling run — and zero steady-state
-/// allocations when reused across runs via
-/// [`SolverWorkspace`](crate::algorithm::SolverWorkspace).
+/// DPF kernel's journal + prefix sums, the `ChooseDesignPoints` assignment
+/// buffers, and the cross-window [`WindowCarry`] records). One allocation
+/// set per scheduling run — and zero steady-state allocations when reused
+/// across runs via [`SolverWorkspace`](crate::algorithm::SolverWorkspace).
 #[derive(Debug, Clone, Default)]
 pub struct EvalBuffers {
     pub(crate) entries: Vec<u32>,
     pub(crate) sigma: SigmaScratch,
     pub(crate) dpf: DpfScratch,
     pub(crate) choose: ChooseBuffers,
+    pub(crate) carry: WindowCarry,
+    pub(crate) carry_disabled: bool,
 }
 
 impl EvalBuffers {
     /// Creates empty buffers (they grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Disables the cross-row / cross-window carry, forcing the fresh
+    /// per-row preparation path. Bench-only: this is how `repro_bench_json`
+    /// reconstructs the pre-carry baseline for `speedup.row_carry`. The
+    /// disabled path accumulates its row sums per row instead of carrying
+    /// them, so its results can differ from the carried path in final-bit
+    /// float association (both are internally consistent).
+    #[doc(hidden)]
+    pub fn disable_sweep_carry(&mut self) {
+        self.carry_disabled = true;
+        self.carry.valid = false;
     }
 }
 
@@ -919,8 +1794,10 @@ pub(crate) fn evaluate_windows(
 
     #[cfg(feature = "parallel")]
     let records: Vec<WindowRecord> = {
-        // The parallel path keeps one buffer set per worker thread instead.
-        let _ = &mut *buffers;
+        // The parallel path keeps one buffer set per worker thread instead;
+        // the caller's carry-disable switch (bench baseline) must still
+        // reach them.
+        let carry_disabled = buffers.carry_disabled;
         use rayon::prelude::*;
         use std::cell::RefCell;
         // One buffer set per worker thread, reused across windows and
@@ -933,7 +1810,14 @@ pub(crate) fn evaluate_windows(
             .into_par_iter()
             .map(|k| {
                 let ws = ws_start - k; // preserve the sequential order
-                BUFFERS.with(|b| evaluate_one_window(ctx, seq, ws, &mut b.borrow_mut()))
+                BUFFERS.with(|b| {
+                    let b = &mut *b.borrow_mut();
+                    if b.carry_disabled != carry_disabled {
+                        b.carry_disabled = carry_disabled;
+                        b.carry.valid = false;
+                    }
+                    evaluate_one_window(ctx, seq, ws, b)
+                })
             })
             .collect();
         results.into_iter().collect::<Result<Vec<_>, _>>()?
@@ -1156,6 +2040,27 @@ impl<'g> DiagSearch<'g> {
         positional_cost(&self.ctx, seq, assign_pos, &mut self.buffers)
     }
 
+    /// One full `EvaluateWindows` sweep through the carried kernel,
+    /// reusing the internal buffers across calls — the configuration
+    /// benched as `sweep_scaling`.
+    ///
+    /// # Errors
+    ///
+    /// The errors of `evaluate_windows` (infeasible deadline, defensive
+    /// window failure).
+    pub fn windows(
+        &mut self,
+        seq: &[TaskId],
+    ) -> Result<(Vec<WindowRecord>, usize), SchedulerError> {
+        evaluate_windows(&self.ctx, seq, &mut self.buffers)
+    }
+
+    /// Disables the cross-row / cross-window carry in this handle's
+    /// buffers (the bench baseline; see [`EvalBuffers::disable_sweep_carry`]).
+    pub fn disable_sweep_carry(&mut self) {
+        self.buffers.disable_sweep_carry();
+    }
+
     /// The feasible window starts for `seq` under the context's deadline:
     /// every `ws` with `CT(ws) <= d`, widest feasible first (the sweep
     /// order of `EvaluateWindows`).
@@ -1339,7 +2244,7 @@ mod tests {
                 let total: f64 = seq
                     .iter()
                     .enumerate()
-                    .map(|(p, &t)| ctx.dur[t.index()][assign[p]])
+                    .map(|(p, &t)| ctx.d(t, assign[p]))
                     .sum();
                 assert!(
                     total <= deadline + TIME_EPS,
@@ -1347,10 +2252,10 @@ mod tests {
                 );
                 // The last task is pinned to the leanest column that keeps
                 // the all-`ws` fallback feasible (= DP4 once slack allows).
-                let others: f64 = (0..4).map(|p| ctx.dur[p][ws]).sum();
+                let others: f64 = (0..4).map(|p| ctx.d(TaskId(p), ws)).sum();
                 let expect_last = (ws..4)
                     .rev()
-                    .find(|&c| others + ctx.dur[4][c] <= deadline + TIME_EPS)
+                    .find(|&c| others + ctx.d(TaskId(4), c) <= deadline + TIME_EPS)
                     .unwrap();
                 assert_eq!(assign[4], expect_last, "d={deadline} ws={ws}");
                 if deadline >= 26.0 && ws == 0 {

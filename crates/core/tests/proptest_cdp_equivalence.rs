@@ -5,9 +5,13 @@
 //! `CalculateDPF` **bit-identical** `(enr, cif, dpf)` triples, versus the
 //! clone-and-rescan reference implementations. No tolerance: the two paths
 //! share their floating-point accumulation, so any difference is a
-//! bookkeeping bug in the rollback journal, the occupancy counters, or the
-//! resumed-promotion logic. Runs under both feature configurations (the
-//! `parallel` sweep reuses per-thread kernels).
+//! bookkeeping bug in the persistent run journal, the carried row chains,
+//! the cross-window carry, or the resumed-promotion logic. The
+//! descending-window loops drive consecutive `ws+1 → ws` evaluations
+//! through one buffer set, so the cross-window carry (clean-row fast path
+//! and dirty-row re-evaluation) is exercised on every case. Runs under
+//! both feature configurations (the `parallel` sweep reuses per-thread
+//! kernels).
 
 use batsched_battery::units::Minutes;
 use batsched_core::search::DiagSearch;
@@ -69,6 +73,76 @@ proptest! {
         }
     }
 
+    /// One full `EvaluateWindows` sweep — with its cross-window carry —
+    /// produces bit-identical `WindowRecord` vectors (window starts,
+    /// assignments, σ costs and makespans) to evaluating every window in
+    /// isolation through the retained naive reference.
+    #[test]
+    fn evaluate_windows_records_are_bit_identical_to_reference(
+        g in arb_graph(),
+        slack in 0.05f64..1.0,
+    ) {
+        let lo = min_makespan(&g).value();
+        let hi = max_makespan(&g).value();
+        let d = Minutes::new(lo + (hi - lo) * slack);
+        let cfg = SchedulerConfig::paper();
+        let seq = topological_order(&g);
+        let m = g.point_count();
+        let mut diag = DiagSearch::new(&g, &cfg, d).unwrap();
+        let (records, best) = diag.windows(&seq).unwrap();
+        let expected_ws: Vec<usize> = diag
+            .feasible_windows()
+            .into_iter()
+            .filter(|&ws| ws <= m.saturating_sub(2))
+            .collect();
+        prop_assert_eq!(records.len(), expected_ws.len());
+        prop_assert!(best < records.len());
+        for (rec, &ws) in records.iter().zip(&expected_ws) {
+            prop_assert_eq!(rec.window_start.index(), ws);
+            let naive = diag.choose_reference(&seq, ws).unwrap();
+            // Task-indexed assignment must match the reference's
+            // positional one exactly.
+            for (pos, &t) in seq.iter().enumerate() {
+                prop_assert_eq!(
+                    rec.assignment[t.index()].index(), naive[pos],
+                    "ws={} pos={}", ws, pos
+                );
+            }
+            let (cost, mk) = diag.cost(&seq, &naive);
+            prop_assert_eq!(rec.cost, cost, "ws={}", ws);
+            prop_assert_eq!(rec.makespan, mk, "ws={}", ws);
+        }
+    }
+
+    /// Interleaving two different sequences across descending windows must
+    /// reject the stale carry (it describes the other sequence) and still
+    /// match the reference bit-for-bit.
+    #[test]
+    fn interleaved_sequences_never_reuse_a_stale_carry(
+        g in arb_graph(),
+        slack in 0.05f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let lo = min_makespan(&g).value();
+        let hi = max_makespan(&g).value();
+        let d = Minutes::new(lo + (hi - lo) * slack);
+        let cfg = SchedulerConfig::paper();
+        let seq_a = topological_order(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..g.task_count())
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect();
+        let seq_b = batsched_taskgraph::topo::list_schedule(&g, |_, t| weights[t.index()]);
+        let mut diag = DiagSearch::new(&g, &cfg, d).unwrap();
+        for ws in diag.feasible_windows() {
+            for seq in [&seq_a, &seq_b] {
+                let naive = diag.choose_reference(seq, ws).unwrap();
+                let fast = diag.choose(seq, ws).unwrap();
+                prop_assert_eq!(fast, &naive[..], "ws={}", ws);
+            }
+        }
+    }
+
     /// The incremental `CalculateDPF` returns bit-identical
     /// `(enr, cif, dpf)` triples on random in-sweep snapshots: a random
     /// fixed suffix, a random tagged column, free tasks at the initial
@@ -103,4 +177,59 @@ proptest! {
             prop_assert_eq!(fast, naive, "i={} ws={} stemp={:?}", i, ws, stemp);
         }
     }
+}
+
+/// Adversarial cross-window carry coverage: hunt (deterministically) for
+/// instances where widening the window by one column *changes* some row's
+/// chosen column — the case where the carried fast path must yield to the
+/// new candidate or re-evaluate dirty rows — and demand bit-identity with
+/// the reference on every window of every such instance. Fails if the
+/// hunt finds no such instance (the test would be vacuous).
+#[test]
+fn window_widening_that_changes_choices_stays_bit_identical() {
+    let cfg = SchedulerConfig::paper();
+    let mut changed_instances = 0usize;
+    for seed in 0..64u64 {
+        let m = 4 + (seed as usize % 3);
+        let params = TaskParams {
+            current_range: (50.0, 950.0),
+            duration_range: (1.0, 15.0),
+            factors: (0..m)
+                .map(|j| 1.0 - 0.67 * j as f64 / (m - 1) as f64)
+                .collect(),
+            scheme: ScalingScheme::ReversedDuration,
+            rounding: Rounding::PAPER,
+        };
+        let mut rng = StdRng::seed_from_u64(0xAD5A_0000 + seed);
+        let g = random_dag(8, 0.3, &params, &mut rng).unwrap();
+        let lo = min_makespan(&g).value();
+        let hi = max_makespan(&g).value();
+        let d = Minutes::new(lo + (hi - lo) * 0.45);
+        let seq = topological_order(&g);
+        let mut diag = DiagSearch::new(&g, &cfg, d).unwrap();
+        let Ok((records, _)) = diag.windows(&seq) else {
+            continue;
+        };
+        for w in records.windows(2) {
+            if w[0].assignment != w[1].assignment {
+                changed_instances += 1;
+                break;
+            }
+        }
+        for rec in &records {
+            let ws = rec.window_start.index();
+            let naive = diag.choose_reference(&seq, ws).unwrap();
+            for (pos, &t) in seq.iter().enumerate() {
+                assert_eq!(
+                    rec.assignment[t.index()].index(),
+                    naive[pos],
+                    "seed={seed} ws={ws} pos={pos}"
+                );
+            }
+        }
+    }
+    assert!(
+        changed_instances >= 5,
+        "expected several widening-changes-choice instances, found {changed_instances}"
+    );
 }
