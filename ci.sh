@@ -9,40 +9,54 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 serve_smoke() {
-  echo "==> service smoke (daemon + loadgen burst)"
+  echo "==> service smoke (daemon + loadgen burst + warm restart)"
   cargo build --release -q -p batsched-cli -p batsched-bench
-  local log
+  local log cache
   log="$(mktemp)"
-  ./target/release/batsched serve --http 127.0.0.1:0 2> "$log" &
-  local pid=$!
-  local addr=""
-  for _ in $(seq 1 100); do
-    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$log" | head -1 || true)
-    [ -n "$addr" ] && break
-    sleep 0.1
-  done
-  if [ -z "$addr" ]; then
-    echo "daemon did not announce an address; log:" >&2
-    cat "$log" >&2
-    kill "$pid" 2> /dev/null || true
-    wait "$pid" 2> /dev/null || true
-    rm -f "$log"
-    exit 1
-  fi
-  # Fires a schedule request (asserts 2xx + valid body), a malformed one
-  # (asserts typed 4xx), reads stats, then requests shutdown. On failure,
-  # never leave the daemon orphaned.
-  if ! ./target/release/loadgen --smoke --addr "$addr"; then
-    echo "smoke burst failed; daemon log:" >&2
-    cat "$log" >&2
-    kill "$pid" 2> /dev/null || true
-    wait "$pid" 2> /dev/null || true
-    rm -f "$log"
-    exit 1
-  fi
-  wait "$pid"
+  cache="$(mktemp -u).jsonl"
+
+  # Boots the daemon on a free port with a disk-backed cache, waits for
+  # the announced address, runs one loadgen smoke mode against it, then
+  # waits for the clean exit. On failure, never leave the daemon orphaned.
+  smoke_round() {
+    local mode="$1"
+    : > "$log"
+    ./target/release/batsched serve --http 127.0.0.1:0 --disk-cache "$cache" 2> "$log" &
+    local pid=$!
+    local addr=""
+    for _ in $(seq 1 100); do
+      addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$log" | head -1 || true)
+      [ -n "$addr" ] && break
+      sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+      echo "daemon did not announce an address; log:" >&2
+      cat "$log" >&2
+      kill "$pid" 2> /dev/null || true
+      wait "$pid" 2> /dev/null || true
+      rm -f "$log" "$cache"
+      exit 1
+    fi
+    if ! ./target/release/loadgen "$mode" --addr "$addr"; then
+      echo "smoke burst ($mode) failed; daemon log:" >&2
+      cat "$log" >&2
+      kill "$pid" 2> /dev/null || true
+      wait "$pid" 2> /dev/null || true
+      rm -f "$log" "$cache"
+      exit 1
+    fi
+    wait "$pid"
+  }
+
+  # Round 1: schedule + malformed + keep-alive pass + stats + shutdown
+  # (the daemon compacts its disk cache on the way out).
+  smoke_round --smoke
   echo "daemon shut down cleanly"
-  rm -f "$log"
+  # Round 2: a fresh daemon on the same cache file must answer the same
+  # request as an X-Cache hit attributed to the disk tier.
+  smoke_round --smoke-warm
+  echo "warm restart served from the disk tier"
+  rm -f "$log" "$cache"
 }
 
 if [ "${1:-}" = "serve-smoke" ]; then
@@ -81,7 +95,9 @@ echo "==> perf smoke + snapshot (BENCH_scheduler.json, floors enforced)"
 # command as `just bench-quick`).
 cargo run --release -q -p batsched-bench --bin repro_bench_json -- --quick --check
 
-echo "==> service load snapshot (BENCH_service.json)"
-cargo run --release -q -p batsched-bench --bin loadgen -- --quick
+echo "==> service load snapshot (BENCH_service.json, keep-alive floor enforced)"
+# --check gates the keep-alive vs connection-per-request A/B: keep-alive
+# must win by >= 1.5x on the duplicate-heavy stream.
+cargo run --release -q -p batsched-bench --bin loadgen -- --quick --check
 
 echo "CI OK"

@@ -10,21 +10,32 @@
 //! * **dup** — a duplicate-heavy stream (each unique request repeated
 //!   10×), separating cold-solve from cache-hit latency; the run fails if
 //!   the hit path is not ≥ 10× faster than the cold path;
+//! * **keepalive** — the same duplicate-heavy stream driven over real
+//!   HTTP against an in-process daemon, A/B: one fresh TCP connection per
+//!   request vs one kept-alive connection (`--check` fails the run unless
+//!   keep-alive wins by ≥ 1.5×);
 //! * **scaling** — cold solves on the shared n-scaling instances
 //!   (n ∈ {50, 100, 200}, m = 8, unique deadlines so nothing caches), so
 //!   the recorded envelope shows how request latency grows with instance
 //!   size under the carried window-sweep kernel;
+//! * **warm_restart** — a disk-backed service answers a unique stream
+//!   cold, shuts down (compacting its cache file), restarts, and must
+//!   answer the same stream entirely from the disk tier with bit-identical
+//!   bodies;
 //! * **malformed** — broken/hostile documents; the run fails unless every
 //!   one is answered with a *typed* error (the daemon must never panic).
 //!
-//! Flags: `--quick` shrinks the grids (CI mode); `--smoke --addr
-//! <host:port>` switches to HTTP-client mode against a running daemon —
-//! it fires a schedule request, checks a 2xx + valid body, reads the
-//! stats endpoint and then requests shutdown (the ci.sh smoke test).
+//! Flags: `--quick` shrinks the grids (CI mode); `--check` enforces the
+//! keep-alive ≥ 1.5× floor; `--smoke --addr <host:port>` switches to
+//! HTTP-client mode against a running daemon — schedule request, typed
+//! 4xx on malformed input, a keep-alive multi-request pass, stats, then
+//! shutdown; `--smoke-warm --addr <host:port>` is the post-restart probe:
+//! the same schedule request must come back `X-Cache: hit` served from
+//! the daemon's disk tier (the ci.sh warm-restart check).
 
 use batsched_service::wire::DEFAULT_MAX_ITERATIONS;
 use batsched_service::{
-    Disposition, ErrorResponse, ModelSpec, ScheduleRequest, ScheduleResponse, Service,
+    Disposition, ErrorResponse, HttpServer, ModelSpec, ScheduleRequest, ScheduleResponse, Service,
     ServiceConfig,
 };
 use batsched_taskgraph::analysis::{max_makespan, min_makespan};
@@ -35,6 +46,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn synth_graph(n: usize, m: usize, seed: u64) -> TaskGraph {
@@ -108,21 +122,43 @@ struct ScalingPoint {
 }
 
 #[derive(Debug, Serialize)]
+struct KeepAliveReport {
+    requests: usize,
+    unique: usize,
+    conn_per_request_rps: f64,
+    keepalive_rps: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct WarmRestartReport {
+    requests: usize,
+    cold_solves_first_run: usize,
+    disk_hits_after_restart: usize,
+    bit_identical: bool,
+    disk_hit_p50_us: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchDoc {
     config: ConfigDoc,
     paper: StreamReport,
     synthetic: StreamReport,
     dup: DupReport,
+    keepalive: KeepAliveReport,
     scaling: Vec<ScalingPoint>,
+    warm_restart: WarmRestartReport,
     malformed: MalformedReport,
 }
 
 #[derive(Debug, Serialize)]
 struct ConfigDoc {
     quick: bool,
+    check: bool,
     workers: usize,
     queue_capacity: usize,
     cache_capacity: usize,
+    cache_shards: usize,
 }
 
 fn fresh_service() -> Service {
@@ -130,6 +166,7 @@ fn fresh_service() -> Service {
         workers: 2,
         queue_capacity: 256,
         cache_capacity: 512,
+        ..ServiceConfig::default()
     })
 }
 
@@ -246,12 +283,233 @@ fn malformed_stream() -> Vec<String> {
     ]
 }
 
-fn run_benchmark(quick: bool) {
-    let cfg = ConfigDoc {
-        quick,
+/// A framed HTTP/1.1 client on one TCP connection: responses are read by
+/// their `Content-Length`, so any number of requests can share the stream.
+struct HttpClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    fn connect(addr: &str) -> HttpClient {
+        let stream =
+            TcpStream::connect(addr).unwrap_or_else(|e| panic!("cannot connect to {addr}: {e}"));
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        HttpClient { stream, reader }
+    }
+
+    /// Sends one request and reads its framed response; `close` selects
+    /// the `Connection` header. Returns `(status, head, body)`.
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        close: bool,
+    ) -> (u16, String, String) {
+        let connection = if close { "close" } else { "keep-alive" };
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(req.as_bytes()).expect("send request");
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .expect("read response head");
+            assert!(n > 0, "server closed before a full response head");
+            if line.trim_end().is_empty() {
+                break;
+            }
+            head.push_str(&line);
+        }
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable response head: {head}"));
+        let len: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().expect("numeric Content-Length"))
+            })
+            .expect("response carries Content-Length");
+        let mut payload = vec![0u8; len];
+        self.reader
+            .read_exact(&mut payload)
+            .expect("read response body");
+        (
+            status,
+            head,
+            String::from_utf8(payload).expect("UTF-8 body"),
+        )
+    }
+}
+
+/// Pulls an integer counter out of a stats JSON document.
+fn stats_counter(stats_json: &str, field: &str) -> u64 {
+    let tag = format!("\"{field}\":");
+    let at = stats_json
+        .find(&tag)
+        .unwrap_or_else(|| panic!("stats field {field} missing: {stats_json}"));
+    stats_json[at + tag.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("stats field {field} not an integer: {stats_json}"))
+}
+
+/// The keep-alive A/B: the duplicate-heavy stream over real HTTP against
+/// an in-process daemon — one fresh connection per request vs one
+/// persistent connection. Cache hits make the solver cost negligible, so
+/// the ratio isolates the per-connection overhead (TCP handshake +
+/// connection-thread spawn) that keep-alive amortises away.
+fn run_keepalive_ab(quick: bool) -> KeepAliveReport {
+    let svc = Arc::new(fresh_service());
+    let server = HttpServer::bind(Arc::clone(&svc), "127.0.0.1:0").expect("bind loadgen daemon");
+    let addr = server.local_addr().to_string();
+
+    let uniques: Vec<String> = (0..2u64)
+        .map(|k| {
+            let g = synth_graph(24, 5, 0xCAFE + k);
+            body_for(&g, loose_deadline(&g))
+        })
+        .collect();
+    let repeats = if quick { 60 } else { 150 };
+    let mut bodies = Vec::with_capacity(uniques.len() * repeats);
+    for r in 0..repeats {
+        for k in 0..uniques.len() {
+            bodies.push(uniques[(k + r) % uniques.len()].clone());
+        }
+    }
+    // Prime the cache so both arms measure pure hit traffic.
+    for b in &uniques {
+        let (code, _, payload) =
+            HttpClient::connect(&addr).request("POST", "/v1/schedule", b, true);
+        assert_eq!(code, 200, "prime request failed: {payload}");
+    }
+
+    // A: a fresh TCP connection (and daemon connection thread) per request.
+    let t0 = Instant::now();
+    for b in &bodies {
+        let (code, _, _) = HttpClient::connect(&addr).request("POST", "/v1/schedule", b, true);
+        assert_eq!(code, 200);
+    }
+    let conn_per_request_rps = bodies.len() as f64 / t0.elapsed().as_secs_f64();
+
+    // B: every request down one kept-alive connection.
+    let t0 = Instant::now();
+    let mut client = HttpClient::connect(&addr);
+    for (i, b) in bodies.iter().enumerate() {
+        let close = i + 1 == bodies.len();
+        let (code, _, _) = client.request("POST", "/v1/schedule", b, close);
+        assert_eq!(code, 200);
+    }
+    let keepalive_rps = bodies.len() as f64 / t0.elapsed().as_secs_f64();
+
+    server.stop();
+    server.wait();
+    svc.shutdown();
+    KeepAliveReport {
+        requests: bodies.len(),
+        unique: uniques.len(),
+        conn_per_request_rps,
+        keepalive_rps,
+        speedup: keepalive_rps / conn_per_request_rps.max(1e-9),
+    }
+}
+
+/// The warm-restart scenario: a disk-backed service answers a unique
+/// stream cold, shuts down (compacting its JSONL tier), restarts, and
+/// must answer the same stream entirely from disk with bit-identical
+/// bodies.
+fn run_warm_restart(quick: bool) -> WarmRestartReport {
+    let dir = std::env::temp_dir().join("batsched_loadgen");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("warm_restart_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = ServiceConfig {
         workers: 2,
         queue_capacity: 256,
         cache_capacity: 512,
+        disk_path: Some(path.clone()),
+        ..ServiceConfig::default()
+    };
+
+    let unique = if quick { 4 } else { 8 };
+    let bodies: Vec<String> = (0..unique)
+        .map(|k| {
+            let g = synth_graph(28, 5, 0xD15C + k as u64);
+            body_for(&g, loose_deadline(&g))
+        })
+        .collect();
+
+    let svc = Service::try_start(cfg.clone()).expect("disk-backed service");
+    let first: Vec<String> = bodies
+        .iter()
+        .map(|b| {
+            let reply = svc.call(b.clone());
+            assert_eq!(
+                reply.disposition,
+                Disposition::Ok { cached: false },
+                "first run must be cold solves"
+            );
+            reply.body
+        })
+        .collect();
+    let cold_solves = svc.stats().solved as usize;
+    svc.shutdown(); // compacts the disk tier
+
+    // "Restart the daemon": a brand-new service process state, same file.
+    let svc = Service::try_start(cfg).expect("restarted disk-backed service");
+    let mut lat_us: Vec<f64> = Vec::with_capacity(bodies.len());
+    let mut bit_identical = true;
+    for (b, expect) in bodies.iter().zip(&first) {
+        let t0 = Instant::now();
+        let reply = svc.call(b.clone());
+        lat_us.push(t0.elapsed().as_nanos() as f64 / 1_000.0);
+        assert_eq!(
+            reply.disposition,
+            Disposition::Ok { cached: true },
+            "restarted daemon must answer warm"
+        );
+        bit_identical &= reply.body == *expect;
+    }
+    let stats = svc.stats();
+    assert_eq!(
+        stats.disk_hits as usize,
+        bodies.len(),
+        "every warm answer must come from the disk tier: {stats:?}"
+    );
+    assert!(bit_identical, "disk-tier bodies must be bit-identical");
+    svc.shutdown();
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let report = WarmRestartReport {
+        requests: bodies.len(),
+        cold_solves_first_run: cold_solves,
+        disk_hits_after_restart: stats.disk_hits as usize,
+        bit_identical,
+        disk_hit_p50_us: percentile(&lat_us, 0.5),
+    };
+    std::fs::remove_file(&path).expect("cleanup warm-restart cache file");
+    report
+}
+
+fn run_benchmark(quick: bool, check: bool) {
+    let cfg = ConfigDoc {
+        quick,
+        check,
+        workers: 2,
+        queue_capacity: 256,
+        cache_capacity: 512,
+        cache_shards: ServiceConfig::default().cache_shards,
     };
 
     // Paper stream (all unique).
@@ -323,6 +581,23 @@ fn run_benchmark(quick: bool) {
         "every duplicate must be served from the cache"
     );
 
+    // Keep-alive vs connection-per-request over real HTTP.
+    let keepalive = run_keepalive_ab(quick);
+    eprintln!(
+        "keepalive : {} reqs, conn/req {:.0} rps vs keep-alive {:.0} rps → {:.1}×",
+        keepalive.requests,
+        keepalive.conn_per_request_rps,
+        keepalive.keepalive_rps,
+        keepalive.speedup
+    );
+    if check {
+        assert!(
+            keepalive.speedup >= 1.5,
+            "keep-alive must beat connection-per-request by ≥ 1.5× on the duplicate-heavy stream, got {:.2}×",
+            keepalive.speedup
+        );
+    }
+
     // Scaling stream: cold solves on the shared n-scaling instances, each
     // under a slightly different deadline so the cache never answers.
     let svc = fresh_service();
@@ -358,6 +633,16 @@ fn run_benchmark(quick: bool) {
         scaling.push(point);
     }
     svc.shutdown();
+
+    // Warm restart: cold solves, compact-on-shutdown, disk-tier replay.
+    let warm_restart = run_warm_restart(quick);
+    eprintln!(
+        "warm      : {} reqs cold, restart → {} disk hits (bit-identical: {}), p50 {:.0} µs",
+        warm_restart.requests,
+        warm_restart.disk_hits_after_restart,
+        warm_restart.bit_identical,
+        warm_restart.disk_hit_p50_us
+    );
 
     // Malformed stream: typed errors, no panics, daemon stays up.
     let svc = fresh_service();
@@ -400,7 +685,9 @@ fn run_benchmark(quick: bool) {
         paper,
         synthetic,
         dup,
+        keepalive,
         scaling,
+        warm_restart,
         malformed,
     };
     let json = serde_json::to_string_pretty(&doc).expect("bench doc serialises");
@@ -411,34 +698,16 @@ fn run_benchmark(quick: bool) {
 // ------------------------------------------------------------- smoke mode
 
 fn http_call(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
-    use std::io::{Read, Write};
-    let mut s = std::net::TcpStream::connect(addr)
-        .unwrap_or_else(|e| panic!("cannot connect to {addr}: {e}"));
-    let req = format!(
-        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    s.write_all(req.as_bytes()).expect("send request");
-    let mut raw = String::new();
-    s.read_to_string(&mut raw).expect("read response");
-    let status: u16 = raw
-        .split_whitespace()
-        .nth(1)
-        .and_then(|c| c.parse().ok())
-        .unwrap_or_else(|| panic!("unparseable response: {raw}"));
-    let payload = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    (status, payload)
+    let (code, _, payload) = HttpClient::connect(addr).request(method, path, body, true);
+    (code, payload)
 }
 
 fn run_smoke(addr: &str) {
     let body = body_for(&g2(), 75.0);
-    let (code, payload) = http_call(addr, "POST", "/v1/schedule", &body);
-    assert_eq!(code, 200, "schedule must answer 2xx: {payload}");
+    let (code, cold) = http_call(addr, "POST", "/v1/schedule", &body);
+    assert_eq!(code, 200, "schedule must answer 2xx: {cold}");
     let resp: ScheduleResponse =
-        serde_json::from_str(&payload).expect("schedule response body parses");
+        serde_json::from_str(&cold).expect("schedule response body parses");
     assert!(resp.makespan <= 75.0 + 1e-9);
     assert_eq!(resp.order.len(), 9);
 
@@ -448,29 +717,80 @@ fn run_smoke(addr: &str) {
     let err: ErrorResponse = serde_json::from_str(&payload).expect("typed error body");
     assert_eq!(err.error, "bad_json");
 
-    let (code, payload) = http_call(addr, "GET", "/v1/stats", "");
+    // Keep-alive pass: several requests down ONE connection — the replay
+    // must be a cache hit, interleaved stats/health must stay framed.
+    let mut client = HttpClient::connect(addr);
+    let (code, head, replay) = client.request("POST", "/v1/schedule", &body, false);
+    assert_eq!(code, 200, "{replay}");
+    assert!(
+        head.contains("X-Cache: hit"),
+        "keep-alive replay must hit: {head}"
+    );
+    assert_eq!(replay, cold, "hit must be bit-identical");
+    let (code, _, stats) = client.request("GET", "/v1/stats", "", false);
     assert_eq!(code, 200);
-    assert!(payload.contains("\"solved\":"), "{payload}");
+    assert!(stats.contains("\"solved\":"), "{stats}");
+    assert!(stats.contains("\"shard_occupancy\":"), "{stats}");
+    let (code, _, health) = client.request("GET", "/healthz", "", true);
+    assert_eq!(code, 200, "{health}");
 
     let (code, payload) = http_call(addr, "POST", "/v1/shutdown", "");
     assert_eq!(code, 200, "{payload}");
     println!("SMOKE OK ({addr})");
 }
 
+/// The post-restart probe: a daemon restarted onto a warm disk-cache file
+/// must answer the same schedule request as a hit served from its disk
+/// tier, bit-identical to a fresh solve of the same request.
+fn run_smoke_warm(addr: &str) {
+    let body = body_for(&g2(), 75.0);
+    let mut client = HttpClient::connect(addr);
+    let (code, head, payload) = client.request("POST", "/v1/schedule", &body, false);
+    assert_eq!(code, 200, "warm schedule must answer 2xx: {payload}");
+    assert!(
+        head.contains("X-Cache: hit"),
+        "restarted daemon must answer from its disk tier: {head}"
+    );
+    let resp: ScheduleResponse =
+        serde_json::from_str(&payload).expect("schedule response body parses");
+    assert!(resp.makespan <= 75.0 + 1e-9);
+
+    let (code, _, stats) = client.request("GET", "/v1/stats", "", true);
+    assert_eq!(code, 200);
+    assert!(
+        stats_counter(&stats, "disk_hits") >= 1,
+        "stats must attribute the warm answer to the disk tier: {stats}"
+    );
+    assert!(
+        stats_counter(&stats, "solved") == 0,
+        "nothing should have been re-solved: {stats}"
+    );
+
+    let (code, payload) = http_call(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(code, 200, "{payload}");
+    println!("SMOKE WARM OK ({addr})");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let smoke_warm = args.iter().any(|a| a == "--smoke-warm");
     // Exercised so the canonical-form constant stays a public contract.
     let _ = (DEFAULT_MAX_ITERATIONS, ModelSpec::default_rv());
-    if smoke {
+    if smoke || smoke_warm {
         let addr = args
             .iter()
             .position(|a| a == "--addr")
             .and_then(|i| args.get(i + 1))
-            .expect("--smoke needs --addr <host:port>");
-        run_smoke(addr);
+            .expect("smoke modes need --addr <host:port>");
+        if smoke_warm {
+            run_smoke_warm(addr);
+        } else {
+            run_smoke(addr);
+        }
     } else {
-        run_benchmark(quick);
+        run_benchmark(quick, check);
     }
 }

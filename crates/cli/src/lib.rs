@@ -51,6 +51,7 @@ USAGE:
   batsched dot  <graph.json>
   batsched serve (--http <addr> | --jsonl)
                [--workers <n>] [--queue <n>] [--cache <n>]
+               [--shards <n>] [--disk-cache <path>]
 
 ALGORITHMS (--algo): khan-vemuri (default), rakhmatov-dp, chowdhury,
                      annealing, random
@@ -60,9 +61,12 @@ battery cost is the Rakhmatov–Vrudhula apparent charge σ in mA·min.
 
 `serve` runs the batch-scheduling daemon (see docs/SERVICE.md): --jsonl
 answers one request document per stdin line on stdout; --http exposes
-POST /v1/schedule, GET /v1/stats, GET /healthz and POST /v1/shutdown on
-the given address (port 0 picks a free port; the bound address is printed
-to stderr).";
+POST /v1/schedule (keep-alive connections), GET /v1/stats, GET /healthz
+and POST /v1/shutdown on the given address (port 0 picks a free port; the
+bound address is printed to stderr). --cache sizes the in-memory result
+cache (entries, split over --shards independently locked shards);
+--disk-cache persists results to an append-only JSONL file so a restarted
+daemon answers previously-seen requests warm.";
 
 /// Parsed option map: positional args + `--key value` pairs + `--flag`s.
 #[derive(Debug, Default, PartialEq, Eq)]
@@ -110,9 +114,21 @@ impl Opts {
 ///
 /// [`CliError`] when a `--key` that expects a value trails the list.
 pub fn parse_args(args: &[String]) -> Result<Opts, CliError> {
-    const VALUE_OPTS: [&str; 12] = [
-        "deadline", "algo", "beta", "capacity", "family", "tasks", "points", "seed", "http",
-        "workers", "queue", "cache",
+    const VALUE_OPTS: [&str; 14] = [
+        "deadline",
+        "algo",
+        "beta",
+        "capacity",
+        "family",
+        "tasks",
+        "points",
+        "seed",
+        "http",
+        "workers",
+        "queue",
+        "cache",
+        "shards",
+        "disk-cache",
     ];
     let mut opts = Opts::default();
     let mut it = args.iter().peekable();
@@ -389,10 +405,23 @@ fn cmd_serve(opts: &Opts, out: &mut String) -> Result<(), CliError> {
         workers: sizing(opts, "workers", 2, 1)?,
         queue_capacity: sizing(opts, "queue", 64, 1)?,
         cache_capacity: sizing(opts, "cache", 256, 0)?,
+        cache_shards: sizing(opts, "shards", 8, 1)?,
+        disk_path: opts.get("disk-cache").map(std::path::PathBuf::from),
+    };
+    let start = |cfg: ServiceConfig| {
+        let disk = cfg.disk_path.clone();
+        Service::try_start(cfg).map_err(|e| {
+            err(format!(
+                "cannot open disk cache {}: {e}",
+                disk.as_deref()
+                    .unwrap_or(std::path::Path::new("?"))
+                    .display()
+            ))
+        })
     };
     match (opts.get("http"), opts.flag("jsonl")) {
         (Some(addr), false) => {
-            let svc = std::sync::Arc::new(Service::start(cfg));
+            let svc = std::sync::Arc::new(start(cfg)?);
             let server = HttpServer::bind(svc.clone(), addr)
                 .map_err(|e| err(format!("cannot bind {addr}: {e}")))?;
             // Announced on stderr immediately — `out` is only printed after
@@ -406,7 +435,7 @@ fn cmd_serve(opts: &Opts, out: &mut String) -> Result<(), CliError> {
             Ok(())
         }
         (None, true) => {
-            let svc = Service::start(cfg);
+            let svc = start(cfg)?;
             let stdin = std::io::stdin();
             let mut stdout = std::io::stdout();
             let summary = batsched_service::run_jsonl(&svc, stdin.lock(), &mut stdout)
@@ -582,8 +611,21 @@ mod tests {
         assert!(e.0.contains("at least 1"), "{e}");
         let e = run(&sv(&["serve", "--jsonl", "--queue", "soon"]), &mut out).unwrap_err();
         assert!(e.0.contains("integer"), "{e}");
+        let e = run(&sv(&["serve", "--jsonl", "--shards", "0"]), &mut out).unwrap_err();
+        assert!(e.0.contains("at least 1"), "{e}");
         let e = run(&sv(&["serve", "--http", "256.0.0.1:bad"]), &mut out).unwrap_err();
         assert!(e.0.contains("cannot bind"), "{e}");
+        let e = run(
+            &sv(&[
+                "serve",
+                "--jsonl",
+                "--disk-cache",
+                "/nonexistent-dir/batsched/cache.jsonl",
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("cannot open disk cache"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! The disk cache tier: an append-only JSONL file of `{key, body}` records
+//! so a restarted daemon serves previously computed answers as warm hits.
+//!
+//! Layout: one record per line, `{"key":"<16-hex>","body":"<response>"}`.
+//! On open the file is scanned once to build a key → line-span index (last
+//! record per key wins, a truncated final line — the daemon was killed
+//! mid-append — is skipped); bodies stay on disk and are read on demand,
+//! so the tier's memory cost is the index, not the payloads. Writes go
+//! through an append handle and are flushed per record, so a crash loses
+//! at most the record being written. [`DiskTier::compact`] rewrites the
+//! file with exactly one record per live key (temp file + atomic rename);
+//! the service runs it on graceful shutdown so restarts load a dense file.
+//!
+//! Responses are pure functions of the canonical key, so a key that is
+//! already present is never re-appended — the file grows with *distinct*
+//! requests, not with traffic.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// One persisted cache record (a single JSONL line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct DiskRecord {
+    /// Canonical content hash, 16 hex digits (the response `key` format).
+    key: String,
+    /// The complete serialised response body, replayed bit-identically.
+    body: String,
+}
+
+/// Byte span of one record line within the cache file.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    offset: u64,
+    len: u32,
+}
+
+/// The persistent result-cache tier behind the in-memory shards.
+#[derive(Debug)]
+pub struct DiskTier {
+    path: PathBuf,
+    /// Append handle; all writes are whole flushed lines.
+    writer: BufWriter<File>,
+    /// Independent read handle for on-demand body loads.
+    reader: File,
+    /// key → span of the latest record for it.
+    index: HashMap<u64, Span>,
+    /// Where the next append lands (== current file length).
+    end: u64,
+}
+
+impl DiskTier {
+    /// Opens (creating if absent) the cache file at `path` and indexes its
+    /// records. Malformed or truncated lines are skipped, not fatal — a
+    /// crash mid-append must not brick the tier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures (unreachable path, permissions).
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<DiskTier> {
+        let path = path.into();
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut reader = File::open(&path)?;
+        let (index, mut end) = index_file(&path)?;
+        // Repair a torn tail (crash mid-append): terminate it with a
+        // newline so the next append starts a fresh line instead of
+        // concatenating onto the dead bytes.
+        if end > 0 {
+            let mut last = [0u8; 1];
+            reader.seek(SeekFrom::Start(end - 1))?;
+            reader.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                file.write_all(b"\n")?;
+                file.flush()?;
+                end += 1;
+            }
+        }
+        Ok(DiskTier {
+            path,
+            writer: BufWriter::new(file),
+            reader,
+            index,
+            end,
+        })
+    }
+
+    /// The file this tier persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of distinct keys on disk.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when no record is stored.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Reads the body stored for `key`, if any. A record that no longer
+    /// parses (torn by an unclean shutdown mid-compaction) is dropped from
+    /// the index and reported as a miss.
+    pub fn get(&mut self, key: u64) -> Option<String> {
+        let span = *self.index.get(&key)?;
+        match self.read_span(span) {
+            Some(rec) if rec.key == key_hex(key) => Some(rec.body),
+            _ => {
+                self.index.remove(&key);
+                None
+            }
+        }
+    }
+
+    /// Persists `body` under `key`. Already-present keys are skipped:
+    /// responses are pure functions of the canonical key, so the first
+    /// record is as good as any later one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures; the index is only updated after the
+    /// record is flushed.
+    pub fn put(&mut self, key: u64, body: &str) -> io::Result<()> {
+        if self.index.contains_key(&key) {
+            return Ok(());
+        }
+        let line = render_record(key, body);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        self.index.insert(
+            key,
+            Span {
+                offset: self.end,
+                len: line.len() as u32,
+            },
+        );
+        self.end += line.len() as u64;
+        Ok(())
+    }
+
+    /// Rewrites the file with exactly one record per live key, dropping
+    /// duplicates and torn lines. Writes a sibling temp file first and
+    /// renames it over the original, so a crash mid-compaction leaves
+    /// either the old file or the new one — never a half file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; on error the original file is untouched.
+    pub fn compact(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        let tmp_path = self.path.with_extension("compact-tmp");
+        let mut new_index = HashMap::with_capacity(self.index.len());
+        let mut offset = 0u64;
+        {
+            let mut tmp = BufWriter::new(File::create(&tmp_path)?);
+            let mut keys: Vec<u64> = self.index.keys().copied().collect();
+            keys.sort_unstable(); // deterministic file layout
+            for key in keys {
+                let span = self.index[&key];
+                let Some(rec) = self.read_span(span) else {
+                    continue; // torn record: drop it
+                };
+                if rec.key != key_hex(key) {
+                    continue;
+                }
+                let line = render_record(key, &rec.body);
+                tmp.write_all(line.as_bytes())?;
+                new_index.insert(
+                    key,
+                    Span {
+                        offset,
+                        len: line.len() as u32,
+                    },
+                );
+                offset += line.len() as u64;
+            }
+            tmp.flush()?;
+            // Make the data durable before the rename becomes visible:
+            // without this, a power loss can persist the directory entry
+            // while the new file's blocks are still in the page cache.
+            tmp.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        // Reopen both handles: the rename replaced the inode they pointed at.
+        self.writer = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+        self.reader = File::open(&self.path)?;
+        self.index = new_index;
+        self.end = offset;
+        Ok(())
+    }
+
+    fn read_span(&mut self, span: Span) -> Option<DiskRecord> {
+        self.reader.seek(SeekFrom::Start(span.offset)).ok()?;
+        let mut raw = vec![0u8; span.len as usize];
+        self.reader.read_exact(&mut raw).ok()?;
+        let line = std::str::from_utf8(&raw).ok()?;
+        serde_json::from_str(line.trim_end()).ok()
+    }
+}
+
+fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+fn render_record(key: u64, body: &str) -> String {
+    let rec = DiskRecord {
+        key: key_hex(key),
+        body: body.to_string(),
+    };
+    let mut line = serde_json::to_string(&rec).expect("records serialise");
+    line.push('\n');
+    line
+}
+
+/// Scans the whole file once, returning the last-wins span index and the
+/// offset where appends continue. A final line without `\n` (torn append)
+/// is ignored, and appends resume at the file's true end — the torn bytes
+/// are dead but harmless, and the next compaction drops them.
+fn index_file(path: &Path) -> io::Result<(HashMap<u64, Span>, u64)> {
+    let file = File::open(path)?;
+    let end = file.metadata()?.len();
+    let mut reader = BufReader::new(file);
+    let mut index = HashMap::new();
+    let mut offset = 0u64;
+    let mut raw = Vec::new();
+    loop {
+        raw.clear();
+        let n = reader.read_until(b'\n', &mut raw)?;
+        if n == 0 {
+            break;
+        }
+        if raw.last() == Some(&b'\n') {
+            if let Some(key) = parse_line_key(&raw) {
+                index.insert(
+                    key,
+                    Span {
+                        offset,
+                        len: n as u32,
+                    },
+                );
+            }
+        }
+        offset += n as u64;
+    }
+    Ok((index, end))
+}
+
+/// Parses just the key out of a record line (the body is left on disk).
+fn parse_line_key(raw: &[u8]) -> Option<u64> {
+    let line = std::str::from_utf8(raw).ok()?;
+    let rec: DiskRecord = serde_json::from_str(line.trim_end()).ok()?;
+    u64::from_str_radix(&rec.key, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("batsched_disk_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let p = dir.join(format!("{name}_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn put_get_and_reload_round_trip() {
+        let path = tmp_path("round_trip");
+        let mut t = DiskTier::open(&path).unwrap();
+        assert!(t.is_empty());
+        t.put(1, "{\"answer\":42}").unwrap();
+        t.put(2, "two\nlines \"quoted\" é").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1).as_deref(), Some("{\"answer\":42}"));
+        assert_eq!(t.get(2).as_deref(), Some("two\nlines \"quoted\" é"));
+        assert_eq!(t.get(3), None);
+        drop(t);
+
+        let mut t = DiskTier::open(&path).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(2).as_deref(), Some("two\nlines \"quoted\" é"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn existing_keys_are_not_reappended() {
+        let path = tmp_path("no_reappend");
+        let mut t = DiskTier::open(&path).unwrap();
+        t.put(7, "first").unwrap();
+        let len_before = std::fs::metadata(&path).unwrap().len();
+        t.put(7, "second").unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len_before);
+        assert_eq!(t.get(7).as_deref(), Some("first"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped_and_overwritten_territory_survives() {
+        let path = tmp_path("torn");
+        let mut t = DiskTier::open(&path).unwrap();
+        t.put(1, "one").unwrap();
+        t.put(2, "two").unwrap();
+        drop(t);
+        // Simulate a crash mid-append: half a record, no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"key\":\"00000000000000").unwrap();
+        }
+        let mut t = DiskTier::open(&path).unwrap();
+        assert_eq!(t.len(), 2, "torn line ignored");
+        assert_eq!(t.get(1).as_deref(), Some("one"));
+        // New appends land after the torn bytes and still read back.
+        t.put(3, "three").unwrap();
+        assert_eq!(t.get(3).as_deref(), Some("three"));
+        drop(t);
+        let mut t = DiskTier::open(&path).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(3).as_deref(), Some("three"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_dedups_and_drops_dead_bytes() {
+        let path = tmp_path("compact");
+        let mut t = DiskTier::open(&path).unwrap();
+        for k in 0..8u64 {
+            t.put(k, &format!("body-{k}")).unwrap();
+        }
+        // Dead bytes from a torn append.
+        t.writer.get_mut().write_all(b"garbage no newline").unwrap();
+        t.writer.get_mut().flush().unwrap();
+        t.end += "garbage no newline".len() as u64;
+        t.compact().unwrap();
+        assert_eq!(t.len(), 8);
+        for k in 0..8u64 {
+            assert_eq!(t.get(k).as_deref(), Some(format!("body-{k}").as_str()));
+        }
+        // Appending after compaction still works and reloads.
+        t.put(99, "after").unwrap();
+        drop(t);
+        let mut t = DiskTier::open(&path).unwrap();
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.get(99).as_deref(), Some("after"));
+        assert_eq!(t.get(0).as_deref(), Some("body-0"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,5 +1,5 @@
 //! A minimal HTTP/1.1 frontend on `std::net::TcpListener` — no external
-//! dependencies, one request per connection (`Connection: close`).
+//! dependencies, persistent connections (`Connection: keep-alive`).
 //!
 //! Routes:
 //!
@@ -11,6 +11,16 @@
 //! * `POST /v1/shutdown` — acknowledges, then stops the acceptor (the
 //!   owner's [`HttpServer::wait`] returns so it can drain the service).
 //!
+//! Each accepted connection runs a request loop: HTTP/1.1 connections are
+//! kept alive by default (HTTP/1.0 ones only on an explicit
+//! `Connection: keep-alive`), bounded by
+//! [`MAX_REQUESTS_PER_CONNECTION`] and an [`IDLE_TIMEOUT`] between
+//! requests. Framing is strict, because on a shared connection a parsing
+//! slip desynchronises every later request: premature EOF anywhere in a
+//! request, a duplicate/conflicting `Content-Length` and any
+//! `Transfer-Encoding` are answered with a typed error and the connection
+//! is closed — the daemon never guesses where the next request starts.
+//!
 //! The acceptor polls a non-blocking listener so shutdown needs no
 //! self-connection trick; each accepted connection is handled on its own
 //! thread (the worker pool, not the connection count, bounds solving
@@ -18,7 +28,7 @@
 
 use crate::service::{Disposition, Service};
 use crate::wire::ErrorResponse;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -31,12 +41,25 @@ use std::time::Duration;
 pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
 /// Largest accepted request head (request line + headers). Everything a
-/// connection can make the daemon buffer is capped: the reader is
-/// hard-limited to `MAX_HEAD_BYTES + MAX_BODY_BYTES`, so a client
-/// streaming newline-free garbage cannot grow memory past that.
+/// connection can make the daemon buffer is capped: head lines are read
+/// through a shrinking byte budget, so a client streaming newline-free
+/// garbage cannot grow memory past it.
 pub const MAX_HEAD_BYTES: usize = 64 * 1024;
 
+/// Requests served on one connection before the daemon closes it
+/// (announced with `Connection: close` on the final response). Bounds how
+/// long one client can monopolise a connection thread.
+pub const MAX_REQUESTS_PER_CONNECTION: usize = 1024;
+
+/// How long a kept-alive connection may sit idle between requests before
+/// the daemon closes it.
+pub const IDLE_TIMEOUT: Duration = Duration::from_secs(5);
+
 const ACCEPT_POLL: Duration = Duration::from_millis(15);
+/// Poll granularity while waiting at a request boundary — keeps idle
+/// connections responsive to daemon shutdown without busy-waiting.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+/// Per-read timeout once a request has started arriving.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A running HTTP frontend bound to a local address.
@@ -115,6 +138,10 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>, shutdown: &Arc<At
                 conns.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Reap finished connections here too: an idle or
+                // slow-trickle workload otherwise accumulates exited
+                // JoinHandles until the next successful accept.
+                conns.retain(|h| !h.is_finished());
                 std::thread::sleep(ACCEPT_POLL);
             }
             Err(_) => std::thread::sleep(ACCEPT_POLL),
@@ -125,47 +152,121 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>, shutdown: &Arc<At
     }
 }
 
+/// Why a connection's request loop ends.
+enum LoopExit {
+    /// Peer closed (or went idle past the timeout) at a request boundary.
+    CleanClose,
+    /// This response announced `Connection: close`; close after writing.
+    AnnouncedClose,
+}
+
 fn handle_connection(
     stream: TcpStream,
     service: &Arc<Service>,
     shutdown: &Arc<AtomicBool>,
 ) -> io::Result<()> {
     stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    // Hard cap on everything this connection can make us buffer: a client
-    // streaming an enormous (or newline-free) head hits the limit and gets
-    // a parse failure instead of growing memory without bound.
-    let limit = (MAX_HEAD_BYTES + MAX_BODY_BYTES) as u64;
-    let mut reader = BufReader::new(io::Read::take(stream.try_clone()?, limit));
+    // Small responses on a kept-alive connection: without NODELAY, Nagle
+    // batches the next response behind the previous ACK.
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut stream = stream;
+    let mut served = 0usize;
 
-    let (method, path, body) = match read_request(&mut reader) {
-        Ok(parts) => parts,
+    loop {
+        // Wait at the request boundary: EOF or idle timeout here is a
+        // clean close, not an error. Poll in short read-timeout ticks so
+        // a daemon shutdown doesn't wait out the whole idle window.
+        let mut idled = Duration::ZERO;
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            stream.set_read_timeout(Some(IDLE_POLL))?;
+            match reader.fill_buf() {
+                Ok([]) => return Ok(()), // peer closed between requests
+                Ok(_) => break,          // first bytes of the next request
+                Err(e) if is_timeout(&e) => {
+                    idled += IDLE_POLL;
+                    if idled >= IDLE_TIMEOUT {
+                        return Ok(());
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // A request is arriving: per-read timeout from here on.
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+
+        served += 1;
+        let request = read_request(&mut reader);
+        let wants_more = matches!(&request, Ok(req) if req.keep_alive)
+            && served < MAX_REQUESTS_PER_CONNECTION
+            && !shutdown.load(Ordering::SeqCst);
+
+        let exit = serve_one(request, &mut stream, service, shutdown, wants_more)?;
+        // Continue the loop only when both sides agreed to keep going.
+        if matches!(exit, LoopExit::AnnouncedClose) || !wants_more {
+            return Ok(());
+        }
+    }
+}
+
+/// Answers one parsed (or failed) request. Framing failures always close
+/// the connection: after a malformed head or a short body the next
+/// request's start is unknowable, and guessing would hand one client's
+/// request to another's response.
+fn serve_one(
+    request: Result<Request, RequestError>,
+    stream: &mut TcpStream,
+    service: &Arc<Service>,
+    shutdown: &Arc<AtomicBool>,
+    keep_alive: bool,
+) -> io::Result<LoopExit> {
+    let req = match request {
+        Ok(req) => req,
         Err(RequestError::TooLarge) => {
-            return write_response(
-                &mut stream,
+            write_response(
+                stream,
                 413,
                 "Payload Too Large",
-                &ErrorResponse::new("too_large", "request body exceeds the size limit").to_json(),
+                &ErrorResponse::new("too_large", "request head or body exceeds the size limit")
+                    .to_json(),
                 None,
-            );
+                false,
+            )?;
+            return Ok(LoopExit::AnnouncedClose);
         }
         Err(RequestError::Malformed(msg)) => {
-            return write_response(
-                &mut stream,
+            write_response(
+                stream,
                 400,
                 "Bad Request",
                 &ErrorResponse::new("bad_http", msg).to_json(),
                 None,
-            );
+                false,
+            )?;
+            return Ok(LoopExit::AnnouncedClose);
+        }
+        Err(RequestError::Unsupported(msg)) => {
+            write_response(
+                stream,
+                501,
+                "Not Implemented",
+                &ErrorResponse::new("unsupported_transfer_encoding", msg).to_json(),
+                None,
+                false,
+            )?;
+            return Ok(LoopExit::AnnouncedClose);
         }
         Err(RequestError::Io(e)) => return Err(e),
     };
 
-    match (method.as_str(), path.as_str()) {
+    match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/schedule") => {
-            let reply = service.call(body);
+            let reply = service.call(req.body);
             let (status, reason) = match reply.disposition {
                 Disposition::Ok { .. } => (200, "OK"),
                 Disposition::ClientError => (400, "Bad Request"),
@@ -177,34 +278,62 @@ fn handle_connection(
                 Disposition::Ok { cached: false } => Some("X-Cache: miss"),
                 _ => None,
             };
-            write_response(&mut stream, status, reason, &reply.body, x_cache)
+            write_response(stream, status, reason, &reply.body, x_cache, keep_alive)?;
+            Ok(LoopExit::CleanClose)
         }
-        ("GET", "/v1/stats") => write_response(&mut stream, 200, "OK", &service.stats_json(), None),
-        ("GET", "/healthz") => write_response(&mut stream, 200, "OK", r#"{"ok":true}"#, None),
+        ("GET", "/v1/stats") => {
+            write_response(stream, 200, "OK", &service.stats_json(), None, keep_alive)?;
+            Ok(LoopExit::CleanClose)
+        }
+        ("GET", "/healthz") => {
+            write_response(stream, 200, "OK", r#"{"ok":true}"#, None, keep_alive)?;
+            Ok(LoopExit::CleanClose)
+        }
         ("POST", "/v1/shutdown") => {
-            let out = write_response(
-                &mut stream,
+            write_response(
+                stream,
                 200,
                 "OK",
                 r#"{"ok":true,"shutting_down":true}"#,
                 None,
-            );
+                false,
+            )?;
             shutdown.store(true, Ordering::SeqCst);
-            out
+            Ok(LoopExit::AnnouncedClose)
         }
-        _ => write_response(
-            &mut stream,
-            404,
-            "Not Found",
-            &ErrorResponse::new("not_found", format!("no route {method} {path}")).to_json(),
-            None,
-        ),
+        _ => {
+            write_response(
+                stream,
+                404,
+                "Not Found",
+                &ErrorResponse::new("not_found", format!("no route {} {}", req.method, req.path))
+                    .to_json(),
+                None,
+                keep_alive,
+            )?;
+            Ok(LoopExit::CleanClose)
+        }
     }
 }
 
+/// One fully framed request off the wire.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+    /// Whether the *client* side of the keep-alive negotiation allows
+    /// another request on this connection.
+    keep_alive: bool,
+}
+
 enum RequestError {
+    /// The request violates HTTP framing; the connection must close.
     Malformed(String),
+    /// Head or declared body size beyond the configured caps.
     TooLarge,
+    /// Syntactically valid but using a feature this daemon refuses
+    /// (currently any `Transfer-Encoding`); answered 501, then close.
+    Unsupported(String),
     Io(io::Error),
 }
 
@@ -214,47 +343,146 @@ impl From<io::Error> for RequestError {
     }
 }
 
-fn read_request<R: BufRead>(reader: &mut R) -> Result<(String, String, String), RequestError> {
-    let mut head_bytes = 0usize;
-    let mut request_line = String::new();
-    head_bytes += reader.read_line(&mut request_line)?;
-    if head_bytes > MAX_HEAD_BYTES {
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one head line (CRLF- or LF-terminated) through the shrinking
+/// `budget`. Returns `None` on EOF before any byte of this line.
+fn read_head_line<R: BufRead>(
+    reader: &mut R,
+    budget: &mut usize,
+) -> Result<Option<String>, RequestError> {
+    let mut raw = Vec::new();
+    // Allow one byte beyond the budget so "line exactly exhausts the
+    // budget without terminating" is distinguishable from EOF.
+    let n = reader
+        .by_ref()
+        .take(*budget as u64 + 1)
+        .read_until(b'\n', &mut raw)?;
+    if n > *budget {
         return Err(RequestError::TooLarge);
     }
+    *budget -= n;
+    if n == 0 {
+        return Ok(None);
+    }
+    if raw.last() != Some(&b'\n') {
+        // More bytes would have been read if the stream had them: the
+        // peer closed (or half-closed) mid-line.
+        return Err(RequestError::Malformed(
+            "premature EOF inside the request head".into(),
+        ));
+    }
+    let line = String::from_utf8(raw)
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8".into()))?;
+    Ok(Some(line.trim_end_matches(['\r', '\n']).to_string()))
+}
+
+/// Reads and strictly frames one request: request line, headers, body.
+///
+/// Framing rules (each violation is typed, and closes the connection):
+///
+/// * the request line must be exactly `METHOD SP PATH SP HTTP/x.y`;
+/// * EOF anywhere mid-head or mid-body is `Malformed` — a truncated
+///   request must fail fast, not sit out the IO timeout in `read_exact`;
+/// * `Content-Length` may appear at most once and must parse — duplicate
+///   or conflicting values are the classic request-smuggling vector;
+/// * any `Transfer-Encoding` is `Unsupported` (501): this daemon never
+///   parses chunked bodies, and silently reading the body as empty would
+///   poison every later request on the connection.
+fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_head_line(reader, &mut budget)?
+        .ok_or_else(|| RequestError::Malformed("EOF before the request line".into()))?;
     let mut parts = request_line.split_whitespace();
-    let (method, path) = match (parts.next(), parts.next()) {
-        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
-        _ => return Err(RequestError::Malformed("unreadable request line".into())),
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if v.starts_with("HTTP/") => {
+            (m.to_string(), p.to_string(), v.to_string())
+        }
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "unreadable request line {request_line:?}"
+            )))
+        }
+    };
+    // Keep-alive default by version: 1.1 persists unless told otherwise,
+    // 1.0 closes unless told otherwise. Anything else is refused rather
+    // than guessed at.
+    let mut keep_alive = match version.as_str() {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v => {
+            return Err(RequestError::Malformed(format!(
+                "unsupported protocol version {v:?}"
+            )))
+        }
     };
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     loop {
-        let mut line = String::new();
-        let n = reader.read_line(&mut line)?;
-        head_bytes += n;
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(RequestError::TooLarge);
+        let line = read_head_line(reader, &mut budget)?
+            .ok_or_else(|| RequestError::Malformed("premature EOF in headers".into()))?;
+        if line.is_empty() {
+            break; // blank line: end of head
         }
-        if n == 0 || line.trim().is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed(format!(
+                "header line without a colon: {line:?}"
+            )));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let parsed: usize = value
+                .parse()
+                .map_err(|_| RequestError::Malformed(format!("bad Content-Length {value:?}")))?;
+            match content_length {
+                None => content_length = Some(parsed),
+                Some(_) => {
+                    return Err(RequestError::Malformed(
+                        "duplicate Content-Length header".into(),
+                    ))
+                }
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(RequestError::Unsupported(format!(
+                "Transfer-Encoding ({value}) is not supported; send a Content-Length body"
+            )));
+        } else if name.eq_ignore_ascii_case("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
+
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(RequestError::TooLarge);
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            RequestError::Malformed("premature EOF in the request body".into())
+        } else {
+            RequestError::Io(e)
+        }
+    })?;
     let body =
         String::from_utf8(body).map_err(|_| RequestError::Malformed("body is not UTF-8".into()))?;
-    Ok((method, path, body))
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
 }
 
 fn write_response(
@@ -263,9 +491,11 @@ fn write_response(
     reason: &str,
     body: &str,
     extra_header: Option<&str>,
+    keep_alive: bool,
 ) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     );
     if let Some(h) = extra_header {

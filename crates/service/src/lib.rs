@@ -8,14 +8,20 @@
 //!
 //! * [`wire`] — the versioned JSON request/response format with a stable
 //!   canonical rendering and FNV-1a content hash (the cache key);
-//! * [`cache`] — the LRU result cache (hit = bit-identical replay);
+//! * [`cache`] — the memory cache tier: an O(1) intrusive-list LRU,
+//!   sharded across independently locked shards by content-hash bits
+//!   (hit = bit-identical replay);
+//! * [`disk`] — the persistent cache tier: an append-only JSONL file,
+//!   indexed on start and compacted on shutdown, so a restarted daemon
+//!   answers previously-seen requests warm;
 //! * [`service`] — bounded job queue + worker threads, each with a
 //!   reusable [`batsched_core::SolverWorkspace`] (σ-engine scratch *and*
 //!   the window search's incremental-DPF journal and assignment buffers,
 //!   since PR 3) so steady-state solving stays allocation-free end to
 //!   end, plus stats counters and graceful shutdown;
 //! * [`jsonl`] — the stdio/pipe frontend (one document per line);
-//! * [`http`] — a minimal HTTP/1.1 frontend on `std::net`.
+//! * [`http`] — a dependency-free HTTP/1.1 frontend on `std::net` with
+//!   keep-alive connections and strict request framing.
 //!
 //! Backpressure is explicit: the queue is bounded and a full queue answers
 //! `overloaded` immediately rather than queueing without limit.
@@ -37,12 +43,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod disk;
 pub mod http;
 pub mod jsonl;
 pub mod service;
 pub mod wire;
 
-pub use cache::LruCache;
+pub use cache::{LruCache, ShardedCache};
+pub use disk::DiskTier;
 pub use http::HttpServer;
 pub use jsonl::{run_jsonl, JsonlSummary};
 pub use service::{solve, Disposition, Reply, Service, ServiceConfig, StatsSnapshot};

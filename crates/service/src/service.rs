@@ -1,17 +1,22 @@
 //! The service core: a bounded job queue feeding a pool of worker threads,
-//! each holding reusable solver buffers, in front of the shared LRU result
-//! cache and the stats counters.
+//! each holding reusable solver buffers, in front of the tiered result
+//! cache (sharded in-memory LRU over an optional disk tier) and the stats
+//! counters.
 //!
 //! Backpressure is explicit: [`Service::submit`] never blocks — when the
 //! queue is full the caller gets a typed `overloaded` response immediately
 //! instead of an unbounded pile-up. Shutdown is graceful: queued jobs are
-//! drained, then workers exit.
+//! drained, workers exit, and the disk tier is compacted so the next boot
+//! loads a dense file.
 
-use crate::cache::LruCache;
+use crate::cache::ShardedCache;
+use crate::disk::DiskTier;
 use crate::wire::{self, ErrorResponse, ScheduleRequest, ScheduleResponse, WIRE_VERSION};
 use batsched_battery::units::{MilliAmpMinutes, Minutes};
 use batsched_core::{schedule_in, SolverWorkspace};
 use serde::Serialize;
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -19,14 +24,19 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Sizing knobs for a [`Service`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Worker threads solving requests.
     pub workers: usize,
     /// Bounded queue depth; submissions beyond it are rejected.
     pub queue_capacity: usize,
-    /// LRU result-cache entries (0 disables caching).
+    /// Aggregate result-cache entries across shards (0 disables caching).
     pub cache_capacity: usize,
+    /// Independently locked cache shards (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Append-only JSONL file backing the disk cache tier; `None` keeps
+    /// the cache memory-only (cold after every restart).
+    pub disk_path: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -35,6 +45,8 @@ impl Default for ServiceConfig {
             workers: 2,
             queue_capacity: 64,
             cache_capacity: 256,
+            cache_shards: 8,
+            disk_path: None,
         }
     }
 }
@@ -81,16 +93,19 @@ struct Counters {
     received: AtomicU64,
     ok_solved: AtomicU64,
     cache_hits: AtomicU64,
+    disk_hits: AtomicU64,
     cache_misses: AtomicU64,
     client_errors: AtomicU64,
     internal_errors: AtomicU64,
     rejected: AtomicU64,
     solve_nanos: AtomicU64,
     hit_nanos: AtomicU64,
+    disk_hit_nanos: AtomicU64,
 }
 
 struct Shared {
-    cache: Mutex<LruCache>,
+    cache: ShardedCache,
+    disk: Option<Mutex<DiskTier>>,
     counters: Counters,
 }
 
@@ -103,17 +118,27 @@ pub struct StatsSnapshot {
     pub workers: usize,
     /// Queue depth limit.
     pub queue_capacity: usize,
-    /// Cache capacity.
+    /// Aggregate memory-cache capacity across shards.
     pub cache_capacity: usize,
-    /// Live cache entries.
+    /// Live memory-cache entries across shards.
     pub cache_len: usize,
+    /// Number of memory-cache shards.
+    pub cache_shards: usize,
+    /// Live entries per shard, in shard order.
+    pub shard_occupancy: Vec<usize>,
+    /// `true` when a disk tier is configured.
+    pub disk_enabled: bool,
+    /// Distinct keys persisted on the disk tier (0 without one).
+    pub disk_entries: usize,
     /// Requests accepted into the queue.
     pub received: u64,
     /// Requests answered from a cold solve.
     pub solved: u64,
-    /// Requests answered from the cache.
+    /// Requests answered from the in-memory cache tier.
     pub cache_hits: u64,
-    /// Requests that missed the cache.
+    /// Requests answered from the disk tier (after a memory miss).
+    pub disk_hits: u64,
+    /// Requests that missed every cache tier.
     pub cache_misses: u64,
     /// Requests rejected as the caller's fault.
     pub client_errors: u64,
@@ -123,8 +148,10 @@ pub struct StatsSnapshot {
     pub rejected: u64,
     /// Mean cold-solve latency (µs) including parse and serialisation.
     pub solve_mean_us: f64,
-    /// Mean cache-hit latency (µs).
+    /// Mean memory-tier cache-hit latency (µs).
     pub hit_mean_us: f64,
+    /// Mean disk-tier cache-hit latency (µs).
+    pub disk_hit_mean_us: f64,
 }
 
 /// A running scheduling service. Cheap to share behind an [`Arc`];
@@ -138,12 +165,32 @@ pub struct Service {
 
 impl Service {
     /// Spawns the worker pool and returns the running service.
+    ///
+    /// # Panics
+    ///
+    /// When a configured disk tier cannot be opened; use
+    /// [`Service::try_start`] to handle that as an error.
     pub fn start(cfg: ServiceConfig) -> Self {
+        Self::try_start(cfg).expect("opening the disk cache tier")
+    }
+
+    /// Spawns the worker pool, opening (and indexing) the disk cache tier
+    /// when one is configured.
+    ///
+    /// # Errors
+    ///
+    /// File-system failures opening `cfg.disk_path`.
+    pub fn try_start(cfg: ServiceConfig) -> io::Result<Self> {
         let workers = cfg.workers.max(1);
         let (tx, rx) = sync_channel::<Job>(cfg.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
+        let disk = match &cfg.disk_path {
+            None => None,
+            Some(path) => Some(Mutex::new(DiskTier::open(path)?)),
+        };
         let shared = Arc::new(Shared {
-            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
+            disk,
             counters: Counters::default(),
         });
         let handles = (0..workers)
@@ -156,17 +203,17 @@ impl Service {
                     .expect("spawning a worker thread")
             })
             .collect();
-        Self {
+        Ok(Self {
             cfg,
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(handles),
             shared,
-        }
+        })
     }
 
     /// The configuration the service was started with.
     pub fn config(&self) -> ServiceConfig {
-        self.cfg
+        self.cfg.clone()
     }
 
     /// Enqueues a request document without blocking.
@@ -224,10 +271,12 @@ impl Service {
     /// A consistent-enough point-in-time statistics snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         let c = &self.shared.counters;
-        let (cache_len, cache_capacity) = {
-            let cache = self.shared.cache.lock().expect("cache lock");
-            (cache.len(), cache.capacity())
-        };
+        let shard_occupancy = self.shared.cache.occupancy();
+        let disk_entries = self
+            .shared
+            .disk
+            .as_ref()
+            .map_or(0, |d| d.lock().expect("disk tier lock").len());
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let mean_us = |nanos: u64, count: u64| {
             if count == 0 {
@@ -238,21 +287,28 @@ impl Service {
         };
         let solved = load(&c.ok_solved);
         let hits = load(&c.cache_hits);
+        let disk_hits = load(&c.disk_hits);
         StatsSnapshot {
             v: WIRE_VERSION,
             workers: self.cfg.workers.max(1),
             queue_capacity: self.cfg.queue_capacity.max(1),
-            cache_capacity,
-            cache_len,
+            cache_capacity: self.shared.cache.capacity(),
+            cache_len: shard_occupancy.iter().sum(),
+            cache_shards: self.shared.cache.shard_count(),
+            shard_occupancy,
+            disk_enabled: self.shared.disk.is_some(),
+            disk_entries,
             received: load(&c.received),
             solved,
             cache_hits: hits,
+            disk_hits,
             cache_misses: load(&c.cache_misses),
             client_errors: load(&c.client_errors),
             internal_errors: load(&c.internal_errors),
             rejected: load(&c.rejected),
             solve_mean_us: mean_us(load(&c.solve_nanos), solved),
             hit_mean_us: mean_us(load(&c.hit_nanos), hits),
+            disk_hit_mean_us: mean_us(load(&c.disk_hit_nanos), disk_hits),
         }
     }
 
@@ -262,16 +318,26 @@ impl Service {
     }
 
     /// Graceful shutdown: stop accepting, drain the queue, join the
-    /// workers. Idempotent; safe to call from any thread holding the
-    /// service (frontends call it through their `Arc`).
+    /// workers, compact the disk tier. Idempotent; safe to call from any
+    /// thread holding the service (frontends call it through their `Arc`).
     pub fn shutdown(&self) {
         // Dropping the sender closes the channel; workers exit after
         // draining whatever was already queued.
         *self.tx.lock().expect("service sender lock") = None;
         let handles: Vec<JoinHandle<()>> =
             std::mem::take(&mut *self.workers.lock().expect("worker handles lock"));
+        let draining = !handles.is_empty();
         for h in handles {
             let _ = h.join();
+        }
+        // Compact once, on the call that actually drained the workers; a
+        // failed compaction leaves the (correct, just sparser) append log.
+        if draining {
+            if let Some(disk) = &self.shared.disk {
+                if let Err(e) = disk.lock().expect("disk tier lock").compact() {
+                    eprintln!("batsched-service: disk-cache compaction failed: {e}");
+                }
+            }
         }
     }
 }
@@ -312,12 +378,7 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
     // document hash to the canonical cache entry, verifying the stored
     // document byte-for-byte (a hash collision is a miss, not a lie).
     let raw_key = wire::fnv1a64(body.as_bytes());
-    if let Some(cached) = shared
-        .cache
-        .lock()
-        .expect("cache lock")
-        .get_by_alias(raw_key, body)
-    {
+    if let Some(cached) = shared.cache.get_by_alias(raw_key, body) {
         c.cache_hits.fetch_add(1, Ordering::Relaxed);
         c.hit_nanos
             .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -334,15 +395,25 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
         }
     };
     let key = req.content_hash();
-    {
-        let mut cache = shared.cache.lock().expect("cache lock");
-        if let Some(cached) = cache.get(key) {
-            // Different spelling, same canonical question: remember this
-            // spelling so its next occurrence takes the fast path.
-            cache.alias(raw_key, body, key);
-            drop(cache);
-            c.cache_hits.fetch_add(1, Ordering::Relaxed);
-            c.hit_nanos
+    if let Some(cached) = shared.cache.get(key) {
+        // Different spelling, same canonical question: remember this
+        // spelling so its next occurrence takes the fast path.
+        shared.cache.alias(raw_key, body, key);
+        c.cache_hits.fetch_add(1, Ordering::Relaxed);
+        c.hit_nanos
+            .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        return finish(Disposition::Ok { cached: true }, cached);
+    }
+    // Disk tier: a previous process (or an entry the memory tier evicted)
+    // may have the answer on disk; promote it so the next probe is a
+    // memory hit.
+    if let Some(disk) = &shared.disk {
+        let persisted = disk.lock().expect("disk tier lock").get(key);
+        if let Some(cached) = persisted {
+            shared.cache.insert(key, cached.clone());
+            shared.cache.alias(raw_key, body, key);
+            c.disk_hits.fetch_add(1, Ordering::Relaxed);
+            c.disk_hit_nanos
                 .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
             return finish(Disposition::Ok { cached: true }, cached);
         }
@@ -351,10 +422,14 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
     match solve(&req, ws) {
         Ok(resp) => {
             let rendered = serde_json::to_string(&resp).expect("responses serialise");
-            {
-                let mut cache = shared.cache.lock().expect("cache lock");
-                cache.insert(key, rendered.clone());
-                cache.alias(raw_key, body, key);
+            shared.cache.insert(key, rendered.clone());
+            shared.cache.alias(raw_key, body, key);
+            if let Some(disk) = &shared.disk {
+                // A failed append only costs warmth after the next restart;
+                // the in-memory answer is already correct.
+                if let Err(e) = disk.lock().expect("disk tier lock").put(key, &rendered) {
+                    eprintln!("batsched-service: disk-cache append failed: {e}");
+                }
             }
             c.ok_solved.fetch_add(1, Ordering::Relaxed);
             c.solve_nanos
@@ -503,6 +578,40 @@ mod tests {
         // Submissions after shutdown are refused, not hung.
         let refused = svc.call(body(75.0));
         assert_eq!(refused.disposition, Disposition::Overloaded);
+    }
+
+    #[test]
+    fn disk_tier_serves_warm_after_restart() {
+        let dir = std::env::temp_dir().join("batsched_service_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("warm_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = ServiceConfig {
+            disk_path: Some(path.clone()),
+            ..ServiceConfig::default()
+        };
+
+        let svc = Service::try_start(cfg.clone()).unwrap();
+        let cold = svc.call(body(75.0));
+        assert_eq!(cold.disposition, Disposition::Ok { cached: false });
+        svc.shutdown(); // compacts the disk tier
+
+        // A fresh process: memory cache empty, disk tier warm.
+        let svc = Service::try_start(cfg).unwrap();
+        let warm = svc.call(body(75.0));
+        assert_eq!(warm.disposition, Disposition::Ok { cached: true });
+        assert_eq!(warm.body, cold.body, "disk hit must be bit-identical");
+        let stats = svc.stats();
+        assert!(stats.disk_enabled);
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.cache_hits, 0, "first probe came from disk");
+        assert_eq!(stats.disk_entries, 1);
+        // The promoted entry now answers from memory (alias fast path).
+        let memory = svc.call(body(75.0));
+        assert_eq!(memory.disposition, Disposition::Ok { cached: true });
+        assert_eq!(svc.stats().cache_hits, 1);
+        svc.shutdown();
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Property tests for the cache tiers: the O(1) intrusive-list LRU must be
+//! observation-equivalent to the retained scan-based implementation, the
+//! sharded cache must answer exactly like a single-lock LRU, and the disk
+//! tier must round-trip bodies bit-identically across persist → reload →
+//! compact cycles.
+
+use batsched_service::cache::{reference::ScanLruCache, LruCache, ShardedCache};
+use batsched_service::disk::DiskTier;
+use proptest::prelude::*;
+
+/// One cache operation drawn by the proptests. Keys/raw hashes come from a
+/// small space so collisions, overwrites and dangling aliases all happen.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: u64, body: String },
+    Get { key: u64 },
+    Alias { raw: u64, doc: String, key: u64 },
+    GetByAlias { raw: u64, doc: String },
+}
+
+/// Decodes a raw tuple into an [`Op`]. `kind` picks the variant; `a`/`b`
+/// fold into keys and short documents (two doc spellings per raw hash, so
+/// byte-verification mismatches occur).
+fn op_of((kind, a, b): (u8, u64, u64)) -> Op {
+    let doc = |x: u64| format!("doc-{}-{}", x % 13, x % 2);
+    match kind % 4 {
+        0 => Op::Insert {
+            key: a % 13,
+            body: format!("body-{a}-{b}"),
+        },
+        1 => Op::Get { key: a % 13 },
+        2 => Op::Alias {
+            raw: b % 13,
+            doc: doc(b),
+            key: a % 13,
+        },
+        _ => Op::GetByAlias {
+            raw: b % 13,
+            doc: doc(b),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The intrusive-list LRU observes identically to the scan-based
+    /// reference under arbitrary op sequences — including evictions from
+    /// tiny capacities and alias-index churn.
+    #[test]
+    fn linked_lru_matches_scan_reference(cap in 0usize..6, ops in prop::collection::vec((0u8..4, 0u64..64, 0u64..64), 0..120)) {
+        let mut fast = LruCache::new(cap);
+        let mut oracle = ScanLruCache::new(cap);
+        for (step, raw_op) in ops.into_iter().enumerate() {
+            let op = op_of(raw_op);
+            match &op {
+                Op::Insert { key, body } => {
+                    fast.insert(*key, body.clone());
+                    oracle.insert(*key, body.clone());
+                }
+                Op::Get { key } => {
+                    prop_assert_eq!(fast.get(*key), oracle.get(*key), "step {}: {:?}", step, op);
+                }
+                Op::Alias { raw, doc, key } => {
+                    fast.alias(*raw, doc, *key);
+                    oracle.alias(*raw, doc, *key);
+                }
+                Op::GetByAlias { raw, doc } => {
+                    prop_assert_eq!(
+                        fast.get_by_alias(*raw, doc),
+                        oracle.get_by_alias(*raw, doc),
+                        "step {}: {:?}", step, op
+                    );
+                }
+            }
+            prop_assert_eq!(fast.len(), oracle.len(), "step {}: {:?}", step, op);
+        }
+    }
+
+    /// With capacity ample enough that no shard evicts, the sharded cache
+    /// is observation-equivalent to one single-lock LRU: same hits, same
+    /// misses, same bodies, same totals — sharding must only change lock
+    /// granularity, never answers.
+    #[test]
+    fn sharded_matches_single_lock(shards in 1usize..9, ops in prop::collection::vec((0u8..4, 0u64..64, 0u64..64), 0..120)) {
+        let mut single = LruCache::new(1024);
+        let sharded = ShardedCache::new(1024 * shards, shards);
+        for (step, raw_op) in ops.into_iter().enumerate() {
+            let op = op_of(raw_op);
+            match &op {
+                Op::Insert { key, body } => {
+                    single.insert(*key, body.clone());
+                    sharded.insert(*key, body.clone());
+                }
+                Op::Get { key } => {
+                    prop_assert_eq!(single.get(*key), sharded.get(*key), "step {}: {:?}", step, op);
+                }
+                Op::Alias { raw, doc, key } => {
+                    single.alias(*raw, doc, *key);
+                    sharded.alias(*raw, doc, *key);
+                }
+                Op::GetByAlias { raw, doc } => {
+                    prop_assert_eq!(
+                        single.get_by_alias(*raw, doc),
+                        sharded.get_by_alias(*raw, doc),
+                        "step {}: {:?}", step, op
+                    );
+                }
+            }
+            prop_assert_eq!(single.len(), sharded.len(), "step {}: {:?}", step, op);
+        }
+    }
+
+    /// Disk-tier round trip: persist a set of (key, body) records — with
+    /// hostile bodies (quotes, backslashes, newlines, unicode, long runs)
+    /// — reload from disk, compact, reload again; every body must come
+    /// back bit-identical at each stage.
+    #[test]
+    fn disk_tier_round_trips_bit_identically(case in 0u64..1_000_000, records in prop::collection::vec((0u64..1_000_000_000, 0u8..6, 1usize..40), 1..24)) {
+        let dir = std::env::temp_dir().join("batsched_cache_tiers");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("roundtrip_{}_{case}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // Hostile body alphabet: JSON metacharacters, control chars,
+        // multibyte UTF-8.
+        let fragment = |style: u8, n: usize| -> String {
+            let unit = match style {
+                0 => "\"quoted\" ",
+                1 => "back\\slash\\",
+                2 => "line\nbreak\ttab ",
+                3 => "ünïcödé-β∂σ ",
+                4 => "{\"nested\":[1,2.5,null]} ",
+                _ => "plain ",
+            };
+            unit.repeat(n)
+        };
+        let mut expected: std::collections::HashMap<u64, String> = Default::default();
+        {
+            let mut tier = DiskTier::open(&path).expect("open");
+            for (key, style, n) in &records {
+                let body = fragment(*style, *n);
+                tier.put(*key, &body).expect("put");
+                // First write per key wins (responses are pure functions
+                // of the key) — mirror that in the oracle.
+                expected.entry(*key).or_insert(body);
+            }
+            for (k, body) in &expected {
+                prop_assert_eq!(tier.get(*k).as_deref(), Some(body.as_str()));
+            }
+        }
+        {
+            let mut tier = DiskTier::open(&path).expect("reopen");
+            prop_assert_eq!(tier.len(), expected.len());
+            for (k, body) in &expected {
+                prop_assert_eq!(tier.get(*k).as_deref(), Some(body.as_str()), "after reload");
+            }
+            tier.compact().expect("compact");
+            for (k, body) in &expected {
+                prop_assert_eq!(tier.get(*k).as_deref(), Some(body.as_str()), "after compact");
+            }
+        }
+        {
+            let mut tier = DiskTier::open(&path).expect("reopen post-compact");
+            prop_assert_eq!(tier.len(), expected.len());
+            for (k, body) in &expected {
+                prop_assert_eq!(tier.get(*k).as_deref(), Some(body.as_str()), "after compact+reload");
+            }
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}

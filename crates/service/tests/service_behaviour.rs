@@ -77,6 +77,7 @@ fn cache_hit_is_bit_identical_to_recompute() {
         workers: 2,
         queue_capacity: 16,
         cache_capacity: 8,
+        ..ServiceConfig::default()
     });
     let body = body_of(&request_for(&g3(), 230.0));
     let cold = svc.call(body.clone());
@@ -117,6 +118,7 @@ fn concurrent_clients_each_get_valid_schedules() {
         workers: 3,
         queue_capacity: 128,
         cache_capacity: 64,
+        ..ServiceConfig::default()
     }));
     // Mix of unique and duplicate requests across 8 client threads.
     let graphs: Vec<(TaskGraph, f64)> = vec![
@@ -232,6 +234,7 @@ fn full_queue_rejects_with_typed_overload() {
         workers: 1,
         queue_capacity: 1,
         cache_capacity: 0, // every request is a cold solve
+        ..ServiceConfig::default()
     });
     // Unique moderately hard instances so the single worker stays busy.
     let mut receivers = Vec::new();

@@ -32,10 +32,13 @@ perf:
 bench-quick:
     cargo run --release -p batsched-bench --bin repro_bench_json -- --quick --check
 
-# Boot the HTTP daemon, fire a loadgen burst, assert 2xx + clean shutdown.
+# Boot the HTTP daemon (disk-backed cache), fire a loadgen burst with a
+# keep-alive pass, then restart it and assert the warm request is served
+# from the disk tier.
 serve-smoke:
     ./ci.sh serve-smoke
 
-# Regenerate the service load snapshot (BENCH_service.json, full streams).
+# Regenerate the service load snapshot (BENCH_service.json, full streams,
+# keep-alive >= 1.5x floor enforced).
 service-bench:
-    cargo run --release -p batsched-bench --bin loadgen
+    cargo run --release -p batsched-bench --bin loadgen -- --check
