@@ -4,7 +4,8 @@
 # and the perf/service snapshots. Mirrors the recipes in ./justfile.
 #
 # `./ci.sh serve-smoke` runs only the daemon smoke test (used by
-# `just serve-smoke`).
+# `just serve-smoke`); `./ci.sh chaos-smoke` runs only the fault-injection
+# drill against a real armed daemon (used by `just chaos`).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -59,8 +60,60 @@ serve_smoke() {
   rm -f "$log" "$cache"
 }
 
+chaos_smoke() {
+  echo "==> chaos smoke (armed daemon + loadgen fault drill)"
+  cargo build --release -q -p batsched-cli -p batsched-bench
+  local log cache
+  log="$(mktemp)"
+  cache="$(mktemp -u).jsonl"
+
+  # Boot a real daemon with the fault plane armed: one solver panic
+  # (targeted at the G2/deadline-75 request), a burst of 10 disk-append
+  # failures, and 500 ms of injected latency (2x the request deadline) on
+  # every 20th request. The rules mirror CHAOS_FAULTS in loadgen.rs —
+  # keep the two lists in lockstep.
+  ./target/release/batsched serve --http 127.0.0.1:0 --disk-cache "$cache" \
+    --request-timeout 250 --disk-breaker 3 --disk-probe-ms 150 \
+    --fault 'solver-panic:count=1,key="deadline":75' \
+    --fault 'disk-append:after=5,count=10' \
+    --fault 'solver-latency:every=20,ms=500,count=5' 2> "$log" &
+  local pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$log" | head -1 || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "daemon did not announce an address; log:" >&2
+    cat "$log" >&2
+    kill "$pid" 2> /dev/null || true
+    wait "$pid" 2> /dev/null || true
+    rm -f "$log" "$cache"
+    exit 1
+  fi
+  # --check asserts: zero lost requests, only typed timeout/internal
+  # errors, >=1 worker respawn, disk breaker tripped then re-armed.
+  if ! ./target/release/loadgen --chaos --check --addr "$addr"; then
+    echo "chaos drill failed; daemon log:" >&2
+    cat "$log" >&2
+    kill "$pid" 2> /dev/null || true
+    wait "$pid" 2> /dev/null || true
+    rm -f "$log" "$cache"
+    exit 1
+  fi
+  wait "$pid"
+  echo "chaos drill survived: typed errors only, pool respawned, disk tier re-armed"
+  rm -f "$log" "$cache"
+}
+
 if [ "${1:-}" = "serve-smoke" ]; then
   serve_smoke
+  exit 0
+fi
+
+if [ "${1:-}" = "chaos-smoke" ]; then
+  chaos_smoke
   exit 0
 fi
 
@@ -86,6 +139,8 @@ echo "==> cargo test (workspace, parallel feature)"
 cargo test --workspace -q --features parallel
 
 serve_smoke
+
+chaos_smoke
 
 echo "==> perf smoke + snapshot (BENCH_scheduler.json, floors enforced)"
 # Quick-mode perf smoke: regenerates the snapshot and fails the pipeline if

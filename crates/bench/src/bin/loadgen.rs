@@ -25,18 +25,30 @@
 //! * **malformed** — broken/hostile documents; the run fails unless every
 //!   one is answered with a *typed* error (the daemon must never panic).
 //!
+//! * **chaos** — the fault-injection drill: the service runs with the
+//!   fault plane armed (one injected solver panic, a burst of disk-append
+//!   failures, periodic solver latency beyond the request deadline) and a
+//!   tight request timeout. Every request must get exactly one well-formed
+//!   response (a schedule or a typed `timeout`/`internal` error), the
+//!   worker pool must respawn its panicked worker, and the disk tier must
+//!   trip its breaker into degraded mode and then re-arm once the fault
+//!   burst passes.
+//!
 //! Flags: `--quick` shrinks the grids (CI mode); `--check` enforces the
 //! keep-alive ≥ 1.5× floor; `--smoke --addr <host:port>` switches to
 //! HTTP-client mode against a running daemon — schedule request, typed
 //! 4xx on malformed input, a keep-alive multi-request pass, stats, then
 //! shutdown; `--smoke-warm --addr <host:port>` is the post-restart probe:
 //! the same schedule request must come back `X-Cache: hit` served from
-//! the daemon's disk tier (the ci.sh warm-restart check).
+//! the daemon's disk tier (the ci.sh warm-restart check); `--chaos`
+//! runs only the chaos drill (add `--addr <host:port>` to drive an
+//! external daemon booted with the same `--fault` rules — see
+//! `ci.sh chaos-smoke` — instead of an in-process one).
 
 use batsched_service::wire::DEFAULT_MAX_ITERATIONS;
 use batsched_service::{
-    Disposition, ErrorResponse, HttpServer, ModelSpec, ScheduleRequest, ScheduleResponse, Service,
-    ServiceConfig,
+    Disposition, ErrorResponse, FaultPlane, FaultRule, HttpServer, ModelSpec, ScheduleRequest,
+    ScheduleResponse, Service, ServiceConfig,
 };
 use batsched_taskgraph::analysis::{max_makespan, min_makespan};
 use batsched_taskgraph::paper::{g2, g3, G2_TABLE4_DEADLINES, G3_TABLE4_DEADLINES};
@@ -49,7 +61,7 @@ use std::collections::HashSet;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn synth_graph(n: usize, m: usize, seed: u64) -> TaskGraph {
     let width = 4usize;
@@ -140,6 +152,22 @@ struct WarmRestartReport {
 }
 
 #[derive(Debug, Serialize)]
+struct ChaosReport {
+    requests: usize,
+    ok: usize,
+    timeouts: usize,
+    internal_errors: usize,
+    unexpected_responses: usize,
+    recovery_requests: usize,
+    worker_panics: u64,
+    worker_respawns: u64,
+    disk_errors: u64,
+    disk_breaker_trips: u64,
+    disk_rearms: u64,
+    recovered: bool,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchDoc {
     config: ConfigDoc,
     paper: StreamReport,
@@ -149,6 +177,7 @@ struct BenchDoc {
     scaling: Vec<ScalingPoint>,
     warm_restart: WarmRestartReport,
     malformed: MalformedReport,
+    chaos: ChaosReport,
 }
 
 #[derive(Debug, Serialize)]
@@ -502,6 +531,202 @@ fn run_warm_restart(quick: bool) -> WarmRestartReport {
     report
 }
 
+/// Pulls a boolean field out of a stats JSON document.
+fn stats_flag(stats_json: &str, field: &str) -> bool {
+    let tag = format!("\"{field}\":");
+    let at = stats_json
+        .find(&tag)
+        .unwrap_or_else(|| panic!("stats field {field} missing: {stats_json}"));
+    stats_json[at + tag.len()..].starts_with("true")
+}
+
+/// The canonical chaos fault rules. `ci.sh chaos-smoke` boots a real
+/// daemon with these exact specs (as `--fault` flags), so keep the two
+/// lists in lockstep:
+///
+/// * panic the solver once, on the G2/deadline-75 request specifically
+///   (it is never latency-injected, so its typed `internal` reply always
+///   reaches the client instead of racing a timeout);
+/// * fail disk appends 6 through 15 — enough consecutive errors to trip
+///   the breaker, with leftover budget for the re-probe loop to burn
+///   before a probe succeeds and re-arms the tier;
+/// * sleep 500 ms (2× the 250 ms request deadline) on every 20th request,
+///   at most 5 times, so some requests answer a typed `timeout`.
+const CHAOS_FAULTS: [&str; 3] = [
+    "solver-panic:count=1,key=\"deadline\":75",
+    "disk-append:after=5,count=10",
+    "solver-latency:every=20,ms=500,count=5",
+];
+const CHAOS_TIMEOUT_MS: u64 = 250;
+const CHAOS_PROBE_MS: u64 = 150;
+const CHAOS_BREAKER_THRESHOLD: u32 = 3;
+
+/// The chaos drill (see the module docs). Self-hosts an armed service
+/// over real HTTP when `addr` is `None`; otherwise drives a daemon at
+/// `addr` that was booted with the [`CHAOS_FAULTS`] rules.
+fn run_chaos(quick: bool, check: bool, addr: Option<&str>) -> ChaosReport {
+    let hosted = if addr.is_none() {
+        let dir = std::env::temp_dir().join("batsched_loadgen");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("chaos_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 512,
+            disk_path: Some(path.clone()),
+            request_timeout: Some(Duration::from_millis(CHAOS_TIMEOUT_MS)),
+            disk_breaker_threshold: CHAOS_BREAKER_THRESHOLD,
+            disk_probe_interval: Duration::from_millis(CHAOS_PROBE_MS),
+            ..ServiceConfig::default()
+        };
+        let rules = CHAOS_FAULTS
+            .iter()
+            .map(|s| FaultRule::parse(s).expect("canonical chaos fault spec"));
+        let svc = Arc::new(
+            Service::try_start_with_faults(cfg, FaultPlane::armed(rules))
+                .expect("chaos service starts"),
+        );
+        let server = HttpServer::bind(Arc::clone(&svc), "127.0.0.1:0").expect("bind chaos daemon");
+        Some((svc, server, path))
+    } else {
+        None
+    };
+    let addr = match (&hosted, addr) {
+        (Some((_, server, _)), _) => server.local_addr().to_string(),
+        (None, Some(a)) => a.to_string(),
+        (None, None) => unreachable!(),
+    };
+
+    // A duplicate-bearing stream: every 6th request replays the G2 body
+    // (the panic target; later replays must recover and then cache), the
+    // rest are unique synthetic instances (cold solves → disk appends).
+    let total = if quick { 40 } else { 72 };
+    let dup = body_for(&g2(), 75.0);
+    let bodies: Vec<String> = (0..total)
+        .map(|i| {
+            if i % 6 == 5 {
+                dup.clone()
+            } else {
+                let g = synth_graph(14, 4, 0xC4A05 + i as u64);
+                body_for(&g, loose_deadline(&g))
+            }
+        })
+        .collect();
+
+    let mut client = HttpClient::connect(&addr);
+    let (mut ok, mut timeouts, mut internal, mut unexpected) = (0usize, 0usize, 0usize, 0usize);
+    for body in &bodies {
+        let (code, _, payload) = client.request("POST", "/v1/schedule", body, false);
+        match code {
+            200 if serde_json::from_str::<ScheduleResponse>(&payload).is_ok() => ok += 1,
+            _ => match serde_json::from_str::<ErrorResponse>(&payload) {
+                Ok(e) if e.error == "timeout" && code == 504 => timeouts += 1,
+                Ok(e) if e.error == "internal" && code == 500 => internal += 1,
+                _ => {
+                    eprintln!("chaos: unexpected response {code}: {payload}");
+                    unexpected += 1;
+                }
+            },
+        }
+    }
+
+    // Recovery: keep poking the daemon with unique cache-missing requests
+    // so the breaker's probe path runs, until the disk tier has tripped,
+    // burnt the injected-error budget and re-armed.
+    let mut recovery = 0usize;
+    let mut recovered = false;
+    for k in 0..200u64 {
+        let (code, _, stats) = client.request("GET", "/v1/stats", "", false);
+        assert_eq!(code, 200, "stats must stay up under chaos: {stats}");
+        if stats_counter(&stats, "disk_breaker_trips") >= 1
+            && stats_counter(&stats, "disk_rearms") >= 1
+            && !stats_flag(&stats, "disk_degraded")
+        {
+            recovered = true;
+            break;
+        }
+        let g = synth_graph(12, 3, 0xFEE1BAD + k);
+        let body = body_for(&g, loose_deadline(&g));
+        let (code, _, payload) = client.request("POST", "/v1/schedule", &body, false);
+        match code {
+            200 => {}
+            504 | 500 => {} // injected latency / leftover faults: still typed
+            other => panic!("chaos recovery: unexpected response {other}: {payload}"),
+        }
+        recovery += 1;
+        std::thread::sleep(Duration::from_millis(60));
+    }
+
+    let (code, _, stats) = client.request("GET", "/v1/stats", "", true);
+    assert_eq!(code, 200);
+    let report = ChaosReport {
+        requests: bodies.len(),
+        ok,
+        timeouts,
+        internal_errors: internal,
+        unexpected_responses: unexpected,
+        recovery_requests: recovery,
+        worker_panics: stats_counter(&stats, "worker_panics"),
+        worker_respawns: stats_counter(&stats, "worker_respawns"),
+        disk_errors: stats_counter(&stats, "disk_errors"),
+        disk_breaker_trips: stats_counter(&stats, "disk_breaker_trips"),
+        disk_rearms: stats_counter(&stats, "disk_rearms"),
+        recovered,
+    };
+
+    match hosted {
+        Some((svc, server, path)) => {
+            server.stop();
+            server.wait();
+            svc.shutdown();
+            let _ = std::fs::remove_file(&path);
+        }
+        None => {
+            let (code, payload) = http_call(&addr, "POST", "/v1/shutdown", "");
+            assert_eq!(code, 200, "chaos daemon must shut down cleanly: {payload}");
+        }
+    }
+
+    assert_eq!(
+        report.ok + report.timeouts + report.internal_errors + report.unexpected_responses,
+        report.requests,
+        "every request must get exactly one response"
+    );
+    if check {
+        assert_eq!(
+            report.unexpected_responses, 0,
+            "chaos responses must all be schedules or typed timeout/internal errors"
+        );
+        assert!(
+            report.timeouts >= 1,
+            "injected latency must cause a typed timeout: {report:?}"
+        );
+        assert!(
+            report.internal_errors >= 1,
+            "the injected panic must answer typed: {report:?}"
+        );
+        assert!(report.worker_panics >= 1, "{report:?}");
+        assert!(
+            report.worker_respawns >= 1,
+            "the pool must respawn its panicked worker: {report:?}"
+        );
+        assert!(
+            report.disk_errors >= u64::from(CHAOS_BREAKER_THRESHOLD),
+            "{report:?}"
+        );
+        assert!(
+            report.disk_breaker_trips >= 1,
+            "the disk burst must trip the breaker: {report:?}"
+        );
+        assert!(
+            report.recovered && report.disk_rearms >= 1,
+            "the disk tier must re-arm once the fault burst passes: {report:?}"
+        );
+    }
+    report
+}
+
 fn run_benchmark(quick: bool, check: bool) {
     let cfg = ConfigDoc {
         quick,
@@ -680,6 +905,21 @@ fn run_benchmark(quick: bool, check: bool) {
         "malformed inputs must all be rejected with typed errors"
     );
 
+    // Chaos drill: injected faults, typed answers, degraded-mode recovery.
+    let chaos = run_chaos(quick, check, None);
+    eprintln!(
+        "chaos     : {} reqs → {} ok / {} timeout / {} internal; {} panics, {} respawns, breaker {}→{} (recovered: {})",
+        chaos.requests,
+        chaos.ok,
+        chaos.timeouts,
+        chaos.internal_errors,
+        chaos.worker_panics,
+        chaos.worker_respawns,
+        chaos.disk_breaker_trips,
+        chaos.disk_rearms,
+        chaos.recovered
+    );
+
     let doc = BenchDoc {
         config: cfg,
         paper,
@@ -689,6 +929,7 @@ fn run_benchmark(quick: bool, check: bool) {
         scaling,
         warm_restart,
         malformed,
+        chaos,
     };
     let json = serde_json::to_string_pretty(&doc).expect("bench doc serialises");
     std::fs::write("BENCH_service.json", format!("{json}\n")).expect("write BENCH_service.json");
@@ -777,14 +1018,25 @@ fn main() {
     let check = args.iter().any(|a| a == "--check");
     let smoke = args.iter().any(|a| a == "--smoke");
     let smoke_warm = args.iter().any(|a| a == "--smoke-warm");
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1));
     // Exercised so the canonical-form constant stays a public contract.
     let _ = (DEFAULT_MAX_ITERATIONS, ModelSpec::default_rv());
-    if smoke || smoke_warm {
-        let addr = args
-            .iter()
-            .position(|a| a == "--addr")
-            .and_then(|i| args.get(i + 1))
-            .expect("smoke modes need --addr <host:port>");
+    if chaos {
+        let report = run_chaos(quick, check, addr.map(String::as_str));
+        eprintln!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("chaos report serialises")
+        );
+        println!(
+            "CHAOS OK ({} requests, recovered: {})",
+            report.requests, report.recovered
+        );
+    } else if smoke || smoke_warm {
+        let addr = addr.expect("smoke modes need --addr <host:port>");
         if smoke_warm {
             run_smoke_warm(addr);
         } else {

@@ -52,6 +52,9 @@ USAGE:
   batsched serve (--http <addr> | --jsonl)
                [--workers <n>] [--queue <n>] [--cache <n>]
                [--shards <n>] [--disk-cache <path>]
+               [--request-timeout <ms>] [--fsync <never|always|N>]
+               [--disk-breaker <n>] [--disk-probe-ms <ms>]
+               [--fault <site:k=v,...>]...
 
 ALGORITHMS (--algo): khan-vemuri (default), rakhmatov-dp, chowdhury,
                      annealing, random
@@ -66,7 +69,17 @@ and POST /v1/shutdown on the given address (port 0 picks a free port; the
 bound address is printed to stderr). --cache sizes the in-memory result
 cache (entries, split over --shards independently locked shards);
 --disk-cache persists results to an append-only JSONL file so a restarted
-daemon answers previously-seen requests warm.";
+daemon answers previously-seen requests warm; --fsync picks its durability
+policy (never, always, or sync every N appends — default every 8).
+--request-timeout bounds each request's queue-to-reply time; expired
+requests answer a typed `timeout` error (HTTP 504) instead of hanging.
+--disk-breaker trips the disk tier into degraded mode (memory + cold
+solves) after N consecutive I/O errors; --disk-probe-ms sets how often a
+probe request retries the sick tier until it heals and re-arms.
+--fault (repeatable) arms the fault-injection plane for chaos drills, e.g.
+--fault solver-panic:after=3,count=1 or --fault disk-append:count=10
+(sites: disk-read, disk-append, disk-write, solver-panic, solver-latency;
+params: after, count, every, ms, key).";
 
 /// Parsed option map: positional args + `--key value` pairs + `--flag`s.
 #[derive(Debug, Default, PartialEq, Eq)]
@@ -87,6 +100,15 @@ impl Opts {
             .rev()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value passed for a repeatable `--key`, in order.
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.options
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     /// `true` when `--flag` was passed.
@@ -114,7 +136,7 @@ impl Opts {
 ///
 /// [`CliError`] when a `--key` that expects a value trails the list.
 pub fn parse_args(args: &[String]) -> Result<Opts, CliError> {
-    const VALUE_OPTS: [&str; 14] = [
+    const VALUE_OPTS: [&str; 19] = [
         "deadline",
         "algo",
         "beta",
@@ -129,6 +151,11 @@ pub fn parse_args(args: &[String]) -> Result<Opts, CliError> {
         "cache",
         "shards",
         "disk-cache",
+        "request-timeout",
+        "fsync",
+        "fault",
+        "disk-breaker",
+        "disk-probe-ms",
     ];
     let mut opts = Opts::default();
     let mut it = args.iter().peekable();
@@ -399,24 +426,79 @@ fn sizing(opts: &Opts, key: &str, default: usize, min: usize) -> Result<usize, C
     Ok(n)
 }
 
+/// Parses `--fsync never|always|N` into a [`batsched_service::FsyncPolicy`].
+fn fsync_policy(opts: &Opts) -> Result<batsched_service::FsyncPolicy, CliError> {
+    use batsched_service::FsyncPolicy;
+    match opts.get("fsync") {
+        None => Ok(FsyncPolicy::default()),
+        Some("never") => Ok(FsyncPolicy::Never),
+        Some("always") => Ok(FsyncPolicy::Always),
+        Some(raw) => {
+            let n: u32 = raw.parse().map_err(|_| {
+                err(format!(
+                    "--fsync expects never, always or an integer N (sync every N appends), got '{raw}'"
+                ))
+            })?;
+            if n == 0 {
+                return Err(err("--fsync must be at least 1 (or never/always)"));
+            }
+            Ok(FsyncPolicy::EveryN(n))
+        }
+    }
+}
+
 fn cmd_serve(opts: &Opts, out: &mut String) -> Result<(), CliError> {
-    use batsched_service::{HttpServer, Service, ServiceConfig};
+    use batsched_service::{FaultPlane, FaultRule, HttpServer, Service, ServiceConfig, StartError};
+    let request_timeout = match opts.get("request-timeout") {
+        None => None,
+        Some(raw) => {
+            let ms: u64 = raw.parse().map_err(|_| {
+                err(format!(
+                    "--request-timeout expects an integer (milliseconds), got '{raw}'"
+                ))
+            })?;
+            Some(std::time::Duration::from_millis(ms))
+        }
+    };
     let cfg = ServiceConfig {
         workers: sizing(opts, "workers", 2, 1)?,
         queue_capacity: sizing(opts, "queue", 64, 1)?,
-        cache_capacity: sizing(opts, "cache", 256, 0)?,
+        cache_capacity: sizing(opts, "cache", 256, 1)?,
         cache_shards: sizing(opts, "shards", 8, 1)?,
         disk_path: opts.get("disk-cache").map(std::path::PathBuf::from),
+        request_timeout,
+        fsync_policy: fsync_policy(opts)?,
+        disk_breaker_threshold: u32::try_from(sizing(opts, "disk-breaker", 3, 1)?)
+            .map_err(|_| err("--disk-breaker is out of range"))?,
+        disk_probe_interval: std::time::Duration::from_millis(sizing(
+            opts,
+            "disk-probe-ms",
+            2_000,
+            1,
+        )? as u64),
+    };
+    let fault_specs = opts.get_all("fault");
+    let faults = if fault_specs.is_empty() {
+        FaultPlane::disarmed()
+    } else {
+        let rules = fault_specs
+            .iter()
+            .map(|spec| FaultRule::parse(spec).map_err(|e| err(format!("--fault {spec}: {e}"))))
+            .collect::<Result<Vec<_>, _>>()?;
+        // Loud on purpose: an armed daemon fails requests by design.
+        eprintln!("fault plane ARMED with {} rule(s)", rules.len());
+        FaultPlane::armed(rules)
     };
     let start = |cfg: ServiceConfig| {
         let disk = cfg.disk_path.clone();
-        Service::try_start(cfg).map_err(|e| {
-            err(format!(
-                "cannot open disk cache {}: {e}",
+        Service::try_start_with_faults(cfg, faults.clone()).map_err(|e| match e {
+            StartError::Io(io) => err(format!(
+                "cannot open disk cache {}: {io}",
                 disk.as_deref()
                     .unwrap_or(std::path::Path::new("?"))
                     .display()
-            ))
+            )),
+            config => err(config.to_string()),
         })
     };
     match (opts.get("http"), opts.flag("jsonl")) {
@@ -444,8 +526,8 @@ fn cmd_serve(opts: &Opts, out: &mut String) -> Result<(), CliError> {
             // stdout carries only the response stream; the summary goes to
             // stderr so pipe consumers never see a non-JSON trailer.
             eprintln!(
-                "served {} requests ({} errors, {} cache hits)",
-                summary.requests, summary.errors, summary.cache_hits
+                "served {} requests ({} errors of which {} timeouts, {} cache hits)",
+                summary.requests, summary.errors, summary.timeouts, summary.cache_hits
             );
             Ok(())
         }
@@ -626,6 +708,59 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.0.contains("cannot open disk cache"), "{e}");
+        let e = run(&sv(&["serve", "--jsonl", "--cache", "0"]), &mut out).unwrap_err();
+        assert!(e.0.contains("at least 1"), "{e}");
+        let e = run(
+            &sv(&["serve", "--jsonl", "--request-timeout", "soon"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("milliseconds"), "{e}");
+        // A zero timeout parses at the CLI but is rejected by the service's
+        // typed config validation — the message must surface verbatim.
+        let e = run(
+            &sv(&["serve", "--jsonl", "--request-timeout", "0"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("invalid service config"), "{e}");
+        let e = run(&sv(&["serve", "--jsonl", "--fsync", "sometimes"]), &mut out).unwrap_err();
+        assert!(e.0.contains("never, always"), "{e}");
+        let e = run(&sv(&["serve", "--jsonl", "--fsync", "0"]), &mut out).unwrap_err();
+        assert!(e.0.contains("at least 1"), "{e}");
+        let e = run(
+            &sv(&["serve", "--jsonl", "--fault", "warp-core:breach=1"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("--fault warp-core:breach=1"), "{e}");
+    }
+
+    #[test]
+    fn get_all_collects_repeated_options() {
+        let o = parse_args(&sv(&[
+            "--fault",
+            "solver-panic:count=1",
+            "--fault",
+            "disk-append:count=3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            o.get_all("fault"),
+            vec!["solver-panic:count=1", "disk-append:count=3"]
+        );
+        assert!(o.get_all("fsync").is_empty());
+    }
+
+    #[test]
+    fn fsync_option_parses_all_forms() {
+        use batsched_service::FsyncPolicy;
+        let policy = |args: &[&str]| fsync_policy(&parse_args(&sv(args)).unwrap());
+        assert_eq!(policy(&[]).unwrap(), FsyncPolicy::default());
+        assert_eq!(policy(&["--fsync", "never"]).unwrap(), FsyncPolicy::Never);
+        assert_eq!(policy(&["--fsync", "always"]).unwrap(), FsyncPolicy::Always);
+        assert_eq!(policy(&["--fsync", "16"]).unwrap(), FsyncPolicy::EveryN(16));
+        assert!(policy(&["--fsync", "0"]).is_err());
     }
 
     #[test]

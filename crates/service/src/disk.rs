@@ -15,11 +15,34 @@
 //! already present is never re-appended — the file grows with *distinct*
 //! requests, not with traffic.
 
+use crate::faults::{FaultPlane, FaultSite};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+
+/// When appended records are fsynced to stable storage. Flushing (which
+/// every `put` does) hands the bytes to the OS; only an fsync survives a
+/// power loss. `Always` pays one `fdatasync` per new record, `EveryN`
+/// amortises it, `Never` trusts the OS page cache (the pre-existing
+/// behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync on `put`; an OS crash can lose every record since boot.
+    Never,
+    /// Fsync after every `n` appended records (must be ≥ 1).
+    EveryN(u32),
+    /// Fsync after each appended record.
+    Always,
+}
+
+impl Default for FsyncPolicy {
+    /// Fsync every 8 records: bounded loss without a per-record fsync.
+    fn default() -> Self {
+        FsyncPolicy::EveryN(8)
+    }
+}
 
 /// One persisted cache record (a single JSONL line).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,31 +72,55 @@ pub struct DiskTier {
     index: HashMap<u64, Span>,
     /// Where the next append lands (== current file length).
     end: u64,
+    /// When appended records are fsynced.
+    fsync: FsyncPolicy,
+    /// Appends since the last fsync (drives [`FsyncPolicy::EveryN`]).
+    unsynced: u32,
+    /// Injection probes for chaos tests; disarmed in production.
+    faults: FaultPlane,
 }
 
 impl DiskTier {
     /// Opens (creating if absent) the cache file at `path` and indexes its
-    /// records. Malformed or truncated lines are skipped, not fatal — a
-    /// crash mid-append must not brick the tier.
+    /// records, with the default fsync policy and a disarmed fault plane.
+    /// Malformed or truncated lines are skipped, not fatal — a crash
+    /// mid-append must not brick the tier.
     ///
     /// # Errors
     ///
     /// Propagates file-system failures (unreachable path, permissions).
     pub fn open(path: impl Into<PathBuf>) -> io::Result<DiskTier> {
+        Self::open_with(path, FsyncPolicy::default(), FaultPlane::disarmed())
+    }
+
+    /// Opens the tier with an explicit fsync policy and fault plane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures (unreachable path, permissions).
+    pub fn open_with(
+        path: impl Into<PathBuf>,
+        fsync: FsyncPolicy,
+        faults: FaultPlane,
+    ) -> io::Result<DiskTier> {
         let path = path.into();
         let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
         let mut reader = File::open(&path)?;
         let (index, mut end) = index_file(&path)?;
         // Repair a torn tail (crash mid-append): terminate it with a
         // newline so the next append starts a fresh line instead of
-        // concatenating onto the dead bytes.
+        // concatenating onto the dead bytes. The repair is fsynced
+        // unconditionally — it happens once per boot and losing it would
+        // re-tear the tail on the next crash.
         if end > 0 {
             let mut last = [0u8; 1];
             reader.seek(SeekFrom::Start(end - 1))?;
             reader.read_exact(&mut last)?;
             if last[0] != b'\n' {
+                faults.disk_gate(FaultSite::DiskWrite, "torn-tail-repair")?;
                 file.write_all(b"\n")?;
                 file.flush()?;
+                file.sync_data()?;
                 end += 1;
             }
         }
@@ -83,6 +130,9 @@ impl DiskTier {
             reader,
             index,
             end,
+            fsync,
+            unsynced: 0,
+            faults,
         })
     }
 
@@ -103,14 +153,24 @@ impl DiskTier {
 
     /// Reads the body stored for `key`, if any. A record that no longer
     /// parses (torn by an unclean shutdown mid-compaction) is dropped from
-    /// the index and reported as a miss.
-    pub fn get(&mut self, key: u64) -> Option<String> {
-        let span = *self.index.get(&key)?;
-        match self.read_span(span) {
-            Some(rec) if rec.key == key_hex(key) => Some(rec.body),
+    /// the index and reported as a miss — only real I/O failures are
+    /// errors, so the caller's breaker can tell "the disk is sick" apart
+    /// from "we never stored that".
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures (and injected [`FaultSite::DiskRead`]
+    /// faults).
+    pub fn get(&mut self, key: u64) -> io::Result<Option<String>> {
+        let Some(span) = self.index.get(&key).copied() else {
+            return Ok(None);
+        };
+        self.faults.disk_gate(FaultSite::DiskRead, &key_hex(key))?;
+        match self.read_span(span)? {
+            Some(rec) if rec.key == key_hex(key) => Ok(Some(rec.body)),
             _ => {
                 self.index.remove(&key);
-                None
+                Ok(None)
             }
         }
     }
@@ -121,15 +181,28 @@ impl DiskTier {
     ///
     /// # Errors
     ///
-    /// Propagates write failures; the index is only updated after the
-    /// record is flushed.
+    /// Propagates write failures (and injected [`FaultSite::DiskAppend`]
+    /// faults); the index is only updated after the record is flushed.
     pub fn put(&mut self, key: u64, body: &str) -> io::Result<()> {
         if self.index.contains_key(&key) {
             return Ok(());
         }
+        self.faults
+            .disk_gate(FaultSite::DiskAppend, &key_hex(key))?;
         let line = render_record(key, body);
         self.writer.write_all(line.as_bytes())?;
         self.writer.flush()?;
+        match self.fsync {
+            FsyncPolicy::Never => {}
+            FsyncPolicy::Always => self.writer.get_ref().sync_data()?,
+            FsyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.writer.get_ref().sync_data()?;
+                    self.unsynced = 0;
+                }
+            }
+        }
         self.index.insert(
             key,
             Span {
@@ -150,6 +223,7 @@ impl DiskTier {
     ///
     /// Propagates I/O failures; on error the original file is untouched.
     pub fn compact(&mut self) -> io::Result<()> {
+        self.faults.disk_gate(FaultSite::DiskWrite, "compact")?;
         self.writer.flush()?;
         let tmp_path = self.path.with_extension("compact-tmp");
         let mut new_index = HashMap::with_capacity(self.index.len());
@@ -160,7 +234,7 @@ impl DiskTier {
             keys.sort_unstable(); // deterministic file layout
             for key in keys {
                 let span = self.index[&key];
-                let Some(rec) = self.read_span(span) else {
+                let Some(rec) = self.read_span(span)? else {
                     continue; // torn record: drop it
                 };
                 if rec.key != key_hex(key) {
@@ -189,15 +263,28 @@ impl DiskTier {
         self.reader = File::open(&self.path)?;
         self.index = new_index;
         self.end = offset;
+        self.unsynced = 0;
         Ok(())
     }
 
-    fn read_span(&mut self, span: Span) -> Option<DiskRecord> {
-        self.reader.seek(SeekFrom::Start(span.offset)).ok()?;
+    /// Reads one record line. I/O failures are errors; a line that no
+    /// longer parses is `Ok(None)` (stale index entry, not a sick disk).
+    fn read_span(&mut self, span: Span) -> io::Result<Option<DiskRecord>> {
+        self.reader.seek(SeekFrom::Start(span.offset))?;
         let mut raw = vec![0u8; span.len as usize];
-        self.reader.read_exact(&mut raw).ok()?;
-        let line = std::str::from_utf8(&raw).ok()?;
-        serde_json::from_str(line.trim_end()).ok()
+        if let Err(e) = self.reader.read_exact(&mut raw) {
+            // A span past EOF means the file shrank under us (external
+            // truncation / torn compaction): a stale entry, not a sick disk.
+            return if e.kind() == io::ErrorKind::UnexpectedEof {
+                Ok(None)
+            } else {
+                Err(e)
+            };
+        }
+        let Ok(line) = std::str::from_utf8(&raw) else {
+            return Ok(None);
+        };
+        Ok(serde_json::from_str(line.trim_end()).ok())
     }
 }
 
@@ -275,14 +362,20 @@ mod tests {
         t.put(1, "{\"answer\":42}").unwrap();
         t.put(2, "two\nlines \"quoted\" é").unwrap();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.get(1).as_deref(), Some("{\"answer\":42}"));
-        assert_eq!(t.get(2).as_deref(), Some("two\nlines \"quoted\" é"));
-        assert_eq!(t.get(3), None);
+        assert_eq!(t.get(1).unwrap().as_deref(), Some("{\"answer\":42}"));
+        assert_eq!(
+            t.get(2).unwrap().as_deref(),
+            Some("two\nlines \"quoted\" é")
+        );
+        assert_eq!(t.get(3).unwrap(), None);
         drop(t);
 
         let mut t = DiskTier::open(&path).unwrap();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.get(2).as_deref(), Some("two\nlines \"quoted\" é"));
+        assert_eq!(
+            t.get(2).unwrap().as_deref(),
+            Some("two\nlines \"quoted\" é")
+        );
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -294,7 +387,7 @@ mod tests {
         let len_before = std::fs::metadata(&path).unwrap().len();
         t.put(7, "second").unwrap();
         assert_eq!(std::fs::metadata(&path).unwrap().len(), len_before);
-        assert_eq!(t.get(7).as_deref(), Some("first"));
+        assert_eq!(t.get(7).unwrap().as_deref(), Some("first"));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -312,14 +405,14 @@ mod tests {
         }
         let mut t = DiskTier::open(&path).unwrap();
         assert_eq!(t.len(), 2, "torn line ignored");
-        assert_eq!(t.get(1).as_deref(), Some("one"));
+        assert_eq!(t.get(1).unwrap().as_deref(), Some("one"));
         // New appends land after the torn bytes and still read back.
         t.put(3, "three").unwrap();
-        assert_eq!(t.get(3).as_deref(), Some("three"));
+        assert_eq!(t.get(3).unwrap().as_deref(), Some("three"));
         drop(t);
         let mut t = DiskTier::open(&path).unwrap();
         assert_eq!(t.len(), 3);
-        assert_eq!(t.get(3).as_deref(), Some("three"));
+        assert_eq!(t.get(3).unwrap().as_deref(), Some("three"));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -337,15 +430,18 @@ mod tests {
         t.compact().unwrap();
         assert_eq!(t.len(), 8);
         for k in 0..8u64 {
-            assert_eq!(t.get(k).as_deref(), Some(format!("body-{k}").as_str()));
+            assert_eq!(
+                t.get(k).unwrap().as_deref(),
+                Some(format!("body-{k}").as_str())
+            );
         }
         // Appending after compaction still works and reloads.
         t.put(99, "after").unwrap();
         drop(t);
         let mut t = DiskTier::open(&path).unwrap();
         assert_eq!(t.len(), 9);
-        assert_eq!(t.get(99).as_deref(), Some("after"));
-        assert_eq!(t.get(0).as_deref(), Some("body-0"));
+        assert_eq!(t.get(99).unwrap().as_deref(), Some("after"));
+        assert_eq!(t.get(0).unwrap().as_deref(), Some("body-0"));
         std::fs::remove_file(&path).unwrap();
     }
 }

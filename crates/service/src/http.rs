@@ -271,6 +271,7 @@ fn serve_one(
                 Disposition::Ok { .. } => (200, "OK"),
                 Disposition::ClientError => (400, "Bad Request"),
                 Disposition::Overloaded => (503, "Service Unavailable"),
+                Disposition::Timeout => (504, "Gateway Timeout"),
                 Disposition::Internal => (500, "Internal Server Error"),
             };
             let x_cache = match reply.disposition {

@@ -10,8 +10,12 @@ use std::io::{self, BufRead, Write};
 pub struct JsonlSummary {
     /// Lines answered (blank lines are skipped, not counted).
     pub requests: u64,
-    /// Answers that were typed errors (client, overload or internal).
+    /// Answers that were typed errors (client, overload, timeout or
+    /// internal).
     pub errors: u64,
+    /// Errors that were deadline expiries specifically (also counted in
+    /// `errors`).
+    pub timeouts: u64,
     /// Answers served from the result cache.
     pub cache_hits: u64,
 }
@@ -39,6 +43,10 @@ pub fn run_jsonl<R: BufRead, W: Write>(
         summary.requests += 1;
         match reply.disposition {
             Disposition::Ok { cached } => summary.cache_hits += u64::from(cached),
+            Disposition::Timeout => {
+                summary.errors += 1;
+                summary.timeouts += 1;
+            }
             _ => summary.errors += 1,
         }
         output.write_all(reply.body.as_bytes())?;

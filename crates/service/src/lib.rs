@@ -21,7 +21,15 @@
 //!   end, plus stats counters and graceful shutdown;
 //! * [`jsonl`] — the stdio/pipe frontend (one document per line);
 //! * [`http`] — a dependency-free HTTP/1.1 frontend on `std::net` with
-//!   keep-alive connections and strict request framing.
+//!   keep-alive connections and strict request framing;
+//! * [`faults`] — the fault-injection plane chaos tests arm to drive the
+//!   failure paths (worker panics, slow solves, disk errors) on purpose.
+//!
+//! The service is built to fail partially, never totally: a panicking
+//! solve answers a typed `internal` error and the worker is respawned, a
+//! configured request deadline answers `timeout` instead of hanging a
+//! connection, and a sick disk tier trips a breaker (degraded mode:
+//! memory + cold solves) that periodically re-probes until it heals.
 //!
 //! Backpressure is explicit: the queue is bounded and a full queue answers
 //! `overloaded` immediately rather than queueing without limit.
@@ -44,16 +52,20 @@
 
 pub mod cache;
 pub mod disk;
+pub mod faults;
 pub mod http;
 pub mod jsonl;
 pub mod service;
 pub mod wire;
 
 pub use cache::{LruCache, ShardedCache};
-pub use disk::DiskTier;
+pub use disk::{DiskTier, FsyncPolicy};
+pub use faults::{FaultPlane, FaultRule, FaultSite};
 pub use http::HttpServer;
 pub use jsonl::{run_jsonl, JsonlSummary};
-pub use service::{solve, Disposition, Reply, Service, ServiceConfig, StatsSnapshot};
+pub use service::{
+    solve, ConfigError, Disposition, Reply, Service, ServiceConfig, StartError, StatsSnapshot,
+};
 pub use wire::{
     parse_request, ErrorResponse, ModelSpec, ScheduleRequest, ScheduleResponse, WireError,
     WIRE_VERSION,
@@ -61,9 +73,11 @@ pub use wire::{
 
 /// Convenient glob-import of the types almost every embedder needs.
 pub mod prelude {
+    pub use crate::disk::FsyncPolicy;
+    pub use crate::faults::{FaultPlane, FaultRule, FaultSite};
     pub use crate::http::HttpServer;
     pub use crate::jsonl::run_jsonl;
-    pub use crate::service::{Disposition, Reply, Service, ServiceConfig};
+    pub use crate::service::{Disposition, Reply, Service, ServiceConfig, StartError};
     pub use crate::wire::{
         parse_request, ErrorResponse, ModelSpec, ScheduleRequest, ScheduleResponse,
     };

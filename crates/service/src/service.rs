@@ -8,35 +8,66 @@
 //! instead of an unbounded pile-up. Shutdown is graceful: queued jobs are
 //! drained, workers exit, and the disk tier is compacted so the next boot
 //! loads a dense file.
+//!
+//! Failure is a first-class citizen:
+//!
+//! * a panicking solve is caught ([`std::panic::catch_unwind`]), answered
+//!   with a typed `internal` error, and the worker is respawned by a
+//!   supervisor thread so the pool never shrinks;
+//! * [`ServiceConfig::request_timeout`] bounds queue-to-reply latency —
+//!   an expired request answers a typed `timeout` error instead of
+//!   holding its connection, and workers shed jobs that expired while
+//!   queued without wasting a solve on them;
+//! * disk-tier I/O errors feed a circuit breaker: after
+//!   [`ServiceConfig::disk_breaker_threshold`] consecutive errors the
+//!   tier is bypassed (`disk_degraded` in stats) and re-probed every
+//!   [`ServiceConfig::disk_probe_interval`] until it heals. A disk
+//!   failure never fails a request that can be answered from memory or a
+//!   cold solve.
 
 use crate::cache::ShardedCache;
-use crate::disk::DiskTier;
+use crate::disk::{DiskTier, FsyncPolicy};
+use crate::faults::FaultPlane;
 use crate::wire::{self, ErrorResponse, ScheduleRequest, ScheduleResponse, WIRE_VERSION};
 use batsched_battery::units::{MilliAmpMinutes, Minutes};
 use batsched_core::{schedule_in, SolverWorkspace};
 use serde::Serialize;
+use std::fmt;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Sizing knobs for a [`Service`].
+/// Sizing and robustness knobs for a [`Service`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
-    /// Worker threads solving requests.
+    /// Worker threads solving requests (must be ≥ 1).
     pub workers: usize,
-    /// Bounded queue depth; submissions beyond it are rejected.
+    /// Bounded queue depth; submissions beyond it are rejected (≥ 1).
     pub queue_capacity: usize,
-    /// Aggregate result-cache entries across shards (0 disables caching).
+    /// Aggregate result-cache entries across shards (≥ 1).
     pub cache_capacity: usize,
-    /// Independently locked cache shards (rounded up to a power of two).
+    /// Independently locked cache shards (rounded up to a power of two,
+    /// must be ≥ 1).
     pub cache_shards: usize,
     /// Append-only JSONL file backing the disk cache tier; `None` keeps
     /// the cache memory-only (cold after every restart).
     pub disk_path: Option<PathBuf>,
+    /// Queue-to-reply deadline; an expired request answers a typed
+    /// `timeout` error. `None` (the default) never expires requests.
+    pub request_timeout: Option<Duration>,
+    /// When disk-tier appends are fsynced.
+    pub fsync_policy: FsyncPolicy,
+    /// Consecutive disk-tier I/O errors that trip the degraded-mode
+    /// breaker (must be ≥ 1).
+    pub disk_breaker_threshold: u32,
+    /// How often a tripped breaker lets one probe operation through to
+    /// test whether the disk healed (must be non-zero).
+    pub disk_probe_interval: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -47,7 +78,92 @@ impl Default for ServiceConfig {
             cache_capacity: 256,
             cache_shards: 8,
             disk_path: None,
+            request_timeout: None,
+            fsync_policy: FsyncPolicy::default(),
+            disk_breaker_threshold: 3,
+            disk_probe_interval: Duration::from_secs(2),
         }
+    }
+}
+
+/// A [`ServiceConfig`] that cannot produce a working service, rejected by
+/// [`Service::try_start`] before any thread or file is touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0`: nothing would ever answer.
+    ZeroWorkers,
+    /// `queue_capacity == 0`: every submission would be rejected.
+    ZeroQueueCapacity,
+    /// `cache_capacity == 0`: the result cache cannot hold a single entry.
+    ZeroCacheCapacity,
+    /// `cache_shards == 0`: the cache cannot be sharded zero ways.
+    ZeroCacheShards,
+    /// `request_timeout == Some(0)`: every request would expire on arrival.
+    ZeroRequestTimeout,
+    /// `fsync_policy == EveryN(0)`: the fsync cadence is meaningless.
+    ZeroFsyncInterval,
+    /// `disk_breaker_threshold == 0`: the breaker would trip before the
+    /// first error.
+    ZeroBreakerThreshold,
+    /// `disk_probe_interval == 0`: a tripped breaker would never throttle.
+    ZeroProbeInterval,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            ConfigError::ZeroWorkers => "workers must be >= 1",
+            ConfigError::ZeroQueueCapacity => "queue_capacity must be >= 1",
+            ConfigError::ZeroCacheCapacity => "cache_capacity must be >= 1",
+            ConfigError::ZeroCacheShards => "cache_shards must be >= 1",
+            ConfigError::ZeroRequestTimeout => "request_timeout must be > 0 when set",
+            ConfigError::ZeroFsyncInterval => "fsync_policy every-N interval must be >= 1",
+            ConfigError::ZeroBreakerThreshold => "disk_breaker_threshold must be >= 1",
+            ConfigError::ZeroProbeInterval => "disk_probe_interval must be > 0",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Why [`Service::try_start`] failed: a rejected configuration or a
+/// file-system error opening the disk tier.
+#[derive(Debug)]
+pub enum StartError {
+    /// The configuration was rejected before anything was started.
+    Config(ConfigError),
+    /// The disk cache tier could not be opened.
+    Io(io::Error),
+}
+
+impl fmt::Display for StartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartError::Config(e) => write!(f, "invalid service config: {e}"),
+            StartError::Io(e) => write!(f, "cannot open disk cache tier: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StartError::Config(e) => Some(e),
+            StartError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for StartError {
+    fn from(e: ConfigError) -> Self {
+        StartError::Config(e)
+    }
+}
+
+impl From<io::Error> for StartError {
+    fn from(e: io::Error) -> Self {
+        StartError::Io(e)
     }
 }
 
@@ -66,8 +182,11 @@ pub enum Disposition {
     ClientError,
     /// The queue was full; the request was never enqueued.
     Overloaded,
+    /// The request exceeded [`ServiceConfig::request_timeout`] before an
+    /// answer was produced; it may be retried.
+    Timeout,
     /// The service failed internally (search invariant violation, worker
-    /// gone); the request may be retried.
+    /// panic); the request may be retried.
     Internal,
 }
 
@@ -98,15 +217,98 @@ struct Counters {
     client_errors: AtomicU64,
     internal_errors: AtomicU64,
     rejected: AtomicU64,
+    timeouts: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    disk_errors: AtomicU64,
+    disk_breaker_trips: AtomicU64,
+    disk_rearms: AtomicU64,
     solve_nanos: AtomicU64,
     hit_nanos: AtomicU64,
     disk_hit_nanos: AtomicU64,
+}
+
+/// Consecutive-error circuit breaker guarding the disk tier. Closed: every
+/// operation is allowed. After `threshold` consecutive errors it opens:
+/// operations are skipped (the service answers from memory and cold
+/// solves) except one probe per `probe_interval`; a successful probe
+/// closes it again.
+struct Breaker {
+    threshold: u32,
+    probe_interval: Duration,
+    state: Mutex<BreakerState>,
+    /// Mirrors "open" for lock-free stats reads.
+    degraded: AtomicBool,
+}
+
+#[derive(Default)]
+struct BreakerState {
+    consecutive: u32,
+    open_since: Option<Instant>,
+}
+
+impl Breaker {
+    fn new(threshold: u32, probe_interval: Duration) -> Self {
+        Self {
+            threshold,
+            probe_interval,
+            state: Mutex::new(BreakerState::default()),
+            degraded: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the next disk operation may run. While open, returns `true`
+    /// once per probe interval (and restarts the interval, so concurrent
+    /// callers get exactly one probe).
+    fn allow(&self) -> bool {
+        let mut s = self.state.lock().expect("breaker lock");
+        match s.open_since {
+            None => true,
+            Some(opened) if opened.elapsed() >= self.probe_interval => {
+                s.open_since = Some(Instant::now());
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Records a successful disk operation: resets the error run and, if
+    /// the breaker was open, re-arms the tier.
+    fn record_ok(&self, c: &Counters) {
+        let mut s = self.state.lock().expect("breaker lock");
+        s.consecutive = 0;
+        if s.open_since.take().is_some() {
+            self.degraded.store(false, Ordering::Relaxed);
+            c.disk_rearms.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a failed disk operation; trips the breaker on the
+    /// `threshold`-th consecutive error.
+    fn record_err(&self, c: &Counters) {
+        c.disk_errors.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.state.lock().expect("breaker lock");
+        s.consecutive = s.consecutive.saturating_add(1);
+        if s.open_since.is_none() && s.consecutive >= self.threshold {
+            s.open_since = Some(Instant::now());
+            self.degraded.store(true, Ordering::Relaxed);
+            c.disk_breaker_trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
 }
 
 struct Shared {
     cache: ShardedCache,
     disk: Option<Mutex<DiskTier>>,
     counters: Counters,
+    breaker: Breaker,
+    faults: FaultPlane,
+    request_timeout: Option<Duration>,
+    shutting_down: AtomicBool,
 }
 
 /// Point-in-time statistics, served by the `stats` endpoint.
@@ -128,6 +330,8 @@ pub struct StatsSnapshot {
     pub shard_occupancy: Vec<usize>,
     /// `true` when a disk tier is configured.
     pub disk_enabled: bool,
+    /// `true` while the disk-tier breaker is open (tier bypassed).
+    pub disk_degraded: bool,
     /// Distinct keys persisted on the disk tier (0 without one).
     pub disk_entries: usize,
     /// Requests accepted into the queue.
@@ -142,10 +346,22 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Requests rejected as the caller's fault.
     pub client_errors: u64,
-    /// Internal failures.
+    /// Internal failures (including caught worker panics).
     pub internal_errors: u64,
     /// Requests refused because the queue was full.
     pub rejected: u64,
+    /// Requests that exceeded the configured deadline.
+    pub timeouts: u64,
+    /// Solver panics caught and answered as typed errors.
+    pub worker_panics: u64,
+    /// Workers respawned after a panic (pool back at full strength).
+    pub worker_respawns: u64,
+    /// Disk-tier I/O errors observed (reads and writes).
+    pub disk_errors: u64,
+    /// Times the disk breaker tripped into degraded mode.
+    pub disk_breaker_trips: u64,
+    /// Times a probe re-armed the disk tier.
+    pub disk_rearms: u64,
     /// Mean cold-solve latency (µs) including parse and serialisation.
     pub solve_mean_us: f64,
     /// Mean memory-tier cache-hit latency (µs).
@@ -159,8 +375,85 @@ pub struct StatsSnapshot {
 pub struct Service {
     cfg: ServiceConfig,
     tx: Mutex<Option<SyncSender<Job>>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
     shared: Arc<Shared>,
+}
+
+/// One lifecycle event per worker thread, delivered to the supervisor.
+enum WorkerEvent {
+    /// The worker drained the queue and exited (graceful shutdown).
+    Clean,
+    /// The worker died after catching a solver panic (or panicked
+    /// unexpectedly); its workspace is suspect and it must be replaced.
+    Panicked,
+}
+
+/// Guarantees the supervisor hears about every worker exit, even one the
+/// worker's own code never anticipated: the event is sent from `Drop`, so
+/// an unwinding thread still reports in.
+struct ExitGuard {
+    events: Sender<WorkerEvent>,
+    clean: bool,
+}
+
+impl Drop for ExitGuard {
+    fn drop(&mut self) {
+        let event = if self.clean {
+            WorkerEvent::Clean
+        } else {
+            WorkerEvent::Panicked
+        };
+        let _ = self.events.send(event);
+    }
+}
+
+fn validate(cfg: &ServiceConfig) -> Result<(), ConfigError> {
+    if cfg.workers == 0 {
+        return Err(ConfigError::ZeroWorkers);
+    }
+    if cfg.queue_capacity == 0 {
+        return Err(ConfigError::ZeroQueueCapacity);
+    }
+    if cfg.cache_capacity == 0 {
+        return Err(ConfigError::ZeroCacheCapacity);
+    }
+    if cfg.cache_shards == 0 {
+        return Err(ConfigError::ZeroCacheShards);
+    }
+    if cfg.request_timeout == Some(Duration::ZERO) {
+        return Err(ConfigError::ZeroRequestTimeout);
+    }
+    if cfg.fsync_policy == FsyncPolicy::EveryN(0) {
+        return Err(ConfigError::ZeroFsyncInterval);
+    }
+    if cfg.disk_breaker_threshold == 0 {
+        return Err(ConfigError::ZeroBreakerThreshold);
+    }
+    if cfg.disk_probe_interval == Duration::ZERO {
+        return Err(ConfigError::ZeroProbeInterval);
+    }
+    Ok(())
+}
+
+fn spawn_worker(
+    id: usize,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    shared: &Arc<Shared>,
+    events: &Sender<WorkerEvent>,
+) -> JoinHandle<()> {
+    let rx = Arc::clone(rx);
+    let shared = Arc::clone(shared);
+    let events = events.clone();
+    std::thread::Builder::new()
+        .name(format!("batsched-worker-{id}"))
+        .spawn(move || {
+            let mut guard = ExitGuard {
+                events,
+                clean: false,
+            };
+            guard.clean = worker_loop(&rx, &shared);
+        })
+        .expect("spawning a worker thread")
 }
 
 impl Service {
@@ -168,45 +461,102 @@ impl Service {
     ///
     /// # Panics
     ///
-    /// When a configured disk tier cannot be opened; use
-    /// [`Service::try_start`] to handle that as an error.
+    /// On an invalid configuration or an unopenable disk tier; use
+    /// [`Service::try_start`] to handle those as errors.
     pub fn start(cfg: ServiceConfig) -> Self {
-        Self::try_start(cfg).expect("opening the disk cache tier")
+        Self::try_start(cfg).expect("starting the service")
     }
 
-    /// Spawns the worker pool, opening (and indexing) the disk cache tier
-    /// when one is configured.
+    /// Validates the configuration, then spawns the worker pool (plus its
+    /// supervisor), opening and indexing the disk cache tier when one is
+    /// configured.
     ///
     /// # Errors
     ///
-    /// File-system failures opening `cfg.disk_path`.
-    pub fn try_start(cfg: ServiceConfig) -> io::Result<Self> {
-        let workers = cfg.workers.max(1);
-        let (tx, rx) = sync_channel::<Job>(cfg.queue_capacity.max(1));
+    /// [`StartError::Config`] for a configuration that cannot work;
+    /// [`StartError::Io`] for file-system failures opening
+    /// `cfg.disk_path`.
+    pub fn try_start(cfg: ServiceConfig) -> Result<Self, StartError> {
+        Self::try_start_with_faults(cfg, FaultPlane::disarmed())
+    }
+
+    /// [`Service::try_start`] with an armed fault-injection plane; the
+    /// plane is shared with the disk tier and the worker pool. Production
+    /// paths pass [`FaultPlane::disarmed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::try_start`].
+    pub fn try_start_with_faults(
+        cfg: ServiceConfig,
+        faults: FaultPlane,
+    ) -> Result<Self, StartError> {
+        validate(&cfg)?;
+        let (tx, rx) = sync_channel::<Job>(cfg.queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
         let disk = match &cfg.disk_path {
             None => None,
-            Some(path) => Some(Mutex::new(DiskTier::open(path)?)),
+            Some(path) => Some(Mutex::new(DiskTier::open_with(
+                path,
+                cfg.fsync_policy,
+                faults.clone(),
+            )?)),
         };
         let shared = Arc::new(Shared {
             cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
             disk,
             counters: Counters::default(),
+            breaker: Breaker::new(cfg.disk_breaker_threshold, cfg.disk_probe_interval),
+            faults,
+            request_timeout: cfg.request_timeout,
+            shutting_down: AtomicBool::new(false),
         });
-        let handles = (0..workers)
-            .map(|k| {
-                let rx = Arc::clone(&rx);
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("batsched-worker-{k}"))
-                    .spawn(move || worker_loop(&rx, &shared))
-                    .expect("spawning a worker thread")
-            })
+        let (ev_tx, ev_rx) = std::sync::mpsc::channel::<WorkerEvent>();
+        let workers = cfg.workers;
+        let mut handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|k| spawn_worker(k, &rx, &shared, &ev_tx))
             .collect();
+        // The supervisor owns the worker handles and the spawn loop: a
+        // panicked worker is replaced (fresh thread, fresh workspace)
+        // unless the service is shutting down. It keeps its own event
+        // sender clone, so the loop terminates on the live count, not on
+        // channel closure.
+        let supervisor = {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("batsched-supervisor".into())
+                .spawn(move || {
+                    let mut live = workers;
+                    let mut next_id = workers;
+                    while live > 0 {
+                        match ev_rx.recv() {
+                            Ok(WorkerEvent::Clean) => live -= 1,
+                            Ok(WorkerEvent::Panicked) => {
+                                if shared.shutting_down.load(Ordering::SeqCst) {
+                                    live -= 1;
+                                } else {
+                                    shared
+                                        .counters
+                                        .worker_respawns
+                                        .fetch_add(1, Ordering::Relaxed);
+                                    handles.push(spawn_worker(next_id, &rx, &shared, &ev_tx));
+                                    next_id += 1;
+                                }
+                            }
+                            Err(_) => break, // unreachable: we hold ev_tx
+                        }
+                    }
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                })
+                .expect("spawning the supervisor thread")
+        };
         Ok(Self {
             cfg,
             tx: Mutex::new(Some(tx)),
-            workers: Mutex::new(handles),
+            supervisor: Mutex::new(Some(supervisor)),
             shared,
         })
     }
@@ -255,17 +605,43 @@ impl Service {
         }
     }
 
-    /// Blocking convenience: submit and wait for the answer.
+    /// Blocking convenience: submit and wait for the answer. With a
+    /// configured [`ServiceConfig::request_timeout`] the wait is bounded —
+    /// an expired request answers a typed `timeout` error (the worker's
+    /// late reply, if any, is discarded). A worker that dies without
+    /// answering yields a typed `internal` error, never a hang.
     pub fn call(&self, body: String) -> Reply {
-        match self.submit(body) {
-            Ok(rx) => rx.recv().unwrap_or_else(|_| Reply {
-                body: ErrorResponse::new("internal", "worker terminated before answering")
-                    .to_json(),
-                disposition: Disposition::Internal,
-                micros: 0,
-            }),
-            Err(reply) => *reply,
-        }
+        let started = Instant::now();
+        let rx = match self.submit(body) {
+            Ok(rx) => rx,
+            Err(reply) => return *reply,
+        };
+        let received = match self.cfg.request_timeout {
+            None => rx.recv().ok(),
+            Some(budget) => {
+                let remaining = budget.saturating_sub(started.elapsed());
+                match rx.recv_timeout(remaining) {
+                    Ok(reply) => Some(reply),
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        self.shared
+                            .counters
+                            .timeouts
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Reply {
+                            body: ErrorResponse::timeout(budget).to_json(),
+                            disposition: Disposition::Timeout,
+                            micros: started.elapsed().as_micros() as u64,
+                        };
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => None,
+                }
+            }
+        };
+        received.unwrap_or_else(|| Reply {
+            body: ErrorResponse::new("internal", "worker terminated before answering").to_json(),
+            disposition: Disposition::Internal,
+            micros: started.elapsed().as_micros() as u64,
+        })
     }
 
     /// A consistent-enough point-in-time statistics snapshot.
@@ -290,13 +666,14 @@ impl Service {
         let disk_hits = load(&c.disk_hits);
         StatsSnapshot {
             v: WIRE_VERSION,
-            workers: self.cfg.workers.max(1),
-            queue_capacity: self.cfg.queue_capacity.max(1),
+            workers: self.cfg.workers,
+            queue_capacity: self.cfg.queue_capacity,
             cache_capacity: self.shared.cache.capacity(),
             cache_len: shard_occupancy.iter().sum(),
             cache_shards: self.shared.cache.shard_count(),
             shard_occupancy,
             disk_enabled: self.shared.disk.is_some(),
+            disk_degraded: self.shared.breaker.is_open(),
             disk_entries,
             received: load(&c.received),
             solved,
@@ -306,6 +683,12 @@ impl Service {
             client_errors: load(&c.client_errors),
             internal_errors: load(&c.internal_errors),
             rejected: load(&c.rejected),
+            timeouts: load(&c.timeouts),
+            worker_panics: load(&c.worker_panics),
+            worker_respawns: load(&c.worker_respawns),
+            disk_errors: load(&c.disk_errors),
+            disk_breaker_trips: load(&c.disk_breaker_trips),
+            disk_rearms: load(&c.disk_rearms),
             solve_mean_us: mean_us(load(&c.solve_nanos), solved),
             hit_mean_us: mean_us(load(&c.hit_nanos), hits),
             disk_hit_mean_us: mean_us(load(&c.disk_hit_nanos), disk_hits),
@@ -318,16 +701,19 @@ impl Service {
     }
 
     /// Graceful shutdown: stop accepting, drain the queue, join the
-    /// workers, compact the disk tier. Idempotent; safe to call from any
-    /// thread holding the service (frontends call it through their `Arc`).
+    /// workers (via the supervisor), compact the disk tier. Idempotent;
+    /// safe to call from any thread holding the service (frontends call it
+    /// through their `Arc`).
     pub fn shutdown(&self) {
+        // The flag first: a worker panicking mid-drain must not be
+        // respawned into a closing pool.
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
         // Dropping the sender closes the channel; workers exit after
         // draining whatever was already queued.
         *self.tx.lock().expect("service sender lock") = None;
-        let handles: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.workers.lock().expect("worker handles lock"));
-        let draining = !handles.is_empty();
-        for h in handles {
+        let supervisor = self.supervisor.lock().expect("supervisor lock").take();
+        let draining = supervisor.is_some();
+        if let Some(h) = supervisor {
             let _ = h.join();
         }
         // Compact once, on the call that actually drained the workers; a
@@ -348,7 +734,20 @@ impl Drop for Service {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+/// Runs one worker to completion. Returns `true` on a clean exit (queue
+/// drained for shutdown) and `false` when a caught panic ends this worker
+/// — the workspace may hold arbitrary intermediate state, so the thread
+/// retires and the supervisor replaces it with a fresh one.
+fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) -> bool {
     // The reusable per-worker state the whole design exists for: solver
     // buffers survive across requests, so steady-state solving does not
     // allocate in the σ hot path.
@@ -359,10 +758,47 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
             guard.recv()
         };
         let Ok(job) = job else {
-            return; // channel closed: graceful shutdown
+            return true; // channel closed: graceful shutdown
         };
-        let reply = answer(&job.body, shared, &mut ws, job.submitted);
-        let _ = job.reply.send(reply); // caller may have given up; fine
+        // Shed jobs that expired while queued: the caller has already
+        // answered `timeout`, so a solve here would be wasted work that
+        // delays every request still inside its deadline.
+        if let Some(budget) = shared.request_timeout {
+            if job.submitted.elapsed() >= budget {
+                let _ = job.reply.send(Reply {
+                    body: ErrorResponse::timeout(budget).to_json(),
+                    disposition: Disposition::Timeout,
+                    micros: job.submitted.elapsed().as_micros() as u64,
+                });
+                continue;
+            }
+        }
+        match catch_unwind(AssertUnwindSafe(|| {
+            answer(&job.body, shared, &mut ws, job.submitted)
+        })) {
+            Ok(reply) => {
+                let _ = job.reply.send(reply); // caller may have given up; fine
+            }
+            Err(payload) => {
+                let c = &shared.counters;
+                c.worker_panics.fetch_add(1, Ordering::Relaxed);
+                c.internal_errors.fetch_add(1, Ordering::Relaxed);
+                let body = ErrorResponse::new(
+                    "internal",
+                    format!(
+                        "solver worker panicked: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                )
+                .to_json();
+                let _ = job.reply.send(Reply {
+                    body,
+                    disposition: Disposition::Internal,
+                    micros: job.submitted.elapsed().as_micros() as u64,
+                });
+                return false;
+            }
+        }
     }
 }
 
@@ -373,6 +809,14 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
         body,
         disposition,
     };
+    // Injected solver latency models a slow solve (chaos tests drive the
+    // deadline machinery with it); it sits inside `catch_unwind` like the
+    // real work it stands in for.
+    if shared.faults.is_armed() {
+        if let Some(delay) = shared.faults.solver_latency(body) {
+            std::thread::sleep(delay);
+        }
+    }
     // Fast path: an exact byte-duplicate of a previously answered request
     // is replayed without parsing anything — the alias index maps the raw
     // document hash to the canonical cache entry, verifying the stored
@@ -404,31 +848,55 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
             .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
         return finish(Disposition::Ok { cached: true }, cached);
     }
+    // One breaker decision covers this request's disk read and (on a cold
+    // solve) its disk append: while the tier is degraded both are skipped,
+    // and the periodic probe request exercises the full read+write path.
+    let disk_allowed = shared.disk.is_some() && shared.breaker.allow();
     // Disk tier: a previous process (or an entry the memory tier evicted)
     // may have the answer on disk; promote it so the next probe is a
-    // memory hit.
-    if let Some(disk) = &shared.disk {
+    // memory hit. An I/O error here feeds the breaker and falls through
+    // to a cold solve — the disk never fails a solvable request.
+    if disk_allowed {
+        let disk = shared.disk.as_ref().expect("disk checked above");
         let persisted = disk.lock().expect("disk tier lock").get(key);
-        if let Some(cached) = persisted {
-            shared.cache.insert(key, cached.clone());
-            shared.cache.alias(raw_key, body, key);
-            c.disk_hits.fetch_add(1, Ordering::Relaxed);
-            c.disk_hit_nanos
-                .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            return finish(Disposition::Ok { cached: true }, cached);
+        match persisted {
+            Ok(Some(cached)) => {
+                shared.breaker.record_ok(c);
+                shared.cache.insert(key, cached.clone());
+                shared.cache.alias(raw_key, body, key);
+                c.disk_hits.fetch_add(1, Ordering::Relaxed);
+                c.disk_hit_nanos
+                    .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                return finish(Disposition::Ok { cached: true }, cached);
+            }
+            // An index miss does no I/O, so it proves nothing about the
+            // disk's health: neutral for the breaker.
+            Ok(None) => {}
+            Err(e) => {
+                shared.breaker.record_err(c);
+                eprintln!("batsched-service: disk-cache read failed: {e}");
+            }
         }
     }
     c.cache_misses.fetch_add(1, Ordering::Relaxed);
+    if shared.faults.is_armed() && shared.faults.solver_panic(body) {
+        panic!("injected solver panic");
+    }
     match solve(&req, ws) {
         Ok(resp) => {
             let rendered = serde_json::to_string(&resp).expect("responses serialise");
             shared.cache.insert(key, rendered.clone());
             shared.cache.alias(raw_key, body, key);
-            if let Some(disk) = &shared.disk {
+            if disk_allowed {
+                let disk = shared.disk.as_ref().expect("disk checked above");
                 // A failed append only costs warmth after the next restart;
                 // the in-memory answer is already correct.
-                if let Err(e) = disk.lock().expect("disk tier lock").put(key, &rendered) {
-                    eprintln!("batsched-service: disk-cache append failed: {e}");
+                match disk.lock().expect("disk tier lock").put(key, &rendered) {
+                    Ok(()) => shared.breaker.record_ok(c),
+                    Err(e) => {
+                        shared.breaker.record_err(c);
+                        eprintln!("batsched-service: disk-cache append failed: {e}");
+                    }
                 }
             }
             c.ok_solved.fetch_add(1, Ordering::Relaxed);
@@ -572,8 +1040,13 @@ mod tests {
         assert_eq!(stats.cache_misses, 2); // the infeasible request also missed
         assert_eq!(stats.client_errors, 2);
         assert_eq!(stats.cache_len, 1);
+        assert_eq!(stats.timeouts, 0);
+        assert_eq!(stats.worker_panics, 0);
+        assert_eq!(stats.worker_respawns, 0);
+        assert!(!stats.disk_degraded);
         let rendered = svc.stats_json();
         assert!(rendered.contains("\"cache_hits\":1"), "{rendered}");
+        assert!(rendered.contains("\"disk_degraded\":false"), "{rendered}");
         svc.shutdown();
         // Submissions after shutdown are refused, not hung.
         let refused = svc.call(body(75.0));
@@ -623,5 +1096,74 @@ mod tests {
         svc.shutdown();
         svc.shutdown();
         drop(svc);
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let cases = [
+            (
+                ServiceConfig {
+                    workers: 0,
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroWorkers,
+            ),
+            (
+                ServiceConfig {
+                    queue_capacity: 0,
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroQueueCapacity,
+            ),
+            (
+                ServiceConfig {
+                    cache_capacity: 0,
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroCacheCapacity,
+            ),
+            (
+                ServiceConfig {
+                    cache_shards: 0,
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroCacheShards,
+            ),
+            (
+                ServiceConfig {
+                    request_timeout: Some(Duration::ZERO),
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroRequestTimeout,
+            ),
+            (
+                ServiceConfig {
+                    fsync_policy: FsyncPolicy::EveryN(0),
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroFsyncInterval,
+            ),
+            (
+                ServiceConfig {
+                    disk_breaker_threshold: 0,
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroBreakerThreshold,
+            ),
+            (
+                ServiceConfig {
+                    disk_probe_interval: Duration::ZERO,
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroProbeInterval,
+            ),
+        ];
+        for (cfg, expected) in cases {
+            match Service::try_start(cfg) {
+                Err(StartError::Config(e)) => assert_eq!(e, expected),
+                Err(other) => panic!("expected Config({expected:?}), got {other:?}"),
+                Ok(_) => panic!("expected Config({expected:?}), got a running service"),
+            }
+        }
     }
 }

@@ -384,8 +384,8 @@ pub struct ScheduleResponse {
 }
 
 /// A typed failure answer. `error` is a stable machine-readable code
-/// (`bad_json`, `invalid_graph`, `infeasible`, `overloaded`, …);
-/// `message` is for humans.
+/// (`bad_json`, `invalid_graph`, `infeasible`, `overloaded`, `timeout`,
+/// `internal`, …); `message` is for humans.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorResponse {
     /// Wire-format version.
@@ -428,6 +428,17 @@ impl ErrorResponse {
         Self::new(
             "overloaded",
             format!("request queue full (capacity {queue_capacity}); retry later"),
+        )
+    }
+
+    /// The typed body for a request that exceeded its deadline.
+    pub fn timeout(budget: std::time::Duration) -> Self {
+        Self::new(
+            "timeout",
+            format!(
+                "request exceeded its {}ms deadline; retry later",
+                budget.as_millis()
+            ),
         )
     }
 

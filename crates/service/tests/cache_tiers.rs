@@ -146,25 +146,25 @@ proptest! {
                 expected.entry(*key).or_insert(body);
             }
             for (k, body) in &expected {
-                prop_assert_eq!(tier.get(*k).as_deref(), Some(body.as_str()));
+                prop_assert_eq!(tier.get(*k).expect("get").as_deref(), Some(body.as_str()));
             }
         }
         {
             let mut tier = DiskTier::open(&path).expect("reopen");
             prop_assert_eq!(tier.len(), expected.len());
             for (k, body) in &expected {
-                prop_assert_eq!(tier.get(*k).as_deref(), Some(body.as_str()), "after reload");
+                prop_assert_eq!(tier.get(*k).expect("get").as_deref(), Some(body.as_str()), "after reload");
             }
             tier.compact().expect("compact");
             for (k, body) in &expected {
-                prop_assert_eq!(tier.get(*k).as_deref(), Some(body.as_str()), "after compact");
+                prop_assert_eq!(tier.get(*k).expect("get").as_deref(), Some(body.as_str()), "after compact");
             }
         }
         {
             let mut tier = DiskTier::open(&path).expect("reopen post-compact");
             prop_assert_eq!(tier.len(), expected.len());
             for (k, body) in &expected {
-                prop_assert_eq!(tier.get(*k).as_deref(), Some(body.as_str()), "after compact+reload");
+                prop_assert_eq!(tier.get(*k).expect("get").as_deref(), Some(body.as_str()), "after compact+reload");
             }
         }
         std::fs::remove_file(&path).expect("cleanup");

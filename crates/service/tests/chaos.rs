@@ -1,0 +1,467 @@
+//! Chaos tests: every fault-tolerance path driven by injected faults —
+//! solver panics (isolation + respawn), request deadlines (call-side and
+//! queue-shed), the disk-tier circuit breaker (trip, degraded mode,
+//! probe re-arm), worker-death regression at the HTTP frontend, and
+//! graceful shutdown under injected latency.
+
+use batsched_service::prelude::*;
+use batsched_service::Service;
+use batsched_taskgraph::paper::g2;
+use batsched_taskgraph::synth::{layered, Rounding, ScalingScheme, TaskParams};
+use batsched_taskgraph::TaskGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn g2_body() -> String {
+    serde_json::to_string(&ScheduleRequest::new(g2(), 75.0)).expect("serialises")
+}
+
+/// A unique (per `seed`) request body, so every call is a cold solve.
+fn unique_body(seed: u64) -> String {
+    let params = TaskParams {
+        current_range: (100.0, 900.0),
+        duration_range: (2.0, 12.0),
+        factors: vec![1.0, 0.8, 0.6],
+        scheme: ScalingScheme::ReversedDuration,
+        rounding: Rounding::PAPER,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g: TaskGraph = layered(3, 4, 0.35, &params, &mut rng).expect("valid generator config");
+    let lo = batsched_taskgraph::analysis::min_makespan(&g).value();
+    let hi = batsched_taskgraph::analysis::max_makespan(&g).value();
+    let deadline = lo + (hi - lo) * 0.7;
+    serde_json::to_string(&ScheduleRequest::new(g, deadline)).expect("serialises")
+}
+
+fn tmp_disk(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("batsched_chaos_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let p = dir.join(format!("{name}_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+// --------------------------------------------- panic isolation + respawn
+
+#[test]
+fn solver_panic_answers_typed_error_and_respawns_the_worker() {
+    // The panic targets the g2 request specifically (key predicate on its
+    // deadline spelling); everything else must keep working.
+    let faults = FaultPlane::armed([FaultRule::always(FaultSite::SolverPanic)
+        .key_contains("\"deadline\":75")
+        .count(1)]);
+    let svc = Service::try_start_with_faults(
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+        faults,
+    )
+    .unwrap();
+
+    let reply = svc.call(g2_body());
+    assert_eq!(reply.disposition, Disposition::Internal);
+    let err: ErrorResponse = serde_json::from_str(&reply.body).expect("typed error body");
+    assert_eq!(err.error, "internal");
+    assert!(err.message.contains("panicked"), "{}", err.message);
+
+    // The pool is back at full strength: the same request (fault budget
+    // spent) and a fresh one both get real answers from the respawned
+    // worker.
+    let retried = svc.call(g2_body());
+    assert_eq!(retried.disposition, Disposition::Ok { cached: false });
+    let other = svc.call(unique_body(1));
+    assert!(matches!(other.disposition, Disposition::Ok { .. }));
+
+    let stats = svc.stats();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.worker_respawns, 1);
+    assert_eq!(stats.internal_errors, 1);
+    svc.shutdown();
+}
+
+#[test]
+fn worker_death_never_drops_a_submitted_request() {
+    // Regression: pre-isolation, a panicking worker dropped its reply
+    // sender and (with the pool dead) later jobs sat in the queue forever.
+    // Now every accepted request is answered: the panicking one with a
+    // typed internal error, queued ones by the respawned worker.
+    let faults = FaultPlane::armed([FaultRule::always(FaultSite::SolverPanic).count(1)]);
+    let svc = Service::try_start_with_faults(
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+            ..ServiceConfig::default()
+        },
+        faults,
+    )
+    .unwrap();
+    let receivers: Vec<_> = (0..6)
+        .map(|i| svc.submit(unique_body(100 + i)).expect("queue has room"))
+        .collect();
+    let mut internal = 0;
+    for rx in receivers {
+        let reply = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("every accepted request is answered");
+        match reply.disposition {
+            Disposition::Ok { .. } => {}
+            Disposition::Internal => internal += 1,
+            other => panic!("unexpected disposition {other:?}"),
+        }
+    }
+    assert_eq!(internal, 1, "exactly the injected panic");
+    assert_eq!(svc.stats().worker_respawns, 1);
+    svc.shutdown();
+}
+
+// ----------------------------------------------------- request deadlines
+
+#[test]
+fn slow_solve_times_out_with_typed_error() {
+    let faults = FaultPlane::armed([FaultRule::always(FaultSite::SolverLatency)
+        .latency(Duration::from_millis(400))
+        .count(1)]);
+    let svc = Service::try_start_with_faults(
+        ServiceConfig {
+            workers: 1,
+            request_timeout: Some(Duration::from_millis(80)),
+            ..ServiceConfig::default()
+        },
+        faults,
+    )
+    .unwrap();
+    let reply = svc.call(unique_body(2));
+    assert_eq!(reply.disposition, Disposition::Timeout);
+    let err: ErrorResponse = serde_json::from_str(&reply.body).expect("typed error body");
+    assert_eq!(err.error, "timeout");
+    assert_eq!(svc.stats().timeouts, 1);
+    // The worker is not poisoned by a timed-out request: once the slow
+    // solve drains, fresh requests answer fine.
+    std::thread::sleep(Duration::from_millis(500));
+    let fine = svc.call(unique_body(3));
+    assert!(
+        matches!(fine.disposition, Disposition::Ok { .. }),
+        "{fine:?}"
+    );
+    svc.shutdown();
+}
+
+#[test]
+fn jobs_expired_in_the_queue_are_shed_without_solving() {
+    // One worker stuck 400ms; a 100ms deadline expires the queued jobs
+    // behind it. The worker sheds them with a typed timeout instead of
+    // solving work nobody is waiting for.
+    let faults = FaultPlane::armed([FaultRule::always(FaultSite::SolverLatency)
+        .latency(Duration::from_millis(400))
+        .count(1)]);
+    let svc = Service::try_start_with_faults(
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            request_timeout: Some(Duration::from_millis(100)),
+            ..ServiceConfig::default()
+        },
+        faults,
+    )
+    .unwrap();
+    // Raw submits bypass `call`'s own deadline wait, so the replies seen
+    // here are exactly what the worker sent.
+    let slow = svc.submit(unique_body(10)).unwrap();
+    let queued: Vec<_> = (0..3)
+        .map(|i| svc.submit(unique_body(20 + i)).unwrap())
+        .collect();
+    let first = slow.recv_timeout(Duration::from_secs(60)).unwrap();
+    assert!(
+        matches!(first.disposition, Disposition::Ok { .. }),
+        "the slow request itself finishes (only its caller gave up): {first:?}"
+    );
+    let mut solved_count = 0;
+    for rx in queued {
+        let reply = rx.recv_timeout(Duration::from_secs(60)).unwrap();
+        match reply.disposition {
+            Disposition::Timeout => {
+                let err: ErrorResponse =
+                    serde_json::from_str(&reply.body).expect("typed error body");
+                assert_eq!(err.error, "timeout");
+            }
+            Disposition::Ok { .. } => solved_count += 1,
+            other => panic!("unexpected disposition {other:?}"),
+        }
+    }
+    assert!(
+        solved_count < 3,
+        "at least one queued job expired behind the 400ms solve"
+    );
+    svc.shutdown();
+}
+
+// ------------------------------------------------- disk breaker lifecycle
+
+#[test]
+fn disk_breaker_trips_to_degraded_mode_and_rearms() {
+    let path = tmp_disk("breaker");
+    // Appends fail 4 times, then heal. Threshold 2 trips the breaker on
+    // the second error; probes burn the remaining budget and re-arm.
+    let faults = FaultPlane::armed([FaultRule::always(FaultSite::DiskAppend).count(4)]);
+    let svc = Service::try_start_with_faults(
+        ServiceConfig {
+            workers: 1,
+            disk_path: Some(path.clone()),
+            disk_breaker_threshold: 2,
+            disk_probe_interval: Duration::from_millis(50),
+            ..ServiceConfig::default()
+        },
+        faults,
+    )
+    .unwrap();
+
+    // Two cold solves, two failed appends, breaker trips. The requests
+    // themselves still succeed: a disk failure never fails a solvable
+    // request.
+    for seed in 0..2 {
+        let reply = svc.call(unique_body(1000 + seed));
+        assert_eq!(reply.disposition, Disposition::Ok { cached: false });
+    }
+    let stats = svc.stats();
+    assert!(stats.disk_degraded, "breaker open after threshold errors");
+    assert_eq!(stats.disk_breaker_trips, 1);
+    assert_eq!(stats.disk_errors, 2);
+    assert_eq!(stats.disk_entries, 0, "nothing reached the sick disk");
+
+    // While degraded, traffic is served from memory + cold solves with no
+    // disk I/O at all (the error counter only moves on probes).
+    let reply = svc.call(unique_body(1100));
+    assert_eq!(reply.disposition, Disposition::Ok { cached: false });
+
+    // Probes (one per interval) burn the remaining fault budget and then
+    // succeed, re-arming the tier.
+    let mut rearmed = false;
+    for seed in 0..100u64 {
+        std::thread::sleep(Duration::from_millis(60));
+        let reply = svc.call(unique_body(2000 + seed));
+        assert!(matches!(reply.disposition, Disposition::Ok { .. }));
+        if !svc.stats().disk_degraded {
+            rearmed = true;
+            break;
+        }
+    }
+    assert!(rearmed, "probe interval must re-arm a healed disk");
+    let stats = svc.stats();
+    assert_eq!(stats.disk_rearms, 1);
+    assert_eq!(stats.disk_errors, 4, "the whole fault budget was observed");
+    assert!(stats.disk_entries > 0, "healed tier persists again");
+    svc.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn disk_read_errors_fall_through_to_a_cold_solve() {
+    let path = tmp_disk("read_faults");
+    // Warm the disk tier, then restart with every read failing: the warm
+    // key must still be answered (by re-solving), never erred.
+    let cfg = ServiceConfig {
+        workers: 1,
+        disk_path: Some(path.clone()),
+        ..ServiceConfig::default()
+    };
+    let svc = Service::try_start(cfg.clone()).unwrap();
+    let cold = svc.call(g2_body());
+    assert_eq!(cold.disposition, Disposition::Ok { cached: false });
+    svc.shutdown();
+
+    let faults = FaultPlane::armed([FaultRule::always(FaultSite::DiskRead)]);
+    let svc = Service::try_start_with_faults(cfg, faults).unwrap();
+    let reply = svc.call(g2_body());
+    assert_eq!(
+        reply.disposition,
+        Disposition::Ok { cached: false },
+        "read error downgraded the hit to a solve, not an error"
+    );
+    assert_eq!(reply.body, cold.body, "re-solve is bit-identical");
+    let stats = svc.stats();
+    assert_eq!(stats.disk_hits, 0);
+    assert!(stats.disk_errors >= 1);
+    svc.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+// -------------------------------------------------- shutdown under load
+
+#[test]
+fn shutdown_under_load_answers_every_accepted_request_exactly_once() {
+    let path = tmp_disk("drain");
+    // Every solve carries injected latency, so shutdown arrives with jobs
+    // both in flight and queued.
+    let faults = FaultPlane::armed([
+        FaultRule::always(FaultSite::SolverLatency).latency(Duration::from_millis(25))
+    ]);
+    let svc = Arc::new(
+        Service::try_start_with_faults(
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: 32,
+                disk_path: Some(path.clone()),
+                ..ServiceConfig::default()
+            },
+            faults,
+        )
+        .unwrap(),
+    );
+    let receivers: Vec<_> = (0..12)
+        .map(|i| svc.submit(unique_body(3000 + i)).expect("queue has room"))
+        .collect();
+    let accepted = receivers.len();
+    let shutter = {
+        let svc = Arc::clone(&svc);
+        std::thread::spawn(move || svc.shutdown())
+    };
+    let mut answered = 0;
+    for rx in receivers {
+        let reply = rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("graceful shutdown drains every accepted request");
+        assert!(matches!(reply.disposition, Disposition::Ok { .. }));
+        // Exactly once: the channel held one reply and is now closed.
+        assert!(rx.try_recv().is_err(), "no duplicate replies");
+        answered += 1;
+    }
+    shutter.join().unwrap();
+    assert_eq!(answered, accepted);
+    // Submissions after shutdown are refused, not hung.
+    let refused = svc.call(unique_body(9999));
+    assert_eq!(refused.disposition, Disposition::Overloaded);
+    // The drain compacted the disk tier: a fresh open sees one dense
+    // record per unique request.
+    let tier = batsched_service::DiskTier::open(&path).unwrap();
+    assert_eq!(tier.len(), accepted);
+    drop(tier);
+    std::fs::remove_file(&path).unwrap();
+}
+
+// --------------------------------------------------------- HTTP frontend
+
+/// Sends one framed POST over `stream` and reads back (status, body).
+fn http_roundtrip(stream: &mut std::net::TcpStream, path: &str, body: &str) -> (u16, String) {
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content length");
+        }
+    }
+    let mut payload = vec![0u8; content_length];
+    reader.read_exact(&mut payload).expect("body");
+    (status, String::from_utf8(payload).expect("utf8 body"))
+}
+
+#[test]
+fn http_keepalive_connection_survives_a_worker_panic() {
+    // Regression for the silent-hang: a panicking worker behind a
+    // keep-alive connection must produce a well-framed 500, and the same
+    // connection must keep working against the respawned pool.
+    let faults = FaultPlane::armed([FaultRule::always(FaultSite::SolverPanic)
+        .key_contains("\"deadline\":75")
+        .count(1)]);
+    let svc = Arc::new(
+        Service::try_start_with_faults(
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            faults,
+        )
+        .unwrap(),
+    );
+    let server = HttpServer::bind(Arc::clone(&svc), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+
+    let (status, body) = http_roundtrip(&mut stream, "/v1/schedule", &g2_body());
+    assert_eq!(status, 500);
+    let err: ErrorResponse = serde_json::from_str(&body).expect("typed error body");
+    assert_eq!(err.error, "internal");
+    assert!(err.message.contains("panicked"), "{}", err.message);
+
+    // Same connection, next request: answered by the respawned worker.
+    let (status, body) = http_roundtrip(&mut stream, "/v1/schedule", &g2_body());
+    assert_eq!(status, 200);
+    assert!(body.contains("\"sigma\""), "{body}");
+
+    let (status, stats_body) = {
+        let mut s2 = std::net::TcpStream::connect(addr).expect("connect stats");
+        let req = "GET /v1/stats HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+        s2.write_all(req.as_bytes()).expect("send stats");
+        let mut raw = String::new();
+        s2.read_to_string(&mut raw).expect("recv stats");
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .expect("status");
+        let payload = raw.split_once("\r\n\r\n").expect("split").1.to_string();
+        (status, payload)
+    };
+    assert_eq!(status, 200);
+    assert!(stats_body.contains("\"worker_panics\":1"), "{stats_body}");
+    assert!(stats_body.contains("\"worker_respawns\":1"), "{stats_body}");
+
+    drop(stream);
+    server.stop();
+}
+
+#[test]
+fn http_timeout_maps_to_504_and_keeps_the_connection() {
+    let faults = FaultPlane::armed([FaultRule::always(FaultSite::SolverLatency)
+        .latency(Duration::from_millis(400))
+        .count(1)]);
+    let svc = Arc::new(
+        Service::try_start_with_faults(
+            ServiceConfig {
+                workers: 1,
+                request_timeout: Some(Duration::from_millis(80)),
+                ..ServiceConfig::default()
+            },
+            faults,
+        )
+        .unwrap(),
+    );
+    let server = HttpServer::bind(Arc::clone(&svc), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+
+    let (status, body) = http_roundtrip(&mut stream, "/v1/schedule", &unique_body(40));
+    assert_eq!(status, 504);
+    let err: ErrorResponse = serde_json::from_str(&body).expect("typed error body");
+    assert_eq!(err.error, "timeout");
+
+    // Well-framed: the same connection serves the next request once the
+    // slow solve has drained.
+    std::thread::sleep(Duration::from_millis(500));
+    let (status, body) = http_roundtrip(&mut stream, "/v1/schedule", &unique_body(41));
+    assert_eq!(status, 200, "{body}");
+
+    drop(stream);
+    server.stop();
+}

@@ -2,6 +2,7 @@
 //! (property-based), cache-hit bit-equivalence, multi-client concurrency,
 //! malformed-input robustness, backpressure, and the HTTP frontend.
 
+use batsched_core::SolverWorkspace;
 use batsched_service::prelude::*;
 use batsched_service::wire::{self, ScheduleResponse};
 use batsched_service::Service;
@@ -98,16 +99,14 @@ fn cache_hit_is_bit_identical_to_recompute() {
     );
     assert_eq!(cold.body, warm.body, "hit must be bit-identical");
 
-    // A cold recompute (cache disabled) of the same request produces the
-    // same bytes — the cache changes latency, never content.
-    let svc_nocache = Service::start(ServiceConfig {
-        cache_capacity: 0,
-        ..svc.config()
-    });
-    let recomputed = svc_nocache.call(body);
-    assert_eq!(recomputed.body, cold.body);
+    // A cold recompute (direct solve, no service or cache in the way) of
+    // the same request produces the same bytes — the cache changes
+    // latency, never content.
+    let req = wire::parse_request(&body).unwrap();
+    let recomputed = batsched_service::solve(&req, &mut SolverWorkspace::new()).unwrap();
+    let recomputed = serde_json::to_string(&recomputed).unwrap();
+    assert_eq!(recomputed, cold.body);
     svc.shutdown();
-    svc_nocache.shutdown();
 }
 
 // --------------------------------------------------------- concurrency
@@ -233,10 +232,10 @@ fn full_queue_rejects_with_typed_overload() {
     let svc = Service::start(ServiceConfig {
         workers: 1,
         queue_capacity: 1,
-        cache_capacity: 0, // every request is a cold solve
         ..ServiceConfig::default()
     });
-    // Unique moderately hard instances so the single worker stays busy.
+    // Unique moderately hard instances so the single worker stays busy
+    // (every request is a distinct graph, so each one is a cold solve).
     let mut receivers = Vec::new();
     let mut rejected = 0usize;
     for seed in 0..200u64 {

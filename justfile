@@ -42,3 +42,10 @@ serve-smoke:
 # keep-alive >= 1.5x floor enforced).
 service-bench:
     cargo run --release -p batsched-bench --bin loadgen -- --check
+
+# Fault-injection drill against a real armed daemon: injected solver
+# panic, disk-append burst, latency beyond the request deadline. Asserts
+# zero lost requests, typed errors only, worker respawn, and disk-tier
+# degraded-mode recovery.
+chaos:
+    ./ci.sh chaos-smoke
