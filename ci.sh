@@ -5,7 +5,10 @@
 #
 # `./ci.sh serve-smoke` runs only the daemon smoke test (used by
 # `just serve-smoke`); `./ci.sh chaos-smoke` runs only the fault-injection
-# drill against a real armed daemon (used by `just chaos`).
+# drill against a real armed daemon (used by `just chaos`);
+# `./ci.sh metrics-smoke` boots a span-logging daemon, drives traffic and
+# verifies the /v1/metrics exposition and the span log (used by
+# `just metrics`).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -107,6 +110,66 @@ chaos_smoke() {
   rm -f "$log" "$cache"
 }
 
+metrics_smoke() {
+  echo "==> metrics smoke (daemon + /v1/metrics scrape + span log)"
+  cargo build --release -q -p batsched-cli -p batsched-bench
+  local log spans
+  log="$(mktemp)"
+  spans="$(mktemp)"
+  : > "$spans"
+
+  # Boot the daemon with structured span logging; loadgen's first request
+  # is a /readyz probe, so the drive only starts once the pool is ready.
+  ./target/release/batsched serve --http 127.0.0.1:0 --log-json "$spans" 2> "$log" &
+  local pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$log" | head -1 || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "daemon did not announce an address; log:" >&2
+    cat "$log" >&2
+    kill "$pid" 2> /dev/null || true
+    wait "$pid" 2> /dev/null || true
+    rm -f "$log" "$spans"
+    exit 1
+  fi
+  # loadgen drives 4 /v1/schedule requests (cold, 2 hits, malformed),
+  # scrapes /v1/metrics and asserts exposition shape and exact counts.
+  if ! ./target/release/loadgen --metrics-smoke --addr "$addr"; then
+    echo "metrics smoke failed; daemon log:" >&2
+    cat "$log" >&2
+    kill "$pid" 2> /dev/null || true
+    wait "$pid" 2> /dev/null || true
+    rm -f "$log" "$spans"
+    exit 1
+  fi
+  wait "$pid"
+
+  # The span log must carry exactly one span per /v1/schedule request
+  # (stats/metrics/readyz/shutdown emit none) with client ids preserved.
+  local lines
+  lines=$(grep -c '"trace_id"' "$spans" || true)
+  if [ "$lines" -ne 4 ]; then
+    echo "expected 4 span lines, got $lines; span log:" >&2
+    cat "$spans" >&2
+    rm -f "$log" "$spans"
+    exit 1
+  fi
+  for id in '"trace_id":"metrics-smoke-1"' '"trace_id":"metrics-smoke-bad"'; do
+    if ! grep -q "$id" "$spans"; then
+      echo "client trace id $id missing from span log:" >&2
+      cat "$spans" >&2
+      rm -f "$log" "$spans"
+      exit 1
+    fi
+  done
+  echo "metrics exposition well-formed; span log carried $lines spans with client ids"
+  rm -f "$log" "$spans"
+}
+
 if [ "${1:-}" = "serve-smoke" ]; then
   serve_smoke
   exit 0
@@ -114,6 +177,11 @@ fi
 
 if [ "${1:-}" = "chaos-smoke" ]; then
   chaos_smoke
+  exit 0
+fi
+
+if [ "${1:-}" = "metrics-smoke" ]; then
+  metrics_smoke
   exit 0
 fi
 
@@ -141,6 +209,8 @@ cargo test --workspace -q --features parallel
 serve_smoke
 
 chaos_smoke
+
+metrics_smoke
 
 echo "==> perf smoke + snapshot (BENCH_scheduler.json, floors enforced)"
 # Quick-mode perf smoke: regenerates the snapshot and fails the pipeline if

@@ -195,6 +195,9 @@ impl SigmaEvaluator {
         while shared < max_shared && seq[n - 1 - shared] == old[old.len() - 1 - shared] {
             shared += 1;
         }
+        scratch.evals += 1;
+        scratch.reused += shared as u64;
+        scratch.fresh += (n - shared) as u64;
 
         // Suffix states are indexed by suffix length i (last i positions):
         //   sigma[i]  = Σ contributions of the last i positions
@@ -261,12 +264,25 @@ pub struct SigmaScratch {
     dursum: Vec<f64>,
     /// `w[i*terms + m]`: per-term decay product over the last `i` positions.
     w: Vec<f64>,
+    /// Profiling: `sigma_seq` calls through this scratch (cumulative,
+    /// never reset by rebinding — a plain add per evaluation).
+    evals: u64,
+    /// Profiling: sequence positions served from the suffix cache.
+    reused: u64,
+    /// Profiling: sequence positions recomputed.
+    fresh: u64,
 }
 
 impl SigmaScratch {
     /// Creates an empty scratch (buffers grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Cumulative suffix-cache profile of this scratch:
+    /// `(evaluations, positions reused, positions recomputed)`.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        (self.evals, self.reused, self.fresh)
     }
 
     /// Drops the cached suffix sums (keeps the buffers). Call when the

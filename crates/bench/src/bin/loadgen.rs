@@ -34,21 +34,30 @@
 //!   trip its breaker into degraded mode and then re-arm once the fault
 //!   burst passes.
 //!
+//! All latency percentiles (p50/p95/p99) are computed through the
+//! service's own [`batsched_service::HistogramSnapshot`] — the same
+//! fixed-boundary log-bucket histogram `/v1/metrics` exposes — so the
+//! numbers in `BENCH_service.json` and the numbers a scrape reports are
+//! quantized identically.
+//!
 //! Flags: `--quick` shrinks the grids (CI mode); `--check` enforces the
 //! keep-alive ≥ 1.5× floor; `--smoke --addr <host:port>` switches to
 //! HTTP-client mode against a running daemon — schedule request, typed
 //! 4xx on malformed input, a keep-alive multi-request pass, stats, then
 //! shutdown; `--smoke-warm --addr <host:port>` is the post-restart probe:
 //! the same schedule request must come back `X-Cache: hit` served from
-//! the daemon's disk tier (the ci.sh warm-restart check); `--chaos`
-//! runs only the chaos drill (add `--addr <host:port>` to drive an
-//! external daemon booted with the same `--fault` rules — see
+//! the daemon's disk tier (the ci.sh warm-restart check);
+//! `--metrics-smoke --addr <host:port>` drives traffic and then scrapes
+//! `GET /v1/metrics`, asserting a well-formed Prometheus exposition whose
+//! histogram counts match the requests it sent (the ci.sh metrics-smoke
+//! check); `--chaos` runs only the chaos drill (add `--addr <host:port>`
+//! to drive an external daemon booted with the same `--fault` rules — see
 //! `ci.sh chaos-smoke` — instead of an in-process one).
 
 use batsched_service::wire::DEFAULT_MAX_ITERATIONS;
 use batsched_service::{
-    Disposition, ErrorResponse, FaultPlane, FaultRule, HttpServer, ModelSpec, ScheduleRequest,
-    ScheduleResponse, Service, ServiceConfig,
+    Disposition, ErrorResponse, FaultPlane, FaultRule, HistogramSnapshot, HttpServer, ModelSpec,
+    ScheduleRequest, ScheduleResponse, Service, ServiceConfig,
 };
 use batsched_taskgraph::analysis::{max_makespan, min_makespan};
 use batsched_taskgraph::paper::{g2, g3, G2_TABLE4_DEADLINES, G3_TABLE4_DEADLINES};
@@ -89,12 +98,13 @@ fn body_for(g: &TaskGraph, deadline: f64) -> String {
     serde_json::to_string(&ScheduleRequest::new(g.clone(), deadline)).expect("serialises")
 }
 
-fn percentile(sorted_us: &[f64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
+/// Folds per-request latencies into the service's log-bucket histogram.
+fn histogram_of<'a>(lat_us: impl IntoIterator<Item = &'a f64>) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::new();
+    for us in lat_us {
+        h.observe(us.max(0.0).round() as u64);
     }
-    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
-    sorted_us[idx]
+    h
 }
 
 #[derive(Debug, Serialize)]
@@ -105,7 +115,7 @@ struct StreamReport {
     cache_hits: usize,
     throughput_rps: f64,
     p50_us: f64,
-    p90_us: f64,
+    p95_us: f64,
     p99_us: f64,
 }
 
@@ -115,7 +125,9 @@ struct DupReport {
     unique: usize,
     cache_hits: usize,
     cold_p50_us: f64,
+    cold_p99_us: f64,
     hit_p50_us: f64,
+    hit_p99_us: f64,
     hit_speedup: f64,
 }
 
@@ -131,6 +143,7 @@ struct ScalingPoint {
     n: usize,
     requests: usize,
     cold_p50_us: f64,
+    cold_p95_us: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -149,6 +162,7 @@ struct WarmRestartReport {
     disk_hits_after_restart: usize,
     bit_identical: bool,
     disk_hit_p50_us: f64,
+    disk_hit_p95_us: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -164,6 +178,7 @@ struct ChaosReport {
     disk_errors: u64,
     disk_breaker_trips: u64,
     disk_rearms: u64,
+    faults_injected: u64,
     recovered: bool,
 }
 
@@ -216,8 +231,7 @@ fn drive(svc: &Service, bodies: &[String]) -> Vec<(f64, Disposition)> {
 }
 
 fn stream_report(results: &[(f64, Disposition)], total_secs: f64) -> StreamReport {
-    let mut lat: Vec<f64> = results.iter().map(|(us, _)| *us).collect();
-    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let hist = histogram_of(results.iter().map(|(us, _)| us));
     let ok = results
         .iter()
         .filter(|(_, d)| matches!(d, Disposition::Ok { .. }))
@@ -236,9 +250,9 @@ fn stream_report(results: &[(f64, Disposition)], total_secs: f64) -> StreamRepor
         } else {
             0.0
         },
-        p50_us: percentile(&lat, 0.50),
-        p90_us: percentile(&lat, 0.90),
-        p99_us: percentile(&lat, 0.99),
+        p50_us: hist.quantile(0.50),
+        p95_us: hist.quantile(0.95),
+        p99_us: hist.quantile(0.99),
     }
 }
 
@@ -337,9 +351,23 @@ impl HttpClient {
         body: &str,
         close: bool,
     ) -> (u16, String, String) {
+        self.request_with(method, path, &[], body, close)
+    }
+
+    /// Like [`HttpClient::request`] but with extra header lines (for
+    /// example `X-Request-Id: …`) spliced into the request head.
+    fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[&str],
+        body: &str,
+        close: bool,
+    ) -> (u16, String, String) {
         let connection = if close { "close" } else { "keep-alive" };
+        let extra: String = extra_headers.iter().map(|h| format!("{h}\r\n")).collect();
         let req = format!(
-            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: {connection}\r\n{extra}\r\n{body}",
             body.len()
         );
         self.stream.write_all(req.as_bytes()).expect("send request");
@@ -519,16 +547,33 @@ fn run_warm_restart(quick: bool) -> WarmRestartReport {
     );
     assert!(bit_identical, "disk-tier bodies must be bit-identical");
     svc.shutdown();
-    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let hist = histogram_of(&lat_us);
     let report = WarmRestartReport {
         requests: bodies.len(),
         cold_solves_first_run: cold_solves,
         disk_hits_after_restart: stats.disk_hits as usize,
         bit_identical,
-        disk_hit_p50_us: percentile(&lat_us, 0.5),
+        disk_hit_p50_us: hist.quantile(0.5),
+        disk_hit_p95_us: hist.quantile(0.95),
     };
     std::fs::remove_file(&path).expect("cleanup warm-restart cache file");
     report
+}
+
+/// Pulls one sample's value out of a Prometheus text exposition. Pass the
+/// full sample name including any label set (`foo_total` or
+/// `foo_bucket{le="+Inf"}`).
+fn metrics_value(text: &str, sample: &str) -> f64 {
+    text.lines()
+        .find_map(|line| {
+            let (name, value) = line.rsplit_once(' ')?;
+            (name == sample).then(|| {
+                value
+                    .parse()
+                    .unwrap_or_else(|_| panic!("metric {sample} not numeric: {line}"))
+            })
+        })
+        .unwrap_or_else(|| panic!("metric {sample} missing from exposition"))
 }
 
 /// Pulls a boolean field out of a stats JSON document.
@@ -658,8 +703,13 @@ fn run_chaos(quick: bool, check: bool, addr: Option<&str>) -> ChaosReport {
         std::thread::sleep(Duration::from_millis(60));
     }
 
-    let (code, _, stats) = client.request("GET", "/v1/stats", "", true);
+    let (code, _, stats) = client.request("GET", "/v1/stats", "", false);
     assert_eq!(code, 200);
+    // The armed fault plane must be visible through BOTH observability
+    // surfaces: the stats JSON and the Prometheus exposition.
+    let (code, _, metrics) = client.request("GET", "/v1/metrics", "", true);
+    assert_eq!(code, 200, "metrics must stay up under chaos");
+    let injected_metric = metrics_value(&metrics, "batsched_fault_injected_total");
     let report = ChaosReport {
         requests: bodies.len(),
         ok,
@@ -672,8 +722,13 @@ fn run_chaos(quick: bool, check: bool, addr: Option<&str>) -> ChaosReport {
         disk_errors: stats_counter(&stats, "disk_errors"),
         disk_breaker_trips: stats_counter(&stats, "disk_breaker_trips"),
         disk_rearms: stats_counter(&stats, "disk_rearms"),
+        faults_injected: stats_counter(&stats, "faults_injected"),
         recovered,
     };
+    assert_eq!(
+        report.faults_injected, injected_metric as u64,
+        "stats and metrics must agree on injected-fault counts"
+    );
 
     match hosted {
         Some((svc, server, path)) => {
@@ -722,6 +777,10 @@ fn run_chaos(quick: bool, check: bool, addr: Option<&str>) -> ChaosReport {
         assert!(
             report.recovered && report.disk_rearms >= 1,
             "the disk tier must re-arm once the fault burst passes: {report:?}"
+        );
+        assert!(
+            report.faults_injected >= 1,
+            "an armed fault run must leave fault_injected_total > 0: {report:?}"
         );
     }
     report
@@ -779,16 +838,18 @@ fn run_benchmark(quick: bool, check: bool) {
             hit.push(*us);
         }
     }
-    cold.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    hit.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let cold_hist = histogram_of(&cold);
+    let hit_hist = histogram_of(&hit);
     let stats = svc.stats();
     let dup = DupReport {
         requests: results.len(),
         unique: seen.len(),
         cache_hits: stats.cache_hits as usize,
-        cold_p50_us: percentile(&cold, 0.5),
-        hit_p50_us: percentile(&hit, 0.5),
-        hit_speedup: percentile(&cold, 0.5) / percentile(&hit, 0.5).max(1e-9),
+        cold_p50_us: cold_hist.quantile(0.5),
+        cold_p99_us: cold_hist.quantile(0.99),
+        hit_p50_us: hit_hist.quantile(0.5),
+        hit_p99_us: hit_hist.quantile(0.99),
+        hit_speedup: cold_hist.quantile(0.5) / hit_hist.quantile(0.5).max(1e-9),
     };
     svc.shutdown();
     eprintln!(
@@ -835,7 +896,7 @@ fn run_benchmark(quick: bool, check: bool) {
             .map(|k| body_for(&g, base + k as f64 * 0.1))
             .collect();
         let results = drive(&svc, &bodies);
-        let mut lat: Vec<f64> = results
+        let lat: Vec<f64> = results
             .iter()
             .map(|(us, d)| {
                 assert!(
@@ -845,11 +906,12 @@ fn run_benchmark(quick: bool, check: bool) {
                 *us
             })
             .collect();
-        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let hist = histogram_of(&lat);
         let point = ScalingPoint {
             n,
             requests: bodies.len(),
-            cold_p50_us: percentile(&lat, 0.5),
+            cold_p50_us: hist.quantile(0.5),
+            cold_p95_us: hist.quantile(0.95),
         };
         eprintln!(
             "scaling   : n={n}, {} reqs, cold p50 {:.0} µs",
@@ -972,8 +1034,15 @@ fn run_smoke(addr: &str) {
     assert_eq!(code, 200);
     assert!(stats.contains("\"solved\":"), "{stats}");
     assert!(stats.contains("\"shard_occupancy\":"), "{stats}");
-    let (code, _, health) = client.request("GET", "/healthz", "", true);
+    let (code, _, health) = client.request("GET", "/healthz", "", false);
     assert_eq!(code, 200, "{health}");
+    // Readiness: a healthy daemon with its full worker pool must be ready.
+    let (code, _, ready) = client.request("GET", "/readyz", "", true);
+    assert_eq!(
+        code, 200,
+        "ready daemon must answer 200 on /readyz: {ready}"
+    );
+    assert!(ready.contains("\"ready\":true"), "{ready}");
 
     let (code, payload) = http_call(addr, "POST", "/v1/shutdown", "");
     assert_eq!(code, 200, "{payload}");
@@ -1012,12 +1081,159 @@ fn run_smoke_warm(addr: &str) {
     println!("SMOKE WARM OK ({addr})");
 }
 
+/// The metrics smoke (the `ci.sh metrics-smoke` check): against a freshly
+/// booted daemon, drive a known mix of traffic — one cold solve, two
+/// cache hits, one malformed request — then scrape `GET /v1/metrics` and
+/// assert the exposition is well-formed Prometheus text whose histogram
+/// counts match exactly the requests this function sent.
+fn run_metrics_smoke(addr: &str) {
+    let mut client = HttpClient::connect(addr);
+
+    // The daemon must be ready before we lean on it.
+    let (code, _, ready) = client.request("GET", "/readyz", "", false);
+    assert_eq!(code, 200, "booted daemon must be ready: {ready}");
+    assert!(ready.contains("\"ready\":true"), "{ready}");
+
+    // One cold solve carrying a client trace id: the id must be echoed.
+    let body = body_for(&g2(), 75.0);
+    let (code, head, _) = client.request_with(
+        "POST",
+        "/v1/schedule",
+        &["X-Request-Id: metrics-smoke-1"],
+        &body,
+        false,
+    );
+    assert_eq!(code, 200);
+    assert!(
+        head.contains("X-Request-Id: metrics-smoke-1"),
+        "client trace id must be echoed: {head}"
+    );
+    // Two cache hits and one malformed request (a typed 400 also gets its
+    // id echoed and is still a served request as far as histograms go).
+    for _ in 0..2 {
+        let (code, head, _) = client.request("POST", "/v1/schedule", &body, false);
+        assert_eq!(code, 200);
+        assert!(head.contains("X-Cache: hit"), "{head}");
+    }
+    let (code, head, _) = client.request_with(
+        "POST",
+        "/v1/schedule",
+        &["X-Request-Id: metrics-smoke-bad"],
+        "{ nope",
+        false,
+    );
+    assert_eq!(code, 400);
+    assert!(
+        head.contains("X-Request-Id: metrics-smoke-bad"),
+        "typed errors must echo the client trace id too: {head}"
+    );
+    let served = 4u64; // cold + 2 hits + malformed
+
+    let (code, head, text) = client.request("GET", "/v1/metrics", "", true);
+    assert_eq!(code, 200, "{text}");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/plain"),
+        "metrics must be text exposition: {head}"
+    );
+
+    // Well-formedness: every line is a comment or `sample value` with a
+    // parseable float value; the exposition declares its metric types.
+    let mut types = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let kind = decl.split_whitespace().nth(1).unwrap_or("");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown metric type: {line}"
+            );
+            types += 1;
+            continue;
+        }
+        assert!(!line.starts_with('#'), "only # TYPE comments are emitted");
+        let (sample, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("malformed sample line: {line}"));
+        assert!(!sample.is_empty(), "malformed sample line: {line}");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("non-numeric sample value: {line}"));
+    }
+    assert!(types >= 10, "exposition too thin: {types} # TYPE lines");
+
+    // Histogram contract: cumulative buckets are monotone and the +Inf
+    // bucket equals _count; _count equals the requests this smoke served.
+    let buckets: Vec<f64> = text
+        .lines()
+        .filter(|l| l.starts_with("batsched_request_duration_us_bucket{le="))
+        .map(|l| {
+            l.rsplit_once(' ')
+                .and_then(|(_, v)| v.parse().ok())
+                .unwrap_or_else(|| panic!("malformed bucket line: {l}"))
+        })
+        .collect();
+    assert!(buckets.len() >= 2, "request histogram has no buckets");
+    assert!(
+        buckets.windows(2).all(|w| w[0] <= w[1]),
+        "cumulative buckets must be monotone: {buckets:?}"
+    );
+    let count = metrics_value(&text, "batsched_request_duration_us_count");
+    assert_eq!(
+        *buckets.last().expect("nonempty") as u64,
+        count as u64,
+        "+Inf bucket must equal _count"
+    );
+    assert_eq!(
+        count as u64, served,
+        "request histogram must count exactly the requests served"
+    );
+    for stage in [
+        "queue",
+        "parse",
+        "hash",
+        "cache",
+        "disk",
+        "solve",
+        "serialize",
+    ] {
+        let stage_count = metrics_value(
+            &text,
+            &format!("batsched_stage_duration_us_count{{stage=\"{stage}\"}}"),
+        );
+        assert_eq!(
+            stage_count as u64, served,
+            "stage {stage} histogram must count every request served"
+        );
+    }
+    // Exactly one cold solve ran, so the solve histogram is nonzero.
+    let cold = metrics_value(&text, "batsched_solve_cold_duration_us_count");
+    assert_eq!(cold as u64, 1, "exactly one cold solve must be recorded");
+    assert!(
+        metrics_value(&text, "batsched_solve_cold_duration_us_sum") > 0.0,
+        "a real solve cannot take zero time"
+    );
+    assert_eq!(metrics_value(&text, "batsched_ready") as u64, 1);
+    assert_eq!(
+        metrics_value(&text, "batsched_cache_hits_total") as u64,
+        2,
+        "both replays must be cache hits"
+    );
+
+    let (code, payload) = http_call(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(code, 200, "{payload}");
+    println!("METRICS SMOKE OK ({addr}, {served} requests)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
     let smoke = args.iter().any(|a| a == "--smoke");
     let smoke_warm = args.iter().any(|a| a == "--smoke-warm");
+    let metrics_smoke = args.iter().any(|a| a == "--metrics-smoke");
     let chaos = args.iter().any(|a| a == "--chaos");
     let addr = args
         .iter()
@@ -1035,10 +1251,12 @@ fn main() {
             "CHAOS OK ({} requests, recovered: {})",
             report.requests, report.recovered
         );
-    } else if smoke || smoke_warm {
+    } else if smoke || smoke_warm || metrics_smoke {
         let addr = addr.expect("smoke modes need --addr <host:port>");
         if smoke_warm {
             run_smoke_warm(addr);
+        } else if metrics_smoke {
+            run_metrics_smoke(addr);
         } else {
             run_smoke(addr);
         }

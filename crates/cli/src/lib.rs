@@ -54,6 +54,8 @@ USAGE:
                [--shards <n>] [--disk-cache <path>]
                [--request-timeout <ms>] [--fsync <never|always|N>]
                [--disk-breaker <n>] [--disk-probe-ms <ms>]
+               [--log-json <path|stderr>] [--log-level <error|warn|info|debug>]
+               [--log-rate-limit <n>]
                [--fault <site:k=v,...>]...
 
 ALGORITHMS (--algo): khan-vemuri (default), rakhmatov-dp, chowdhury,
@@ -76,6 +78,14 @@ requests answer a typed `timeout` error (HTTP 504) instead of hanging.
 --disk-breaker trips the disk tier into degraded mode (memory + cold
 solves) after N consecutive I/O errors; --disk-probe-ms sets how often a
 probe request retries the sick tier until it heals and re-arms.
+--log-json emits one structured JSON span per completed request (stage
+timings, outcome, trace id, solver phase counters) to the given file or to
+stderr; --log-level filters by severity (default info) and
+--log-rate-limit caps span lines per second (default 5000; overflow is
+counted, not written). The HTTP frontend also serves GET /v1/metrics
+(Prometheus text: counters, gauges, per-stage latency histograms) and
+GET /readyz (503 while the breaker is tripped, workers are below target,
+or shutdown has begun).
 --fault (repeatable) arms the fault-injection plane for chaos drills, e.g.
 --fault solver-panic:after=3,count=1 or --fault disk-append:count=10
 (sites: disk-read, disk-append, disk-write, solver-panic, solver-latency;
@@ -136,7 +146,7 @@ impl Opts {
 ///
 /// [`CliError`] when a `--key` that expects a value trails the list.
 pub fn parse_args(args: &[String]) -> Result<Opts, CliError> {
-    const VALUE_OPTS: [&str; 19] = [
+    const VALUE_OPTS: [&str; 22] = [
         "deadline",
         "algo",
         "beta",
@@ -156,6 +166,9 @@ pub fn parse_args(args: &[String]) -> Result<Opts, CliError> {
         "fault",
         "disk-breaker",
         "disk-probe-ms",
+        "log-json",
+        "log-level",
+        "log-rate-limit",
     ];
     let mut opts = Opts::default();
     let mut it = args.iter().peekable();
@@ -448,7 +461,9 @@ fn fsync_policy(opts: &Opts) -> Result<batsched_service::FsyncPolicy, CliError> 
 }
 
 fn cmd_serve(opts: &Opts, out: &mut String) -> Result<(), CliError> {
-    use batsched_service::{FaultPlane, FaultRule, HttpServer, Service, ServiceConfig, StartError};
+    use batsched_service::{
+        FaultPlane, FaultRule, HttpServer, Level, LogTarget, Service, ServiceConfig, StartError,
+    };
     let request_timeout = match opts.get("request-timeout") {
         None => None,
         Some(raw) => {
@@ -476,6 +491,17 @@ fn cmd_serve(opts: &Opts, out: &mut String) -> Result<(), CliError> {
             2_000,
             1,
         )? as u64),
+        log_json: opts.get("log-json").map(LogTarget::parse),
+        log_level: match opts.get("log-level") {
+            None => Level::Info,
+            Some(raw) => Level::parse(raw).ok_or_else(|| {
+                err(format!(
+                    "--log-level expects error, warn, info or debug, got '{raw}'"
+                ))
+            })?,
+        },
+        log_rate_limit: u32::try_from(sizing(opts, "log-rate-limit", 5_000, 1)?)
+            .map_err(|_| err("--log-rate-limit is out of range"))?,
     };
     let fault_specs = opts.get_all("fault");
     let faults = if fault_specs.is_empty() {
@@ -728,6 +754,29 @@ mod tests {
         assert!(e.0.contains("never, always"), "{e}");
         let e = run(&sv(&["serve", "--jsonl", "--fsync", "0"]), &mut out).unwrap_err();
         assert!(e.0.contains("at least 1"), "{e}");
+        let e = run(
+            &sv(&["serve", "--jsonl", "--log-level", "chatty"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("error, warn, info or debug"), "{e}");
+        let e = run(
+            &sv(&["serve", "--jsonl", "--log-rate-limit", "0"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("at least 1"), "{e}");
+        let e = run(
+            &sv(&[
+                "serve",
+                "--jsonl",
+                "--log-json",
+                "/nonexistent-dir/batsched/spans.jsonl",
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("cannot open"), "{e}");
         let e = run(
             &sv(&["serve", "--jsonl", "--fault", "warp-core:breach=1"]),
             &mut out,

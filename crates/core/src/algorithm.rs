@@ -115,6 +115,15 @@ impl SolverWorkspace {
     pub fn disable_sweep_carry(&mut self) {
         self.buffers.disable_sweep_carry();
     }
+
+    /// Snapshot of the cumulative solver-phase counters
+    /// ([`crate::prof::Prof`]) accumulated by every run through this
+    /// workspace. Serving workers snapshot before and after a request and
+    /// diff with [`crate::prof::Prof::since`] to attribute work
+    /// per-request.
+    pub fn prof(&self) -> crate::prof::Prof {
+        self.buffers.prof()
+    }
 }
 
 /// Runs the paper's full algorithm on `g` with deadline `deadline`.

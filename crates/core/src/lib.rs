@@ -32,6 +32,7 @@
 pub mod algorithm;
 pub mod config;
 pub mod error;
+pub mod prof;
 pub mod refine;
 pub mod report;
 pub mod schedule;
@@ -41,6 +42,7 @@ pub mod sequence;
 pub use algorithm::{schedule, schedule_in, IterationRecord, Solution, SolverWorkspace};
 pub use config::{FactorMask, InitialWeight, SchedulerConfig};
 pub use error::SchedulerError;
+pub use prof::Prof;
 pub use refine::{
     refine_schedule, refine_schedule_in, schedule_refined, schedule_refined_in, RefineStats,
     Refined,

@@ -430,6 +430,14 @@ pub(crate) struct DpfScratch {
     /// Whether any candidate of the current row stopped at a repaired
     /// state — the row's dirty marker for the cross-window carry.
     row_repaired: bool,
+    /// Profiling: repair promotions recorded (one-shot journal entries
+    /// plus `run_len` per materialized sweep run). Cumulative; read
+    /// through [`EvalBuffers::prof`].
+    prof_promotions: u64,
+    /// Profiling: repair state undone (one-shot journal entries rolled
+    /// back at row end, carried-chain entries dropped for
+    /// re-materialization).
+    prof_rollbacks: u64,
 }
 
 impl DpfScratch {
@@ -582,6 +590,7 @@ impl DpfScratch {
     /// records stay in the shadow for cheap re-materialization).
     fn truncate_chain(&mut self, cpos: usize) {
         if cpos < self.chain_src.len() {
+            self.prof_rollbacks += (self.chain_src.len() - cpos) as u64;
             self.chain_src.truncate(cpos);
             self.r_sum.truncate(cpos + 1);
             self.re_h.truncate(cpos + 1);
@@ -622,6 +631,7 @@ impl DpfScratch {
 
     /// Folds record `idx` into the row's materialized chain.
     fn materialize(&mut self, idx: usize) {
+        self.prof_promotions += self.run_len as u64;
         let rec = self.runs[idx];
         let t = rec.task as usize;
         let stride = self.run_len + 1;
@@ -908,6 +918,7 @@ impl DpfScratch {
             // Promoted into the window's fastest column: no further moves.
             self.etemp[q.index()] = true;
         }
+        self.prof_promotions += 1;
         self.journal.push(Promotion { pos: r, old_col: c });
         self.s_te.push(self.s_te[k] + d_te);
         self.s_energy.push(self.s_energy[k] + d_energy);
@@ -1027,6 +1038,7 @@ impl DpfScratch {
     /// state. One-shot rows only — a carried sweep's run-level journal
     /// persists across rows and is pruned by [`Self::advance_row`].
     fn end_row(&mut self, seq: &[TaskId], assign: &mut [usize]) {
+        self.prof_rollbacks += self.journal.len() as u64;
         self.occ_seek(0);
         for p in self.journal.iter().rev() {
             assign[p.pos] = p.old_col;
@@ -1314,9 +1326,15 @@ pub(crate) fn choose_design_points_into(
         choose,
         carry,
         carry_disabled,
+        sweep_prof,
         ..
     } = buffers;
     let carried = !*carry_disabled && carry.matches(ctx, seq, ws);
+    if carried {
+        sweep_prof.carry_hits += 1;
+    } else {
+        sweep_prof.carry_misses += 1;
+    }
     // Invalidate while mutating; re-validated only on success.
     carry.valid = false;
     let ChooseBuffers {
@@ -1353,6 +1371,7 @@ pub(crate) fn choose_design_points_into(
         fixed_in_e.resize(tasks, false);
         fixed_in_e[seq[n - 1].index()] = true;
         for i in (0..n.saturating_sub(1)).rev() {
+            sweep_prof.rows_full += 1;
             let row = suitability_row(ctx, seq, pos_of, assign, fixed_in_e, tsum, i, ws, scratch);
             let mut best: Option<(usize, f64)> = None;
             for &(j, fb) in row {
@@ -1423,6 +1442,11 @@ pub(crate) fn choose_design_points_into(
             .total(ctx.mask)
         };
         let fast = clean && prev.repair_free && bases.rest_te + ctx.d(seq[i], ws) <= d + TIME_EPS;
+        if fast {
+            sweep_prof.rows_carried += 1;
+        } else {
+            sweep_prof.rows_full += 1;
+        }
         let (j, b, repair_free) = if fast {
             // Every candidate the previous window scored reproduces the
             // same bits here; only the window's new fastest column can
@@ -1712,12 +1736,45 @@ pub struct EvalBuffers {
     pub(crate) choose: ChooseBuffers,
     pub(crate) carry: WindowCarry,
     pub(crate) carry_disabled: bool,
+    pub(crate) sweep_prof: SweepProf,
+}
+
+/// Window-sweep phase counters held by [`EvalBuffers`]; the
+/// journal/σ-cache counters live in their own scratch structures and are
+/// composed by [`EvalBuffers::prof`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SweepProf {
+    pub(crate) windows: u64,
+    pub(crate) carry_hits: u64,
+    pub(crate) carry_misses: u64,
+    pub(crate) rows_full: u64,
+    pub(crate) rows_carried: u64,
 }
 
 impl EvalBuffers {
     /// Creates empty buffers (they grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Snapshot of the cumulative solver-phase counters accumulated by
+    /// every search that ran through these buffers (see
+    /// [`crate::prof::Prof`] for what each counter means and the
+    /// `parallel`-feature caveat).
+    pub fn prof(&self) -> crate::prof::Prof {
+        let (sigma_evals, sigma_reused, sigma_fresh) = self.sigma.cache_stats();
+        crate::prof::Prof {
+            windows: self.sweep_prof.windows,
+            carry_hits: self.sweep_prof.carry_hits,
+            carry_misses: self.sweep_prof.carry_misses,
+            rows_full: self.sweep_prof.rows_full,
+            rows_carried: self.sweep_prof.rows_carried,
+            journal_promotions: self.dpf.prof_promotions,
+            journal_rollbacks: self.dpf.prof_rollbacks,
+            sigma_evals,
+            sigma_reused,
+            sigma_fresh,
+        }
     }
 
     /// Disables the cross-row / cross-window carry, forcing the fresh
@@ -1741,6 +1798,7 @@ fn evaluate_one_window(
     ws: usize,
     scratch: &mut EvalBuffers,
 ) -> Result<WindowRecord, SchedulerError> {
+    scratch.sweep_prof.windows += 1;
     choose_design_points_into(ctx, seq, ws, scratch)?;
     let (cost, makespan) = positional_cost_split(
         ctx,

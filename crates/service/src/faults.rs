@@ -248,6 +248,15 @@ impl FaultPlane {
         !self.inner.rules.is_empty()
     }
 
+    /// Total injections performed across every rule and site so far.
+    pub fn injected_total(&self) -> u64 {
+        self.inner
+            .rules
+            .iter()
+            .map(|r| r.injected.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Total injections performed at `site` so far.
     pub fn injected(&self, site: FaultSite) -> u64 {
         self.inner

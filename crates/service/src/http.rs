@@ -7,9 +7,22 @@
 //!   answers `200` (with `X-Cache: hit|miss`), `400` for client errors,
 //!   `503` when the queue is full, `500` for internal failures;
 //! * `GET /v1/stats` — the service's counters as JSON;
-//! * `GET /healthz` — liveness probe;
+//! * `GET /v1/metrics` — counters, gauges and latency histograms in
+//!   Prometheus text exposition format;
+//! * `GET /healthz` — liveness probe: answers 200 whenever the process
+//!   can serve HTTP at all;
+//! * `GET /readyz` — readiness probe: 503 (with the reasons) while the
+//!   disk breaker is open, the worker pool is below target, or shutdown
+//!   has begun;
 //! * `POST /v1/shutdown` — acknowledges, then stops the acceptor (the
 //!   owner's [`HttpServer::wait`] returns so it can drain the service).
+//!
+//! Every request on `/v1/schedule` carries a trace id: a client-supplied
+//! `X-Request-Id` (sane ones are echoed verbatim on the response,
+//! including typed errors) or one generated from the body's content hash
+//! plus a monotonic sequence. When the service was started with a span
+//! log, completing the request emits one structured JSON line with the
+//! full stage timing breakdown (see [`crate::trace::Span`]).
 //!
 //! Each accepted connection runs a request loop: HTTP/1.1 connections are
 //! kept alive by default (HTTP/1.0 ones only on an explicit
@@ -27,13 +40,14 @@
 //! concurrency — the queue provides the backpressure).
 
 use crate::service::{Disposition, Service};
+use crate::trace::{self, Span};
 use crate::wire::ErrorResponse;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted request body (an n=50, m=8 instance is ~60 KB; this
 /// leaves two orders of magnitude of headroom without letting one client
@@ -197,16 +211,27 @@ fn handle_connection(
                 Err(e) => return Err(e),
             }
         }
-        // A request is arriving: per-read timeout from here on.
+        // A request is arriving: per-read timeout from here on. The
+        // request's end-to-end clock starts at its first byte.
         stream.set_read_timeout(Some(IO_TIMEOUT))?;
 
         served += 1;
+        let started = Instant::now();
         let request = read_request(&mut reader);
+        let read_us = started.elapsed().as_micros() as u64;
         let wants_more = matches!(&request, Ok(req) if req.keep_alive)
             && served < MAX_REQUESTS_PER_CONNECTION
             && !shutdown.load(Ordering::SeqCst);
 
-        let exit = serve_one(request, &mut stream, service, shutdown, wants_more)?;
+        let exit = serve_one(
+            request,
+            &mut stream,
+            service,
+            shutdown,
+            wants_more,
+            started,
+            read_us,
+        )?;
         // Continue the loop only when both sides agreed to keep going.
         if matches!(exit, LoopExit::AnnouncedClose) || !wants_more {
             return Ok(());
@@ -224,6 +249,8 @@ fn serve_one(
     service: &Arc<Service>,
     shutdown: &Arc<AtomicBool>,
     keep_alive: bool,
+    started: Instant,
+    read_us: u64,
 ) -> io::Result<LoopExit> {
     let req = match request {
         Ok(req) => req,
@@ -234,7 +261,7 @@ fn serve_one(
                 "Payload Too Large",
                 &ErrorResponse::new("too_large", "request head or body exceeds the size limit")
                     .to_json(),
-                None,
+                &[],
                 false,
             )?;
             return Ok(LoopExit::AnnouncedClose);
@@ -245,7 +272,7 @@ fn serve_one(
                 400,
                 "Bad Request",
                 &ErrorResponse::new("bad_http", msg).to_json(),
-                None,
+                &[],
                 false,
             )?;
             return Ok(LoopExit::AnnouncedClose);
@@ -256,7 +283,7 @@ fn serve_one(
                 501,
                 "Not Implemented",
                 &ErrorResponse::new("unsupported_transfer_encoding", msg).to_json(),
-                None,
+                &[],
                 false,
             )?;
             return Ok(LoopExit::AnnouncedClose);
@@ -264,30 +291,76 @@ fn serve_one(
         Err(RequestError::Io(e)) => return Err(e),
     };
 
+    // A sane client-supplied X-Request-Id is echoed on every response,
+    // typed errors included, so the caller can correlate across retries.
+    let echo_header = req
+        .request_id
+        .as_ref()
+        .map(|id| format!("X-Request-Id: {id}"));
+    let echo: Vec<&str> = echo_header.as_deref().into_iter().collect();
+
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/schedule") => {
+            let trace_id = req
+                .request_id
+                .clone()
+                .unwrap_or_else(|| trace::make_trace_id(&req.body, service.next_trace_seq()));
             let reply = service.call(req.body);
-            let (status, reason) = match reply.disposition {
-                Disposition::Ok { .. } => (200, "OK"),
-                Disposition::ClientError => (400, "Bad Request"),
-                Disposition::Overloaded => (503, "Service Unavailable"),
-                Disposition::Timeout => (504, "Gateway Timeout"),
-                Disposition::Internal => (500, "Internal Server Error"),
-            };
+            let status = trace::status_code(reply.disposition);
             let x_cache = match reply.disposition {
                 Disposition::Ok { cached: true } => Some("X-Cache: hit"),
                 Disposition::Ok { cached: false } => Some("X-Cache: miss"),
                 _ => None,
             };
-            write_response(stream, status, reason, &reply.body, x_cache, keep_alive)?;
+            let rid_header = format!("X-Request-Id: {trace_id}");
+            let mut headers: Vec<&str> = vec![rid_header.as_str()];
+            headers.extend(x_cache);
+            let write_started = Instant::now();
+            write_response(
+                stream,
+                status,
+                reason_phrase(status),
+                &reply.body,
+                &headers,
+                keep_alive,
+            )?;
+            let write_us = write_started.elapsed().as_micros() as u64;
+            service.observe_http(read_us, write_us);
+            let total_us = started.elapsed().as_micros() as u64;
+            service.log_span(&Span::new(trace_id, &reply, read_us, write_us, total_us));
             Ok(LoopExit::CleanClose)
         }
         ("GET", "/v1/stats") => {
-            write_response(stream, 200, "OK", &service.stats_json(), None, keep_alive)?;
+            write_response(stream, 200, "OK", &service.stats_json(), &echo, keep_alive)?;
+            Ok(LoopExit::CleanClose)
+        }
+        ("GET", "/v1/metrics") => {
+            write_response_typed(
+                stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &service.metrics_text(),
+                &echo,
+                keep_alive,
+            )?;
             Ok(LoopExit::CleanClose)
         }
         ("GET", "/healthz") => {
-            write_response(stream, 200, "OK", r#"{"ok":true}"#, None, keep_alive)?;
+            write_response(stream, 200, "OK", r#"{"ok":true}"#, &echo, keep_alive)?;
+            Ok(LoopExit::CleanClose)
+        }
+        ("GET", "/readyz") => {
+            match service.readiness() {
+                Ok(()) => {
+                    write_response(stream, 200, "OK", r#"{"ready":true}"#, &echo, keep_alive)?;
+                }
+                Err(reasons) => {
+                    let listed: Vec<String> = reasons.iter().map(|r| format!("\"{r}\"")).collect();
+                    let body = format!("{{\"ready\":false,\"reasons\":[{}]}}", listed.join(","));
+                    write_response(stream, 503, "Service Unavailable", &body, &echo, keep_alive)?;
+                }
+            }
             Ok(LoopExit::CleanClose)
         }
         ("POST", "/v1/shutdown") => {
@@ -296,7 +369,7 @@ fn serve_one(
                 200,
                 "OK",
                 r#"{"ok":true,"shutting_down":true}"#,
-                None,
+                &echo,
                 false,
             )?;
             shutdown.store(true, Ordering::SeqCst);
@@ -309,11 +382,21 @@ fn serve_one(
                 "Not Found",
                 &ErrorResponse::new("not_found", format!("no route {} {}", req.method, req.path))
                     .to_json(),
-                None,
+                &echo,
                 keep_alive,
             )?;
             Ok(LoopExit::CleanClose)
         }
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Internal Server Error",
     }
 }
 
@@ -325,6 +408,8 @@ struct Request {
     /// Whether the *client* side of the keep-alive negotiation allows
     /// another request on this connection.
     keep_alive: bool,
+    /// A sane client-supplied `X-Request-Id`, already sanitised.
+    request_id: Option<String>,
 }
 
 enum RequestError {
@@ -424,6 +509,7 @@ fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
     };
 
     let mut content_length: Option<usize> = None;
+    let mut request_id: Option<String> = None;
     loop {
         let line = read_head_line(reader, &mut budget)?
             .ok_or_else(|| RequestError::Malformed("premature EOF in headers".into()))?;
@@ -452,6 +538,11 @@ fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
             return Err(RequestError::Unsupported(format!(
                 "Transfer-Encoding ({value}) is not supported; send a Content-Length body"
             )));
+        } else if name.eq_ignore_ascii_case("x-request-id") {
+            // An insane id (empty, oversized, non-printable) is ignored —
+            // the request still gets a generated trace id — rather than
+            // rejected: the id is advisory, not part of the contract.
+            request_id = trace::sanitize_client_id(value);
         } else if name.eq_ignore_ascii_case("connection") {
             for token in value.split(',') {
                 let token = token.trim();
@@ -483,6 +574,7 @@ fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
         path,
         body,
         keep_alive,
+        request_id,
     })
 }
 
@@ -491,15 +583,35 @@ fn write_response(
     status: u16,
     reason: &str,
     body: &str,
-    extra_header: Option<&str>,
+    extra_headers: &[&str],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write_response_typed(
+        stream,
+        status,
+        reason,
+        "application/json",
+        body,
+        extra_headers,
+        keep_alive,
+    )
+}
+
+fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[&str],
     keep_alive: bool,
 ) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     );
-    if let Some(h) = extra_header {
+    for h in extra_headers {
         head.push_str(h);
         head.push_str("\r\n");
     }

@@ -3,7 +3,9 @@
 //! pair — the CLI wires it to stdin/stdout, tests to in-memory buffers.
 
 use crate::service::{Disposition, Service};
+use crate::trace::{self, Span};
 use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 /// What a JSONL session processed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,6 +41,8 @@ pub fn run_jsonl<R: BufRead, W: Write>(
         if line.trim().is_empty() {
             continue;
         }
+        let started = Instant::now();
+        let trace_id = trace::make_trace_id(&line, service.next_trace_seq());
         let reply = service.call(line);
         summary.requests += 1;
         match reply.disposition {
@@ -49,9 +53,13 @@ pub fn run_jsonl<R: BufRead, W: Write>(
             }
             _ => summary.errors += 1,
         }
+        let write_started = Instant::now();
         output.write_all(reply.body.as_bytes())?;
         output.write_all(b"\n")?;
         output.flush()?;
+        let write_us = write_started.elapsed().as_micros() as u64;
+        let total_us = started.elapsed().as_micros() as u64;
+        service.log_span(&Span::new(trace_id, &reply, 0, write_us, total_us));
     }
     Ok(summary)
 }

@@ -23,7 +23,14 @@
 //! * [`http`] — a dependency-free HTTP/1.1 frontend on `std::net` with
 //!   keep-alive connections and strict request framing;
 //! * [`faults`] — the fault-injection plane chaos tests arm to drive the
-//!   failure paths (worker panics, slow solves, disk errors) on purpose.
+//!   failure paths (worker panics, slow solves, disk errors) on purpose;
+//! * [`metrics`] — hand-rolled fixed-boundary log-bucket histograms and
+//!   the Prometheus text rendering behind `GET /v1/metrics`;
+//! * [`trace`] — request trace ids (client-supplied or generated),
+//!   per-stage timing accumulation, and the one-span-per-request JSON
+//!   rendering;
+//! * [`logfmt`] — the span-log sink: level filter, per-second rate
+//!   limit, file or stderr target (`--log-json`).
 //!
 //! The service is built to fail partially, never totally: a panicking
 //! solve answers a typed `internal` error and the worker is respawned, a
@@ -55,7 +62,10 @@ pub mod disk;
 pub mod faults;
 pub mod http;
 pub mod jsonl;
+pub mod logfmt;
+pub mod metrics;
 pub mod service;
+pub mod trace;
 pub mod wire;
 
 pub use cache::{LruCache, ShardedCache};
@@ -63,9 +73,12 @@ pub use disk::{DiskTier, FsyncPolicy};
 pub use faults::{FaultPlane, FaultRule, FaultSite};
 pub use http::HttpServer;
 pub use jsonl::{run_jsonl, JsonlSummary};
+pub use logfmt::{Level, LogTarget, SpanLog};
+pub use metrics::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_US};
 pub use service::{
     solve, ConfigError, Disposition, Reply, Service, ServiceConfig, StartError, StatsSnapshot,
 };
+pub use trace::{RequestTrace, Span};
 pub use wire::{
     parse_request, ErrorResponse, ModelSpec, ScheduleRequest, ScheduleResponse, WireError,
     WIRE_VERSION,

@@ -1,0 +1,236 @@
+//! Structured log emission: severity levels, the `--log-json` sink, and
+//! the rate-limited JSONL span writer.
+//!
+//! One request = one JSON line (see [`crate::trace::Span`]). The writer is
+//! deliberately boring: a mutex around a buffered sink, a per-second token
+//! window so a request flood cannot turn the log into the bottleneck, and
+//! a dropped-line note whenever the limiter engaged so the gap is visible
+//! in the log itself rather than silent.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The service failed a request for an internal reason.
+    Error,
+    /// The request failed in a way the caller (or operator) should see.
+    Warn,
+    /// A request completed normally.
+    Info,
+    /// Extra detail; nothing emits at this level yet, but the filter
+    /// accepts it so `--log-level debug` is future-proof.
+    Debug,
+}
+
+impl Level {
+    /// Parses the CLI spelling (`error`, `warn`, `info`, `debug`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Where span lines go.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogTarget {
+    /// Interleave with diagnostics on standard error.
+    Stderr,
+    /// Append to a file (created if missing).
+    File(PathBuf),
+}
+
+impl LogTarget {
+    /// Parses the CLI spelling: the literal `stderr`, else a file path.
+    pub fn parse(s: &str) -> LogTarget {
+        if s == "stderr" {
+            LogTarget::Stderr
+        } else {
+            LogTarget::File(PathBuf::from(s))
+        }
+    }
+}
+
+enum Sink {
+    Stderr,
+    File(BufWriter<File>),
+}
+
+struct LogInner {
+    sink: Sink,
+    window_start: Instant,
+    emitted_in_window: u32,
+    dropped_in_window: u64,
+}
+
+/// A rate-limited JSONL sink for request spans.
+///
+/// `log` is called once per completed request from the frontends; lines
+/// below `min_level` severity are filtered, and at most `limit_per_sec`
+/// lines are written per one-second window. When a window overflowed, the
+/// first write of the next window is preceded by a synthetic
+/// `{"level":"warn","event":"spans_dropped",...}` line carrying the count.
+pub struct SpanLog {
+    min_level: Level,
+    limit_per_sec: u32,
+    dropped_total: AtomicU64,
+    inner: Mutex<LogInner>,
+}
+
+impl SpanLog {
+    /// Opens the sink (creating/appending a file target).
+    ///
+    /// # Errors
+    ///
+    /// File-system errors opening a [`LogTarget::File`].
+    pub fn open(target: &LogTarget, min_level: Level, limit_per_sec: u32) -> io::Result<SpanLog> {
+        let sink = match target {
+            LogTarget::Stderr => Sink::Stderr,
+            LogTarget::File(path) => Sink::File(BufWriter::new(
+                OpenOptions::new().create(true).append(true).open(path)?,
+            )),
+        };
+        Ok(SpanLog {
+            min_level,
+            limit_per_sec,
+            dropped_total: AtomicU64::new(0),
+            inner: Mutex::new(LogInner {
+                sink,
+                window_start: Instant::now(),
+                emitted_in_window: 0,
+                dropped_in_window: 0,
+            }),
+        })
+    }
+
+    /// Emits one pre-rendered JSON line at `level`. Returns `true` when
+    /// the line was written, `false` when filtered or rate-limited.
+    pub fn log(&self, level: Level, line: &str) -> bool {
+        if level > self.min_level {
+            return false;
+        }
+        let mut inner = self.inner.lock().expect("span log lock");
+        if inner.window_start.elapsed() >= Duration::from_secs(1) {
+            inner.window_start = Instant::now();
+            inner.emitted_in_window = 0;
+            if inner.dropped_in_window > 0 {
+                let note = format!(
+                    "{{\"level\":\"warn\",\"event\":\"spans_dropped\",\"count\":{}}}",
+                    inner.dropped_in_window
+                );
+                inner.dropped_in_window = 0;
+                inner.emitted_in_window += 1;
+                write_line(&mut inner.sink, &note);
+            }
+        }
+        if inner.emitted_in_window >= self.limit_per_sec {
+            inner.dropped_in_window += 1;
+            self.dropped_total.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        inner.emitted_in_window += 1;
+        write_line(&mut inner.sink, line);
+        true
+    }
+
+    /// Total span lines suppressed by the rate limiter since startup.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_total.load(Ordering::Relaxed)
+    }
+}
+
+fn write_line(sink: &mut Sink, line: &str) {
+    // A failing log sink must never fail a request; errors are swallowed
+    // after one best-effort stderr note would itself risk recursion, so
+    // they are simply ignored.
+    match sink {
+        Sink::Stderr => {
+            let stderr = io::stderr();
+            let mut h = stderr.lock();
+            let _ = writeln!(h, "{line}");
+        }
+        Sink::File(w) => {
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("batsched_logfmt_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn level_parse_and_order() {
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("bogus"), None);
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::Info.name(), "info");
+    }
+
+    #[test]
+    fn target_parse() {
+        assert_eq!(LogTarget::parse("stderr"), LogTarget::Stderr);
+        assert_eq!(
+            LogTarget::parse("/tmp/x.jsonl"),
+            LogTarget::File(PathBuf::from("/tmp/x.jsonl"))
+        );
+    }
+
+    #[test]
+    fn writes_lines_and_filters_by_level() {
+        let path = tmp("filter");
+        let log = SpanLog::open(&LogTarget::File(path.clone()), Level::Warn, 100).unwrap();
+        assert!(log.log(Level::Error, "{\"a\":1}"));
+        assert!(log.log(Level::Warn, "{\"b\":2}"));
+        assert!(!log.log(Level::Info, "{\"c\":3}"), "info > warn: filtered");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["{\"a\":1}", "{\"b\":2}"]);
+        assert_eq!(log.dropped(), 0, "level filtering is not dropping");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rate_limit_drops_and_counts() {
+        let path = tmp("ratelimit");
+        let log = SpanLog::open(&LogTarget::File(path.clone()), Level::Info, 2).unwrap();
+        for i in 0..5 {
+            log.log(Level::Info, &format!("{{\"i\":{i}}}"));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "window admits exactly the limit");
+        assert_eq!(log.dropped(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -28,9 +28,12 @@
 use crate::cache::ShardedCache;
 use crate::disk::{DiskTier, FsyncPolicy};
 use crate::faults::FaultPlane;
+use crate::logfmt::{Level, LogTarget, SpanLog};
+use crate::metrics::{render_histogram, render_sample, render_type, Histogram};
+use crate::trace::{RequestTrace, Span};
 use crate::wire::{self, ErrorResponse, ScheduleRequest, ScheduleResponse, WIRE_VERSION};
 use batsched_battery::units::{MilliAmpMinutes, Minutes};
-use batsched_core::{schedule_in, SolverWorkspace};
+use batsched_core::{schedule_in, Prof, SolverWorkspace};
 use serde::Serialize;
 use std::fmt;
 use std::io;
@@ -68,6 +71,14 @@ pub struct ServiceConfig {
     /// How often a tripped breaker lets one probe operation through to
     /// test whether the disk healed (must be non-zero).
     pub disk_probe_interval: Duration,
+    /// Structured span-log destination (one JSON line per completed
+    /// request); `None` disables span logging entirely.
+    pub log_json: Option<LogTarget>,
+    /// Minimum severity written to the span log.
+    pub log_level: Level,
+    /// Maximum span lines written per second (must be ≥ 1); lines beyond
+    /// the budget are counted and reported, not written.
+    pub log_rate_limit: u32,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +93,9 @@ impl Default for ServiceConfig {
             fsync_policy: FsyncPolicy::default(),
             disk_breaker_threshold: 3,
             disk_probe_interval: Duration::from_secs(2),
+            log_json: None,
+            log_level: Level::Info,
+            log_rate_limit: 5_000,
         }
     }
 }
@@ -107,6 +121,8 @@ pub enum ConfigError {
     ZeroBreakerThreshold,
     /// `disk_probe_interval == 0`: a tripped breaker would never throttle.
     ZeroProbeInterval,
+    /// `log_rate_limit == 0`: every span line would be dropped.
+    ZeroLogRateLimit,
 }
 
 impl fmt::Display for ConfigError {
@@ -120,6 +136,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroFsyncInterval => "fsync_policy every-N interval must be >= 1",
             ConfigError::ZeroBreakerThreshold => "disk_breaker_threshold must be >= 1",
             ConfigError::ZeroProbeInterval => "disk_probe_interval must be > 0",
+            ConfigError::ZeroLogRateLimit => "log_rate_limit must be >= 1",
         };
         f.write_str(msg)
     }
@@ -135,6 +152,8 @@ pub enum StartError {
     Config(ConfigError),
     /// The disk cache tier could not be opened.
     Io(io::Error),
+    /// The span log sink could not be opened.
+    Log(io::Error),
 }
 
 impl fmt::Display for StartError {
@@ -142,6 +161,7 @@ impl fmt::Display for StartError {
         match self {
             StartError::Config(e) => write!(f, "invalid service config: {e}"),
             StartError::Io(e) => write!(f, "cannot open disk cache tier: {e}"),
+            StartError::Log(e) => write!(f, "cannot open span log: {e}"),
         }
     }
 }
@@ -151,6 +171,7 @@ impl std::error::Error for StartError {
         match self {
             StartError::Config(e) => Some(e),
             StartError::Io(e) => Some(e),
+            StartError::Log(e) => Some(e),
         }
     }
 }
@@ -199,6 +220,8 @@ pub struct Reply {
     pub disposition: Disposition,
     /// Wall-clock service time in microseconds (enqueue to answer).
     pub micros: u64,
+    /// Stage timings and solver attribution for this request.
+    pub trace: RequestTrace,
 }
 
 struct Job {
@@ -226,6 +249,96 @@ struct Counters {
     solve_nanos: AtomicU64,
     hit_nanos: AtomicU64,
     disk_hit_nanos: AtomicU64,
+}
+
+/// Aggregated solver phase counters across all requests (the sum of every
+/// per-request [`Prof`] delta), readable without stopping the world.
+#[derive(Debug, Default)]
+struct ProfTotals {
+    windows: AtomicU64,
+    carry_hits: AtomicU64,
+    carry_misses: AtomicU64,
+    rows_full: AtomicU64,
+    rows_carried: AtomicU64,
+    journal_promotions: AtomicU64,
+    journal_rollbacks: AtomicU64,
+    sigma_evals: AtomicU64,
+    sigma_reused: AtomicU64,
+    sigma_fresh: AtomicU64,
+}
+
+impl ProfTotals {
+    fn add(&self, p: &Prof) {
+        self.windows.fetch_add(p.windows, Ordering::Relaxed);
+        self.carry_hits.fetch_add(p.carry_hits, Ordering::Relaxed);
+        self.carry_misses
+            .fetch_add(p.carry_misses, Ordering::Relaxed);
+        self.rows_full.fetch_add(p.rows_full, Ordering::Relaxed);
+        self.rows_carried
+            .fetch_add(p.rows_carried, Ordering::Relaxed);
+        self.journal_promotions
+            .fetch_add(p.journal_promotions, Ordering::Relaxed);
+        self.journal_rollbacks
+            .fetch_add(p.journal_rollbacks, Ordering::Relaxed);
+        self.sigma_evals.fetch_add(p.sigma_evals, Ordering::Relaxed);
+        self.sigma_reused
+            .fetch_add(p.sigma_reused, Ordering::Relaxed);
+        self.sigma_fresh.fetch_add(p.sigma_fresh, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> Prof {
+        let l = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        Prof {
+            windows: l(&self.windows),
+            carry_hits: l(&self.carry_hits),
+            carry_misses: l(&self.carry_misses),
+            rows_full: l(&self.rows_full),
+            rows_carried: l(&self.rows_carried),
+            journal_promotions: l(&self.journal_promotions),
+            journal_rollbacks: l(&self.journal_rollbacks),
+            sigma_evals: l(&self.sigma_evals),
+            sigma_reused: l(&self.sigma_reused),
+            sigma_fresh: l(&self.sigma_fresh),
+        }
+    }
+}
+
+/// The service's latency histograms plus solver phase totals.
+///
+/// Stage histograms are observed once per worker-handled request, for
+/// every stage — a stage that did not run observes 0 µs — so all stage
+/// `_count` series agree with each other and with the number of requests
+/// the workers handled. `total` is observed once per [`Service::call`];
+/// `read`/`write` once per HTTP-served request; `solve_cold` only on cold
+/// solves (it feeds the solve percentiles in stats).
+#[derive(Debug, Default)]
+struct Metrics {
+    total: Histogram,
+    read: Histogram,
+    write: Histogram,
+    queue: Histogram,
+    parse: Histogram,
+    hash: Histogram,
+    cache: Histogram,
+    disk: Histogram,
+    solve: Histogram,
+    serialize: Histogram,
+    solve_cold: Histogram,
+    prof: ProfTotals,
+}
+
+impl Metrics {
+    /// One uniform observation of every worker-side stage for a handled
+    /// request.
+    fn observe_stages(&self, t: &RequestTrace) {
+        self.queue.observe(t.queue_us);
+        self.parse.observe(t.parse_us);
+        self.hash.observe(t.hash_us);
+        self.cache.observe(t.cache_us);
+        self.disk.observe(t.disk_us);
+        self.solve.observe(t.solve_us);
+        self.serialize.observe(t.serialize_us);
+    }
 }
 
 /// Consecutive-error circuit breaker guarding the disk tier. Closed: every
@@ -305,10 +418,18 @@ struct Shared {
     cache: ShardedCache,
     disk: Option<Mutex<DiskTier>>,
     counters: Counters,
+    metrics: Metrics,
+    logger: Option<SpanLog>,
     breaker: Breaker,
     faults: FaultPlane,
     request_timeout: Option<Duration>,
     shutting_down: AtomicBool,
+    /// Monotonic sequence feeding generated trace ids.
+    trace_seq: AtomicU64,
+    /// Jobs accepted into the queue and not yet picked up by a worker.
+    in_queue: AtomicU64,
+    /// Worker threads currently alive (target is `ServiceConfig::workers`).
+    workers_live: AtomicU64,
 }
 
 /// Point-in-time statistics, served by the `stats` endpoint.
@@ -368,6 +489,26 @@ pub struct StatsSnapshot {
     pub hit_mean_us: f64,
     /// Mean disk-tier cache-hit latency (µs).
     pub disk_hit_mean_us: f64,
+    /// Jobs queued and not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Worker threads currently alive.
+    pub workers_live: u64,
+    /// Fault-injection rules fired since startup (0 when disarmed).
+    pub faults_injected: u64,
+    /// Span log lines suppressed by the rate limiter.
+    pub spans_dropped: u64,
+    /// End-to-end latency p50 (µs), from the request-duration histogram.
+    pub e2e_p50_us: f64,
+    /// End-to-end latency p95 (µs).
+    pub e2e_p95_us: f64,
+    /// End-to-end latency p99 (µs).
+    pub e2e_p99_us: f64,
+    /// Cold-solve latency p50 (µs), from the cold-solve histogram.
+    pub solve_p50_us: f64,
+    /// Cold-solve latency p95 (µs).
+    pub solve_p95_us: f64,
+    /// Cold-solve latency p99 (µs).
+    pub solve_p99_us: f64,
 }
 
 /// A running scheduling service. Cheap to share behind an [`Arc`];
@@ -432,6 +573,9 @@ fn validate(cfg: &ServiceConfig) -> Result<(), ConfigError> {
     if cfg.disk_probe_interval == Duration::ZERO {
         return Err(ConfigError::ZeroProbeInterval);
     }
+    if cfg.log_rate_limit == 0 {
+        return Err(ConfigError::ZeroLogRateLimit);
+    }
     Ok(())
 }
 
@@ -451,7 +595,7 @@ fn spawn_worker(
                 events,
                 clean: false,
             };
-            guard.clean = worker_loop(&rx, &shared);
+            guard.clean = worker_loop(id, &rx, &shared);
         })
         .expect("spawning a worker thread")
 }
@@ -502,14 +646,26 @@ impl Service {
                 faults.clone(),
             )?)),
         };
+        let logger = match &cfg.log_json {
+            None => None,
+            Some(target) => Some(
+                SpanLog::open(target, cfg.log_level, cfg.log_rate_limit)
+                    .map_err(StartError::Log)?,
+            ),
+        };
         let shared = Arc::new(Shared {
             cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
             disk,
             counters: Counters::default(),
+            metrics: Metrics::default(),
+            logger,
             breaker: Breaker::new(cfg.disk_breaker_threshold, cfg.disk_probe_interval),
             faults,
             request_timeout: cfg.request_timeout,
             shutting_down: AtomicBool::new(false),
+            trace_seq: AtomicU64::new(0),
+            in_queue: AtomicU64::new(0),
+            workers_live: AtomicU64::new(cfg.workers as u64),
         });
         let (ev_tx, ev_rx) = std::sync::mpsc::channel::<WorkerEvent>();
         let workers = cfg.workers;
@@ -531,10 +687,14 @@ impl Service {
                     let mut next_id = workers;
                     while live > 0 {
                         match ev_rx.recv() {
-                            Ok(WorkerEvent::Clean) => live -= 1,
+                            Ok(WorkerEvent::Clean) => {
+                                live -= 1;
+                                shared.workers_live.fetch_sub(1, Ordering::Relaxed);
+                            }
                             Ok(WorkerEvent::Panicked) => {
                                 if shared.shutting_down.load(Ordering::SeqCst) {
                                     live -= 1;
+                                    shared.workers_live.fetch_sub(1, Ordering::Relaxed);
                                 } else {
                                     shared
                                         .counters
@@ -580,6 +740,7 @@ impl Service {
                 body: ErrorResponse::overloaded(self.cfg.queue_capacity).to_json(),
                 disposition: Disposition::Overloaded,
                 micros: started.elapsed().as_micros() as u64,
+                trace: RequestTrace::default(),
             })
         };
         let guard = self.tx.lock().expect("service sender lock");
@@ -597,6 +758,7 @@ impl Service {
                     .counters
                     .received
                     .fetch_add(1, Ordering::Relaxed);
+                self.shared.in_queue.fetch_add(1, Ordering::Relaxed);
                 Ok(reply_rx)
             }
             Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
@@ -612,6 +774,18 @@ impl Service {
     /// answering yields a typed `internal` error, never a hang.
     pub fn call(&self, body: String) -> Reply {
         let started = Instant::now();
+        let reply = self.call_inner(body, started);
+        // The end-to-end histogram is observed here — once per answered
+        // request, whatever the outcome — so its `_count` is exactly the
+        // number of requests served through this entry point.
+        self.shared
+            .metrics
+            .total
+            .observe(started.elapsed().as_micros() as u64);
+        reply
+    }
+
+    fn call_inner(&self, body: String, started: Instant) -> Reply {
         let rx = match self.submit(body) {
             Ok(rx) => rx,
             Err(reply) => return *reply,
@@ -631,6 +805,7 @@ impl Service {
                             body: ErrorResponse::timeout(budget).to_json(),
                             disposition: Disposition::Timeout,
                             micros: started.elapsed().as_micros() as u64,
+                            trace: RequestTrace::default(),
                         };
                     }
                     Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => None,
@@ -641,7 +816,182 @@ impl Service {
             body: ErrorResponse::new("internal", "worker terminated before answering").to_json(),
             disposition: Disposition::Internal,
             micros: started.elapsed().as_micros() as u64,
+            trace: RequestTrace::default(),
         })
+    }
+
+    /// Allocates the next trace-id sequence number (process-monotonic).
+    pub(crate) fn next_trace_seq(&self) -> u64 {
+        self.shared.trace_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Writes one span line to the configured log sink (no-op when span
+    /// logging is disabled).
+    pub(crate) fn log_span(&self, span: &Span) {
+        if let Some(logger) = &self.shared.logger {
+            logger.log(span.severity(), &span.to_json());
+        }
+    }
+
+    /// Records the HTTP frontend's connection I/O timings for one request.
+    pub(crate) fn observe_http(&self, read_us: u64, write_us: u64) {
+        self.shared.metrics.read.observe(read_us);
+        self.shared.metrics.write.observe(write_us);
+    }
+
+    /// Readiness for traffic: `Ok(())` when the service can serve at full
+    /// capability, otherwise the reasons it cannot (shutdown begun, disk
+    /// breaker open, worker pool below target).
+    pub fn readiness(&self) -> Result<(), Vec<&'static str>> {
+        let mut reasons = Vec::new();
+        if self.shared.shutting_down.load(Ordering::SeqCst) {
+            reasons.push("shutting_down");
+        }
+        if self.shared.breaker.is_open() {
+            reasons.push("disk_degraded");
+        }
+        if self.shared.workers_live.load(Ordering::Relaxed) < self.cfg.workers as u64 {
+            reasons.push("workers_below_target");
+        }
+        if reasons.is_empty() {
+            Ok(())
+        } else {
+            Err(reasons)
+        }
+    }
+
+    /// The full metrics surface in Prometheus text exposition format:
+    /// request counters, queue/worker/breaker gauges, solver phase totals
+    /// and the per-stage latency histograms.
+    pub fn metrics_text(&self) -> String {
+        let c = &self.shared.counters;
+        let m = &self.shared.metrics;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut out = String::with_capacity(8 * 1024);
+
+        let counters: [(&str, u64); 16] = [
+            ("batsched_received_total", load(&c.received)),
+            ("batsched_solved_total", load(&c.ok_solved)),
+            ("batsched_cache_hits_total", load(&c.cache_hits)),
+            ("batsched_disk_hits_total", load(&c.disk_hits)),
+            ("batsched_cache_misses_total", load(&c.cache_misses)),
+            ("batsched_client_errors_total", load(&c.client_errors)),
+            ("batsched_internal_errors_total", load(&c.internal_errors)),
+            ("batsched_rejected_total", load(&c.rejected)),
+            ("batsched_timeouts_total", load(&c.timeouts)),
+            ("batsched_worker_panics_total", load(&c.worker_panics)),
+            ("batsched_worker_respawns_total", load(&c.worker_respawns)),
+            ("batsched_disk_errors_total", load(&c.disk_errors)),
+            (
+                "batsched_disk_breaker_trips_total",
+                load(&c.disk_breaker_trips),
+            ),
+            ("batsched_disk_rearms_total", load(&c.disk_rearms)),
+            (
+                "batsched_fault_injected_total",
+                self.shared.faults.injected_total(),
+            ),
+            (
+                "batsched_spans_dropped_total",
+                self.shared.logger.as_ref().map_or(0, SpanLog::dropped),
+            ),
+        ];
+        for (name, value) in counters {
+            render_type(&mut out, name, "counter");
+            render_sample(&mut out, name, "", value);
+        }
+
+        let disk_entries = self
+            .shared
+            .disk
+            .as_ref()
+            .map_or(0, |d| d.lock().expect("disk tier lock").len());
+        let gauges: [(&str, u64); 8] = [
+            (
+                "batsched_queue_depth",
+                self.shared.in_queue.load(Ordering::Relaxed),
+            ),
+            (
+                "batsched_workers_live",
+                self.shared.workers_live.load(Ordering::Relaxed),
+            ),
+            ("batsched_workers_target", self.cfg.workers as u64),
+            (
+                "batsched_disk_breaker_open",
+                u64::from(self.shared.breaker.is_open()),
+            ),
+            ("batsched_cache_entries", self.shared.cache.len() as u64),
+            (
+                "batsched_cache_capacity",
+                self.shared.cache.capacity() as u64,
+            ),
+            ("batsched_disk_entries", disk_entries as u64),
+            ("batsched_ready", u64::from(self.readiness().is_ok())),
+        ];
+        for (name, value) in gauges {
+            render_type(&mut out, name, "gauge");
+            render_sample(&mut out, name, "", value);
+        }
+
+        let prof = m.prof.load();
+        let solver: [(&str, u64); 10] = [
+            ("batsched_solver_windows_total", prof.windows),
+            ("batsched_solver_carry_hits_total", prof.carry_hits),
+            ("batsched_solver_carry_misses_total", prof.carry_misses),
+            ("batsched_solver_rows_full_total", prof.rows_full),
+            ("batsched_solver_rows_carried_total", prof.rows_carried),
+            (
+                "batsched_solver_journal_promotions_total",
+                prof.journal_promotions,
+            ),
+            (
+                "batsched_solver_journal_rollbacks_total",
+                prof.journal_rollbacks,
+            ),
+            ("batsched_solver_sigma_evals_total", prof.sigma_evals),
+            ("batsched_solver_sigma_reused_total", prof.sigma_reused),
+            ("batsched_solver_sigma_fresh_total", prof.sigma_fresh),
+        ];
+        for (name, value) in solver {
+            render_type(&mut out, name, "counter");
+            render_sample(&mut out, name, "", value);
+        }
+
+        render_type(&mut out, "batsched_request_duration_us", "histogram");
+        render_histogram(
+            &mut out,
+            "batsched_request_duration_us",
+            "",
+            &m.total.snapshot(),
+        );
+        render_type(&mut out, "batsched_stage_duration_us", "histogram");
+        let stages: [(&str, &Histogram); 9] = [
+            ("read", &m.read),
+            ("queue", &m.queue),
+            ("parse", &m.parse),
+            ("hash", &m.hash),
+            ("cache", &m.cache),
+            ("disk", &m.disk),
+            ("solve", &m.solve),
+            ("serialize", &m.serialize),
+            ("write", &m.write),
+        ];
+        for (stage, hist) in stages {
+            render_histogram(
+                &mut out,
+                "batsched_stage_duration_us",
+                &format!("stage=\"{stage}\""),
+                &hist.snapshot(),
+            );
+        }
+        render_type(&mut out, "batsched_solve_cold_duration_us", "histogram");
+        render_histogram(
+            &mut out,
+            "batsched_solve_cold_duration_us",
+            "",
+            &m.solve_cold.snapshot(),
+        );
+        out
     }
 
     /// A consistent-enough point-in-time statistics snapshot.
@@ -664,6 +1014,8 @@ impl Service {
         let solved = load(&c.ok_solved);
         let hits = load(&c.cache_hits);
         let disk_hits = load(&c.disk_hits);
+        let e2e = self.shared.metrics.total.snapshot();
+        let solve_cold = self.shared.metrics.solve_cold.snapshot();
         StatsSnapshot {
             v: WIRE_VERSION,
             workers: self.cfg.workers,
@@ -692,6 +1044,16 @@ impl Service {
             solve_mean_us: mean_us(load(&c.solve_nanos), solved),
             hit_mean_us: mean_us(load(&c.hit_nanos), hits),
             disk_hit_mean_us: mean_us(load(&c.disk_hit_nanos), disk_hits),
+            queue_depth: self.shared.in_queue.load(Ordering::Relaxed),
+            workers_live: self.shared.workers_live.load(Ordering::Relaxed),
+            faults_injected: self.shared.faults.injected_total(),
+            spans_dropped: self.shared.logger.as_ref().map_or(0, SpanLog::dropped),
+            e2e_p50_us: e2e.quantile(0.50),
+            e2e_p95_us: e2e.quantile(0.95),
+            e2e_p99_us: e2e.quantile(0.99),
+            solve_p50_us: solve_cold.quantile(0.50),
+            solve_p95_us: solve_cold.quantile(0.95),
+            solve_p99_us: solve_cold.quantile(0.99),
         }
     }
 
@@ -747,11 +1109,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 /// drained for shutdown) and `false` when a caught panic ends this worker
 /// — the workspace may hold arbitrary intermediate state, so the thread
 /// retires and the supervisor replaces it with a fresh one.
-fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) -> bool {
+fn worker_loop(id: usize, rx: &Mutex<Receiver<Job>>, shared: &Shared) -> bool {
     // The reusable per-worker state the whole design exists for: solver
     // buffers survive across requests, so steady-state solving does not
     // allocate in the σ hot path.
     let mut ws = SolverWorkspace::new();
+    let worker = Some(id as u32);
     loop {
         let job = {
             let guard = rx.lock().expect("job queue lock");
@@ -760,23 +1123,43 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) -> bool {
         let Ok(job) = job else {
             return true; // channel closed: graceful shutdown
         };
+        shared.in_queue.fetch_sub(1, Ordering::Relaxed);
+        let queue_us = job.submitted.elapsed().as_micros() as u64;
         // Shed jobs that expired while queued: the caller has already
         // answered `timeout`, so a solve here would be wasted work that
         // delays every request still inside its deadline.
         if let Some(budget) = shared.request_timeout {
             if job.submitted.elapsed() >= budget {
+                let trace = RequestTrace {
+                    queue_us,
+                    worker,
+                    ..RequestTrace::default()
+                };
+                shared.metrics.observe_stages(&trace);
                 let _ = job.reply.send(Reply {
                     body: ErrorResponse::timeout(budget).to_json(),
                     disposition: Disposition::Timeout,
                     micros: job.submitted.elapsed().as_micros() as u64,
+                    trace,
                 });
                 continue;
             }
         }
+        // The workspace's phase counters are cumulative across requests;
+        // the delta around `answer` is what this request cost.
+        let prof_before = ws.prof();
         match catch_unwind(AssertUnwindSafe(|| {
             answer(&job.body, shared, &mut ws, job.submitted)
         })) {
-            Ok(reply) => {
+            Ok(mut reply) => {
+                reply.trace.queue_us = queue_us;
+                reply.trace.worker = worker;
+                reply.trace.prof = ws.prof().since(&prof_before);
+                shared.metrics.prof.add(&reply.trace.prof);
+                shared.metrics.observe_stages(&reply.trace);
+                if reply.disposition == (Disposition::Ok { cached: false }) {
+                    shared.metrics.solve_cold.observe(reply.trace.solve_us);
+                }
                 let _ = job.reply.send(reply); // caller may have given up; fine
             }
             Err(payload) => {
@@ -791,10 +1174,22 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) -> bool {
                     ),
                 )
                 .to_json();
+                // The in-flight trace died with the unwound stack; report
+                // what the worker still knows. `injected` approximates
+                // fault-plane involvement: an armed plane is by far the
+                // most likely panic source in this codebase.
+                let trace = RequestTrace {
+                    queue_us,
+                    worker,
+                    injected: shared.faults.is_armed(),
+                    ..RequestTrace::default()
+                };
+                shared.metrics.observe_stages(&trace);
                 let _ = job.reply.send(Reply {
                     body,
                     disposition: Disposition::Internal,
                     micros: job.submitted.elapsed().as_micros() as u64,
+                    trace,
                 });
                 return false;
             }
@@ -804,49 +1199,67 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) -> bool {
 
 fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Instant) -> Reply {
     let c = &shared.counters;
-    let finish = |disposition: Disposition, body: String| Reply {
+    let finish = |disposition: Disposition, body: String, trace: RequestTrace| Reply {
         micros: submitted.elapsed().as_micros() as u64,
         body,
         disposition,
+        trace,
     };
+    let us = |t: Instant| t.elapsed().as_micros() as u64;
+    let mut trace = RequestTrace::default();
     // Injected solver latency models a slow solve (chaos tests drive the
     // deadline machinery with it); it sits inside `catch_unwind` like the
-    // real work it stands in for.
+    // real work it stands in for. The sleep is deliberately attributed to
+    // the solve stage — that is what it impersonates.
     if shared.faults.is_armed() {
         if let Some(delay) = shared.faults.solver_latency(body) {
             std::thread::sleep(delay);
+            trace.injected = true;
+            trace.solve_us += delay.as_micros() as u64;
         }
     }
     // Fast path: an exact byte-duplicate of a previously answered request
     // is replayed without parsing anything — the alias index maps the raw
     // document hash to the canonical cache entry, verifying the stored
     // document byte-for-byte (a hash collision is a miss, not a lie).
+    let t = Instant::now();
     let raw_key = wire::fnv1a64(body.as_bytes());
-    if let Some(cached) = shared.cache.get_by_alias(raw_key, body) {
+    let alias_hit = shared.cache.get_by_alias(raw_key, body);
+    trace.cache_us += us(t);
+    if let Some(cached) = alias_hit {
         c.cache_hits.fetch_add(1, Ordering::Relaxed);
         c.hit_nanos
             .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        return finish(Disposition::Ok { cached: true }, cached);
+        return finish(Disposition::Ok { cached: true }, cached, trace);
     }
-    let req = match wire::parse_request(body) {
+    let t = Instant::now();
+    let parsed = wire::parse_request(body);
+    trace.parse_us += us(t);
+    let req = match parsed {
         Ok(req) => req,
         Err(e) => {
             c.client_errors.fetch_add(1, Ordering::Relaxed);
             return finish(
                 Disposition::ClientError,
                 ErrorResponse::from_wire(&e).to_json(),
+                trace,
             );
         }
     };
+    let t = Instant::now();
     let key = req.content_hash();
-    if let Some(cached) = shared.cache.get(key) {
+    trace.hash_us += us(t);
+    let t = Instant::now();
+    let canonical_hit = shared.cache.get(key);
+    trace.cache_us += us(t);
+    if let Some(cached) = canonical_hit {
         // Different spelling, same canonical question: remember this
         // spelling so its next occurrence takes the fast path.
         shared.cache.alias(raw_key, body, key);
         c.cache_hits.fetch_add(1, Ordering::Relaxed);
         c.hit_nanos
             .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        return finish(Disposition::Ok { cached: true }, cached);
+        return finish(Disposition::Ok { cached: true }, cached, trace);
     }
     // One breaker decision covers this request's disk read and (on a cold
     // solve) its disk append: while the tier is degraded both are skipped,
@@ -858,7 +1271,9 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
     // to a cold solve — the disk never fails a solvable request.
     if disk_allowed {
         let disk = shared.disk.as_ref().expect("disk checked above");
+        let t = Instant::now();
         let persisted = disk.lock().expect("disk tier lock").get(key);
+        trace.disk_us += us(t);
         match persisted {
             Ok(Some(cached)) => {
                 shared.breaker.record_ok(c);
@@ -867,13 +1282,17 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
                 c.disk_hits.fetch_add(1, Ordering::Relaxed);
                 c.disk_hit_nanos
                     .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                return finish(Disposition::Ok { cached: true }, cached);
+                trace.served_from_disk = true;
+                return finish(Disposition::Ok { cached: true }, cached, trace);
             }
             // An index miss does no I/O, so it proves nothing about the
             // disk's health: neutral for the breaker.
             Ok(None) => {}
             Err(e) => {
                 shared.breaker.record_err(c);
+                // The error may be organic or injected; with an armed
+                // plane, flag the request as fault-involved.
+                trace.injected |= shared.faults.is_armed();
                 eprintln!("batsched-service: disk-cache read failed: {e}");
             }
         }
@@ -882,19 +1301,28 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
     if shared.faults.is_armed() && shared.faults.solver_panic(body) {
         panic!("injected solver panic");
     }
-    match solve(&req, ws) {
+    let t = Instant::now();
+    let solved = solve(&req, ws);
+    trace.solve_us += us(t);
+    match solved {
         Ok(resp) => {
+            let t = Instant::now();
             let rendered = serde_json::to_string(&resp).expect("responses serialise");
             shared.cache.insert(key, rendered.clone());
             shared.cache.alias(raw_key, body, key);
+            trace.serialize_us += us(t);
             if disk_allowed {
                 let disk = shared.disk.as_ref().expect("disk checked above");
                 // A failed append only costs warmth after the next restart;
                 // the in-memory answer is already correct.
-                match disk.lock().expect("disk tier lock").put(key, &rendered) {
+                let t = Instant::now();
+                let appended = disk.lock().expect("disk tier lock").put(key, &rendered);
+                trace.disk_us += us(t);
+                match appended {
                     Ok(()) => shared.breaker.record_ok(c),
                     Err(e) => {
                         shared.breaker.record_err(c);
+                        trace.injected |= shared.faults.is_armed();
                         eprintln!("batsched-service: disk-cache append failed: {e}");
                     }
                 }
@@ -902,7 +1330,7 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
             c.ok_solved.fetch_add(1, Ordering::Relaxed);
             c.solve_nanos
                 .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            finish(Disposition::Ok { cached: false }, rendered)
+            finish(Disposition::Ok { cached: false }, rendered, trace)
         }
         Err(err) => {
             let disposition = if err.error == "internal" {
@@ -912,7 +1340,7 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
                 c.client_errors.fetch_add(1, Ordering::Relaxed);
                 Disposition::ClientError
             };
-            finish(disposition, err.to_json())
+            finish(disposition, err.to_json(), trace)
         }
     }
 }
@@ -1156,6 +1584,13 @@ mod tests {
                     ..ServiceConfig::default()
                 },
                 ConfigError::ZeroProbeInterval,
+            ),
+            (
+                ServiceConfig {
+                    log_rate_limit: 0,
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroLogRateLimit,
             ),
         ];
         for (cfg, expected) in cases {

@@ -1,11 +1,12 @@
 //! Chaos tests: every fault-tolerance path driven by injected faults —
 //! solver panics (isolation + respawn), request deadlines (call-side and
 //! queue-shed), the disk-tier circuit breaker (trip, degraded mode,
-//! probe re-arm), worker-death regression at the HTTP frontend, and
-//! graceful shutdown under injected latency.
+//! probe re-arm), worker-death regression at the HTTP frontend, graceful
+//! shutdown under injected latency, and fault attribution through the
+//! observability surfaces (span log, `/v1/metrics`, `/readyz`).
 
 use batsched_service::prelude::*;
-use batsched_service::Service;
+use batsched_service::{LogTarget, Service};
 use batsched_taskgraph::paper::g2;
 use batsched_taskgraph::synth::{layered, Rounding, ScalingScheme, TaskParams};
 use batsched_taskgraph::TaskGraph;
@@ -429,6 +430,198 @@ fn http_keepalive_connection_survives_a_worker_panic() {
 
     drop(stream);
     server.stop();
+}
+
+// ------------------------------------- fault attribution in observability
+
+/// Extracts the unsigned integer that follows `"field":` in a span line.
+fn span_field(line: &str, field: &str) -> u64 {
+    let tag = format!("\"{field}\":");
+    let at = line
+        .find(&tag)
+        .unwrap_or_else(|| panic!("span field {field} missing: {line}"));
+    line[at + tag.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("span field {field} not an integer: {line}"))
+}
+
+/// Extracts one sample's value from a Prometheus text exposition.
+fn metric(text: &str, sample: &str) -> u64 {
+    text.lines()
+        .find_map(|line| {
+            let (name, value) = line.rsplit_once(' ')?;
+            (name == sample).then(|| value.parse::<f64>().expect("numeric sample") as u64)
+        })
+        .unwrap_or_else(|| panic!("metric {sample} missing from exposition"))
+}
+
+/// One `Connection: close` GET, returning (status, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    let req = format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n");
+    s.write_all(req.as_bytes()).expect("send");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("recv");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .expect("framed response")
+        .1
+        .to_string();
+    (status, payload)
+}
+
+#[test]
+fn injected_faults_are_attributed_in_span_log_and_metrics() {
+    let disk = tmp_disk("obs_faults_disk");
+    let span_path = tmp_disk("obs_faults_spans");
+
+    // Three scripted faults, each aimed at a specific request: a solver
+    // panic on the g2 body, 400 ms of latency (past the 150 ms deadline)
+    // on one unique body, and two failing disk appends (threshold 2, so
+    // the second trips the breaker).
+    let slow = unique_body(60);
+    let at = slow
+        .find("\"deadline\":")
+        .expect("body spells its deadline");
+    let slow_key = slow[at..(at + 20).min(slow.len())].to_string();
+    let faults = FaultPlane::armed([
+        FaultRule::always(FaultSite::SolverPanic)
+            .key_contains("\"deadline\":75")
+            .count(1),
+        FaultRule::always(FaultSite::SolverLatency)
+            .key_contains(&slow_key)
+            .latency(Duration::from_millis(400))
+            .count(1),
+        FaultRule::always(FaultSite::DiskAppend).count(2),
+    ]);
+    let svc = Arc::new(
+        Service::try_start_with_faults(
+            ServiceConfig {
+                workers: 1,
+                request_timeout: Some(Duration::from_millis(150)),
+                disk_path: Some(disk.clone()),
+                disk_breaker_threshold: 2,
+                disk_probe_interval: Duration::from_secs(3600),
+                log_json: Some(LogTarget::File(span_path.clone())),
+                ..ServiceConfig::default()
+            },
+            faults,
+        )
+        .unwrap(),
+    );
+    let server = HttpServer::bind(Arc::clone(&svc), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+
+    // Request 1: the injected panic answers a typed 500.
+    let (status, _) = http_roundtrip(&mut stream, "/v1/schedule", &g2_body());
+    assert_eq!(status, 500);
+    // Request 2: injected latency blows the deadline, a typed 504. The
+    // worker finishes the solve anyway; its disk append burns fault #1.
+    let (status, _) = http_roundtrip(&mut stream, "/v1/schedule", &slow);
+    assert_eq!(status, 504);
+    std::thread::sleep(Duration::from_millis(600));
+    // Request 3: a clean cold solve whose append burns fault #2 and trips
+    // the breaker — the request itself still succeeds.
+    let (status, _) = http_roundtrip(&mut stream, "/v1/schedule", &unique_body(61));
+    assert_eq!(status, 200);
+
+    // Degraded mode is a readiness failure, not a liveness one.
+    let (status, ready) = http_get(addr, "/readyz");
+    assert_eq!(status, 503, "tripped breaker must fail readiness: {ready}");
+    assert!(ready.contains("disk_degraded"), "{ready}");
+    let (status, health) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "liveness is unaffected: {health}");
+
+    // Every injected fault shows up in the scraped series.
+    let (status, text) = http_get(addr, "/v1/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(metric(&text, "batsched_worker_panics_total"), 1);
+    assert_eq!(metric(&text, "batsched_internal_errors_total"), 1);
+    assert_eq!(metric(&text, "batsched_timeouts_total"), 1);
+    assert_eq!(metric(&text, "batsched_disk_errors_total"), 2);
+    assert_eq!(metric(&text, "batsched_disk_breaker_trips_total"), 1);
+    assert_eq!(metric(&text, "batsched_disk_breaker_open"), 1);
+    assert_eq!(metric(&text, "batsched_ready"), 0);
+    assert_eq!(
+        metric(&text, "batsched_fault_injected_total"),
+        4,
+        "panic + latency + two disk appends"
+    );
+    // Histogram counts: three requests served end-to-end, three handled
+    // by the worker (the timed-out solve still ran to completion).
+    assert_eq!(metric(&text, "batsched_request_duration_us_count"), 3);
+    assert_eq!(
+        metric(&text, "batsched_stage_duration_us_count{stage=\"solve\"}"),
+        3
+    );
+
+    drop(stream);
+    server.stop();
+    server.wait();
+    svc.shutdown();
+
+    // The span log: exactly one span per HTTP request, each attributing
+    // its outcome (and, where the trace survived, its stages) correctly.
+    let raw = std::fs::read_to_string(&span_path).expect("span log written");
+    let spans: Vec<&str> = raw.lines().filter(|l| l.contains("\"trace_id\"")).collect();
+    assert_eq!(spans.len(), 3, "one span per request: {raw}");
+
+    assert!(
+        spans[0].contains("\"outcome\":\"internal\""),
+        "{}",
+        spans[0]
+    );
+    assert!(spans[0].contains("\"status\":500"), "{}", spans[0]);
+    assert!(spans[0].contains("\"level\":\"error\""), "{}", spans[0]);
+    assert!(spans[0].contains("\"injected\":true"), "{}", spans[0]);
+
+    assert!(spans[1].contains("\"outcome\":\"timeout\""), "{}", spans[1]);
+    assert!(spans[1].contains("\"status\":504"), "{}", spans[1]);
+    assert!(spans[1].contains("\"level\":\"warn\""), "{}", spans[1]);
+
+    assert!(spans[2].contains("\"outcome\":\"solved\""), "{}", spans[2]);
+    assert!(spans[2].contains("\"status\":200"), "{}", spans[2]);
+    assert!(
+        spans[2].contains("\"injected\":true"),
+        "the failed append marks the request fault-involved: {}",
+        spans[2]
+    );
+    assert!(span_field(spans[2], "solve_us") > 0, "{}", spans[2]);
+    assert!(
+        span_field(spans[2], "disk_us") > 0,
+        "the failed append attempt is attributed to the disk stage: {}",
+        spans[2]
+    );
+    // Stage attribution reconciles: the staged times (plus `other_us`)
+    // sum exactly to the end-to-end latency.
+    let staged = [
+        "read_us",
+        "queue_us",
+        "parse_us",
+        "hash_us",
+        "cache_us",
+        "disk_us",
+        "solve_us",
+        "serialize_us",
+        "write_us",
+        "other_us",
+    ]
+    .iter()
+    .map(|f| span_field(spans[2], f))
+    .sum::<u64>();
+    assert_eq!(staged, span_field(spans[2], "total_us"), "{}", spans[2]);
+
+    std::fs::remove_file(&disk).unwrap();
+    std::fs::remove_file(&span_path).unwrap();
 }
 
 #[test]

@@ -1,0 +1,365 @@
+//! Observability contract tests: trace-id propagation over HTTP (client
+//! ids echoed — including on typed errors — and generated ids unique
+//! across keep-alive pipelining), the one-span-per-request contract with
+//! exact stage reconciliation, and property tests pinning the log-bucket
+//! histogram to a sorted-vec oracle.
+
+use batsched_service::prelude::*;
+use batsched_service::{HistogramSnapshot, LogTarget, Service, BUCKET_BOUNDS_US};
+use batsched_taskgraph::paper::g2;
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn g2_body() -> String {
+    serde_json::to_string(&ScheduleRequest::new(g2(), 75.0)).expect("serialises")
+}
+
+fn tmp_file(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("batsched_observability_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let p = dir.join(format!("{name}_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Sends one framed request over `stream` with optional extra header
+/// lines; returns `(status, head, body)`. Keep-alive unless `close`.
+fn roundtrip(
+    stream: &mut TcpStream,
+    path: &str,
+    extra_headers: &[&str],
+    body: &str,
+    close: bool,
+) -> (u16, String, String) {
+    let connection = if close { "close" } else { "keep-alive" };
+    let extra: String = extra_headers.iter().map(|h| format!("{h}\r\n")).collect();
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: {connection}\r\n{extra}\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("head line") > 0, "eof");
+        if line.trim_end().is_empty() {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().expect("numeric length"))
+        })
+        .expect("Content-Length");
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload).expect("body");
+    (status, head, String::from_utf8(payload).expect("utf8"))
+}
+
+/// Pulls the echoed `X-Request-Id` out of a response head.
+fn request_id(head: &str) -> String {
+    head.lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("x-request-id")
+                .then(|| value.trim().to_string())
+        })
+        .unwrap_or_else(|| panic!("no X-Request-Id in head: {head}"))
+}
+
+// ------------------------------------------------- trace-id propagation
+
+#[test]
+fn client_request_ids_are_echoed_even_on_typed_errors() {
+    let svc = Arc::new(Service::start(ServiceConfig::default()));
+    let server = HttpServer::bind(Arc::clone(&svc), "127.0.0.1:0").expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    // A good request: the client's id comes back verbatim.
+    let (status, head, _) = roundtrip(
+        &mut stream,
+        "/v1/schedule",
+        &["X-Request-Id: client-abc-123"],
+        &g2_body(),
+        false,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(request_id(&head), "client-abc-123");
+
+    // A malformed request: the typed 400 still carries the client's id.
+    let (status, head, body) = roundtrip(
+        &mut stream,
+        "/v1/schedule",
+        &["X-Request-Id: client-bad-7"],
+        "{ nope",
+        false,
+    );
+    assert_eq!(status, 400);
+    let err: ErrorResponse = serde_json::from_str(&body).expect("typed error");
+    assert_eq!(err.error, "bad_json");
+    assert_eq!(request_id(&head), "client-bad-7");
+
+    // An unusable id (embedded whitespace) is ignored, not rejected: the
+    // request succeeds under a server-generated id instead.
+    let (status, head, _) = roundtrip(
+        &mut stream,
+        "/v1/schedule",
+        &["X-Request-Id: has a space"],
+        &g2_body(),
+        true,
+    );
+    assert_eq!(status, 200);
+    let generated = request_id(&head);
+    assert_ne!(generated, "has a space");
+    assert!(
+        generated.contains('-'),
+        "generated ids are hash-seq: {generated}"
+    );
+
+    drop(stream);
+    server.stop();
+    server.wait();
+    svc.shutdown();
+}
+
+#[test]
+fn generated_ids_are_unique_across_keepalive_pipelining() {
+    let svc = Arc::new(Service::start(ServiceConfig::default()));
+    let server = HttpServer::bind(Arc::clone(&svc), "127.0.0.1:0").expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    // The same body replayed down one connection: every response gets its
+    // own id (the sequence part), while the hash prefix — derived from
+    // the body — stays identical, so replays correlate.
+    let body = g2_body();
+    let mut ids = Vec::new();
+    for i in 0..8 {
+        let (status, head, _) = roundtrip(&mut stream, "/v1/schedule", &[], &body, i == 7);
+        assert_eq!(status, 200);
+        ids.push(request_id(&head));
+    }
+    let unique: std::collections::HashSet<&String> = ids.iter().collect();
+    assert_eq!(unique.len(), ids.len(), "duplicate generated ids: {ids:?}");
+    let prefixes: std::collections::HashSet<&str> = ids
+        .iter()
+        .map(|id| id.split_once('-').expect("hash-seq form").0)
+        .collect();
+    assert_eq!(
+        prefixes.len(),
+        1,
+        "same body must share a hash prefix: {ids:?}"
+    );
+
+    drop(stream);
+    server.stop();
+    server.wait();
+    svc.shutdown();
+}
+
+// ------------------------------------------------- span-per-request contract
+
+#[test]
+fn one_span_per_request_with_exact_stage_reconciliation() {
+    let span_path = tmp_file("span_contract");
+    let svc = Arc::new(Service::start(ServiceConfig {
+        log_json: Some(LogTarget::File(span_path.clone())),
+        ..ServiceConfig::default()
+    }));
+    let server = HttpServer::bind(Arc::clone(&svc), "127.0.0.1:0").expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    let (status, head, _) = roundtrip(
+        &mut stream,
+        "/v1/schedule",
+        &["X-Request-Id: span-contract-1"],
+        &g2_body(),
+        true,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(request_id(&head), "span-contract-1");
+
+    drop(stream);
+    server.stop();
+    server.wait();
+    svc.shutdown();
+
+    let raw = std::fs::read_to_string(&span_path).expect("span log written");
+    let spans: Vec<&str> = raw.lines().filter(|l| l.contains("\"trace_id\"")).collect();
+    assert_eq!(spans.len(), 1, "exactly one span per request: {raw}");
+    let span = spans[0];
+    assert!(span.contains("\"trace_id\":\"span-contract-1\""), "{span}");
+    assert!(span.contains("\"outcome\":\"solved\""), "{span}");
+    assert!(span.contains("\"level\":\"info\""), "{span}");
+
+    // The stage durations (plus the explicit `other_us` remainder) sum
+    // exactly to the end-to-end latency — stronger than the 5% budget.
+    let field = |name: &str| -> u64 {
+        let tag = format!("\"{name}\":");
+        let at = span.find(&tag).unwrap_or_else(|| panic!("{name}: {span}"));
+        span[at + tag.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .expect("integer field")
+    };
+    let staged: u64 = [
+        "read_us",
+        "queue_us",
+        "parse_us",
+        "hash_us",
+        "cache_us",
+        "disk_us",
+        "solve_us",
+        "serialize_us",
+        "write_us",
+        "other_us",
+    ]
+    .iter()
+    .map(|f| field(f))
+    .sum();
+    assert_eq!(staged, field("total_us"), "{span}");
+    assert!(
+        field("solve_us") > 0,
+        "a cold solve takes real time: {span}"
+    );
+
+    std::fs::remove_file(&span_path).unwrap();
+}
+
+#[test]
+fn jsonl_frontend_spans_one_line_per_request() {
+    let span_path = tmp_file("jsonl_spans");
+    let svc = Service::start(ServiceConfig {
+        log_json: Some(LogTarget::File(span_path.clone())),
+        ..ServiceConfig::default()
+    });
+    // Two identical lines: two spans, distinct ids, shared hash prefix.
+    let req = g2_body();
+    let input = format!("{req}\n{req}\n");
+    let mut out = Vec::new();
+    let summary = run_jsonl(&svc, input.as_bytes(), &mut out).expect("jsonl session");
+    assert_eq!(summary.requests, 2);
+    svc.shutdown();
+
+    let raw = std::fs::read_to_string(&span_path).expect("span log written");
+    let ids: Vec<String> = raw
+        .lines()
+        .filter(|l| l.contains("\"trace_id\""))
+        .map(|l| {
+            let at = l.find("\"trace_id\":\"").expect("id field") + "\"trace_id\":\"".len();
+            l[at..]
+                .split('"')
+                .next()
+                .expect("closed string")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(ids.len(), 2, "{raw}");
+    assert_ne!(ids[0], ids[1], "replays need distinct ids");
+    assert_eq!(
+        ids[0].split_once('-').map(|(h, _)| h),
+        ids[1].split_once('-').map(|(h, _)| h),
+        "identical bodies share a hash prefix"
+    );
+    std::fs::remove_file(&span_path).unwrap();
+}
+
+// ---------------------------------------------- histogram vs oracle props
+
+/// Bucket bounds `[lower, upper]` containing the value `v` (upper is
+/// +Inf for the overflow bucket).
+fn bucket_bounds(v: u64) -> (f64, f64) {
+    let i = BUCKET_BOUNDS_US.partition_point(|&b| b < v);
+    let lower = if i == 0 {
+        0.0
+    } else {
+        BUCKET_BOUNDS_US[i - 1] as f64
+    };
+    let upper = if i == BUCKET_BOUNDS_US.len() {
+        f64::INFINITY
+    } else {
+        BUCKET_BOUNDS_US[i] as f64
+    };
+    (lower, upper)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The histogram quantile lands inside the bucket that holds the
+    /// sorted-vec oracle's value — the estimator's documented error
+    /// bound — for arbitrary value sets and quantiles.
+    #[test]
+    fn quantile_lands_in_the_oracle_bucket(
+        values in prop::collection::vec(0u64..100_000_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = HistogramSnapshot::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        // The implementation targets rank max(q·n, 1); the oracle is the
+        // value at that rank (1-based, ceiling).
+        let target = (q * sorted.len() as f64).max(1.0);
+        let rank = (target.ceil() as usize).clamp(1, sorted.len());
+        let oracle = sorted[rank - 1];
+        let est = h.quantile(q);
+        let (lower, upper) = bucket_bounds(oracle);
+        // Overflow reports the last finite boundary, otherwise the
+        // estimate interpolates within the oracle's bucket.
+        let est_ok = if upper.is_infinite() {
+            (est - BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] as f64).abs() < 1e-9
+        } else {
+            est >= lower && est <= upper
+        };
+        prop_assert!(
+            est_ok,
+            "q={q}: estimate {est} vs oracle {oracle} in [{lower}, {upper}]"
+        );
+    }
+
+    /// Merging two snapshots is exactly equivalent to observing the
+    /// concatenated value stream, and the +Inf invariant (bucket counts
+    /// sum to `count`) holds throughout.
+    #[test]
+    fn merge_equals_concatenated_observation(
+        a in prop::collection::vec(0u64..100_000_000, 0..150),
+        b in prop::collection::vec(0u64..100_000_000, 0..150),
+    ) {
+        let mut ha = HistogramSnapshot::new();
+        for &v in &a {
+            ha.observe(v);
+        }
+        let mut hb = HistogramSnapshot::new();
+        for &v in &b {
+            hb.observe(v);
+        }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        let mut oracle = HistogramSnapshot::new();
+        for &v in a.iter().chain(&b) {
+            oracle.observe(v);
+        }
+        prop_assert_eq!(&merged, &oracle);
+        prop_assert_eq!(merged.buckets.iter().sum::<u64>(), merged.count);
+        prop_assert_eq!(
+            merged.sum_us,
+            a.iter().chain(&b).sum::<u64>()
+        );
+    }
+}

@@ -49,3 +49,9 @@ service-bench:
 # degraded-mode recovery.
 chaos:
     ./ci.sh chaos-smoke
+
+# Observability smoke: boot the daemon with --log-json, drive traffic,
+# scrape /v1/metrics (well-formed exposition, exact histogram counts) and
+# assert one span line per request with client trace ids preserved.
+metrics:
+    ./ci.sh metrics-smoke
