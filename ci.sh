@@ -52,12 +52,14 @@ serve_smoke() {
     wait "$pid"
   }
 
-  # Round 1: schedule + malformed + keep-alive pass + stats + shutdown
-  # (the daemon compacts its disk cache on the way out).
+  # Round 1: schedule (JSON + binary wire formats, one shared cache key)
+  # + malformed + keep-alive pass + stats + shutdown (the daemon compacts
+  # its disk cache on the way out).
   smoke_round --smoke
   echo "daemon shut down cleanly"
   # Round 2: a fresh daemon on the same cache file must answer the same
-  # request as an X-Cache hit attributed to the disk tier.
+  # request — in either wire format — as an X-Cache hit attributed to the
+  # disk tier.
   smoke_round --smoke-warm
   echo "warm restart served from the disk tier"
   rm -f "$log" "$cache"
@@ -220,9 +222,16 @@ echo "==> perf smoke + snapshot (BENCH_scheduler.json, floors enforced)"
 # command as `just bench-quick`).
 cargo run --release -q -p batsched-bench --bin repro_bench_json -- --quick --check
 
+echo "==> wire-format A/B (binary admission floor enforced)"
+# --wire --check admits the n-scaling instances in both wire formats:
+# the fused single-pass binary decode+hash must produce the same cache
+# key as the JSON path and beat JSON parse+hash by >= 2x at n=200.
+cargo run --release -q -p batsched-bench --bin loadgen -- --wire --quick --check
+
 echo "==> service load snapshot (BENCH_service.json, keep-alive floor enforced)"
-# --check gates the keep-alive vs connection-per-request A/B: keep-alive
-# must win by >= 1.5x on the duplicate-heavy stream.
+# --check gates the keep-alive vs connection-per-request A/B (>= 1.5x on
+# the duplicate-heavy stream) and re-runs the wire admission gate; the
+# snapshot records the wire envelope alongside the request streams.
 cargo run --release -q -p batsched-bench --bin loadgen -- --quick --check
 
 echo "CI OK"

@@ -18,6 +18,12 @@
 //!   (n ∈ {50, 100, 200}, m = 8, unique deadlines so nothing caches), so
 //!   the recorded envelope shows how request latency grows with instance
 //!   size under the carried window-sweep kernel;
+//! * **wire** — the admission A/B on the same n-scaling instances: each
+//!   request is admitted `iters` times as JSON (`parse_request` + the
+//!   streaming content hash) and as binary (`decode_request`, whose
+//!   single-pass decoder folds the hash into the byte walk), asserting the
+//!   two spellings produce the same cache key; `--check` fails the run
+//!   unless the fused binary path wins by ≥ 2× at n = 200;
 //! * **warm_restart** — a disk-backed service answers a unique stream
 //!   cold, shuts down (compacting its cache file), restarts, and must
 //!   answer the same stream entirely from the disk tier with bit-identical
@@ -41,12 +47,17 @@
 //! quantized identically.
 //!
 //! Flags: `--quick` shrinks the grids (CI mode); `--check` enforces the
-//! keep-alive ≥ 1.5× floor; `--smoke --addr <host:port>` switches to
-//! HTTP-client mode against a running daemon — schedule request, typed
-//! 4xx on malformed input, a keep-alive multi-request pass, stats, then
-//! shutdown; `--smoke-warm --addr <host:port>` is the post-restart probe:
-//! the same schedule request must come back `X-Cache: hit` served from
-//! the daemon's disk tier (the ci.sh warm-restart check);
+//! keep-alive ≥ 1.5× and binary-admission ≥ 2× floors; `--wire` runs only
+//! the wire A/B and prints its report; `--smoke --addr <host:port>`
+//! switches to HTTP-client mode against a running daemon — schedule
+//! request (in both wire formats — the binary spelling must hit the JSON
+//! request's cache entry and an `Accept`-negotiated binary response must
+//! transcode back bit-identically), typed 4xx on malformed input, a
+//! keep-alive multi-request pass, stats, then shutdown;
+//! `--smoke-warm --addr <host:port>` is the post-restart probe: the same
+//! schedule request — in both wire formats — must come back
+//! `X-Cache: hit` served from the daemon's disk tier (the ci.sh
+//! warm-restart check);
 //! `--metrics-smoke --addr <host:port>` drives traffic and then scrapes
 //! `GET /v1/metrics`, asserting a well-formed Prometheus exposition whose
 //! histogram counts match the requests it sent (the ci.sh metrics-smoke
@@ -56,8 +67,9 @@
 
 use batsched_service::wire::DEFAULT_MAX_ITERATIONS;
 use batsched_service::{
-    Disposition, ErrorResponse, FaultPlane, FaultRule, HistogramSnapshot, HttpServer, ModelSpec,
-    ScheduleRequest, ScheduleResponse, Service, ServiceConfig,
+    decode_request, decode_response, encode_request, parse_request, Disposition, ErrorResponse,
+    FaultPlane, FaultRule, HistogramSnapshot, HttpServer, ModelSpec, ScheduleRequest,
+    ScheduleResponse, Service, ServiceConfig,
 };
 use batsched_taskgraph::analysis::{max_makespan, min_makespan};
 use batsched_taskgraph::paper::{g2, g3, G2_TABLE4_DEADLINES, G3_TABLE4_DEADLINES};
@@ -147,6 +159,18 @@ struct ScalingPoint {
 }
 
 #[derive(Debug, Serialize)]
+struct WirePoint {
+    n: usize,
+    iters: usize,
+    json_admit_us: f64,
+    bin_admit_us: f64,
+    speedup: f64,
+    json_bytes: usize,
+    bin_bytes: usize,
+    keys_match: bool,
+}
+
+#[derive(Debug, Serialize)]
 struct KeepAliveReport {
     requests: usize,
     unique: usize,
@@ -190,6 +214,7 @@ struct BenchDoc {
     dup: DupReport,
     keepalive: KeepAliveReport,
     scaling: Vec<ScalingPoint>,
+    wire: Vec<WirePoint>,
     warm_restart: WarmRestartReport,
     malformed: MalformedReport,
     chaos: ChaosReport,
@@ -364,13 +389,37 @@ impl HttpClient {
         body: &str,
         close: bool,
     ) -> (u16, String, String) {
+        let (status, head, payload) =
+            self.request_raw(method, path, extra_headers, body.as_bytes(), close);
+        (
+            status,
+            head,
+            String::from_utf8(payload).expect("UTF-8 body"),
+        )
+    }
+
+    /// The byte-level form of [`HttpClient::request_with`]: the request
+    /// body is raw bytes (binary wire documents) and the response body
+    /// comes back undecoded, so `Accept`-negotiated binary replies can be
+    /// inspected as bytes.
+    fn request_raw(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[&str],
+        body: &[u8],
+        close: bool,
+    ) -> (u16, String, Vec<u8>) {
         let connection = if close { "close" } else { "keep-alive" };
         let extra: String = extra_headers.iter().map(|h| format!("{h}\r\n")).collect();
-        let req = format!(
-            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: {connection}\r\n{extra}\r\n{body}",
+        let req_head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: {connection}\r\n{extra}\r\n",
             body.len()
         );
-        self.stream.write_all(req.as_bytes()).expect("send request");
+        self.stream
+            .write_all(req_head.as_bytes())
+            .expect("send request head");
+        self.stream.write_all(body).expect("send request body");
         let mut head = String::new();
         loop {
             let mut line = String::new();
@@ -401,11 +450,7 @@ impl HttpClient {
         self.reader
             .read_exact(&mut payload)
             .expect("read response body");
-        (
-            status,
-            head,
-            String::from_utf8(payload).expect("UTF-8 body"),
-        )
+        (status, head, payload)
     }
 }
 
@@ -481,6 +526,80 @@ fn run_keepalive_ab(quick: bool) -> KeepAliveReport {
         keepalive_rps,
         speedup: keepalive_rps / conn_per_request_rps.max(1e-9),
     }
+}
+
+/// The wire-format admission A/B on the shared n-scaling instances: each
+/// request is admitted repeatedly as JSON (`parse_request` plus the
+/// streaming canonical content hash — everything the service does before
+/// the cache lookup) and as binary (`decode_request`, whose single pass
+/// folds the hash into the decode walk). The two spellings must produce
+/// the same cache key; with `check`, the binary path must win by ≥ 2× on
+/// the largest instance.
+fn run_wire(quick: bool, check: bool) -> Vec<WirePoint> {
+    let iters = if quick { 40 } else { 160 };
+    let mut points = Vec::new();
+    for &n in &[50usize, 100, 200] {
+        let g = batsched_bench::workloads::synthetic_scaling(n);
+        let deadline = loose_deadline(&g);
+        let req = ScheduleRequest::new(g, deadline);
+        let json = serde_json::to_string(&req).expect("request serialises");
+        let bin = encode_request(&req);
+
+        let json_key = parse_request(&json).expect("JSON admits").content_hash();
+        let (_, bin_key) = decode_request(&bin).expect("binary admits");
+        let keys_match = json_key == bin_key;
+        assert!(
+            keys_match,
+            "n={n}: JSON and binary spellings must share one cache key \
+             ({json_key:016x} vs {bin_key:016x})"
+        );
+
+        // Fold every hash into a sink so the admission work cannot be
+        // optimised away.
+        let mut sink = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let req = parse_request(std::hint::black_box(&json)).expect("JSON admits");
+            sink = sink.wrapping_add(req.content_hash());
+        }
+        let json_admit_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let (req, hash) = decode_request(std::hint::black_box(&bin)).expect("binary admits");
+            std::hint::black_box(&req);
+            sink = sink.wrapping_add(hash);
+        }
+        let bin_admit_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        std::hint::black_box(sink);
+
+        let point = WirePoint {
+            n,
+            iters,
+            json_admit_us,
+            bin_admit_us,
+            speedup: json_admit_us / bin_admit_us.max(1e-9),
+            json_bytes: json.len(),
+            bin_bytes: bin.len(),
+            keys_match,
+        };
+        eprintln!(
+            "wire      : n={n}, JSON admit {:.0} µs vs binary {:.0} µs → {:.1}× ({} vs {} bytes)",
+            point.json_admit_us,
+            point.bin_admit_us,
+            point.speedup,
+            point.json_bytes,
+            point.bin_bytes
+        );
+        if check && n == 200 {
+            assert!(
+                point.speedup >= 2.0,
+                "fused binary admission must beat JSON parse+hash by ≥ 2× at n=200, got {:.2}×",
+                point.speedup
+            );
+        }
+        points.push(point);
+    }
+    points
 }
 
 /// The warm-restart scenario: a disk-backed service answers a unique
@@ -921,6 +1040,9 @@ fn run_benchmark(quick: bool, check: bool) {
     }
     svc.shutdown();
 
+    // Wire-format admission A/B on the same scaling instances.
+    let wire = run_wire(quick, check);
+
     // Warm restart: cold solves, compact-on-shutdown, disk-tier replay.
     let warm_restart = run_warm_restart(quick);
     eprintln!(
@@ -989,6 +1111,7 @@ fn run_benchmark(quick: bool, check: bool) {
         dup,
         keepalive,
         scaling,
+        wire,
         warm_restart,
         malformed,
         chaos,
@@ -1037,12 +1160,57 @@ fn run_smoke(addr: &str) {
     let (code, _, health) = client.request("GET", "/healthz", "", false);
     assert_eq!(code, 200, "{health}");
     // Readiness: a healthy daemon with its full worker pool must be ready.
-    let (code, _, ready) = client.request("GET", "/readyz", "", true);
+    let (code, _, ready) = client.request("GET", "/readyz", "", false);
     assert_eq!(
         code, 200,
         "ready daemon must answer 200 on /readyz: {ready}"
     );
     assert!(ready.contains("\"ready\":true"), "{ready}");
+
+    // Binary wire format end-to-end: the binary spelling of the same
+    // request must hit the cache entry the JSON cold solve created (one
+    // canonical key across formats) and answer the identical JSON body.
+    let bin = encode_request(&ScheduleRequest::new(g2(), 75.0));
+    let (code, head, payload) = client.request_raw(
+        "POST",
+        "/v1/schedule",
+        &["Content-Type: application/x-batsched-bin"],
+        &bin,
+        false,
+    );
+    assert_eq!(code, 200, "binary request must answer 2xx");
+    assert!(
+        head.contains("X-Cache: hit"),
+        "binary spelling must share the JSON request's cache entry: {head}"
+    );
+    assert_eq!(
+        String::from_utf8(payload).expect("JSON reply"),
+        cold,
+        "cross-format cache hit must be bit-identical"
+    );
+    // And an `Accept`-negotiated binary response must transcode back to
+    // the exact canonical JSON body.
+    let (code, head, raw) = client.request_raw(
+        "POST",
+        "/v1/schedule",
+        &[
+            "Content-Type: application/x-batsched-bin",
+            "Accept: application/x-batsched-bin",
+        ],
+        &bin,
+        true,
+    );
+    assert_eq!(code, 200, "binary-accept request must answer 2xx");
+    assert!(
+        head.contains("application/x-batsched-bin"),
+        "Accept-negotiated reply must declare the binary media type: {head}"
+    );
+    let resp = decode_response(&raw).expect("binary response decodes");
+    assert_eq!(
+        serde_json::to_string(&resp).expect("response renders"),
+        cold,
+        "binary response must transcode losslessly to the canonical body"
+    );
 
     let (code, payload) = http_call(addr, "POST", "/v1/shutdown", "");
     assert_eq!(code, 200, "{payload}");
@@ -1065,7 +1233,7 @@ fn run_smoke_warm(addr: &str) {
         serde_json::from_str(&payload).expect("schedule response body parses");
     assert!(resp.makespan <= 75.0 + 1e-9);
 
-    let (code, _, stats) = client.request("GET", "/v1/stats", "", true);
+    let (code, _, stats) = client.request("GET", "/v1/stats", "", false);
     assert_eq!(code, 200);
     assert!(
         stats_counter(&stats, "disk_hits") >= 1,
@@ -1074,6 +1242,27 @@ fn run_smoke_warm(addr: &str) {
     assert!(
         stats_counter(&stats, "solved") == 0,
         "nothing should have been re-solved: {stats}"
+    );
+
+    // The binary spelling of the same request must be answered warm from
+    // the same (JSON-era) disk tier, bit-identical to the JSON answer.
+    let bin = encode_request(&ScheduleRequest::new(g2(), 75.0));
+    let (code, head, warm_bin) = client.request_raw(
+        "POST",
+        "/v1/schedule",
+        &["Content-Type: application/x-batsched-bin"],
+        &bin,
+        true,
+    );
+    assert_eq!(code, 200, "binary warm request must answer 2xx");
+    assert!(
+        head.contains("X-Cache: hit"),
+        "binary spelling must answer warm from the disk-seeded cache: {head}"
+    );
+    assert_eq!(
+        String::from_utf8(warm_bin).expect("JSON reply"),
+        payload,
+        "cross-format warm answer must be bit-identical"
     );
 
     let (code, payload) = http_call(addr, "POST", "/v1/shutdown", "");
@@ -1235,13 +1424,26 @@ fn main() {
     let smoke_warm = args.iter().any(|a| a == "--smoke-warm");
     let metrics_smoke = args.iter().any(|a| a == "--metrics-smoke");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let wire = args.iter().any(|a| a == "--wire");
     let addr = args
         .iter()
         .position(|a| a == "--addr")
         .and_then(|i| args.get(i + 1));
     // Exercised so the canonical-form constant stays a public contract.
     let _ = (DEFAULT_MAX_ITERATIONS, ModelSpec::default_rv());
-    if chaos {
+    if wire {
+        let points = run_wire(quick, check);
+        eprintln!(
+            "{}",
+            serde_json::to_string_pretty(&points).expect("wire report serialises")
+        );
+        let at_200 = points.last().expect("three scaling points");
+        println!(
+            "WIRE OK ({} points, {:.1}× at n=200, keys match)",
+            points.len(),
+            at_200.speedup
+        );
+    } else if chaos {
         let report = run_chaos(quick, check, addr.map(String::as_str));
         eprintln!(
             "{}",

@@ -170,9 +170,10 @@ impl<V> LinkedMap<V> {
 #[derive(Debug)]
 struct AliasVal {
     canonical: u64,
-    /// The exact raw document this alias stands for — compared on lookup
-    /// so a hash collision can never replay another request's answer.
-    doc: String,
+    /// The exact raw document bytes this alias stands for (JSON or binary
+    /// wire format alike) — compared on lookup so a hash collision can
+    /// never replay another request's answer.
+    doc: Vec<u8>,
 }
 
 /// A least-recently-used map from content hash to response body, with O(1)
@@ -219,7 +220,7 @@ impl LruCache {
     /// refreshing the alias's recency when the stored document matches
     /// `doc` byte-for-byte. A hash collision (different bytes) is a miss —
     /// the alias is left untouched for its rightful owner.
-    pub fn alias_lookup(&mut self, raw: u64, doc: &str) -> Option<u64> {
+    pub fn alias_lookup(&mut self, raw: u64, doc: &[u8]) -> Option<u64> {
         // Verify the document before refreshing: a colliding lookup must
         // not promote the rightful owner's alias (the scan-based oracle
         // leaves it cold, and so must we).
@@ -241,7 +242,7 @@ impl LruCache {
     /// levels. The stored document is compared byte-for-byte — a hash
     /// collision is a miss, never a wrong answer. A dangling alias (its
     /// entry was evicted) is dropped and reported as a miss.
-    pub fn get_by_alias(&mut self, raw: u64, doc: &str) -> Option<String> {
+    pub fn get_by_alias(&mut self, raw: u64, doc: &[u8]) -> Option<String> {
         let canonical = self.alias_lookup(raw, doc)?;
         match self.get(canonical) {
             Some(body) => Some(body),
@@ -256,7 +257,7 @@ impl LruCache {
     /// request cached under `canonical`, evicting the least-recently-used
     /// alias when the alias index is full. Documents larger than
     /// [`MAX_ALIAS_DOC_BYTES`] are not recorded.
-    pub fn alias(&mut self, raw: u64, doc: &str, canonical: u64) {
+    pub fn alias(&mut self, raw: u64, doc: &[u8], canonical: u64) {
         if self.cap == 0 || doc.len() > MAX_ALIAS_DOC_BYTES {
             return;
         }
@@ -267,7 +268,7 @@ impl LruCache {
             raw,
             AliasVal {
                 canonical,
-                doc: doc.to_string(),
+                doc: doc.to_vec(),
             },
         );
     }
@@ -370,7 +371,7 @@ impl ShardedCache {
     /// raw-hash shard, then fetch the entry from the canonical-hash shard.
     /// The locks are taken one at a time; a dangling alias is removed with
     /// a third short re-lock of the alias shard.
-    pub fn get_by_alias(&self, raw: u64, doc: &str) -> Option<String> {
+    pub fn get_by_alias(&self, raw: u64, doc: &[u8]) -> Option<String> {
         let alias_shard = self.shard_of(raw);
         let canonical = self.shards[alias_shard]
             .lock()
@@ -389,7 +390,7 @@ impl ShardedCache {
     }
 
     /// Records the alias `raw` → `canonical` in the raw-hash shard.
-    pub fn alias(&self, raw: u64, doc: &str, canonical: u64) {
+    pub fn alias(&self, raw: u64, doc: &[u8], canonical: u64) {
         self.shards[self.shard_of(raw)]
             .lock()
             .expect("shard lock")
@@ -440,7 +441,7 @@ pub mod reference {
     #[derive(Debug)]
     struct Alias {
         canonical: u64,
-        doc: String,
+        doc: Vec<u8>,
         last_used: u64,
     }
 
@@ -471,7 +472,7 @@ pub mod reference {
             })
         }
 
-        pub fn get_by_alias(&mut self, raw: u64, doc: &str) -> Option<String> {
+        pub fn get_by_alias(&mut self, raw: u64, doc: &[u8]) -> Option<String> {
             let canonical = match self.aliases.get_mut(&raw) {
                 None => return None,
                 Some(a) if a.doc != doc => return None, // hash collision
@@ -489,7 +490,7 @@ pub mod reference {
             }
         }
 
-        pub fn alias(&mut self, raw: u64, doc: &str, canonical: u64) {
+        pub fn alias(&mut self, raw: u64, doc: &[u8], canonical: u64) {
             if self.cap == 0 || doc.len() > MAX_ALIAS_DOC_BYTES {
                 return;
             }
@@ -503,7 +504,7 @@ pub mod reference {
                 raw,
                 Alias {
                     canonical,
-                    doc: doc.to_string(),
+                    doc: doc.to_vec(),
                     last_used: self.tick,
                 },
             );
@@ -563,19 +564,19 @@ mod tests {
     fn alias_fast_path_and_dangling_cleanup() {
         let mut c = LruCache::new(2);
         c.insert(100, "body".into());
-        assert_eq!(c.get_by_alias(7, "docA"), None, "unknown alias misses");
-        c.alias(7, "docA", 100);
-        c.alias(8, "docB", 100);
-        assert_eq!(c.get_by_alias(7, "docA").as_deref(), Some("body"));
-        assert_eq!(c.get_by_alias(8, "docB").as_deref(), Some("body"));
+        assert_eq!(c.get_by_alias(7, b"docA"), None, "unknown alias misses");
+        c.alias(7, b"docA", 100);
+        c.alias(8, b"docB", 100);
+        assert_eq!(c.get_by_alias(7, b"docA").as_deref(), Some("body"));
+        assert_eq!(c.get_by_alias(8, b"docB").as_deref(), Some("body"));
         // A colliding hash with different bytes must MISS, not replay.
-        assert_eq!(c.get_by_alias(7, "docX"), None, "collision is a miss");
+        assert_eq!(c.get_by_alias(7, b"docX"), None, "collision is a miss");
         // Evict the entry: aliases dangle, then self-clean on lookup.
         c.insert(200, "2".into());
         c.insert(300, "3".into());
         assert_eq!(c.get(100), None, "entry 100 evicted");
-        assert_eq!(c.get_by_alias(7, "docA"), None, "dangling alias misses");
-        assert_eq!(c.get_by_alias(7, "docA"), None, "and stays gone");
+        assert_eq!(c.get_by_alias(7, b"docA"), None, "dangling alias misses");
+        assert_eq!(c.get_by_alias(7, b"docA"), None, "and stays gone");
     }
 
     #[test]
@@ -583,14 +584,14 @@ mod tests {
         let mut c = LruCache::new(1); // alias cap = 4
         c.insert(100, "b".into());
         for raw in 1..=4u64 {
-            c.alias(raw, "right", 100);
+            c.alias(raw, b"right", 100);
         }
         // A colliding probe must leave alias 1 cold for its owner…
-        assert_eq!(c.get_by_alias(1, "wrong"), None);
+        assert_eq!(c.get_by_alias(1, b"wrong"), None);
         // …so the next insertion into the full index still evicts it.
-        c.alias(5, "right", 100);
-        assert_eq!(c.get_by_alias(1, "right"), None, "alias 1 was LRU");
-        assert_eq!(c.get_by_alias(2, "right").as_deref(), Some("b"));
+        c.alias(5, b"right", 100);
+        assert_eq!(c.get_by_alias(1, b"right"), None, "alias 1 was LRU");
+        assert_eq!(c.get_by_alias(2, b"right").as_deref(), Some("b"));
     }
 
     #[test]
@@ -598,13 +599,13 @@ mod tests {
         let mut c = LruCache::new(2); // alias cap = 8
         c.insert(1, "1".into());
         for raw in 10..30u64 {
-            c.alias(raw, "doc", 1);
+            c.alias(raw, b"doc", 1);
         }
         // Oldest aliases evicted; the most recent still works.
-        assert_eq!(c.get_by_alias(29, "doc").as_deref(), Some("1"));
-        assert_eq!(c.get_by_alias(10, "doc"), None);
+        assert_eq!(c.get_by_alias(29, b"doc").as_deref(), Some("1"));
+        assert_eq!(c.get_by_alias(10, b"doc"), None);
         // Oversized documents are never aliased.
-        let huge = "x".repeat(MAX_ALIAS_DOC_BYTES + 1);
+        let huge = vec![b'x'; MAX_ALIAS_DOC_BYTES + 1];
         c.alias(99, &huge, 1);
         assert_eq!(c.get_by_alias(99, &huge), None);
     }
@@ -668,12 +669,12 @@ mod tests {
         let canonical = 0u64; // shard 0
         let raw = 1u64; // shard 1
         c.insert(canonical, "body".into());
-        c.alias(raw, "doc", canonical);
-        assert_eq!(c.get_by_alias(raw, "doc").as_deref(), Some("body"));
-        assert_eq!(c.get_by_alias(raw, "other"), None, "collision is a miss");
+        c.alias(raw, b"doc", canonical);
+        assert_eq!(c.get_by_alias(raw, b"doc").as_deref(), Some("body"));
+        assert_eq!(c.get_by_alias(raw, b"other"), None, "collision is a miss");
         // Evict the canonical entry directly; alias dangles, then cleans.
         c.shards[0].lock().unwrap().clear();
-        assert_eq!(c.get_by_alias(raw, "doc"), None, "dangling alias misses");
+        assert_eq!(c.get_by_alias(raw, b"doc"), None, "dangling alias misses");
     }
 
     #[test]

@@ -1,21 +1,42 @@
-//! The disk cache tier: an append-only JSONL file of `{key, body}` records
-//! so a restarted daemon serves previously computed answers as warm hits.
+//! The disk cache tier: an append-only file of `{key, body}` records so a
+//! restarted daemon serves previously computed answers as warm hits.
 //!
-//! Layout: one record per line, `{"key":"<16-hex>","body":"<response>"}`.
-//! On open the file is scanned once to build a key → line-span index (last
-//! record per key wins, a truncated final line — the daemon was killed
-//! mid-append — is skipped); bodies stay on disk and are read on demand,
-//! so the tier's memory cost is the index, not the payloads. Writes go
+//! Two record formats coexist in one file, distinguished by the first
+//! byte of each record:
+//!
+//! * **v1** (JSONL, the compat format): one line per record,
+//!   `{"key":"<16-hex>","body":"<response>"}` — always starts with `{`;
+//! * **v2** (binary, the default): `0x00 'B' '2'` tag, key as 8 LE bytes,
+//!   blob length as 4 LE bytes, then the [`crate::wire_bin`] response
+//!   encoding, terminated by `\n`. A raw `0x00` can never open a valid v1
+//!   line (JSON escapes control bytes), so the dispatch is unambiguous.
+//!   v2 records are materially smaller and index without parsing any
+//!   JSON, shrinking both the file and the load-on-start scan.
+//!
+//! On open the file is scanned once to build a key → record-span index
+//! (last record per key wins); bodies stay on disk and are read on
+//! demand, so the tier's memory cost is the index, not the payloads. A
+//! torn tail — the daemon was killed mid-append — is truncated back to
+//! the last whole record, so the next append starts clean. Writes go
 //! through an append handle and are flushed per record, so a crash loses
 //! at most the record being written. [`DiskTier::compact`] rewrites the
-//! file with exactly one record per live key (temp file + atomic rename);
-//! the service runs it on graceful shutdown so restarts load a dense file.
+//! file with exactly one record per live key (temp file + atomic rename)
+//! in the tier's configured format — compacting a [`DiskFormat::V2`] tier
+//! upgrades any v1 records in place; the service runs it on graceful
+//! shutdown so restarts load a dense file.
+//!
+//! A v2 `put` only stores bodies that survive a decode→re-render
+//! bit-identity check (the cache contract is bit-identical replay);
+//! anything else — hostile or free-form bodies included — falls back to a
+//! v1 line, which stores arbitrary strings.
 //!
 //! Responses are pure functions of the canonical key, so a key that is
 //! already present is never re-appended — the file grows with *distinct*
 //! requests, not with traffic.
 
 use crate::faults::{FaultPlane, FaultSite};
+use crate::wire::ScheduleResponse;
+use crate::wire_bin;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -43,6 +64,26 @@ impl Default for FsyncPolicy {
         FsyncPolicy::EveryN(8)
     }
 }
+
+/// Which record format [`DiskTier::put`] and [`DiskTier::compact`] write.
+/// Both formats always *load*; this only chooses what new records look
+/// like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiskFormat {
+    /// JSONL records (`{"key":...,"body":...}` lines) — the compat format
+    /// every prior release wrote.
+    V1,
+    /// Compact binary records (the [`crate::wire_bin`] response encoding).
+    #[default]
+    V2,
+}
+
+/// First bytes of a v2 record: a byte no valid JSON line can start with,
+/// then a human-greppable format marker.
+const V2_TAG: [u8; 3] = [0x00, b'B', b'2'];
+
+/// v2 fixed header: 3-byte tag + 8-byte key + 4-byte blob length.
+const V2_HEADER_LEN: usize = 15;
 
 /// One persisted cache record (a single JSONL line).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -76,15 +117,17 @@ pub struct DiskTier {
     fsync: FsyncPolicy,
     /// Appends since the last fsync (drives [`FsyncPolicy::EveryN`]).
     unsynced: u32,
+    /// Record format written by `put`/`compact` (both formats load).
+    format: DiskFormat,
     /// Injection probes for chaos tests; disarmed in production.
     faults: FaultPlane,
 }
 
 impl DiskTier {
     /// Opens (creating if absent) the cache file at `path` and indexes its
-    /// records, with the default fsync policy and a disarmed fault plane.
-    /// Malformed or truncated lines are skipped, not fatal — a crash
-    /// mid-append must not brick the tier.
+    /// records, with the default fsync policy, record format, and a
+    /// disarmed fault plane. Malformed or truncated records are skipped,
+    /// not fatal — a crash mid-append must not brick the tier.
     ///
     /// # Errors
     ///
@@ -93,7 +136,8 @@ impl DiskTier {
         Self::open_with(path, FsyncPolicy::default(), FaultPlane::disarmed())
     }
 
-    /// Opens the tier with an explicit fsync policy and fault plane.
+    /// Opens the tier with an explicit fsync policy and fault plane, in
+    /// the default record format.
     ///
     /// # Errors
     ///
@@ -103,35 +147,43 @@ impl DiskTier {
         fsync: FsyncPolicy,
         faults: FaultPlane,
     ) -> io::Result<DiskTier> {
+        Self::open_with_format(path, fsync, faults, DiskFormat::default())
+    }
+
+    /// Opens the tier with every knob explicit, including the record
+    /// format new appends are written in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures (unreachable path, permissions).
+    pub fn open_with_format(
+        path: impl Into<PathBuf>,
+        fsync: FsyncPolicy,
+        faults: FaultPlane,
+        format: DiskFormat,
+    ) -> io::Result<DiskTier> {
         let path = path.into();
-        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
-        let mut reader = File::open(&path)?;
-        let (index, mut end) = index_file(&path)?;
-        // Repair a torn tail (crash mid-append): terminate it with a
-        // newline so the next append starts a fresh line instead of
-        // concatenating onto the dead bytes. The repair is fsynced
-        // unconditionally — it happens once per boot and losing it would
-        // re-tear the tail on the next crash.
-        if end > 0 {
-            let mut last = [0u8; 1];
-            reader.seek(SeekFrom::Start(end - 1))?;
-            reader.read_exact(&mut last)?;
-            if last[0] != b'\n' {
-                faults.disk_gate(FaultSite::DiskWrite, "torn-tail-repair")?;
-                file.write_all(b"\n")?;
-                file.flush()?;
-                file.sync_data()?;
-                end += 1;
-            }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let reader = File::open(&path)?;
+        let (index, valid_end, file_end) = index_file(&path)?;
+        // Repair a torn tail (crash mid-append): truncate back to the last
+        // whole record so the next append starts a clean one. The repair
+        // is fsynced unconditionally — it happens once per boot and losing
+        // it would re-tear the tail on the next crash.
+        if file_end > valid_end {
+            faults.disk_gate(FaultSite::DiskWrite, "torn-tail-repair")?;
+            file.set_len(valid_end)?;
+            file.sync_data()?;
         }
         Ok(DiskTier {
             path,
             writer: BufWriter::new(file),
             reader,
             index,
-            end,
+            end: valid_end,
             fsync,
             unsynced: 0,
+            format,
             faults,
         })
     }
@@ -139,6 +191,11 @@ impl DiskTier {
     /// The file this tier persists to.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The record format new appends and compactions are written in.
+    pub fn format(&self) -> DiskFormat {
+        self.format
     }
 
     /// Number of distinct keys on disk.
@@ -167,7 +224,7 @@ impl DiskTier {
         };
         self.faults.disk_gate(FaultSite::DiskRead, &key_hex(key))?;
         match self.read_span(span)? {
-            Some(rec) if rec.key == key_hex(key) => Ok(Some(rec.body)),
+            Some((stored, body)) if stored == key => Ok(Some(body)),
             _ => {
                 self.index.remove(&key);
                 Ok(None)
@@ -189,8 +246,8 @@ impl DiskTier {
         }
         self.faults
             .disk_gate(FaultSite::DiskAppend, &key_hex(key))?;
-        let line = render_record(key, body);
-        self.writer.write_all(line.as_bytes())?;
+        let record = encode_record(self.format, key, body);
+        self.writer.write_all(&record)?;
         self.writer.flush()?;
         match self.fsync {
             FsyncPolicy::Never => {}
@@ -207,17 +264,19 @@ impl DiskTier {
             key,
             Span {
                 offset: self.end,
-                len: line.len() as u32,
+                len: record.len() as u32,
             },
         );
-        self.end += line.len() as u64;
+        self.end += record.len() as u64;
         Ok(())
     }
 
     /// Rewrites the file with exactly one record per live key, dropping
-    /// duplicates and torn lines. Writes a sibling temp file first and
-    /// renames it over the original, so a crash mid-compaction leaves
-    /// either the old file or the new one — never a half file.
+    /// duplicates and torn records, in the tier's configured format — so
+    /// compacting a [`DiskFormat::V2`] tier upgrades v1 lines in place.
+    /// Writes a sibling temp file first and renames it over the original,
+    /// so a crash mid-compaction leaves either the old file or the new
+    /// one — never a half file.
     ///
     /// # Errors
     ///
@@ -234,22 +293,22 @@ impl DiskTier {
             keys.sort_unstable(); // deterministic file layout
             for key in keys {
                 let span = self.index[&key];
-                let Some(rec) = self.read_span(span)? else {
+                let Some((stored, body)) = self.read_span(span)? else {
                     continue; // torn record: drop it
                 };
-                if rec.key != key_hex(key) {
+                if stored != key {
                     continue;
                 }
-                let line = render_record(key, &rec.body);
-                tmp.write_all(line.as_bytes())?;
+                let record = encode_record(self.format, key, &body);
+                tmp.write_all(&record)?;
                 new_index.insert(
                     key,
                     Span {
                         offset,
-                        len: line.len() as u32,
+                        len: record.len() as u32,
                     },
                 );
-                offset += line.len() as u64;
+                offset += record.len() as u64;
             }
             tmp.flush()?;
             // Make the data durable before the rename becomes visible:
@@ -267,9 +326,10 @@ impl DiskTier {
         Ok(())
     }
 
-    /// Reads one record line. I/O failures are errors; a line that no
-    /// longer parses is `Ok(None)` (stale index entry, not a sick disk).
-    fn read_span(&mut self, span: Span) -> io::Result<Option<DiskRecord>> {
+    /// Reads one record (either format). I/O failures are errors; a record
+    /// that no longer parses is `Ok(None)` (stale index entry, not a sick
+    /// disk).
+    fn read_span(&mut self, span: Span) -> io::Result<Option<(u64, String)>> {
         self.reader.seek(SeekFrom::Start(span.offset))?;
         let mut raw = vec![0u8; span.len as usize];
         if let Err(e) = self.reader.read_exact(&mut raw) {
@@ -281,10 +341,7 @@ impl DiskTier {
                 Err(e)
             };
         }
-        let Ok(line) = std::str::from_utf8(&raw) else {
-            return Ok(None);
-        };
-        Ok(serde_json::from_str(line.trim_end()).ok())
+        Ok(parse_record(&raw))
     }
 }
 
@@ -292,34 +349,113 @@ fn key_hex(key: u64) -> String {
     format!("{key:016x}")
 }
 
-fn render_record(key: u64, body: &str) -> String {
+/// Renders one record in `format`. V2 only stores bodies that replay
+/// bit-identically through the binary response codec (decode→re-render
+/// must reproduce `body` exactly); anything else falls back to a v1 line,
+/// which can hold an arbitrary string.
+fn encode_record(format: DiskFormat, key: u64, body: &str) -> Vec<u8> {
+    if format == DiskFormat::V2 {
+        if let Ok(resp) = serde_json::from_str::<ScheduleResponse>(body) {
+            if serde_json::to_string(&resp).as_deref() == Ok(body) {
+                let blob = wire_bin::encode_response(&resp);
+                let mut out = Vec::with_capacity(V2_HEADER_LEN + blob.len() + 1);
+                out.extend_from_slice(&V2_TAG);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+                out.extend_from_slice(&blob);
+                out.push(b'\n');
+                return out;
+            }
+        }
+    }
     let rec = DiskRecord {
         key: key_hex(key),
         body: body.to_string(),
     };
     let mut line = serde_json::to_string(&rec).expect("records serialise");
     line.push('\n');
-    line
+    line.into_bytes()
 }
 
-/// Scans the whole file once, returning the last-wins span index and the
-/// offset where appends continue. A final line without `\n` (torn append)
-/// is ignored, and appends resume at the file's true end — the torn bytes
-/// are dead but harmless, and the next compaction drops them.
-fn index_file(path: &Path) -> io::Result<(HashMap<u64, Span>, u64)> {
+/// Parses one whole record in either format, returning its key and the
+/// body as the canonical JSON string the cache replays.
+fn parse_record(raw: &[u8]) -> Option<(u64, String)> {
+    if raw.first() == Some(&0u8) {
+        if raw.len() < V2_HEADER_LEN + 1 || raw[..3] != V2_TAG || raw[raw.len() - 1] != b'\n' {
+            return None;
+        }
+        let key = u64::from_le_bytes(raw[3..11].try_into().ok()?);
+        let len = u32::from_le_bytes(raw[11..15].try_into().ok()?) as usize;
+        if raw.len() != V2_HEADER_LEN + len + 1 {
+            return None;
+        }
+        let resp = wire_bin::decode_response(&raw[V2_HEADER_LEN..V2_HEADER_LEN + len]).ok()?;
+        Some((key, serde_json::to_string(&resp).ok()?))
+    } else {
+        let line = std::str::from_utf8(raw).ok()?;
+        let rec: DiskRecord = serde_json::from_str(line.trim_end()).ok()?;
+        Some((u64::from_str_radix(&rec.key, 16).ok()?, rec.body))
+    }
+}
+
+/// Scans the whole file once, returning the last-wins span index, the end
+/// of the last whole record (where appends continue after the torn tail,
+/// if any, is truncated), and the file's current length.
+///
+/// v1 lines are framed by `\n`; a malformed-but-terminated line mid-file
+/// is skipped and scanning continues. v2 records are framed by their
+/// declared length; an incomplete header/blob or a record that does not
+/// end in `\n` (torn append) stops the scan there, as does a v1 tail with
+/// no `\n` — everything past that point is the torn tail.
+fn index_file(path: &Path) -> io::Result<(HashMap<u64, Span>, u64, u64)> {
     let file = File::open(path)?;
-    let end = file.metadata()?.len();
+    let file_end = file.metadata()?.len();
     let mut reader = BufReader::new(file);
     let mut index = HashMap::new();
     let mut offset = 0u64;
     let mut raw = Vec::new();
     loop {
-        raw.clear();
-        let n = reader.read_until(b'\n', &mut raw)?;
-        if n == 0 {
-            break;
-        }
-        if raw.last() == Some(&b'\n') {
+        let first = {
+            let buf = reader.fill_buf()?;
+            if buf.is_empty() {
+                break;
+            }
+            buf[0]
+        };
+        if first == 0x00 {
+            // v2: fixed header, then a length-framed blob + newline. Any
+            // framing shortfall is a torn tail — stop scanning here.
+            let mut header = [0u8; V2_HEADER_LEN];
+            if reader.read_exact(&mut header).is_err() || header[..3] != V2_TAG {
+                break;
+            }
+            let key = u64::from_le_bytes(header[3..11].try_into().expect("8 bytes"));
+            let len = u64::from(u32::from_le_bytes(
+                header[11..15].try_into().expect("4 bytes"),
+            ));
+            let remaining = file_end - offset - V2_HEADER_LEN as u64;
+            if len + 1 > remaining {
+                break;
+            }
+            raw.resize(len as usize + 1, 0);
+            if reader.read_exact(&mut raw).is_err() || raw[len as usize] != b'\n' {
+                break;
+            }
+            let total = V2_HEADER_LEN as u64 + len + 1;
+            index.insert(
+                key,
+                Span {
+                    offset,
+                    len: total as u32,
+                },
+            );
+            offset += total;
+        } else {
+            raw.clear();
+            let n = reader.read_until(b'\n', &mut raw)?;
+            if n == 0 || raw.last() != Some(&b'\n') {
+                break;
+            }
             if let Some(key) = parse_line_key(&raw) {
                 index.insert(
                     key,
@@ -329,13 +465,13 @@ fn index_file(path: &Path) -> io::Result<(HashMap<u64, Span>, u64)> {
                     },
                 );
             }
+            offset += n as u64;
         }
-        offset += n as u64;
     }
-    Ok((index, end))
+    Ok((index, offset, file_end))
 }
 
-/// Parses just the key out of a record line (the body is left on disk).
+/// Parses just the key out of a v1 record line (the body is left on disk).
 fn parse_line_key(raw: &[u8]) -> Option<u64> {
     let line = std::str::from_utf8(raw).ok()?;
     let rec: DiskRecord = serde_json::from_str(line.trim_end()).ok()?;
@@ -352,6 +488,27 @@ mod tests {
         let p = dir.join(format!("{name}_{}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&p);
         p
+    }
+
+    /// A canonical response body: round-trips bit-identically through
+    /// serde, so a V2 tier stores it as a binary record.
+    fn sample_response_json() -> String {
+        let resp = ScheduleResponse {
+            v: 1,
+            key: "00aabbccddeeff11".into(),
+            model: "rv".into(),
+            order: vec![0, 2, 1],
+            assignment: vec![1, 0, 3],
+            sigma: 1234.5678,
+            makespan: 74.9,
+            deadline: 75.0,
+            direct_charge: 1111.25,
+            model_cost: 1300.0625,
+            survives: Some(true),
+            lifetime: None,
+            iterations: 12,
+        };
+        serde_json::to_string(&resp).unwrap()
     }
 
     #[test]
@@ -392,11 +549,12 @@ mod tests {
     }
 
     #[test]
-    fn torn_final_line_is_skipped_and_overwritten_territory_survives() {
+    fn torn_final_line_is_truncated_and_earlier_records_survive() {
         let path = tmp_path("torn");
         let mut t = DiskTier::open(&path).unwrap();
         t.put(1, "one").unwrap();
         t.put(2, "two").unwrap();
+        let clean_len = std::fs::metadata(&path).unwrap().len();
         drop(t);
         // Simulate a crash mid-append: half a record, no newline.
         {
@@ -404,15 +562,49 @@ mod tests {
             f.write_all(b"{\"key\":\"00000000000000").unwrap();
         }
         let mut t = DiskTier::open(&path).unwrap();
-        assert_eq!(t.len(), 2, "torn line ignored");
+        assert_eq!(t.len(), 2, "torn line dropped");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            clean_len,
+            "torn tail truncated back to the last whole record"
+        );
         assert_eq!(t.get(1).unwrap().as_deref(), Some("one"));
-        // New appends land after the torn bytes and still read back.
+        // New appends land where the torn bytes were and still read back.
         t.put(3, "three").unwrap();
         assert_eq!(t.get(3).unwrap().as_deref(), Some("three"));
         drop(t);
         let mut t = DiskTier::open(&path).unwrap();
         assert_eq!(t.len(), 3);
         assert_eq!(t.get(3).unwrap().as_deref(), Some("three"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_v2_record_is_truncated_at_every_cut() {
+        let path = tmp_path("torn_v2");
+        let resp_json = sample_response_json();
+        let mut t = DiskTier::open(&path).unwrap();
+        t.put(1, "plain v1 body").unwrap();
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let record = encode_record(DiskFormat::V2, 2, &resp_json);
+        assert_eq!(record[..3], V2_TAG, "fixture must be a real v2 record");
+        drop(t);
+        // Append every strict prefix of a v2 record and confirm open()
+        // truncates back to the clean boundary instead of mis-framing.
+        for cut in 1..record.len() {
+            {
+                let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+                f.write_all(&record[..cut]).unwrap();
+            }
+            let mut t = DiskTier::open(&path).unwrap();
+            assert_eq!(t.len(), 1, "cut {cut}: torn v2 record dropped");
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                clean_len,
+                "cut {cut}: truncated"
+            );
+            assert_eq!(t.get(1).unwrap().as_deref(), Some("plain v1 body"));
+        }
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -442,6 +634,80 @@ mod tests {
         assert_eq!(t.len(), 9);
         assert_eq!(t.get(99).unwrap().as_deref(), Some("after"));
         assert_eq!(t.get(0).unwrap().as_deref(), Some("body-0"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v2_records_replay_bit_identically_and_reload() {
+        let path = tmp_path("v2_round_trip");
+        let body = sample_response_json();
+        let mut t = DiskTier::open(&path).unwrap();
+        assert_eq!(t.format(), DiskFormat::V2, "V2 is the default");
+        t.put(5, &body).unwrap();
+        // The record on disk really is binary, and smaller than the JSONL
+        // line the v1 format would have written.
+        let raw = std::fs::read(&path).unwrap();
+        assert_eq!(raw[..3], V2_TAG);
+        assert!(raw.len() < encode_record(DiskFormat::V1, 5, &body).len());
+        assert_eq!(t.get(5).unwrap().as_deref(), Some(body.as_str()));
+        drop(t);
+        let mut t = DiskTier::open(&path).unwrap();
+        assert_eq!(t.get(5).unwrap().as_deref(), Some(body.as_str()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v2_put_falls_back_to_v1_for_non_response_bodies() {
+        let path = tmp_path("v2_fallback");
+        let mut t = DiskTier::open(&path).unwrap();
+        // Not a ScheduleResponse — must still round-trip exactly via v1.
+        let hostile = "\u{0}B2 not json \n weird";
+        t.put(9, hostile).unwrap();
+        assert_eq!(t.get(9).unwrap().as_deref(), Some(hostile));
+        let raw = std::fs::read(&path).unwrap();
+        assert_eq!(raw[0], b'{', "fallback record is a v1 JSONL line");
+        drop(t);
+        let mut t = DiskTier::open(&path).unwrap();
+        assert_eq!(t.get(9).unwrap().as_deref(), Some(hostile));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mixed_v1_v2_file_loads_and_compaction_upgrades_bit_identically() {
+        let path = tmp_path("v1_upgrade");
+        let body = sample_response_json();
+        // Write one record per format plus a free-form v1 body, by hand,
+        // the way an old binary would have left the file.
+        let mut t = DiskTier::open_with_format(
+            &path,
+            FsyncPolicy::default(),
+            FaultPlane::disarmed(),
+            DiskFormat::V1,
+        )
+        .unwrap();
+        assert_eq!(t.format(), DiskFormat::V1);
+        t.put(1, &body).unwrap();
+        t.put(2, "free-form").unwrap();
+        drop(t);
+        let mut t = DiskTier::open(&path).unwrap();
+        t.put(3, &body).unwrap(); // lands as v2 in the same file
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(1).unwrap().as_deref(), Some(body.as_str()));
+        assert_eq!(t.get(2).unwrap().as_deref(), Some("free-form"));
+        assert_eq!(t.get(3).unwrap().as_deref(), Some(body.as_str()));
+        let before = std::fs::metadata(&path).unwrap().len();
+        // Compacting the V2 tier upgrades the v1 response record; bodies
+        // replay bit-identically afterwards and the file shrinks.
+        t.compact().unwrap();
+        assert!(std::fs::metadata(&path).unwrap().len() < before);
+        assert_eq!(t.get(1).unwrap().as_deref(), Some(body.as_str()));
+        assert_eq!(t.get(2).unwrap().as_deref(), Some("free-form"));
+        assert_eq!(t.get(3).unwrap().as_deref(), Some(body.as_str()));
+        drop(t);
+        let mut t = DiskTier::open(&path).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(1).unwrap().as_deref(), Some(body.as_str()));
+        assert_eq!(t.get(2).unwrap().as_deref(), Some("free-form"));
         std::fs::remove_file(&path).unwrap();
     }
 }

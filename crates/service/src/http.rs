@@ -3,9 +3,14 @@
 //!
 //! Routes:
 //!
-//! * `POST /v1/schedule` — body is one wire-format request document;
-//!   answers `200` (with `X-Cache: hit|miss`), `400` for client errors,
-//!   `503` when the queue is full, `500` for internal failures;
+//! * `POST /v1/schedule` — body is one request document, JSON by default
+//!   or the binary wire format when `Content-Type:
+//!   application/x-batsched-bin` is declared (an unknown media type is a
+//!   typed 415 that keeps the connection alive); `Accept:
+//!   application/x-batsched-bin` asks for the 200 response in binary
+//!   (typed errors stay JSON). Answers `200` (with `X-Cache: hit|miss`),
+//!   `400` for client errors, `503` when the queue is full, `500` for
+//!   internal failures;
 //! * `GET /v1/stats` — the service's counters as JSON;
 //! * `GET /v1/metrics` — counters, gauges and latency histograms in
 //!   Prometheus text exposition format;
@@ -41,7 +46,8 @@
 
 use crate::service::{Disposition, Service};
 use crate::trace::{self, Span};
-use crate::wire::ErrorResponse;
+use crate::wire::{ErrorResponse, ScheduleResponse};
+use crate::wire_bin::{self, WireFormat};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -301,11 +307,33 @@ fn serve_one(
 
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/schedule") => {
+            // Content negotiation: the declared Content-Type picks the
+            // request decoder. An unknown media type is a typed 415 — the
+            // framing was sound, so the connection stays usable.
+            let Some(format) = negotiate_format(req.content_type.as_deref()) else {
+                let declared = req.content_type.as_deref().unwrap_or("");
+                write_response(
+                    stream,
+                    415,
+                    reason_phrase(415),
+                    &ErrorResponse::new(
+                        "unsupported_media_type",
+                        format!(
+                            "unsupported Content-Type {declared:?}; use application/json or {}",
+                            wire_bin::CONTENT_TYPE
+                        ),
+                    )
+                    .to_json(),
+                    &echo,
+                    keep_alive,
+                )?;
+                return Ok(LoopExit::CleanClose);
+            };
             let trace_id = req
                 .request_id
                 .clone()
                 .unwrap_or_else(|| trace::make_trace_id(&req.body, service.next_trace_seq()));
-            let reply = service.call(req.body);
+            let reply = service.call_bytes(req.body, format);
             let status = trace::status_code(reply.disposition);
             let x_cache = match reply.disposition {
                 Disposition::Ok { cached: true } => Some("X-Cache: hit"),
@@ -316,14 +344,37 @@ fn serve_one(
             let mut headers: Vec<&str> = vec![rid_header.as_str()];
             headers.extend(x_cache);
             let write_started = Instant::now();
-            write_response(
-                stream,
-                status,
-                reason_phrase(status),
-                &reply.body,
-                &headers,
-                keep_alive,
-            )?;
+            // `Accept`-negotiated binary responses are transcoded at this
+            // edge from the canonical JSON the service (and its cache
+            // tiers) always speak. Only a 200 schedule has a binary
+            // spelling; typed errors stay JSON so failures are always
+            // debuggable with any client.
+            let binary_body = if req.accept_binary && status == 200 {
+                serde_json::from_str::<ScheduleResponse>(&reply.body)
+                    .ok()
+                    .map(|resp| wire_bin::encode_response(&resp))
+            } else {
+                None
+            };
+            match &binary_body {
+                Some(bin) => write_response_bytes(
+                    stream,
+                    200,
+                    reason_phrase(200),
+                    wire_bin::CONTENT_TYPE,
+                    bin,
+                    &headers,
+                    keep_alive,
+                )?,
+                None => write_response(
+                    stream,
+                    status,
+                    reason_phrase(status),
+                    &reply.body,
+                    &headers,
+                    keep_alive,
+                )?,
+            }
             let write_us = write_started.elapsed().as_micros() as u64;
             service.observe_http(read_us, write_us);
             let total_us = started.elapsed().as_micros() as u64;
@@ -394,6 +445,7 @@ fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        415 => "Unsupported Media Type",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Internal Server Error",
@@ -404,7 +456,13 @@ fn reason_phrase(status: u16) -> &'static str {
 struct Request {
     method: String,
     path: String,
-    body: String,
+    /// Raw body bytes; wire-format interpretation (JSON vs binary) is
+    /// route-level content negotiation, not a framing concern.
+    body: Vec<u8>,
+    /// The `Content-Type` header value, if any (parameters included).
+    content_type: Option<String>,
+    /// `true` when the `Accept` header asks for binary responses.
+    accept_binary: bool,
     /// Whether the *client* side of the keep-alive negotiation allows
     /// another request on this connection.
     keep_alive: bool,
@@ -510,6 +568,8 @@ fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
 
     let mut content_length: Option<usize> = None;
     let mut request_id: Option<String> = None;
+    let mut content_type: Option<String> = None;
+    let mut accept_binary = false;
     loop {
         let line = read_head_line(reader, &mut budget)?
             .ok_or_else(|| RequestError::Malformed("premature EOF in headers".into()))?;
@@ -538,6 +598,12 @@ fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
             return Err(RequestError::Unsupported(format!(
                 "Transfer-Encoding ({value}) is not supported; send a Content-Length body"
             )));
+        } else if name.eq_ignore_ascii_case("content-type") {
+            content_type = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("accept") {
+            accept_binary = value
+                .split(',')
+                .any(|t| media_type(t).eq_ignore_ascii_case(wire_bin::CONTENT_TYPE));
         } else if name.eq_ignore_ascii_case("x-request-id") {
             // An insane id (empty, oversized, non-printable) is ignored —
             // the request still gets a generated trace id — rather than
@@ -567,15 +633,36 @@ fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
             RequestError::Io(e)
         }
     })?;
-    let body =
-        String::from_utf8(body).map_err(|_| RequestError::Malformed("body is not UTF-8".into()))?;
+    // The body stays raw bytes: UTF-8 is a JSON-format concern, validated
+    // by the service with a typed error that keeps the connection alive —
+    // the framing here was fine.
     Ok(Request {
         method,
         path,
         body,
+        content_type,
+        accept_binary,
         keep_alive,
         request_id,
     })
+}
+
+/// The media type of a `Content-Type`/`Accept` value: the part before any
+/// `;` parameters, trimmed.
+fn media_type(value: &str) -> &str {
+    value.split(';').next().unwrap_or("").trim()
+}
+
+/// Resolves the request's declared `Content-Type` to a wire format. An
+/// absent header (or `application/json`) is the JSON compat path; anything
+/// unrecognised is `None` → a typed 415.
+fn negotiate_format(content_type: Option<&str>) -> Option<WireFormat> {
+    match content_type.map(media_type) {
+        None | Some("") => Some(WireFormat::Json),
+        Some(t) if t.eq_ignore_ascii_case("application/json") => Some(WireFormat::Json),
+        Some(t) if t.eq_ignore_ascii_case(wire_bin::CONTENT_TYPE) => Some(WireFormat::Binary),
+        Some(_) => None,
+    }
 }
 
 fn write_response(
@@ -606,6 +693,26 @@ fn write_response_typed(
     extra_headers: &[&str],
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_bytes(
+        stream,
+        status,
+        reason,
+        content_type,
+        body.as_bytes(),
+        extra_headers,
+        keep_alive,
+    )
+}
+
+fn write_response_bytes(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[&str],
+    keep_alive: bool,
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
@@ -617,6 +724,6 @@ fn write_response_typed(
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(body)?;
     stream.flush()
 }

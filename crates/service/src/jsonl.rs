@@ -42,7 +42,7 @@ pub fn run_jsonl<R: BufRead, W: Write>(
             continue;
         }
         let started = Instant::now();
-        let trace_id = trace::make_trace_id(&line, service.next_trace_seq());
+        let trace_id = trace::make_trace_id(line.as_bytes(), service.next_trace_seq());
         let reply = service.call(line);
         summary.requests += 1;
         match reply.disposition {

@@ -7,7 +7,12 @@
 //! The pieces, bottom-up:
 //!
 //! * [`wire`] — the versioned JSON request/response format with a stable
-//!   canonical rendering and FNV-1a content hash (the cache key);
+//!   canonical rendering and FNV-1a content hash (the cache key), hashed
+//!   in one streaming pass (no canonical String is materialised);
+//! * [`wire_bin`] — the binary wire format (`application/x-batsched-bin`):
+//!   a length-prefixed encoding whose single-pass decoder folds canonical
+//!   content hashing into the same byte walk, so binary and JSON spellings
+//!   of one request share a cache key byte-for-byte;
 //! * [`cache`] — the memory cache tier: an O(1) intrusive-list LRU,
 //!   sharded across independently locked shards by content-hash bits
 //!   (hit = bit-identical replay);
@@ -67,9 +72,10 @@ pub mod metrics;
 pub mod service;
 pub mod trace;
 pub mod wire;
+pub mod wire_bin;
 
 pub use cache::{LruCache, ShardedCache};
-pub use disk::{DiskTier, FsyncPolicy};
+pub use disk::{DiskFormat, DiskTier, FsyncPolicy};
 pub use faults::{FaultPlane, FaultRule, FaultSite};
 pub use http::HttpServer;
 pub use jsonl::{run_jsonl, JsonlSummary};
@@ -83,10 +89,11 @@ pub use wire::{
     parse_request, ErrorResponse, ModelSpec, ScheduleRequest, ScheduleResponse, WireError,
     WIRE_VERSION,
 };
+pub use wire_bin::{decode_request, decode_response, encode_request, encode_response, WireFormat};
 
 /// Convenient glob-import of the types almost every embedder needs.
 pub mod prelude {
-    pub use crate::disk::FsyncPolicy;
+    pub use crate::disk::{DiskFormat, FsyncPolicy};
     pub use crate::faults::{FaultPlane, FaultRule, FaultSite};
     pub use crate::http::HttpServer;
     pub use crate::jsonl::run_jsonl;
@@ -94,4 +101,5 @@ pub mod prelude {
     pub use crate::wire::{
         parse_request, ErrorResponse, ModelSpec, ScheduleRequest, ScheduleResponse,
     };
+    pub use crate::wire_bin::{decode_request, encode_request, WireFormat};
 }

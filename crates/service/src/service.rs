@@ -26,12 +26,13 @@
 //!   cold solve.
 
 use crate::cache::ShardedCache;
-use crate::disk::{DiskTier, FsyncPolicy};
+use crate::disk::{DiskFormat, DiskTier, FsyncPolicy};
 use crate::faults::FaultPlane;
 use crate::logfmt::{Level, LogTarget, SpanLog};
 use crate::metrics::{render_histogram, render_sample, render_type, Histogram};
 use crate::trace::{RequestTrace, Span};
 use crate::wire::{self, ErrorResponse, ScheduleRequest, ScheduleResponse, WIRE_VERSION};
+use crate::wire_bin::{self, WireFormat};
 use batsched_battery::units::{MilliAmpMinutes, Minutes};
 use batsched_core::{schedule_in, Prof, SolverWorkspace};
 use serde::Serialize;
@@ -57,9 +58,11 @@ pub struct ServiceConfig {
     /// Independently locked cache shards (rounded up to a power of two,
     /// must be ≥ 1).
     pub cache_shards: usize,
-    /// Append-only JSONL file backing the disk cache tier; `None` keeps
+    /// Append-only record file backing the disk cache tier; `None` keeps
     /// the cache memory-only (cold after every restart).
     pub disk_path: Option<PathBuf>,
+    /// Record format the disk tier writes (both formats always load).
+    pub disk_format: DiskFormat,
     /// Queue-to-reply deadline; an expired request answers a typed
     /// `timeout` error. `None` (the default) never expires requests.
     pub request_timeout: Option<Duration>,
@@ -89,6 +92,7 @@ impl Default for ServiceConfig {
             cache_capacity: 256,
             cache_shards: 8,
             disk_path: None,
+            disk_format: DiskFormat::default(),
             request_timeout: None,
             fsync_policy: FsyncPolicy::default(),
             disk_breaker_threshold: 3,
@@ -225,7 +229,10 @@ pub struct Reply {
 }
 
 struct Job {
-    body: String,
+    /// Raw request document bytes — UTF-8 JSON or the binary wire format,
+    /// as declared by `format`. Validation happens on the worker.
+    body: Vec<u8>,
+    format: WireFormat,
     reply: Sender<Reply>,
     submitted: Instant,
 }
@@ -233,6 +240,7 @@ struct Job {
 #[derive(Debug, Default)]
 struct Counters {
     received: AtomicU64,
+    binary_requests: AtomicU64,
     ok_solved: AtomicU64,
     cache_hits: AtomicU64,
     disk_hits: AtomicU64,
@@ -457,6 +465,9 @@ pub struct StatsSnapshot {
     pub disk_entries: usize,
     /// Requests accepted into the queue.
     pub received: u64,
+    /// Requests that arrived in the binary wire format (the remainder of
+    /// `received` arrived as JSON).
+    pub binary_requests: u64,
     /// Requests answered from a cold solve.
     pub solved: u64,
     /// Requests answered from the in-memory cache tier.
@@ -640,10 +651,11 @@ impl Service {
         let rx = Arc::new(Mutex::new(rx));
         let disk = match &cfg.disk_path {
             None => None,
-            Some(path) => Some(Mutex::new(DiskTier::open_with(
+            Some(path) => Some(Mutex::new(DiskTier::open_with_format(
                 path,
                 cfg.fsync_policy,
                 faults.clone(),
+                cfg.disk_format,
             )?)),
         };
         let logger = match &cfg.log_json {
@@ -726,13 +738,28 @@ impl Service {
         self.cfg.clone()
     }
 
-    /// Enqueues a request document without blocking.
+    /// Enqueues a JSON request document without blocking.
     ///
     /// # Errors
     ///
     /// When the queue is full (or the service is shutting down) the typed
     /// overload [`Reply`] is returned immediately instead of a receiver.
     pub fn submit(&self, body: String) -> Result<Receiver<Reply>, Box<Reply>> {
+        self.submit_bytes(body.into_bytes(), WireFormat::Json)
+    }
+
+    /// Enqueues a raw request document in the declared wire format without
+    /// blocking. The response body is always canonical JSON; frontends
+    /// that negotiated a binary response transcode it at the edge.
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::submit`].
+    pub fn submit_bytes(
+        &self,
+        body: Vec<u8>,
+        format: WireFormat,
+    ) -> Result<Receiver<Reply>, Box<Reply>> {
         let started = Instant::now();
         let overload = |started: Instant, counters: &Counters| {
             counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -750,6 +777,7 @@ impl Service {
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
         match tx.try_send(Job {
             body,
+            format,
             reply: reply_tx,
             submitted: started,
         }) {
@@ -758,6 +786,12 @@ impl Service {
                     .counters
                     .received
                     .fetch_add(1, Ordering::Relaxed);
+                if format == WireFormat::Binary {
+                    self.shared
+                        .counters
+                        .binary_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 self.shared.in_queue.fetch_add(1, Ordering::Relaxed);
                 Ok(reply_rx)
             }
@@ -773,8 +807,14 @@ impl Service {
     /// late reply, if any, is discarded). A worker that dies without
     /// answering yields a typed `internal` error, never a hang.
     pub fn call(&self, body: String) -> Reply {
+        self.call_bytes(body.into_bytes(), WireFormat::Json)
+    }
+
+    /// [`Service::call`] for a raw document in the declared wire format.
+    /// The reply body is always canonical JSON regardless of `format`.
+    pub fn call_bytes(&self, body: Vec<u8>, format: WireFormat) -> Reply {
         let started = Instant::now();
-        let reply = self.call_inner(body, started);
+        let reply = self.call_inner(body, format, started);
         // The end-to-end histogram is observed here — once per answered
         // request, whatever the outcome — so its `_count` is exactly the
         // number of requests served through this entry point.
@@ -785,8 +825,8 @@ impl Service {
         reply
     }
 
-    fn call_inner(&self, body: String, started: Instant) -> Reply {
-        let rx = match self.submit(body) {
+    fn call_inner(&self, body: Vec<u8>, format: WireFormat, started: Instant) -> Reply {
+        let rx = match self.submit_bytes(body, format) {
             Ok(rx) => rx,
             Err(reply) => return *reply,
         };
@@ -900,6 +940,24 @@ impl Service {
             render_type(&mut out, name, "counter");
             render_sample(&mut out, name, "", value);
         }
+
+        // Requests by wire format: `binary` is counted directly, `json` is
+        // the remainder of `received` (the formats partition admissions).
+        let received = load(&c.received);
+        let binary = load(&c.binary_requests);
+        render_type(&mut out, "batsched_requests_by_format", "counter");
+        render_sample(
+            &mut out,
+            "batsched_requests_by_format",
+            "format=\"json\"",
+            received.saturating_sub(binary),
+        );
+        render_sample(
+            &mut out,
+            "batsched_requests_by_format",
+            "format=\"binary\"",
+            binary,
+        );
 
         let disk_entries = self
             .shared
@@ -1028,6 +1086,7 @@ impl Service {
             disk_degraded: self.shared.breaker.is_open(),
             disk_entries,
             received: load(&c.received),
+            binary_requests: load(&c.binary_requests),
             solved,
             cache_hits: hits,
             disk_hits,
@@ -1149,7 +1208,7 @@ fn worker_loop(id: usize, rx: &Mutex<Receiver<Job>>, shared: &Shared) -> bool {
         // the delta around `answer` is what this request cost.
         let prof_before = ws.prof();
         match catch_unwind(AssertUnwindSafe(|| {
-            answer(&job.body, shared, &mut ws, job.submitted)
+            answer(&job.body, job.format, shared, &mut ws, job.submitted)
         })) {
             Ok(mut reply) => {
                 reply.trace.queue_us = queue_us;
@@ -1197,7 +1256,13 @@ fn worker_loop(id: usize, rx: &Mutex<Receiver<Job>>, shared: &Shared) -> bool {
     }
 }
 
-fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Instant) -> Reply {
+fn answer(
+    body: &[u8],
+    format: WireFormat,
+    shared: &Shared,
+    ws: &mut SolverWorkspace,
+    submitted: Instant,
+) -> Reply {
     let c = &shared.counters;
     let finish = |disposition: Disposition, body: String, trace: RequestTrace| Reply {
         micros: submitted.elapsed().as_micros() as u64,
@@ -1206,13 +1271,18 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
         trace,
     };
     let us = |t: Instant| t.elapsed().as_micros() as u64;
-    let mut trace = RequestTrace::default();
+    let mut trace = RequestTrace {
+        format,
+        ..RequestTrace::default()
+    };
     // Injected solver latency models a slow solve (chaos tests drive the
     // deadline machinery with it); it sits inside `catch_unwind` like the
     // real work it stands in for. The sleep is deliberately attributed to
-    // the solve stage — that is what it impersonates.
+    // the solve stage — that is what it impersonates. Fault patterns match
+    // on text, so a non-UTF-8 binary body simply matches nothing.
+    let body_text_for_faults = || std::str::from_utf8(body).unwrap_or("");
     if shared.faults.is_armed() {
-        if let Some(delay) = shared.faults.solver_latency(body) {
+        if let Some(delay) = shared.faults.solver_latency(body_text_for_faults()) {
             std::thread::sleep(delay);
             trace.injected = true;
             trace.solve_us += delay.as_micros() as u64;
@@ -1222,8 +1292,9 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
     // is replayed without parsing anything — the alias index maps the raw
     // document hash to the canonical cache entry, verifying the stored
     // document byte-for-byte (a hash collision is a miss, not a lie).
+    // Works identically for JSON and binary spellings.
     let t = Instant::now();
-    let raw_key = wire::fnv1a64(body.as_bytes());
+    let raw_key = wire::fnv1a64(body);
     let alias_hit = shared.cache.get_by_alias(raw_key, body);
     trace.cache_us += us(t);
     if let Some(cached) = alias_hit {
@@ -1232,23 +1303,51 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
             .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
         return finish(Disposition::Ok { cached: true }, cached, trace);
     }
-    let t = Instant::now();
-    let parsed = wire::parse_request(body);
-    trace.parse_us += us(t);
-    let req = match parsed {
-        Ok(req) => req,
-        Err(e) => {
-            c.client_errors.fetch_add(1, Ordering::Relaxed);
-            return finish(
-                Disposition::ClientError,
-                ErrorResponse::from_wire(&e).to_json(),
-                trace,
-            );
+    // Admission: JSON parses then hashes in a separate (streaming) pass;
+    // the binary decoder folds the canonical hash into its single byte
+    // walk, so `hash_us` stays 0 — the hash came for free.
+    let (req, key) = match format {
+        WireFormat::Json => {
+            let t = Instant::now();
+            let parsed = std::str::from_utf8(body)
+                .map_err(|_| wire::WireError::Syntax {
+                    message: "body is not UTF-8".into(),
+                })
+                .and_then(wire::parse_request);
+            trace.parse_us += us(t);
+            let req = match parsed {
+                Ok(req) => req,
+                Err(e) => {
+                    c.client_errors.fetch_add(1, Ordering::Relaxed);
+                    return finish(
+                        Disposition::ClientError,
+                        ErrorResponse::from_wire(&e).to_json(),
+                        trace,
+                    );
+                }
+            };
+            let t = Instant::now();
+            let key = req.content_hash();
+            trace.hash_us += us(t);
+            (req, key)
+        }
+        WireFormat::Binary => {
+            let t = Instant::now();
+            let decoded = wire_bin::decode_request(body);
+            trace.parse_us += us(t);
+            match decoded {
+                Ok(pair) => pair,
+                Err(e) => {
+                    c.client_errors.fetch_add(1, Ordering::Relaxed);
+                    return finish(
+                        Disposition::ClientError,
+                        ErrorResponse::from_wire(&e).to_json(),
+                        trace,
+                    );
+                }
+            }
         }
     };
-    let t = Instant::now();
-    let key = req.content_hash();
-    trace.hash_us += us(t);
     let t = Instant::now();
     let canonical_hit = shared.cache.get(key);
     trace.cache_us += us(t);
@@ -1298,7 +1397,7 @@ fn answer(body: &str, shared: &Shared, ws: &mut SolverWorkspace, submitted: Inst
         }
     }
     c.cache_misses.fetch_add(1, Ordering::Relaxed);
-    if shared.faults.is_armed() && shared.faults.solver_panic(body) {
+    if shared.faults.is_armed() && shared.faults.solver_panic(body_text_for_faults()) {
         panic!("injected solver panic");
     }
     let t = Instant::now();

@@ -19,6 +19,7 @@
 use crate::logfmt::Level;
 use crate::service::{Disposition, Reply};
 use crate::wire;
+use crate::wire_bin::WireFormat;
 use batsched_core::Prof;
 use serde::Serialize;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -52,6 +53,8 @@ pub struct RequestTrace {
     pub served_from_disk: bool,
     /// `true` when a fault-injection rule fired while answering.
     pub injected: bool,
+    /// Which wire format the request document arrived in.
+    pub format: WireFormat,
     /// Solver phase counters attributable to this request.
     pub prof: Prof,
 }
@@ -91,8 +94,8 @@ pub fn status_code(disposition: Disposition) -> u16 {
 /// the raw body's FNV-1a hash (correlates replays of the same document)
 /// joined with a process-wide monotonic sequence (keeps every request
 /// distinct, including pipelined duplicates on one connection).
-pub fn make_trace_id(body: &str, seq: u64) -> String {
-    format!("{:016x}-{:x}", wire::fnv1a64(body.as_bytes()), seq)
+pub fn make_trace_id(body: &[u8], seq: u64) -> String {
+    format!("{:016x}-{:x}", wire::fnv1a64(body), seq)
 }
 
 /// Validates a client-supplied `X-Request-Id`: trimmed, non-empty, at most
@@ -151,6 +154,8 @@ pub struct Span {
     pub write_us: u64,
     /// Unattributed remainder (channel hops, thread scheduling).
     pub other_us: u64,
+    /// Wire format the request arrived in (`json` or `binary`).
+    pub wire_format: &'static str,
     /// A fault-injection rule fired while answering.
     pub injected: bool,
     /// Solver phase counters for this request.
@@ -204,6 +209,7 @@ impl Span {
             serialize_us: t.serialize_us,
             write_us,
             other_us: total_us.saturating_sub(staged),
+            wire_format: t.format.as_str(),
             injected: t.injected,
             prof: t.prof,
         }
@@ -248,9 +254,9 @@ mod tests {
 
     #[test]
     fn trace_ids_are_distinct_per_sequence_and_correlated_per_body() {
-        let a0 = make_trace_id("body-a", 0);
-        let a1 = make_trace_id("body-a", 1);
-        let b0 = make_trace_id("body-b", 0);
+        let a0 = make_trace_id(b"body-a", 0);
+        let a1 = make_trace_id(b"body-a", 1);
+        let b0 = make_trace_id(b"body-b", 0);
         assert_ne!(a0, a1);
         assert_eq!(a0.split('-').next(), a1.split('-').next());
         assert_ne!(a0.split('-').next(), b0.split('-').next());
@@ -298,6 +304,8 @@ mod tests {
             + span.write_us;
         assert_eq!(staged + span.other_us, span.total_us);
         assert_eq!(span.other_us, 1100 - 994);
+        assert_eq!(span.wire_format, "json");
+        assert!(span.to_json().contains("\"wire_format\":\"json\""));
         assert_eq!(span.outcome, "solved");
         assert_eq!(span.status, 200);
         assert_eq!(span.worker, 1);

@@ -32,6 +32,11 @@ pub const WIRE_VERSION: u32 = 1;
 /// default drifts.
 pub const DEFAULT_MAX_ITERATIONS: usize = 64;
 
+/// Hard ceiling on RV series terms accepted over the wire. The term count
+/// sizes a per-request allocation, so untrusted requests must not pick it
+/// freely; the series contributes nothing measurable long before this.
+pub const MAX_MODEL_TERMS: usize = 4096;
+
 /// Battery-model choice by name — the service's model registry.
 ///
 /// The scheduler's search always optimises the Rakhmatov–Vrudhula σ (that
@@ -107,6 +112,17 @@ impl ModelSpec {
         let bad = |e: &dyn fmt::Display| WireError::InvalidModel {
             message: e.to_string(),
         };
+        // Untrusted knob that sizes an allocation: `RvModel` precomputes
+        // one coefficient per series term, so a hostile request could
+        // declare an absurd count and OOM the worker. The series has long
+        // converged by this bound (the paper uses 10 terms).
+        if let Self::Rv { terms, .. } = self {
+            if *terms > MAX_MODEL_TERMS {
+                return Err(WireError::InvalidModel {
+                    message: format!("terms must be at most {MAX_MODEL_TERMS}, got {terms}"),
+                });
+            }
+        }
         Ok(match self {
             Self::Rv { beta, terms } => Box::new(RvModel::new(*beta, *terms).map_err(|e| bad(&e))?),
             Self::Kibam { c, k, alpha } => Box::new(
@@ -173,18 +189,202 @@ impl ScheduleRequest {
     /// Compact JSON of [`Self::canonical`] — the byte string the content
     /// hash is computed over. Deterministic: struct fields serialise in
     /// declaration order and `f64`s print shortest-round-trip.
+    ///
+    /// This is the *reference* rendering (it clones the graph and builds a
+    /// full value tree); the hot paths hash through [`render_canonical`]
+    /// instead, and tests assert the two stay byte-identical.
     pub fn canonical_json(&self) -> String {
         serde_json::to_string(&self.canonical()).expect("requests always serialise")
     }
 
-    /// FNV-1a 64 content hash of the canonical rendering.
+    /// FNV-1a 64 content hash of the canonical rendering, streamed — no
+    /// graph clone, no value tree, no intermediate `String`.
     pub fn content_hash(&self) -> u64 {
-        fnv1a64(self.canonical_json().as_bytes())
+        let mut h = Fnv::new();
+        render_canonical(self, &mut h).expect("hash sink never fails");
+        h.finish()
     }
 
     /// The content hash as the 16-hex-digit cache key echoed in responses.
     pub fn key(&self) -> String {
         format!("{:016x}", self.content_hash())
+    }
+}
+
+/// Streams the canonical rendering of `req` — byte-identical to
+/// [`ScheduleRequest::canonical_json`] — into any [`fmt::Write`] sink,
+/// walking the request in place: no graph clone, no value tree, no
+/// intermediate `String`. Feeding an [`Fnv`] sink turns canonical hashing
+/// into a single pass over the request, and the binary decoder
+/// ([`crate::wire_bin`]) emits exactly these fragments during its byte
+/// walk so both formats hash identically.
+///
+/// # Errors
+///
+/// Only what the sink itself reports; `String` and [`Fnv`] sinks never
+/// fail.
+pub fn render_canonical<W: fmt::Write>(req: &ScheduleRequest, out: &mut W) -> fmt::Result {
+    out.write_str("{\"v\":")?;
+    put_num(f64::from(WIRE_VERSION), out)?;
+    out.write_str(",\"graph\":{\"tasks\":[")?;
+    for (i, id) in req.graph.task_ids().enumerate() {
+        if i > 0 {
+            out.write_char(',')?;
+        }
+        let t = req.graph.task(id);
+        out.write_str("{\"name\":")?;
+        put_escaped(&t.name, out)?;
+        out.write_str(",\"points\":[")?;
+        for (j, p) in t.points.iter().enumerate() {
+            if j > 0 {
+                out.write_char(',')?;
+            }
+            out.write_str("{\"duration\":")?;
+            put_num(p.duration.value(), out)?;
+            out.write_str(",\"current\":")?;
+            put_num(p.current.value(), out)?;
+            out.write_str(",\"voltage\":")?;
+            put_num(p.voltage.value(), out)?;
+            out.write_char('}')?;
+        }
+        out.write_str("]}")?;
+    }
+    out.write_str("],\"edges\":[")?;
+    for (i, (a, b)) in req.graph.edges().enumerate() {
+        if i > 0 {
+            out.write_char(',')?;
+        }
+        out.write_char('[')?;
+        put_num(a.index() as f64, out)?;
+        out.write_char(',')?;
+        put_num(b.index() as f64, out)?;
+        out.write_char(']')?;
+    }
+    out.write_str("]},\"deadline\":")?;
+    put_num(req.deadline, out)?;
+    out.write_str(",\"model\":")?;
+    let default_model;
+    let spec = match &req.model {
+        Some(s) => s,
+        None => {
+            default_model = ModelSpec::default_rv();
+            &default_model
+        }
+    };
+    render_canonical_model(spec, out)?;
+    out.write_str(",\"capacity\":")?;
+    match req.capacity {
+        Some(c) => put_num(c, out)?,
+        None => out.write_str("null")?,
+    }
+    out.write_str(",\"max_iterations\":")?;
+    put_num(
+        req.max_iterations.unwrap_or(DEFAULT_MAX_ITERATIONS) as f64,
+        out,
+    )?;
+    out.write_char('}')
+}
+
+/// The canonical rendering of one [`ModelSpec`] — byte-identical to how
+/// the derived `Serialize` spells it (unit variants as strings, data
+/// variants as single-key objects with fields in declaration order).
+pub(crate) fn render_canonical_model<W: fmt::Write>(spec: &ModelSpec, out: &mut W) -> fmt::Result {
+    match spec {
+        ModelSpec::Rv { beta, terms } => {
+            out.write_str("{\"Rv\":{\"beta\":")?;
+            put_num(*beta, out)?;
+            out.write_str(",\"terms\":")?;
+            put_num(*terms as f64, out)?;
+            out.write_str("}}")
+        }
+        ModelSpec::Kibam { c, k, alpha } => {
+            out.write_str("{\"Kibam\":{\"c\":")?;
+            put_num(*c, out)?;
+            out.write_str(",\"k\":")?;
+            put_num(*k, out)?;
+            out.write_str(",\"alpha\":")?;
+            put_num(*alpha, out)?;
+            out.write_str("}}")
+        }
+        ModelSpec::Peukert {
+            exponent,
+            reference,
+        } => {
+            out.write_str("{\"Peukert\":{\"exponent\":")?;
+            put_num(*exponent, out)?;
+            out.write_str(",\"reference\":")?;
+            put_num(*reference, out)?;
+            out.write_str("}}")
+        }
+        ModelSpec::Ideal => out.write_str("\"Ideal\""),
+    }
+}
+
+/// Writes `s` as a JSON string literal, escaping exactly like the vendored
+/// serde renderer (so streamed output stays byte-identical to
+/// `serde_json::to_string`).
+pub(crate) fn put_escaped<W: fmt::Write>(s: &str, out: &mut W) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+/// Writes a number exactly like the vendored serde renderer: shortest
+/// round-trip for finite values, `null` for non-finite ones.
+pub(crate) fn put_num<W: fmt::Write>(x: f64, out: &mut W) -> fmt::Result {
+    if x.is_finite() {
+        write!(out, "{x}")
+    } else {
+        out.write_str("null")
+    }
+}
+
+/// Incremental FNV-1a 64 hasher that doubles as a [`fmt::Write`] sink, so
+/// canonical hashing streams through [`render_canonical`] (or the binary
+/// decoder's fused byte walk) without materialising the document.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Write for Fnv {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.update(s.as_bytes());
+        Ok(())
     }
 }
 
@@ -230,6 +430,13 @@ pub enum WireError {
         /// What was wrong.
         message: String,
     },
+    /// A binary-format framing problem: bad magic, truncated section,
+    /// oversize declared length, or an ordering-invariant violation (see
+    /// [`crate::wire_bin`] and `docs/WIRE.md`).
+    Binary {
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl WireError {
@@ -243,6 +450,7 @@ impl WireError {
             Self::InvalidDeadline { .. } => "invalid_deadline",
             Self::InvalidCapacity { .. } => "invalid_capacity",
             Self::InvalidModel { .. } => "invalid_model",
+            Self::Binary { .. } => "bad_binary",
         }
     }
 }
@@ -265,6 +473,7 @@ impl fmt::Display for WireError {
                 write!(f, "capacity must be positive and finite, got {capacity}")
             }
             Self::InvalidModel { message } => write!(f, "invalid battery model: {message}"),
+            Self::Binary { message } => write!(f, "invalid binary request: {message}"),
         }
     }
 }
@@ -606,5 +815,72 @@ mod tests {
         // Standard FNV-1a test vectors.
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let mut inc = Fnv::new();
+        assert_eq!(inc.finish(), fnv1a64(b""));
+        inc.update(b"a");
+        assert_eq!(inc.finish(), fnv1a64(b"a"));
+    }
+
+    #[test]
+    fn streaming_canonical_rendering_matches_the_reference_oracle() {
+        use batsched_taskgraph::paper::g3;
+        // Every optional-field / model combination must render through the
+        // streaming path byte-identically to the serde value-tree oracle —
+        // and therefore hash to the same key.
+        let mut requests = vec![
+            ScheduleRequest::new(g2(), 75.0),
+            ScheduleRequest::new(g3(), 230.5),
+        ];
+        let mut spelled = ScheduleRequest::new(g2(), 75.25);
+        spelled.model = Some(ModelSpec::default_rv());
+        spelled.capacity = Some(40_000.0);
+        spelled.max_iterations = Some(7);
+        requests.push(spelled);
+        for model in [
+            ModelSpec::Ideal,
+            ModelSpec::Kibam {
+                c: 0.5,
+                k: 0.05,
+                alpha: 40_000.0,
+            },
+            ModelSpec::Peukert {
+                exponent: 1.2,
+                reference: 300.0,
+            },
+        ] {
+            let mut r = ScheduleRequest::new(g2(), 75.0);
+            r.model = Some(model);
+            requests.push(r);
+        }
+        for req in &requests {
+            let oracle = req.canonical_json();
+            let mut streamed = String::new();
+            render_canonical(req, &mut streamed).unwrap();
+            assert_eq!(streamed, oracle);
+            assert_eq!(req.content_hash(), fnv1a64(oracle.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn streaming_rendering_escapes_hostile_task_names() {
+        use batsched_battery::units::{MilliAmps, Minutes, Volts};
+        use batsched_taskgraph::{DesignPoint, TaskGraph};
+        let mut b = TaskGraph::builder();
+        b.task(
+            "quote\" back\\slash \n\t ctrl\u{1} ünïcödé",
+            vec![DesignPoint::with_voltage(
+                MilliAmps::new(100.0),
+                Minutes::new(1.5),
+                Volts::new(1.0),
+            )],
+        );
+        let g = b.build().unwrap();
+        let req = ScheduleRequest::new(g, 10.0);
+        let mut streamed = String::new();
+        render_canonical(&req, &mut streamed).unwrap();
+        assert_eq!(streamed, req.canonical_json());
+        // The rendering must also survive a JSON round trip.
+        let parsed = parse_request(&streamed).unwrap();
+        assert_eq!(parsed.content_hash(), req.content_hash());
     }
 }

@@ -62,13 +62,13 @@ proptest! {
                     prop_assert_eq!(fast.get(*key), oracle.get(*key), "step {}: {:?}", step, op);
                 }
                 Op::Alias { raw, doc, key } => {
-                    fast.alias(*raw, doc, *key);
-                    oracle.alias(*raw, doc, *key);
+                    fast.alias(*raw, doc.as_bytes(), *key);
+                    oracle.alias(*raw, doc.as_bytes(), *key);
                 }
                 Op::GetByAlias { raw, doc } => {
                     prop_assert_eq!(
-                        fast.get_by_alias(*raw, doc),
-                        oracle.get_by_alias(*raw, doc),
+                        fast.get_by_alias(*raw, doc.as_bytes()),
+                        oracle.get_by_alias(*raw, doc.as_bytes()),
                         "step {}: {:?}", step, op
                     );
                 }
@@ -96,13 +96,13 @@ proptest! {
                     prop_assert_eq!(single.get(*key), sharded.get(*key), "step {}: {:?}", step, op);
                 }
                 Op::Alias { raw, doc, key } => {
-                    single.alias(*raw, doc, *key);
-                    sharded.alias(*raw, doc, *key);
+                    single.alias(*raw, doc.as_bytes(), *key);
+                    sharded.alias(*raw, doc.as_bytes(), *key);
                 }
                 Op::GetByAlias { raw, doc } => {
                     prop_assert_eq!(
-                        single.get_by_alias(*raw, doc),
-                        sharded.get_by_alias(*raw, doc),
+                        single.get_by_alias(*raw, doc.as_bytes()),
+                        sharded.get_by_alias(*raw, doc.as_bytes()),
                         "step {}: {:?}", step, op
                     );
                 }

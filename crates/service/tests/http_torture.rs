@@ -60,6 +60,21 @@ impl Client {
         self.send_raw(&raw);
     }
 
+    fn request_typed(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &str,
+        connection: &str,
+    ) {
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+            body.len()
+        );
+        self.send_raw(&raw);
+    }
+
     /// Reads one framed response (status line + headers + Content-Length
     /// bytes of body). Panics on a closed stream.
     fn read_response(&mut self) -> Response {
@@ -358,6 +373,61 @@ fn transfer_encoding_is_refused_with_501() {
         assert!(r.head.contains("Connection: close"), "{}", r.head);
         c.assert_closed();
     }
+    drop(server);
+    svc.shutdown();
+}
+
+#[test]
+fn unknown_content_type_is_415_and_keeps_the_connection() {
+    let (svc, server, addr) = boot();
+    let body = schedule_body(75.0);
+    let mut c = Client::connect(addr);
+    // Unknown media types are a client mistake, not a framing violation:
+    // the typed 415 must not poison the keep-alive stream.
+    for ct in ["text/plain", "application/xml", "application/json2"] {
+        c.request_typed("POST", "/v1/schedule", ct, &body, "keep-alive");
+        let r = c.read_response();
+        assert_eq!(r.status, 415, "{ct}");
+        assert!(r.body.contains("unsupported_media_type"), "{}", r.body);
+        assert!(r.head.contains("Connection: keep-alive"), "{}", r.head);
+    }
+    // The SAME connection still serves real requests; a charset parameter
+    // on application/json is fine.
+    c.request_typed(
+        "POST",
+        "/v1/schedule",
+        "application/json; charset=utf-8",
+        &body,
+        "keep-alive",
+    );
+    let r = c.read_response();
+    assert_eq!(r.status, 200, "{}", r.body);
+    c.request_raw("POST", "/v1/schedule", &body, "close");
+    let r = c.read_response();
+    assert_eq!(r.status, 200);
+    assert!(r.head.contains("X-Cache: hit"), "{}", r.head);
+    c.assert_closed();
+    // Rejected uploads never reach the service.
+    assert_eq!(svc.stats().received, 2);
+    drop(server);
+    svc.shutdown();
+}
+
+#[test]
+fn non_utf8_json_body_is_a_typed_400_not_a_framing_error() {
+    let (svc, server, addr) = boot();
+    let mut c = Client::connect(addr);
+    // A well-framed body that is not UTF-8: semantic error, typed answer,
+    // connection preserved.
+    c.send_raw("POST /v1/schedule HTTP/1.1\r\nContent-Length: 4\r\nConnection: keep-alive\r\n\r\n");
+    c.stream.write_all(&[0xff, 0xfe, 0x01, 0x02]).expect("send");
+    let r = c.read_response();
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("bad_json"), "{}", r.body);
+    assert!(r.head.contains("Connection: keep-alive"), "{}", r.head);
+    c.request_raw("GET", "/healthz", "", "close");
+    assert_eq!(c.read_response().status, 200);
+    c.assert_closed();
     drop(server);
     svc.shutdown();
 }

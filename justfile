@@ -43,6 +43,12 @@ serve-smoke:
 service-bench:
     cargo run --release -p batsched-bench --bin loadgen -- --check
 
+# Binary-vs-JSON admission A/B on the n-scaling instances: both wire
+# formats must produce one cache key, and the fused single-pass binary
+# decode+hash must beat JSON parse+hash by >= 2x at n=200.
+wire:
+    cargo run --release -p batsched-bench --bin loadgen -- --wire --check
+
 # Fault-injection drill against a real armed daemon: injected solver
 # panic, disk-append burst, latency beyond the request deadline. Asserts
 # zero lost requests, typed errors only, worker respawn, and disk-tier
