@@ -8,7 +8,10 @@
 # drill against a real armed daemon (used by `just chaos`);
 # `./ci.sh metrics-smoke` boots a span-logging daemon, drives traffic and
 # verifies the /v1/metrics exposition and the span log (used by
-# `just metrics`).
+# `just metrics`); `./ci.sh fleet-smoke` boots the fleet router with 3
+# real worker processes, kill -9s one mid-burst and asserts zero lost
+# requests, respawn and the drain/readyz transitions (used by
+# `just fleet`).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -172,6 +175,55 @@ metrics_smoke() {
   rm -f "$log" "$spans"
 }
 
+fleet_smoke() {
+  echo "==> fleet smoke (router + 3 workers, kill -9 mid-burst, drain/restart)"
+  cargo build --release -q -p batsched-cli -p batsched-bench
+  local log cache
+  log="$(mktemp)"
+  cache="$(mktemp -u).jsonl"
+
+  # Boot the router with 3 supervised `batsched serve` children, each
+  # owning its own disk shard ($cache.shard-K). Small probe/backoff
+  # budgets keep the kill -9 → respawn → ready cycle fast.
+  ./target/release/batsched fleet --http 127.0.0.1:0 --size 3 --workers 1 \
+    --disk-cache "$cache" \
+    --probe-interval-ms 50 --restart-backoff-ms 100 --restart-backoff-max-ms 1000 \
+    2> "$log" &
+  local pid=$!
+  local addr=""
+  for _ in $(seq 1 200); do
+    # Only the router announces "listening on" — worker announce lines
+    # are consumed by the launcher, never re-emitted.
+    addr=$(grep -oE 'listening on http://127\.0\.0\.1:[0-9]+' "$log" \
+      | head -1 | grep -oE '127\.0\.0\.1:[0-9]+' || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "fleet router did not announce an address; log:" >&2
+    cat "$log" >&2
+    kill "$pid" 2> /dev/null || true
+    wait "$pid" 2> /dev/null || true
+    rm -f "$log" "$cache".shard-*
+    exit 1
+  fi
+  # loadgen --fleet-smoke: warm burst with pinned routing, kill -9 of the
+  # worker owning a known hash slice (pid read from /v1/fleet), zero-loss
+  # failover burst, respawn + /readyz recovery, drain drill asserting the
+  # ready -> not-ready -> ready transition, then /v1/shutdown.
+  if ! ./target/release/loadgen --fleet-smoke --addr "$addr"; then
+    echo "fleet drill failed; router log:" >&2
+    cat "$log" >&2
+    kill "$pid" 2> /dev/null || true
+    wait "$pid" 2> /dev/null || true
+    rm -f "$log" "$cache".shard-*
+    exit 1
+  fi
+  wait "$pid"
+  echo "fleet drill survived: kill -9 lost nothing, worker respawned, drain cycled readyz"
+  rm -f "$log" "$cache".shard-*
+}
+
 if [ "${1:-}" = "serve-smoke" ]; then
   serve_smoke
   exit 0
@@ -184,6 +236,11 @@ fi
 
 if [ "${1:-}" = "metrics-smoke" ]; then
   metrics_smoke
+  exit 0
+fi
+
+if [ "${1:-}" = "fleet-smoke" ]; then
+  fleet_smoke
   exit 0
 fi
 
@@ -213,6 +270,14 @@ serve_smoke
 chaos_smoke
 
 metrics_smoke
+
+fleet_smoke
+
+echo "==> fleet drill (parallel feature, zero-loss floors enforced)"
+# The acceptance gate runs in both feature configs: the in-process fleet
+# drill (router + 3 workers, kill mid-burst) must lose zero requests with
+# the parallel solver kernels compiled in too.
+cargo run --release -q -p batsched-bench --features parallel --bin loadgen -- --fleet --quick --check
 
 echo "==> perf smoke + snapshot (BENCH_scheduler.json, floors enforced)"
 # Quick-mode perf smoke: regenerates the snapshot and fails the pipeline if

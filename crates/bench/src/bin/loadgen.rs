@@ -40,6 +40,14 @@
 //!   trip its breaker into degraded mode and then re-arm once the fault
 //!   burst passes.
 //!
+//! * **fleet** — the fleet-scale drill: an in-process [`batsched_service::Fleet`]
+//!   (content-hash router + 3 supervised workers) serves the
+//!   duplicate-heavy stream A/B against a single-process daemon, then one
+//!   worker is killed mid-burst; every request must still be answered
+//!   exactly once (failover retries are safe — requests are idempotent by
+//!   content hash), the dead worker must be respawned, and the fleet must
+//!   return to ready. `--check` fails the run on any lost request.
+//!
 //! All latency percentiles (p50/p95/p99) are computed through the
 //! service's own [`batsched_service::HistogramSnapshot`] — the same
 //! fixed-boundary log-bucket histogram `/v1/metrics` exposes — so the
@@ -63,13 +71,19 @@
 //! histogram counts match the requests it sent (the ci.sh metrics-smoke
 //! check); `--chaos` runs only the chaos drill (add `--addr <host:port>`
 //! to drive an external daemon booted with the same `--fault` rules — see
-//! `ci.sh chaos-smoke` — instead of an in-process one).
+//! `ci.sh chaos-smoke` — instead of an in-process one); `--fleet` runs
+//! only the in-process fleet drill and prints its report;
+//! `--fleet-smoke --addr <host:port>` drives an external `batsched fleet`
+//! daemon: warm burst with routing pinned per content hash, a real
+//! `kill -9` of one worker mid-burst with zero lost requests, respawn and
+//! `/readyz` recovery, then a drain/restart drill asserting the
+//! ready → not-ready → ready transition (the ci.sh fleet-smoke check).
 
 use batsched_service::wire::DEFAULT_MAX_ITERATIONS;
 use batsched_service::{
-    decode_request, decode_response, encode_request, parse_request, Disposition, ErrorResponse,
-    FaultPlane, FaultRule, HistogramSnapshot, HttpServer, ModelSpec, ScheduleRequest,
-    ScheduleResponse, Service, ServiceConfig,
+    decode_request, decode_response, encode_request, home_slot, parse_request, Disposition,
+    ErrorResponse, FaultPlane, FaultRule, Fleet, FleetConfig, HistogramSnapshot, HttpServer,
+    InProcessLauncher, ModelSpec, ScheduleRequest, ScheduleResponse, Service, ServiceConfig,
 };
 use batsched_taskgraph::analysis::{max_makespan, min_makespan};
 use batsched_taskgraph::paper::{g2, g3, G2_TABLE4_DEADLINES, G3_TABLE4_DEADLINES};
@@ -207,6 +221,23 @@ struct ChaosReport {
 }
 
 #[derive(Debug, Serialize)]
+struct FleetReport {
+    workers: usize,
+    requests: usize,
+    single_rps: f64,
+    fleet_rps: f64,
+    fleet_vs_single: f64,
+    kill_burst_requests: usize,
+    kill_burst_ok: usize,
+    kill_burst_unavailable: usize,
+    kill_burst_other: usize,
+    lost: usize,
+    router_retries: u64,
+    respawned: bool,
+    ready_after_kill: bool,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchDoc {
     config: ConfigDoc,
     paper: StreamReport,
@@ -218,6 +249,7 @@ struct BenchDoc {
     warm_restart: WarmRestartReport,
     malformed: MalformedReport,
     chaos: ChaosReport,
+    fleet: FleetReport,
 }
 
 #[derive(Debug, Serialize)]
@@ -905,6 +937,451 @@ fn run_chaos(quick: bool, check: bool, addr: Option<&str>) -> ChaosReport {
     report
 }
 
+/// Pulls one header's value out of a response head.
+fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|l| {
+        let (n, v) = l.split_once(':')?;
+        n.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+    })
+}
+
+/// A one-shot HTTP call that reports transport failures instead of
+/// panicking — the kill-drill classifier: any `Err` is a *lost* request
+/// (the fleet broke its exactly-once answer contract).
+fn try_http_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String, String)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a full response head",
+            ));
+        }
+        if line.trim_end().is_empty() {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "unparseable status line")
+        })?;
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            let (n, v) = l.split_once(':')?;
+            if n.eq_ignore_ascii_case("content-length") {
+                v.trim().parse().ok()
+            } else {
+                None
+            }
+        })
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "response has no Content-Length",
+            )
+        })?;
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok((status, head, String::from_utf8_lossy(&payload).into_owned()))
+}
+
+/// The duplicate-heavy fleet stream: `unique` distinct bodies repeated
+/// round-robin so every worker's cache slice stays hot.
+fn fleet_stream(uniques: &[String], repeats: usize) -> Vec<String> {
+    let mut bodies = Vec::with_capacity(uniques.len() * repeats);
+    for r in 0..repeats {
+        for k in 0..uniques.len() {
+            bodies.push(uniques[(k + r) % uniques.len()].clone());
+        }
+    }
+    bodies
+}
+
+/// The fleet drill (see the module docs): single-process baseline vs a
+/// 3-worker in-process fleet on the duplicate-heavy stream, then the
+/// zero-loss kill drill — the worker owning `uniques[0]`'s hash slice is
+/// killed mid-burst and every request must still be answered exactly
+/// once, with the dead worker respawned and the fleet back to ready.
+fn run_fleet(quick: bool, check: bool) -> FleetReport {
+    const FLEET_SIZE: usize = 3;
+    let worker_cfg = ServiceConfig {
+        workers: 1,
+        queue_capacity: 64,
+        cache_capacity: 256,
+        ..ServiceConfig::default()
+    };
+    let uniques: Vec<String> = (0..FLEET_SIZE as u64)
+        .map(|k| {
+            let g = synth_graph(24, 5, 0xF1EE7 + k);
+            body_for(&g, loose_deadline(&g))
+        })
+        .collect();
+    let repeats = if quick { 30 } else { 80 };
+    let bodies = fleet_stream(&uniques, repeats);
+
+    // Phase A: the single-process baseline — same worker config, same
+    // duplicate-heavy stream, one kept-alive connection.
+    let svc = Arc::new(Service::start(worker_cfg.clone()));
+    let server = HttpServer::bind(Arc::clone(&svc), "127.0.0.1:0").expect("bind baseline daemon");
+    let addr = server.local_addr().to_string();
+    for b in &uniques {
+        let (code, _, payload) =
+            HttpClient::connect(&addr).request("POST", "/v1/schedule", b, true);
+        assert_eq!(code, 200, "baseline prime failed: {payload}");
+    }
+    let t0 = Instant::now();
+    let mut client = HttpClient::connect(&addr);
+    for (i, b) in bodies.iter().enumerate() {
+        let (code, _, _) = client.request("POST", "/v1/schedule", b, i + 1 == bodies.len());
+        assert_eq!(code, 200);
+    }
+    let single_rps = bodies.len() as f64 / t0.elapsed().as_secs_f64();
+    server.stop();
+    server.wait();
+    svc.shutdown();
+
+    // Phase B: the same stream through the router, workers' caches hot on
+    // their hash slices.
+    let fleet_cfg = FleetConfig {
+        size: FLEET_SIZE,
+        retry_budget: 2,
+        upstream_timeout: Duration::from_secs(5),
+        probe_interval: Duration::from_millis(40),
+        backoff_base: Duration::from_millis(80),
+        backoff_max: Duration::from_millis(800),
+        breaker_threshold: 3,
+        drain_timeout: Duration::from_secs(10),
+        start_timeout: Duration::from_secs(20),
+    };
+    let fleet = Fleet::start(
+        fleet_cfg,
+        Box::new(InProcessLauncher::new(worker_cfg)),
+        "127.0.0.1:0",
+    )
+    .expect("fleet starts");
+    assert!(
+        fleet.wait_ready(Duration::from_secs(30)),
+        "fleet must become ready: {:?}",
+        fleet.status()
+    );
+    let addr = fleet.local_addr().to_string();
+    for b in &uniques {
+        let (code, _, payload) =
+            HttpClient::connect(&addr).request("POST", "/v1/schedule", b, true);
+        assert_eq!(code, 200, "fleet prime failed: {payload}");
+    }
+    // Routing is pinned: duplicates of one body land on one worker.
+    let mut client = HttpClient::connect(&addr);
+    let (_, head_a, _) = client.request("POST", "/v1/schedule", &uniques[0], false);
+    let (_, head_b, _) = client.request("POST", "/v1/schedule", &uniques[0], false);
+    let pinned = header_value(&head_a, "X-Fleet-Worker").expect("router names its worker");
+    assert_eq!(
+        Some(&pinned),
+        header_value(&head_b, "X-Fleet-Worker").as_ref(),
+        "duplicates must pin to one worker"
+    );
+    let t0 = Instant::now();
+    for (i, b) in bodies.iter().enumerate() {
+        let (code, _, _) = client.request("POST", "/v1/schedule", b, i + 1 == bodies.len());
+        assert_eq!(code, 200);
+    }
+    let fleet_rps = bodies.len() as f64 / t0.elapsed().as_secs_f64();
+
+    // Phase C: the kill drill. The victim is the worker that owns
+    // uniques[0]'s hash slice, so the burst is guaranteed to exercise
+    // failover. One fresh connection per request so every outcome is
+    // classified (an Err is a LOST request — the acceptance gate).
+    let victim = home_slot(
+        batsched_service::wire::fnv1a64(uniques[0].as_bytes()),
+        FLEET_SIZE,
+    );
+    assert_eq!(
+        pinned,
+        victim.to_string(),
+        "router and home_slot must agree on the owner"
+    );
+    let burst = fleet_stream(&uniques, if quick { 10 } else { 20 });
+    let kill_at = burst.len() / 3;
+    let (mut ok, mut unavailable, mut other, mut lost) = (0usize, 0usize, 0usize, 0usize);
+    for (i, b) in burst.iter().enumerate() {
+        if i == kill_at {
+            assert!(fleet.kill_worker(victim), "victim worker must be live");
+        }
+        match try_http_call(&addr, "POST", "/v1/schedule", b) {
+            Ok((200, _, _)) => ok += 1,
+            Ok((503, _, payload)) if payload.contains("upstream_unavailable") => unavailable += 1,
+            Ok((code, _, payload)) => {
+                eprintln!("fleet: unexpected response {code}: {payload}");
+                other += 1;
+            }
+            Err(e) => {
+                eprintln!("fleet: LOST request {i}: {e}");
+                lost += 1;
+            }
+        }
+    }
+    let ready_after_kill = fleet.wait_ready(Duration::from_secs(30));
+    let status = fleet.status();
+    let respawned = status.workers[victim].restarts >= 1;
+    let report = FleetReport {
+        workers: FLEET_SIZE,
+        requests: bodies.len(),
+        single_rps,
+        fleet_rps,
+        fleet_vs_single: fleet_rps / single_rps.max(1e-9),
+        kill_burst_requests: burst.len(),
+        kill_burst_ok: ok,
+        kill_burst_unavailable: unavailable,
+        kill_burst_other: other,
+        lost,
+        router_retries: status.retries,
+        respawned,
+        ready_after_kill,
+    };
+    fleet.shutdown();
+
+    assert_eq!(
+        report.kill_burst_ok
+            + report.kill_burst_unavailable
+            + report.kill_burst_other
+            + report.lost,
+        report.kill_burst_requests,
+        "every kill-burst request must be classified"
+    );
+    if check {
+        assert_eq!(
+            report.lost, 0,
+            "kill -9 must lose zero requests: {report:?}"
+        );
+        assert_eq!(
+            report.kill_burst_other, 0,
+            "kill-burst responses must be schedules or typed upstream_unavailable: {report:?}"
+        );
+        assert_eq!(
+            report.kill_burst_ok, report.kill_burst_requests,
+            "with two survivors and retry budget 2, every request must fail over: {report:?}"
+        );
+        assert!(
+            report.respawned,
+            "the killed worker must be respawned with backoff: {report:?}"
+        );
+        assert!(
+            report.ready_after_kill,
+            "the fleet must return to fully ready: {report:?}"
+        );
+        // The router proxies over loopback and this box is single-core,
+        // so the fleet cannot win on hit traffic — the floor only guards
+        // against pathological proxy overhead. Multi-core scaling is
+        // unmeasured here (see ROADMAP's standing constraints).
+        assert!(
+            report.fleet_vs_single >= 0.15,
+            "routed throughput collapsed vs single process: {report:?}"
+        );
+    }
+    report
+}
+
+/// Every `u64` value of `field` in a JSON document, in order of
+/// appearance (non-numeric values, e.g. `null` pids, are skipped).
+fn json_u64_all(doc: &str, field: &str) -> Vec<u64> {
+    let tag = format!("\"{field}\":");
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(at) = rest.find(&tag) {
+        let after = &rest[at + tag.len()..];
+        let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(v) = digits.parse() {
+            out.push(v);
+        }
+        rest = after;
+    }
+    out
+}
+
+/// The external fleet drill (the `ci.sh fleet-smoke` check) against a
+/// running `batsched fleet` daemon: warm burst with pinned routing, a
+/// real `kill -9` of one worker mid-burst (zero lost requests), respawn
+/// and `/readyz` recovery, a drain/restart drill asserting the
+/// ready → not-ready → ready transition, then shutdown.
+fn run_fleet_smoke(addr: &str) {
+    // Wait out worker boot: /readyz answers 503 with per-worker reasons
+    // until every worker probes ready.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (code, ready) = http_call(addr, "GET", "/readyz", "");
+        if code == 200 {
+            assert!(ready.contains("\"ready\":true"), "{ready}");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet never became ready: {ready}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    let (code, topo) = http_call(addr, "GET", "/v1/fleet", "");
+    assert_eq!(code, 200, "{topo}");
+    let size = json_u64_all(&topo, "size")[0] as usize;
+    assert!(size >= 2, "the drill needs at least two workers: {topo}");
+    let pids = json_u64_all(&topo, "pid");
+    assert_eq!(
+        pids.len(),
+        size,
+        "every ready worker must report a pid: {topo}"
+    );
+
+    // Warm burst down one kept-alive connection; duplicates must pin to
+    // one worker per content hash.
+    let uniques: Vec<String> = (0..size as u64)
+        .map(|k| {
+            let g = synth_graph(24, 5, 0xF1EE7 + k);
+            body_for(&g, loose_deadline(&g))
+        })
+        .collect();
+    let mut client = HttpClient::connect(addr);
+    for b in fleet_stream(&uniques, 6) {
+        let (code, _, payload) = client.request("POST", "/v1/schedule", &b, false);
+        assert_eq!(code, 200, "warm burst request failed: {payload}");
+    }
+    let (_, head_a, _) = client.request("POST", "/v1/schedule", &uniques[0], false);
+    let (_, head_b, _) = client.request("POST", "/v1/schedule", &uniques[0], true);
+    let owner = header_value(&head_a, "X-Fleet-Worker").expect("router names its worker");
+    assert_eq!(
+        Some(&owner),
+        header_value(&head_b, "X-Fleet-Worker").as_ref(),
+        "duplicates must pin to one worker"
+    );
+    let victim: usize = owner.parse().expect("worker id is a slot index");
+
+    // kill -9 the owner of uniques[0]'s slice, then burst: every request
+    // must be answered exactly once — failed over onto a survivor (the
+    // requests are idempotent by content hash) or a typed 503.
+    let killed = std::process::Command::new("kill")
+        .args(["-9", &pids[victim].to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(killed.success(), "kill -9 {} failed", pids[victim]);
+    let (mut ok, mut unavailable, mut lost) = (0usize, 0usize, 0usize);
+    for (i, b) in fleet_stream(&uniques, 10).iter().enumerate() {
+        match try_http_call(addr, "POST", "/v1/schedule", b) {
+            // The answering worker is NOT asserted: with a 100 ms backoff
+            // the killed slot can legitimately respawn and re-claim its
+            // slice before the burst ends. Exactly-once is the contract.
+            Ok((200, _, _)) => ok += 1,
+            Ok((503, _, payload)) if payload.contains("upstream_unavailable") => unavailable += 1,
+            Ok((code, _, payload)) => panic!("kill burst: unexpected response {code}: {payload}"),
+            Err(e) => {
+                eprintln!("kill burst: LOST request {i}: {e}");
+                lost += 1;
+            }
+        }
+    }
+    assert_eq!(lost, 0, "kill -9 must lose zero requests");
+    assert_eq!(
+        ok + unavailable,
+        size * 10,
+        "every kill-burst request must be answered exactly once"
+    );
+    assert_eq!(
+        unavailable, 0,
+        "with surviving workers and a retry budget, nothing should exhaust failover"
+    );
+
+    // The monitor must respawn the killed worker (new pid, restarts ≥ 1)
+    // and the fleet must return to fully ready.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (code, topo) = http_call(addr, "GET", "/v1/fleet", "");
+        assert_eq!(code, 200, "{topo}");
+        let restarts = json_u64_all(&topo, "restarts");
+        if restarts.get(victim).copied().unwrap_or(0) >= 1 && topo.contains("\"ready\":true") {
+            let new_pids = json_u64_all(&topo, "pid");
+            assert_eq!(new_pids.len(), size, "{topo}");
+            assert_ne!(
+                new_pids[victim], pids[victim],
+                "the respawned worker must be a new process: {topo}"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "killed worker was not respawned: {topo}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let (code, ready) = http_call(addr, "GET", "/readyz", "");
+    assert_eq!(code, 200, "fleet must be ready after the respawn: {ready}");
+
+    // Drain drill: /readyz must transition 200 → 503 (one worker down,
+    // announced) → 200 (restarted and re-admitted), and the drained
+    // requests keep answering from the rest of the fleet.
+    let (code, payload) = http_call(addr, "POST", "/v1/fleet/drain/0", "");
+    assert_eq!(
+        code, 200,
+        "drain of a ready worker must be accepted: {payload}"
+    );
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut saw_not_ready = false;
+    loop {
+        let (code, _) = http_call(addr, "GET", "/readyz", "");
+        if code == 503 {
+            saw_not_ready = true;
+        }
+        let (_, topo) = http_call(addr, "GET", "/v1/fleet", "");
+        if saw_not_ready && code == 200 && topo.contains("\"ready\":true") {
+            assert!(
+                json_u64_all(&topo, "drains").first().copied().unwrap_or(0) >= 1,
+                "the drain must be accounted: {topo}"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "drain/restart did not complete (saw_not_ready={saw_not_ready})"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The router's own metrics surface must name the fleet series.
+    let (code, metrics) = http_call(addr, "GET", "/v1/metrics", "");
+    assert_eq!(code, 200, "{metrics}");
+    for series in [
+        "batsched_fleet_size",
+        "batsched_fleet_requests_total",
+        "batsched_fleet_worker_up",
+        "batsched_fleet_worker_restarts_total",
+    ] {
+        assert!(metrics.contains(series), "{series} missing:\n{metrics}");
+    }
+
+    let (code, payload) = http_call(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(code, 200, "{payload}");
+    println!("FLEET SMOKE OK ({addr}, {size} workers, kill -9 lost 0 requests)");
+}
+
 fn run_benchmark(quick: bool, check: bool) {
     let cfg = ConfigDoc {
         quick,
@@ -1104,6 +1581,20 @@ fn run_benchmark(quick: bool, check: bool) {
         chaos.recovered
     );
 
+    // Fleet drill: router + 3 workers, kill one mid-burst, lose nothing.
+    let fleet = run_fleet(quick, check);
+    eprintln!(
+        "fleet     : {} reqs, single {:.0} rps vs fleet {:.0} rps ({:.2}×); kill burst {} → {} ok / {} lost (respawned: {})",
+        fleet.requests,
+        fleet.single_rps,
+        fleet.fleet_rps,
+        fleet.fleet_vs_single,
+        fleet.kill_burst_requests,
+        fleet.kill_burst_ok,
+        fleet.lost,
+        fleet.respawned
+    );
+
     let doc = BenchDoc {
         config: cfg,
         paper,
@@ -1115,6 +1606,7 @@ fn run_benchmark(quick: bool, check: bool) {
         warm_restart,
         malformed,
         chaos,
+        fleet,
     };
     let json = serde_json::to_string_pretty(&doc).expect("bench doc serialises");
     std::fs::write("BENCH_service.json", format!("{json}\n")).expect("write BENCH_service.json");
@@ -1425,6 +1917,8 @@ fn main() {
     let metrics_smoke = args.iter().any(|a| a == "--metrics-smoke");
     let chaos = args.iter().any(|a| a == "--chaos");
     let wire = args.iter().any(|a| a == "--wire");
+    let fleet = args.iter().any(|a| a == "--fleet");
+    let fleet_smoke = args.iter().any(|a| a == "--fleet-smoke");
     let addr = args
         .iter()
         .position(|a| a == "--addr")
@@ -1442,6 +1936,18 @@ fn main() {
             "WIRE OK ({} points, {:.1}× at n=200, keys match)",
             points.len(),
             at_200.speedup
+        );
+    } else if fleet_smoke {
+        run_fleet_smoke(addr.expect("--fleet-smoke needs --addr <host:port>"));
+    } else if fleet {
+        let report = run_fleet(quick, check);
+        eprintln!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("fleet report serialises")
+        );
+        println!(
+            "FLEET OK ({} workers, kill burst {} requests, {} lost, respawned: {})",
+            report.workers, report.kill_burst_requests, report.lost, report.respawned
         );
     } else if chaos {
         let report = run_chaos(quick, check, addr.map(String::as_str));

@@ -54,9 +54,17 @@ USAGE:
                [--shards <n>] [--disk-cache <path>] [--disk-format <v1|v2>]
                [--request-timeout <ms>] [--fsync <never|always|N>]
                [--disk-breaker <n>] [--disk-probe-ms <ms>]
+               [--idle-timeout-ms <ms>] [--max-requests-per-conn <n>]
+               [--worker-id <k>]
                [--log-json <path|stderr>] [--log-level <error|warn|info|debug>]
                [--log-rate-limit <n>]
                [--fault <site:k=v,...>]...
+  batsched fleet --http <addr> [--size <n>] [--retry-budget <n>]
+               [--upstream-timeout-ms <ms>] [--probe-interval-ms <ms>]
+               [--restart-backoff-ms <ms>] [--restart-backoff-max-ms <ms>]
+               [--breaker <n>] [--drain-timeout-ms <ms>]
+               [--start-timeout-ms <ms>] [--disk-cache <path>]
+               [<serve options, passed through to every worker>]
 
 ALGORITHMS (--algo): khan-vemuri (default), rakhmatov-dp, chowdhury,
                      annealing, random
@@ -89,10 +97,28 @@ counted, not written). The HTTP frontend also serves GET /v1/metrics
 (Prometheus text: counters, gauges, per-stage latency histograms) and
 GET /readyz (503 while the breaker is tripped, workers are below target,
 or shutdown has begun).
+--idle-timeout-ms and --max-requests-per-conn bound keep-alive connections
+(both must be nonzero; defaults 5000 ms / 1024 requests). --worker-id marks
+the daemon as fleet worker K (stamped on spans and exported as the
+batsched_fleet_worker_id gauge).
 --fault (repeatable) arms the fault-injection plane for chaos drills, e.g.
 --fault solver-panic:after=3,count=1 or --fault disk-append:count=10
-(sites: disk-read, disk-append, disk-write, solver-panic, solver-latency;
-params: after, count, every, ms, key).";
+(sites: disk-read, disk-append, disk-write, solver-panic, solver-latency,
+conn-drop, conn-stall; params: after, count, every, ms, key).
+
+`fleet` runs a front-tier router (see docs/FLEET.md) that spawns and
+supervises --size `batsched serve` worker processes on loopback ports and
+routes each request by folded content-hash bits to a consistent worker, so
+every worker's cache stays hot on its slice. Crashed or wedged workers are
+respawned with exponential backoff (--restart-backoff-ms, doubling to
+--restart-backoff-max-ms, breaker trips after --breaker consecutive
+failures); failed exchanges are retried on surviving workers up to
+--retry-budget extra attempts before a typed `upstream_unavailable` 503.
+With --disk-cache each worker persists to its own <path>.shard-K file.
+The router serves POST /v1/schedule, GET /healthz, /readyz, /v1/fleet,
+/v1/metrics, POST /v1/fleet/drain/<k> and POST /v1/shutdown. Unrecognised
+serve options (--workers, --request-timeout, --fault, ...) are passed
+through to every worker.";
 
 /// Parsed option map: positional args + `--key value` pairs + `--flag`s.
 #[derive(Debug, Default, PartialEq, Eq)]
@@ -149,7 +175,7 @@ impl Opts {
 ///
 /// [`CliError`] when a `--key` that expects a value trails the list.
 pub fn parse_args(args: &[String]) -> Result<Opts, CliError> {
-    const VALUE_OPTS: [&str; 23] = [
+    const VALUE_OPTS: [&str; 35] = [
         "deadline",
         "algo",
         "beta",
@@ -170,9 +196,21 @@ pub fn parse_args(args: &[String]) -> Result<Opts, CliError> {
         "fault",
         "disk-breaker",
         "disk-probe-ms",
+        "idle-timeout-ms",
+        "max-requests-per-conn",
+        "worker-id",
         "log-json",
         "log-level",
         "log-rate-limit",
+        "size",
+        "retry-budget",
+        "upstream-timeout-ms",
+        "probe-interval-ms",
+        "restart-backoff-ms",
+        "restart-backoff-max-ms",
+        "breaker",
+        "drain-timeout-ms",
+        "start-timeout-ms",
     ];
     let mut opts = Opts::default();
     let mut it = args.iter().peekable();
@@ -241,6 +279,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
         "demo" => cmd_demo(&opts, out),
         "dot" => cmd_dot(&opts, out),
         "serve" => cmd_serve(&opts, out),
+        "fleet" => cmd_fleet(&opts, out),
         other => Err(err(format!(
             "unknown command '{other}' (try `batsched help`)"
         ))),
@@ -518,6 +557,19 @@ fn cmd_serve(opts: &Opts, out: &mut String) -> Result<(), CliError> {
         },
         log_rate_limit: u32::try_from(sizing(opts, "log-rate-limit", 5_000, 1)?)
             .map_err(|_| err("--log-rate-limit is out of range"))?,
+        // Zero values parse here but are rejected by the service's typed
+        // config validation, like --request-timeout 0.
+        idle_timeout: std::time::Duration::from_millis(
+            sizing(opts, "idle-timeout-ms", 5_000, 0)? as u64
+        ),
+        max_requests_per_conn: sizing(opts, "max-requests-per-conn", 1024, 0)?,
+        fleet_worker: match opts.get("worker-id") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse::<u32>()
+                    .map_err(|_| err(format!("--worker-id expects an integer, got '{raw}'")))?,
+            ),
+        },
     };
     let fault_specs = opts.get_all("fault");
     let faults = if fault_specs.is_empty() {
@@ -576,6 +628,79 @@ fn cmd_serve(opts: &Opts, out: &mut String) -> Result<(), CliError> {
         (Some(_), true) => Err(err("serve takes either --http <addr> or --jsonl, not both")),
         (None, false) => Err(err("serve needs --http <addr> or --jsonl")),
     }
+}
+
+fn cmd_fleet(opts: &Opts, out: &mut String) -> Result<(), CliError> {
+    use batsched_service::{Fleet, FleetConfig, ProcessLauncher};
+    use std::time::Duration;
+    let addr = opts
+        .get("http")
+        .ok_or_else(|| err("fleet needs --http <addr>"))?;
+    let ms = |key: &str, default: u64| -> Result<u64, CliError> {
+        match opts.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                err(format!(
+                    "--{key} expects an integer (milliseconds), got '{raw}'"
+                ))
+            }),
+        }
+    };
+    // Zero sizes/durations parse here and surface as typed fleet config
+    // errors from Fleet::start, before anything is spawned.
+    let cfg = FleetConfig {
+        size: sizing(opts, "size", 3, 0)?,
+        retry_budget: sizing(opts, "retry-budget", 2, 0)?,
+        upstream_timeout: Duration::from_millis(ms("upstream-timeout-ms", 10_000)?),
+        probe_interval: Duration::from_millis(ms("probe-interval-ms", 150)?),
+        backoff_base: Duration::from_millis(ms("restart-backoff-ms", 200)?),
+        backoff_max: Duration::from_millis(ms("restart-backoff-max-ms", 5_000)?),
+        breaker_threshold: u32::try_from(sizing(opts, "breaker", 3, 0)?)
+            .map_err(|_| err("--breaker is out of range"))?,
+        drain_timeout: Duration::from_millis(ms("drain-timeout-ms", 30_000)?),
+        start_timeout: Duration::from_millis(ms("start-timeout-ms", 30_000)?),
+    };
+    let size = cfg.size;
+    let program = std::env::current_exe()
+        .map_err(|e| err(format!("cannot locate the batsched binary: {e}")))?;
+    let mut launcher = ProcessLauncher::new(program);
+    launcher.disk_base = opts.get("disk-cache").map(std::path::PathBuf::from);
+    // Worker-level serve options pass through verbatim; each worker adds
+    // its own --http 127.0.0.1:0, --worker-id and --disk-cache shard.
+    const PASS_THROUGH: [&str; 14] = [
+        "workers",
+        "queue",
+        "cache",
+        "shards",
+        "disk-format",
+        "request-timeout",
+        "fsync",
+        "disk-breaker",
+        "disk-probe-ms",
+        "idle-timeout-ms",
+        "max-requests-per-conn",
+        "log-json",
+        "log-level",
+        "log-rate-limit",
+    ];
+    for key in PASS_THROUGH {
+        if let Some(v) = opts.get(key) {
+            launcher.args.push(format!("--{key}"));
+            launcher.args.push(v.to_string());
+        }
+    }
+    for spec in opts.get_all("fault") {
+        launcher.args.push("--fault".to_string());
+        launcher.args.push(spec.to_string());
+    }
+    let fleet = Fleet::start(cfg, Box::new(launcher), addr).map_err(|e| err(e.to_string()))?;
+    let bound = fleet.local_addr();
+    // Announced on stderr immediately, like `serve` — scripts grep for
+    // the resolved port before sending traffic.
+    eprintln!("fleet of {size} worker(s); listening on http://{bound}");
+    fleet.wait();
+    let _ = writeln!(out, "fleet served on http://{bound}; shutdown complete");
+    Ok(())
 }
 
 fn cmd_dot(opts: &Opts, out: &mut String) -> Result<(), CliError> {
@@ -801,6 +926,54 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.0.contains("--fault warp-core:breach=1"), "{e}");
+        // Zero connection limits parse at the CLI but are rejected by the
+        // service's typed config validation.
+        let e = run(
+            &sv(&["serve", "--jsonl", "--idle-timeout-ms", "0"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("invalid service config"), "{e}");
+        let e = run(
+            &sv(&["serve", "--jsonl", "--max-requests-per-conn", "0"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("invalid service config"), "{e}");
+        let e = run(&sv(&["serve", "--jsonl", "--worker-id", "one"]), &mut out).unwrap_err();
+        assert!(e.0.contains("--worker-id expects an integer"), "{e}");
+    }
+
+    #[test]
+    fn fleet_argument_validation() {
+        let mut out = String::new();
+        let e = run(&sv(&["fleet"]), &mut out).unwrap_err();
+        assert!(e.0.contains("--http"), "{e}");
+        // Typed fleet config errors surface before anything is spawned.
+        let e = run(
+            &sv(&["fleet", "--http", "127.0.0.1:0", "--size", "0"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("fleet size must be >= 1"), "{e}");
+        let e = run(
+            &sv(&["fleet", "--http", "127.0.0.1:0", "--breaker", "0"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("breaker_threshold must be >= 1"), "{e}");
+        let e = run(
+            &sv(&[
+                "fleet",
+                "--http",
+                "127.0.0.1:0",
+                "--probe-interval-ms",
+                "soon",
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("milliseconds"), "{e}");
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub enum FaultSite {
     SolverPanic,
     /// The solver worker sleeps before solving.
     SolverLatency,
+    /// The HTTP frontend severs the connection mid-response body after
+    /// answering — what a crashing upstream looks like to a router.
+    ConnDrop,
+    /// The HTTP frontend sleeps before writing the response — what a
+    /// wedged upstream looks like to a router's read timeout.
+    ConnStall,
 }
 
 impl FaultSite {
@@ -43,6 +49,8 @@ impl FaultSite {
             FaultSite::DiskWrite => "disk-write",
             FaultSite::SolverPanic => "solver-panic",
             FaultSite::SolverLatency => "solver-latency",
+            FaultSite::ConnDrop => "conn-drop",
+            FaultSite::ConnStall => "conn-stall",
         }
     }
 
@@ -53,6 +61,8 @@ impl FaultSite {
             "disk-write" => FaultSite::DiskWrite,
             "solver-panic" => FaultSite::SolverPanic,
             "solver-latency" => FaultSite::SolverLatency,
+            "conn-drop" => FaultSite::ConnDrop,
+            "conn-stall" => FaultSite::ConnStall,
             _ => return None,
         })
     }
@@ -165,8 +175,9 @@ impl FaultRule {
                 _ => return Err(format!("unknown fault parameter '{k}'")),
             }
         }
-        if site == FaultSite::SolverLatency && rule.latency.is_none() {
-            return Err("solver-latency rules need ms=<millis>".to_string());
+        if matches!(site, FaultSite::SolverLatency | FaultSite::ConnStall) && rule.latency.is_none()
+        {
+            return Err(format!("{} rules need ms=<millis>", site.name()));
         }
         Ok(rule)
     }
@@ -306,6 +317,19 @@ impl FaultPlane {
         self.fire(FaultSite::SolverLatency, body)
             .and_then(|r| r.rule.latency)
     }
+
+    /// Connection-drop probe: `true` when the HTTP frontend should sever
+    /// this connection mid-response after answering `body`.
+    pub fn conn_drop(&self, body: &str) -> bool {
+        self.fire(FaultSite::ConnDrop, body).is_some()
+    }
+
+    /// Connection-stall probe: the sleep to apply before writing the
+    /// response to `body`, if a rule fires.
+    pub fn conn_stall(&self, body: &str) -> Option<Duration> {
+        self.fire(FaultSite::ConnStall, body)
+            .and_then(|r| r.rule.latency)
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +420,26 @@ mod tests {
             FaultRule::parse("solver-latency:every=2").is_err(),
             "needs ms"
         );
+
+        let r = FaultRule::parse("conn-drop:count=1,key=dl75").unwrap();
+        assert_eq!(r.site, FaultSite::ConnDrop);
+        assert_eq!(r.key_contains.as_deref(), Some("dl75"));
+        let r = FaultRule::parse("conn-stall:ms=250").unwrap();
+        assert_eq!(r.site, FaultSite::ConnStall);
+        assert_eq!(r.latency, Some(Duration::from_millis(250)));
+        assert!(FaultRule::parse("conn-stall:count=1").is_err(), "needs ms");
+    }
+
+    #[test]
+    fn conn_sites_probe_like_the_others() {
+        let plane = FaultPlane::armed([
+            FaultRule::always(FaultSite::ConnDrop).count(1),
+            FaultRule::always(FaultSite::ConnStall).latency(Duration::from_millis(9)),
+        ]);
+        assert!(plane.conn_drop("x"));
+        assert!(!plane.conn_drop("x"), "budget spent");
+        assert_eq!(plane.conn_stall("x"), Some(Duration::from_millis(9)));
+        assert_eq!(plane.injected(FaultSite::ConnDrop), 1);
     }
 
     #[test]

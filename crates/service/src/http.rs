@@ -32,8 +32,10 @@
 //! Each accepted connection runs a request loop: HTTP/1.1 connections are
 //! kept alive by default (HTTP/1.0 ones only on an explicit
 //! `Connection: keep-alive`), bounded by
-//! [`MAX_REQUESTS_PER_CONNECTION`] and an [`IDLE_TIMEOUT`] between
-//! requests. Framing is strict, because on a shared connection a parsing
+//! [`ServiceConfig::max_requests_per_conn`] and a
+//! [`ServiceConfig::idle_timeout`] between requests (defaults
+//! [`MAX_REQUESTS_PER_CONNECTION`] and [`IDLE_TIMEOUT`]).
+//! Framing is strict, because on a shared connection a parsing
 //! slip desynchronises every later request: premature EOF anywhere in a
 //! request, a duplicate/conflicting `Content-Length` and any
 //! `Transfer-Encoding` are answered with a typed error and the connection
@@ -44,6 +46,8 @@
 //! thread (the worker pool, not the connection count, bounds solving
 //! concurrency — the queue provides the backpressure).
 
+#[cfg(doc)]
+use crate::service::ServiceConfig;
 use crate::service::{Disposition, Service};
 use crate::trace::{self, Span};
 use crate::wire::{ErrorResponse, ScheduleResponse};
@@ -66,21 +70,26 @@ pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 /// garbage cannot grow memory past it.
 pub const MAX_HEAD_BYTES: usize = 64 * 1024;
 
-/// Requests served on one connection before the daemon closes it
-/// (announced with `Connection: close` on the final response). Bounds how
-/// long one client can monopolise a connection thread.
+/// Default for [`ServiceConfig::max_requests_per_conn`]: requests served
+/// on one connection before the daemon closes it (announced with
+/// `Connection: close` on the final response). Bounds how long one client
+/// can monopolise a connection thread.
 pub const MAX_REQUESTS_PER_CONNECTION: usize = 1024;
 
-/// How long a kept-alive connection may sit idle between requests before
-/// the daemon closes it.
+/// Default for [`ServiceConfig::idle_timeout`]: how long a kept-alive
+/// connection may sit idle between requests before the daemon closes it.
 pub const IDLE_TIMEOUT: Duration = Duration::from_secs(5);
 
-const ACCEPT_POLL: Duration = Duration::from_millis(15);
+/// How long a framing-violation close waits for the peer to take the
+/// typed error response before closing anyway (see [`linger_close`]).
+const LINGER_TIMEOUT: Duration = Duration::from_millis(500);
+
+pub(crate) const ACCEPT_POLL: Duration = Duration::from_millis(15);
 /// Poll granularity while waiting at a request boundary — keeps idle
 /// connections responsive to daemon shutdown without busy-waiting.
-const IDLE_POLL: Duration = Duration::from_millis(100);
+pub(crate) const IDLE_POLL: Duration = Duration::from_millis(100);
 /// Per-read timeout once a request has started arriving.
-const IO_TIMEOUT: Duration = Duration::from_secs(10);
+pub(crate) const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A running HTTP frontend bound to a local address.
 pub struct HttpServer {
@@ -190,6 +199,7 @@ fn handle_connection(
     // Small responses on a kept-alive connection: without NODELAY, Nagle
     // batches the next response behind the previous ACK.
     stream.set_nodelay(true)?;
+    let (idle_timeout, max_requests) = service.http_limits();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut stream = stream;
     let mut served = 0usize;
@@ -209,7 +219,7 @@ fn handle_connection(
                 Ok(_) => break,          // first bytes of the next request
                 Err(e) if is_timeout(&e) => {
                     idled += IDLE_POLL;
-                    if idled >= IDLE_TIMEOUT {
+                    if idled >= idle_timeout {
                         return Ok(());
                     }
                 }
@@ -226,7 +236,7 @@ fn handle_connection(
         let request = read_request(&mut reader);
         let read_us = started.elapsed().as_micros() as u64;
         let wants_more = matches!(&request, Ok(req) if req.keep_alive)
-            && served < MAX_REQUESTS_PER_CONNECTION
+            && served < max_requests
             && !shutdown.load(Ordering::SeqCst);
 
         let exit = serve_one(
@@ -241,6 +251,28 @@ fn handle_connection(
         // Continue the loop only when both sides agreed to keep going.
         if matches!(exit, LoopExit::AnnouncedClose) || !wants_more {
             return Ok(());
+        }
+    }
+}
+
+/// Lingering close for responses that reject a request mid-read
+/// (oversized head, malformed framing): the socket still holds unread
+/// request bytes, and closing with pending input makes the kernel send
+/// RST — which can destroy the in-flight typed error before the peer
+/// reads it. Half-close the write side (response and FIN go out in
+/// order), then drain and discard input until the peer closes or a
+/// short deadline passes, so the error response reliably survives.
+fn linger_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let deadline = Instant::now() + LINGER_TIMEOUT;
+    let mut sink = [0u8; 4096];
+    while Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            Ok(0) => break, // peer saw the FIN and closed
+            Ok(_) => {}     // discarding the rejected request's tail
+            Err(e) if is_timeout(&e) || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
         }
     }
 }
@@ -270,6 +302,7 @@ fn serve_one(
                 &[],
                 false,
             )?;
+            linger_close(stream);
             return Ok(LoopExit::AnnouncedClose);
         }
         Err(RequestError::Malformed(msg)) => {
@@ -281,6 +314,7 @@ fn serve_one(
                 &[],
                 false,
             )?;
+            linger_close(stream);
             return Ok(LoopExit::AnnouncedClose);
         }
         Err(RequestError::Unsupported(msg)) => {
@@ -292,6 +326,7 @@ fn serve_one(
                 &[],
                 false,
             )?;
+            linger_close(stream);
             return Ok(LoopExit::AnnouncedClose);
         }
         Err(RequestError::Io(e)) => return Err(e),
@@ -333,8 +368,31 @@ fn serve_one(
                 .request_id
                 .clone()
                 .unwrap_or_else(|| trace::make_trace_id(&req.body, service.next_trace_seq()));
+            // Connection-level fault sites need the body text for their
+            // key predicate, but `call_bytes` consumes the body — copy it
+            // only while a plane is armed (never on the production path).
+            let fault_key = if service.faults().is_armed() {
+                Some(String::from_utf8_lossy(&req.body).into_owned())
+            } else {
+                None
+            };
             let reply = service.call_bytes(req.body, format);
             let status = trace::status_code(reply.disposition);
+            if let Some(key) = &fault_key {
+                // A stalled upstream holds the answer: the request was read
+                // and answered internally, but no response byte leaves —
+                // exactly what a wedged worker looks like from a router.
+                if let Some(stall) = service.faults().conn_stall(key) {
+                    std::thread::sleep(stall);
+                }
+                // A dropped connection severs mid-body: full head, half the
+                // body, then close — the peer sees a premature EOF inside
+                // a Content-Length-framed response.
+                if service.faults().conn_drop(key) {
+                    write_severed_response(stream, status, &reply.body)?;
+                    return Ok(LoopExit::AnnouncedClose);
+                }
+            }
             let x_cache = match reply.disposition {
                 Disposition::Ok { cached: true } => Some("X-Cache: hit"),
                 Disposition::Ok { cached: false } => Some("X-Cache: miss"),
@@ -378,7 +436,10 @@ fn serve_one(
             let write_us = write_started.elapsed().as_micros() as u64;
             service.observe_http(read_us, write_us);
             let total_us = started.elapsed().as_micros() as u64;
-            service.log_span(&Span::new(trace_id, &reply, read_us, write_us, total_us));
+            service.log_span(
+                &Span::new(trace_id, &reply, read_us, write_us, total_us)
+                    .with_fleet_worker(service.fleet_worker()),
+            );
             Ok(LoopExit::CleanClose)
         }
         ("GET", "/v1/stats") => {
@@ -441,36 +502,56 @@ fn serve_one(
     }
 }
 
-fn reason_phrase(status: u16) -> &'static str {
+/// Writes a deliberately truncated response for an injected `conn-drop`
+/// fault: a sound head declaring the full `Content-Length`, then only half
+/// the body. The caller closes the connection, so the peer observes an
+/// upstream dying mid-body — the failover case a fleet router must retry.
+fn write_severed_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason_phrase(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&body.as_bytes()[..body.len() / 2])?;
+    stream.flush()
+}
+
+pub(crate) fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
         415 => "Unsupported Media Type",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Internal Server Error",
     }
 }
 
-/// One fully framed request off the wire.
-struct Request {
-    method: String,
-    path: String,
+/// One fully framed request off the wire. Shared with the fleet router,
+/// which frames client requests with exactly the same rules before
+/// proxying them.
+pub(crate) struct Request {
+    pub(crate) method: String,
+    pub(crate) path: String,
     /// Raw body bytes; wire-format interpretation (JSON vs binary) is
     /// route-level content negotiation, not a framing concern.
-    body: Vec<u8>,
+    pub(crate) body: Vec<u8>,
     /// The `Content-Type` header value, if any (parameters included).
-    content_type: Option<String>,
+    pub(crate) content_type: Option<String>,
     /// `true` when the `Accept` header asks for binary responses.
-    accept_binary: bool,
+    pub(crate) accept_binary: bool,
     /// Whether the *client* side of the keep-alive negotiation allows
     /// another request on this connection.
-    keep_alive: bool,
+    pub(crate) keep_alive: bool,
     /// A sane client-supplied `X-Request-Id`, already sanitised.
-    request_id: Option<String>,
+    pub(crate) request_id: Option<String>,
 }
 
-enum RequestError {
+pub(crate) enum RequestError {
     /// The request violates HTTP framing; the connection must close.
     Malformed(String),
     /// Head or declared body size beyond the configured caps.
@@ -487,7 +568,7 @@ impl From<io::Error> for RequestError {
     }
 }
 
-fn is_timeout(e: &io::Error) -> bool {
+pub(crate) fn is_timeout(e: &io::Error) -> bool {
     matches!(
         e.kind(),
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
@@ -538,7 +619,7 @@ fn read_head_line<R: BufRead>(
 /// * any `Transfer-Encoding` is `Unsupported` (501): this daemon never
 ///   parses chunked bodies, and silently reading the body as empty would
 ///   poison every later request on the connection.
-fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
+pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
     let mut budget = MAX_HEAD_BYTES;
     let request_line = read_head_line(reader, &mut budget)?
         .ok_or_else(|| RequestError::Malformed("EOF before the request line".into()))?;
@@ -665,7 +746,7 @@ fn negotiate_format(content_type: Option<&str>) -> Option<WireFormat> {
     }
 }
 
-fn write_response(
+pub(crate) fn write_response(
     stream: &mut TcpStream,
     status: u16,
     reason: &str,
@@ -684,7 +765,7 @@ fn write_response(
     )
 }
 
-fn write_response_typed(
+pub(crate) fn write_response_typed(
     stream: &mut TcpStream,
     status: u16,
     reason: &str,
@@ -704,7 +785,7 @@ fn write_response_typed(
     )
 }
 
-fn write_response_bytes(
+pub(crate) fn write_response_bytes(
     stream: &mut TcpStream,
     status: u16,
     reason: &str,

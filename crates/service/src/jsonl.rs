@@ -59,7 +59,10 @@ pub fn run_jsonl<R: BufRead, W: Write>(
         output.flush()?;
         let write_us = write_started.elapsed().as_micros() as u64;
         let total_us = started.elapsed().as_micros() as u64;
-        service.log_span(&Span::new(trace_id, &reply, 0, write_us, total_us));
+        service.log_span(
+            &Span::new(trace_id, &reply, 0, write_us, total_us)
+                .with_fleet_worker(service.fleet_worker()),
+        );
     }
     Ok(summary)
 }

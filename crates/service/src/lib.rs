@@ -27,6 +27,11 @@
 //! * [`jsonl`] — the stdio/pipe frontend (one document per line);
 //! * [`http`] — a dependency-free HTTP/1.1 frontend on `std::net` with
 //!   keep-alive connections and strict request framing;
+//! * [`fleet`] — fleet-scale serving: a front-tier router that spawns and
+//!   supervises N worker processes, routes each request by folded
+//!   content-hash bits to a consistent worker slice, and retries failed
+//!   exchanges onto surviving workers (idempotency-by-content-hash makes
+//!   the retry safe);
 //! * [`faults`] — the fault-injection plane chaos tests arm to drive the
 //!   failure paths (worker panics, slow solves, disk errors) on purpose;
 //! * [`metrics`] — hand-rolled fixed-boundary log-bucket histograms and
@@ -65,6 +70,7 @@
 pub mod cache;
 pub mod disk;
 pub mod faults;
+pub mod fleet;
 pub mod http;
 pub mod jsonl;
 pub mod logfmt;
@@ -77,6 +83,10 @@ pub mod wire_bin;
 pub use cache::{LruCache, ShardedCache};
 pub use disk::{DiskFormat, DiskTier, FsyncPolicy};
 pub use faults::{FaultPlane, FaultRule, FaultSite};
+pub use fleet::{
+    home_slot, route, shard_path, Fleet, FleetConfig, FleetConfigError, FleetStartError,
+    FleetStatus, InProcessLauncher, ProcessLauncher, WorkerHandle, WorkerLauncher, WorkerStatus,
+};
 pub use http::HttpServer;
 pub use jsonl::{run_jsonl, JsonlSummary};
 pub use logfmt::{Level, LogTarget, SpanLog};
@@ -95,6 +105,7 @@ pub use wire_bin::{decode_request, decode_response, encode_request, encode_respo
 pub mod prelude {
     pub use crate::disk::{DiskFormat, FsyncPolicy};
     pub use crate::faults::{FaultPlane, FaultRule, FaultSite};
+    pub use crate::fleet::{Fleet, FleetConfig, InProcessLauncher, ProcessLauncher};
     pub use crate::http::HttpServer;
     pub use crate::jsonl::run_jsonl;
     pub use crate::service::{Disposition, Reply, Service, ServiceConfig, StartError};

@@ -82,6 +82,16 @@ pub struct ServiceConfig {
     /// Maximum span lines written per second (must be ≥ 1); lines beyond
     /// the budget are counted and reported, not written.
     pub log_rate_limit: u32,
+    /// How long an HTTP keep-alive connection may sit idle between
+    /// requests before the frontend closes it (must be > 0).
+    pub idle_timeout: Duration,
+    /// Requests served on one HTTP connection before the frontend closes
+    /// it (must be ≥ 1).
+    pub max_requests_per_conn: usize,
+    /// This process's slot in a fleet (stamped on spans as `fleet_worker`
+    /// and exported as the `batsched_fleet_worker_id` gauge); `None` for a
+    /// standalone daemon.
+    pub fleet_worker: Option<u32>,
 }
 
 impl Default for ServiceConfig {
@@ -100,6 +110,9 @@ impl Default for ServiceConfig {
             log_json: None,
             log_level: Level::Info,
             log_rate_limit: 5_000,
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 1024,
+            fleet_worker: None,
         }
     }
 }
@@ -127,6 +140,11 @@ pub enum ConfigError {
     ZeroProbeInterval,
     /// `log_rate_limit == 0`: every span line would be dropped.
     ZeroLogRateLimit,
+    /// `idle_timeout == 0`: every keep-alive connection would be closed
+    /// at the first request boundary.
+    ZeroIdleTimeout,
+    /// `max_requests_per_conn == 0`: no connection could serve a request.
+    ZeroMaxRequestsPerConn,
 }
 
 impl fmt::Display for ConfigError {
@@ -141,6 +159,8 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroBreakerThreshold => "disk_breaker_threshold must be >= 1",
             ConfigError::ZeroProbeInterval => "disk_probe_interval must be > 0",
             ConfigError::ZeroLogRateLimit => "log_rate_limit must be >= 1",
+            ConfigError::ZeroIdleTimeout => "idle_timeout must be > 0",
+            ConfigError::ZeroMaxRequestsPerConn => "max_requests_per_conn must be >= 1",
         };
         f.write_str(msg)
     }
@@ -587,6 +607,12 @@ fn validate(cfg: &ServiceConfig) -> Result<(), ConfigError> {
     if cfg.log_rate_limit == 0 {
         return Err(ConfigError::ZeroLogRateLimit);
     }
+    if cfg.idle_timeout == Duration::ZERO {
+        return Err(ConfigError::ZeroIdleTimeout);
+    }
+    if cfg.max_requests_per_conn == 0 {
+        return Err(ConfigError::ZeroMaxRequestsPerConn);
+    }
     Ok(())
 }
 
@@ -736,6 +762,23 @@ impl Service {
     /// The configuration the service was started with.
     pub fn config(&self) -> ServiceConfig {
         self.cfg.clone()
+    }
+
+    /// The HTTP frontend's per-connection limits: idle timeout between
+    /// requests and requests served before the connection is closed.
+    pub(crate) fn http_limits(&self) -> (Duration, usize) {
+        (self.cfg.idle_timeout, self.cfg.max_requests_per_conn)
+    }
+
+    /// This process's fleet slot, when running as a fleet worker.
+    pub fn fleet_worker(&self) -> Option<u32> {
+        self.cfg.fleet_worker
+    }
+
+    /// The fault-injection plane the service was started with (disarmed in
+    /// production); frontends probe it for connection-level fault sites.
+    pub(crate) fn faults(&self) -> &FaultPlane {
+        &self.shared.faults
     }
 
     /// Enqueues a JSON request document without blocking.
@@ -989,6 +1032,13 @@ impl Service {
         for (name, value) in gauges {
             render_type(&mut out, name, "gauge");
             render_sample(&mut out, name, "", value);
+        }
+        // Only fleet workers export their slot: a standalone daemon has no
+        // meaningful value to report, and an absent series is clearer than
+        // a sentinel.
+        if let Some(id) = self.cfg.fleet_worker {
+            render_type(&mut out, "batsched_fleet_worker_id", "gauge");
+            render_sample(&mut out, "batsched_fleet_worker_id", "", u64::from(id));
         }
 
         let prof = m.prof.load();
@@ -1690,6 +1740,20 @@ mod tests {
                     ..ServiceConfig::default()
                 },
                 ConfigError::ZeroLogRateLimit,
+            ),
+            (
+                ServiceConfig {
+                    idle_timeout: Duration::ZERO,
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroIdleTimeout,
+            ),
+            (
+                ServiceConfig {
+                    max_requests_per_conn: 0,
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroMaxRequestsPerConn,
             ),
         ];
         for (cfg, expected) in cases {

@@ -132,6 +132,10 @@ pub struct Span {
     pub status: u16,
     /// Worker thread that answered, or -1 when none was involved.
     pub worker: i64,
+    /// This process's fleet slot ([`crate::service::ServiceConfig::fleet_worker`]),
+    /// or -1 for a standalone daemon — lets fleet-wide log aggregation
+    /// attribute every span to the worker process that emitted it.
+    pub fleet_worker: i64,
     /// End-to-end latency as observed by the frontend.
     pub total_us: u64,
     /// Reading the request off the connection.
@@ -198,6 +202,7 @@ impl Span {
             outcome: out,
             status: status_code(reply.disposition),
             worker: t.worker.map_or(-1, |w| w as i64),
+            fleet_worker: -1,
             total_us,
             read_us,
             queue_us: t.queue_us,
@@ -213,6 +218,16 @@ impl Span {
             injected: t.injected,
             prof: t.prof,
         }
+    }
+
+    /// Stamps the emitting process's fleet slot (`None` leaves the
+    /// standalone sentinel -1).
+    #[must_use]
+    pub fn with_fleet_worker(mut self, slot: Option<u32>) -> Span {
+        if let Some(slot) = slot {
+            self.fleet_worker = i64::from(slot);
+        }
+        self
     }
 
     /// The severity this span logs at.
@@ -309,6 +324,9 @@ mod tests {
         assert_eq!(span.outcome, "solved");
         assert_eq!(span.status, 200);
         assert_eq!(span.worker, 1);
+        assert_eq!(span.fleet_worker, -1, "standalone daemon");
+        assert_eq!(span.clone().with_fleet_worker(None).fleet_worker, -1);
+        assert_eq!(span.clone().with_fleet_worker(Some(2)).fleet_worker, 2);
         let json = span.to_json();
         assert!(json.contains("\"outcome\":\"solved\""), "{json}");
         assert!(json.contains("\"trace_id\":\"t-1\""), "{json}");

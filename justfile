@@ -61,3 +61,10 @@ chaos:
 # assert one span line per request with client trace ids preserved.
 metrics:
     ./ci.sh metrics-smoke
+
+# Fleet drill: boot the content-hash router with 3 supervised worker
+# processes, drive a burst, kill -9 one worker mid-burst (zero lost
+# requests — failover retries are safe because requests are idempotent by
+# content hash), assert respawn-with-backoff and the drain/readyz cycle.
+fleet:
+    ./ci.sh fleet-smoke
