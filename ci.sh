@@ -253,6 +253,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy -D warnings (parallel feature)"
 cargo clippy --workspace --all-targets --features parallel -- -D warnings
 
+echo "==> batsched-lint (invariant gates: panic-path, nested-lock, uncapped-wire-alloc, nondeterministic-iter, crate-hygiene)"
+# The workspace invariant linter (crates/lint): hard gate, zero findings
+# allowed — suppressions only via an annotated, machine-checked
+# `// lint:allow(<rule>): <reason>`, and stale allows are errors too.
+# See docs/LINT.md for the rule catalogue.
+cargo run --release -q -p batsched-lint --bin batsched-lint
+
 echo "==> cargo build --release"
 cargo build --release
 

@@ -79,6 +79,8 @@
 //! `/readyz` recovery, then a drain/restart drill asserting the
 //! ready → not-ready → ready transition (the ci.sh fleet-smoke check).
 
+#![forbid(unsafe_code)]
+
 use batsched_service::wire::DEFAULT_MAX_ITERATIONS;
 use batsched_service::{
     decode_request, decode_response, encode_request, home_slot, parse_request, Disposition,

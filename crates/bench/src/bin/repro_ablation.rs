@@ -8,6 +8,8 @@
 //!    baseline grows with the battery's non-ideality.
 //! 4. **Series truncation** — σ error vs the 10-term paper setting.
 
+#![forbid(unsafe_code)]
+
 use batsched_baselines::{RakhmatovDp, Scheduler};
 use batsched_battery::rv::RvModel;
 use batsched_battery::units::Minutes;

@@ -37,6 +37,8 @@
 //!   relative slack) and the fitted growth exponent of the series — the
 //!   evidence that the carried kernel killed the quadratic term.
 
+#![forbid(unsafe_code)]
+
 use batsched_baselines::Exhaustive;
 use batsched_battery::eval::SigmaScratch;
 use batsched_battery::rv::RvModel;
@@ -121,7 +123,7 @@ fn exhaustive_instance() -> TaskGraph {
     layered(15, 2, 0.5, &params, &mut rng).expect("valid generator config")
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
     let check = args.iter().any(|a| a == "--check");
@@ -379,11 +381,14 @@ fn main() {
             failed = true;
         }
         if failed {
-            std::process::exit(1);
+            // ExitCode, not process::exit: destructors still run, so the
+            // snapshot file written above is fully flushed.
+            return std::process::ExitCode::FAILURE;
         }
         eprintln!(
             "perf floors OK (sigma_full_vs_naive >= 2x, cdp_speedup >= 2x, \
              row_carry >= 1.5x, sweep exponent {sweep_exponent:.2} <= 1.4)"
         );
     }
+    std::process::ExitCode::SUCCESS
 }

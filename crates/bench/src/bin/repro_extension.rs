@@ -8,6 +8,8 @@
 //!    duration jitter, ours vs the energy-optimal DP baseline, at equal
 //!    battery capacity.
 
+#![forbid(unsafe_code)]
+
 use batsched_baselines::{
     ordering_bounds, ChowdhuryScaling, KhanVemuri, RakhmatovDp, RandomSearch, Scheduler,
 };

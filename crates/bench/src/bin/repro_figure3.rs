@@ -2,6 +2,8 @@
 //! columns (5 tasks × 4 design points, windows 1:4, 2:4 and 3:4) — and then
 //! shows the real window sweep the algorithm performs on G3.
 
+#![forbid(unsafe_code)]
+
 use batsched_battery::rv::RvModel;
 use batsched_battery::units::Minutes;
 use batsched_core::{search::diag_evaluate_windows, SchedulerConfig};

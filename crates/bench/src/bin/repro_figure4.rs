@@ -4,6 +4,8 @@
 //! T1 twice (DP4 → DP3 → DP2, panels a→b→c), after which the paper computes
 //! `DPF = 1/3` from `f = 1/3`, `x = 2`, `F2 = F4 = 1/2`.
 
+#![forbid(unsafe_code)]
+
 use batsched_battery::units::{MilliAmps, Minutes};
 use batsched_core::search::diag_calculate_dpf;
 use batsched_core::SchedulerConfig;

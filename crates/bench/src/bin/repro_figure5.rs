@@ -3,6 +3,8 @@
 //! scaling rule and diffed against the published data. The DAG edges are a
 //! documented reconstruction (the original figure is an image).
 
+#![forbid(unsafe_code)]
+
 use batsched_bench::Table;
 use batsched_taskgraph::paper::{g2, g2_synthesized, G2_EDGES, G2_FACTORS, G2_FIGURE5};
 use batsched_taskgraph::PointId;

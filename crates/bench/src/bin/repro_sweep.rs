@@ -3,6 +3,8 @@
 //! human table and emits CSV (stdout, after the marker line) suitable for
 //! plotting the crossover behaviour.
 
+#![forbid(unsafe_code)]
+
 use batsched_baselines::{
     ChowdhuryScaling, KhanVemuri, RakhmatovDp, Scheduler, SimulatedAnnealing,
 };

@@ -2,6 +2,8 @@
 //! 5 design points), regenerated from the published scaling rule and
 //! diffed element-wise against the published table.
 
+#![forbid(unsafe_code)]
+
 use batsched_bench::Table;
 use batsched_taskgraph::paper::{g3, g3_synthesized, G3_FACTORS, G3_TABLE1};
 use batsched_taskgraph::PointId;

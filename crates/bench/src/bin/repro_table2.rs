@@ -2,6 +2,8 @@
 //! assignments produced by each iteration of the algorithm on G3 with a
 //! 230-minute deadline, printed next to the published sequences.
 
+#![forbid(unsafe_code)]
+
 use batsched_battery::units::Minutes;
 use batsched_bench::Table;
 use batsched_core::{schedule, SchedulerConfig};

@@ -2,6 +2,8 @@
 //! schedule duration Δ (min) per window, per iteration, on G3 at a
 //! 230-minute deadline — with the published numbers alongside.
 
+#![forbid(unsafe_code)]
+
 use batsched_battery::units::Minutes;
 use batsched_bench::{published, Table};
 use batsched_core::{schedule, SchedulerConfig};

@@ -3,6 +3,8 @@
 //! (100/150/230 min), plus two extra reference points the paper mentions
 //! but does not tabulate (Chowdhury scaling \[7\] and simulated annealing).
 
+#![forbid(unsafe_code)]
+
 use batsched_baselines::{
     ChowdhuryScaling, KhanVemuri, RakhmatovDp, Scheduler, SimulatedAnnealing,
 };

@@ -1,5 +1,7 @@
 //! Thin binary wrapper around [`batsched_cli::run`].
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = String::new();

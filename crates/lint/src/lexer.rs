@@ -1,0 +1,435 @@
+//! A minimal, comment/string/raw-string-aware Rust lexer.
+//!
+//! This is deliberately *not* a full Rust lexer: it produces exactly the
+//! token stream the rules in [`crate::rules`] need — identifiers,
+//! single-char punctuation, literals and lifetimes, each tagged with its
+//! 1-based source line — while guaranteeing that nothing inside a
+//! comment, string literal, raw string, byte string or char literal can
+//! ever masquerade as code. That guarantee is what kills the
+//! regex-over-source false-positive class: `// don't unwrap() here` and
+//! `"panic!"` are invisible to every rule.
+//!
+//! Suppression comments (`// lint:allow(<rule>): <reason>`) are the one
+//! piece of comment content the lexer *does* surface: they are parsed
+//! here, attached to their source line, and handed to the driver so that
+//! unused (stale) allows can be reported as errors.
+
+/// Token kind. Punctuation is one token per character; multi-char
+/// operators (`::`, `->`, `>=`) appear as adjacent punct tokens, which is
+/// all the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `MAX_TERMS`, …).
+    Ident,
+    /// Single punctuation character.
+    Punct(char),
+    /// String / byte-string / char / numeric literal (content opaque).
+    Lit,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// One token: kind plus byte span into the source and 1-based line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text slice.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, src: &str, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(src) == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A parsed `// lint:allow(<rule>): <reason>` suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the comment starts on; it covers findings on this line and
+    /// the next (annotation-above-the-violation style).
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// Lexer output: the token stream, well-formed suppressions, and
+/// grammar errors in suppressions (missing reason, unparseable shape).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub allows: Vec<Allow>,
+    /// (line, message) pairs for malformed `lint:allow` comments.
+    pub allow_errors: Vec<(u32, String)>,
+    /// Total number of source lines (for throughput reporting).
+    pub lines: u32,
+}
+
+/// The directive prefix searched for inside comment text.
+const ALLOW_PREFIX: &str = "lint:allow";
+
+fn parse_allow(comment: &str, line: u32, out: &mut Lexed) {
+    let Some(at) = comment.find(ALLOW_PREFIX) else {
+        return;
+    };
+    // The directive must *start* the comment (after the `//`/`/*` marker
+    // and whitespace); prose that merely mentions lint:allow mid-sentence
+    // is documentation, not a suppression.
+    if !comment[..at]
+        .chars()
+        .all(|c| c == '/' || c == '*' || c == '!' || c.is_whitespace())
+    {
+        return;
+    }
+    let rest = &comment[at + ALLOW_PREFIX.len()..];
+    let bad = |out: &mut Lexed, why: &str| {
+        out.allow_errors.push((
+            line,
+            format!("malformed suppression (expected `lint:allow(<rule>): <reason>`): {why}"),
+        ));
+    };
+    let Some(rest) = rest.strip_prefix('(') else {
+        bad(out, "missing `(` after lint:allow");
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        bad(out, "missing `)` after rule name");
+        return;
+    };
+    let rule = rest[..close].trim();
+    if rule.is_empty() {
+        bad(out, "empty rule name");
+        return;
+    }
+    let tail = &rest[close + 1..];
+    let Some(reason) = tail.strip_prefix(':') else {
+        bad(out, "missing `:` before the reason");
+        return;
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        bad(out, "empty reason — say why the violation is acceptable");
+        return;
+    }
+    out.allows.push(Allow {
+        line,
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+    });
+}
+
+/// Lexes `src`. Never fails: unrecognised bytes become punct tokens, an
+/// unterminated literal or comment simply ends at EOF.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let count_newlines = |s: &str| s.bytes().filter(|&c| c == b'\n').count() as u32;
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments).
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let end = src[i..].find('\n').map_or(b.len(), |n| i + n);
+            parse_allow(&src[i..end], line, &mut out);
+            i = end;
+            continue;
+        }
+        // Block comment, nested.
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let start_line = line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if b[j] == b'\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            parse_allow(&src[i..j], start_line, &mut out);
+            i = j;
+            continue;
+        }
+        // Raw strings / raw identifiers: r"...", r#"..."#, r#ident.
+        if c == b'r' || c == b'b' {
+            if let Some((end, newlines, is_raw_ident)) = raw_or_byte_start(src, i) {
+                if is_raw_ident {
+                    // `r#ident`: emit the identifier without the prefix.
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        start: i + 2,
+                        end,
+                        line,
+                    });
+                } else {
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        start: i,
+                        end,
+                        line,
+                    });
+                }
+                line += newlines;
+                i = end;
+                continue;
+            }
+        }
+        // Identifier / keyword.
+        if c == b'_' || c.is_ascii_alphabetic() {
+            let mut j = i + 1;
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                start: i,
+                end: j,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number literal.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            loop {
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                // Decimal point: only if followed by a digit (so `0..n`
+                // and `1.method()` keep their own tokens).
+                if j < b.len() && b[j] == b'.' && b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    j += 2;
+                    continue;
+                }
+                // Exponent sign: `1e-3`, `2.5E+8`.
+                if j < b.len()
+                    && (b[j] == b'+' || b[j] == b'-')
+                    && matches!(b.get(j.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+                    && b.get(j + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    j += 2;
+                    continue;
+                }
+                break;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lit,
+                start: i,
+                end: j,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // String literal.
+        if c == b'"' {
+            let (end, newlines) = scan_string(src, i);
+            out.toks.push(Tok {
+                kind: TokKind::Lit,
+                start: i,
+                end,
+                line,
+            });
+            line += newlines;
+            i = end;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == b'\'' {
+            let rest = &src[i + 1..];
+            let mut it = rest.chars();
+            match it.next() {
+                Some('\\') => {
+                    // Escaped char literal: scan to the closing quote.
+                    let mut j = i + 2;
+                    while j < b.len() {
+                        if b[j] == b'\\' {
+                            j += 2;
+                            continue;
+                        }
+                        if b[j] == b'\'' {
+                            j += 1;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        start: i,
+                        end: j.min(b.len()),
+                        line,
+                    });
+                    i = j.min(b.len());
+                }
+                Some(c1) if it.next() == Some('\'') => {
+                    // Plain char literal 'x'.
+                    let end = i + 1 + c1.len_utf8() + 1;
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        start: i,
+                        end,
+                        line,
+                    });
+                    i = end;
+                }
+                _ => {
+                    // Lifetime: 'ident or '_.
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        start: i,
+                        end: j,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            continue;
+        }
+        // Punctuation: one token per char (multi-byte chars kept whole).
+        let ch = src[i..].chars().next().unwrap_or('?');
+        out.toks.push(Tok {
+            kind: TokKind::Punct(ch),
+            start: i,
+            end: i + ch.len_utf8(),
+            line,
+        });
+        i += ch.len_utf8();
+    }
+
+    out.lines = count_newlines(src) + 1;
+    out
+}
+
+/// At `src[i]` ∈ {b, r}: detects `r"`, `r#…#"`, `br"`, `b"`, `b'`, and raw
+/// identifiers `r#ident`. Returns `(end, newlines, is_raw_ident)` if the
+/// position starts one of those forms, else `None` (plain identifier).
+fn raw_or_byte_start(src: &str, i: usize) -> Option<(usize, u32, bool)> {
+    let b = src.as_bytes();
+    let c = b[i];
+    // b'x' byte char literal.
+    if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+        let mut j = i + 2;
+        while j < b.len() {
+            if b[j] == b'\\' {
+                j += 2;
+                continue;
+            }
+            if b[j] == b'\'' {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+        return Some((j.min(b.len()), 0, false));
+    }
+    // b"..." byte string with escapes.
+    if c == b'b' && b.get(i + 1) == Some(&b'"') {
+        let (end, nl) = scan_string(src, i + 1);
+        return Some((end, nl, false));
+    }
+    // r / br raw forms.
+    let hash_start = match (c, b.get(i + 1)) {
+        (b'r', Some(&b'"')) | (b'r', Some(&b'#')) => i + 1,
+        (b'b', Some(&b'r')) if matches!(b.get(i + 2), Some(&b'"') | Some(&b'#')) => i + 2,
+        _ => return None,
+    };
+    let mut hashes = 0usize;
+    let mut j = hash_start;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        // `r#ident` raw identifier (only valid for the r-prefix form).
+        if c == b'r'
+            && hashes == 1
+            && b.get(j)
+                .is_some_and(|d| *d == b'_' || d.is_ascii_alphabetic())
+        {
+            let mut k = j + 1;
+            while k < b.len() && (b[k] == b'_' || b[k].is_ascii_alphanumeric()) {
+                k += 1;
+            }
+            return Some((k, 0, true));
+        }
+        return None;
+    }
+    // Scan for `"` followed by `hashes` hash marks.
+    j += 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            nl += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some((k, nl, false));
+            }
+        }
+        j += 1;
+    }
+    Some((b.len(), nl, false))
+}
+
+/// Scans a `"…"` string starting at the opening quote; returns
+/// `(end_exclusive, newlines)`.
+fn scan_string(src: &str, i: usize) -> (usize, u32) {
+    let b = src.as_bytes();
+    let mut j = i + 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return (j + 1, nl),
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (b.len(), nl)
+}

@@ -1,0 +1,113 @@
+//! `batsched-lint` CLI: sweeps the workspace and exits nonzero on any
+//! unannotated violation or stale suppression.
+//!
+//! ```text
+//! batsched-lint [--root DIR] [--json] [--disable RULE]... [FILE...]
+//! ```
+//!
+//! With no `FILE` arguments the whole workspace is swept (`src/` and
+//! every `crates/*/src/` tree). Explicit files are linted under their
+//! workspace-relative classification. `--disable` is the test hook used
+//! by the fixture tests; CI runs with every rule enabled.
+
+#![forbid(unsafe_code)]
+
+use batsched_lint::{report, Linter, Report, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> String {
+    format!(
+        "usage: batsched-lint [--root DIR] [--json] [--disable RULE]... [FILE...]\n\
+         rules: {}",
+        RULES.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut linter = Linter::new();
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--disable" => match args.next() {
+                Some(r) if linter.disable(&r) => {}
+                Some(r) => {
+                    eprintln!("unknown rule `{r}`\n{}", usage());
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--disable needs a rule name\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => {
+                eprintln!("unknown flag `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let swept = if files.is_empty() {
+        linter.lint_workspace(&root)
+    } else {
+        let mut rep = Report::default();
+        let mut err = None;
+        for rel in &files {
+            match linter.lint_file(&root, rel) {
+                Ok((findings, lines)) => {
+                    rep.findings.extend(findings);
+                    rep.files += 1;
+                    rep.lines += lines;
+                }
+                Err(e) => {
+                    err = Some(std::io::Error::new(e.kind(), format!("{rel}: {e}")));
+                    break;
+                }
+            }
+        }
+        rep.findings.sort();
+        match err {
+            Some(e) => Err(e),
+            None => Ok(rep),
+        }
+    };
+
+    let rep = match swept {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("batsched-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed_ms = started.elapsed().as_millis();
+
+    if json {
+        println!("{}", report::render_json(&rep, elapsed_ms));
+    } else {
+        print!("{}", report::render_human(&rep, elapsed_ms));
+    }
+    if rep.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,96 @@
+//! Human-readable and JSON rendering of lint findings.
+//!
+//! The JSON writer is hand-rolled (the linter is dependency-free by
+//! design); its shape is pinned by a test in `tests/lint_rules.rs` so
+//! future tooling can consume it:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "files": 63,
+//!   "lines": 31000,
+//!   "elapsed_ms": 120,
+//!   "findings": [
+//!     {"rule": "panic-path", "file": "crates/service/src/http.rs",
+//!      "line": 42, "message": "…"}
+//!   ]
+//! }
+//! ```
+
+use crate::rules::Finding;
+use crate::Report;
+use std::fmt::Write as _;
+
+/// Renders findings as `file:line: [rule] message` lines plus a summary.
+pub fn render_human(rep: &Report, elapsed_ms: u128) -> String {
+    let mut out = String::new();
+    for f in &rep.findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    let _ = writeln!(
+        out,
+        "batsched-lint: {} finding(s) in {} file(s), {} line(s), {} ms",
+        rep.findings.len(),
+        rep.files,
+        rep.lines,
+        elapsed_ms
+    );
+    out
+}
+
+/// Renders the machine-readable report (`--json`).
+pub fn render_json(rep: &Report, elapsed_ms: u128) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"version\":1,\"files\":{},\"lines\":{},\"elapsed_ms\":{},\"findings\":[",
+        rep.files, rep.lines, elapsed_ms
+    );
+    for (i, f) in rep.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            json_str(&f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One `Finding` as a JSON object (used by the shape test).
+pub fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+        json_str(&f.rule),
+        json_str(&f.file),
+        f.line,
+        json_str(&f.message)
+    )
+}

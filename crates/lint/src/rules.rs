@@ -1,0 +1,735 @@
+//! The rule registry and the five project-specific rules.
+//!
+//! Every rule works over the token stream from [`crate::lexer`] plus a
+//! shared [`Ctx`] that precomputes the structural facts all rules need:
+//! attribute spans, `#[cfg(test)]`/`#[test]` item spans (test-only code
+//! is exempt from the serving-path rules), and function-body spans (the
+//! scope unit for lock tracking and cap-dominance checks).
+//!
+//! See `docs/LINT.md` for the catalogue: which incident each rule
+//! encodes, what it flags, and how to suppress a finding.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::FileClass;
+
+/// Registry of suppressible rule names, in reporting order.
+pub const RULES: [&str; 5] = [
+    "panic-path",
+    "nested-lock",
+    "uncapped-wire-alloc",
+    "nondeterministic-iter",
+    "crate-hygiene",
+];
+
+/// Meta-findings (not suppressible, never disabled).
+pub const META_STALE_ALLOW: &str = "stale-allow";
+pub const META_MALFORMED_ALLOW: &str = "malformed-allow";
+
+/// One finding: rule, file, 1-based line, human message.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub message: String,
+}
+
+/// Structural context shared by all rules for one file.
+pub struct Ctx<'a> {
+    pub src: &'a str,
+    pub toks: &'a [Tok],
+    /// Token is inside a `#[...]` / `#![...]` attribute.
+    in_attr: Vec<bool>,
+    /// Token is inside a `#[cfg(test)]` / `#[test]` item.
+    in_test: Vec<bool>,
+    /// Function body spans as token-index ranges `[open_brace, close_brace]`.
+    fns: Vec<(usize, usize)>,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn build(src: &'a str, lexed: &'a Lexed) -> Self {
+        let toks = &lexed.toks[..];
+        let n = toks.len();
+        let mut in_attr = vec![false; n];
+        let mut in_test = vec![false; n];
+
+        // Attribute spans: `#` (optionally `!`) `[` … matching `]`.
+        let mut i = 0usize;
+        let mut attr_spans: Vec<(usize, usize)> = Vec::new();
+        while i < n {
+            if toks[i].is_punct('#') {
+                let mut j = i + 1;
+                if j < n && toks[j].is_punct('!') {
+                    j += 1;
+                }
+                if j < n && toks[j].is_punct('[') {
+                    let close = match_bracket(toks, j, '[', ']');
+                    for f in in_attr.iter_mut().take(close + 1).skip(i) {
+                        *f = true;
+                    }
+                    attr_spans.push((i, close));
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+
+        // Test item spans: an outer attribute whose idents contain `test`
+        // (but not `not`, so `#[cfg(not(test))]` stays production code)
+        // marks the item that follows, through its body or trailing `;`.
+        for &(a, b) in &attr_spans {
+            if a + 1 < n && toks[a + 1].is_punct('!') {
+                continue; // inner attribute, attaches to the enclosing item
+            }
+            let mut has_test = false;
+            let mut has_not = false;
+            for t in &toks[a..=b] {
+                if t.kind == TokKind::Ident {
+                    match t.text(src) {
+                        "test" => has_test = true,
+                        "not" => has_not = true,
+                        _ => {}
+                    }
+                }
+            }
+            if !has_test || has_not {
+                continue;
+            }
+            // Skip any further attributes, then find the item extent.
+            let mut j = b + 1;
+            while j < n && in_attr[j] {
+                j += 1;
+            }
+            let mut k = j;
+            while k < n {
+                if toks[k].is_punct(';') {
+                    break;
+                }
+                if toks[k].is_punct('{') {
+                    k = match_bracket(toks, k, '{', '}');
+                    break;
+                }
+                k += 1;
+            }
+            for f in in_test.iter_mut().take(k.min(n - 1) + 1).skip(a) {
+                *f = true;
+            }
+        }
+
+        // Function body spans: `fn name … { … }`.
+        let mut fns = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            if toks[i].is_ident(src, "fn") && !in_attr[i] {
+                let mut j = i + 1;
+                while j < n && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                    j += 1;
+                }
+                if j < n && toks[j].is_punct('{') {
+                    let close = match_bracket(toks, j, '{', '}');
+                    fns.push((j, close));
+                }
+            }
+            i += 1;
+        }
+
+        Ctx {
+            src,
+            toks,
+            in_attr,
+            in_test,
+            fns,
+        }
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&'a str> {
+        let t = self.toks.get(i)?;
+        (t.kind == TokKind::Ident).then(|| t.text(self.src))
+    }
+
+    fn is_test(&self, i: usize) -> bool {
+        self.in_test.get(i).copied().unwrap_or(false)
+    }
+
+    fn is_attr(&self, i: usize) -> bool {
+        self.in_attr.get(i).copied().unwrap_or(false)
+    }
+
+    /// The function body span containing token `i`, if any (innermost).
+    fn enclosing_fn(&self, i: usize) -> Option<(usize, usize)> {
+        self.fns
+            .iter()
+            .filter(|&&(a, b)| a <= i && i <= b)
+            .max_by_key(|&&(a, _)| a)
+            .copied()
+    }
+}
+
+/// Index of the bracket matching `toks[open]` (which must be `open_c`);
+/// clamps to the last token on unbalanced input.
+fn match_bracket(toks: &[Tok], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Runs every enabled rule over one lexed file.
+pub fn run_rules(
+    file: &str,
+    class: &FileClass,
+    ctx: &Ctx<'_>,
+    enabled: impl Fn(&str) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    if class.serving && enabled(RULES[0]) {
+        panic_path(file, ctx, out);
+    }
+    if enabled(RULES[1]) {
+        nested_lock(file, ctx, out);
+    }
+    if class.decoder && enabled(RULES[2]) {
+        uncapped_wire_alloc(file, ctx, out);
+    }
+    if class.bit_identity && enabled(RULES[3]) {
+        nondeterministic_iter(file, ctx, out);
+    }
+    if enabled(RULES[4]) {
+        crate_hygiene(file, class, ctx, out);
+    }
+}
+
+fn push(out: &mut Vec<Finding>, file: &str, rule: &str, line: u32, message: String) {
+    out.push(Finding {
+        file: file.to_string(),
+        line,
+        rule: rule.to_string(),
+        message,
+    });
+}
+
+/// Keywords that can legally precede a `[` that is *not* an indexing
+/// expression (array literals, types, loop headers).
+const NON_INDEX_KEYWORDS: [&str; 17] = [
+    "for", "in", "if", "else", "match", "return", "loop", "while", "break", "impl", "as", "mut",
+    "ref", "move", "dyn", "where", "let",
+];
+
+/// Rule 1 — `panic-path` (PR 6): serving modules must not contain a
+/// reachable panic. A panic outside the solver's `catch_unwind` boundary
+/// kills a connection, router or supervisor thread. Flags `.unwrap()`,
+/// `.expect(…)`, `panic!`, `unreachable!`, and direct slice indexing
+/// `expr[…]` in expression position. Test-only code is exempt.
+fn panic_path(file: &str, ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.is_test(i) || ctx.is_attr(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            let name = t.text(ctx.src);
+            let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+            let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            if prev_dot && next_paren && (name == "unwrap" || name == "expect") {
+                push(
+                    out,
+                    file,
+                    RULES[0],
+                    t.line,
+                    format!(
+                        ".{name}() in a request-serving module can panic past the \
+                         solve-boundary catch_unwind; return a typed error or recover \
+                         (poisoned locks: unwrap_or_else(|e| e.into_inner()))"
+                    ),
+                );
+            } else if next_bang && (name == "panic" || name == "unreachable") {
+                push(
+                    out,
+                    file,
+                    RULES[0],
+                    t.line,
+                    format!("{name}! in a request-serving module kills the serving thread"),
+                );
+            }
+        }
+        // Direct indexing: `[` in expression position (previous token is
+        // an identifier, `)` or `]`), excluding macros (`vec![`),
+        // attributes, keywords and type positions.
+        if t.is_punct('[') && i > 0 {
+            let p = &toks[i - 1];
+            let is_expr_pos = match p.kind {
+                TokKind::Ident => {
+                    let s = p.text(ctx.src);
+                    !NON_INDEX_KEYWORDS.contains(&s)
+                }
+                TokKind::Punct(')') | TokKind::Punct(']') => true,
+                _ => false,
+            };
+            if is_expr_pos {
+                // Visibly-bounded indices are allowed: `xs[i % xs.len()]`,
+                // `xs[i & MASK]`, `xs[i.min(n)]` confine the index
+                // arithmetically; everything else must be `.get()`-checked
+                // or annotated.
+                let close = match_bracket(toks, i, '[', ']');
+                let inner = &toks[i + 1..close];
+                let bounded = inner
+                    .iter()
+                    .any(|x| x.is_punct('%') || x.is_punct('&') || x.is_ident(ctx.src, "min"));
+                if !bounded {
+                    push(
+                        out,
+                        file,
+                        RULES[0],
+                        t.line,
+                        "direct slice indexing in a request-serving module panics on \
+                         out-of-bounds; use .get()/.get_mut() with a typed error, bound \
+                         the index visibly (% len / & mask / .min), or annotate"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A live lock guard being tracked inside one function body.
+struct Guard {
+    /// Binding name (`None` for a statement-temporary guard).
+    name: Option<String>,
+    /// Brace depth at which the guard lives; popped when depth drops
+    /// below it, at `;` for temporaries, or at `drop(name)`.
+    depth: u32,
+    temp: bool,
+    line: u32,
+}
+
+/// Rule 2 — `nested-lock` (PR 5): the sharded cache's locks are taken
+/// sequentially, never nested — a second `.lock()` while another guard is
+/// live is an ordering hazard (deadlock with any other thread locking in
+/// the opposite order). Tracks `let g = x.lock()…;` bindings,
+/// statement-temporaries, `drop(g)`, and block scopes. Test code exempt.
+fn nested_lock(file: &str, ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for &(body_open, body_close) in &ctx.fns {
+        if ctx.is_test(body_open) {
+            continue;
+        }
+        // Skip bodies of *nested* fns: they are scanned as their own span.
+        let inner: Vec<(usize, usize)> = ctx
+            .fns
+            .iter()
+            .filter(|&&(a, b)| a > body_open && b < body_close)
+            .copied()
+            .collect();
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut depth = 0u32;
+        let mut i = body_open;
+        while i <= body_close {
+            if let Some(&(a, b)) = inner.iter().find(|&&(a, _)| a == i) {
+                let _ = a;
+                i = b + 1;
+                continue;
+            }
+            let t = &toks[i];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            } else if t.is_punct(';') {
+                guards.retain(|g| !(g.temp && g.depth >= depth));
+            } else if t.kind == TokKind::Ident {
+                let name = t.text(ctx.src);
+                // drop(g) releases a named guard early.
+                if name == "drop" && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                    if let Some(arg) = ctx.ident_at(i + 2) {
+                        guards.retain(|g| g.name.as_deref() != Some(arg));
+                    }
+                } else if name == "lock"
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && !is_stdio_lock(ctx, i)
+                {
+                    if let Some(g) = guards.first() {
+                        let held = g
+                            .name
+                            .clone()
+                            .unwrap_or_else(|| "a statement-temporary guard".into());
+                        push(
+                            out,
+                            file,
+                            RULES[1],
+                            t.line,
+                            format!(
+                                ".lock() taken while {held} (line {}) is still live; \
+                                 take locks sequentially, never nested (drop the first \
+                                 guard or narrow its scope)",
+                                g.line
+                            ),
+                        );
+                    }
+                    let (bind, after) = lock_binding(ctx, body_open, i);
+                    match bind {
+                        Some(name) if after == LockTail::Statement => {
+                            guards.push(Guard {
+                                name: Some(name),
+                                depth,
+                                temp: false,
+                                line: t.line,
+                            });
+                        }
+                        Some(name) if after == LockTail::Block => {
+                            // `if let Ok(g) = x.lock() {` — guard lives in
+                            // the block about to open.
+                            guards.push(Guard {
+                                name: Some(name),
+                                depth: depth + 1,
+                                temp: false,
+                                line: t.line,
+                            });
+                        }
+                        _ => {
+                            guards.push(Guard {
+                                name: None,
+                                depth,
+                                temp: true,
+                                line: t.line,
+                            });
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// `stdout().lock()` / `stderr().lock()` / `stdin().lock()` are reentrant
+/// io handles, not Mutexes — not part of the cache's lock discipline.
+fn is_stdio_lock(ctx: &Ctx<'_>, lock_idx: usize) -> bool {
+    // Shape: ident `(` `)` `.` lock — look 4 tokens back for the handle.
+    lock_idx >= 4
+        && ctx.toks[lock_idx - 2].is_punct(')')
+        && ctx.toks[lock_idx - 3].is_punct('(')
+        && matches!(
+            ctx.ident_at(lock_idx - 4),
+            Some("stdout") | Some("stderr") | Some("stdin")
+        )
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum LockTail {
+    /// Chain ends the statement (`;`) — a `let` binding holds the guard.
+    Statement,
+    /// Chain is followed by `{` (`if let` / `while let` binding).
+    Block,
+    /// Anything else — the guard is a statement temporary.
+    Other,
+}
+
+/// For a `.lock()` at token `i`: finds the `let` binding name (if the
+/// statement is a `let`) and classifies what follows the
+/// `.lock().unwrap()/.expect(…)/.unwrap_or_else(…)` chain.
+fn lock_binding(ctx: &Ctx<'_>, body_open: usize, i: usize) -> (Option<String>, LockTail) {
+    let toks = ctx.toks;
+    // Statement start: scan back to `;`, `{`, `}` or `=>`.
+    let mut s = i;
+    while s > body_open {
+        let t = &toks[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.is_punct('>') && s >= 2 && toks[s - 2].is_punct('=') {
+            break; // match arm `=>`
+        }
+        s -= 1;
+    }
+    // Binding name: last ident (except `mut`) between `let` and `=`.
+    let mut name = None;
+    let has_let = (s..i).take(4).any(|k| ctx.ident_at(k) == Some("let"));
+    if has_let {
+        let let_at = (s..i)
+            .find(|&k| ctx.ident_at(k) == Some("let"))
+            .unwrap_or(s);
+        let mut eq_at = None;
+        for (k, t) in toks.iter().enumerate().take(i).skip(let_at + 1) {
+            if t.is_punct('=') {
+                eq_at = Some(k);
+                break;
+            }
+            if let Some(id) = ctx.ident_at(k) {
+                if id != "mut" {
+                    name = Some(id.to_string());
+                }
+            }
+        }
+        // `let x = *a.lock()…;` binds the dereferenced value, not the
+        // guard — the guard is a statement temporary.
+        if let Some(eq) = eq_at {
+            if (eq + 1..i).any(|k| toks[k].is_punct('*')) {
+                name = None;
+            }
+        }
+    }
+    // Walk the guard-consuming chain after `.lock(` …
+    let mut j = match_bracket(toks, i + 1, '(', ')') + 1;
+    loop {
+        if toks.get(j).is_some_and(|t| t.is_punct('.'))
+            && matches!(
+                ctx.ident_at(j + 1),
+                Some("unwrap") | Some("expect") | Some("unwrap_or_else")
+            )
+            && toks.get(j + 2).is_some_and(|t| t.is_punct('('))
+        {
+            j = match_bracket(toks, j + 2, '(', ')') + 1;
+        } else {
+            break;
+        }
+    }
+    let tail = match toks.get(j) {
+        Some(t) if t.is_punct(';') => LockTail::Statement,
+        Some(t) if t.is_punct('{') => LockTail::Block,
+        _ => LockTail::Other,
+    };
+    (name, tail)
+}
+
+/// Primitive numeric type names (casts don't make a size wire-derived).
+const PRIMS: [&str; 13] = [
+    "usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128", "as",
+];
+
+/// Rule 3 — `uncapped-wire-alloc` (PR 8): in decoder modules, an
+/// allocation sized from a wire-derived value (`with_capacity`,
+/// `.reserve`, `vec![x; n]`) must be dominated by a visible cap check —
+/// a `cap_count(n, …)` call or a comparison of the size against a
+/// `MAX_*` constant / remaining-bytes bound — *before* the allocation in
+/// the same function. This freezes the PR 8 `terms` alloc-DoS fix.
+fn uncapped_wire_alloc(file: &str, ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text(ctx.src);
+        // Locate the size-expression token range for each alloc form.
+        let size_span: Option<(usize, usize)> =
+            if (name == "with_capacity" || name == "reserve" || name == "reserve_exact")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                let close = match_bracket(toks, i + 1, '(', ')');
+                Some((i + 2, close))
+            } else if name == "vec"
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct('['))
+            {
+                // Only the `vec![elem; count]` form sizes an allocation.
+                let close = match_bracket(toks, i + 2, '[', ']');
+                let semi = (i + 3..close).find(|&k| toks[k].is_punct(';'));
+                semi.map(|s| (s + 1, close))
+            } else {
+                None
+            };
+        let Some((a, b)) = size_span else { continue };
+        if a >= b {
+            continue;
+        }
+
+        // Size identifiers: idents in the expression that are not method
+        // names (`.len()`), path segments, casts, primitives or
+        // SCREAMING_CASE constants.
+        let expr = &toks[a..b];
+        let mut size_idents: Vec<&str> = Vec::new();
+        let mut has_len_bound = false;
+        for (k, x) in expr.iter().enumerate() {
+            if x.kind != TokKind::Ident {
+                continue;
+            }
+            let s = x.text(ctx.src);
+            let after_dot = k > 0 && expr[k - 1].is_punct('.');
+            if after_dot {
+                if s == "len" || s == "min" {
+                    // `.len()` of an in-memory value / `.min(cap)` are
+                    // bounded by construction.
+                    has_len_bound = true;
+                }
+                continue;
+            }
+            let in_path = (k > 0 && expr[k - 1].is_punct(':'))
+                || (k + 1 < expr.len() && expr[k + 1].is_punct(':'));
+            if in_path || PRIMS.contains(&s) || s == "self" {
+                continue;
+            }
+            if s.chars()
+                .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+            {
+                continue; // MAX_* style constant
+            }
+            size_idents.push(s);
+        }
+        if size_idents.is_empty() || has_len_bound {
+            continue;
+        }
+
+        // Evidence scan: from the start of the enclosing function to the
+        // allocation site.
+        let Some((body_open, _)) = ctx.enclosing_fn(i) else {
+            continue;
+        };
+        let before = &toks[body_open..i];
+        let capped = size_idents.iter().any(|id| {
+            before.iter().enumerate().any(|(k, x)| {
+                // cap_count(id, …)
+                if x.is_ident(ctx.src, "cap_count") {
+                    let open = body_open + k + 1;
+                    if toks.get(open).is_some_and(|t| t.is_punct('(')) {
+                        let close = match_bracket(toks, open, '(', ')');
+                        return toks[open..close].iter().any(|y| y.is_ident(ctx.src, id));
+                    }
+                }
+                // `id` within 4 tokens of a comparison, with a MAX_* /
+                // remaining / len bound or integer literal nearby.
+                if x.is_ident(ctx.src, id) {
+                    let abs = body_open + k;
+                    let w = &toks[abs.saturating_sub(4)..(abs + 5).min(toks.len())];
+                    let cmp = w.iter().any(|y| y.is_punct('<') || y.is_punct('>'));
+                    let wide = &toks[abs.saturating_sub(12)..(abs + 13).min(toks.len())];
+                    let bound = wide.iter().any(|y| {
+                        (y.kind == TokKind::Ident
+                            && (y.text(ctx.src).starts_with("MAX_")
+                                || y.text(ctx.src) == "remaining"
+                                || y.text(ctx.src) == "len"))
+                            || y.kind == TokKind::Lit
+                    });
+                    return cmp && bound;
+                }
+                false
+            })
+        });
+        if !capped {
+            push(
+                out,
+                file,
+                RULES[2],
+                t.line,
+                format!(
+                    "allocation sized from `{}` with no visible cap check before it in \
+                     this function (cap_count(…) or a `MAX_*`/remaining-bytes \
+                     comparison); wire-derived sizes must be capped at admission",
+                    size_idents.join("`, `"),
+                ),
+            );
+        }
+    }
+}
+
+/// Rule 4 — `nondeterministic-iter` (PRs 1–4): bit-identity kernel and
+/// canonical-hash modules must not touch `HashMap`/`HashSet` at all —
+/// their iteration order varies run to run, which silently breaks the
+/// bit-identity proptest story the perf work is built on. Use `BTreeMap`
+/// or index-keyed `Vec`s. Test code exempt.
+fn nondeterministic_iter(file: &str, ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            let s = t.text(ctx.src);
+            if s == "HashMap" || s == "HashSet" || s == "hash_map" || s == "hash_set" {
+                push(
+                    out,
+                    file,
+                    RULES[3],
+                    t.line,
+                    format!(
+                        "{s} in a bit-identity module: hash iteration order is \
+                         nondeterministic and breaks the bit-identity proptests; use \
+                         BTreeMap/BTreeSet or an index-keyed Vec"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 5 — `crate-hygiene`: every crate root carries
+/// `#![forbid(unsafe_code)]`; no `todo!`, `dbg!` or `std::process::exit`
+/// outside the `cli` crate (binaries return `ExitCode` instead, so
+/// destructors and flushes run).
+fn crate_hygiene(file: &str, class: &FileClass, ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    if class.crate_root {
+        let mut has_forbid = false;
+        for i in 0..toks.len() {
+            if toks[i].is_ident(ctx.src, "forbid")
+                && ctx.is_attr(i)
+                && toks[i..toks.len().min(i + 4)]
+                    .iter()
+                    .any(|t| t.is_ident(ctx.src, "unsafe_code"))
+            {
+                has_forbid = true;
+                break;
+            }
+        }
+        if !has_forbid {
+            push(
+                out,
+                file,
+                RULES[4],
+                1,
+                "crate root is missing #![forbid(unsafe_code)]".to_string(),
+            );
+        }
+    }
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let s = t.text(ctx.src);
+        let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if next_bang && (s == "todo" || s == "dbg") {
+            push(
+                out,
+                file,
+                RULES[4],
+                t.line,
+                format!("{s}! must not ship; finish it or delete it"),
+            );
+        }
+        if s == "exit"
+            && !class.exempt_exit
+            && i >= 2
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && (3..=4).any(|back| i >= back && ctx.ident_at(i - back) == Some("process"))
+        {
+            push(
+                out,
+                file,
+                RULES[4],
+                t.line,
+                "std::process::exit skips destructors (unflushed disk tier, half-written \
+                 snapshots); return ExitCode / propagate a typed error instead \
+                 (only crates/cli may exit)"
+                    .to_string(),
+            );
+        }
+    }
+}

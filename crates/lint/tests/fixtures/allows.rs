@@ -1,0 +1,15 @@
+//! suppression-grammar fixture: well-formed allows, linted as serving.
+
+fn suppressed_trailing(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(panic-path): fixture — trailing allow on the line
+}
+
+fn suppressed_above(v: Option<u32>) -> u32 {
+    // lint:allow(panic-path): fixture — standalone allow above the line,
+    // with a reason that wraps onto a second comment line
+    v.unwrap()
+}
+
+fn not_suppressed(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,16 @@
+//! stale and malformed suppressions, linted as serving.
+
+fn stale(v: Option<u32>) -> Option<u32> {
+    // lint:allow(panic-path): nothing left to suppress on the next line
+    v
+}
+
+fn unknown_rule(v: Option<u32>) -> u32 {
+    // lint:allow(made-up-rule): no such rule in the registry
+    v.unwrap()
+}
+
+fn missing_reason(v: Option<u32>) -> u32 {
+    // lint:allow(panic-path)
+    v.unwrap()
+}

@@ -1,0 +1,13 @@
+//! crate-hygiene fixture: a crate root missing its forbid attribute.
+
+fn unfinished() {
+    todo!();
+}
+
+fn noisy(x: u32) -> u32 {
+    dbg!(x)
+}
+
+fn hard_exit() {
+    std::process::exit(2);
+}

@@ -1,0 +1,6 @@
+//! crate-hygiene fixture: a clean crate root.
+#![forbid(unsafe_code)]
+
+fn fine() -> u32 {
+    7
+}

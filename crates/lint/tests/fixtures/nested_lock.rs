@@ -1,0 +1,42 @@
+//! nested-lock fixture: the rule applies to every classification.
+use std::sync::Mutex;
+
+fn bad_nested(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let g1 = a.lock().unwrap();
+    let g2 = b.lock().unwrap();
+    *g1 + *g2
+}
+
+fn ok_sequential(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let x = {
+        let g = a.lock().unwrap();
+        *g
+    };
+    let y = {
+        let g = b.lock().unwrap();
+        *g
+    };
+    x + y
+}
+
+fn ok_drop_release(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let g1 = a.lock().unwrap();
+    let x = *g1;
+    drop(g1);
+    let g2 = b.lock().unwrap();
+    x + *g2
+}
+
+fn ok_temporary_dies_at_semi(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let x = *a.lock().unwrap();
+    let y = *b.lock().unwrap();
+    x + y
+}
+
+fn ok_stdio_is_not_a_mutex(counts: &Mutex<u32>) -> u32 {
+    use std::io::Write;
+    let n = *counts.lock().unwrap();
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{n}");
+    n
+}

@@ -1,0 +1,22 @@
+//! nondeterministic-iter fixture: linted under a bit-identity
+//! classification.
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+fn bad_hash(xs: &[(u64, u64)]) -> HashMap<u64, u64> {
+    xs.iter().copied().collect()
+}
+
+fn ok_btree(xs: &[(u64, u64)]) -> BTreeMap<u64, u64> {
+    xs.iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_code_may_hash() {
+        let _ = HashSet::<u32>::new();
+    }
+}

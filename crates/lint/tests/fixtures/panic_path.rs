@@ -1,0 +1,43 @@
+//! panic-path fixture: linted under a serving-module classification.
+
+fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+fn bad_panics(x: u32) {
+    if x > 2 {
+        panic!("boom");
+    }
+    unreachable!();
+}
+
+fn bad_index(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+
+fn ok_bounded(xs: &[u32], i: usize) -> u32 {
+    xs[i % xs.len()]
+}
+
+fn ok_masked(xs: &[u32], i: usize) -> u32 {
+    xs[i & 7]
+}
+
+fn ok_checked(xs: &[u32], i: usize) -> Option<u32> {
+    xs.get(i).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let xs = [1u32, 2];
+        assert_eq!(xs[0], 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! uncapped-wire-alloc fixture: linted under a decoder classification.
+
+const MAX_TERMS: usize = 4096;
+
+fn bad_uncapped(n_terms: usize) -> Vec<u64> {
+    Vec::with_capacity(n_terms)
+}
+
+fn bad_vec_macro(count: usize) -> Vec<u8> {
+    vec![0u8; count]
+}
+
+fn ok_capped(n_terms: usize) -> Result<Vec<u64>, String> {
+    if n_terms > MAX_TERMS {
+        return Err("too many terms".to_string());
+    }
+    Ok(Vec::with_capacity(n_terms))
+}
+
+fn ok_len_bound(xs: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(xs.len());
+    out.extend_from_slice(xs);
+    out
+}
+
+fn ok_min_clamped(n_terms: usize) -> Vec<u64> {
+    Vec::with_capacity(n_terms.min(64))
+}
+
+fn ok_constant_size() -> Vec<u8> {
+    Vec::with_capacity(1024)
+}

@@ -1,0 +1,292 @@
+//! Fixture-corpus tests: every rule is pinned to exact `(rule, line)`
+//! findings on a positive/negative fixture pair, the suppression grammar
+//! (trailing, standalone, wrapped, stale, malformed) is exercised
+//! end-to-end, the `--json` shape is frozen, and the real workspace must
+//! sweep clean inside the 2-second budget.
+
+use batsched_lint::{classify, report, FileClass, Linter, RULES};
+use std::path::Path;
+
+const PANIC_PATH: &str = include_str!("fixtures/panic_path.rs");
+const NESTED_LOCK: &str = include_str!("fixtures/nested_lock.rs");
+const UNCAPPED: &str = include_str!("fixtures/uncapped_alloc.rs");
+const NONDET: &str = include_str!("fixtures/nondet_iter.rs");
+const HYGIENE: &str = include_str!("fixtures/hygiene.rs");
+const HYGIENE_OK: &str = include_str!("fixtures/hygiene_ok.rs");
+const ALLOWS: &str = include_str!("fixtures/allows.rs");
+const ALLOWS_BAD: &str = include_str!("fixtures/allows_bad.rs");
+
+fn serving() -> FileClass {
+    FileClass {
+        serving: true,
+        ..FileClass::default()
+    }
+}
+
+fn decoder() -> FileClass {
+    FileClass {
+        decoder: true,
+        ..FileClass::default()
+    }
+}
+
+fn bit_identity() -> FileClass {
+    FileClass {
+        bit_identity: true,
+        ..FileClass::default()
+    }
+}
+
+fn crate_root() -> FileClass {
+    FileClass {
+        crate_root: true,
+        ..FileClass::default()
+    }
+}
+
+/// Findings as `(rule, line)` pairs, in the linter's sorted order.
+fn lint(class: &FileClass, src: &str) -> Vec<(String, u32)> {
+    Linter::new()
+        .lint_source("fixture.rs", class, src)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+fn pairs(expected: &[(&str, u32)]) -> Vec<(String, u32)> {
+    expected.iter().map(|&(r, l)| (r.to_string(), l)).collect()
+}
+
+#[test]
+fn panic_path_fixture_exact_findings() {
+    let got = lint(&serving(), PANIC_PATH);
+    let want = pairs(&[
+        ("panic-path", 4),  // .unwrap()
+        ("panic-path", 8),  // .expect(…)
+        ("panic-path", 13), // panic!
+        ("panic-path", 15), // unreachable!
+        ("panic-path", 19), // xs[i]
+    ]);
+    assert_eq!(
+        got, want,
+        "bounded/checked access and #[cfg(test)] code must stay clean"
+    );
+}
+
+#[test]
+fn panic_path_is_class_gated() {
+    // The same source under a non-serving classification: no findings.
+    assert_eq!(lint(&FileClass::default(), PANIC_PATH), pairs(&[]));
+}
+
+#[test]
+fn nested_lock_fixture_exact_findings() {
+    let got = lint(&FileClass::default(), NESTED_LOCK);
+    let want = pairs(&[("nested-lock", 6)]);
+    assert_eq!(
+        got, want,
+        "scoped, dropped, temporary and stdio locks must not be flagged"
+    );
+}
+
+#[test]
+fn uncapped_alloc_fixture_exact_findings() {
+    let got = lint(&decoder(), UNCAPPED);
+    let want = pairs(&[
+        ("uncapped-wire-alloc", 6),  // with_capacity(n_terms), no cap
+        ("uncapped-wire-alloc", 10), // vec![0u8; count], no cap
+    ]);
+    assert_eq!(
+        got, want,
+        "MAX_*-compared, .len()-bounded, .min()-clamped and constant sizes are fine"
+    );
+}
+
+#[test]
+fn nondet_iter_fixture_exact_findings() {
+    let got = lint(&bit_identity(), NONDET);
+    let want = pairs(&[
+        ("nondeterministic-iter", 4), // use …::HashMap
+        ("nondeterministic-iter", 6), // HashMap in a signature
+    ]);
+    assert_eq!(
+        got, want,
+        "BTreeMap and #[cfg(test)] HashSet must stay clean"
+    );
+}
+
+#[test]
+fn hygiene_fixture_exact_findings() {
+    let got = lint(&crate_root(), HYGIENE);
+    let want = pairs(&[
+        ("crate-hygiene", 1),  // missing #![forbid(unsafe_code)]
+        ("crate-hygiene", 4),  // todo!
+        ("crate-hygiene", 8),  // dbg!
+        ("crate-hygiene", 12), // std::process::exit
+    ]);
+    assert_eq!(got, want);
+}
+
+#[test]
+fn hygiene_clean_crate_root_passes() {
+    assert_eq!(lint(&crate_root(), HYGIENE_OK), pairs(&[]));
+}
+
+#[test]
+fn hygiene_exit_is_allowed_in_cli() {
+    let class = FileClass {
+        crate_root: true,
+        exempt_exit: true,
+        ..FileClass::default()
+    };
+    let got = lint(&class, HYGIENE);
+    let want = pairs(&[
+        ("crate-hygiene", 1),
+        ("crate-hygiene", 4),
+        ("crate-hygiene", 8),
+    ]);
+    assert_eq!(got, want, "only the exit finding is waived for crates/cli");
+}
+
+#[test]
+fn suppressions_trailing_and_standalone_and_wrapped() {
+    // Two of the three unwraps carry a well-formed allow (one trailing,
+    // one standalone with a wrapped reason); only the third surfaces.
+    let got = lint(&serving(), ALLOWS);
+    let want = pairs(&[("panic-path", 14)]);
+    assert_eq!(got, want);
+}
+
+#[test]
+fn stale_and_malformed_allows_are_findings() {
+    let got = lint(&serving(), ALLOWS_BAD);
+    let want = pairs(&[
+        ("stale-allow", 4),      // allow with nothing to suppress
+        ("malformed-allow", 9),  // unknown rule name
+        ("panic-path", 10),      // …so the unwrap under it still fires
+        ("malformed-allow", 14), // missing `: <reason>`
+        ("panic-path", 15),      // …so this unwrap fires too
+    ]);
+    assert_eq!(got, want);
+}
+
+#[test]
+fn disabling_a_rule_silences_exactly_that_rule() {
+    // (rule, class, fixture) triples: disabling the rule must erase its
+    // findings; every rule must have at least one fixture finding to
+    // erase, so a rule that silently stopped running fails this test.
+    let table: [(&str, FileClass, &str); 5] = [
+        ("panic-path", serving(), PANIC_PATH),
+        ("nested-lock", FileClass::default(), NESTED_LOCK),
+        ("uncapped-wire-alloc", decoder(), UNCAPPED),
+        ("nondeterministic-iter", bit_identity(), NONDET),
+        ("crate-hygiene", crate_root(), HYGIENE),
+    ];
+    for (rule, class, src) in table {
+        let on = Linter::new().lint_source("fixture.rs", &class, src);
+        assert!(
+            on.iter().any(|f| f.rule == rule),
+            "fixture for {rule} must produce at least one finding"
+        );
+        let mut linter = Linter::new();
+        assert!(linter.disable(rule), "{rule} must be a registry name");
+        let off = linter.lint_source("fixture.rs", &class, src);
+        assert!(
+            off.iter().all(|f| f.rule != rule),
+            "disabling {rule} must silence it"
+        );
+    }
+}
+
+#[test]
+fn disable_rejects_unknown_rule_names() {
+    let mut linter = Linter::new();
+    assert!(!linter.disable("no-such-rule"));
+}
+
+#[test]
+fn disabled_rules_do_not_report_stale_allows() {
+    // An allow for a disabled rule is neither used nor stale: re-enabling
+    // the rule must not require re-annotating the codebase.
+    let mut linter = Linter::new();
+    linter.disable("panic-path");
+    let got = linter.lint_source("fixture.rs", &serving(), ALLOWS);
+    assert_eq!(got, Vec::new());
+}
+
+#[test]
+fn registry_classification_matches_the_invariant_map() {
+    let http = classify("crates/service/src/http.rs");
+    assert!(http.serving && http.decoder && !http.bit_identity && !http.crate_root);
+    let search = classify("crates/core/src/search.rs");
+    assert!(search.bit_identity && !search.serving);
+    let wire = classify("crates/service/src/wire_bin.rs");
+    assert!(wire.serving && wire.decoder && wire.bit_identity);
+    let cli = classify("crates/cli/src/main.rs");
+    assert!(cli.crate_root && cli.exempt_exit);
+    let battery = classify("crates/battery/src/lib.rs");
+    assert!(battery.crate_root && !battery.exempt_exit);
+    let bench_bin = classify("crates/bench/src/bin/repro_bench.rs");
+    assert!(bench_bin.crate_root);
+}
+
+#[test]
+fn json_shape_is_frozen() {
+    let rep = batsched_lint::Report {
+        files: 2,
+        lines: 40,
+        findings: vec![batsched_lint::Finding {
+            file: "a/b.rs".to_string(),
+            line: 14,
+            rule: "panic-path".to_string(),
+            message: "say \"no\"".to_string(),
+        }],
+    };
+    let json = report::render_json(&rep, 7);
+    assert_eq!(
+        json,
+        r#"{"version":1,"files":2,"lines":40,"elapsed_ms":7,"findings":[{"rule":"panic-path","file":"a/b.rs","line":14,"message":"say \"no\""}]}"#
+    );
+}
+
+#[test]
+fn json_escapes_special_characters() {
+    assert_eq!(report::json_str("a\"b\\c\nd\te"), "\"a\\\"b\\\\c\\nd\\te\"");
+    assert_eq!(report::json_str("\u{1}"), "\"\\u0001\"");
+}
+
+#[test]
+fn workspace_sweeps_clean_within_budget() {
+    // CARGO_MANIFEST_DIR = crates/lint → workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let started = std::time::Instant::now();
+    let rep = Linter::new().lint_workspace(root).expect("sweep");
+    let elapsed = started.elapsed();
+    assert!(
+        rep.findings.is_empty(),
+        "the workspace must lint clean; found:\n{}",
+        report::render_human(&rep, elapsed.as_millis())
+    );
+    assert!(rep.files > 50, "sweep looks truncated: {} files", rep.files);
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "sweep took {elapsed:?}, budget is 2s"
+    );
+}
+
+#[test]
+fn registry_has_exactly_the_documented_rules() {
+    assert_eq!(
+        RULES,
+        [
+            "panic-path",
+            "nested-lock",
+            "uncapped-wire-alloc",
+            "nondeterministic-iter",
+            "crate-hygiene",
+        ]
+    );
+}

@@ -91,10 +91,14 @@ impl<V> LinkedMap<V> {
             (n.prev, n.next)
         };
         match prev {
+            // lint:allow(panic-path): intrusive-list invariant — neighbour keys are always
+            // present; a miss means this shard's map is corrupt, and the panic poisons only
+            // this shard, whose lock recovery clears it (degrade one shard, not the daemon).
             Some(p) => self.map.get_mut(&p).expect("linked prev").next = next,
             None => self.head = next,
         }
         match next {
+            // lint:allow(panic-path): intrusive-list invariant — see unlink() above.
             Some(x) => self.map.get_mut(&x).expect("linked next").prev = prev,
             None => self.tail = prev,
         }
@@ -104,11 +108,15 @@ impl<V> LinkedMap<V> {
     fn push_front(&mut self, key: u64) {
         let old_head = self.head;
         {
+            // lint:allow(panic-path): push_front's contract is "key is in the map";
+            // both callers insert or check first, so a miss means shard corruption —
+            // panic, poison, and let lock recovery clear this one shard.
             let n = self.map.get_mut(&key).expect("pushed key present");
             n.prev = None;
             n.next = old_head;
         }
         if let Some(h) = old_head {
+            // lint:allow(panic-path): intrusive-list invariant — see unlink().
             self.map.get_mut(&h).expect("old head").prev = Some(key);
         }
         self.head = Some(key);
@@ -129,6 +137,8 @@ impl<V> LinkedMap<V> {
         }
         self.unlink(key);
         self.push_front(key);
+        // lint:allow(panic-path): contains_key was checked three lines up and the
+        // relink cannot remove the entry; a miss here is shard corruption.
         Some(&mut self.map.get_mut(&key).expect("refreshed key").value)
     }
 
@@ -330,9 +340,34 @@ impl ShardedCache {
         self.shards.len()
     }
 
+    /// Locks one shard, recovering from poisoning: a panicking holder is
+    /// caught at the solve boundary (PR 6), so a poisoned shard must
+    /// degrade — its mid-mutation intrusive list is untrusted, so the
+    /// shard is cleared once and serving continues — rather than wedge
+    /// every later request that routes to it.
+    fn locked(shard: &Mutex<LruCache>) -> std::sync::MutexGuard<'_, LruCache> {
+        shard.lock().unwrap_or_else(|poisoned| {
+            shard.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            guard
+        })
+    }
+
+    /// The shard `key` routes to: low content-hash bits folded with the
+    /// high half so both ends of the FNV output participate; the mask
+    /// keeps the index in range (shard count is a power of two).
+    fn shard(&self, key: u64) -> &Mutex<LruCache> {
+        &self.shards[((key ^ (key >> 32)) & self.mask) as usize]
+    }
+
     /// Aggregate configured capacity (sum of shard capacities).
     pub fn capacity(&self) -> usize {
-        self.shards.len() * self.shards[0].lock().expect("shard lock").capacity()
+        self.shards.len()
+            * self
+                .shards
+                .first()
+                .map_or(0, |s| Self::locked(s).capacity())
     }
 
     /// Total live entries across shards.
@@ -347,24 +382,12 @@ impl ShardedCache {
 
     /// Live entry count per shard, in shard order.
     pub fn occupancy(&self) -> Vec<usize> {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard lock").len())
-            .collect()
-    }
-
-    /// The shard index `key` routes to: low content-hash bits folded with
-    /// the high half so both ends of the FNV output participate.
-    fn shard_of(&self, key: u64) -> usize {
-        ((key ^ (key >> 32)) & self.mask) as usize
+        self.shards.iter().map(|s| Self::locked(s).len()).collect()
     }
 
     /// Looks `key` up in its shard, refreshing recency on a hit.
     pub fn get(&self, key: u64) -> Option<String> {
-        self.shards[self.shard_of(key)]
-            .lock()
-            .expect("shard lock")
-            .get(key)
+        Self::locked(self.shard(key)).get(key)
     }
 
     /// The raw-bytes fast path across shards: resolve the alias in the
@@ -372,18 +395,12 @@ impl ShardedCache {
     /// The locks are taken one at a time; a dangling alias is removed with
     /// a third short re-lock of the alias shard.
     pub fn get_by_alias(&self, raw: u64, doc: &[u8]) -> Option<String> {
-        let alias_shard = self.shard_of(raw);
-        let canonical = self.shards[alias_shard]
-            .lock()
-            .expect("shard lock")
-            .alias_lookup(raw, doc)?;
+        let alias_shard = self.shard(raw);
+        let canonical = Self::locked(alias_shard).alias_lookup(raw, doc)?;
         match self.get(canonical) {
             Some(body) => Some(body),
             None => {
-                self.shards[alias_shard]
-                    .lock()
-                    .expect("shard lock")
-                    .drop_alias(raw);
+                Self::locked(alias_shard).drop_alias(raw);
                 None
             }
         }
@@ -391,24 +408,18 @@ impl ShardedCache {
 
     /// Records the alias `raw` → `canonical` in the raw-hash shard.
     pub fn alias(&self, raw: u64, doc: &[u8], canonical: u64) {
-        self.shards[self.shard_of(raw)]
-            .lock()
-            .expect("shard lock")
-            .alias(raw, doc, canonical);
+        Self::locked(self.shard(raw)).alias(raw, doc, canonical);
     }
 
     /// Stores `body` under `key` in its shard.
     pub fn insert(&self, key: u64, body: String) {
-        self.shards[self.shard_of(key)]
-            .lock()
-            .expect("shard lock")
-            .insert(key, body);
+        Self::locked(self.shard(key)).insert(key, body);
     }
 
     /// Drops every entry and alias in every shard.
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("shard lock").clear();
+            Self::locked(s).clear();
         }
     }
 }

@@ -372,24 +372,38 @@ fn encode_record(format: DiskFormat, key: u64, body: &str) -> Vec<u8> {
         key: key_hex(key),
         body: body.to_string(),
     };
+    // lint:allow(panic-path): serialising DiskRecord (two owned strings) cannot
+    // fail; this runs before the bytes ever reach the append path.
     let mut line = serde_json::to_string(&rec).expect("records serialise");
     line.push('\n');
     line.into_bytes()
+}
+
+/// Splits a v2 record header into `(key, blob length)`; `None` when the
+/// tag does not match. All access is checked — disk bytes are untrusted
+/// input and must never panic the reading thread.
+fn parse_v2_header(header: &[u8]) -> Option<(u64, u64)> {
+    if !header.starts_with(&V2_TAG) {
+        return None;
+    }
+    let key = u64::from_le_bytes(header.get(3..11)?.try_into().ok()?);
+    let len = u64::from(u32::from_le_bytes(header.get(11..15)?.try_into().ok()?));
+    Some((key, len))
 }
 
 /// Parses one whole record in either format, returning its key and the
 /// body as the canonical JSON string the cache replays.
 fn parse_record(raw: &[u8]) -> Option<(u64, String)> {
     if raw.first() == Some(&0u8) {
-        if raw.len() < V2_HEADER_LEN + 1 || raw[..3] != V2_TAG || raw[raw.len() - 1] != b'\n' {
+        if raw.len() < V2_HEADER_LEN + 1 || raw.last() != Some(&b'\n') {
             return None;
         }
-        let key = u64::from_le_bytes(raw[3..11].try_into().ok()?);
-        let len = u32::from_le_bytes(raw[11..15].try_into().ok()?) as usize;
+        let (key, len) = parse_v2_header(raw.get(..V2_HEADER_LEN)?)?;
+        let len = len as usize;
         if raw.len() != V2_HEADER_LEN + len + 1 {
             return None;
         }
-        let resp = wire_bin::decode_response(&raw[V2_HEADER_LEN..V2_HEADER_LEN + len]).ok()?;
+        let resp = wire_bin::decode_response(raw.get(V2_HEADER_LEN..V2_HEADER_LEN + len)?).ok()?;
         Some((key, serde_json::to_string(&resp).ok()?))
     } else {
         let line = std::str::from_utf8(raw).ok()?;
@@ -417,28 +431,27 @@ fn index_file(path: &Path) -> io::Result<(HashMap<u64, Span>, u64, u64)> {
     loop {
         let first = {
             let buf = reader.fill_buf()?;
-            if buf.is_empty() {
-                break;
+            match buf.first() {
+                Some(&b) => b,
+                None => break,
             }
-            buf[0]
         };
         if first == 0x00 {
             // v2: fixed header, then a length-framed blob + newline. Any
             // framing shortfall is a torn tail — stop scanning here.
             let mut header = [0u8; V2_HEADER_LEN];
-            if reader.read_exact(&mut header).is_err() || header[..3] != V2_TAG {
+            if reader.read_exact(&mut header).is_err() {
                 break;
             }
-            let key = u64::from_le_bytes(header[3..11].try_into().expect("8 bytes"));
-            let len = u64::from(u32::from_le_bytes(
-                header[11..15].try_into().expect("4 bytes"),
-            ));
+            let Some((key, len)) = parse_v2_header(&header) else {
+                break;
+            };
             let remaining = file_end - offset - V2_HEADER_LEN as u64;
             if len + 1 > remaining {
                 break;
             }
             raw.resize(len as usize + 1, 0);
-            if reader.read_exact(&mut raw).is_err() || raw[len as usize] != b'\n' {
+            if reader.read_exact(&mut raw).is_err() || raw.last() != Some(&b'\n') {
                 break;
             }
             let total = V2_HEADER_LEN as u64 + len + 1;

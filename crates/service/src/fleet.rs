@@ -223,7 +223,9 @@ pub fn route(hash: u64, live: &[bool]) -> Option<usize> {
         return None;
     }
     let home = home_slot(hash, size);
-    (0..size).map(|i| (home + i) % size).find(|&s| live[s])
+    (0..size)
+        .map(|i| (home + i) % size)
+        .find(|&s| live.get(s).copied().unwrap_or(false))
 }
 
 /// The disk-tier file owned exclusively by worker `slot`:
@@ -295,8 +297,8 @@ impl ProcessLauncher {
 
 /// Extracts the bound address from a `listening on http://ADDR` line.
 fn parse_announced_addr(line: &str) -> Option<SocketAddr> {
-    let rest = &line[line.find("http://")? + "http://".len()..];
-    rest.trim().parse().ok()
+    let start = line.find("http://")? + "http://".len();
+    line.get(start..)?.trim().parse().ok()
 }
 
 impl WorkerLauncher for ProcessLauncher {
@@ -315,7 +317,12 @@ impl WorkerLauncher for ProcessLauncher {
             .stdout(Stdio::null())
             .stderr(Stdio::piped());
         let mut child = cmd.spawn()?;
-        let mut reader = BufReader::new(child.stderr.take().expect("stderr was piped"));
+        let Some(stderr) = child.stderr.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(io::Error::other("spawned worker has no piped stderr"));
+        };
+        let mut reader = BufReader::new(stderr);
         // The daemon announces its address within its first few stderr
         // lines or exits; a child that does neither within the budget is
         // killed. `read_line` only blocks while the child is alive and
@@ -608,13 +615,24 @@ impl FleetShared {
     fn live_mask(&self) -> Vec<bool> {
         self.workers
             .iter()
-            .map(|w| w.slot.lock().expect("slot lock").state == WorkerState::Ready)
+            .map(|w| lock_recover(&w.slot).state == WorkerState::Ready)
             .collect()
     }
 
     fn addr_of(&self, k: usize) -> Option<SocketAddr> {
-        self.workers[k].slot.lock().expect("slot lock").addr
+        lock_recover(&self.workers.get(k)?.slot).addr
     }
+}
+
+/// Locks a fleet mutex, recovering from poisoning. Fleet state (slots,
+/// connection pools) is plain data with no mid-update invariants a
+/// panicking holder could tear halfway: the monitor re-derives every
+/// worker's state on its next pass and stale pooled connections are
+/// already fenced by the epoch counter. Inheriting the poisoned value
+/// degrades at most one worker; propagating the panic would wedge the
+/// whole router.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// A running fleet: router listener + supervised workers.
@@ -795,7 +813,7 @@ impl Fleet {
         let Some(w) = self.shared.workers.get(k) else {
             return false;
         };
-        let mut slot = w.slot.lock().expect("slot lock");
+        let mut slot = lock_recover(&w.slot);
         let Some(handle) = slot.handle.as_mut() else {
             return false;
         };
@@ -848,9 +866,8 @@ impl Fleet {
         if let Some(h) = self.monitor.take() {
             let _ = h.join();
         }
-        for k in 0..self.shared.cfg.size {
-            let w = &self.shared.workers[k];
-            let mut slot = w.slot.lock().expect("slot lock");
+        for w in &self.shared.workers {
+            let mut slot = lock_recover(&w.slot);
             if let Some(addr) = slot.addr {
                 post_shutdown(addr, Duration::from_secs(2));
             }
@@ -862,7 +879,8 @@ impl Fleet {
             slot.handle = None;
             slot.addr = None;
             slot.state = WorkerState::Down;
-            w.pool.lock().expect("pool lock").clear();
+            drop(slot);
+            lock_recover(&w.pool).clear();
         }
     }
 }
@@ -883,7 +901,7 @@ fn status_of(shared: &Arc<FleetShared>) -> FleetStatus {
     let mut workers = Vec::with_capacity(shared.cfg.size);
     let mut ready = true;
     for (k, w) in shared.workers.iter().enumerate() {
-        let mut slot = w.slot.lock().expect("slot lock");
+        let mut slot = lock_recover(&w.slot);
         let state = slot.state;
         let pid = slot.handle.as_mut().and_then(|h| h.pid());
         let addr = slot.addr.map(|a| a.to_string());
@@ -973,9 +991,11 @@ fn metrics_of(shared: &Arc<FleetShared>) -> String {
 /// Transitions a slot to `Down` and escalates its backoff. The caller has
 /// already disposed of the handle (or knows it is dead).
 fn mark_down(shared: &Arc<FleetShared>, k: usize, slot: &mut Slot, _why: &str) {
-    let w = &shared.workers[k];
+    let Some(w) = shared.workers.get(k) else {
+        return;
+    };
     w.epoch.fetch_add(1, Ordering::SeqCst);
-    w.pool.lock().expect("pool lock").clear();
+    lock_recover(&w.pool).clear();
     w.proxy_failures.store(0, Ordering::Relaxed);
     slot.probe_failures = 0;
     slot.state = WorkerState::Down;
@@ -987,9 +1007,11 @@ fn mark_down(shared: &Arc<FleetShared>, k: usize, slot: &mut Slot, _why: &str) {
 /// Launches slot `k` (synchronously) and moves it to `Starting`. On
 /// launch failure the slot goes `Down` with escalated backoff.
 fn launch_slot(shared: &Arc<FleetShared>, k: usize) {
-    let w = &shared.workers[k];
+    let Some(w) = shared.workers.get(k) else {
+        return;
+    };
     let attempt = {
-        let mut slot = w.slot.lock().expect("slot lock");
+        let mut slot = lock_recover(&w.slot);
         // Claim the slot for this launch; `Starting` with no handle means
         // "launch in progress" and is skipped by every other path.
         slot.state = WorkerState::Starting;
@@ -1004,12 +1026,12 @@ fn launch_slot(shared: &Arc<FleetShared>, k: usize) {
     };
     match shared.launcher.launch(k, attempt) {
         Ok(handle) => {
-            let mut slot = w.slot.lock().expect("slot lock");
+            let mut slot = lock_recover(&w.slot);
             slot.addr = Some(handle.addr());
             slot.handle = Some(handle);
         }
         Err(_) => {
-            let mut slot = w.slot.lock().expect("slot lock");
+            let mut slot = lock_recover(&w.slot);
             mark_down(shared, k, &mut slot, "launch failed");
         }
     }
@@ -1018,9 +1040,11 @@ fn launch_slot(shared: &Arc<FleetShared>, k: usize) {
 /// One monitor pass over slot `k`: relaunch expired backoffs, promote
 /// ready workers, demote dead or wedged ones.
 fn step_slot(shared: &Arc<FleetShared>, k: usize) {
-    let w = &shared.workers[k];
+    let Some(w) = shared.workers.get(k) else {
+        return;
+    };
     let decision = {
-        let mut guard = w.slot.lock().expect("slot lock");
+        let mut guard = lock_recover(&w.slot);
         let slot = &mut *guard;
         match slot.state {
             WorkerState::Down => {
@@ -1083,7 +1107,7 @@ fn step_slot(shared: &Arc<FleetShared>, k: usize) {
         Some(StepAction::Relaunch) => launch_slot(shared, k),
         Some(StepAction::ProbeStarting(addr)) => {
             let ready = probe_ready(addr, probe_timeout(shared));
-            let mut slot = w.slot.lock().expect("slot lock");
+            let mut slot = lock_recover(&w.slot);
             if slot.state == WorkerState::Starting && slot.handle.is_some() && ready {
                 slot.state = WorkerState::Ready;
                 slot.since = Instant::now();
@@ -1094,7 +1118,7 @@ fn step_slot(shared: &Arc<FleetShared>, k: usize) {
         }
         Some(StepAction::ProbeReady(addr)) => {
             let ready = probe_ready(addr, probe_timeout(shared));
-            let mut slot = w.slot.lock().expect("slot lock");
+            let mut slot = lock_recover(&w.slot);
             if slot.state != WorkerState::Ready {
                 return;
             }
@@ -1186,7 +1210,7 @@ fn drain_worker(shared: &Arc<FleetShared>, k: usize) -> Result<(), String> {
         return Err(format!("no worker {k} in a fleet of {}", shared.cfg.size));
     };
     {
-        let mut slot = w.slot.lock().expect("slot lock");
+        let mut slot = lock_recover(&w.slot);
         if slot.state != WorkerState::Ready {
             return Err(format!(
                 "worker {k} is {}, only a ready worker can drain",
@@ -1206,18 +1230,20 @@ fn drain_worker(shared: &Arc<FleetShared>, k: usize) -> Result<(), String> {
 }
 
 fn run_drain(shared: &Arc<FleetShared>, k: usize) {
-    let w = &shared.workers[k];
+    let Some(w) = shared.workers.get(k) else {
+        return;
+    };
     // New work already fails over (state is Draining); wait for in-flight
     // to finish, bounded by the drain timeout.
     let deadline = Instant::now() + shared.cfg.drain_timeout;
     while w.inflight.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(10));
     }
-    let addr = w.slot.lock().expect("slot lock").addr;
+    let addr = lock_recover(&w.slot).addr;
     if let Some(addr) = addr {
         post_shutdown(addr, Duration::from_secs(2));
     }
-    let mut slot = w.slot.lock().expect("slot lock");
+    let mut slot = lock_recover(&w.slot);
     if let Some(handle) = slot.handle.as_mut() {
         if !handle.wait_exit(Duration::from_secs(5)) {
             handle.kill();
@@ -1231,8 +1257,9 @@ fn run_drain(shared: &Arc<FleetShared>, k: usize) {
     // with the base backoff, not an escalated one.
     slot.backoff = shared.cfg.backoff_base;
     slot.backoff_until = Instant::now();
+    drop(slot);
     w.epoch.fetch_add(1, Ordering::SeqCst);
-    w.pool.lock().expect("pool lock").clear();
+    lock_recover(&w.pool).clear();
     w.proxy_failures.store(0, Ordering::Relaxed);
 }
 
@@ -1401,6 +1428,8 @@ fn serve_fleet_one(
             Ok(ClientExit::KeepGoing)
         }
         ("GET", "/v1/fleet") => {
+            // lint:allow(panic-path): FleetStatus is an owned in-memory struct
+            // of strings/ints with derived Serialize; serialisation cannot fail.
             let body = serde_json::to_string(&status_of(shared)).expect("fleet status serialises");
             write_response(stream, 200, "OK", &body, &echo, keep_alive)?;
             Ok(ClientExit::KeepGoing)
@@ -1418,7 +1447,7 @@ fn serve_fleet_one(
             Ok(ClientExit::KeepGoing)
         }
         ("POST", path) if path.starts_with("/v1/fleet/drain/") => {
-            let spec = &path["/v1/fleet/drain/".len()..];
+            let spec = path.strip_prefix("/v1/fleet/drain/").unwrap_or_default();
             match spec.parse::<usize>() {
                 Ok(k) => match drain_worker(shared, k) {
                     Ok(()) => {
@@ -1529,7 +1558,9 @@ fn proxy_schedule(
             shared.retries.fetch_add(1, Ordering::Relaxed);
         }
         attempts += 1;
-        tried[k] = true;
+        if let Some(t) = tried.get_mut(k) {
+            *t = true;
+        }
         match proxy_attempt(shared, k, req, &trace_id) {
             Ok(resp) => break Some((k, resp)),
             Err(_) => continue,
@@ -1592,7 +1623,9 @@ fn proxy_attempt(
     req: &Request,
     trace_id: &str,
 ) -> io::Result<UpstreamResponse> {
-    let w = &shared.workers[k];
+    let Some(w) = shared.workers.get(k) else {
+        return Err(io::Error::other("worker index out of range"));
+    };
     let addr = shared
         .addr_of(k)
         .ok_or_else(|| io::Error::other("worker has no address"))?;
@@ -1601,7 +1634,7 @@ fn proxy_attempt(
         // Bind the checkout first: popping inside the `if let` scrutinee
         // would hold the pool guard across the exchange (and deadlock in
         // repool).
-        let pooled = w.pool.lock().expect("pool lock").pop();
+        let pooled = lock_recover(&w.pool).pop();
         if let Some(mut conn) = pooled {
             if let Ok(resp) = exchange(&mut conn, addr, req, trace_id) {
                 repool(shared, k, conn, resp.keep_alive);
@@ -1644,11 +1677,13 @@ fn repool(shared: &Arc<FleetShared>, k: usize, conn: UpstreamConn, keep_alive: b
     if !keep_alive {
         return;
     }
-    let w = &shared.workers[k];
+    let Some(w) = shared.workers.get(k) else {
+        return;
+    };
     if w.epoch.load(Ordering::SeqCst) != conn.epoch {
         return;
     }
-    let mut pool = w.pool.lock().expect("pool lock");
+    let mut pool = lock_recover(&w.pool);
     if pool.len() < MAX_POOLED {
         pool.push(conn);
     }

@@ -35,6 +35,12 @@ fn bucket_index(us: u64) -> usize {
     BUCKET_BOUNDS_US.partition_point(|&b| b < us)
 }
 
+/// The largest finite bucket boundary (the value percentile estimation
+/// reports when the mass lands in the overflow bucket).
+fn last_finite_bound() -> u64 {
+    BUCKET_BOUNDS_US.last().copied().unwrap_or(0)
+}
+
 /// A concurrent fixed-boundary histogram: per-bucket atomic counters plus
 /// an atomic sum/count pair. Microsecond observations only — the unit is
 /// part of the metric name, not the type.
@@ -63,7 +69,7 @@ impl Histogram {
 
     /// Records one observation of `us` microseconds.
     pub fn observe(&self, us: u64) {
-        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(us).min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
     }
@@ -122,7 +128,7 @@ impl HistogramSnapshot {
 
     /// Records one observation (single-threaded accumulation).
     pub fn observe(&mut self, us: u64) {
-        self.buckets[bucket_index(us)] += 1;
+        self.buckets[bucket_index(us).min(BUCKETS - 1)] += 1;
         self.sum_us += us;
         self.count += 1;
     }
@@ -154,19 +160,22 @@ impl HistogramSnapshot {
             }
             let next = cum + c;
             if (next as f64) >= target {
-                if i == BUCKET_BOUNDS_US.len() {
+                let Some(&upper) = BUCKET_BOUNDS_US.get(i) else {
                     // Overflow bucket: no upper boundary to interpolate
                     // toward; report the last finite boundary.
-                    return BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] as f64;
-                }
-                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_US[i - 1] } as f64;
-                let upper = BUCKET_BOUNDS_US[i] as f64;
+                    return last_finite_bound() as f64;
+                };
+                let lower = if i == 0 {
+                    0
+                } else {
+                    BUCKET_BOUNDS_US.get(i - 1).copied().unwrap_or(0)
+                } as f64;
                 let frac = (target - cum as f64) / c as f64;
-                return lower + (upper - lower) * frac;
+                return lower + (upper as f64 - lower) * frac;
             }
             cum = next;
         }
-        BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] as f64
+        last_finite_bound() as f64
     }
 
     /// Mean observation in microseconds (0 for an empty histogram).
@@ -214,10 +223,9 @@ pub(crate) fn render_histogram(
     let mut cum = 0u64;
     for (i, &c) in snap.buckets.iter().enumerate() {
         cum += c;
-        let le = if i == BUCKET_BOUNDS_US.len() {
-            "+Inf".to_string()
-        } else {
-            BUCKET_BOUNDS_US[i].to_string()
+        let le = match BUCKET_BOUNDS_US.get(i) {
+            Some(b) => b.to_string(),
+            None => "+Inf".to_string(),
         };
         let sep = if labels.is_empty() { "" } else { "," };
         let full = format!("{labels}{sep}le=\"{le}\"");

@@ -382,6 +382,17 @@ struct Breaker {
     degraded: AtomicBool,
 }
 
+/// Locks a service mutex, recovering from poisoning rather than
+/// propagating a dead holder's panic to every later caller. Each
+/// protected value stays usable after a panic: breaker state and the
+/// sender/supervisor options are plain data, the job-queue receiver is
+/// just a channel endpoint, and the disk tier validates every record on
+/// read, so a torn append from a mid-`put` panic is skipped at reindex
+/// time instead of corrupting lookups.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 #[derive(Default)]
 struct BreakerState {
     consecutive: u32,
@@ -402,7 +413,7 @@ impl Breaker {
     /// once per probe interval (and restarts the interval, so concurrent
     /// callers get exactly one probe).
     fn allow(&self) -> bool {
-        let mut s = self.state.lock().expect("breaker lock");
+        let mut s = lock_recover(&self.state);
         match s.open_since {
             None => true,
             Some(opened) if opened.elapsed() >= self.probe_interval => {
@@ -416,7 +427,7 @@ impl Breaker {
     /// Records a successful disk operation: resets the error run and, if
     /// the breaker was open, re-arms the tier.
     fn record_ok(&self, c: &Counters) {
-        let mut s = self.state.lock().expect("breaker lock");
+        let mut s = lock_recover(&self.state);
         s.consecutive = 0;
         if s.open_since.take().is_some() {
             self.degraded.store(false, Ordering::Relaxed);
@@ -428,7 +439,7 @@ impl Breaker {
     /// `threshold`-th consecutive error.
     fn record_err(&self, c: &Counters) {
         c.disk_errors.fetch_add(1, Ordering::Relaxed);
-        let mut s = self.state.lock().expect("breaker lock");
+        let mut s = lock_recover(&self.state);
         s.consecutive = s.consecutive.saturating_add(1);
         if s.open_since.is_none() && s.consecutive >= self.threshold {
             s.open_since = Some(Instant::now());
@@ -634,6 +645,9 @@ fn spawn_worker(
             };
             guard.clean = worker_loop(id, &rx, &shared);
         })
+        // lint:allow(panic-path): thread spawn fails only on OS thread
+        // exhaustion, at which point the pool cannot run at all; the
+        // supervisor treats a vanished worker as a panic and retires it.
         .expect("spawning a worker thread")
 }
 
@@ -645,6 +659,8 @@ impl Service {
     /// On an invalid configuration or an unopenable disk tier; use
     /// [`Service::try_start`] to handle those as errors.
     pub fn start(cfg: ServiceConfig) -> Self {
+        // lint:allow(panic-path): documented panicking constructor; the
+        // fallible API is `try_start`, and this forwards to it.
         Self::try_start(cfg).expect("starting the service")
     }
 
@@ -749,6 +765,9 @@ impl Service {
                         let _ = h.join();
                     }
                 })
+                // lint:allow(panic-path): one spawn at service start, before
+                // any request is accepted; failure means the service cannot
+                // exist and surfaces to the caller as the documented panic.
                 .expect("spawning the supervisor thread")
         };
         Ok(Self {
@@ -813,7 +832,7 @@ impl Service {
                 trace: RequestTrace::default(),
             })
         };
-        let guard = self.tx.lock().expect("service sender lock");
+        let guard = lock_recover(&self.tx);
         let Some(tx) = guard.as_ref() else {
             return Err(overload(started, &self.shared.counters));
         };
@@ -1006,7 +1025,7 @@ impl Service {
             .shared
             .disk
             .as_ref()
-            .map_or(0, |d| d.lock().expect("disk tier lock").len());
+            .map_or(0, |d| lock_recover(d).len());
         let gauges: [(&str, u64); 8] = [
             (
                 "batsched_queue_depth",
@@ -1110,7 +1129,7 @@ impl Service {
             .shared
             .disk
             .as_ref()
-            .map_or(0, |d| d.lock().expect("disk tier lock").len());
+            .map_or(0, |d| lock_recover(d).len());
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let mean_us = |nanos: u64, count: u64| {
             if count == 0 {
@@ -1168,6 +1187,8 @@ impl Service {
 
     /// The stats snapshot as a JSON document.
     pub fn stats_json(&self) -> String {
+        // lint:allow(panic-path): StatsSnapshot is an owned struct of
+        // numbers with derived Serialize; serialisation cannot fail.
         serde_json::to_string(&self.stats()).expect("stats serialise")
     }
 
@@ -1181,8 +1202,8 @@ impl Service {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         // Dropping the sender closes the channel; workers exit after
         // draining whatever was already queued.
-        *self.tx.lock().expect("service sender lock") = None;
-        let supervisor = self.supervisor.lock().expect("supervisor lock").take();
+        *lock_recover(&self.tx) = None;
+        let supervisor = lock_recover(&self.supervisor).take();
         let draining = supervisor.is_some();
         if let Some(h) = supervisor {
             let _ = h.join();
@@ -1191,7 +1212,7 @@ impl Service {
         // failed compaction leaves the (correct, just sparser) append log.
         if draining {
             if let Some(disk) = &self.shared.disk {
-                if let Err(e) = disk.lock().expect("disk tier lock").compact() {
+                if let Err(e) = lock_recover(disk).compact() {
                     eprintln!("batsched-service: disk-cache compaction failed: {e}");
                 }
             }
@@ -1226,7 +1247,7 @@ fn worker_loop(id: usize, rx: &Mutex<Receiver<Job>>, shared: &Shared) -> bool {
     let worker = Some(id as u32);
     loop {
         let job = {
-            let guard = rx.lock().expect("job queue lock");
+            let guard = lock_recover(rx);
             guard.recv()
         };
         let Ok(job) = job else {
@@ -1418,10 +1439,9 @@ fn answer(
     // may have the answer on disk; promote it so the next probe is a
     // memory hit. An I/O error here feeds the breaker and falls through
     // to a cold solve — the disk never fails a solvable request.
-    if disk_allowed {
-        let disk = shared.disk.as_ref().expect("disk checked above");
+    if let Some(disk) = shared.disk.as_ref().filter(|_| disk_allowed) {
         let t = Instant::now();
-        let persisted = disk.lock().expect("disk tier lock").get(key);
+        let persisted = lock_recover(disk).get(key);
         trace.disk_us += us(t);
         match persisted {
             Ok(Some(cached)) => {
@@ -1448,6 +1468,8 @@ fn answer(
     }
     c.cache_misses.fetch_add(1, Ordering::Relaxed);
     if shared.faults.is_armed() && shared.faults.solver_panic(body_text_for_faults()) {
+        // lint:allow(panic-path): fault injection by design — this panic is
+        // the test stimulus for the catch_unwind isolation boundary below.
         panic!("injected solver panic");
     }
     let t = Instant::now();
@@ -1456,16 +1478,17 @@ fn answer(
     match solved {
         Ok(resp) => {
             let t = Instant::now();
+            // lint:allow(panic-path): ScheduleResponse is owned plain data
+            // with derived Serialize; serialisation cannot fail.
             let rendered = serde_json::to_string(&resp).expect("responses serialise");
             shared.cache.insert(key, rendered.clone());
             shared.cache.alias(raw_key, body, key);
             trace.serialize_us += us(t);
-            if disk_allowed {
-                let disk = shared.disk.as_ref().expect("disk checked above");
+            if let Some(disk) = shared.disk.as_ref().filter(|_| disk_allowed) {
                 // A failed append only costs warmth after the next restart;
                 // the in-memory answer is already correct.
                 let t = Instant::now();
-                let appended = disk.lock().expect("disk tier lock").put(key, &rendered);
+                let appended = lock_recover(disk).put(key, &rendered);
                 trace.disk_us += us(t);
                 match appended {
                     Ok(()) => shared.breaker.record_ok(c),

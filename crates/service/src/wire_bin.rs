@@ -86,34 +86,44 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(berr(format!(
-                "truncated input: {what} needs {n} bytes, {} remain",
-                self.remaining()
-            )));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
+        // Checked access end to end: `get` returns exactly `n` bytes or
+        // None, so no hostile length can panic the decoding thread.
+        let s = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or_else(|| {
+                berr(format!(
+                    "truncated input: {what} needs {n} bytes, {} remain",
+                    self.remaining()
+                ))
+            })?;
         self.pos += n;
         Ok(s)
     }
 
+    /// `take` with a compile-time width: the array pattern destructure is
+    /// irrefutable, so the integer readers below index nothing.
+    fn take_array<const N: usize>(&mut self, what: &str) -> Result<[u8; N], WireError> {
+        let s = self.take(N, what)?;
+        s.try_into()
+            .map_err(|_| berr(format!("{what}: internal framing error")))
+    }
+
     fn u8(&mut self, what: &str) -> Result<u8, WireError> {
-        Ok(self.take(1, what)?[0])
+        let [b] = self.take_array(what)?;
+        Ok(b)
     }
 
     fn u16(&mut self, what: &str) -> Result<u16, WireError> {
-        let b = self.take(2, what)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        Ok(u16::from_le_bytes(self.take_array(what)?))
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, WireError> {
-        let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(self.take_array(what)?))
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, WireError> {
-        let b = self.take(8, what)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.take_array(what)?))
     }
 
     fn f64(&mut self, what: &str) -> Result<f64, WireError> {
@@ -164,6 +174,8 @@ fn check_header(r: &mut Reader<'_>, kind: u8, label: &str) -> Result<(), WireErr
 /// invariants [`decode_request`] enforces.
 pub fn encode_request(req: &ScheduleRequest) -> Vec<u8> {
     let g = &req.graph;
+    // lint:allow(uncapped-wire-alloc): encoder, not decoder — the size comes
+    // from an already-validated in-memory graph, not from wire input.
     let mut out = Vec::with_capacity(64 + g.task_count() * 64 + g.edge_count() * 8);
     out.extend_from_slice(&MAGIC);
     out.push(KIND_REQUEST);

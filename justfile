@@ -13,6 +13,13 @@ clippy:
     cargo clippy --workspace --all-targets -- -D warnings
     cargo clippy --workspace --all-targets --features parallel -- -D warnings
 
+# Workspace invariant linter (crates/lint): panic-path, nested-lock,
+# uncapped-wire-alloc, nondeterministic-iter, crate-hygiene. Zero
+# findings allowed; see docs/LINT.md for the catalogue and the
+# lint:allow grammar.
+lint:
+    cargo run --release -q -p batsched-lint --bin batsched-lint
+
 # Full test suite, both feature configurations.
 test:
     cargo test --workspace -q
